@@ -1,0 +1,72 @@
+// Ablations of the design choices DESIGN.md §5 calls out beyond the
+// paper's own sweeps:
+//   (a) the BSP batch size b — eq. 1's ceil(mn/bP) synchronization count
+//       made visible by sweeping rounds-per-run;
+//   (b) DAKC's heavy-hitter threshold (count > t -> HEAVY pair) around
+//       the paper's fixed "> 2";
+//   (c) distributed unitig construction on top of the counts (beyond the
+//       paper: the assembly stage the intro motivates), scaling with PEs.
+#include "dbg/distributed.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dakc;
+  bench::banner("Ablation", "batch size, heavy threshold, unitig stage");
+
+  {
+    std::printf("(a) BSP batch size (PakMan*, 16 nodes): more rounds = "
+                "more sync waste\n");
+    auto reads = bench::reads_for("synthetic24", 1e6);
+    std::uint64_t kmers = 0;
+    for (const auto& r : reads)
+      if (r.size() >= 31) kmers += r.size() - 30;
+    TextTable table({"rounds (~mn/bP)", "batch b", "sim time"});
+    for (int rounds : {1, 4, 16, 64}) {
+      auto cfg = bench::config_for(core::Backend::kPakManStar, 16);
+      cfg.batch = std::max<std::uint64_t>(
+          256, kmers / (static_cast<std::uint64_t>(cfg.pes) * rounds));
+      const auto r = core::count_kmers(reads, cfg);
+      table.add_row({std::to_string(rounds), fmt_count(cfg.batch),
+                     bench::time_or_oom(r)});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  {
+    std::printf("\n(b) DAKC heavy threshold on Human profile (L3 on, 16 "
+                "nodes; paper uses > 2):\n");
+    auto reads = bench::reads_for("human", 6e5);
+    TextTable table({"threshold", "sim time", "internode bytes"});
+    for (std::uint64_t t : {1, 2, 4, 16, 1000000}) {
+      auto cfg = bench::config_for(core::Backend::kDakc, 16, "human");
+      cfg.l3_enabled = true;
+      cfg.heavy_threshold = t;
+      const auto r = bench::run(reads, cfg);
+      table.add_row({t >= 1000000 ? "inf (L2H off)" : std::to_string(t),
+                     bench::time_or_oom(r),
+                     fmt_bytes(static_cast<double>(r.bytes_internode))});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  {
+    std::printf("\n(c) distributed unitig construction after counting "
+                "(beyond the paper):\n");
+    auto reads = bench::reads_for("synthetic22", 4e5);
+    auto count_cfg = bench::config_for(core::Backend::kDakc, 4);
+    count_cfg.gather_counts = true;
+    const auto counted = core::count_kmers(reads, count_cfg);
+    TextTable table({"PEs", "unitigs", "sim time", "edge msgs",
+                     "walker hops"});
+    for (int nodes : {1, 4, 16}) {
+      auto cfg = bench::config_for(core::Backend::kDakc, nodes);
+      const auto r =
+          dbg::distributed_unitigs(counted.counts, 31, cfg, /*min=*/3);
+      table.add_row({std::to_string(cfg.pes), fmt_count(r.unitigs.size()),
+                     fmt_seconds(r.makespan), fmt_count(r.edge_messages),
+                     fmt_count(r.walker_hops)});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 3: last-level-cache misses — analytical model vs "hardware
+// counters" (here: the LRU cache simulator replaying the workload's
+// actual access streams; see DESIGN.md substitution #3).
+//
+// Paper setup: 8 nodes (192 cores), dataset-size sweep, k = 31. The
+// model assumes optimal replacement, so measured (LRU) >= predicted —
+// the same relationship the paper's plot shows.
+#include "cachesim/cachesim.hpp"
+#include "bench_util.hpp"
+#include "model/analytical.hpp"
+#include "sort/radix.hpp"
+
+int main() {
+  using namespace dakc;
+  bench::banner("Figure 3",
+                "LLC misses per node: model prediction vs LRU cache sim");
+
+  const int nodes = 8;
+  // Scale the cache with the scaled dataset so the measured/ predicted
+  // relationship stays in the same regime as the paper's 38 MB LLC
+  // against multi-GB inputs.
+  cachesim::CacheConfig ccfg;
+  ccfg.size_bytes = 256 * 1024;
+  ccfg.line_bytes = 64;
+
+  TextTable table({"dataset", "kmers/node", "phase", "model misses",
+                   "measured misses", "ratio"});
+  for (double target : {2e5, 4e5, 8e5, 1.6e6}) {
+    auto reads = bench::reads_for("synthetic24", target);
+    std::uint64_t n_kmers = 0, bases = 0;
+    for (const auto& r : reads) {
+      bases += r.size();
+      if (r.size() >= 31) n_kmers += r.size() - 30;
+    }
+    // Model (per node), re-derived with the small cache's line size.
+    model::Workload w;
+    w.n_reads = reads.size();
+    w.read_len = reads.empty() ? 0 : reads[0].size();
+    w.k = 31;
+    net::MachineParams machine;  // L = 64 matches ccfg
+    const model::ModelResult m = model::evaluate(w, machine, nodes);
+
+    // Measured: replay this node's share of the access stream.
+    const std::uint64_t node_bases = bases / nodes;
+    const std::uint64_t node_kmers = n_kmers / nodes;
+    Xoshiro256 rng(7);
+
+    cachesim::CacheSim phase1(ccfg);
+    const auto reads_region = phase1.alloc_region(node_bases);
+    const auto kmer_region = phase1.alloc_region(node_kmers * 8);
+    phase1.stream(reads_region, node_bases);
+    // Writing k-mers into per-destination buffers: ~256 open streams.
+    phase1.multi_stream_append(kmer_region, node_kmers, 8, 256, rng);
+
+    cachesim::CacheSim phase2(ccfg);
+    const auto recv_region = phase2.alloc_region(node_kmers * 8);
+    const auto out_region = phase2.alloc_region(node_kmers * 8);
+    // The model assumes the worst case (8 byte-passes); the real hybrid
+    // sort skips uniform bytes and finishes small buckets by insertion,
+    // so replay the *measured* pass count of sorting this node's share —
+    // the reason the paper's Fig. 3 shows the model over-predicting
+    // phase 2.
+    std::vector<std::uint64_t> sample;
+    sample.reserve(node_kmers);
+    {
+      Xoshiro256 krng(11);
+      for (std::uint64_t i = 0; i < node_kmers; ++i) sample.push_back(krng());
+    }
+    const sort::SortStats st = sort::hybrid_radix_sort(sample);
+    const int passes = std::max<int>(
+        1, static_cast<int>(static_cast<double>(st.moves) /
+                            std::max<double>(1.0, static_cast<double>(
+                                                      st.elements))));
+    for (int pass = 0; pass < passes; ++pass) {
+      phase2.stream(recv_region, node_kmers * 8);
+      phase2.multi_stream_append(out_region, node_kmers, 8, 256, rng);
+    }
+
+    table.add_row({"synthetic24@" + fmt_e(target, 0),
+                   fmt_count(node_kmers), "1", fmt_e(m.misses1, 2),
+                   fmt_e(static_cast<double>(phase1.stats().misses), 2),
+                   fmt_f(static_cast<double>(phase1.stats().misses) /
+                             m.misses1,
+                         2)});
+    table.add_row({"", "", "2", fmt_e(m.misses2, 2),
+                   fmt_e(static_cast<double>(phase2.stats().misses), 2),
+                   fmt_f(static_cast<double>(phase2.stats().misses) /
+                             m.misses2,
+                         2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\npaper: model slightly under-predicts phase 1 (optimal vs "
+              "real replacement) and over-predicts phase 2 when the sort "
+              "skips passes; ratios stay O(1).\n");
+  return 0;
+}

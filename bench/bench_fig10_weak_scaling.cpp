@@ -1,0 +1,38 @@
+// Figure 10: weak scaling on synthetic datasets — the input grows with
+// the node count, so a perfectly weak-scaling counter keeps constant
+// time. The paper: PakMan* turns inefficient after 2 nodes, HySortK
+// after 4, DAKC holds efficiency to 32 nodes.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dakc;
+  using core::Backend;
+  bench::banner("Figure 10", "weak scaling (input grows with nodes)");
+
+  const double kmers_per_node = 2.5e5;
+  TextTable table({"nodes", "kmers", "PakMan*", "HySortK", "DAKC",
+                   "DAKC efficiency"});
+  double dakc_t1 = 0.0;
+  for (int nodes : {1, 2, 4, 8, 16, 32}) {
+    auto reads =
+        bench::reads_for("synthetic27", kmers_per_node * nodes,
+                         static_cast<std::uint64_t>(nodes));
+    const auto pak =
+        bench::run(reads, bench::config_for(Backend::kPakManStar, nodes));
+    const auto hy =
+        bench::run(reads, bench::config_for(Backend::kHySortK, nodes));
+    const auto da =
+        bench::run(reads, bench::config_for(Backend::kDakc, nodes));
+    if (nodes == 1) dakc_t1 = da.makespan;
+    table.add_row({std::to_string(nodes), fmt_count(da.total_kmers),
+                   bench::time_or_oom(pak), bench::time_or_oom(hy),
+                   bench::time_or_oom(da),
+                   da.oom ? "-" : fmt_f(100.0 * dakc_t1 / da.makespan, 1) +
+                                      " %"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\npaper: DAKC is 1.7-3.4x faster than HySortK and 2.0-6.3x "
+              "faster than PakMan* under weak scaling, staying efficient "
+              "to 32 nodes.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 11: 1D vs 2D vs 3D Conveyors routing for DAKC. The paper: 1D is
+// 10-20% faster (fewer hops, no relays) at the cost of O(P) lane memory
+// per PE (Fig. 2) — a memory/time trade the user manages.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dakc;
+  using conveyor::Protocol;
+  bench::banner("Figure 11", "DAKC with 1D / 2D / 3D conveyor routing");
+
+  auto reads = bench::reads_for("synthetic24", 4e5);
+  TextTable table({"nodes", "PEs", "1D", "2D", "3D", "2D vs 1D",
+                   "3D vs 1D"});
+  for (int nodes : {4, 16, 64}) {
+    core::RunReport rep[3];
+    int i = 0;
+    for (Protocol p : {Protocol::k1D, Protocol::k2D, Protocol::k3D}) {
+      auto cfg = bench::config_for(core::Backend::kDakc, nodes);
+      cfg.protocol = p;
+      rep[i++] = bench::run(reads, cfg);
+    }
+    table.add_row({std::to_string(nodes),
+                   std::to_string(nodes * bench::kCoresPerNode),
+                   bench::time_or_oom(rep[0]), bench::time_or_oom(rep[1]),
+                   bench::time_or_oom(rep[2]),
+                   fmt_f(rep[0].makespan / rep[1].makespan, 2) + "x",
+                   fmt_f(rep[0].makespan / rep[2].makespan, 2) + "x"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\npaper: 1D is ~1.1-1.2x faster than 2D/3D (values < 1.0x "
+              "in the last two columns mean 1D wins).\n");
+  return 0;
+}

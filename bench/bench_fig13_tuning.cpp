@@ -1,0 +1,53 @@
+// Figure 13: tuning the application-specific aggregation parameters.
+// (a) C2 (L2 packet size): flat for C2 >= 8, degrading at C2 <= 4.
+// (b) C3 (L3 pre-accumulation buffer): flat for 1e3..1e6; too small fails
+//     to compress, too large pays extra sorting.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dakc;
+  bench::banner("Figure 13", "C2 and C3 tuning sweeps");
+
+  const int nodes = 16;
+
+  {
+    auto reads = bench::reads_for("synthetic24", 4e5);
+    auto base_cfg = bench::config_for(core::Backend::kDakc, nodes);
+    const auto base = bench::run(reads, base_cfg);  // C2 = 32 default
+    std::printf("\n(a) C2 sweep on uniform data (default C2=32, %d nodes):\n",
+                nodes);
+    TextTable table({"C2", "sim time", "vs default"});
+    for (std::size_t c2 : {2, 4, 8, 16, 32, 64}) {
+      auto cfg = base_cfg;
+      cfg.c2 = c2;
+      const auto r = bench::run(reads, cfg);
+      table.add_row({std::to_string(c2), bench::time_or_oom(r),
+                     fmt_f(base.makespan / r.makespan, 2) + "x"});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  {
+    auto reads = bench::reads_for("human", 4e5);
+    auto base_cfg = bench::config_for(core::Backend::kDakc, nodes, "human");
+    const auto base = bench::run(reads, base_cfg);  // C3 = 1e4 default
+    std::printf("\n(b) C3 sweep on Human profile (default C3=1e4, %d "
+                "nodes):\n",
+                nodes);
+    TextTable table({"C3", "sim time", "vs default"});
+    for (std::size_t c3 :
+         {std::size_t{100}, std::size_t{1000}, std::size_t{10000},
+          std::size_t{100000}, std::size_t{1000000}}) {
+      auto cfg = base_cfg;
+      cfg.c3 = c3;
+      const auto r = bench::run(reads, cfg);
+      table.add_row({fmt_e(static_cast<double>(c3), 0),
+                     bench::time_or_oom(r),
+                     fmt_f(base.makespan / r.makespan, 2) + "x"});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  std::printf("\npaper: performance is flat for C2 >= 8 and for 1e3 <= C3 "
+              "<= 1e6; both should be tuned per machine.\n");
+  return 0;
+}

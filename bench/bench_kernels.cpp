@@ -1,0 +1,191 @@
+// Kernel microbenchmarks (google-benchmark): the host-side building
+// blocks — encoding, extraction, hashing, minimizers, sorting,
+// accumulation, and conveyor push throughput in the zero-cost fabric.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "conveyor/conveyor.hpp"
+#include "kmer/extract.hpp"
+#include "net/fabric.hpp"
+#include "sim/genome.hpp"
+#include "sort/accumulate.hpp"
+#include "sort/parallel_radix.hpp"
+#include "sort/radix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dakc;
+
+std::string bench_genome(std::size_t len) {
+  sim::GenomeSpec gs;
+  gs.length = len;
+  gs.seed = 5;
+  return sim::generate_genome(gs);
+}
+
+std::vector<std::uint64_t> bench_keys(std::size_t n) {
+  Xoshiro256 rng(6);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng();
+  return v;
+}
+
+void BM_EncodeBases(benchmark::State& state) {
+  const std::string g = bench_genome(1 << 16);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (char c : g) acc += kmer::encode_base(c);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 16));
+}
+BENCHMARK(BM_EncodeBases);
+
+void BM_ExtractKmers(benchmark::State& state) {
+  const std::string g = bench_genome(1 << 16);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    kmer::for_each_kmer(g, k, [&](kmer::Kmer64 km) { acc ^= km; });
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          ((1 << 16) - k + 1));
+}
+BENCHMARK(BM_ExtractKmers)->Arg(15)->Arg(31);
+
+void BM_OwnerHash(benchmark::State& state) {
+  auto keys = bench_keys(1 << 14);
+  for (auto _ : state) {
+    int acc = 0;
+    for (auto km : keys) acc += kmer::owner_pe(km, 6144);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 14));
+}
+BENCHMARK(BM_OwnerHash);
+
+void BM_Minimizer(benchmark::State& state) {
+  auto keys = bench_keys(1 << 12);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (auto km : keys) acc ^= kmer::minimizer(km, 31, 7);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 12));
+}
+BENCHMARK(BM_Minimizer);
+
+void BM_HybridRadixSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto keys = bench_keys(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = keys;
+    state.ResumeTiming();
+    sort::hybrid_radix_sort(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HybridRadixSort)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_LsdRadixSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto keys = bench_keys(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = keys;
+    state.ResumeTiming();
+    sort::lsd_radix_sort(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LsdRadixSort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_StdSortBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto keys = bench_keys(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = keys;
+    state.ResumeTiming();
+    std::sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StdSortBaseline)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ParallelRadixSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(1 << 20);
+  auto keys = bench_keys(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = keys;
+    state.ResumeTiming();
+    sort::parallel_radix_sort(v, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelRadixSort)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Accumulate(benchmark::State& state) {
+  Xoshiro256 rng(9);
+  std::vector<std::uint64_t> v(1 << 18);
+  for (auto& x : v) x = rng.below(1 << 14);  // ~16 copies per key
+  std::sort(v.begin(), v.end());
+  for (auto _ : state) {
+    auto out = sort::accumulate(v);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 18));
+}
+BENCHMARK(BM_Accumulate);
+
+void BM_ConveyorPushThroughput(benchmark::State& state) {
+  // End-to-end zero-cost fabric: how many packets/second the host can
+  // push through the full conveyor machinery (a simulator speed metric,
+  // not a simulated-machine metric).
+  const int pes = static_cast<int>(state.range(0));
+  const int per_pe = 20000;
+  for (auto _ : state) {
+    net::FabricConfig fcfg;
+    fcfg.pes = pes;
+    fcfg.pes_per_node = 4;
+    fcfg.zero_cost = true;
+    net::Fabric fabric(fcfg);
+    fabric.run([&](net::Pe& pe) {
+      conveyor::ConveyorConfig ccfg;
+      conveyor::Conveyor conv(pe, ccfg);
+      Xoshiro256 rng(pe.rank());
+      for (int i = 0; i < per_pe; ++i)
+        conv.push(static_cast<int>(rng.below(pes)), rng());
+      conv.finish();
+      conveyor::Packet pkt;
+      while (conv.pull(&pkt)) {
+      }
+    });
+    benchmark::DoNotOptimize(fabric.makespan());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          pes * per_pe);
+}
+BENCHMARK(BM_ConveyorPushThroughput)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

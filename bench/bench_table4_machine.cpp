@@ -1,0 +1,48 @@
+// Table IV: machine model parameters. Prints the paper's Phoenix Intel
+// node constants (used by the simulator and the analytical model) next
+// to live microbenchmarks of THIS build host, so a reader can judge how
+// the simulated machine relates to wherever they run the code.
+#include "bench_util.hpp"
+#include "model/analytical.hpp"
+
+int main() {
+  using namespace dakc;
+  bench::banner("Table IV", "machine parameters: model vs this host");
+
+  const net::MachineParams intel = net::intel_node();
+  const net::MachineParams amd = net::amd_node();
+  const double host_ops = model::measure_int64_add_rate(0.3);
+  const double host_bw = model::measure_stream_bandwidth(0.3);
+
+  TextTable table({"parameter", "Intel node (Table IV)", "AMD node (est.)",
+                   "this host (1 core, measured)"});
+  table.add_row({"peak INT64", fmt_e(intel.cnode_ops, 3) + " op/s",
+                 fmt_e(amd.cnode_ops, 3) + " op/s",
+                 fmt_e(host_ops, 3) + " op/s"});
+  table.add_row({"memory bandwidth", fmt_e(intel.beta_mem, 3) + " B/s",
+                 fmt_e(amd.beta_mem, 3) + " B/s",
+                 fmt_e(host_bw, 3) + " B/s"});
+  table.add_row({"fast memory (Z)", fmt_bytes(intel.cache_bytes),
+                 fmt_bytes(amd.cache_bytes), "-"});
+  table.add_row({"cache line (L)", fmt_bytes(intel.line_bytes),
+                 fmt_bytes(amd.line_bytes), "-"});
+  table.add_row({"link bandwidth", fmt_e(intel.beta_link, 3) + " B/s",
+                 fmt_e(amd.beta_link, 3) + " B/s", "-"});
+  table.add_row({"cores/node", std::to_string(intel.cores_per_node),
+                 std::to_string(amd.cores_per_node), "1"});
+  std::printf("%s", table.render().c_str());
+  const model::Workload w{357913900, 150, 31};
+  std::printf("\nbalance: Intel %.2f iadd64/B, AMD %.2f, this host %.2f; "
+              "k=31 counting needs only ~%.2f.\n",
+              model::machine_balance(intel), model::machine_balance(amd),
+              host_ops / host_bw, model::op_to_byte_ratio(w));
+
+  // The conclusion's GPU what-if: bandwidth helps, compute sits idle.
+  const model::AcceleratorWhatIf gpu = model::accelerator_what_if(
+      w, intel, model::kH100MemBw, model::kH100Int64Rate);
+  std::printf("H100 what-if (paper conclusion): node-local phases at most "
+              "%.1fx faster (bandwidth ratio), while the workload uses "
+              "%.1f%% of the device's compute balance.\n",
+              gpu.speedup_bound, 100.0 * gpu.compute_utilization);
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dakc::bench {
+
+double scale_for(const std::string& dataset, double target_kmers) {
+  const auto& spec = sim::dataset_by_name(dataset);
+  // k-mers ~= coverage * genome_length (for m >> k).
+  const double wanted_genome = target_kmers / spec.coverage;
+  return std::min(1.0, wanted_genome / static_cast<double>(spec.genome_length));
+}
+
+std::vector<std::string> reads_for(const std::string& dataset,
+                                   double target_kmers, std::uint64_t seed) {
+  const auto& spec = sim::dataset_by_name(dataset);
+  return sim::make_dataset_reads(spec, scale_for(dataset, target_kmers), seed);
+}
+
+core::CountConfig config_for(core::Backend backend, int nodes,
+                             const std::string& dataset,
+                             int cores_per_node) {
+  core::CountConfig cfg;
+  cfg.backend = backend;
+  cfg.k = 31;  // the paper's k throughout the evaluation
+  cfg.pes = nodes * cores_per_node;
+  cfg.pes_per_node = cores_per_node;
+  // The simulated cores stand for the WHOLE node: per-core rates are the
+  // node rates divided by the simulated core count, so a node's
+  // aggregate throughput matches Table IV regardless of how far the
+  // bench scales the core count down.
+  cfg.machine.cores_per_node = cores_per_node;
+  // Realistic execution-speed variability (NUMA / interference / DVFS):
+  // this is what makes synchronization rounds expensive (machine.hpp).
+  cfg.machine.noise_amplitude = 0.25;
+  cfg.gather_counts = false;
+  if (!dataset.empty() && backend == core::Backend::kDakc)
+    cfg.l3_enabled = sim::dataset_by_name(dataset).heavy_hitters;
+  return cfg;
+}
+
+core::RunReport run(const std::vector<std::string>& reads,
+                    const core::CountConfig& config) {
+  core::CountConfig cfg = config;
+  if (cfg.backend == core::Backend::kPakMan ||
+      cfg.backend == core::Backend::kPakManStar ||
+      cfg.backend == core::Backend::kHySortK) {
+    std::uint64_t kmers = 0;
+    for (const auto& r : reads)
+      if (static_cast<int>(r.size()) >= cfg.k)
+        kmers += r.size() - static_cast<std::size_t>(cfg.k) + 1;
+    cfg.batch = std::max<std::uint64_t>(
+        256, kmers / (static_cast<std::uint64_t>(cfg.pes) * kBspRounds));
+  }
+  return core::count_kmers(reads, cfg);
+}
+
+std::string time_or_oom(const core::RunReport& r) {
+  if (r.oom) return "OOM";
+  return fmt_seconds(r.makespan);
+}
+
+void banner(const std::string& experiment, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), what.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace dakc::bench

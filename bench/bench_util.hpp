@@ -1,0 +1,62 @@
+// Shared harness glue for the figure/table reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper: it
+// generates the (scaled-down) workload, runs the relevant counters on the
+// simulated cluster, and prints the same rows/series the paper plots.
+// Absolute numbers are simulated seconds on the Table IV machine model;
+// the comparisons (who wins, by what factor, where curves bend) are the
+// reproduction target. See EXPERIMENTS.md for paper-vs-measured notes.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "sim/datasets.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace dakc::bench {
+
+/// Default simulated cores per node. The paper's Intel nodes have 24;
+/// benches use fewer so sweeps up to 16 nodes stay affordable on the
+/// single-core build host (the DES executes all PE work sequentially).
+inline constexpr int kCoresPerNode = 4;
+
+/// Generate reads for a Table V dataset scaled so the run produces about
+/// `target_kmers` k-mers (coverage, GC and repeat structure preserved).
+std::vector<std::string> reads_for(const std::string& dataset,
+                                   double target_kmers,
+                                   std::uint64_t seed = 1);
+
+/// Scale factor that reads_for() used (for reporting).
+double scale_for(const std::string& dataset, double target_kmers);
+
+/// A CountConfig for `backend` on `nodes` simulated nodes. Enables L3
+/// automatically for datasets the paper flags as heavy-hitter when
+/// `dataset` is given.
+core::CountConfig config_for(core::Backend backend, int nodes,
+                             const std::string& dataset = "",
+                             int cores_per_node = kCoresPerNode);
+
+/// Rounds of collective exchange the BSP baselines perform per run. The
+/// paper's b ~ 1e9 against 1e11..1e12-k-mer inputs implies tens of
+/// rounds; preserving rounds-per-run (not the absolute b) keeps the
+/// synchronization structure intact when the input is scaled down.
+inline constexpr int kBspRounds = 12;
+
+/// Run and return the report (counts not gathered: benches only need
+/// timings/traffic). For BSP backends, rescales the batch size so the
+/// run performs ~kBspRounds collective rounds (see above).
+core::RunReport run(const std::vector<std::string>& reads,
+                    const core::CountConfig& config);
+
+/// "12.3 ms" or "OOM".
+std::string time_or_oom(const core::RunReport& r);
+
+/// Print the standard bench header naming the figure being reproduced.
+void banner(const std::string& experiment, const std::string& what);
+
+}  // namespace dakc::bench

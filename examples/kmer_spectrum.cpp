@@ -1,0 +1,91 @@
+// k-mer spectrum analysis: the workload the paper's introduction
+// motivates (genome assembly profiling, quality assessment, GenomeScope-
+// style genome size estimation).
+//
+// Counts k-mers of a sequencing run, prints the count histogram
+// ("spectrum"), finds the error peak and the coverage peak, and estimates
+// genome size as total_kmers_above_error_floor / coverage_peak.
+//
+//   ./kmer_spectrum --dataset fvesca --scale 0.0002 --k 21
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/spectrum.hpp"
+#include "core/api.hpp"
+#include "io/fastx.hpp"
+#include "kmer/count.hpp"
+#include "sim/datasets.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dakc;
+  CliParser cli("kmer_spectrum",
+                "k-mer spectrum + genome size estimation on DAKC output");
+  auto& input = cli.add_string("input", "", "FASTQ/FASTA path");
+  auto& dataset = cli.add_string("dataset", "synthetic22",
+                                 "Table V dataset name (when no --input)");
+  auto& scale = cli.add_double("scale", 1.0 / 256,
+                               "dataset scale factor (1.0 = paper size)");
+  auto& k = cli.add_int("k", 21, "k-mer length");
+  auto& pes = cli.add_int("pes", 8, "simulated PEs");
+  auto& rows = cli.add_int("rows", 25, "histogram rows to print");
+  cli.parse(argc, argv);
+
+  std::vector<std::string> reads;
+  double expected_genome = 0.0;
+  if (!input.empty()) {
+    for (auto& rec : io::read_fastx_file(input))
+      reads.push_back(std::move(rec.seq));
+  } else {
+    const auto& spec = sim::dataset_by_name(dataset);
+    reads = sim::make_dataset_reads(spec, scale, 11);
+    expected_genome = static_cast<double>(spec.genome(scale).length);
+    std::printf("dataset %s at scale %g: %zu reads, true genome %s bases\n",
+                spec.name.c_str(), scale, reads.size(),
+                fmt_count(static_cast<std::uint64_t>(expected_genome)).c_str());
+  }
+
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.k = static_cast<int>(k);
+  cfg.canonical = true;  // spectra are strand-neutral
+  cfg.pes = static_cast<int>(pes);
+  cfg.pes_per_node = static_cast<int>(pes);
+  const core::RunReport report = core::count_kmers(reads, cfg);
+
+  const CountHistogram histo = kmer::count_histogram(report.counts);
+  std::printf("\nk-mer spectrum (count -> distinct k-mers):\n");
+  TextTable table({"count", "distinct"});
+  std::uint64_t printed = 0;
+  for (const auto& [c, n] : histo.bins()) {
+    if (printed++ >= static_cast<std::uint64_t>(rows)) break;
+    table.add_row({std::to_string(c), fmt_count(n)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  // Model fit (analysis/spectrum.hpp): error valley, coverage peak,
+  // genome size, error rate, repeat content.
+  const analysis::GenomeProfile p =
+      analysis::fit_spectrum(histo, cfg.k);
+  if (!p.valid) {
+    std::printf("\nspectrum fit failed (no genomic peak)\n");
+    return 1;
+  }
+  std::printf("\nerror cutoff (valley)    : %s\n",
+              fmt_count(p.error_cutoff).c_str());
+  std::printf("coverage peak            : %s\n",
+              fmt_count(p.coverage_peak).c_str());
+  std::printf("estimated error rate     : %.4f per base\n", p.error_rate);
+  std::printf("repetitive fraction      : %.2f%%\n",
+              100.0 * p.repetitive_fraction);
+  std::printf("estimated genome size    : %s bases\n",
+              fmt_count(static_cast<std::uint64_t>(p.genome_size)).c_str());
+  if (expected_genome > 0.0)
+    std::printf("true genome size         : %s bases (error %.1f%%)\n",
+                fmt_count(static_cast<std::uint64_t>(expected_genome)).c_str(),
+                100.0 * (p.genome_size - expected_genome) / expected_genome);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Scaling explorer: run any backend over a sweep of node counts on the
+// simulated cluster and print a strong-scaling table — a user-facing
+// wrapper around the machinery behind the paper's Figs. 7-10.
+//
+//   ./scaling_explorer --dataset synthetic22 --scale 0.01 \
+//       --backends dakc,hysortk,pakman* --nodes 1,2,4,8
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "sim/datasets.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+dakc::core::Backend backend_from_name(const std::string& name) {
+  using dakc::core::Backend;
+  if (name == "dakc") return Backend::kDakc;
+  if (name == "hysortk") return Backend::kHySortK;
+  if (name == "pakman*") return Backend::kPakManStar;
+  if (name == "pakman") return Backend::kPakMan;
+  if (name == "kmc3") return Backend::kKmc3;
+  if (name == "serial") return Backend::kSerial;
+  std::fprintf(stderr, "unknown backend: %s\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dakc;
+  CliParser cli("scaling_explorer",
+                "Strong-scaling sweep over the simulated cluster");
+  auto& dataset = cli.add_string("dataset", "synthetic22", "dataset name");
+  auto& scale = cli.add_double("scale", 1.0 / 128, "dataset scale factor");
+  auto& backends_arg = cli.add_string(
+      "backends", "dakc,hysortk,pakman*", "comma-separated backend list");
+  auto& nodes_arg = cli.add_string("nodes", "1,2,4,8",
+                                   "comma-separated node counts");
+  auto& cores = cli.add_int("cores-per-node", 4,
+                            "simulated cores (PEs) per node");
+  auto& k = cli.add_int("k", 31, "k-mer length");
+  auto& l3 = cli.add_flag("l3", false, "enable DAKC's L3 layer");
+  cli.parse(argc, argv);
+
+  const auto& spec = sim::dataset_by_name(dataset);
+  auto reads = sim::make_dataset_reads(spec, scale, 17);
+  std::printf("dataset %s at scale %g: %zu reads\n", spec.name.c_str(), scale,
+              reads.size());
+
+  TextTable table({"backend", "nodes", "PEs", "sim time", "speedup vs 1 node",
+                   "internode"});
+  for (const auto& bname : split(backends_arg, ',')) {
+    const core::Backend backend = backend_from_name(bname);
+    double t1 = 0.0;
+    for (const auto& nstr : split(nodes_arg, ',')) {
+      const int nodes = std::stoi(nstr);
+      core::CountConfig cfg;
+      cfg.backend = backend;
+      cfg.k = static_cast<int>(k);
+      cfg.pes = nodes * static_cast<int>(cores);
+      cfg.pes_per_node = static_cast<int>(cores);
+      cfg.machine.cores_per_node = static_cast<int>(cores);
+      cfg.l3_enabled = l3 && backend == core::Backend::kDakc;
+      cfg.gather_counts = false;
+      const core::RunReport r = core::count_kmers(reads, cfg);
+      if (r.oom) {
+        table.add_row({bname, nstr, std::to_string(cfg.pes), "OOM", "-", "-"});
+        continue;
+      }
+      if (t1 == 0.0) t1 = r.makespan;
+      table.add_row(
+          {bname, nstr, std::to_string(cfg.pes),
+           fmt_seconds(r.makespan), fmt_f(t1 / r.makespan, 2) + "x",
+           fmt_bytes(static_cast<double>(r.bytes_internode))});
+    }
+  }
+  std::printf("\n%s", table.render().c_str());
+  std::printf("\nTimes are simulated seconds on the Table IV Intel node "
+              "cluster model.\n");
+  return 0;
+}

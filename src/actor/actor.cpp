@@ -1,0 +1,102 @@
+#include "actor/actor.hpp"
+
+#include "util/check.hpp"
+
+namespace dakc::actor {
+
+namespace {
+// L1 staging descriptor: [dst:32 | len:16 | kind:8 | unused:8].
+constexpr std::uint64_t make_desc(int dst, std::size_t len,
+                                  std::uint8_t kind) {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) |
+         (static_cast<std::uint64_t>(len) << 32) |
+         (static_cast<std::uint64_t>(kind) << 48);
+}
+constexpr int desc_dst(std::uint64_t d) {
+  return static_cast<int>(d & 0xFFFFFFFFu);
+}
+constexpr std::size_t desc_len(std::uint64_t d) {
+  return static_cast<std::size_t>((d >> 32) & 0xFFFFu);
+}
+constexpr std::uint8_t desc_kind(std::uint64_t d) {
+  return static_cast<std::uint8_t>((d >> 48) & 0xFFu);
+}
+}  // namespace
+
+Actor::Actor(net::Pe& pe, ActorConfig config,
+             conveyor::ConveyorConfig conv_config)
+    : pe_(pe), config_(config), conveyor_(pe, conv_config) {
+  DAKC_CHECK(config_.l1_packets >= 1);
+  pe_.account_alloc(static_cast<double>(config_.l1_bytes));
+}
+
+Actor::~Actor() { pe_.account_free(static_cast<double>(config_.l1_bytes)); }
+
+void Actor::send(int dst, const std::uint64_t* words, std::size_t n,
+                 std::uint8_t kind) {
+  DAKC_CHECK_MSG(!done_, "send() after done() returned");
+  DAKC_CHECK(n >= 1);
+  ++sent_;
+  pe_.charge_compute_ops(config_.send_ops);
+  l1_.push_back(make_desc(dst, n, kind));
+  l1_.insert(l1_.end(), words, words + n);
+  if (++l1_count_ >= config_.l1_packets) drain_l1();
+  if (++sends_since_poll_ >= config_.poll_interval) {
+    sends_since_poll_ = 0;
+    progress();
+  }
+}
+
+void Actor::drain_l1() {
+  std::size_t i = 0;
+  while (i < l1_.size()) {
+    const std::uint64_t desc = l1_[i++];
+    const std::size_t n = desc_len(desc);
+    DAKC_ASSERT(i + n <= l1_.size());
+    conveyor_.push(desc_dst(desc), &l1_[i], n, desc_kind(desc));
+    i += n;
+  }
+  l1_.clear();
+  l1_count_ = 0;
+}
+
+void Actor::dispatch_ready() {
+  DAKC_CHECK_MSG(handler_, "no handler registered");
+  conveyor::Packet pkt;
+  while (conveyor_.pull(&pkt)) {
+    pe_.charge_compute_ops(config_.dispatch_ops);
+    handler_(pkt.kind, pkt.words.data(), pkt.words.size());
+    ++handled_;
+  }
+}
+
+void Actor::progress() {
+  conveyor_.progress();
+  dispatch_ready();
+}
+
+void Actor::done() {
+  DAKC_CHECK_MSG(!done_, "done() called twice");
+  drain_l1();
+  // Handlers may send() while we drain (messages spawning messages); the
+  // conveyor's quiescence protocol counts that follow-up traffic, so
+  // done() returns only when no handler produces more work anywhere.
+  conveyor_.finish([this] {
+    // Handlers may send to THIS PE: those packets are delivered locally
+    // by drain_l1(), so keep cycling until the local queue stays empty —
+    // otherwise the quiescence reduction could see matching global
+    // counters while undispatched work sits here.
+    do {
+      dispatch_ready();
+      drain_l1();
+    } while (conveyor_.has_ready());
+  });
+  dispatch_ready();
+  done_ = true;
+  // finish() guarantees global delivery and our rounds dispatched it all;
+  // one barrier makes "done() returned" mean "every handler ran
+  // everywhere", which is what the FA-BSP phase boundary promises.
+  pe_.barrier();
+}
+
+}  // namespace dakc::actor

@@ -1,0 +1,104 @@
+// Aggregation layer L1: an HClib-Actor-style runtime over the conveyor.
+//
+// The paper's DAKC is written against HClib Actor (Paul et al., JoCS
+// 2023): the application sends fine-grained messages to remote PEs and
+// registers a handler ("mailbox") that the runtime invokes for every
+// delivered message; the runtime hides all Conveyors interaction.
+//
+// This layer adds the paper's L1 aggregation: outgoing packets are staged
+// in a single per-PE FIFO of up to C1 packets (Table III: C1 = 1024,
+// ~264 KiB) before being moved into the conveyor's lanes. L1 exists so
+// the application keeps making progress when the conveyor's send buffers
+// are busy; in the simulator it also charges the (cheap) staging costs
+// the real runtime pays.
+//
+// Usage (SPMD):
+//   Actor actor(pe, actor_cfg, conveyor_cfg);
+//   actor.set_handler([&](std::uint8_t kind, const std::uint64_t* w,
+//                         std::size_t n) { ... });
+//   while (producing) actor.send(dst, words, n, kind);
+//   actor.done();   // collective: flush, quiesce, dispatch everything
+//
+// done() is the FA-BSP phase boundary: after it returns, every message
+// sent by any PE has been handled at its destination.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "conveyor/conveyor.hpp"
+#include "net/fabric.hpp"
+
+namespace dakc::actor {
+
+struct ActorConfig {
+  /// C1: packets staged in the L1 FIFO before draining to the conveyor.
+  std::size_t l1_packets = 1024;
+  /// Accounted L1 memory (Table III: 264 KiB = C1 * 264 B max packet).
+  std::size_t l1_bytes = 264 * 1024;
+  /// Modeled CPU ops per staged send (mailbox selection, descriptor
+  /// staging; ~hundreds of ns per message in actor runtimes).
+  double send_ops = 60.0;
+  /// Modeled CPU ops per handler dispatch (lambda invocation, type
+  /// dispatch) charged when a delivered packet is handed to the app.
+  double dispatch_ops = 60.0;
+  /// Dispatch arrived messages opportunistically every this many sends.
+  std::size_t poll_interval = 256;
+};
+
+class Actor {
+ public:
+  /// Handler invoked once per delivered packet.
+  using Handler =
+      std::function<void(std::uint8_t kind, const std::uint64_t* words,
+                         std::size_t n)>;
+
+  Actor(net::Pe& pe, ActorConfig config, conveyor::ConveyorConfig conv_config);
+  ~Actor();
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Send one packet of n words to PE dst (fine-grained async message).
+  void send(int dst, const std::uint64_t* words, std::size_t n,
+            std::uint8_t kind = 0);
+  void send(int dst, std::uint64_t word, std::uint8_t kind = 0) {
+    send(dst, &word, 1, kind);
+  }
+
+  /// Drain arrivals and dispatch them through the handler.
+  void progress();
+
+  /// Collective phase boundary: flush L1 + conveyor, drive global
+  /// quiescence, dispatch every remaining delivery. The handler may keep
+  /// send()ing while done() is draining (messages spawning messages);
+  /// done() returns only when the whole system is quiescent. May be
+  /// called once; send() after it returns throws.
+  void done();
+
+  // -- introspection -----------------------------------------------------
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t handled() const { return handled_; }
+  std::size_t l1_buffer_bytes() const { return config_.l1_bytes; }
+  const conveyor::Conveyor& conveyor() const { return conveyor_; }
+
+ private:
+  void drain_l1();
+  void dispatch_ready();
+
+  net::Pe& pe_;
+  ActorConfig config_;
+  conveyor::Conveyor conveyor_;
+  Handler handler_;
+  // L1 staging FIFO, serialized as [desc | words...]* like conveyor lanes.
+  std::vector<std::uint64_t> l1_;
+  std::size_t l1_count_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t handled_ = 0;
+  std::size_t sends_since_poll_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace dakc::actor

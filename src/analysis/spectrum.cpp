@@ -1,0 +1,78 @@
+#include "analysis/spectrum.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dakc::analysis {
+
+namespace {
+
+/// Histogram value at count c (0 when absent).
+std::uint64_t at(const CountHistogram& h, std::uint64_t c) { return h.at(c); }
+
+/// First local minimum of the histogram: smallest c with
+/// n(c) <= n(c+1) and n(c) < n(1) (the error spike must be decreasing
+/// into the valley).
+std::uint64_t find_valley(const CountHistogram& h, std::uint64_t limit) {
+  const std::uint64_t n1 = at(h, 1);
+  if (n1 == 0) return 1;  // no error spike at all
+  for (std::uint64_t c = 2; c <= limit; ++c) {
+    if (at(h, c) <= at(h, c + 1) && at(h, c) < n1) return c;
+  }
+  return 0;
+}
+
+}  // namespace
+
+GenomeProfile fit_spectrum(const CountHistogram& h, int k,
+                           const SpectrumFitOptions& options) {
+  DAKC_CHECK(k >= 1);
+  GenomeProfile p;
+  if (h.distinct() == 0) return p;
+
+  const std::uint64_t max_count = h.max_count();
+  std::uint64_t valley = find_valley(
+      h, std::min<std::uint64_t>(options.max_valley_search, max_count));
+  if (valley == 0) {
+    // Monotone spectrum (no separable error spike): treat everything as
+    // genomic.
+    valley = 1;
+  }
+  p.error_cutoff = valley;
+  p.coverage_peak = h.mode_in(valley + (valley > 1 ? 0 : 0), max_count);
+  if (p.coverage_peak == 0) return p;
+
+  // Totals above/below the error boundary.
+  std::uint64_t genomic_instances = 0;
+  std::uint64_t error_instances = 0;
+  double repeat_bases = 0.0;
+  const double repeat_cut =
+      options.repeat_factor * static_cast<double>(p.coverage_peak);
+  for (const auto& [c, n] : h.bins()) {
+    const std::uint64_t inst = c * n;
+    if (c < valley) {
+      error_instances += inst;
+      continue;
+    }
+    genomic_instances += inst;
+    if (static_cast<double>(c) > repeat_cut)
+      repeat_bases += static_cast<double>(inst);
+  }
+  if (genomic_instances == 0) return p;
+
+  p.genome_size = static_cast<double>(genomic_instances) /
+                  static_cast<double>(p.coverage_peak);
+  p.error_kmer_fraction =
+      static_cast<double>(error_instances) /
+      static_cast<double>(error_instances + genomic_instances);
+  // An erroneous base corrupts ~k windows, so the fraction of k-mer
+  // instances that are erroneous ~= 1 - (1-e)^k ~= k*e for small e.
+  p.error_rate = p.error_kmer_fraction / static_cast<double>(k);
+  p.repetitive_fraction =
+      repeat_bases / static_cast<double>(genomic_instances);
+  p.valid = true;
+  return p;
+}
+
+}  // namespace dakc::analysis

@@ -1,0 +1,51 @@
+// k-mer spectrum analysis: turn a count histogram into a genome profile.
+//
+// This is the downstream consumer the paper's introduction motivates
+// (genome-assembly profiling, quality assessment): from the histogram of
+// k-mer counts of a sequencing run, estimate the error boundary, the
+// coverage depth, the genome size, the sequencing error rate, and the
+// repetitive fraction — the same quantities GenomeScope-class tools
+// report.
+//
+// Method (deliberately closed-form, not an EM fit): sequencing errors
+// create a spike of low-count k-mers; the first valley of the histogram
+// separates it from the genomic (roughly Poisson around k-mer coverage)
+// peak. Genome size follows from total genomic k-mers / coverage peak;
+// k-mers far above the peak are repeat-derived.
+#pragma once
+
+#include <cstdint>
+
+#include "util/histogram.hpp"
+
+namespace dakc::analysis {
+
+struct GenomeProfile {
+  /// First histogram valley: counts below this are treated as errors.
+  std::uint64_t error_cutoff = 0;
+  /// Mode of the genomic part of the spectrum (k-mer coverage depth).
+  std::uint64_t coverage_peak = 0;
+  /// Estimated haploid genome length in bases.
+  double genome_size = 0.0;
+  /// Estimated per-base substitution error rate.
+  double error_rate = 0.0;
+  /// Fraction of the genome in high-copy (repeat) k-mers
+  /// (count > repeat_factor * coverage_peak).
+  double repetitive_fraction = 0.0;
+  /// Fraction of k-mer instances attributed to errors.
+  double error_kmer_fraction = 0.0;
+  bool valid = false;  ///< false when no genomic peak could be found
+};
+
+struct SpectrumFitOptions {
+  /// Counts above factor * peak are classified as repeat-derived.
+  double repeat_factor = 2.5;
+  /// Give up searching for the valley past this count.
+  std::uint64_t max_valley_search = 1000;
+};
+
+/// Fit a profile to the count histogram of a k-mer counting run.
+GenomeProfile fit_spectrum(const CountHistogram& histogram, int k,
+                           const SpectrumFitOptions& options = {});
+
+}  // namespace dakc::analysis

@@ -1,0 +1,160 @@
+#include "baseline/bsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kmer/extract.hpp"
+#include "sort/accumulate.hpp"
+#include "sort/radix.hpp"
+#include "util/check.hpp"
+
+namespace dakc::baseline {
+
+namespace {
+
+/// k-mers PE `rank` will generate from its slice (exact, cheap).
+std::uint64_t slice_kmers(const std::vector<std::string>& reads, int k,
+                          int pes, int rank) {
+  const auto [begin, end] = core::read_slice(reads.size(), pes, rank);
+  std::uint64_t n = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (reads[i].size() >= static_cast<std::size_t>(k))
+      n += reads[i].size() - static_cast<std::size_t>(k) + 1;
+  }
+  return n;
+}
+
+/// Charge a comparison sort (PakMan's quicksort): ~1.5 n log2 n ops and
+/// one 8-byte stream per level.
+void charge_comparison_sort(net::Pe& pe, std::size_t n,
+                            std::size_t elem_bytes) {
+  if (n < 2) return;
+  const double levels = std::log2(static_cast<double>(n));
+  pe.charge_compute_ops(1.5 * static_cast<double>(n) * levels);
+  pe.charge_mem_bytes(static_cast<double>(n * elem_bytes) * levels);
+}
+
+}  // namespace
+
+std::uint64_t bsp_rounds(const std::vector<std::string>& reads, int k,
+                         int pes, std::uint64_t batch) {
+  std::uint64_t max_kmers = 0;
+  for (int r = 0; r < pes; ++r)
+    max_kmers = std::max(max_kmers, slice_kmers(reads, k, pes, r));
+  return (max_kmers + batch - 1) / batch + (max_kmers ? 0 : 1);
+}
+
+void run_bsp_pe(net::Pe& pe, const std::vector<std::string>& reads,
+                const core::CountConfig& config, const BspOptions& opts,
+                core::PeOutput* out) {
+  const int k = config.k;
+  const int pes = pe.size();
+  const std::uint64_t batch = std::max<std::uint64_t>(config.batch, 1);
+
+  // Agree on the number of exchange rounds (ceil of the largest slice's
+  // k-mer count over the batch size); pad with empty exchanges.
+  const std::uint64_t my_kmers = slice_kmers(reads, k, pes, pe.rank());
+  const std::uint64_t rounds = std::max<std::uint64_t>(
+      pe.allreduce_max((my_kmers + batch - 1) / batch), 1);
+
+  std::vector<std::vector<std::uint64_t>> send(pes);
+  std::vector<kmer::KmerCount64> local;  // T_r as {kmer, count} pairs
+  double accounted = 0.0;
+  net::CollectiveHandle pending;
+
+  auto absorb = [&](std::vector<std::vector<std::uint64_t>> recv) {
+    for (auto& slice : recv) {
+      if (config.bsp_local_accumulate) {
+        // Slices carry {kmer, count} pairs (FlushBuffer pre-accumulated).
+        DAKC_CHECK(slice.size() % 2 == 0);
+        for (std::size_t j = 0; j + 1 < slice.size(); j += 2)
+          local.push_back({slice[j], slice[j + 1]});
+      } else {
+        for (std::uint64_t word : slice) local.push_back({word, 1});
+      }
+      pe.charge_mem_bytes(static_cast<double>(slice.size()) * 16.0);
+    }
+    const double now_bytes = static_cast<double>(local.size()) * 16.0;
+    if (now_bytes > accounted) {
+      pe.account_alloc(now_bytes - accounted);
+      accounted = now_bytes;
+    }
+  };
+
+  auto flush = [&](bool last) {
+    // The pseudocode's FlushBuffer pre-accumulates each send buffer and
+    // exchanges {kmer, count} pairs instead of raw k-mers.
+    if (config.bsp_local_accumulate) {
+      for (auto& buf : send) {
+        if (buf.empty()) continue;
+        const sort::SortStats st = sort::lsd_radix_sort(buf);
+        core::charge_sort(pe, st, 8);
+        const auto pairs = sort::accumulate(buf);
+        pe.charge_mem_bytes(static_cast<double>(buf.size()) * 8.0);
+        buf.clear();
+        buf.reserve(pairs.size() * 2);
+        for (const auto& kc : pairs) {
+          buf.push_back(kc.kmer);
+          buf.push_back(kc.count);
+        }
+      }
+    }
+    if (opts.nonblocking) {
+      if (pending.valid()) absorb(pe.wait(pending));
+      pending = pe.ialltoallv(std::move(send));
+      if (last) absorb(pe.wait(pending));
+    } else {
+      absorb(pe.alltoallv(std::move(send)));
+      if (opts.barrier_per_round) pe.barrier();
+    }
+    send.assign(pes, {});
+  };
+
+  const auto [begin, end] = core::read_slice(reads.size(), pes, pe.rank());
+  std::uint64_t in_batch = 0;
+  std::uint64_t flushed = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& read = reads[i];
+    const std::size_t emitted = kmer::for_each_kmer(read, k, [&](kmer::Kmer64 km) {
+      if (config.canonical) km = kmer::canonical(km, k);
+      send[kmer::owner_pe(km, pes)].push_back(km);
+      if (++in_batch == batch) {
+        flush(false);
+        ++flushed;
+        in_batch = 0;
+      }
+    });
+    core::charge_parse(pe, read.size(), emitted);
+  }
+  // Final (possibly empty) rounds so every PE joins every collective.
+  while (flushed < rounds) {
+    ++flushed;
+    flush(flushed == rounds);
+  }
+  if (pending.valid()) absorb(pe.wait(pending));
+  pe.barrier();
+  out->phase1_end = pe.now();
+
+  // Phase 2: sort + accumulate.
+  if (opts.radix_sort) {
+    core::sort_and_accumulate_local(pe, local, out);
+  } else {
+    std::sort(local.begin(), local.end(),
+              [](const kmer::KmerCount64& a, const kmer::KmerCount64& b) {
+                return a.kmer < b.kmer;
+              });
+    charge_comparison_sort(pe, local.size(), sizeof(kmer::KmerCount64));
+    if (!local.empty()) {
+      sort::accumulate_pairs_inplace(local);
+      pe.charge_mem_bytes(static_cast<double>(local.size()) * 16.0);
+      pe.charge_compute_ops(static_cast<double>(local.size()));
+    }
+    out->counts = std::move(local);
+    out->phase2_end = pe.now();
+  }
+  if (accounted > 0.0) pe.account_free(accounted);
+  pe.barrier();
+  out->phase2_end = pe.now();
+}
+
+}  // namespace dakc::baseline

@@ -1,0 +1,41 @@
+// Algorithm 2: the BSP k-mer counter built on Many-To-Many collectives.
+//
+// Three published systems map onto this kernel:
+//   * PakMan      — blocking collectives + comparison sort (quicksort)
+//   * PakMan*     — blocking collectives + LSD radix sort (the paper's
+//                   strengthened baseline, Fig. 6)
+//   * HySortK     — non-blocking collectives (overlap with parsing) +
+//                   node-level hybrid parallelism; the driver models the
+//                   MPI+OpenMP hybrid by running one full-rate PE per
+//                   node (see driver.cpp).
+//
+// Every PE parses its read slice in batches of `batch` k-mers; each batch
+// boundary is a collective exchange. Since slices carry different k-mer
+// counts, PEs first agree (allreduce) on the global number of rounds and
+// pad with empty exchanges — the synchronization-count term ceil(mn/bP)
+// in the paper's eq. 1, made explicit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace dakc::baseline {
+
+struct BspOptions {
+  bool nonblocking = false;     ///< HySortK-style overlap
+  bool radix_sort = true;       ///< false = PakMan's quicksort
+  bool barrier_per_round = true;///< BSP superstep barrier (blocking mode)
+};
+
+void run_bsp_pe(net::Pe& pe, const std::vector<std::string>& reads,
+                const core::CountConfig& config, const BspOptions& opts,
+                core::PeOutput* out);
+
+/// Number of collective rounds a BSP run with these inputs performs
+/// (diagnostic; the sync-count the paper's eq. 1 charges).
+std::uint64_t bsp_rounds(const std::vector<std::string>& reads, int k,
+                         int pes, std::uint64_t batch);
+
+}  // namespace dakc::baseline

@@ -1,0 +1,115 @@
+#include "baseline/kmc3.hpp"
+
+#include <algorithm>
+
+#include "kmer/extract.hpp"
+#include "sort/accumulate.hpp"
+#include "sort/radix.hpp"
+#include "util/check.hpp"
+
+namespace dakc::baseline {
+
+namespace {
+
+/// Packed-base bytes of a super-k-mer run of `run` k-mers (2 bits/base).
+double superkmer_wire_bytes(std::size_t run, int k) {
+  const double bases = static_cast<double>(run) + static_cast<double>(k) - 1.0;
+  return bases / 4.0 + 4.0;  // + a small run header
+}
+
+}  // namespace
+
+void run_kmc3_pe(net::Pe& pe, const std::vector<std::string>& reads,
+                 const core::CountConfig& config, const Kmc3Options& opts,
+                 core::PeOutput* out) {
+  DAKC_CHECK_MSG(pe.node_count() == 1,
+                 "KMC3 backend is shared-memory: all PEs must share a node");
+  const int k = config.k;
+  const int pes = pe.size();
+
+  // Per-destination buffers: [run_len | kmers...]* plus the modeled wire
+  // size of the packed super-k-mers.
+  std::vector<std::vector<std::uint64_t>> buf(pes);
+  std::vector<double> wire(pes, 0.0);
+  std::vector<kmer::KmerCount64> local;
+  double accounted = 0.0;
+
+  auto drain = [&] {
+    net::Message msg;
+    while (pe.try_recv(&msg)) {
+      const auto& w = msg.payload;
+      std::size_t i = 0;
+      while (i < w.size()) {
+        const auto run = static_cast<std::size_t>(w[i++]);
+        DAKC_CHECK(i + run <= w.size());
+        for (std::size_t j = 0; j < run; ++j)
+          local.push_back({w[i + j], 1});
+        // Expanding a super-k-mer rebuilds each k-mer from bases.
+        pe.charge_compute_ops(static_cast<double>(run));
+        i += run;
+      }
+      const double now_bytes = static_cast<double>(local.size()) * 16.0;
+      if (now_bytes > accounted) {
+        pe.account_alloc(now_bytes - accounted);
+        accounted = now_bytes;
+      }
+    }
+  };
+
+  auto flush = [&](int dst) {
+    if (buf[dst].empty()) return;
+    std::vector<std::uint64_t> payload;
+    payload.swap(buf[dst]);
+    pe.put(dst, std::move(payload), net::Pe::kAppTag, wire[dst]);
+    wire[dst] = 0.0;
+  };
+
+  // Current super-k-mer run state.
+  int run_dst = -1;
+  std::size_t run_begin = 0;  // index into buf[run_dst] of the run header
+
+  auto end_run = [&] {
+    if (run_dst < 0) return;
+    const std::size_t run_len = buf[run_dst].size() - run_begin - 1;
+    buf[run_dst][run_begin] = run_len;
+    wire[run_dst] += superkmer_wire_bytes(run_len, k);
+    if (buf[run_dst].size() >= opts.buffer_words) flush(run_dst);
+    run_dst = -1;
+  };
+
+  const auto [begin, end] = core::read_slice(reads.size(), pes, pe.rank());
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& read = reads[i];
+    const std::size_t emitted =
+        kmer::for_each_kmer(read, k, [&](kmer::Kmer64 km) {
+          if (config.canonical) km = kmer::canonical(km, k);
+          const auto bin = static_cast<int>(
+              kmer::minimizer(km, k, opts.minimizer_len) %
+              static_cast<std::uint64_t>(pes));
+          if (bin != run_dst) {
+            end_run();
+            run_dst = bin;
+            run_begin = buf[bin].size();
+            buf[bin].push_back(0);  // run header placeholder
+          }
+          buf[run_dst].push_back(km);
+          // One extra op per k-mer for the rolling minimizer update.
+          pe.charge_compute_ops(1.0);
+        });
+    end_run();
+    core::charge_parse(pe, read.size(), emitted);
+    drain();
+  }
+  for (int d = 0; d < pes; ++d) flush(d);
+  pe.barrier();  // intranode arrivals all precede the barrier release
+  drain();
+  pe.barrier();
+  out->phase1_end = pe.now();
+
+  core::sort_and_accumulate_local(pe, local, out);
+  if (accounted > 0.0) pe.account_free(accounted);
+  pe.barrier();
+  out->phase2_end = pe.now();
+}
+
+}  // namespace dakc::baseline

@@ -1,0 +1,34 @@
+// KMC3-style shared-memory counter: minimizer binning + super-k-mers.
+//
+// KMC3 (Kokot et al. 2017) assigns each k-mer to a bin by its
+// *minimizer* (smallest m-mer inside it), writes bins out as
+// super-k-mers — a run of consecutive k-mers sharing a minimizer is
+// stored once as its (run + k - 1) bases — and then radix-sorts each bin.
+// We reproduce that pipeline on one simulated node: every PE parses a
+// read slice, groups consecutive same-bin k-mers into super-k-mer runs,
+// and ships runs to the bin-owner PE over the intranode (memcpy-cost)
+// fabric with the wire size of the *packed bases*, which is where KMC3's
+// bandwidth advantage comes from. Bin owners expand runs and finish with
+// the hybrid radix sort.
+//
+// Run with pes == pes_per_node (a single node); the driver enforces it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace dakc::baseline {
+
+struct Kmc3Options {
+  int minimizer_len = 7;
+  /// Flush a per-destination buffer once it holds this many words.
+  std::size_t buffer_words = 8192;
+};
+
+void run_kmc3_pe(net::Pe& pe, const std::vector<std::string>& reads,
+                 const core::CountConfig& config, const Kmc3Options& opts,
+                 core::PeOutput* out);
+
+}  // namespace dakc::baseline

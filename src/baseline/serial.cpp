@@ -1,0 +1,57 @@
+#include "baseline/serial.hpp"
+
+#include "kmer/extract.hpp"
+#include "sort/accumulate.hpp"
+#include "sort/radix.hpp"
+
+namespace dakc::baseline {
+
+std::vector<kmer::KmerCount64> serial_count(
+    const std::vector<std::string>& reads, int k, bool canonical) {
+  std::vector<kmer::Kmer64> all;
+  for (const auto& read : reads) {
+    kmer::for_each_kmer(read, k, [&](kmer::Kmer64 km) {
+      all.push_back(canonical ? kmer::canonical(km, k) : km);
+    });
+  }
+  sort::hybrid_radix_sort(all);
+  return sort::accumulate(all);
+}
+
+void run_serial_pe(net::Pe& pe, const std::vector<std::string>& reads,
+                   const core::CountConfig& config, core::PeOutput* out) {
+  if (pe.rank() != 0) {
+    pe.barrier();  // phase boundary
+    out->phase1_end = pe.now();
+    pe.barrier();
+    out->phase2_end = pe.now();
+    return;
+  }
+  const int k = config.k;
+  std::vector<kmer::Kmer64> all;
+  for (const auto& read : reads) {
+    const std::size_t emitted =
+        kmer::for_each_kmer(read, k, [&](kmer::Kmer64 km) {
+          all.push_back(config.canonical ? kmer::canonical(km, k) : km);
+        });
+    core::charge_parse(pe, read.size(), emitted);
+  }
+  pe.account_alloc(static_cast<double>(all.size()) * 8.0);
+  pe.barrier();
+  out->phase1_end = pe.now();
+
+  const sort::SortStats stats = sort::hybrid_radix_sort(all);
+  core::charge_sort(pe, stats, sizeof(kmer::Kmer64));
+  out->counts.clear();
+  {
+    auto accumulated = sort::accumulate(all);
+    pe.charge_mem_bytes(static_cast<double>(all.size()) * 8.0);
+    pe.charge_compute_ops(static_cast<double>(all.size()));
+    out->counts = std::move(accumulated);
+  }
+  pe.account_free(static_cast<double>(all.size()) * 8.0);
+  pe.barrier();
+  out->phase2_end = pe.now();
+}
+
+}  // namespace dakc::baseline

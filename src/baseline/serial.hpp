@@ -1,0 +1,26 @@
+// Algorithm 1: the serial, sorting-based reference counter.
+//
+// serial_count() is the correctness oracle for every other backend (the
+// property tests require bit-identical results); run_serial_pe() is the
+// same algorithm with DES cost charging, used when the serial backend is
+// requested through the count_kmers() facade.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+#include "kmer/count.hpp"
+
+namespace dakc::baseline {
+
+/// Host-side reference: extract, sort, accumulate. No costs, no fabric.
+std::vector<kmer::KmerCount64> serial_count(
+    const std::vector<std::string>& reads, int k, bool canonical = false);
+
+/// DES-instrumented serial run (1 PE expected, but tolerates more by
+/// having rank 0 do all the work).
+void run_serial_pe(net::Pe& pe, const std::vector<std::string>& reads,
+                   const core::CountConfig& config, core::PeOutput* out);
+
+}  // namespace dakc::baseline

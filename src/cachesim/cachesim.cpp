@@ -1,0 +1,86 @@
+#include "cachesim/cachesim.hpp"
+
+#include "util/check.hpp"
+
+namespace dakc::cachesim {
+
+CacheSim::CacheSim(CacheConfig config) : config_(config) {
+  DAKC_CHECK(config_.line_bytes >= 8 &&
+             (config_.line_bytes & (config_.line_bytes - 1)) == 0);
+  DAKC_CHECK(config_.ways >= 1);
+  sets_ = config_.size_bytes / (config_.line_bytes * config_.ways);
+  DAKC_CHECK_MSG(sets_ >= 1, "cache smaller than one set");
+  tags_.assign(sets_ * config_.ways, 0);
+  last_use_.assign(sets_ * config_.ways, 0);
+}
+
+std::uint64_t CacheSim::alloc_region(std::uint64_t bytes) {
+  const std::uint64_t base = next_region_;
+  // Pad to a line boundary plus a guard line so regions never share lines.
+  const std::uint64_t line = config_.line_bytes;
+  next_region_ += ((bytes + line - 1) / line + 1) * line;
+  return base;
+}
+
+void CacheSim::touch_line(std::uint64_t line_addr) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint64_t set = (line_addr / config_.line_bytes) % sets_;
+  std::uint64_t* tags = &tags_[set * config_.ways];
+  std::uint64_t* uses = &last_use_[set * config_.ways];
+  std::uint32_t lru_way = 0;
+  std::uint64_t lru_tick = ~0ULL;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (tags[w] == line_addr) {
+      uses[w] = tick_;
+      return;  // hit
+    }
+    if (uses[w] < lru_tick) {
+      lru_tick = uses[w];
+      lru_way = w;
+    }
+  }
+  ++stats_.misses;
+  if (tags[lru_way] != 0) ++stats_.evictions;
+  tags[lru_way] = line_addr;
+  uses[lru_way] = tick_;
+}
+
+void CacheSim::access(std::uint64_t addr, std::uint64_t bytes) {
+  DAKC_CHECK(bytes >= 1);
+  const std::uint64_t line = config_.line_bytes;
+  const std::uint64_t first = addr / line;
+  const std::uint64_t last = (addr + bytes - 1) / line;
+  for (std::uint64_t l = first; l <= last; ++l) touch_line(l * line);
+}
+
+void CacheSim::stream(std::uint64_t addr, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  access(addr, bytes);
+}
+
+void CacheSim::multi_stream_append(std::uint64_t addr, std::uint64_t items,
+                                   std::uint32_t item_bytes,
+                                   std::uint32_t streams, Xoshiro256& rng) {
+  DAKC_CHECK(streams >= 1);
+  // Give each stream an equal slice of the region.
+  const std::uint64_t slice = items / streams + 1;
+  std::vector<std::uint64_t> offset(streams, 0);
+  for (std::uint64_t i = 0; i < items; ++i) {
+    const auto s = static_cast<std::uint32_t>(rng.below(streams));
+    const std::uint64_t pos =
+        addr + (static_cast<std::uint64_t>(s) * slice + offset[s]) * item_bytes;
+    access(pos, item_bytes);
+    if (offset[s] + 1 < slice) ++offset[s];
+  }
+}
+
+void CacheSim::random_scatter(std::uint64_t addr, std::uint64_t region_bytes,
+                              std::uint64_t accesses, std::uint32_t item_bytes,
+                              Xoshiro256& rng) {
+  DAKC_CHECK(region_bytes >= item_bytes);
+  for (std::uint64_t i = 0; i < accesses; ++i)
+    access(addr + rng.below(region_bytes - item_bytes + 1), item_bytes);
+}
+
+}  // namespace dakc::cachesim

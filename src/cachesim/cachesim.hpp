@@ -1,0 +1,88 @@
+// Set-associative LRU cache simulator — the stand-in for PAPI's
+// last-level-cache miss counters (paper Fig. 3).
+//
+// The analytical model (Section V) predicts LLC misses with closed forms
+// that assume an *optimal* replacement policy and perfect balance. The
+// paper validates those predictions against hardware counters; we
+// validate them against this simulator instead: the k-mer workload's
+// actual access streams (sized by what the run really did — real k-mer
+// counts, real pass counts) are replayed through an LRU cache with the
+// Phoenix node's geometry (Z = 38 MB, L = 64 B). LRU ≥ optimal misses,
+// so measured >= predicted, exactly the relationship Fig. 3 reports.
+//
+// Addresses live in a private virtual space handed out by alloc_region();
+// the replay helpers cover the three access shapes k-mer counting uses:
+// sequential streams, multi-stream appends (radix scatter into 256
+// buckets), and random scatter (hash-table-style probes, used by tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dakc::cachesim {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 38ull * 1024 * 1024;  ///< Z (Table IV)
+  std::uint32_t line_bytes = 64;                   ///< L (Table IV)
+  std::uint32_t ways = 16;
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;  ///< line-granularity accesses
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  double miss_rate() const {
+    return accesses ? static_cast<double>(misses) / static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+class CacheSim {
+ public:
+  explicit CacheSim(CacheConfig config = {});
+
+  /// Reserve a `bytes`-long region; returns its base address.
+  std::uint64_t alloc_region(std::uint64_t bytes);
+
+  /// Touch one byte-range (split into line accesses).
+  void access(std::uint64_t addr, std::uint64_t bytes);
+
+  /// Sequentially stream `bytes` starting at `addr` (read or write makes
+  /// no difference to an inclusive LRU model).
+  void stream(std::uint64_t addr, std::uint64_t bytes);
+
+  /// Append `items` records of `item_bytes` each into `streams` concurrent
+  /// sub-streams of the region at `addr` (radix scatter: each item goes to
+  /// a pseudo-random stream, streams advance independently). Region must
+  /// hold items*item_bytes.
+  void multi_stream_append(std::uint64_t addr, std::uint64_t items,
+                           std::uint32_t item_bytes, std::uint32_t streams,
+                           Xoshiro256& rng);
+
+  /// `accesses` random touches of `item_bytes` within [addr, addr+bytes).
+  void random_scatter(std::uint64_t addr, std::uint64_t region_bytes,
+                      std::uint64_t accesses, std::uint32_t item_bytes,
+                      Xoshiro256& rng);
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+  const CacheConfig& config() const { return config_; }
+  std::uint64_t sets() const { return sets_; }
+
+ private:
+  void touch_line(std::uint64_t line_addr);
+
+  CacheConfig config_;
+  std::uint64_t sets_;
+  // tags_[set*ways + way]; 0 = empty (addresses start above 0).
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> last_use_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t next_region_ = 1 << 12;  // leave page 0 unused
+  CacheStats stats_;
+};
+
+}  // namespace dakc::cachesim

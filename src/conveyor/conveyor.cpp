@@ -1,0 +1,266 @@
+#include "conveyor/conveyor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dakc::conveyor {
+
+namespace {
+
+// Descriptor word layout: [dst:32 | len:16 | kind:8 | hops:8].
+constexpr std::uint64_t make_descriptor(int dst, std::size_t len,
+                                        std::uint8_t kind,
+                                        std::uint8_t hops) {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) |
+         (static_cast<std::uint64_t>(len) << 32) |
+         (static_cast<std::uint64_t>(kind) << 48) |
+         (static_cast<std::uint64_t>(hops) << 56);
+}
+constexpr int desc_dst(std::uint64_t d) {
+  return static_cast<int>(d & 0xFFFFFFFFu);
+}
+constexpr std::size_t desc_len(std::uint64_t d) {
+  return static_cast<std::size_t>((d >> 32) & 0xFFFFu);
+}
+constexpr std::uint8_t desc_kind(std::uint64_t d) {
+  return static_cast<std::uint8_t>((d >> 48) & 0xFFu);
+}
+constexpr std::uint8_t desc_hops(std::uint64_t d) {
+  return static_cast<std::uint8_t>((d >> 56) & 0xFFu);
+}
+
+int int_ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::k1D: return "1D";
+    case Protocol::k2D: return "2D";
+    case Protocol::k3D: return "3D";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+Router::Router(Protocol protocol, int pes) : protocol_(protocol), pes_(pes) {
+  DAKC_CHECK(pes >= 1);
+  if (protocol_ == Protocol::k2D) {
+    cols_ = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(pes))));
+    cols_ = std::max(cols_, 1);
+    rows_ = int_ceil_div(pes, cols_);
+  } else if (protocol_ == Protocol::k3D) {
+    ax_ = static_cast<int>(std::ceil(std::cbrt(static_cast<double>(pes))));
+    ax_ = std::max(ax_, 1);
+    ay_ = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(int_ceil_div(pes, ax_)))));
+    ay_ = std::max(ay_, 1);
+    az_ = int_ceil_div(pes, ax_ * ay_);
+  }
+}
+
+int Router::next_hop(int self, int dst) const {
+  DAKC_ASSERT(self != dst);
+  DAKC_ASSERT(dst >= 0 && dst < pes_);
+  switch (protocol_) {
+    case Protocol::k1D:
+      return dst;
+    case Protocol::k2D: {
+      const int cs = self % cols_, rs = self / cols_;
+      const int cd = dst % cols_, rd = dst / cols_;
+      if (cs == cd) return dst;  // one hop down the column
+      const int via = rs * cols_ + cd;  // fix column within my row
+      if (via < pes_) return via;
+      // My row lacks that column (ragged last row): fix the row first.
+      const int alt = rd * cols_ + cs;
+      if (alt < pes_ && alt != self) return alt;
+      return dst;  // degenerate geometry: go direct
+    }
+    case Protocol::k3D: {
+      const int xs = self % ax_, ys = (self / ax_) % ay_,
+                zs = self / (ax_ * ay_);
+      const int xd = dst % ax_, yd = (dst / ax_) % ay_,
+                zd = dst / (ax_ * ay_);
+      auto idx = [&](int x, int y, int z) { return x + ax_ * (y + ay_ * z); };
+      if (xs != xd) {
+        const int via = idx(xd, ys, zs);
+        if (via < pes_) return via;
+        return dst;
+      }
+      if (ys != yd) {
+        const int via = idx(xs, yd, zs);
+        if (via < pes_) return via;
+        return dst;
+      }
+      (void)zd;
+      return dst;  // only z differs: one hop
+    }
+  }
+  return dst;
+}
+
+int Router::hops(int src, int dst) const {
+  int h = 0;
+  int cur = src;
+  while (cur != dst) {
+    cur = next_hop(cur, dst);
+    ++h;
+    DAKC_CHECK_MSG(h <= 4, "routing cycle detected");
+  }
+  return h;
+}
+
+int Router::max_lanes(int self) const {
+  (void)self;
+  switch (protocol_) {
+    case Protocol::k1D:
+      return std::max(pes_ - 1, 1);
+    case Protocol::k2D:
+      return std::max((cols_ - 1) + (rows_ - 1), 1);
+    case Protocol::k3D:
+      return std::max((ax_ - 1) + (ay_ - 1) + (az_ - 1), 1);
+  }
+  return pes_;
+}
+
+// ---------------------------------------------------------------------------
+// Conveyor
+// ---------------------------------------------------------------------------
+
+Conveyor::Conveyor(net::Pe& pe, ConveyorConfig config)
+    : pe_(pe),
+      config_(config),
+      router_(config.protocol, pe.size()),
+      header_wire_bytes_(config.protocol == Protocol::k1D ? 0.0 : 4.0),
+      lane_capacity_words_(config.lane_bytes / 8) {
+  DAKC_CHECK_MSG(lane_capacity_words_ >= 16,
+                 "lane_bytes too small to hold packets");
+}
+
+Conveyor::~Conveyor() {
+  pe_.account_free(static_cast<double>(lane_buffer_bytes()));
+}
+
+std::size_t Conveyor::lane_buffer_bytes() const {
+  return lanes_.size() * config_.lane_bytes;
+}
+
+void Conveyor::push(int dst, const std::uint64_t* words, std::size_t n,
+                    std::uint8_t kind) {
+  DAKC_CHECK_MSG(!finished_, "push() after finish() completed");
+  DAKC_CHECK(n >= 1 && n < lane_capacity_words_);
+  ++injected_;
+  pe_.charge_compute_ops(config_.push_ops);
+  pe_.charge_mem_bytes(static_cast<double>(n) * 8.0);
+  if (dst == pe_.rank()) {
+    deliver_local(kind, words, n, 0);
+    return;
+  }
+  route(dst, words, n, kind, 0);
+}
+
+void Conveyor::route(int dst, const std::uint64_t* words, std::size_t n,
+                     std::uint8_t kind, std::uint8_t hops) {
+  const int next = router_.next_hop(pe_.rank(), dst);
+  auto [it, inserted] = lanes_.try_emplace(next);
+  Lane& lane = it->second;
+  if (inserted) {
+    // Account the lane at full capacity (the real library allocates it
+    // up front: Table III / Fig. 2) but let the host vector grow lazily
+    // so high-PE simulations stay affordable.
+    pe_.account_alloc(static_cast<double>(config_.lane_bytes));
+  }
+  lane.words.push_back(make_descriptor(dst, n, kind,
+                                       static_cast<std::uint8_t>(hops + 1)));
+  lane.words.insert(lane.words.end(), words, words + n);
+  lane.wire_bytes += header_wire_bytes_ + static_cast<double>(n) * 8.0;
+  if (lane.words.size() + 1 >= lane_capacity_words_) flush_lane(next, lane);
+}
+
+void Conveyor::flush_lane(int next_hop, Lane& lane) {
+  if (lane.words.empty()) return;
+  const double wire = lane.wire_bytes;
+  std::vector<std::uint64_t> out;
+  out.swap(lane.words);
+  lane.wire_bytes = 0.0;
+  pe_.put(next_hop, std::move(out), net::Pe::kAppTag, wire);
+}
+
+void Conveyor::flush_all() {
+  for (auto& [next, lane] : lanes_) flush_lane(next, lane);
+}
+
+void Conveyor::deliver_local(std::uint8_t kind, const std::uint64_t* words,
+                             std::size_t n, std::uint8_t hops) {
+  Packet pkt;
+  pkt.kind = kind;
+  pkt.words.assign(words, words + n);
+  ready_.push_back(std::move(pkt));
+  ++delivered_;
+  ++hop_hist_[std::min<std::uint8_t>(hops, 3)];
+}
+
+void Conveyor::unpack_message(const net::Message& msg) {
+  const auto& w = msg.payload;
+  std::size_t i = 0;
+  while (i < w.size()) {
+    const std::uint64_t desc = w[i++];
+    const std::size_t n = desc_len(desc);
+    DAKC_CHECK_MSG(i + n <= w.size(), "corrupt conveyor buffer");
+    const int dst = desc_dst(desc);
+    if (dst == pe_.rank()) {
+      deliver_local(desc_kind(desc), &w[i], n, desc_hops(desc));
+    } else {
+      ++relayed_;
+      pe_.charge_compute_ops(config_.push_ops);
+      pe_.charge_mem_bytes(static_cast<double>(n) * 8.0);
+      route(dst, &w[i], n, desc_kind(desc), desc_hops(desc));
+    }
+    i += n;
+  }
+}
+
+void Conveyor::progress() {
+  net::Message msg;
+  while (pe_.try_recv(&msg)) unpack_message(msg);
+}
+
+bool Conveyor::pull(Packet* out) {
+  if (ready_.empty()) progress();
+  if (ready_.empty()) return false;
+  *out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+void Conveyor::finish(const std::function<void()>& on_progress) {
+  DAKC_CHECK_MSG(!finished_ && !endgame_, "finish() called twice");
+  endgame_ = true;
+  flush_all();
+  // Align the endgame: once every PE has flushed, most in-flight traffic
+  // is older than the barrier release, so the first counting round below
+  // usually confirms quiescence immediately (1D never needs a second).
+  pe_.barrier();
+  while (true) {
+    progress();
+    if (on_progress) on_progress();  // may push() follow-up packets
+    flush_all();  // relays and handler pushes may have refilled lanes
+    const auto [global_injected, global_delivered] =
+        pe_.allreduce_sum2(injected_, delivered_);
+    DAKC_ASSERT(global_delivered <= global_injected);
+    if (global_injected == global_delivered) break;
+    // Packets are still in flight; fast-forward to our next arrival (if
+    // any) so the next progress() sees it. PEs with nothing inbound just
+    // ride the reduction rounds, whose cost advances their clocks.
+    des::SimTime when;
+    if (pe_.next_arrival(&when) && when > pe_.now()) pe_.idle_until(when);
+  }
+  finished_ = true;
+}
+
+}  // namespace dakc::conveyor

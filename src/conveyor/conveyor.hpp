@@ -1,0 +1,184 @@
+// Aggregation layer L0: a Conveyors-style buffered, routed, many-to-many
+// packet streamer (Maley & DeVinney, IA^3 2019), reimplemented on the
+// simulated fabric.
+//
+// A conveyor moves small *packets* (here: runs of 64-bit words, because
+// k-mers with k <= 32 pack into one word) between PEs. Instead of sending
+// each packet individually — which would pay the fabric's per-message
+// latency tau every time — packets accumulate in per-next-hop *lanes* of
+// ~40 KiB (Table III) and travel in bulk Puts when a lane fills.
+//
+// Three routing protocols trade buffer memory for hops (paper Table II):
+//
+//   protocol  virtual topology  lanes/PE       max hops
+//   1D        all-connected     P              1
+//   2D        2D HyperX grid    ~2 sqrt(P)     2   (fix column, then row)
+//   3D        3D HyperX         ~3 cbrt(P)     3   (fix x, then y, then z)
+//
+// For 2D/3D, each packet carries a 32-bit routing header naming its final
+// destination (the overhead motivating the paper's L2 aggregation layer);
+// 1D packets are header-free. Intermediate PEs *relay*: a received packet
+// whose destination is someone else is re-pushed toward its target.
+//
+// In the simulator a packet occupies a 64-bit descriptor word
+// [dst:32 | len:16 | kind:8 | hops:8] plus its payload words; the modeled
+// wire size uses the paper's header charges (4 B routed / 0 B direct) via
+// the fabric's wire_bytes override, so measured communication volume
+// matches the real system's.
+//
+// Usage (every PE, SPMD):
+//   Conveyor conv(pe, cfg);
+//   while (producing) {
+//     conv.push(dst, words, n, kind);
+//     conv.progress();                  // opportunistic relay/deliver
+//     while (conv.pull(&pkt)) consume(pkt);
+//   }
+//   conv.finish();                      // collective: flush + quiesce
+//   while (conv.pull(&pkt)) consume(pkt);
+//
+// finish() implements the paper's GLOBAL BARRIER between phase 1 and
+// phase 2: it flushes every lane, then alternates draining with global
+// sent-vs-delivered reductions until the stream is quiescent.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace dakc::conveyor {
+
+enum class Protocol : std::uint8_t { k1D, k2D, k3D };
+
+const char* protocol_name(Protocol p);
+
+struct ConveyorConfig {
+  Protocol protocol = Protocol::k1D;
+  /// Lane capacity in bytes (paper Table III: 40 KiB per L0 buffer).
+  std::size_t lane_bytes = 40 * 1024;
+  /// Modeled CPU ops charged per push/relay. Covers the runtime's
+  /// per-packet software path (descriptor build, lane lookup, bounds
+  /// checks) — tens of nanoseconds per packet in the real library, which
+  /// is exactly the overhead the paper's L2 layer amortizes (Fig. 12).
+  double push_ops = 40.0;
+};
+
+/// A delivered packet. `kind` is an application tag (DAKC uses it to mark
+/// HEAVY vs NORMAL k-mer packets).
+struct Packet {
+  std::uint8_t kind = 0;
+  std::vector<std::uint64_t> words;
+};
+
+/// Routing geometry for a protocol over `pes` ranks; exposed separately so
+/// tests and the Table II bench can validate hop counts and lane counts
+/// without running traffic.
+class Router {
+ public:
+  Router(Protocol protocol, int pes);
+
+  /// Next hop on the way from `self` to `dst` (== dst when adjacent,
+  /// == self impossible; dst must differ from self).
+  int next_hop(int self, int dst) const;
+  /// Number of hops a packet from src to dst traverses.
+  int hops(int src, int dst) const;
+  /// Upper bound on distinct next-hops `self` can use (lane count).
+  int max_lanes(int self) const;
+  Protocol protocol() const { return protocol_; }
+
+ private:
+  Protocol protocol_;
+  int pes_;
+  // 2D grid
+  int cols_ = 1, rows_ = 1;
+  // 3D brick
+  int ax_ = 1, ay_ = 1, az_ = 1;
+};
+
+class Conveyor {
+ public:
+  Conveyor(net::Pe& pe, ConveyorConfig config);
+  ~Conveyor();
+
+  Conveyor(const Conveyor&) = delete;
+  Conveyor& operator=(const Conveyor&) = delete;
+
+  /// Enqueue one packet of `n` words for PE `dst`. Packets must fit in a
+  /// lane: n < lane capacity in words.
+  void push(int dst, const std::uint64_t* words, std::size_t n,
+            std::uint8_t kind = 0);
+  /// Convenience single-word push (a bare k-mer).
+  void push(int dst, std::uint64_t word, std::uint8_t kind = 0) {
+    push(dst, &word, 1, kind);
+  }
+
+  /// Drain arrivals, relay foreign packets, queue local deliveries.
+  void progress();
+
+  /// Pop one delivered packet; false when none are available right now.
+  bool pull(Packet* out);
+  /// True if delivered packets are queued locally (without polling the
+  /// fabric). Quiescence callbacks use this to keep dispatching until the
+  /// local queue is drained.
+  bool has_ready() const { return !ready_.empty(); }
+
+  /// Collective completion: flush lanes, then drive global quiescence.
+  /// After it returns every pushed packet has been delivered somewhere
+  /// (pull until empty). May be called once.
+  ///
+  /// `on_progress`, when given, runs once per quiescence round after
+  /// arrivals are drained; it may pull() delivered packets and push() new
+  /// ones (actor semantics: messages spawning messages). The stream is
+  /// quiescent only when no handler produces further traffic.
+  void finish(const std::function<void()>& on_progress = {});
+
+  // -- introspection -----------------------------------------------------
+  /// Bytes of send-lane buffer memory this PE has allocated (Fig. 2).
+  std::size_t lane_buffer_bytes() const;
+  /// Number of allocated lanes.
+  std::size_t lane_count() const { return lanes_.size(); }
+  /// Packets this PE injected (as origin).
+  std::uint64_t injected() const { return injected_; }
+  /// Packets delivered to this PE (as final destination).
+  std::uint64_t delivered() const { return delivered_; }
+  /// Packets this PE relayed on behalf of others.
+  std::uint64_t relayed() const { return relayed_; }
+  /// Distribution of hop counts over packets delivered here (index 0 =
+  /// self-delivery, 1..3 = network hops).
+  const std::uint64_t* hop_histogram() const { return hop_hist_; }
+
+  const Router& router() const { return router_; }
+
+ private:
+  struct Lane {
+    std::vector<std::uint64_t> words;
+    double wire_bytes = 0.0;
+  };
+
+  void route(int dst, const std::uint64_t* words, std::size_t n,
+             std::uint8_t kind, std::uint8_t hops);
+  void flush_lane(int next_hop, Lane& lane);
+  void flush_all();
+  void deliver_local(std::uint8_t kind, const std::uint64_t* words,
+                     std::size_t n, std::uint8_t hops);
+  void unpack_message(const net::Message& msg);
+
+  net::Pe& pe_;
+  ConveyorConfig config_;
+  Router router_;
+  double header_wire_bytes_;  // 4.0 for routed protocols, 0.0 for 1D
+  std::size_t lane_capacity_words_;
+  std::map<int, Lane> lanes_;
+  std::deque<Packet> ready_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t relayed_ = 0;
+  std::uint64_t hop_hist_[4] = {0, 0, 0, 0};
+  bool finished_ = false;
+  bool endgame_ = false;
+};
+
+}  // namespace dakc::conveyor

@@ -1,0 +1,117 @@
+// Public API types for every k-mer counter in the repository.
+//
+// All backends consume the same inputs (a vector of reads + CountConfig)
+// and produce the same RunReport, so benches and tests compare them
+// directly. Distributed backends execute inside the simulated fabric;
+// timings in the report are *simulated seconds* on the configured
+// machine (see DESIGN.md on the cluster substitution).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "conveyor/conveyor.hpp"
+#include "kmer/count.hpp"
+#include "net/machine.hpp"
+
+namespace dakc::core {
+
+enum class Backend : std::uint8_t {
+  kSerial,     ///< Algorithm 1 (single PE)
+  kPakMan,     ///< Algorithm 2, blocking collectives, quicksort (PakMan)
+  kPakManStar, ///< Algorithm 2, blocking collectives, radix (PakMan*)
+  kHySortK,    ///< Algorithm 2, non-blocking collectives, node-level hybrid
+  kKmc3,       ///< shared-memory, minimizer-binned, super-k-mer transfers
+  kDakc,       ///< Algorithm 3/4: FA-BSP with L0-L3 aggregation (ours)
+};
+
+const char* backend_name(Backend b);
+
+struct CountConfig {
+  Backend backend = Backend::kDakc;
+  int k = 31;
+  /// Count canonical k-mers (min of k-mer and reverse complement). The
+  /// paper counts as-parsed; examples may enable this.
+  bool canonical = false;
+
+  // -- simulated machine -------------------------------------------------
+  int pes = 4;             ///< total PEs (cores)
+  int pes_per_node = 4;    ///< cores per node
+  net::MachineParams machine;
+  bool zero_cost = false;  ///< functional mode for tests
+  double node_memory_limit = 0.0;  ///< bytes; 0 = unlimited (Fig. 8 uses it)
+
+  // -- BSP parameters (Algorithm 2) ---------------------------------------
+  /// Batch size b: k-mers generated per PE between collective rounds.
+  std::uint64_t batch = 1 << 20;
+  /// Pre-accumulate send buffers before the exchange (the pseudocode's
+  /// FlushBuffer does this; PakMan's shipping code sends raw k-mers,
+  /// which also matches the paper's cost model, so default off).
+  bool bsp_local_accumulate = false;
+
+  // -- DAKC parameters (Algorithms 3-4, Table III) -------------------------
+  conveyor::Protocol protocol = conveyor::Protocol::k1D;
+  std::size_t l0_lane_bytes = 40 * 1024;  ///< C0 buffer (40K per lane)
+  std::size_t c1 = 1024;                  ///< L1 packets
+  std::size_t c2 = 32;                    ///< L2 k-mers per packet
+  std::size_t c3 = 10000;                 ///< L3 pre-accumulation buffer
+  bool l2_enabled = true;
+  bool l3_enabled = false;  ///< paper enables L3 only on heavy-hitter data
+  /// Count above which an L3-accumulated k-mer is sent as a HEAVY
+  /// {kmer, count} pair (paper: "> 2").
+  std::uint64_t heavy_threshold = 2;
+
+  // -- future-work extension (paper §VII) ---------------------------------
+  /// Fold arriving k-mers into a local hash table instead of buffering
+  /// them for the phase-2 sort: the "asynchronous updates" structure the
+  /// paper proposes for eliminating the sort's phase separation. Phase 2
+  /// shrinks to extracting (and ordering) the distinct entries. Wins at
+  /// high coverage (few distinct keys, many occurrences), loses on
+  /// nearly-unique streams (a random cache-line access per occurrence).
+  bool phase2_hash = false;
+
+  // -- output ------------------------------------------------------------
+  /// Gather per-PE slices into RunReport::counts (disable for large
+  /// scaling runs where only timings matter).
+  bool gather_counts = true;
+  /// When non-empty, write a Chrome-tracing JSON of every PE's activity
+  /// timeline to this path (open in chrome://tracing or Perfetto).
+  std::string trace_path;
+};
+
+/// Per-phase and per-resource timing/traffic of one counting run.
+struct RunReport {
+  std::string backend;
+  bool oom = false;       ///< a node exceeded its memory budget (Fig. 8)
+  int oom_node = -1;
+
+  double makespan = 0.0;      ///< simulated end-to-end seconds
+  double phase1_seconds = 0.0;///< max over PEs: parse+reshuffle (incl. barrier)
+  double phase2_seconds = 0.0;///< max over PEs: sort+accumulate
+
+  // Sums over PEs (simulated seconds).
+  double compute_seconds = 0.0;
+  double memory_seconds = 0.0;
+  double network_seconds = 0.0;
+  double idle_seconds = 0.0;
+
+  // Measured traffic (bytes on the wire / through memcpy paths).
+  std::uint64_t bytes_internode = 0;
+  std::uint64_t bytes_intranode = 0;
+  std::uint64_t messages = 0;
+
+  double node_mem_high = 0.0;  ///< max over nodes of accounted high water
+
+  std::uint64_t total_kmers = 0;    ///< sum of counts
+  std::uint64_t distinct_kmers = 0;
+  /// Merged, k-mer-sorted result (empty when gather_counts is false).
+  std::vector<kmer::KmerCount64> counts;
+};
+
+/// Count the k-mers of `reads` with the configured backend. Never throws
+/// OomError: memory exhaustion is reported via RunReport::oom.
+RunReport count_kmers(const std::vector<std::string>& reads,
+                      const CountConfig& config);
+
+}  // namespace dakc::core

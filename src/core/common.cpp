@@ -1,0 +1,111 @@
+#include "core/common.hpp"
+
+#include <algorithm>
+
+#include "sort/accumulate.hpp"
+#include "util/check.hpp"
+
+namespace dakc::core {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kSerial: return "serial";
+    case Backend::kPakMan: return "pakman";
+    case Backend::kPakManStar: return "pakman*";
+    case Backend::kHySortK: return "hysortk";
+    case Backend::kKmc3: return "kmc3";
+    case Backend::kDakc: return "dakc";
+  }
+  return "?";
+}
+
+std::pair<std::size_t, std::size_t> read_slice(std::size_t n_reads, int pes,
+                                               int rank) {
+  DAKC_CHECK(pes >= 1 && rank >= 0 && rank < pes);
+  const std::size_t base = n_reads / static_cast<std::size_t>(pes);
+  const std::size_t extra = n_reads % static_cast<std::size_t>(pes);
+  const auto r = static_cast<std::size_t>(rank);
+  const std::size_t begin = r * base + std::min(r, extra);
+  const std::size_t end = begin + base + (r < extra ? 1 : 0);
+  return {begin, end};
+}
+
+void charge_parse(net::Pe& pe, std::size_t read_bytes,
+                  std::size_t kmers_emitted) {
+  pe.charge_compute_ops(static_cast<double>(kmers_emitted));
+  pe.charge_mem_bytes(static_cast<double>(read_bytes) +
+                      8.0 * static_cast<double>(kmers_emitted));
+}
+
+void charge_sort(net::Pe& pe, const sort::SortStats& stats,
+                 std::size_t element_bytes) {
+  // moves counts element copies across every pass/recursion level (the
+  // real data traffic); histogram/scan passes read each element roughly
+  // once per move as well. Two index ops per moved element.
+  const double touched =
+      2.0 * static_cast<double>(stats.moves) +
+      static_cast<double>(stats.elements);
+  pe.charge_compute_ops(touched);
+  pe.charge_mem_bytes(touched * static_cast<double>(element_bytes));
+}
+
+std::vector<kmer::KmerCount64> merge_slices(std::vector<PeOutput>& outputs) {
+  std::size_t total = 0;
+  for (const auto& o : outputs) total += o.counts.size();
+  std::vector<kmer::KmerCount64> merged;
+  merged.reserve(total);
+  for (auto& o : outputs)
+    merged.insert(merged.end(), o.counts.begin(), o.counts.end());
+  sort::hybrid_radix_sort(merged.begin(), merged.end(),
+                          [](const kmer::KmerCount64& kc) { return kc.kmer; });
+  // Owners partition by hash, so no key appears in two slices; still,
+  // accumulate defensively so the merge is a fixed point.
+  auto out = sort::accumulate_pairs(merged);
+  return out;
+}
+
+void fill_report_from_fabric(const net::Fabric& fabric,
+                             const std::vector<PeOutput>& outputs,
+                             RunReport* report) {
+  const int pes = fabric.config().pes;
+  report->makespan = fabric.makespan();
+  for (int p = 0; p < pes; ++p) {
+    const auto& s = fabric.pe_stats(p);
+    report->compute_seconds += s.compute;
+    report->memory_seconds += s.memory;
+    report->network_seconds += s.network;
+    report->idle_seconds += s.idle;
+    const auto& c = fabric.pe_counters(p);
+    report->bytes_internode += c.bytes_inter;
+    report->bytes_intranode += c.bytes_intra;
+    report->messages += c.puts_inter + c.puts_intra;
+  }
+  for (const auto& o : outputs) {
+    report->phase1_seconds = std::max(report->phase1_seconds, o.phase1_end);
+    report->phase2_seconds =
+        std::max(report->phase2_seconds, o.phase2_end - o.phase1_end);
+  }
+  for (int n = 0; n < fabric.node_count(); ++n)
+    report->node_mem_high = std::max(report->node_mem_high,
+                                     fabric.node_mem_high(n));
+}
+
+void sort_and_accumulate_local(net::Pe& pe,
+                               std::vector<kmer::KmerCount64>& pairs,
+                               PeOutput* out) {
+  const sort::SortStats stats = sort::hybrid_radix_sort(
+      pairs.begin(), pairs.end(),
+      [](const kmer::KmerCount64& kc) { return kc.kmer; });
+  charge_sort(pe, stats, sizeof(kmer::KmerCount64));
+  if (!pairs.empty()) {
+    sort::accumulate_pairs_inplace(pairs);
+    // The accumulate sweep streams the array once.
+    pe.charge_mem_bytes(static_cast<double>(pairs.size()) *
+                        sizeof(kmer::KmerCount64));
+    pe.charge_compute_ops(static_cast<double>(pairs.size()));
+  }
+  out->counts = std::move(pairs);
+  out->phase2_end = pe.now();
+}
+
+}  // namespace dakc::core

@@ -1,0 +1,55 @@
+// Shared machinery for the distributed counting kernels: read slicing,
+// model-consistent cost charging, per-PE result collection, and report
+// assembly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "kmer/count.hpp"
+#include "net/fabric.hpp"
+#include "sort/radix.hpp"
+
+namespace dakc::core {
+
+/// Block-partition [0, n) across `pes`; returns [begin, end) for `rank`.
+std::pair<std::size_t, std::size_t> read_slice(std::size_t n_reads, int pes,
+                                               int rank);
+
+/// Charge the parse step of a read: one op per k-mer generated plus a
+/// streaming pass over the read bytes and the emitted k-mer words
+/// (phase-1 cost in the paper's model, but with *measured* quantities).
+void charge_parse(net::Pe& pe, std::size_t read_bytes,
+                  std::size_t kmers_emitted);
+
+/// Charge a completed sort from its measured statistics: index arithmetic
+/// as compute, element movement as memory traffic.
+void charge_sort(net::Pe& pe, const sort::SortStats& stats,
+                 std::size_t element_bytes);
+
+/// Per-PE output captured on the host side while the fabric runs.
+struct PeOutput {
+  std::vector<kmer::KmerCount64> counts;  ///< local, k-mer-sorted
+  double phase1_end = 0.0;  ///< pe.now() right after the phase boundary
+  double phase2_end = 0.0;
+};
+
+/// Merge per-PE slices into one k-mer-sorted vector (hash ownership
+/// interleaves key ranges, so this sorts the concatenation).
+std::vector<kmer::KmerCount64> merge_slices(std::vector<PeOutput>& outputs);
+
+/// Fill the timing/traffic fields of a report from a completed fabric.
+void fill_report_from_fabric(const net::Fabric& fabric,
+                             const std::vector<PeOutput>& outputs,
+                             RunReport* report);
+
+/// Final local step of every sorting-based counter: sort the local pairs
+/// by k-mer, accumulate equal keys, charge the measured cost, and record
+/// phase-2 completion.
+void sort_and_accumulate_local(net::Pe& pe,
+                               std::vector<kmer::KmerCount64>& pairs,
+                               PeOutput* out);
+
+}  // namespace dakc::core

@@ -1,0 +1,257 @@
+#include "core/dakc.hpp"
+
+#include <algorithm>
+
+#include "actor/actor.hpp"
+#include "core/hash_counter.hpp"
+#include "kmer/extract.hpp"
+#include "sort/accumulate.hpp"
+#include "sort/radix.hpp"
+#include "util/check.hpp"
+
+namespace dakc::core {
+
+namespace {
+
+/// Phase-1 state of one PE: the L2/L3 buffers in front of the actor
+/// runtime, plus the receive-side array T.
+class DakcPe {
+ public:
+  DakcPe(net::Pe& pe, const CountConfig& config)
+      : pe_(pe),
+        config_(config),
+        actor_(pe, make_actor_config(config), make_conveyor_config(config)),
+        l2n_(static_cast<std::size_t>(pe.size())),
+        l2h_(static_cast<std::size_t>(pe.size())) {
+    actor_.set_handler([this](std::uint8_t kind, const std::uint64_t* w,
+                              std::size_t n) { handle(kind, w, n); });
+    if (config_.l2_enabled) {
+      for (auto& b : l2n_) b.reserve(config_.c2);
+      for (auto& b : l2h_) b.reserve(config_.c2);
+      // Table III: L2 memory = 264 B per destination, two buffer sets.
+      pe_.account_alloc(static_cast<double>(pe_.size()) *
+                        static_cast<double>(config_.c2) * 8.0 * 2.0);
+    }
+    if (config_.l3_enabled) {
+      l3_.reserve(config_.c3);
+      pe_.account_alloc(static_cast<double>(config_.c3) * 8.0);
+    }
+  }
+
+  ~DakcPe() {
+    if (config_.l2_enabled)
+      pe_.account_free(static_cast<double>(pe_.size()) *
+                       static_cast<double>(config_.c2) * 8.0 * 2.0);
+    if (config_.l3_enabled)
+      pe_.account_free(static_cast<double>(config_.c3) * 8.0);
+    if (t_accounted_ > 0.0) pe_.account_free(t_accounted_);
+  }
+
+  /// Algorithm 4's AsyncAdd: entry point for every parsed k-mer.
+  void async_add(kmer::Kmer64 km) {
+    pe_.charge_compute_ops(2.0);  // owner hash + buffer bookkeeping
+    if (config_.l3_enabled) {
+      l3_.push_back(km);
+      if (l3_.size() >= config_.c3) flush_l3();
+      return;
+    }
+    add_to_l2(km, 1);
+  }
+
+  /// End of this PE's parse loop: push out every partial buffer, then
+  /// drive the global phase boundary.
+  void finish_phase1() {
+    if (config_.l3_enabled) flush_l3();
+    if (config_.l2_enabled) {
+      for (int p = 0; p < pe_.size(); ++p) {
+        flush_l2n(p);
+        flush_l2h(p);
+      }
+    }
+    actor_.done();
+  }
+
+  std::vector<kmer::KmerCount64>& local_pairs() { return t_; }
+  const actor::Actor& runtime() const { return actor_; }
+
+ private:
+  static actor::ActorConfig make_actor_config(const CountConfig& c) {
+    actor::ActorConfig a;
+    a.l1_packets = c.c1;
+    a.l1_bytes = c.c1 * (c.c2 * 8 + 8);
+    return a;
+  }
+  static conveyor::ConveyorConfig make_conveyor_config(const CountConfig& c) {
+    conveyor::ConveyorConfig v;
+    v.protocol = c.protocol;
+    v.lane_bytes = c.l0_lane_bytes;
+    return v;
+  }
+
+  /// Receive side (ProcessReceiveBuffer): append into T, or fold into
+  /// the hash table (future-work phase-2 mode).
+  void handle(std::uint8_t kind, const std::uint64_t* w, std::size_t n) {
+    if (config_.phase2_hash) {
+      std::size_t probes = 0;
+      if (kind == kPacketHeavy) {
+        DAKC_ASSERT(n % 2 == 0);
+        for (std::size_t i = 0; i + 1 < n; i += 2)
+          probes += hash_.add(w[i], w[i + 1]);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) probes += hash_.add(w[i]);
+      }
+      // Each probe is a random cache-line touch plus compare/insert ops.
+      pe_.charge_mem_bytes(static_cast<double>(probes) *
+                           pe_.machine().line_bytes);
+      pe_.charge_compute_ops(4.0 * static_cast<double>(probes));
+      maybe_account_hash();
+      return;
+    }
+    if (kind == kPacketHeavy) {
+      DAKC_ASSERT(n % 2 == 0);
+      for (std::size_t i = 0; i + 1 < n; i += 2)
+        t_.push_back({w[i], w[i + 1]});
+    } else {
+      for (std::size_t i = 0; i < n; ++i) t_.push_back({w[i], 1});
+    }
+    pe_.charge_mem_bytes(static_cast<double>(n) * 16.0);
+    maybe_account_t();
+  }
+
+  void maybe_account_hash() {
+    const double bytes = hash_.storage_bytes();
+    if (bytes > t_accounted_) {
+      pe_.account_alloc(bytes - t_accounted_);
+      t_accounted_ = bytes;
+    }
+  }
+
+ public:
+  /// Phase 2 in hash mode: extract the distinct entries and key-sort them
+  /// for ordered output (the per-occurrence work already happened online
+  /// in phase 1). The resize-and-rehash traffic was charged per insert.
+  std::vector<kmer::KmerCount64> extract_hash_counts() {
+    auto counts = hash_.extract();
+    pe_.charge_mem_bytes(hash_.storage_bytes());  // table sweep
+    const sort::SortStats st = sort::hybrid_radix_sort(
+        counts.begin(), counts.end(),
+        [](const kmer::KmerCount64& kc) { return kc.kmer; });
+    charge_sort(pe_, st, sizeof(kmer::KmerCount64));
+    return counts;
+  }
+
+ private:
+
+  void maybe_account_t() {
+    const double bytes = static_cast<double>(t_.size()) * 16.0;
+    if (bytes > t_accounted_ + (1 << 16)) {
+      pe_.account_alloc(bytes - t_accounted_);
+      t_accounted_ = bytes;
+    }
+  }
+
+  /// Sort + accumulate the L3 buffer, then forward {kmer, count} entries
+  /// into L2 (HEAVY when count > threshold).
+  void flush_l3() {
+    if (l3_.empty()) return;
+    const sort::SortStats st =
+        sort::hybrid_radix_sort(l3_.begin(), l3_.end(),
+                                [](std::uint64_t w) { return w; });
+    charge_sort(pe_, st, 8);
+    pe_.charge_mem_bytes(static_cast<double>(l3_.size()) * 8.0);
+    std::size_t i = 0;
+    while (i < l3_.size()) {
+      std::size_t j = i + 1;
+      while (j < l3_.size() && l3_[j] == l3_[i]) ++j;
+      add_to_l2(l3_[i], static_cast<std::uint64_t>(j - i));
+      i = j;
+    }
+    l3_.clear();
+  }
+
+  /// Algorithm 4's AddToL2Buffer.
+  void add_to_l2(kmer::Kmer64 km, std::uint64_t count) {
+    if (!config_.l2_enabled) {
+      // L0-L1 only: every k-mer occurrence is its own packet.
+      for (std::uint64_t c = 0; c < count; ++c)
+        actor_.send(kmer::owner_pe(km, pe_.size()), km, kPacketNormal);
+      return;
+    }
+    const int p = kmer::owner_pe(km, pe_.size());
+    if (count > config_.heavy_threshold) {
+      auto& h = l2h_[static_cast<std::size_t>(p)];
+      h.push_back(km);
+      h.push_back(count);
+      if (h.size() >= config_.c2) flush_l2h(p);
+    } else {
+      auto& nbuf = l2n_[static_cast<std::size_t>(p)];
+      for (std::uint64_t c = 0; c < count; ++c) {
+        nbuf.push_back(km);
+        if (nbuf.size() >= config_.c2) flush_l2n(p);
+      }
+    }
+  }
+
+  void flush_l2n(int p) {
+    auto& b = l2n_[static_cast<std::size_t>(p)];
+    if (b.empty()) return;
+    actor_.send(p, b.data(), b.size(), kPacketNormal);
+    b.clear();
+  }
+
+  void flush_l2h(int p) {
+    auto& b = l2h_[static_cast<std::size_t>(p)];
+    if (b.empty()) return;
+    actor_.send(p, b.data(), b.size(), kPacketHeavy);
+    b.clear();
+  }
+
+  net::Pe& pe_;
+  const CountConfig& config_;
+  actor::Actor actor_;
+  std::vector<std::uint64_t> l3_;
+  std::vector<std::vector<std::uint64_t>> l2n_;  // NORMAL: raw k-mers
+  std::vector<std::vector<std::uint64_t>> l2h_;  // HEAVY: {kmer, count}
+  std::vector<kmer::KmerCount64> t_;
+  HashCounter hash_;
+  double t_accounted_ = 0.0;
+};
+
+}  // namespace
+
+void run_dakc_pe(net::Pe& pe, const std::vector<std::string>& reads,
+                 const CountConfig& config, PeOutput* out) {
+  DAKC_CHECK_MSG(!config.l3_enabled || config.l2_enabled,
+                 "L3 requires L2 (Algorithm 4's layering)");
+  DAKC_CHECK(config.c2 >= 2 && config.c3 >= 2);
+  DAKC_CHECK_MSG(config.c2 * 8 + 16 <= config.l0_lane_bytes,
+                 "C2 packets must fit inside an L0 lane");
+  pe.barrier();  // global sync #1: start of the counting epoch
+
+  DakcPe state(pe, config);
+  const auto [begin, end] = core::read_slice(reads.size(), pe.size(),
+                                             pe.rank());
+  const int k = config.k;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& read = reads[i];
+    const std::size_t emitted =
+        kmer::for_each_kmer(read, k, [&](kmer::Kmer64 km) {
+          if (config.canonical) km = kmer::canonical(km, k);
+          state.async_add(km);
+        });
+    charge_parse(pe, read.size(), emitted);
+  }
+  state.finish_phase1();  // global sync #2: the phase-1/2 barrier
+  out->phase1_end = pe.now();
+
+  if (config.phase2_hash) {
+    out->counts = state.extract_hash_counts();
+    out->phase2_end = pe.now();
+  } else {
+    sort_and_accumulate_local(pe, state.local_pairs(), out);
+  }
+  pe.barrier();  // global sync #3: end of the counting epoch
+  out->phase2_end = pe.now();
+}
+
+}  // namespace dakc::core

@@ -1,0 +1,37 @@
+// DAKC: the Distributed Asynchronous k-mer Counter (Algorithms 3 and 4).
+//
+// Phase 1 parses reads and AsyncAdd()s every k-mer toward its owner PE
+// through the four-layer aggregation stack:
+//
+//   L3 (optional): a local buffer of C3 k-mers that is sorted and
+//       accumulated before anything is sent. K-mers whose local count
+//       exceeds the heavy threshold travel as {kmer, count} pairs in
+//       HEAVY packets — the defense against heavy-hitter genomes
+//       ((AATGG)n in human) that would otherwise swamp one owner's NIC.
+//   L2 (optional): per-destination buffers of C2 k-mers, so one 32-bit
+//       conveyor routing header is amortized over a whole packet instead
+//       of tripling a single k-mer's wire size.
+//   L1: the actor runtime's staging FIFO (C1 packets).
+//   L0: the conveyor's per-next-hop lanes (40 KiB) and 1D/2D/3D routing.
+//
+// One collective phase boundary (actor.done(), the paper's GLOBAL
+// BARRIER) separates phase 1 from the local sort + accumulate of phase 2.
+// With the init/finalize barriers, that is the paper's count of three
+// global synchronizations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace dakc::core {
+
+void run_dakc_pe(net::Pe& pe, const std::vector<std::string>& reads,
+                 const CountConfig& config, PeOutput* out);
+
+/// Packet kinds on the wire (conveyor `kind` byte).
+inline constexpr std::uint8_t kPacketNormal = 0;  ///< raw k-mers
+inline constexpr std::uint8_t kPacketHeavy = 1;   ///< {kmer, count} pairs
+
+}  // namespace dakc::core

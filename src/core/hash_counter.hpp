@@ -1,0 +1,113 @@
+// Open-addressing hash counter — the future-work alternative to the
+// sort-based phase 2 (paper §VII: overlap the phases via a distributed
+// structure that supports asynchronous updates).
+//
+// With a hash table, the owner PE folds each arriving k-mer into its
+// count immediately, so phase 2 shrinks to "emit the distinct entries"
+// (plus a sort if ordered output is wanted). The trade-off the related
+// work debates (hash vs sort, §II-B): hashing pays one random cache-line
+// access per *occurrence*, sorting pays streaming passes per occurrence
+// but only touches distinct keys once at emit time — so hashing wins when
+// duplication (coverage) is high and loses on nearly-unique streams.
+//
+// Linear probing, power-of-two capacity, max load factor 0.7, amortized
+// doubling. Keys are 64-bit k-mers; the empty slot is key 0 with count 0
+// (a real k-mer 0 = poly-A is handled via a dedicated counter).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kmer/count.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dakc::core {
+
+class HashCounter {
+ public:
+  explicit HashCounter(std::size_t initial_capacity = 1024) {
+    std::size_t cap = 16;
+    while (cap < initial_capacity) cap <<= 1;
+    slots_.assign(cap, Slot{});
+  }
+
+  /// Add `count` occurrences of `key`. Returns the number of slots probed
+  /// (the caller charges one random memory access per probe).
+  std::size_t add(std::uint64_t key, std::uint64_t count = 1) {
+    if (key == 0) {
+      if (zero_count_ == 0) ++distinct_;
+      zero_count_ += count;
+      total_ += count;
+      return 1;
+    }
+    maybe_grow();
+    const std::size_t probes = insert_into(slots_, key, count);
+    total_ += count;
+    return probes;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t distinct() const { return distinct_; }
+  std::size_t capacity() const { return slots_.size(); }
+  /// Bytes of table storage (for memory accounting).
+  double storage_bytes() const {
+    return static_cast<double>(slots_.size() * sizeof(Slot));
+  }
+
+  /// Extract all entries (unordered).
+  std::vector<kmer::KmerCount64> extract() const {
+    std::vector<kmer::KmerCount64> out;
+    out.reserve(distinct_);
+    if (zero_count_ > 0) out.push_back({0, zero_count_});
+    for (const Slot& s : slots_)
+      if (s.key != 0) out.push_back({s.key, s.count});
+    return out;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;
+  };
+
+  std::size_t insert_into(std::vector<Slot>& slots, std::uint64_t key,
+                          std::uint64_t count) {
+    const std::size_t mask = slots.size() - 1;
+    std::size_t i = mix64(key) & mask;
+    std::size_t probes = 1;
+    while (true) {
+      Slot& s = slots[i];
+      if (s.key == key) {
+        s.count += count;
+        return probes;
+      }
+      if (s.key == 0) {
+        s.key = key;
+        s.count = count;
+        ++distinct_;
+        return probes;
+      }
+      i = (i + 1) & mask;
+      ++probes;
+      DAKC_ASSERT(probes <= slots.size());
+    }
+  }
+
+  void maybe_grow() {
+    if ((distinct_ + 1) * 10 < slots_.size() * 7) return;
+    std::vector<Slot> bigger(slots_.size() * 2);
+    const std::uint64_t saved_distinct = distinct_;
+    for (const Slot& s : slots_)
+      if (s.key != 0) insert_into(bigger, s.key, s.count);
+    distinct_ = saved_distinct;
+    slots_.swap(bigger);
+  }
+
+  std::vector<Slot> slots_;
+  std::uint64_t zero_count_ = 0;
+  std::uint64_t distinct_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dakc::core

@@ -1,0 +1,152 @@
+#include "core/large_k.hpp"
+
+#include <algorithm>
+
+#include "actor/actor.hpp"
+#include "core/common.hpp"
+#include "kmer/extract.hpp"
+#include "net/fabric.hpp"
+#include "sort/accumulate.hpp"
+#include "sort/radix.hpp"
+#include "util/check.hpp"
+
+namespace dakc::core {
+
+namespace {
+
+using Kmer = kmer::Kmer128;
+using Record = kmer::KmerCount<Kmer>;
+
+/// Words a packed k-mer occupies on the wire.
+constexpr std::size_t kmer_words(int k) { return k <= 32 ? 1 : 2; }
+
+void append_kmer(std::vector<std::uint64_t>& buf, Kmer km, int k) {
+  buf.push_back(static_cast<std::uint64_t>(km));
+  if (kmer_words(k) == 2) buf.push_back(static_cast<std::uint64_t>(km >> 64));
+}
+
+Kmer read_kmer(const std::uint64_t* w, int k) {
+  Kmer km = w[0];
+  if (kmer_words(k) == 2) km |= static_cast<Kmer>(w[1]) << 64;
+  return km;
+}
+
+}  // namespace
+
+std::vector<Record> serial_count_large(const std::vector<std::string>& reads,
+                                       int k, bool canonical) {
+  DAKC_CHECK(k >= 1 && k <= 64);
+  std::vector<Kmer> all;
+  for (const auto& read : reads) {
+    kmer::for_each_kmer<Kmer>(read, k, [&](Kmer km) {
+      all.push_back(canonical ? kmer::canonical(km, k) : km);
+    });
+  }
+  sort::hybrid_radix_sort(all.begin(), all.end(), [](Kmer km) { return km; });
+  return sort::accumulate(all);
+}
+
+LargeKReport count_kmers_large(const std::vector<std::string>& reads, int k,
+                               const CountConfig& config) {
+  DAKC_CHECK(k >= 1 && k <= 64);
+  DAKC_CHECK(config.c2 >= 2 * kmer_words(k));
+
+  net::FabricConfig fab_cfg;
+  fab_cfg.pes = config.pes;
+  fab_cfg.pes_per_node = config.pes_per_node;
+  fab_cfg.machine = config.machine;
+  fab_cfg.zero_cost = config.zero_cost;
+  fab_cfg.node_memory_limit = config.node_memory_limit;
+  net::Fabric fabric(fab_cfg);
+
+  struct Output {
+    std::vector<Record> counts;
+    double phase1_end = 0.0;
+    double phase2_end = 0.0;
+  };
+  std::vector<Output> outputs(static_cast<std::size_t>(config.pes));
+  const std::size_t words = kmer_words(k);
+
+  fabric.run([&](net::Pe& pe) {
+    Output& out = outputs[static_cast<std::size_t>(pe.rank())];
+    pe.barrier();
+
+    actor::ActorConfig acfg;
+    acfg.l1_packets = config.c1;
+    acfg.l1_bytes = config.c1 * (config.c2 * 8 + 8);
+    conveyor::ConveyorConfig ccfg;
+    ccfg.protocol = config.protocol;
+    ccfg.lane_bytes = config.l0_lane_bytes;
+    actor::Actor actor(pe, acfg, ccfg);
+
+    std::vector<Record> local;
+    actor.set_handler([&](std::uint8_t, const std::uint64_t* w,
+                          std::size_t n) {
+      DAKC_ASSERT(n % words == 0);
+      for (std::size_t i = 0; i < n; i += words)
+        local.push_back({read_kmer(w + i, k), 1});
+      pe.charge_mem_bytes(static_cast<double>(n) * 8.0 * 2.0);
+    });
+
+    // L2: per-destination packet buffers of C2 words.
+    std::vector<std::vector<std::uint64_t>> l2(
+        static_cast<std::size_t>(pe.size()));
+    auto flush_l2 = [&](int p) {
+      auto& b = l2[static_cast<std::size_t>(p)];
+      if (b.empty()) return;
+      actor.send(p, b.data(), b.size());
+      b.clear();
+    };
+
+    const auto [begin, end] = read_slice(reads.size(), pe.size(), pe.rank());
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::string& read = reads[i];
+      const std::size_t emitted =
+          kmer::for_each_kmer<Kmer>(read, k, [&](Kmer km) {
+            if (config.canonical) km = kmer::canonical(km, k);
+            pe.charge_compute_ops(2.0 * static_cast<double>(words));
+            const int p = kmer::owner_pe(km, pe.size());
+            auto& b = l2[static_cast<std::size_t>(p)];
+            append_kmer(b, km, k);
+            if (b.size() + words > config.c2) flush_l2(p);
+          });
+      charge_parse(pe, read.size(), emitted * words);
+    }
+    for (int p = 0; p < pe.size(); ++p) flush_l2(p);
+    actor.done();
+    out.phase1_end = pe.now();
+
+    const sort::SortStats stats = sort::hybrid_radix_sort(
+        local.begin(), local.end(), [](const Record& r) { return r.kmer; });
+    charge_sort(pe, stats, sizeof(Record));
+    if (!local.empty()) {
+      sort::accumulate_pairs_inplace(local);
+      pe.charge_mem_bytes(static_cast<double>(local.size()) * sizeof(Record));
+    }
+    out.counts = std::move(local);
+    pe.barrier();
+    out.phase2_end = pe.now();
+  });
+
+  LargeKReport report;
+  report.makespan = fabric.makespan();
+  std::size_t total = 0;
+  for (const auto& o : outputs) {
+    report.phase1_seconds = std::max(report.phase1_seconds, o.phase1_end);
+    report.phase2_seconds =
+        std::max(report.phase2_seconds, o.phase2_end - o.phase1_end);
+    total += o.counts.size();
+  }
+  report.counts.reserve(total);
+  for (auto& o : outputs)
+    report.counts.insert(report.counts.end(), o.counts.begin(),
+                         o.counts.end());
+  sort::hybrid_radix_sort(report.counts.begin(), report.counts.end(),
+                          [](const Record& r) { return r.kmer; });
+  report.counts = sort::accumulate_pairs(report.counts);
+  report.distinct_kmers = report.counts.size();
+  for (const auto& r : report.counts) report.total_kmers += r.count;
+  return report;
+}
+
+}  // namespace dakc::core

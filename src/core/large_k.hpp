@@ -1,0 +1,42 @@
+// Future-work extension (paper §VII): k-mers beyond k = 32.
+//
+// The paper's DAKC — like PakMan — packs a k-mer into one 64-bit word,
+// capping k at 32, and names 128-bit support as the natural next step for
+// long-read workloads. This module provides it: Kmer128 (unsigned
+// __int128) k-mers, k up to 64, counted with the same FA-BSP structure —
+// owner hashing, L2 packetization into the actor/conveyor stack, one
+// global phase boundary, local hybrid radix sort + accumulate.
+//
+// Packets carry ceil(2k/64)-word k-mers back to back; the L3 heavy-hitter
+// layer is not replicated here (its mechanics are identical, and the
+// 64-bit path in core/dakc.cpp is the reference implementation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "kmer/count.hpp"
+
+namespace dakc::core {
+
+/// Serial reference for k in [1, 64] (oracle for the distributed path).
+std::vector<kmer::KmerCount<kmer::Kmer128>> serial_count_large(
+    const std::vector<std::string>& reads, int k, bool canonical = false);
+
+struct LargeKReport {
+  double makespan = 0.0;
+  double phase1_seconds = 0.0;
+  double phase2_seconds = 0.0;
+  std::uint64_t total_kmers = 0;
+  std::uint64_t distinct_kmers = 0;
+  std::vector<kmer::KmerCount<kmer::Kmer128>> counts;  ///< merged, sorted
+};
+
+/// Count k-mers with k in [1, 64] on the simulated cluster using the
+/// FA-BSP algorithm. Honors config.pes / pes_per_node / machine /
+/// zero_cost / protocol / c1 / c2 / canonical; backend is ignored.
+LargeKReport count_kmers_large(const std::vector<std::string>& reads, int k,
+                               const CountConfig& config);
+
+}  // namespace dakc::core

@@ -1,0 +1,425 @@
+#include "dbg/distributed.hpp"
+
+#include <algorithm>
+
+#include "actor/actor.hpp"
+#include "kmer/encoding.hpp"
+#include "kmer/extract.hpp"
+#include "net/fabric.hpp"
+#include "util/check.hpp"
+
+namespace dakc::dbg {
+
+namespace {
+
+// Message kinds on the wire.
+constexpr std::uint8_t kAnnounce = 0;   // [succ_candidate, src_kmer]
+constexpr std::uint8_t kEdgeOut = 1;    // [src_kmer, succ_kmer]
+constexpr std::uint8_t kAskPred = 2;    // [pred_kmer, asker_kmer]
+constexpr std::uint8_t kPredOut = 3;    // [asker_kmer, pred_out_degree]
+constexpr std::uint8_t kWalker = 4;     // [next_kmer, cov, len, bases...]
+constexpr std::uint8_t kCycle = 5;      // [next, start, cov, len, bases...]
+
+int popcount4(std::uint8_t mask) { return __builtin_popcount(mask & 0xF); }
+
+/// 2-bit-packed base string builder for walker messages.
+struct PackedSeq {
+  std::vector<std::uint64_t> words;
+  std::uint64_t len = 0;
+
+  void push(std::uint8_t base) {
+    const std::size_t word = static_cast<std::size_t>(len / 32);
+    if (word >= words.size()) words.push_back(0);
+    words[word] |= static_cast<std::uint64_t>(base & 3)
+                   << (2 * (len % 32));
+    ++len;
+  }
+  std::uint8_t at(std::uint64_t i) const {
+    return static_cast<std::uint8_t>(
+        (words[static_cast<std::size_t>(i / 32)] >> (2 * (i % 32))) & 3);
+  }
+  std::string decode() const {
+    std::string s(static_cast<std::size_t>(len), '?');
+    for (std::uint64_t i = 0; i < len; ++i)
+      s[static_cast<std::size_t>(i)] = kmer::decode_base(at(i));
+    return s;
+  }
+};
+
+/// Per-PE graph partition + traversal state.
+class Partition {
+ public:
+  Partition(net::Pe& pe, const std::vector<kmer::KmerCount64>& counts,
+            int k, std::uint64_t min_count)
+      : pe_(pe), k_(k) {
+    for (const auto& kc : counts) {
+      if (kc.count < min_count) continue;
+      if (kmer::owner_pe(kc.kmer, pe.size()) != pe.rank()) continue;
+      kms_.push_back(kc.kmer);
+      cnt_.push_back(kc.count);
+    }
+    // Scanning the global array once is this PE's setup cost.
+    pe_.charge_mem_bytes(static_cast<double>(counts.size()) * 16.0 /
+                         pe.size());
+    in_.assign(kms_.size(), 0);
+    out_.assign(kms_.size(), 0);
+    visited_.assign(kms_.size(), false);
+    start_.assign(kms_.size(), false);
+  }
+
+  std::size_t find(kmer::Kmer64 km) const {
+    const auto it = std::lower_bound(kms_.begin(), kms_.end(), km);
+    if (it == kms_.end() || *it != km) return kNpos;
+    return static_cast<std::size_t>(it - kms_.begin());
+  }
+
+  kmer::Kmer64 succ(kmer::Kmer64 km, std::uint8_t b) const {
+    return kmer::kmer_append(km, b, k_);
+  }
+  kmer::Kmer64 pred(kmer::Kmer64 km, std::uint8_t b) const {
+    return (km >> 2) |
+           (static_cast<kmer::Kmer64>(b & 3) << (2 * (k_ - 1)));
+  }
+  std::uint8_t top_base(kmer::Kmer64 km) const {
+    return static_cast<std::uint8_t>((km >> (2 * (k_ - 1))) & 3);
+  }
+  /// The single set bit's index (degree must be 1).
+  static std::uint8_t only_bit(std::uint8_t mask) {
+    DAKC_ASSERT(popcount4(mask) == 1);
+    return static_cast<std::uint8_t>(__builtin_ctz(mask));
+  }
+
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  net::Pe& pe_;
+  int k_;
+  std::vector<kmer::Kmer64> kms_;
+  std::vector<std::uint64_t> cnt_;
+  std::vector<std::uint8_t> in_, out_;
+  std::vector<bool> visited_;
+  std::vector<bool> start_;
+  std::vector<Unitig> unitigs_;
+  std::uint64_t edge_messages_ = 0;
+  std::uint64_t walker_hops_ = 0;
+};
+
+actor::ActorConfig walker_actor_config() {
+  actor::ActorConfig a;
+  a.l1_packets = 64;
+  a.l1_bytes = 64 * 1024;
+  return a;
+}
+
+conveyor::ConveyorConfig walker_conveyor_config(
+    const core::CountConfig& cfg) {
+  conveyor::ConveyorConfig c;
+  c.protocol = cfg.protocol;
+  // Walker packets carry whole unitig prefixes; give lanes headroom.
+  c.lane_bytes = 1 << 20;
+  return c;
+}
+
+/// Phase 1: edge discovery (degrees of every local k-mer).
+void discover_edges(Partition& part) {
+  actor::Actor actor(part.pe_, walker_actor_config(),
+                     walker_conveyor_config(core::CountConfig{}));
+  auto record_in = [&](std::size_t i, kmer::Kmer64 from) {
+    part.in_[i] |= static_cast<std::uint8_t>(1u << part.top_base(from));
+  };
+  auto record_out = [&](std::size_t i, kmer::Kmer64 to) {
+    part.out_[i] |=
+        static_cast<std::uint8_t>(1u << static_cast<std::uint8_t>(to & 3));
+  };
+  actor.set_handler([&](std::uint8_t kind, const std::uint64_t* w,
+                        std::size_t n) {
+    DAKC_ASSERT(n == 2);
+    (void)n;
+    if (kind == kAnnounce) {
+      const kmer::Kmer64 s = w[0], x = w[1];
+      const std::size_t i = part.find(s);
+      if (i == Partition::kNpos) return;  // candidate does not exist
+      record_in(i, x);
+      const int owner = kmer::owner_pe(x, part.pe_.size());
+      const std::uint64_t reply[2] = {x, s};
+      if (owner == part.pe_.rank()) {
+        const std::size_t j = part.find(x);
+        DAKC_ASSERT(j != Partition::kNpos);
+        record_out(j, s);
+      } else {
+        actor.send(owner, reply, 2, kEdgeOut);
+      }
+    } else {
+      DAKC_ASSERT(kind == kEdgeOut);
+      const std::size_t i = part.find(w[0]);
+      DAKC_ASSERT(i != Partition::kNpos);
+      record_out(i, w[1]);
+    }
+  });
+
+  for (std::size_t i = 0; i < part.kms_.size(); ++i) {
+    const kmer::Kmer64 x = part.kms_[i];
+    for (std::uint8_t b = 0; b < 4; ++b) {
+      const kmer::Kmer64 s = part.succ(x, b);
+      const int owner = kmer::owner_pe(s, part.pe_.size());
+      part.pe_.charge_compute_ops(4.0);
+      if (owner == part.pe_.rank()) {
+        const std::size_t j = part.find(s);
+        if (j != Partition::kNpos) {
+          record_in(j, x);
+          record_out(i, s);
+        }
+      } else {
+        const std::uint64_t msg[2] = {s, x};
+        actor.send(owner, msg, 2, kAnnounce);
+        ++part.edge_messages_;
+      }
+    }
+  }
+  actor.done();
+}
+
+/// Phase 2: mark unitig starts (needs the unique predecessor's out-degree).
+void mark_starts(Partition& part) {
+  actor::Actor actor(part.pe_, walker_actor_config(),
+                     walker_conveyor_config(core::CountConfig{}));
+  actor.set_handler([&](std::uint8_t kind, const std::uint64_t* w,
+                        std::size_t n) {
+    DAKC_ASSERT(n == 2);
+    (void)n;
+    if (kind == kAskPred) {
+      const std::size_t j = part.find(w[0]);
+      DAKC_ASSERT(j != Partition::kNpos);
+      const std::uint64_t reply[2] = {
+          w[1], static_cast<std::uint64_t>(popcount4(part.out_[j]))};
+      const int owner = kmer::owner_pe(w[1], part.pe_.size());
+      if (owner == part.pe_.rank()) {
+        const std::size_t i = part.find(w[1]);
+        part.start_[i] = reply[1] != 1;
+      } else {
+        actor.send(owner, reply, 2, kPredOut);
+      }
+    } else {
+      DAKC_ASSERT(kind == kPredOut);
+      const std::size_t i = part.find(w[0]);
+      DAKC_ASSERT(i != Partition::kNpos);
+      part.start_[i] = w[1] != 1;
+    }
+  });
+
+  for (std::size_t i = 0; i < part.kms_.size(); ++i) {
+    if (popcount4(part.in_[i]) != 1) {
+      part.start_[i] = true;
+      continue;
+    }
+    const kmer::Kmer64 p =
+        part.pred(part.kms_[i], Partition::only_bit(part.in_[i]));
+    const int owner = kmer::owner_pe(p, part.pe_.size());
+    part.pe_.charge_compute_ops(4.0);
+    if (owner == part.pe_.rank()) {
+      const std::size_t j = part.find(p);
+      DAKC_ASSERT(j != Partition::kNpos);
+      part.start_[i] = popcount4(part.out_[j]) != 1;
+    } else {
+      const std::uint64_t msg[2] = {p, part.kms_[i]};
+      actor.send(owner, msg, 2, kAskPred);
+    }
+  }
+  actor.done();
+}
+
+/// Emit a unitig from a packed walker prefix.
+void emit(Partition& part, const PackedSeq& seq, double cov_sum,
+          bool circular) {
+  Unitig u;
+  u.seq = seq.decode();
+  u.kmers = static_cast<std::size_t>(seq.len) -
+            static_cast<std::size_t>(part.k_) + 1;
+  u.mean_coverage = cov_sum / static_cast<double>(u.kmers);
+  u.circular = circular;
+  part.unitigs_.push_back(std::move(u));
+  part.pe_.charge_mem_bytes(static_cast<double>(seq.len));
+}
+
+/// Serialize a walker message: [next, (start), cov, len, bases...].
+std::vector<std::uint64_t> pack_walker(kmer::Kmer64 next,
+                                       const kmer::Kmer64* cycle_start,
+                                       std::uint64_t cov,
+                                       const PackedSeq& seq) {
+  std::vector<std::uint64_t> msg;
+  msg.reserve(4 + seq.words.size());
+  msg.push_back(next);
+  if (cycle_start) msg.push_back(*cycle_start);
+  msg.push_back(cov);
+  msg.push_back(seq.len);
+  msg.insert(msg.end(), seq.words.begin(), seq.words.end());
+  return msg;
+}
+
+/// Phase 3/4 walking core: continue a walk whose prefix ends at local
+/// index `i` (already visited and appended). For cycle walks,
+/// `cycle_start` holds the walk's first k-mer.
+void walk_from(Partition& part, actor::Actor& actor, std::size_t i,
+               PackedSeq seq, std::uint64_t cov,
+               const kmer::Kmer64* cycle_start) {
+  while (true) {
+    if (popcount4(part.out_[i]) != 1) {
+      emit(part, seq, static_cast<double>(cov), false);
+      return;
+    }
+    const kmer::Kmer64 s =
+        part.succ(part.kms_[i], Partition::only_bit(part.out_[i]));
+    if (cycle_start && s == *cycle_start) {
+      emit(part, seq, static_cast<double>(cov), true);
+      return;
+    }
+    const int owner = kmer::owner_pe(s, part.pe_.size());
+    if (owner != part.pe_.rank()) {
+      const auto msg = pack_walker(s, cycle_start, cov, seq);
+      DAKC_CHECK_MSG(msg.size() < (1u << 16),
+                     "unitig exceeds one walker packet");
+      actor.send(owner, msg.data(), msg.size(),
+                 cycle_start ? kCycle : kWalker);
+      ++part.walker_hops_;
+      return;
+    }
+    const std::size_t j = part.find(s);
+    DAKC_ASSERT(j != Partition::kNpos);
+    if (popcount4(part.in_[j]) != 1 || part.visited_[j]) {
+      emit(part, seq, static_cast<double>(cov), false);
+      return;
+    }
+    part.visited_[j] = true;
+    seq.push(static_cast<std::uint8_t>(s & 3));
+    cov += part.cnt_[j];
+    i = j;
+    part.pe_.charge_compute_ops(8.0);
+  }
+}
+
+/// Unpack an arriving walker and continue (or terminate) it locally.
+void receive_walker(Partition& part, actor::Actor& actor, std::uint8_t kind,
+                    const std::uint64_t* w, std::size_t n) {
+  const bool cycle = kind == kCycle;
+  std::size_t at = 0;
+  const kmer::Kmer64 next = w[at++];
+  kmer::Kmer64 start = 0;
+  if (cycle) start = w[at++];
+  std::uint64_t cov = w[at++];
+  PackedSeq seq;
+  seq.len = w[at++];
+  seq.words.assign(w + at, w + n);
+  part.pe_.charge_mem_bytes(static_cast<double>(n) * 8.0);
+
+  const std::size_t j = part.find(next);
+  DAKC_ASSERT(j != Partition::kNpos);
+  if (popcount4(part.in_[j]) != 1 || part.visited_[j]) {
+    emit(part, seq, static_cast<double>(cov), false);
+    return;
+  }
+  part.visited_[j] = true;
+  seq.push(static_cast<std::uint8_t>(next & 3));
+  cov += part.cnt_[j];
+  walk_from(part, actor, j, std::move(seq), cov, cycle ? &start : nullptr);
+}
+
+/// Phase 3: walk every linear unitig from its start.
+void walk_linear(Partition& part, const core::CountConfig& cfg) {
+  actor::Actor actor(part.pe_, walker_actor_config(),
+                     walker_conveyor_config(cfg));
+  actor.set_handler([&](std::uint8_t kind, const std::uint64_t* w,
+                        std::size_t n) {
+    receive_walker(part, actor, kind, w, n);
+  });
+  for (std::size_t i = 0; i < part.kms_.size(); ++i) {
+    if (!part.start_[i] || part.visited_[i]) continue;
+    part.visited_[i] = true;
+    PackedSeq seq;
+    for (int b = 0; b < part.k_; ++b)
+      seq.push(kmer::kmer_base(part.kms_[i], b, part.k_));
+    walk_from(part, actor, i, std::move(seq), part.cnt_[i], nullptr);
+  }
+  actor.done();
+}
+
+/// Phase 4: remaining k-mers lie on isolated cycles; walk each exactly
+/// once, electing the globally smallest unvisited k-mer as its leader.
+std::uint64_t walk_cycles(Partition& part, const core::CountConfig& cfg) {
+  std::uint64_t cycles = 0;
+  while (true) {
+    kmer::Kmer64 local_min = ~kmer::Kmer64{0};
+    for (std::size_t i = 0; i < part.kms_.size(); ++i)
+      if (!part.visited_[i]) {
+        local_min = part.kms_[i];
+        break;  // kms_ sorted: first unvisited is the minimum
+      }
+    const kmer::Kmer64 global_min = ~part.pe_.allreduce_max(~local_min);
+    if (global_min == ~kmer::Kmer64{0}) break;
+    ++cycles;
+
+    actor::Actor actor(part.pe_, walker_actor_config(),
+                       walker_conveyor_config(cfg));
+    actor.set_handler([&](std::uint8_t kind, const std::uint64_t* w,
+                          std::size_t n) {
+      receive_walker(part, actor, kind, w, n);
+    });
+    if (local_min == global_min) {
+      const std::size_t i = part.find(global_min);
+      DAKC_ASSERT(i != Partition::kNpos);
+      part.visited_[i] = true;
+      PackedSeq seq;
+      for (int b = 0; b < part.k_; ++b)
+        seq.push(kmer::kmer_base(part.kms_[i], b, part.k_));
+      const kmer::Kmer64 start = part.kms_[i];
+      walk_from(part, actor, i, std::move(seq), part.cnt_[i], &start);
+    }
+    actor.done();
+  }
+  return cycles;
+}
+
+}  // namespace
+
+DistributedUnitigReport distributed_unitigs(
+    const std::vector<kmer::KmerCount64>& counts, int k,
+    const core::CountConfig& config, std::uint64_t min_count) {
+  DAKC_CHECK(k >= 2 && k <= 32);
+  net::FabricConfig fab_cfg;
+  fab_cfg.pes = config.pes;
+  fab_cfg.pes_per_node = config.pes_per_node;
+  fab_cfg.machine = config.machine;
+  fab_cfg.zero_cost = config.zero_cost;
+  net::Fabric fabric(fab_cfg);
+
+  struct PeResult {
+    std::vector<Unitig> unitigs;
+    std::uint64_t edge_messages = 0;
+    std::uint64_t walker_hops = 0;
+    std::uint64_t cycles = 0;
+  };
+  std::vector<PeResult> results(static_cast<std::size_t>(config.pes));
+
+  fabric.run([&](net::Pe& pe) {
+    Partition part(pe, counts, k, min_count);
+    discover_edges(part);
+    mark_starts(part);
+    walk_linear(part, config);
+    const std::uint64_t cycles = walk_cycles(part, config);
+    auto& r = results[static_cast<std::size_t>(pe.rank())];
+    r.unitigs = std::move(part.unitigs_);
+    r.edge_messages = part.edge_messages_;
+    r.walker_hops = part.walker_hops_;
+    r.cycles = cycles;
+  });
+
+  DistributedUnitigReport report;
+  report.makespan = fabric.makespan();
+  for (auto& r : results) {
+    report.edge_messages += r.edge_messages;
+    report.walker_hops += r.walker_hops;
+    report.cycles = std::max(report.cycles, r.cycles);
+    for (auto& u : r.unitigs) report.unitigs.push_back(std::move(u));
+  }
+  return report;
+}
+
+}  // namespace dakc::dbg

@@ -1,0 +1,60 @@
+// Distributed unitig construction on the simulated cluster — the
+// HipMer-style pipeline stage that consumes distributed k-mer counts.
+//
+// After counting, each PE owns the k-mers that hash to it (exactly the
+// partition count_kmers() leaves behind). Unitigs are global objects that
+// cross ownership boundaries, so their construction is a genuinely
+// distributed traversal. We build them in four FA-BSP supersteps on the
+// actor runtime, exploiting its messages-spawning-messages semantics:
+//
+//   1. Edge discovery: every k-mer announces itself to the owners of its
+//      four possible successors; owners record in-edges and reply with
+//      out-edge confirmations. After one quiescent round every PE knows
+//      the in/out degree masks of its k-mers.
+//   2. Start marking: a k-mer with in-degree 1 asks its unique
+//      predecessor's owner for that predecessor's out-degree; unitig
+//      *starts* are k-mers with in-degree != 1 or a branching
+//      predecessor.
+//   3. Walks: each start launches a walker message that hops from owner
+//      to owner, appending one base per step, until the path branches or
+//      ends; the terminating owner emits the unitig. Walkers are
+//      forwarded from inside message handlers while the runtime drives
+//      quiescence — the fine-grained asynchrony this repository exists to
+//      demonstrate, applied to traversal instead of counting.
+//   4. Cycles: k-mers no walker visited lie on isolated simple cycles;
+//      the PEs repeatedly elect the globally smallest unvisited k-mer
+//      (one reduction per cycle) and walk each cycle exactly once.
+//
+// The result matches the shared-memory DeBruijnGraph::unitigs() output
+// exactly (the property tests compare them), but is computed without any
+// PE ever holding the whole k-mer set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "dbg/graph.hpp"
+#include "kmer/count.hpp"
+
+namespace dakc::dbg {
+
+struct DistributedUnitigReport {
+  std::vector<Unitig> unitigs;  ///< gathered from all PEs
+  double makespan = 0.0;        ///< simulated seconds
+  std::uint64_t edge_messages = 0;   ///< discovery announcements sent
+  std::uint64_t walker_hops = 0;     ///< cross-PE walker forwards
+  std::uint64_t cycles = 0;          ///< isolated cycles found
+};
+
+/// Build unitigs from counted k-mers on the simulated cluster. `counts`
+/// is the global sorted count array (e.g. RunReport::counts); each PE
+/// takes ownership of its hash partition, so no PE-local structure ever
+/// holds the full set. `config` supplies the machine/PE layout (and
+/// min_count filtering via its own field below).
+DistributedUnitigReport distributed_unitigs(
+    const std::vector<kmer::KmerCount64>& counts, int k,
+    const core::CountConfig& config, std::uint64_t min_count = 1);
+
+}  // namespace dakc::dbg

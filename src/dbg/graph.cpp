@@ -1,0 +1,172 @@
+#include "dbg/graph.hpp"
+
+#include <algorithm>
+
+#include "kmer/encoding.hpp"
+#include "util/check.hpp"
+
+namespace dakc::dbg {
+
+DeBruijnGraph::DeBruijnGraph(const std::vector<kmer::KmerCount64>& counts,
+                             int k, std::uint64_t min_count)
+    : k_(k) {
+  DAKC_CHECK(k >= 2 && k <= 32);
+  kmers_.reserve(counts.size());
+  counts_.reserve(counts.size());
+  for (const auto& kc : counts) {
+    if (kc.count < min_count) continue;
+    DAKC_CHECK_MSG(kmers_.empty() || kc.kmer > kmers_.back(),
+                   "counts must be kmer-sorted and deduplicated");
+    kmers_.push_back(kc.kmer);
+    counts_.push_back(kc.count);
+  }
+}
+
+std::size_t DeBruijnGraph::index_of(kmer::Kmer64 km) const {
+  const auto it = std::lower_bound(kmers_.begin(), kmers_.end(), km);
+  if (it == kmers_.end() || *it != km) return kNpos;
+  return static_cast<std::size_t>(it - kmers_.begin());
+}
+
+bool DeBruijnGraph::contains(kmer::Kmer64 km) const {
+  return index_of(km) != kNpos;
+}
+
+std::uint64_t DeBruijnGraph::count(kmer::Kmer64 km) const {
+  const std::size_t i = index_of(km);
+  return i == kNpos ? 0 : counts_[i];
+}
+
+kmer::Kmer64 DeBruijnGraph::successor(kmer::Kmer64 km,
+                                      std::uint8_t base) const {
+  return kmer::kmer_append(km, base, k_);
+}
+
+kmer::Kmer64 DeBruijnGraph::predecessor(kmer::Kmer64 km,
+                                        std::uint8_t base) const {
+  return (km >> 2) |
+         (static_cast<kmer::Kmer64>(base & 3) << (2 * (k_ - 1)));
+}
+
+int DeBruijnGraph::out_degree(kmer::Kmer64 km) const {
+  int d = 0;
+  for (std::uint8_t b = 0; b < 4; ++b) d += contains(successor(km, b));
+  return d;
+}
+
+int DeBruijnGraph::in_degree(kmer::Kmer64 km) const {
+  int d = 0;
+  for (std::uint8_t b = 0; b < 4; ++b) d += contains(predecessor(km, b));
+  return d;
+}
+
+std::vector<Unitig> DeBruijnGraph::unitigs() const {
+  std::vector<Unitig> out;
+  std::vector<bool> visited(kmers_.size(), false);
+
+  // A k-mer *starts* a unitig when its backward extension is not unique
+  // (in-degree != 1) or its unique predecessor branches forward.
+  auto unique_successor = [&](kmer::Kmer64 km, kmer::Kmer64* next) {
+    int d = 0;
+    for (std::uint8_t b = 0; b < 4; ++b) {
+      const kmer::Kmer64 s = successor(km, b);
+      if (contains(s)) {
+        ++d;
+        *next = s;
+      }
+    }
+    return d == 1;
+  };
+  auto unique_predecessor = [&](kmer::Kmer64 km, kmer::Kmer64* prev) {
+    int d = 0;
+    for (std::uint8_t b = 0; b < 4; ++b) {
+      const kmer::Kmer64 p = predecessor(km, b);
+      if (contains(p)) {
+        ++d;
+        *prev = p;
+      }
+    }
+    return d == 1;
+  };
+  auto is_start = [&](kmer::Kmer64 km) {
+    kmer::Kmer64 prev;
+    if (!unique_predecessor(km, &prev)) return true;
+    kmer::Kmer64 next_of_prev;
+    return !unique_successor(prev, &next_of_prev) || next_of_prev != km;
+  };
+
+  auto walk = [&](std::size_t start_index, bool circular_pass) {
+    const kmer::Kmer64 start = kmers_[start_index];
+    Unitig u;
+    u.seq = kmer::kmer_to_string(start, k_);
+    u.kmers = 1;
+    double cov = static_cast<double>(counts_[start_index]);
+    visited[start_index] = true;
+
+    kmer::Kmer64 cur = start;
+    while (true) {
+      kmer::Kmer64 next;
+      if (!unique_successor(cur, &next)) break;
+      kmer::Kmer64 prev_of_next;
+      if (!unique_predecessor(next, &prev_of_next) || prev_of_next != cur)
+        break;
+      const std::size_t ni = index_of(next);
+      DAKC_ASSERT(ni != kNpos);
+      if (visited[ni]) {
+        if (circular_pass && next == start) u.circular = true;
+        break;
+      }
+      visited[ni] = true;
+      u.seq.push_back(kmer::decode_base(
+          static_cast<std::uint8_t>(next & 3)));
+      cov += static_cast<double>(counts_[ni]);
+      ++u.kmers;
+      cur = next;
+    }
+    u.mean_coverage = cov / static_cast<double>(u.kmers);
+    out.push_back(std::move(u));
+  };
+
+  // Pass 1: unitigs anchored at branch points / tips.
+  for (std::size_t i = 0; i < kmers_.size(); ++i) {
+    if (visited[i]) continue;
+    if (is_start(kmers_[i])) walk(i, /*circular_pass=*/false);
+  }
+  // Pass 2: whatever remains lies on isolated simple cycles.
+  for (std::size_t i = 0; i < kmers_.size(); ++i) {
+    if (!visited[i]) walk(i, /*circular_pass=*/true);
+  }
+  return out;
+}
+
+AssemblyStats assembly_stats(const std::vector<Unitig>& unitigs) {
+  AssemblyStats s;
+  s.contigs = unitigs.size();
+  if (unitigs.empty()) return s;
+  std::vector<std::uint64_t> lengths;
+  lengths.reserve(unitigs.size());
+  double cov_weighted = 0.0;
+  for (const auto& u : unitigs) {
+    lengths.push_back(u.seq.size());
+    s.total_bases += u.seq.size();
+    s.longest = std::max<std::uint64_t>(s.longest, u.seq.size());
+    cov_weighted += u.mean_coverage * static_cast<double>(u.kmers);
+  }
+  std::uint64_t total_kmers = 0;
+  for (const auto& u : unitigs) total_kmers += u.kmers;
+  s.mean_coverage =
+      total_kmers ? cov_weighted / static_cast<double>(total_kmers) : 0.0;
+
+  std::sort(lengths.rbegin(), lengths.rend());
+  std::uint64_t acc = 0;
+  for (std::uint64_t len : lengths) {
+    acc += len;
+    if (2 * acc >= s.total_bases) {
+      s.n50 = len;
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace dakc::dbg

@@ -1,0 +1,80 @@
+// De Bruijn graph over counted k-mers, with unitig extraction.
+//
+// This is the downstream stage that makes k-mer counting matter: every
+// assembler the paper cites (HipMer, PakMan, MetaHipMer) feeds its
+// counted k-mers into a de Bruijn graph and compacts non-branching paths
+// into unitigs. The module turns a counter's output (sorted
+// {kmer, count}, e.g. RunReport::counts) into:
+//
+//   * a membership/degree oracle over the "solid" k-mers (count >=
+//     min_count, the error filter the k-mer spectrum suggests), and
+//   * the graph's unitigs — maximal paths whose internal nodes have
+//     unique extensions — plus standard assembly statistics (N50 etc.).
+//
+// Convention: nodes are k-mers; x -> y is an edge iff y's (k-1)-prefix
+// equals x's (k-1)-suffix. The graph is strand-specific (no
+// canonicalization): reads sampled from both strands produce unitigs in
+// reverse-complement pairs, which assembly_stats() can deduplicate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kmer/count.hpp"
+
+namespace dakc::dbg {
+
+struct Unitig {
+  std::string seq;           ///< bases; length = kmers + k - 1
+  std::size_t kmers = 0;     ///< path length in k-mers
+  double mean_coverage = 0.0;///< mean count along the path
+  bool circular = false;     ///< the path closes on itself
+};
+
+struct AssemblyStats {
+  std::size_t contigs = 0;
+  std::uint64_t total_bases = 0;
+  std::uint64_t longest = 0;
+  std::uint64_t n50 = 0;
+  double mean_coverage = 0.0;
+};
+
+class DeBruijnGraph {
+ public:
+  /// Build from a k-mer-sorted count array, keeping k-mers with count >=
+  /// min_count. `counts` must be sorted by kmer (every counter in this
+  /// repo emits that ordering).
+  DeBruijnGraph(const std::vector<kmer::KmerCount64>& counts, int k,
+                std::uint64_t min_count = 1);
+
+  int k() const { return k_; }
+  std::size_t size() const { return kmers_.size(); }
+  bool contains(kmer::Kmer64 km) const;
+  /// Count of a solid k-mer (0 if absent).
+  std::uint64_t count(kmer::Kmer64 km) const;
+
+  /// Successor obtained by shifting in `base` (0..3).
+  kmer::Kmer64 successor(kmer::Kmer64 km, std::uint8_t base) const;
+  /// Predecessor obtained by shifting in `base` at the front.
+  kmer::Kmer64 predecessor(kmer::Kmer64 km, std::uint8_t base) const;
+  int out_degree(kmer::Kmer64 km) const;
+  int in_degree(kmer::Kmer64 km) const;
+
+  /// Maximal non-branching paths, each solid k-mer covered exactly once
+  /// (isolated cycles are emitted as circular unitigs).
+  std::vector<Unitig> unitigs() const;
+
+ private:
+  std::size_t index_of(kmer::Kmer64 km) const;  // npos when absent
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  int k_;
+  std::vector<kmer::Kmer64> kmers_;        // sorted
+  std::vector<std::uint64_t> counts_;      // parallel to kmers_
+};
+
+/// Standard contig statistics over a unitig set.
+AssemblyStats assembly_stats(const std::vector<Unitig>& unitigs);
+
+}  // namespace dakc::dbg

@@ -1,0 +1,239 @@
+#include "des/engine.hpp"
+
+#include <ucontext.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dakc::des {
+
+namespace {
+// The engine is strictly single-threaded; this points at the engine whose
+// run() loop is active so the makecontext trampoline (which cannot take a
+// pointer argument portably) can find it. thread_local so independent
+// engines may run in different host threads (tests do this).
+thread_local Engine* g_current_engine = nullptr;
+// Scheduler-side context to swap back into.
+thread_local ucontext_t g_sched_ctx;
+}  // namespace
+
+struct Engine::Fiber {
+  enum class State : std::uint8_t { kNew, kRunnable, kRunning, kBlocked, kDone };
+
+  explicit Fiber(std::size_t stack_bytes)
+      : stack(new char[stack_bytes]), stack_size(stack_bytes) {}
+
+  ucontext_t ctx{};
+  std::unique_ptr<char[]> stack;
+  std::size_t stack_size;
+  std::function<void(Context&)> body;
+  SimTime vtime = 0.0;
+  State state = State::kNew;
+  bool pending_wake = false;
+  SimTime pending_wake_time = 0.0;
+  SimTime blocked_since = 0.0;
+  FiberStats stats;
+};
+
+Engine::Engine(Config config) : config_(config) {
+  DAKC_CHECK(config_.stack_bytes >= 16 * 1024);
+}
+
+Engine::~Engine() = default;
+
+int Engine::spawn(std::function<void(Context&)> body) {
+  DAKC_CHECK_MSG(!started_, "spawn() after run() is not supported");
+  auto fiber = std::make_unique<Fiber>(config_.stack_bytes);
+  fiber->body = std::move(body);
+  fibers_.push_back(std::move(fiber));
+  return static_cast<int>(fibers_.size()) - 1;
+}
+
+void Engine::trampoline() {
+  Engine* engine = g_current_engine;
+  const int id = engine->running_;
+  engine->run_fiber_body(id);
+  Fiber& f = *engine->fibers_[id];
+  f.state = Fiber::State::kDone;
+  f.stats.finish_time = f.vtime;
+  swapcontext(&f.ctx, &g_sched_ctx);
+  // A finished fiber must never be resumed.
+  DAKC_CHECK_MSG(false, "resumed a completed fiber");
+}
+
+void Engine::run_fiber_body(int id) {
+  try {
+    Context ctx(this, id);
+    fibers_[id]->body(ctx);
+  } catch (...) {
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void Engine::run() {
+  DAKC_CHECK_MSG(!started_, "Engine::run() may only be called once");
+  started_ = true;
+  DAKC_CHECK_MSG(!fibers_.empty(), "no fibers spawned");
+
+  g_current_engine = this;
+  for (int id = 0; id < static_cast<int>(fibers_.size()); ++id) {
+    Fiber& f = *fibers_[id];
+    getcontext(&f.ctx);
+    f.ctx.uc_stack.ss_sp = f.stack.get();
+    f.ctx.uc_stack.ss_size = f.stack_size;
+    f.ctx.uc_link = nullptr;  // trampoline never falls off the end
+    makecontext(&f.ctx, reinterpret_cast<void (*)()>(&Engine::trampoline), 0);
+    f.state = Fiber::State::kRunnable;
+    runnable_.push({f.vtime, id});
+  }
+
+  while (!runnable_.empty()) {
+    const HeapEntry entry = runnable_.top();
+    runnable_.pop();
+    Fiber& f = *fibers_[entry.id];
+    DAKC_ASSERT(f.state == Fiber::State::kRunnable);
+    f.state = Fiber::State::kRunning;
+    running_ = entry.id;
+    ++events_;
+    swapcontext(&g_sched_ctx, &f.ctx);
+    running_ = -1;
+    if (first_error_) break;
+  }
+  g_current_engine = nullptr;
+
+  if (first_error_) std::rethrow_exception(first_error_);
+
+  // Every fiber must have completed; otherwise the program deadlocked.
+  std::ostringstream blocked;
+  bool deadlock = false;
+  for (int id = 0; id < static_cast<int>(fibers_.size()); ++id) {
+    if (fibers_[id]->state != Fiber::State::kDone) {
+      deadlock = true;
+      blocked << ' ' << id;
+    }
+  }
+  DAKC_CHECK_MSG(!deadlock,
+                 "simulation deadlock; blocked fibers:" + blocked.str());
+}
+
+const FiberStats& Engine::stats(int fiber) const {
+  DAKC_CHECK(fiber >= 0 && fiber < fiber_count());
+  return fibers_[fiber]->stats;
+}
+
+SimTime Engine::makespan() const {
+  SimTime m = 0.0;
+  for (const auto& f : fibers_) m = std::max(m, f->stats.finish_time);
+  return m;
+}
+
+SimTime Engine::fiber_now(int id) const { return fibers_[id]->vtime; }
+
+void Engine::return_to_scheduler(int id) {
+  Fiber& f = *fibers_[id];
+  ++f.stats.yields;
+  swapcontext(&f.ctx, &g_sched_ctx);
+  DAKC_ASSERT(f.state == Fiber::State::kRunning);
+}
+
+void Engine::make_runnable(int id) {
+  Fiber& f = *fibers_[id];
+  f.state = Fiber::State::kRunnable;
+  runnable_.push({f.vtime, id});
+}
+
+void Engine::record(int fiber, Category cat, SimTime start, SimTime end) {
+  if (tracing_ && end > start) trace_.push_back({fiber, cat, start, end});
+}
+
+void Engine::fiber_charge(int id, SimTime dt, Category cat) {
+  DAKC_CHECK_MSG(dt >= 0.0, "negative time charge");
+  Fiber& f = *fibers_[id];
+  record(id, cat, f.vtime, f.vtime + dt);
+  switch (cat) {
+    case Category::kCompute: f.stats.compute += dt; break;
+    case Category::kMemory: f.stats.memory += dt; break;
+    case Category::kNetwork: f.stats.network += dt; break;
+    case Category::kIdle: f.stats.idle += dt; break;
+  }
+  f.vtime += dt;
+  // Keep running while we are still the earliest fiber; otherwise hand
+  // control to the scheduler so the earlier one proceeds first.
+  if (!runnable_.empty() && runnable_.top().time < f.vtime) {
+    make_runnable(id);
+    return_to_scheduler(id);
+  } else {
+    f.state = Fiber::State::kRunning;  // unchanged; explicit for clarity
+  }
+}
+
+void Engine::fiber_yield(int id) {
+  make_runnable(id);
+  return_to_scheduler(id);
+}
+
+void Engine::fiber_block(int id) {
+  Fiber& f = *fibers_[id];
+  if (f.pending_wake) {
+    f.pending_wake = false;
+    if (f.pending_wake_time > f.vtime) {
+      record(id, Category::kIdle, f.vtime, f.pending_wake_time);
+      f.stats.idle += f.pending_wake_time - f.vtime;
+      f.vtime = f.pending_wake_time;
+    }
+    // The clock may have advanced past other fibers; reschedule fairly.
+    fiber_yield(id);
+    return;
+  }
+  f.state = Fiber::State::kBlocked;
+  f.blocked_since = f.vtime;
+  return_to_scheduler(id);
+}
+
+void Engine::fiber_wake(int waker, int target, SimTime not_before) {
+  DAKC_CHECK(target >= 0 && target < fiber_count());
+  Fiber& w = *fibers_[waker];
+  DAKC_CHECK_MSG(not_before >= w.vtime,
+                 "wake time precedes the waker's clock (causality)");
+  Fiber& t = *fibers_[target];
+  switch (t.state) {
+    case Fiber::State::kBlocked:
+      if (not_before > t.vtime) {
+        record(target, Category::kIdle, t.vtime, not_before);
+        t.stats.idle += not_before - t.vtime;
+        t.vtime = not_before;
+      }
+      make_runnable(target);
+      break;
+    case Fiber::State::kDone:
+      // Benign: e.g. a late notification to a PE that already finished.
+      break;
+    default:
+      // Not blocked yet: remember the wake (binary semaphore).
+      t.pending_wake = true;
+      t.pending_wake_time = std::max(t.pending_wake_time, not_before);
+      break;
+  }
+}
+
+void Engine::fiber_idle_until(int id, SimTime t) {
+  Fiber& f = *fibers_[id];
+  DAKC_CHECK_MSG(t >= f.vtime, "idle_until() into the past");
+  fiber_charge(id, t - f.vtime, Category::kIdle);
+}
+
+int Context::count() const { return engine_->fiber_count(); }
+SimTime Context::now() const { return engine_->fiber_now(id_); }
+void Context::charge(SimTime dt, Category cat) {
+  engine_->fiber_charge(id_, dt, cat);
+}
+void Context::yield() { engine_->fiber_yield(id_); }
+void Context::block() { engine_->fiber_block(id_); }
+void Context::wake(int fiber, SimTime not_before) {
+  engine_->fiber_wake(id_, fiber, not_before);
+}
+void Context::idle_until(SimTime t) { engine_->fiber_idle_until(id_, t); }
+
+}  // namespace dakc::des

@@ -1,0 +1,177 @@
+#include "io/dump.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "kmer/encoding.hpp"
+#include "util/check.hpp"
+
+namespace dakc::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'K', 'C', '1'};
+
+[[noreturn]] void bad(const std::string& why) {
+  throw std::runtime_error("malformed count dump: " + why);
+}
+
+template <typename T>
+void write_le(std::ostream& out, T value) {
+  // Host is little-endian on every supported target; keep it explicit.
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.write(buf, sizeof(T));
+}
+
+template <typename T>
+T read_le(std::istream& in) {
+  char buf[sizeof(T)];
+  in.read(buf, sizeof(T));
+  if (in.gcount() != sizeof(T)) bad("truncated binary dump");
+  T value;
+  std::memcpy(&value, buf, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+void write_dump_text(std::ostream& out,
+                     const std::vector<kmer::KmerCount64>& counts, int k) {
+  DAKC_CHECK(k >= 1 && k <= 32);
+  kmer::Kmer64 prev = 0;
+  bool first = true;
+  for (const auto& kc : counts) {
+    DAKC_CHECK_MSG(first || kc.kmer > prev, "dump must be kmer-sorted");
+    first = false;
+    prev = kc.kmer;
+    out << kmer::kmer_to_string(kc.kmer, k) << '\t' << kc.count << '\n';
+  }
+}
+
+std::vector<kmer::KmerCount64> read_dump_text(std::istream& in, int* k_out) {
+  std::vector<kmer::KmerCount64> out;
+  std::string line;
+  int k = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos) bad("missing tab separator");
+    const std::string kmer_str = line.substr(0, tab);
+    if (k == 0) {
+      k = static_cast<int>(kmer_str.size());
+      if (k < 1 || k > 32) bad("k out of range");
+    } else if (static_cast<int>(kmer_str.size()) != k) {
+      bad("inconsistent k-mer lengths");
+    }
+    kmer::Kmer64 km;
+    try {
+      km = kmer::parse_kmer(kmer_str);
+    } catch (const std::logic_error&) {
+      bad("invalid k-mer '" + kmer_str + "'");
+    }
+    std::uint64_t count = 0;
+    try {
+      count = std::stoull(line.substr(tab + 1));
+    } catch (const std::exception&) {
+      bad("invalid count in '" + line + "'");
+    }
+    if (count == 0) bad("zero count");
+    if (!out.empty() && km <= out.back().kmer) bad("records not sorted");
+    out.push_back({km, count});
+  }
+  if (k_out) *k_out = k;
+  return out;
+}
+
+void write_dump_binary(std::ostream& out,
+                       const std::vector<kmer::KmerCount64>& counts, int k) {
+  DAKC_CHECK(k >= 1 && k <= 32);
+  out.write(kMagic, 4);
+  write_le<std::uint32_t>(out, static_cast<std::uint32_t>(k));
+  write_le<std::uint64_t>(out, counts.size());
+  kmer::Kmer64 prev = 0;
+  bool first = true;
+  for (const auto& kc : counts) {
+    DAKC_CHECK_MSG(first || kc.kmer > prev, "dump must be kmer-sorted");
+    first = false;
+    prev = kc.kmer;
+    write_le<std::uint64_t>(out, kc.kmer);
+    write_le<std::uint64_t>(out, kc.count);
+  }
+}
+
+std::vector<kmer::KmerCount64> read_dump_binary(std::istream& in,
+                                                int* k_out) {
+  char magic[4];
+  in.read(magic, 4);
+  if (in.gcount() != 4 || std::memcmp(magic, kMagic, 4) != 0)
+    bad("bad magic (not a DKC1 binary dump)");
+  const auto k = static_cast<int>(read_le<std::uint32_t>(in));
+  if (k < 1 || k > 32) bad("k out of range");
+  const auto n = read_le<std::uint64_t>(in);
+  std::vector<kmer::KmerCount64> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto km = read_le<std::uint64_t>(in);
+    const auto count = read_le<std::uint64_t>(in);
+    if (count == 0) bad("zero count");
+    if (!out.empty() && km <= out.back().kmer) bad("records not sorted");
+    out.push_back({km, count});
+  }
+  if (k_out) *k_out = k;
+  return out;
+}
+
+void write_dump_file(const std::string& path,
+                     const std::vector<kmer::KmerCount64>& counts, int k,
+                     bool binary) {
+  std::ofstream out(path, binary ? std::ios::binary : std::ios::out);
+  if (!out) throw std::runtime_error("cannot write: " + path);
+  if (binary)
+    write_dump_binary(out, counts, k);
+  else
+    write_dump_text(out, counts, k);
+}
+
+std::vector<kmer::KmerCount64> read_dump_file(const std::string& path,
+                                              int* k_out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  char magic[4] = {0, 0, 0, 0};
+  in.read(magic, 4);
+  in.seekg(0);
+  if (std::memcmp(magic, kMagic, 4) == 0) return read_dump_binary(in, k_out);
+  return read_dump_text(in, k_out);
+}
+
+DumpDiff diff_dumps(const std::vector<kmer::KmerCount64>& a,
+                    const std::vector<kmer::KmerCount64>& b) {
+  DumpDiff d;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].kmer < b[j].kmer) {
+      ++d.only_a;
+      ++i;
+    } else if (b[j].kmer < a[i].kmer) {
+      ++d.only_b;
+      ++j;
+    } else {
+      if (a[i].count == b[j].count)
+        ++d.matching;
+      else
+        ++d.count_mismatch;
+      ++i;
+      ++j;
+    }
+  }
+  d.only_a += a.size() - i;
+  d.only_b += b.size() - j;
+  return d;
+}
+
+}  // namespace dakc::io

@@ -1,0 +1,58 @@
+// Count-dump serialization: the interchange formats k-mer counting tools
+// ship (KMC's `kmc_dump`, jellyfish's `dump`).
+//
+// Two formats:
+//  * text: one "KMER<TAB>count" line per record, k-mers rendered as
+//    ACGT, sorted — diffable and tool-compatible;
+//  * binary: a fixed header (magic, version, k, record count) followed by
+//    little-endian {u64 kmer, u64 count} records — compact and exact.
+//
+// Readers validate structure and k consistency and throw
+// std::runtime_error on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "kmer/count.hpp"
+
+namespace dakc::io {
+
+/// Write "KMER\tcount" lines (records must be kmer-sorted; verified).
+void write_dump_text(std::ostream& out,
+                     const std::vector<kmer::KmerCount64>& counts, int k);
+
+/// Parse a text dump; infers k from the first record and enforces it.
+/// Returns records in file order (sorted, as written).
+std::vector<kmer::KmerCount64> read_dump_text(std::istream& in, int* k_out);
+
+/// Binary dump with header {magic "DKC1", u32 k, u64 records}.
+void write_dump_binary(std::ostream& out,
+                       const std::vector<kmer::KmerCount64>& counts, int k);
+std::vector<kmer::KmerCount64> read_dump_binary(std::istream& in,
+                                                int* k_out);
+
+/// Convenience file wrappers (format chosen by `binary`).
+void write_dump_file(const std::string& path,
+                     const std::vector<kmer::KmerCount64>& counts, int k,
+                     bool binary);
+/// Auto-detects the format from the file's leading bytes.
+std::vector<kmer::KmerCount64> read_dump_file(const std::string& path,
+                                              int* k_out);
+
+/// Difference summary between two count dumps (for `dakc_count compare`).
+struct DumpDiff {
+  std::uint64_t only_a = 0;       ///< k-mers present only in A
+  std::uint64_t only_b = 0;       ///< k-mers present only in B
+  std::uint64_t count_mismatch = 0;
+  std::uint64_t matching = 0;
+  bool identical() const {
+    return only_a == 0 && only_b == 0 && count_mismatch == 0;
+  }
+};
+DumpDiff diff_dumps(const std::vector<kmer::KmerCount64>& a,
+                    const std::vector<kmer::KmerCount64>& b);
+
+}  // namespace dakc::io

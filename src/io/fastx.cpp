@@ -1,0 +1,136 @@
+#include "io/fastx.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace dakc::io {
+
+namespace {
+
+void split_header(const std::string& line, SequenceRecord* rec) {
+  const std::size_t sp = line.find_first_of(" \t", 1);
+  if (sp == std::string::npos) {
+    rec->id = line.substr(1);
+    rec->comment.clear();
+  } else {
+    rec->id = line.substr(1, sp - 1);
+    rec->comment = line.substr(sp + 1);
+  }
+}
+
+[[noreturn]] void malformed(const std::string& why) {
+  throw std::runtime_error("malformed FASTA/FASTQ: " + why);
+}
+
+bool getline_strip(std::istream& in, std::string& line) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+}  // namespace
+
+FastxReader::FastxReader(std::istream& in, FastxFormat format)
+    : in_(in), format_(format) {}
+
+bool FastxReader::next(SequenceRecord* out) {
+  std::string line;
+  if (!have_pending_) {
+    // Skip blank lines between records.
+    do {
+      if (!getline_strip(in_, line)) return false;
+    } while (line.empty());
+  } else {
+    line = pending_header_;
+    have_pending_ = false;
+  }
+
+  if (format_ == FastxFormat::kAuto) {
+    if (line[0] == '>')
+      format_ = FastxFormat::kFasta;
+    else if (line[0] == '@')
+      format_ = FastxFormat::kFastq;
+    else
+      malformed("first record must start with '>' or '@'");
+  }
+
+  out->id.clear();
+  out->comment.clear();
+  out->seq.clear();
+  out->qual.clear();
+
+  if (format_ == FastxFormat::kFasta) {
+    if (line[0] != '>') malformed("expected '>' header");
+    split_header(line, out);
+    while (getline_strip(in_, line)) {
+      if (line.empty()) continue;
+      if (line[0] == '>') {
+        pending_header_ = line;
+        have_pending_ = true;
+        break;
+      }
+      out->seq += line;
+    }
+    if (out->seq.empty()) malformed("record '" + out->id + "' has no bases");
+  } else {
+    if (line[0] != '@') malformed("expected '@' header");
+    split_header(line, out);
+    if (!getline_strip(in_, out->seq)) malformed("truncated record (no seq)");
+    std::string plus;
+    if (!getline_strip(in_, plus)) malformed("truncated record (no '+')");
+    if (plus.empty() || plus[0] != '+') malformed("expected '+' separator");
+    if (!getline_strip(in_, out->qual)) malformed("truncated record (no qual)");
+    if (out->qual.size() != out->seq.size())
+      malformed("quality length != sequence length in '" + out->id + "'");
+  }
+  ++records_;
+  return true;
+}
+
+std::vector<SequenceRecord> read_fastx(std::istream& in, FastxFormat format) {
+  FastxReader reader(in, format);
+  std::vector<SequenceRecord> recs;
+  SequenceRecord rec;
+  while (reader.next(&rec)) recs.push_back(rec);
+  return recs;
+}
+
+std::vector<SequenceRecord> read_fastx_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return read_fastx(in);
+}
+
+void write_fastq(std::ostream& out, const std::vector<SequenceRecord>& recs) {
+  for (const auto& r : recs) {
+    DAKC_CHECK_MSG(r.qual.size() == r.seq.size(),
+                   "FASTQ record needs qualities");
+    out << '@' << r.id;
+    if (!r.comment.empty()) out << ' ' << r.comment;
+    out << '\n' << r.seq << "\n+\n" << r.qual << '\n';
+  }
+}
+
+void write_fasta(std::ostream& out, const std::vector<SequenceRecord>& recs,
+                 std::size_t line_width) {
+  DAKC_CHECK(line_width >= 1);
+  for (const auto& r : recs) {
+    out << '>' << r.id;
+    if (!r.comment.empty()) out << ' ' << r.comment;
+    out << '\n';
+    for (std::size_t i = 0; i < r.seq.size(); i += line_width)
+      out << r.seq.substr(i, line_width) << '\n';
+  }
+}
+
+std::uint64_t total_bases(const std::vector<SequenceRecord>& recs) {
+  std::uint64_t sum = 0;
+  for (const auto& r : recs) sum += r.seq.size();
+  return sum;
+}
+
+}  // namespace dakc::io

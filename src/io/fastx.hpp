@@ -1,0 +1,62 @@
+// FASTA/FASTQ parsing and writing.
+//
+// The paper's inputs are FASTQ files (ART-simulated and SRA downloads);
+// outputs of our read simulator are FASTQ too, and examples accept either
+// format. The reader is strict about structure (it is a test oracle for
+// the simulator's writer) but tolerant about line wrapping in FASTA.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dakc::io {
+
+struct SequenceRecord {
+  std::string id;       ///< header text after '>' / '@', up to first space
+  std::string comment;  ///< rest of the header line (may be empty)
+  std::string seq;      ///< bases
+  std::string qual;     ///< per-base quality (empty for FASTA)
+
+  bool is_fastq() const { return !qual.empty(); }
+};
+
+enum class FastxFormat { kAuto, kFasta, kFastq };
+
+/// Streaming reader over an istream; detects format from the first
+/// record marker ('>' vs '@'). Throws std::runtime_error on malformed
+/// input (truncated records, FASTQ length mismatch, bad markers).
+class FastxReader {
+ public:
+  explicit FastxReader(std::istream& in, FastxFormat format = FastxFormat::kAuto);
+
+  /// Read the next record; false at clean EOF.
+  bool next(SequenceRecord* out);
+
+  FastxFormat format() const { return format_; }
+  std::uint64_t records_read() const { return records_; }
+
+ private:
+  std::istream& in_;
+  FastxFormat format_;
+  std::string pending_header_;
+  bool have_pending_ = false;
+  std::uint64_t records_ = 0;
+};
+
+/// Parse a whole stream.
+std::vector<SequenceRecord> read_fastx(std::istream& in,
+                                       FastxFormat format = FastxFormat::kAuto);
+/// Parse a file by path.
+std::vector<SequenceRecord> read_fastx_file(const std::string& path);
+
+/// Write records as FASTQ (records must carry qualities) or FASTA.
+void write_fastq(std::ostream& out, const std::vector<SequenceRecord>& recs);
+void write_fasta(std::ostream& out, const std::vector<SequenceRecord>& recs,
+                 std::size_t line_width = 80);
+
+/// Total bases across records.
+std::uint64_t total_bases(const std::vector<SequenceRecord>& recs);
+
+}  // namespace dakc::io

@@ -1,0 +1,36 @@
+// The {k-mer, count} record every counter in this repository produces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kmer/encoding.hpp"
+#include "util/histogram.hpp"
+
+namespace dakc::kmer {
+
+template <typename Word = Kmer64>
+struct KmerCount {
+  Word kmer = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const KmerCount& a, const KmerCount& b) {
+    return a.kmer == b.kmer && a.count == b.count;
+  }
+  friend bool operator<(const KmerCount& a, const KmerCount& b) {
+    return a.kmer < b.kmer;
+  }
+};
+
+using KmerCount64 = KmerCount<Kmer64>;
+
+/// Build the count histogram ("how many distinct k-mers occur c times")
+/// from a counter result.
+template <typename Word>
+CountHistogram count_histogram(const std::vector<KmerCount<Word>>& counts) {
+  CountHistogram h;
+  for (const auto& kc : counts) h.add(kc.count);
+  return h;
+}
+
+}  // namespace dakc::kmer

@@ -1,0 +1,146 @@
+// 2-bit DNA encoding (A=0, C=1, G=2, T=3) and packed k-mer types.
+//
+// The paper stores a k-mer of length k <= 32 in one 64-bit word built by
+// `kmer = (kmer << 2) | encode(base)` (Algorithm 1), so the *last* base
+// occupies the two least-significant bits. Kmer64 follows that layout.
+// Kmer128 (k <= 64) implements the paper's future-work extension using
+// unsigned __int128.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/check.hpp"
+
+namespace dakc::kmer {
+
+/// 2-bit code for a DNA base; 0xFF for anything that is not ACGT (case
+/// insensitive), e.g. the 'N' ambiguity code.
+constexpr std::uint8_t kInvalidBase = 0xFF;
+
+constexpr std::uint8_t encode_base(char c) {
+  switch (c) {
+    case 'A': case 'a': return 0;
+    case 'C': case 'c': return 1;
+    case 'G': case 'g': return 2;
+    case 'T': case 't': return 3;
+    default: return kInvalidBase;
+  }
+}
+
+constexpr char decode_base(std::uint8_t code) {
+  constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+  return kBases[code & 3];
+}
+
+constexpr bool valid_base(char c) { return encode_base(c) != kInvalidBase; }
+
+/// Complement of a 2-bit code (A<->T, C<->G): code ^ 3.
+constexpr std::uint8_t complement_code(std::uint8_t code) { return code ^ 3; }
+
+// ---------------------------------------------------------------------------
+// Packed k-mer words
+// ---------------------------------------------------------------------------
+
+/// Traits shared by the 64-bit (k <= 32) and 128-bit (k <= 64) k-mer
+/// representations.
+template <typename Word>
+struct KmerTraits;
+
+template <>
+struct KmerTraits<std::uint64_t> {
+  using Word = std::uint64_t;
+  static constexpr int kMaxK = 32;
+  static constexpr int kBits = 64;
+};
+
+using Kmer64 = std::uint64_t;
+
+#ifdef __SIZEOF_INT128__
+using Kmer128 = unsigned __int128;
+
+template <>
+struct KmerTraits<Kmer128> {
+  using Word = Kmer128;
+  static constexpr int kMaxK = 64;
+  static constexpr int kBits = 128;
+};
+#endif
+
+/// Mask selecting the low 2k bits of a packed k-mer.
+template <typename Word>
+constexpr Word kmer_mask(int k) {
+  DAKC_ASSERT(k >= 1 && k <= KmerTraits<Word>::kMaxK);
+  if (2 * k == KmerTraits<Word>::kBits) return ~Word{0};
+  return (Word{1} << (2 * k)) - 1;
+}
+
+/// Append one base to a rolling k-mer (Algorithm 1's inner step).
+template <typename Word>
+constexpr Word kmer_append(Word kmer, std::uint8_t code, int k) {
+  return ((kmer << 2) | Word{code}) & kmer_mask<Word>(k);
+}
+
+/// The base at position `i` (0 = first/leftmost base).
+template <typename Word>
+constexpr std::uint8_t kmer_base(Word kmer, int i, int k) {
+  return static_cast<std::uint8_t>((kmer >> (2 * (k - 1 - i))) & 3);
+}
+
+/// Reverse complement of a packed k-mer.
+template <typename Word>
+constexpr Word reverse_complement(Word kmer, int k) {
+  Word rc = 0;
+  for (int i = 0; i < k; ++i) {
+    rc = (rc << 2) | Word{3 - (kmer & 3)};  // complement = 3 - code = code^3
+    kmer >>= 2;
+  }
+  return rc;
+}
+
+/// Canonical form: lexicographic min of a k-mer and its reverse
+/// complement. The paper counts k-mers as parsed (no canonicalization);
+/// counters expose this as an option.
+template <typename Word>
+constexpr Word canonical(Word kmer, int k) {
+  const Word rc = reverse_complement(kmer, k);
+  return rc < kmer ? rc : kmer;
+}
+
+/// Parse a k-length ACGT string into a packed k-mer. Throws on invalid
+/// characters or length mismatch.
+template <typename Word = Kmer64>
+Word parse_kmer(std::string_view s) {
+  const int k = static_cast<int>(s.size());
+  DAKC_CHECK(k >= 1 && k <= KmerTraits<Word>::kMaxK);
+  Word kmer = 0;
+  for (char c : s) {
+    const std::uint8_t code = encode_base(c);
+    DAKC_CHECK_MSG(code != kInvalidBase, "invalid base in k-mer string");
+    kmer = kmer_append(kmer, code, k);
+  }
+  return kmer;
+}
+
+/// Render a packed k-mer as an ACGT string.
+template <typename Word>
+std::string kmer_to_string(Word kmer, int k) {
+  std::string s(static_cast<std::size_t>(k), '?');
+  for (int i = 0; i < k; ++i) s[i] = decode_base(kmer_base(kmer, i, k));
+  return s;
+}
+
+/// Storage width rule from the paper's model (Section V): a k-mer of
+/// length k occupies 2^ceil(log2(2k)) bits.
+constexpr int kmer_storage_bits(int k) {
+  int bits = 1;
+  while (bits < 2 * k) bits <<= 1;
+  return bits;
+}
+
+constexpr double kmer_storage_bytes(int k) {
+  return static_cast<double>(kmer_storage_bits(k)) / 8.0;
+}
+
+}  // namespace dakc::kmer

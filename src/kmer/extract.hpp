@@ -1,0 +1,83 @@
+// k-mer extraction from reads (Algorithm 1's GetFirstKmer + rolling loop),
+// owner hashing, and minimizers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "kmer/encoding.hpp"
+#include "util/rng.hpp"
+
+namespace dakc::kmer {
+
+/// Invoke `fn(kmer)` for every k-mer of `read`, left to right, using the
+/// paper's rolling 2-bit encoding. Windows containing a non-ACGT base are
+/// skipped (the window restarts after the offending character), matching
+/// standard k-mer counter behaviour on 'N' runs. Returns the number of
+/// k-mers produced.
+template <typename Word = Kmer64, typename Fn>
+std::size_t for_each_kmer(std::string_view read, int k, Fn&& fn) {
+  DAKC_CHECK(k >= 1 && k <= KmerTraits<Word>::kMaxK);
+  if (static_cast<int>(read.size()) < k) return 0;
+  std::size_t produced = 0;
+  Word kmer = 0;
+  int filled = 0;  // valid bases currently in the rolling window
+  for (char c : read) {
+    const std::uint8_t code = encode_base(c);
+    if (code == kInvalidBase) {
+      filled = 0;
+      kmer = 0;
+      continue;
+    }
+    kmer = kmer_append(kmer, code, k);
+    if (filled < k) ++filled;
+    if (filled == k) {
+      fn(kmer);
+      ++produced;
+    }
+  }
+  return produced;
+}
+
+/// Materialize all k-mers of a read.
+template <typename Word = Kmer64>
+std::vector<Word> extract_kmers(std::string_view read, int k) {
+  std::vector<Word> out;
+  if (static_cast<int>(read.size()) >= k)
+    out.reserve(read.size() - static_cast<std::size_t>(k) + 1);
+  for_each_kmer<Word>(read, k, [&](Word km) { out.push_back(km); });
+  return out;
+}
+
+/// OwnerPE: the processor responsible for a k-mer's final count. A strong
+/// mixer in front of the modulus keeps biologically-correlated k-mers from
+/// mapping to correlated owners. (Load *imbalance* in the paper comes from
+/// heavy-hitter multiplicity, not from a weak hash.)
+template <typename Word>
+constexpr int owner_pe(Word kmer, int pes) {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(kmer));
+  if constexpr (KmerTraits<Word>::kBits > 64)
+    h = mix64(h ^ static_cast<std::uint64_t>(kmer >> 64));
+  return static_cast<int>(h % static_cast<std::uint64_t>(pes));
+}
+
+/// Minimizer of a k-mer: the lexicographically smallest m-mer inside it
+/// (after mixing, to de-bias toward poly-A). Used by the KMC3-style
+/// shared-memory baseline for bin assignment.
+template <typename Word>
+std::uint64_t minimizer(Word kmer, int k, int m) {
+  DAKC_ASSERT(m >= 1 && m <= k && m <= 32);
+  const std::uint64_t mmask = (m == 32) ? ~0ULL : ((1ULL << (2 * m)) - 1);
+  std::uint64_t best = ~0ULL;
+  for (int i = 0; i + m <= k; ++i) {
+    const auto mmer = static_cast<std::uint64_t>(
+                          kmer >> (2 * (k - m - i))) &
+                      mmask;
+    const std::uint64_t ranked = mix64(mmer);
+    if (ranked < best) best = ranked;
+  }
+  return best;
+}
+
+}  // namespace dakc::kmer

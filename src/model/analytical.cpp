@@ -1,0 +1,148 @@
+#include "model/analytical.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "kmer/encoding.hpp"
+#include "util/check.hpp"
+
+namespace dakc::model {
+
+double kmer_bytes(int k) { return kmer::kmer_storage_bytes(k); }
+
+ModelResult evaluate(const Workload& w, const net::MachineParams& machine,
+                     int nodes) {
+  DAKC_CHECK(nodes >= 1);
+  DAKC_CHECK(w.k >= 1);
+  ModelResult r;
+  const double P = static_cast<double>(nodes);
+  const double N = w.kmers();           // n(m-k+1)
+  const double mn = w.bases();          // mn
+  const double W = kmer_bytes(w.k);     // 2^ceil(log2 2k)/8 bytes
+  const double L = machine.line_bytes;
+  if (N <= 0.0) return r;
+
+  // Phase 1 (eq. 9): one INT64-ish op per generated k-mer.
+  r.t_comp1 = N / (P * machine.cnode_ops);
+  // Phase-1 misses (eq. 10's bracket): stream the reads + append k-mers.
+  r.misses1 = (1.0 + mn / (P * L)) + (1.0 + N * W / (P * L));
+  r.t_intra1 = r.misses1 * L / machine.beta_mem;
+  // Internode (eq. 11): N*W/P bytes leave and N*W/P bytes enter each
+  // node's NIC => 2*N*W/P bytes through a beta_link-wide port.
+  r.t_inter1 = 2.0 * N * W / (P * machine.beta_link);
+
+  // Phase 2 (eq. 12): worst-case radix = one pass per key byte, one op
+  // per element per pass.
+  r.t_comp2 = N * W / (P * machine.cnode_ops);
+  // Phase-2 misses (eq. 13): stream the k-mer array once per pass.
+  r.misses2 = (1.0 + N * W / (P * L)) * W;
+  r.t_intra2 = r.misses2 * L / machine.beta_mem;
+
+  r.t_comm1_sum = r.t_intra1 + r.t_inter1;          // eq. 14
+  r.t_comm1_max = std::max(r.t_intra1, r.t_inter1); // eq. 15
+  r.t1_sum = std::max(r.t_comp1, r.t_comm1_sum);    // eq. 16
+  r.t1_max = std::max(r.t_comp1, r.t_comm1_max);
+  r.t2 = std::max(r.t_comp2, r.t_intra2);           // eq. 17
+  r.total_sum = r.t1_sum + r.t2;                    // eq. 18
+  r.total_max = r.t1_max + r.t2;
+  return r;
+}
+
+Breakdown breakdown(const ModelResult& r) {
+  Breakdown b;
+  const double comp = r.t_comp1 + r.t_comp2;
+  const double intra = r.t_intra1 + r.t_intra2;
+  const double inter = r.t_inter1;
+  const double total = comp + intra + inter;
+  if (total <= 0.0) return b;
+  b.compute = comp / total;
+  b.intranode = intra / total;
+  b.internode = inter / total;
+  return b;
+}
+
+double op_to_byte_ratio(const Workload& w) {
+  const double N = w.kmers();
+  const double mn = w.bases();
+  const double W = kmer_bytes(w.k);
+  if (N <= 0.0) return 0.0;
+  // Ops: generate each k-mer (1) + one op per element per radix pass (W).
+  const double ops = N * (1.0 + W);
+  // Bytes: read input, write k-mers, wire traffic (in+out), and one
+  // stream per radix pass.
+  const double bytes = mn + N * W + 2.0 * N * W + N * W * W;
+  return ops / bytes;
+}
+
+double machine_balance(const net::MachineParams& machine) {
+  return machine.cnode_ops / machine.beta_mem;
+}
+
+AcceleratorWhatIf accelerator_what_if(const Workload& w,
+                                      const net::MachineParams& cpu,
+                                      double device_mem_bw,
+                                      double device_int64_rate) {
+  AcceleratorWhatIf out;
+  // KC is bandwidth-bound (Fig. 5), so the best the device can do on the
+  // node-local phases is the bandwidth ratio; internode time is untouched.
+  const ModelResult r = evaluate(w, cpu, 1);
+  const double cpu_local = r.t_intra1 + r.t_intra2 + r.t_comp1 + r.t_comp2;
+  const double dev_local =
+      (r.t_intra1 + r.t_intra2) * (cpu.beta_mem / device_mem_bw) +
+      (r.t_comp1 + r.t_comp2) * (cpu.cnode_ops / device_int64_rate);
+  out.speedup_bound = dev_local > 0.0 ? cpu_local / dev_local : 0.0;
+  const double device_balance = device_int64_rate / device_mem_bw;
+  out.compute_utilization = op_to_byte_ratio(w) / device_balance;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Host microbenchmarks (Table IV)
+// ---------------------------------------------------------------------------
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double elapsed(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+double measure_int64_add_rate(double seconds_budget) {
+  // A ring of eight dependent adds: enough instruction-level parallelism
+  // to measure throughput, but loop-carried dependences so the compiler
+  // cannot fold or vectorize the loop away.
+  volatile std::uint64_t sink = 0;
+  std::uint64_t a0 = 1, a1 = 2, a2 = 3, a3 = 4, a4 = 5, a5 = 6, a6 = 7,
+                a7 = 8;
+  std::uint64_t total_ops = 0;
+  const auto t0 = Clock::now();
+  do {
+    for (int i = 0; i < 1 << 16; ++i) {
+      a0 += a1; a1 += a2; a2 += a3; a3 += a4;
+      a4 += a5; a5 += a6; a6 += a7; a7 += a0;
+    }
+    total_ops += 8ull << 16;
+  } while (elapsed(t0) < seconds_budget);
+  const double dt = elapsed(t0);
+  sink = a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7;
+  (void)sink;
+  return static_cast<double>(total_ops) / dt;
+}
+
+double measure_stream_bandwidth(double seconds_budget) {
+  // Copy between two buffers well beyond LLC size.
+  const std::size_t bytes = 128ull * 1024 * 1024;
+  std::vector<std::uint64_t> src(bytes / 8, 1), dst(bytes / 8, 0);
+  std::uint64_t moved = 0;
+  const auto t0 = Clock::now();
+  do {
+    std::memcpy(dst.data(), src.data(), bytes);
+    moved += 2ull * bytes;  // read + write
+    src[moved % src.size()] ^= 1;  // defeat memcpy elision
+  } while (elapsed(t0) < seconds_budget);
+  return static_cast<double>(moved) / elapsed(t0);
+}
+
+}  // namespace dakc::model

@@ -1,0 +1,109 @@
+// The paper's analytical model of k-mer counting (Section V, eqs. 9-18).
+//
+// Assumptions (from the paper): perfectly balanced input/output, 100%
+// intranode efficiency, two-level memory with optimal line replacement,
+// worst-case radix behaviour in phase 2 (one pass per key byte).
+//
+// Notation: P = number of NODES (the paper's 32-node example uses
+// C_node, the per-node INT64 rate), n = reads, m = bases/read, k = k-mer
+// length. N = n(m-k+1) k-mers; W = 2^ceil(log2 2k)/8 bytes of k-mer
+// storage (eq. for faster computation in Section V).
+#pragma once
+
+#include <cstdint>
+
+#include "net/machine.hpp"
+
+namespace dakc::model {
+
+struct Workload {
+  std::uint64_t n_reads = 0;  ///< n
+  std::uint64_t read_len = 0; ///< m
+  int k = 31;
+
+  /// N = n(m-k+1): k-mers generated.
+  double kmers() const {
+    if (read_len < static_cast<std::uint64_t>(k)) return 0.0;
+    return static_cast<double>(n_reads) *
+           static_cast<double>(read_len - static_cast<std::uint64_t>(k) + 1);
+  }
+  /// Total input bases mn.
+  double bases() const {
+    return static_cast<double>(n_reads) * static_cast<double>(read_len);
+  }
+};
+
+/// All model outputs for one (workload, machine, node count) point.
+struct ModelResult {
+  // Phase 1: k-mer generation and reshuffling.
+  double t_comp1 = 0.0;   ///< eq. 9
+  double misses1 = 0.0;   ///< phase-1 LLC misses per node
+  double t_intra1 = 0.0;  ///< eq. 10
+  double t_inter1 = 0.0;  ///< eq. 11
+  // Phase 2: sorting and accumulation.
+  double t_comp2 = 0.0;   ///< eq. 12
+  double misses2 = 0.0;   ///< phase-2 LLC misses per node
+  double t_intra2 = 0.0;  ///< eq. 13
+  // Totals.
+  double t_comm1_sum = 0.0;  ///< eq. 14
+  double t_comm1_max = 0.0;  ///< eq. 15
+  double t1_sum = 0.0;       ///< eq. 16 with Sum model
+  double t1_max = 0.0;       ///< eq. 16 with Max model
+  double t2 = 0.0;           ///< eq. 17
+  double total_sum = 0.0;    ///< eq. 18 (Sum)
+  double total_max = 0.0;    ///< eq. 18 (Max)
+};
+
+/// Bytes to store one k-mer: 2^ceil(log2 2k) bits / 8.
+double kmer_bytes(int k);
+
+/// Evaluate the model at `nodes` nodes of `machine`.
+ModelResult evaluate(const Workload& w, const net::MachineParams& machine,
+                     int nodes);
+
+/// Fractions of total (Sum-model, no overlap) time in computation,
+/// intranode and internode communication — the paper's Fig. 5 pie.
+struct Breakdown {
+  double compute = 0.0;
+  double intranode = 0.0;
+  double internode = 0.0;
+};
+Breakdown breakdown(const ModelResult& r);
+
+/// Operational intensity of the whole workload (INT64 adds per byte of
+/// memory+network traffic). The paper's conclusion reports ~0.12
+/// iadd64/byte against a CPU balance of ~2.6.
+double op_to_byte_ratio(const Workload& w);
+
+/// Hardware balance of a machine: peak INT64 rate / memory bandwidth.
+double machine_balance(const net::MachineParams& machine);
+
+/// The conclusion's accelerator what-if: would a device with `mem_bw`
+/// bytes/s and `int64_rate` ops/s speed k-mer counting up, and how badly
+/// underutilized would its compute be?
+struct AcceleratorWhatIf {
+  double speedup_bound = 0.0;     ///< best-case phase-time ratio vs the CPU
+                                  ///< node (bandwidth-limited phases only)
+  double compute_utilization = 0.0;  ///< workload op/byte vs device balance
+};
+AcceleratorWhatIf accelerator_what_if(const Workload& w,
+                                      const net::MachineParams& cpu,
+                                      double device_mem_bw,
+                                      double device_int64_rate);
+
+/// NVIDIA H100 SXM figures used by the paper's discussion (~3.35 TB/s
+/// HBM3; INT64 add rate giving the paper's ~8.3 iadd64/B balance).
+inline constexpr double kH100MemBw = 3.35e12;
+inline constexpr double kH100Int64Rate = 8.3 * 3.35e12;
+
+// ---------------------------------------------------------------------------
+// Table IV microbenchmarks (host-side, real measurements)
+// ---------------------------------------------------------------------------
+
+/// Measure this host's INT64 add throughput (single core), ops/s.
+double measure_int64_add_rate(double seconds_budget = 0.2);
+
+/// Measure this host's streaming memory bandwidth (single core), B/s.
+double measure_stream_bandwidth(double seconds_budget = 0.2);
+
+}  // namespace dakc::model

@@ -1,0 +1,504 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dakc::net {
+
+namespace {
+/// Fixed per-message envelope charged on the wire and in receive-queue
+/// memory accounting (source, tag, length metadata).
+constexpr double kEnvelopeBytes = 16.0;
+
+int ceil_log2(int n) {
+  int bits = 0;
+  int v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+struct Fabric::PeState {
+  struct Arrival {
+    des::SimTime time;
+    std::uint64_t seq;
+    Message msg;
+  };
+  struct Later {
+    bool operator()(const Arrival& a, const Arrival& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Arrival, std::vector<Arrival>, Later> incoming;
+  std::map<int, std::deque<Message>> stash;  // tag -> arrived, FIFO
+  std::uint64_t arrival_seq = 0;
+  PeCounters counters;
+  int next_coll_tag = 1;
+};
+
+struct Fabric::NodeState {
+  // Full-duplex NIC: independent ingress/egress channels, each at
+  // beta_link (IB 100HDR is 12.5 GB/s per direction). A single shared
+  // free_at would let store-and-forward max() chaining couple every NIC
+  // in the cluster into one global queue.
+  des::SimTime nic_out_free = 0.0;
+  des::SimTime nic_in_free = 0.0;
+  des::SimTime nic_busy = 0.0;  // in + out service time
+  double mem_used = 0.0;
+  double mem_high = 0.0;
+};
+
+struct Fabric::RendezvousState {
+  enum class Op : std::uint8_t {
+    kBarrier, kSumU, kSumU2, kMaxU, kSumD, kMaxD, kGather
+  };
+
+  int arrived = 0;
+  des::SimTime max_time = 0.0;
+  Op op = Op::kBarrier;
+  std::uint64_t acc_u = 0;
+  std::uint64_t acc_u2 = 0;
+  double acc_d = 0.0;
+  std::vector<std::uint64_t> gather;
+  // Results the release publishes for every participant to read.
+  std::uint64_t out_u = 0;
+  std::uint64_t out_u2 = 0;
+  double out_d = 0.0;
+  std::vector<std::uint64_t> out_gather;
+  std::vector<int> waiters;
+  /// Incremented at every release; waiters block on it as their predicate
+  /// (message Puts can wake a fiber spuriously while it waits here).
+  std::uint64_t epoch = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Fabric
+// ---------------------------------------------------------------------------
+
+Fabric::Fabric(FabricConfig config)
+    : config_(config),
+      node_count_((config.pes + config.pes_per_node - 1) / config.pes_per_node) {
+  DAKC_CHECK(config_.pes >= 1);
+  DAKC_CHECK(config_.pes_per_node >= 1);
+  DAKC_CHECK(config_.put_chunk_words >= 1);
+  pes_.reserve(config_.pes);
+  for (int i = 0; i < config_.pes; ++i)
+    pes_.push_back(std::make_unique<PeState>());
+  nodes_.reserve(node_count_);
+  for (int i = 0; i < node_count_; ++i)
+    nodes_.push_back(std::make_unique<NodeState>());
+  rendezvous_ = std::make_unique<RendezvousState>();
+  rendezvous_->gather.resize(config_.pes, 0);
+  if (config_.trace) engine_.enable_tracing();
+}
+
+Fabric::~Fabric() = default;
+
+void Fabric::run(std::function<void(Pe&)> pe_main) {
+  DAKC_CHECK_MSG(!ran_, "Fabric::run() may only be called once");
+  ran_ = true;
+  for (int rank = 0; rank < config_.pes; ++rank) {
+    engine_.spawn([this, rank, &pe_main](des::Context& ctx) {
+      Pe pe(this, ctx, rank);
+      pe_main(pe);
+    });
+  }
+  engine_.run();
+}
+
+const PeCounters& Fabric::pe_counters(int pe) const {
+  DAKC_CHECK(pe >= 0 && pe < config_.pes);
+  return pes_[pe]->counters;
+}
+
+double Fabric::node_mem_high(int node) const {
+  DAKC_CHECK(node >= 0 && node < node_count_);
+  return nodes_[node]->mem_high;
+}
+
+des::SimTime Fabric::nic_busy(int node) const {
+  DAKC_CHECK(node >= 0 && node < node_count_);
+  return nodes_[node]->nic_busy;
+}
+
+// ---------------------------------------------------------------------------
+// Pe: basics and cost charging
+// ---------------------------------------------------------------------------
+
+int Pe::size() const { return fabric_->config_.pes; }
+int Pe::node() const { return fabric_->node_of(rank_); }
+int Pe::node_count() const { return fabric_->node_count(); }
+int Pe::node_of(int pe) const { return fabric_->node_of(pe); }
+const MachineParams& Pe::machine() const { return fabric_->config_.machine; }
+PeCounters& Pe::counters() { return fabric_->pes_[rank_]->counters; }
+
+void Pe::charge(des::SimTime dt, des::Category cat) {
+  if (fabric_->config_.zero_cost) {
+    ctx_.charge(0.0, cat);
+    return;
+  }
+  const MachineParams& m = machine();
+  if (m.noise_amplitude > 0.0 &&
+      (cat == des::Category::kCompute || cat == des::Category::kMemory)) {
+    // Deterministic per-(PE, window) slowdown; see machine.hpp.
+    const auto window =
+        static_cast<std::uint64_t>(now() / m.noise_window);
+    std::uint64_t h = m.noise_seed;
+    h = mix64(h ^ static_cast<std::uint64_t>(rank_));
+    h = mix64(h ^ window);
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    dt *= 1.0 + m.noise_amplitude * u;
+  }
+  ctx_.charge(dt, cat);
+}
+
+void Pe::charge_compute_ops(double ops) {
+  charge(machine().compute_time(ops), des::Category::kCompute);
+}
+
+void Pe::charge_mem_bytes(double bytes) {
+  charge(machine().mem_time(bytes), des::Category::kMemory);
+}
+
+void Pe::account_alloc(double bytes) {
+  auto& node_state = *fabric_->nodes_[node()];
+  node_state.mem_used += bytes;
+  node_state.mem_high = std::max(node_state.mem_high, node_state.mem_used);
+  const double limit = fabric_->config_.node_memory_limit;
+  if (limit > 0.0 && node_state.mem_used > limit)
+    throw OomError(node(), node_state.mem_used, limit);
+}
+
+void Pe::account_free(double bytes) {
+  auto& node_state = *fabric_->nodes_[node()];
+  node_state.mem_used -= bytes;
+  DAKC_ASSERT(node_state.mem_used >= -1.0);  // tolerate FP dust
+}
+
+// ---------------------------------------------------------------------------
+// Pe: one-sided messaging
+// ---------------------------------------------------------------------------
+
+des::SimTime Pe::put(int dst, std::vector<std::uint64_t> payload, int tag,
+                     double wire_bytes) {
+  DAKC_CHECK(dst >= 0 && dst < size());
+  const auto& m = machine();
+  const double bytes =
+      wire_bytes >= 0.0
+          ? wire_bytes + kEnvelopeBytes
+          : static_cast<double>(payload.size()) * 8.0 + kEnvelopeBytes;
+  const bool intra = colocated(dst);
+  PeCounters& c = counters();
+
+  des::SimTime arrival;
+  if (fabric_->config_.zero_cost) {
+    arrival = now();
+  } else if (intra) {
+    // Colocated: the runtime degrades the put to a memcpy.
+    charge(m.tau_intra + bytes / m.core_mem_bw(), des::Category::kMemory);
+    arrival = now();
+  } else {
+    // CPU injection: stage the buffer toward the NIC, then return; the
+    // wire transfer proceeds in the background on both NICs.
+    charge(m.send_overhead + bytes / m.core_mem_bw(),
+           des::Category::kNetwork);
+    // Store-and-forward through the two NICs, each reserved
+    // *independently*: a chunk waiting on a busy receiver must not leave
+    // a dead gap on the sender's port, or synchronized all-to-all flush
+    // storms convoy far beyond the real serialization.
+    auto& snic = *fabric_->nodes_[node()];
+    auto& rnic = *fabric_->nodes_[node_of(dst)];
+    const double max_chunk_bytes =
+        static_cast<double>(fabric_->config_.put_chunk_words) * 8.0;
+    double remaining = std::max(bytes, 1.0);
+    des::SimTime recv_end = now();
+    while (remaining > 0.0) {
+      const double chunk_bytes = std::min(remaining, max_chunk_bytes);
+      remaining -= chunk_bytes;
+      const des::SimTime s_start = std::max(now(), snic.nic_out_free);
+      const des::SimTime s_end = s_start + chunk_bytes / m.beta_link;
+      snic.nic_busy += chunk_bytes / m.beta_link;
+      snic.nic_out_free = s_end;
+      const des::SimTime r_start = std::max(s_end, rnic.nic_in_free);
+      recv_end = r_start + chunk_bytes / m.beta_link;
+      rnic.nic_busy += chunk_bytes / m.beta_link;
+      rnic.nic_in_free = recv_end;
+    }
+    arrival = recv_end + m.tau;
+  }
+
+  if (intra) {
+    ++c.puts_intra;
+    c.bytes_intra += static_cast<std::uint64_t>(bytes);
+  } else {
+    ++c.puts_inter;
+    c.bytes_inter += static_cast<std::uint64_t>(bytes);
+  }
+
+  // Receive-queue memory lives on the destination node until popped.
+  auto& dst_node = *fabric_->nodes_[node_of(dst)];
+  dst_node.mem_used += bytes;
+  dst_node.mem_high = std::max(dst_node.mem_high, dst_node.mem_used);
+  const double limit = fabric_->config_.node_memory_limit;
+  if (limit > 0.0 && dst_node.mem_used > limit)
+    throw OomError(node_of(dst), dst_node.mem_used, limit);
+
+  Fabric::PeState& dst_state = *fabric_->pes_[dst];
+  Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.payload = std::move(payload);
+  msg.wire_bytes = bytes;
+  dst_state.incoming.push(
+      {arrival, dst_state.arrival_seq++, std::move(msg)});
+  if (dst != rank_) ctx_.wake(dst, arrival);
+  return arrival;
+}
+
+void Pe::drain_arrivals() {
+  Fabric::PeState& st = *fabric_->pes_[rank_];
+  while (!st.incoming.empty() && st.incoming.top().time <= now()) {
+    // priority_queue::top() is const; the pop-move is safe because we pop
+    // immediately after.
+    auto& top = const_cast<Fabric::PeState::Arrival&>(st.incoming.top());
+    st.stash[top.msg.tag].push_back(std::move(top.msg));
+    st.incoming.pop();
+  }
+}
+
+void Pe::deliver_charge(const Message& msg) {
+  const double bytes = msg.wire_bytes;
+  account_free(bytes);
+  PeCounters& c = counters();
+  ++c.msgs_received;
+  c.bytes_received += static_cast<std::uint64_t>(bytes);
+  // Reading the received buffer out of the queue streams it through
+  // memory once.
+  charge_mem_bytes(bytes);
+}
+
+bool Pe::try_recv(Message* out, int tag) {
+  drain_arrivals();
+  Fabric::PeState& st = *fabric_->pes_[rank_];
+  auto it = st.stash.find(tag);
+  if (it == st.stash.end() || it->second.empty()) return false;
+  *out = std::move(it->second.front());
+  it->second.pop_front();
+  deliver_charge(*out);
+  return true;
+}
+
+bool Pe::has_arrived(int tag) {
+  drain_arrivals();
+  Fabric::PeState& st = *fabric_->pes_[rank_];
+  auto it = st.stash.find(tag);
+  return it != st.stash.end() && !it->second.empty();
+}
+
+bool Pe::next_arrival(des::SimTime* when) const {
+  const Fabric::PeState& st = *fabric_->pes_[rank_];
+  if (st.incoming.empty()) return false;
+  *when = st.incoming.top().time;
+  return true;
+}
+
+Message Pe::recv_wait(int tag) {
+  Fabric::PeState& st = *fabric_->pes_[rank_];
+  Message out;
+  while (true) {
+    if (try_recv(&out, tag)) return out;
+    if (!st.incoming.empty()) {
+      // Something is in flight (possibly another tag); fast-forward to it.
+      ctx_.idle_until(std::max(now(), st.incoming.top().time));
+      continue;
+    }
+    ctx_.block();  // a put() will wake us at its arrival time
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pe: collectives
+// ---------------------------------------------------------------------------
+
+namespace {
+using RvOp = Fabric::RendezvousState::Op;
+}
+
+/// Shared rendezvous implementing barrier/allreduce/allgather. The last
+/// PE to arrive combines inputs, computes the release time (max arrival +
+/// a tree synchronization cost), publishes results, and wakes everyone.
+struct RendezvousResult {
+  std::uint64_t u = 0;
+  std::uint64_t u2 = 0;
+  double d = 0.0;
+};
+
+static RendezvousResult rendezvous(Fabric::RendezvousState& rv, Pe& pe,
+                                   des::Context& ctx,
+                                   const MachineParams& m, bool zero_cost,
+                                   int pe_count, int node_count, RvOp op,
+                                   std::uint64_t in_u, double in_d,
+                                   std::vector<std::uint64_t>* gather_out,
+                                   std::uint64_t in_u2 = 0) {
+  if (rv.arrived == 0) {
+    rv.op = op;
+    rv.max_time = 0.0;
+    rv.acc_u = 0;
+    rv.acc_u2 = 0;
+    rv.acc_d = (op == RvOp::kMaxD) ? -1e300 : 0.0;
+  }
+  DAKC_CHECK_MSG(rv.op == op, "mismatched collective operations across PEs");
+  rv.max_time = std::max(rv.max_time, pe.now());
+  switch (op) {
+    case RvOp::kBarrier: break;
+    case RvOp::kSumU: rv.acc_u += in_u; break;
+    case RvOp::kSumU2:
+      rv.acc_u += in_u;
+      rv.acc_u2 += in_u2;
+      break;
+    case RvOp::kMaxU: rv.acc_u = std::max(rv.acc_u, in_u); break;
+    case RvOp::kSumD: rv.acc_d += in_d; break;
+    case RvOp::kMaxD: rv.acc_d = std::max(rv.acc_d, in_d); break;
+    case RvOp::kGather: rv.gather[pe.rank()] = in_u; break;
+  }
+  ++rv.arrived;
+
+  if (rv.arrived < pe_count) {
+    rv.waiters.push_back(pe.rank());
+    const std::uint64_t my_epoch = rv.epoch;
+    // Predicate loop: an unrelated message Put may wake us early.
+    while (rv.epoch == my_epoch) ctx.block();
+  } else {
+    // Last arriver: release everyone.
+    const double hop_tau = node_count > 1 ? m.tau : m.tau_intra;
+    const double cost =
+        zero_cost ? 0.0 : hop_tau * 2.0 * ceil_log2(std::max(pe_count, 2));
+    const des::SimTime release = rv.max_time + cost;
+    rv.out_u = rv.acc_u;
+    rv.out_u2 = rv.acc_u2;
+    rv.out_d = rv.acc_d;
+    if (op == RvOp::kGather) rv.out_gather = rv.gather;
+    rv.arrived = 0;
+    ++rv.epoch;
+    std::vector<int> waiters;
+    waiters.swap(rv.waiters);
+    // Advance ourselves first so wake() causality holds, then wake peers.
+    ctx.charge(release - pe.now(), des::Category::kNetwork);
+    for (int w : waiters) ctx.wake(w, release);
+  }
+  RendezvousResult res;
+  res.u = rv.out_u;
+  res.u2 = rv.out_u2;
+  res.d = rv.out_d;
+  if (gather_out) *gather_out = rv.out_gather;
+  return res;
+}
+
+int Pe::next_collective_tag() {
+  return fabric_->pes_[rank_]->next_coll_tag++;
+}
+
+void Pe::barrier() {
+  rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
+             fabric_->config_.zero_cost, size(), node_count(), RvOp::kBarrier,
+             0, 0.0, nullptr);
+}
+
+std::uint64_t Pe::allreduce_sum(std::uint64_t value) {
+  return rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
+                    fabric_->config_.zero_cost, size(), node_count(),
+                    RvOp::kSumU, value, 0.0, nullptr)
+      .u;
+}
+
+std::pair<std::uint64_t, std::uint64_t> Pe::allreduce_sum2(
+    std::uint64_t a, std::uint64_t b) {
+  const RendezvousResult r =
+      rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
+                 fabric_->config_.zero_cost, size(), node_count(),
+                 RvOp::kSumU2, a, 0.0, nullptr, b);
+  return {r.u, r.u2};
+}
+
+std::uint64_t Pe::allreduce_max(std::uint64_t value) {
+  return rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
+                    fabric_->config_.zero_cost, size(), node_count(),
+                    RvOp::kMaxU, value, 0.0, nullptr)
+      .u;
+}
+
+double Pe::allreduce_sum_d(double value) {
+  return rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
+                    fabric_->config_.zero_cost, size(), node_count(),
+                    RvOp::kSumD, 0, value, nullptr)
+      .d;
+}
+
+double Pe::allreduce_max_d(double value) {
+  return rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
+                    fabric_->config_.zero_cost, size(), node_count(),
+                    RvOp::kMaxD, 0, value, nullptr)
+      .d;
+}
+
+std::vector<std::uint64_t> Pe::allgather(std::uint64_t value) {
+  std::vector<std::uint64_t> out;
+  rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
+             fabric_->config_.zero_cost, size(), node_count(), RvOp::kGather,
+             value, 0.0, &out);
+  return out;
+}
+
+CollectiveHandle Pe::ialltoallv(std::vector<std::vector<std::uint64_t>> send) {
+  DAKC_CHECK_MSG(static_cast<int>(send.size()) == size(),
+                 "alltoallv send vector must have one slice per PE");
+  CollectiveHandle h;
+  h.tag_ = next_collective_tag();
+  h.result_.resize(size());
+  // Self slice: local move, charged as one streaming pass.
+  charge_mem_bytes(static_cast<double>(send[rank_].size()) * 8.0);
+  h.result_[rank_] = std::move(send[rank_]);
+  for (int p = 0; p < size(); ++p) {
+    if (p == rank_) continue;
+    const des::SimTime arrival = put(p, std::move(send[p]), h.tag_);
+    // MPI collectives are CPU-driven pairwise exchanges: without a
+    // progress thread, the transfer consumes the sender until the wire
+    // is drained (the conveyor's one-sided RDMA puts, by contrast,
+    // proceed in the background after injection).
+    const des::SimTime wire_end = arrival - machine().tau;
+    if (wire_end > now()) charge(wire_end - now(), des::Category::kNetwork);
+  }
+  h.remaining_ = size() - 1;
+  return h;
+}
+
+std::vector<std::vector<std::uint64_t>> Pe::wait(CollectiveHandle& handle) {
+  DAKC_CHECK_MSG(handle.valid(), "wait() on an invalid collective handle");
+  while (handle.remaining_ > 0) {
+    Message msg = recv_wait(handle.tag_);
+    handle.result_[msg.src] = std::move(msg.payload);
+    --handle.remaining_;
+  }
+  handle.tag_ = 0;
+  return std::move(handle.result_);
+}
+
+std::vector<std::vector<std::uint64_t>> Pe::alltoallv(
+    std::vector<std::vector<std::uint64_t>> send) {
+  CollectiveHandle h = ialltoallv(std::move(send));
+  return wait(h);
+}
+
+}  // namespace dakc::net

@@ -1,0 +1,250 @@
+// The simulated communication fabric: PEs, nodes, one-sided puts,
+// collectives, and per-node memory accounting.
+//
+// This layer plays the role MPI/OpenSHMEM play in the paper's software
+// stack. PEs (one fiber each) are grouped into nodes; a node owns one NIC
+// (a FIFO-occupancy resource shared by its PEs) and one memory budget.
+//
+// Cost model for Pe::put(dst, payload):
+//   * intranode (same node): the runtime turns the message into a memcpy
+//     — the sender is charged tau_intra + bytes/core_mem_bw of kMemory
+//     time and the message arrives when the charge completes. This is the
+//     paper's "colocated PEs communicate via memcpy" behaviour (§VI-B).
+//   * internode: the sender is charged only the CPU injection overhead
+//     (send_overhead + bytes/core_mem_bw, writing the buffer toward the
+//     NIC); the wire transfer then occupies BOTH the source and the
+//     destination node's NIC for bytes/beta_link seconds, FIFO after any
+//     earlier reservations, and the message arrives tau seconds after the
+//     transfer ends. Senders therefore overlap transfers with compute
+//     (one-sided RDMA), while a hot receiver — the heavy-hitter skew of
+//     complex genomes — backs up every sender targeting it.
+//
+// Messages are delivered into the receiver's arrival queue immediately
+// with a future arrival timestamp; the conservative scheduler in dakc::des
+// guarantees the receiver can never observe a gap (see engine.hpp).
+//
+// Collectives: barrier and allreduce use a shared rendezvous charged with
+// a tree cost (tau * 2*ceil(log2 N_nodes)); alltoallv (blocking and
+// non-blocking) is built on put(), so it pays the real per-peer latency,
+// NIC contention, and skew costs that the paper blames for BSP's plateau.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "net/machine.hpp"
+
+namespace dakc::net {
+
+/// Thrown by memory accounting when a node exceeds its budget; harnesses
+/// catch it to report OOM data points (Fig. 8).
+struct OomError : std::runtime_error {
+  OomError(int node_id, double attempted_bytes, double limit_bytes)
+      : std::runtime_error("simulated OOM on node " + std::to_string(node_id)),
+        node(node_id),
+        attempted(attempted_bytes),
+        limit(limit_bytes) {}
+  int node;
+  double attempted;
+  double limit;
+};
+
+/// One delivered message. Payloads are 64-bit words because every layer of
+/// the k-mer stack traffics in packed 64-bit k-mers.
+struct Message {
+  int src = -1;
+  int tag = 0;
+  std::vector<std::uint64_t> payload;
+  /// Modeled wire size (set by put); drives receive-side cost/accounting.
+  double wire_bytes = 0.0;
+};
+
+/// Per-PE traffic counters (measured, not modeled — they drive the
+/// communication-volume analyses of Figs. 5 and 12).
+struct PeCounters {
+  std::uint64_t puts_intra = 0;
+  std::uint64_t puts_inter = 0;
+  std::uint64_t bytes_intra = 0;
+  std::uint64_t bytes_inter = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+struct FabricConfig {
+  int pes = 1;
+  int pes_per_node = 24;
+  MachineParams machine;
+  /// When true, every charge is zero seconds: functional tests run the
+  /// full message machinery without caring about the cost model.
+  bool zero_cost = false;
+  /// 0 disables memory accounting; otherwise a node raising its in-use
+  /// bytes above this limit throws OomError.
+  double node_memory_limit = 0.0;
+  /// Internode puts larger than this many 64-bit words are charged as
+  /// multiple wire chunks so long transfers interleave fairly.
+  std::size_t put_chunk_words = 8192;
+  /// Record every PE's activity timeline (export with write_chrome_trace).
+  bool trace = false;
+};
+
+class Fabric;
+
+/// Handle for a non-blocking alltoallv (HySortK-style overlap).
+class CollectiveHandle {
+ public:
+  bool valid() const { return tag_ != 0; }
+
+ private:
+  friend class Pe;
+  int tag_ = 0;
+  int remaining_ = 0;
+  std::vector<std::vector<std::uint64_t>> result_;
+};
+
+/// A processing element's view of the fabric; passed to the PE main
+/// function by Fabric::run(). All methods must be called from that PE's
+/// own fiber.
+class Pe {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+  int node() const;
+  int node_count() const;
+  int node_of(int pe) const;
+  bool colocated(int other) const { return node_of(other) == node(); }
+  des::SimTime now() const { return ctx_.now(); }
+  const MachineParams& machine() const;
+
+  // -- cost charging ----------------------------------------------------
+  void charge_compute_ops(double ops);
+  void charge_mem_bytes(double bytes);
+  void charge(des::SimTime dt, des::Category cat);
+  /// Fast-forward to `t`, accounting the gap as idle time.
+  void idle_until(des::SimTime t) { ctx_.idle_until(t); }
+
+  // -- one-sided messaging ----------------------------------------------
+  static constexpr int kAppTag = 0;
+
+  /// Asynchronously deliver `payload` to PE `dst` (one-sided Put).
+  /// `wire_bytes` overrides the modeled on-the-wire size (cost model and
+  /// memory accounting); < 0 means "payload size plus envelope". Layers
+  /// whose logical representation is wider than their wire format (the
+  /// conveyor packs 32-bit routing headers into 64-bit words) use this to
+  /// keep the cost model exact. Returns the message's arrival time at
+  /// the destination.
+  des::SimTime put(int dst, std::vector<std::uint64_t> payload,
+                   int tag = kAppTag, double wire_bytes = -1.0);
+
+  /// Pop the earliest already-arrived message with this tag, if any.
+  bool try_recv(Message* out, int tag = kAppTag);
+
+  /// Block (and/or fast-forward) until a message with this tag arrives,
+  /// then pop it. The caller must know one is coming.
+  Message recv_wait(int tag = kAppTag);
+
+  /// True if a message with this tag has arrived (arrival <= now).
+  bool has_arrived(int tag = kAppTag);
+
+  /// If any message (any tag) is still in flight toward this PE, store its
+  /// arrival time and return true. Lets progress loops fast-forward
+  /// instead of spinning.
+  bool next_arrival(des::SimTime* when) const;
+
+  // -- collectives (SPMD: every PE must call these in the same order) ----
+  void barrier();
+  std::uint64_t allreduce_sum(std::uint64_t value);
+  /// Two independent sums in one synchronization round (termination
+  /// protocols compare two global counters per round).
+  std::pair<std::uint64_t, std::uint64_t> allreduce_sum2(std::uint64_t a,
+                                                         std::uint64_t b);
+  std::uint64_t allreduce_max(std::uint64_t value);
+  double allreduce_sum_d(double value);
+  double allreduce_max_d(double value);
+  std::vector<std::uint64_t> allgather(std::uint64_t value);
+
+  /// Exchange send[i] -> PE i. send.size() must equal size(). The self
+  /// slice is moved locally with a memcpy charge. Returns recv indexed by
+  /// source PE.
+  std::vector<std::vector<std::uint64_t>> alltoallv(
+      std::vector<std::vector<std::uint64_t>> send);
+
+  /// Non-blocking variant: starts every transfer and returns immediately;
+  /// wait() blocks until all peer slices arrived.
+  CollectiveHandle ialltoallv(std::vector<std::vector<std::uint64_t>> send);
+  std::vector<std::vector<std::uint64_t>> wait(CollectiveHandle& handle);
+
+  // -- memory accounting -------------------------------------------------
+  void account_alloc(double bytes);
+  void account_free(double bytes);
+
+  PeCounters& counters();
+
+ private:
+  friend class Fabric;
+  Pe(Fabric* fabric, des::Context& ctx, int rank)
+      : fabric_(fabric), ctx_(ctx), rank_(rank) {}
+
+  void drain_arrivals();
+  void deliver_charge(const Message& m);
+  int next_collective_tag();
+
+  Fabric* fabric_;
+  des::Context& ctx_;
+  int rank_;
+};
+
+/// The fabric itself; owns the DES engine. Construct, run(), then inspect
+/// stats.
+class Fabric {
+ public:
+  explicit Fabric(FabricConfig config);
+  ~Fabric();
+
+  /// Spawn one fiber per PE running `pe_main` and simulate to completion.
+  /// May be called once.
+  void run(std::function<void(Pe&)> pe_main);
+
+  const FabricConfig& config() const { return config_; }
+  int node_count() const { return node_count_; }
+  int node_of(int pe) const { return pe / config_.pes_per_node; }
+
+  // -- post-run inspection ----------------------------------------------
+  des::SimTime makespan() const { return engine_.makespan(); }
+  const des::FiberStats& pe_stats(int pe) const { return engine_.stats(pe); }
+  const PeCounters& pe_counters(int pe) const;
+  /// High-water mark of accounted bytes on a node.
+  double node_mem_high(int node) const;
+  /// Total NIC busy seconds on a node (utilization diagnostics).
+  des::SimTime nic_busy(int node) const;
+  /// Recorded activity spans (empty unless config.trace was set).
+  const std::vector<des::TraceEvent>& trace() const {
+    return engine_.trace();
+  }
+
+  // Implementation detail, public only so fabric.cpp's helpers can name
+  // them; not part of the supported API.
+  struct PeState;
+  struct NodeState;
+  struct RendezvousState;
+
+ private:
+  friend class Pe;
+
+  FabricConfig config_;
+  int node_count_;
+  des::Engine engine_;
+  std::vector<std::unique_ptr<PeState>> pes_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::unique_ptr<RendezvousState> rendezvous_;
+  bool ran_ = false;
+};
+
+}  // namespace dakc::net

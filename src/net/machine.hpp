@@ -1,0 +1,71 @@
+// Machine parameter sets (the paper's Table IV) used to charge virtual
+// time in the simulated fabric and to evaluate the analytical model.
+//
+// The Intel preset is copied from Table IV (dual-socket Xeon Gold 6226,
+// 24 cores, 192 GB, IB 100HDR). The AMD preset describes the paper's EPYC
+// 7742 nodes (128 cores, 512 GB); the paper does not tabulate its rates,
+// so C_node and beta_mem are engineering estimates documented in
+// DESIGN.md. Latency parameters (tau) are not in Table IV either; the
+// paper only states tau >> mu, so we use typical InfiniBand numbers.
+#pragma once
+
+#include <cstdint>
+
+namespace dakc::net {
+
+struct MachineParams {
+  // -- Table IV --------------------------------------------------------
+  double cnode_ops = 121.9e9;        ///< peak INT64 adds/s per node
+  double beta_mem = 46.9e9;          ///< node memory bandwidth, B/s
+  double cache_bytes = 38.0 * 1024 * 1024;  ///< Z: last-level cache
+  double line_bytes = 64.0;          ///< L: cache line
+  double beta_link = 12.5e9;         ///< NIC combined bidir bandwidth, B/s
+  // -- not tabulated in the paper --------------------------------------
+  double tau = 2.0e-6;          ///< internode one-sided message latency, s
+  double tau_intra = 0.2e-6;    ///< intranode (memcpy path) latency, s
+  double send_overhead = 0.1e-6;  ///< CPU injection overhead per put, s
+  int cores_per_node = 24;
+  double node_memory_bytes = 192.0 * 1024 * 1024 * 1024;
+
+  // -- execution-speed variability ---------------------------------------
+  // Real nodes do not run in lockstep: NUMA placement, cache interference,
+  // OS activity and DVFS make a PE's effective speed wander. The paper
+  // leans on exactly this ("each round of synchronization causes CPU
+  // cycle waste, due to inherently skewed distribution"): bulk-synchronous
+  // rounds pay the *slowest* PE every round, while asynchronous execution
+  // averages the noise out. We model it as a deterministic multiplicative
+  // slowdown per (PE, time window): within each noise_window of virtual
+  // time a PE runs at 1/(1+u) of nominal speed, u ~ Uniform(0, amplitude)
+  // hashed from (seed, pe, window). amplitude = 0 (default) disables it.
+  double noise_amplitude = 0.0;
+  double noise_window = 100e-6;
+  std::uint64_t noise_seed = 0x5eed;
+
+  /// Per-core INT64 throughput (the simulator charges per PE).
+  double core_ops() const { return cnode_ops / cores_per_node; }
+  /// Per-core share of the node memory bandwidth.
+  double core_mem_bw() const { return beta_mem / cores_per_node; }
+
+  /// Time for one PE to execute `ops` INT64-equivalent operations.
+  double compute_time(double ops) const { return ops / core_ops(); }
+  /// Time for one PE to stream `bytes` through memory.
+  double mem_time(double bytes) const { return bytes / core_mem_bw(); }
+};
+
+/// The paper's Intel Phoenix node (Table IV).
+inline MachineParams intel_node() { return MachineParams{}; }
+
+/// The paper's AMD Phoenix node (EPYC 7742, 128 cores, 512 GB). Rates are
+/// estimates: 2 GHz x 128 cores of scalar INT64 adds, and ~8-channel
+/// DDR4-3200 per socket, derated to a realistic STREAM-like figure.
+inline MachineParams amd_node() {
+  MachineParams m;
+  m.cnode_ops = 256.0e9;
+  m.beta_mem = 160.0e9;
+  m.cache_bytes = 256.0 * 1024 * 1024;
+  m.cores_per_node = 128;
+  m.node_memory_bytes = 512.0 * 1024 * 1024 * 1024;
+  return m;
+}
+
+}  // namespace dakc::net

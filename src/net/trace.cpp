@@ -1,0 +1,42 @@
+#include "net/trace.hpp"
+
+#include <ostream>
+
+namespace dakc::net {
+
+namespace {
+const char* category_name(des::Category c) {
+  switch (c) {
+    case des::Category::kCompute: return "compute";
+    case des::Category::kMemory: return "memory";
+    case des::Category::kNetwork: return "network";
+    case des::Category::kIdle: return "idle";
+  }
+  return "?";
+}
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const Fabric& fabric) {
+  out << "[\n";
+  bool first = true;
+  // Name the process rows after nodes.
+  for (int n = 0; n < fabric.node_count(); ++n) {
+    if (!first) out << ",\n";
+    first = false;
+    out << R"({"name":"process_name","ph":"M","pid":)" << n
+        << R"(,"args":{"name":"node )" << n << "\"}}";
+  }
+  for (const auto& e : fabric.trace()) {
+    if (!first) out << ",\n";
+    first = false;
+    const int node = fabric.node_of(e.fiber);
+    // Times in microseconds, as the trace viewer expects.
+    out << R"({"name":")" << category_name(e.category)
+        << R"(","cat":"pe","ph":"X","ts":)" << e.start * 1e6 << ",\"dur\":"
+        << (e.end - e.start) * 1e6 << ",\"pid\":" << node
+        << ",\"tid\":" << e.fiber << "}";
+  }
+  out << "\n]\n";
+}
+
+}  // namespace dakc::net

@@ -1,0 +1,19 @@
+// Chrome-tracing export of a simulated run's per-PE activity timeline.
+//
+// Load the JSON in chrome://tracing or Perfetto: one row per PE (grouped
+// by node), one slice per contiguous compute/memory/network/idle span.
+// This is how the BSP-vs-FA-BSP difference *looks*: the BSP baselines
+// show idle combs at every collective round; DAKC shows three.
+#pragma once
+
+#include <iosfwd>
+
+#include "net/fabric.hpp"
+
+namespace dakc::net {
+
+/// Write the fabric's recorded trace (FabricConfig::trace must have been
+/// set) as a Chrome trace-event JSON array.
+void write_chrome_trace(std::ostream& out, const Fabric& fabric);
+
+}  // namespace dakc::net

@@ -1,0 +1,205 @@
+#include "sim/datasets.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace dakc::sim {
+
+namespace {
+
+DatasetSpec synthetic(int xy, std::uint64_t paper_reads,
+                      const std::string& size) {
+  DatasetSpec d;
+  d.name = "synthetic" + std::to_string(xy);
+  d.organism = "-";
+  d.genome_length = 1ULL << xy;
+  d.read_length = 150;
+  d.coverage = 50.0;  // Table V read counts / genome size => 50x
+  d.paper_reads = paper_reads;
+  d.paper_fastq_size = size;
+  return d;
+}
+
+std::vector<DatasetSpec> build_registry() {
+  std::vector<DatasetSpec> r;
+
+  // -- Synthetic 20..32 (Table V) ---------------------------------------
+  r.push_back(synthetic(20, 349500, "0.11 MB"));
+  r.push_back(synthetic(21, 699050, "0.22 MB"));
+  r.push_back(synthetic(22, 1398100, "0.44 MB"));
+  r.push_back(synthetic(23, 2796200, "0.9 GB"));
+  r.push_back(synthetic(24, 5592400, "1.8 GB"));
+  r.push_back(synthetic(25, 11184800, "3.5 GB"));
+  r.push_back(synthetic(26, 22369600, "7.0 GB"));
+  r.push_back(synthetic(27, 44739200, "16.0 GB"));
+  r.push_back(synthetic(28, 89478450, "28.0 GB"));
+  r.push_back(synthetic(29, 178956950, "57.0 GB"));
+  r.push_back(synthetic(30, 357913900, "113.0 GB"));
+  r.push_back(synthetic(31, 715827850, "226.0 GB"));
+  r.push_back(synthetic(32, 1431655750, "451.0 GB"));
+
+  // -- Real organisms (Table V), replaced by synthetic profiles ---------
+  {
+    DatasetSpec d;
+    d.name = "paeruginosa";
+    d.organism = "P. aeruginosa";
+    d.accession = "SRR29163078";
+    d.genome_length = 6300000;  // ~6.3 Mb
+    d.read_length = 151;
+    d.coverage = 50.0;
+    d.gc_content = 0.66;
+    d.paper_reads = 10190262;
+    d.paper_fastq_size = "3.8 GB";
+    r.push_back(d);
+  }
+  {
+    DatasetSpec d;
+    d.name = "scoelicolor";
+    d.organism = "S. coelicolor";
+    d.accession = "SRR28892189";
+    d.genome_length = 8700000;  // ~8.7 Mb
+    d.read_length = 150;
+    d.coverage = 50.0;
+    d.gc_content = 0.72;
+    d.paper_reads = 15137459;
+    d.paper_fastq_size = "6.3 GB";
+    r.push_back(d);
+  }
+  {
+    DatasetSpec d;
+    d.name = "fvesca";
+    d.organism = "F. vesca";
+    d.accession = "SRR26113965";
+    d.genome_length = 240000000;  // woodland strawberry ~240 Mb
+    d.read_length = 150;
+    d.coverage = 35.0;
+    d.gc_content = 0.39;
+    d.families = {{300, 0.25, 0.12}};
+    d.paper_reads = 56271131;
+    d.paper_fastq_size = "24.0 GB";
+    r.push_back(d);
+  }
+  {
+    DatasetSpec d;
+    d.name = "psinus";
+    d.organism = "P. sinus";
+    d.accession = "SRR25743144";
+    d.genome_length = 800000000;
+    d.read_length = 151;
+    d.coverage = 26.0;
+    d.gc_content = 0.41;
+    d.families = {{500, 0.30, 0.10}};
+    d.paper_reads = 139993564;
+    d.paper_fastq_size = "59.0 GB";
+    r.push_back(d);
+  }
+  {
+    DatasetSpec d;
+    d.name = "ambystoma";
+    d.organism = "Ambystoma sp.";
+    d.accession = "SRR7443702";
+    d.genome_length = 3000000000;  // salamander genomes are repeat bloated
+    d.read_length = 125;
+    d.coverage = 6.0;
+    d.gc_content = 0.46;
+    d.families = {{600, 0.50, 0.08}, {5000, 0.15, 0.05}};
+    d.paper_reads = 141903420;
+    d.paper_fastq_size = "45.0 GB";
+    r.push_back(d);
+  }
+  {
+    DatasetSpec d;
+    d.name = "human";
+    d.organism = "Human";
+    d.accession = "SRR28206931";
+    d.genome_length = 3100000000;
+    d.read_length = 149;
+    d.coverage = 13.0;
+    d.gc_content = 0.41;
+    // The (AATGG)n pericentromeric satellite the paper calls out, plus an
+    // Alu-like dispersed family.
+    // T2T-CHM13 puts human satellite DNA (alpha, HSat1-3) at ~6%+
+    d.satellites = {{"AATGG", 0.07, 5000}};
+    d.families = {{300, 0.40, 0.12}};
+    d.paper_reads = 263469656;
+    d.paper_fastq_size = "95.0 GB";
+    d.heavy_hitters = true;
+    r.push_back(d);
+  }
+  {
+    DatasetSpec d;
+    d.name = "taestivum";
+    d.organism = "T. aestivum";
+    d.accession = "SRR29871703";
+    d.genome_length = 16000000000ULL;  // hexaploid wheat ~16 Gb
+    d.read_length = 150;
+    d.coverage = 3.0;
+    d.gc_content = 0.46;
+    d.satellites = {{"GAA", 0.06, 4000}, {"AATGG", 0.02, 4000}};
+    d.families = {{8000, 0.60, 0.04}, {300, 0.15, 0.12}};
+    d.paper_reads = 345818242;
+    d.paper_fastq_size = "145.0 GB";
+    d.heavy_hitters = true;
+    r.push_back(d);
+  }
+
+  return r;
+}
+
+}  // namespace
+
+GenomeSpec DatasetSpec::genome(double scale, std::uint64_t seed) const {
+  DAKC_CHECK(scale > 0.0);
+  GenomeSpec g;
+  const auto scaled =
+      static_cast<std::uint64_t>(static_cast<double>(genome_length) * scale);
+  g.length = std::max<std::uint64_t>(scaled,
+                                     static_cast<std::uint64_t>(read_length) * 4);
+  g.seed = seed;
+  g.gc_content = gc_content;
+  g.satellites = satellites;
+  g.families = families;
+  // Keep array/unit lengths sane on tiny scaled genomes.
+  for (auto& s : g.satellites)
+    s.array_length = std::min<std::uint64_t>(s.array_length, g.length / 8);
+  for (auto& f : g.families)
+    f.unit_length = std::min<std::uint64_t>(f.unit_length, g.length / 16);
+  return g;
+}
+
+ReadSimSpec DatasetSpec::reads(std::uint64_t seed) const {
+  ReadSimSpec s;
+  s.read_length = read_length;
+  s.coverage = coverage;
+  s.seed = seed;
+  s.id_prefix = name;
+  return s;
+}
+
+std::uint64_t DatasetSpec::reads_at_scale(double scale) const {
+  const GenomeSpec g = genome(scale);
+  return read_count_for(reads(), g.length);
+}
+
+const std::vector<DatasetSpec>& dataset_registry() {
+  static const std::vector<DatasetSpec> registry = build_registry();
+  return registry;
+}
+
+const DatasetSpec& dataset_by_name(const std::string& name) {
+  for (const auto& d : dataset_registry())
+    if (d.name == name) return d;
+  throw std::logic_error("unknown dataset: " + name);
+}
+
+std::vector<std::string> make_dataset_reads(const DatasetSpec& spec,
+                                            double scale,
+                                            std::uint64_t seed) {
+  const std::string genome = generate_genome(spec.genome(scale, seed));
+  ReadSimSpec rs = spec.reads(seed * 977 + 13);
+  return simulate_read_seqs(genome, rs);
+}
+
+}  // namespace dakc::sim

@@ -1,0 +1,101 @@
+#include "sim/genome.hpp"
+
+#include <algorithm>
+
+#include "kmer/encoding.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dakc::sim {
+
+namespace {
+
+char random_base(Xoshiro256& rng, double gc_content) {
+  const bool gc = rng.bernoulli(gc_content);
+  if (gc) return rng.bernoulli(0.5) ? 'G' : 'C';
+  return rng.bernoulli(0.5) ? 'A' : 'T';
+}
+
+char mutate_base(Xoshiro256& rng, char original) {
+  // Uniform substitution to one of the three other bases.
+  static constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+  char c;
+  do {
+    c = kBases[rng.below(4)];
+  } while (c == original);
+  return c;
+}
+
+}  // namespace
+
+std::string generate_genome(const GenomeSpec& spec) {
+  DAKC_CHECK(spec.length >= 1);
+  DAKC_CHECK(spec.gc_content > 0.0 && spec.gc_content < 1.0);
+  Xoshiro256 rng(spec.seed);
+
+  std::string genome(spec.length, 'A');
+  for (auto& c : genome) c = random_base(rng, spec.gc_content);
+
+  // Dispersed repeat families: emit diverged copies of a consensus at
+  // random positions.
+  for (const auto& fam : spec.families) {
+    if (fam.genome_fraction <= 0.0) continue;
+    const std::uint64_t unit =
+        std::min<std::uint64_t>(std::max<std::uint64_t>(fam.unit_length, 8),
+                                std::max<std::uint64_t>(spec.length / 4, 8));
+    std::string consensus(unit, 'A');
+    for (auto& c : consensus) c = random_base(rng, spec.gc_content);
+    const auto target =
+        static_cast<std::uint64_t>(fam.genome_fraction *
+                                   static_cast<double>(spec.length));
+    std::uint64_t placed = 0;
+    while (placed + unit <= target && spec.length > unit) {
+      const std::uint64_t pos = rng.below(spec.length - unit);
+      for (std::uint64_t i = 0; i < unit; ++i) {
+        genome[pos + i] = rng.bernoulli(fam.divergence)
+                              ? mutate_base(rng, consensus[i])
+                              : consensus[i];
+      }
+      placed += unit;
+    }
+  }
+
+  // Satellite arrays last so their tandem structure survives intact.
+  for (const auto& sat : spec.satellites) {
+    if (sat.genome_fraction <= 0.0) continue;
+    DAKC_CHECK(!sat.motif.empty());
+    const auto target =
+        static_cast<std::uint64_t>(sat.genome_fraction *
+                                   static_cast<double>(spec.length));
+    // Shrink arrays on small (scaled-down) genomes so the requested
+    // fraction is still achievable with at least one array.
+    const std::uint64_t array_len = std::max<std::uint64_t>(
+        std::min({std::max<std::uint64_t>(sat.array_length, sat.motif.size()),
+                  std::max<std::uint64_t>(spec.length / 2, sat.motif.size()),
+                  std::max<std::uint64_t>(target, sat.motif.size())}),
+        sat.motif.size());
+    std::uint64_t placed = 0;
+    while (placed + array_len <= target && spec.length > array_len) {
+      const std::uint64_t pos = rng.below(spec.length - array_len);
+      for (std::uint64_t i = 0; i < array_len; ++i)
+        genome[pos + i] = sat.motif[i % sat.motif.size()];
+      placed += array_len;
+    }
+  }
+
+  return genome;
+}
+
+std::string reverse_complement_str(const std::string& s) {
+  std::string rc(s.size(), 'N');
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[s.size() - 1 - i];
+    const std::uint8_t code = kmer::encode_base(c);
+    rc[i] = (code == kmer::kInvalidBase)
+                ? 'N'
+                : kmer::decode_base(kmer::complement_code(code));
+  }
+  return rc;
+}
+
+}  // namespace dakc::sim

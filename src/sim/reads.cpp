@@ -1,0 +1,184 @@
+#include "sim/reads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/genome.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dakc::sim {
+
+namespace {
+
+char substitute(Xoshiro256& rng, char original) {
+  static constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+  char c;
+  do {
+    c = kBases[rng.below(4)];
+  } while (c == original);
+  return c;
+}
+
+char phred_char(double error_prob) {
+  error_prob = std::clamp(error_prob, 1e-5, 0.75);
+  const int q = static_cast<int>(-10.0 * std::log10(error_prob));
+  return static_cast<char>(33 + std::clamp(q, 2, 41));
+}
+
+}  // namespace
+
+std::uint64_t read_count_for(const ReadSimSpec& spec,
+                             std::uint64_t genome_length) {
+  DAKC_CHECK(spec.read_length >= 1);
+  DAKC_CHECK(spec.coverage > 0.0);
+  const double n = spec.coverage * static_cast<double>(genome_length) /
+                   static_cast<double>(spec.read_length);
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(n));
+}
+
+std::vector<io::SequenceRecord> simulate_reads(const std::string& genome,
+                                               const ReadSimSpec& spec) {
+  DAKC_CHECK(!genome.empty());
+  const auto len = static_cast<std::uint64_t>(genome.size());
+  const int m = spec.read_length;
+  DAKC_CHECK_MSG(static_cast<std::uint64_t>(m) <= len,
+                 "read length exceeds genome length");
+  const std::uint64_t n_reads = read_count_for(spec, len);
+  Xoshiro256 rng(spec.seed);
+
+  std::vector<io::SequenceRecord> out;
+  out.reserve(n_reads);
+  for (std::uint64_t r = 0; r < n_reads; ++r) {
+    const std::uint64_t pos = rng.below(len - static_cast<std::uint64_t>(m) + 1);
+    std::string seq = genome.substr(pos, static_cast<std::size_t>(m));
+    if (spec.both_strands && rng.bernoulli(0.5))
+      seq = reverse_complement_str(seq);
+
+    std::string qual(static_cast<std::size_t>(m), '!');
+    for (int i = 0; i < m; ++i) {
+      // Linear error ramp from base 0 to base m-1.
+      const double ramp =
+          1.0 + (spec.error_ramp - 1.0) *
+                    (m > 1 ? static_cast<double>(i) / (m - 1) : 0.0);
+      const double p_err = std::min(0.5, spec.substitution_rate * ramp);
+      auto& c = seq[static_cast<std::size_t>(i)];
+      if (spec.n_rate > 0.0 && rng.bernoulli(spec.n_rate)) {
+        c = 'N';
+        qual[static_cast<std::size_t>(i)] = '#';  // q=2
+        continue;
+      }
+      if (c != 'N' && rng.bernoulli(p_err)) c = substitute(rng, c);
+      qual[static_cast<std::size_t>(i)] = phred_char(p_err);
+    }
+
+    io::SequenceRecord rec;
+    rec.id = spec.id_prefix + "." + std::to_string(r);
+    rec.seq = std::move(seq);
+    rec.qual = std::move(qual);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::vector<std::string> simulate_read_seqs(const std::string& genome,
+                                            const ReadSimSpec& spec) {
+  auto recs = simulate_reads(genome, spec);
+  std::vector<std::string> seqs;
+  seqs.reserve(recs.size());
+  for (auto& r : recs) seqs.push_back(std::move(r.seq));
+  return seqs;
+}
+
+namespace {
+
+/// Approximate normal sample via the sum of three uniforms (adequate for
+/// insert-size jitter; exact tails do not matter here).
+double rough_normal(Xoshiro256& rng, double mean, double stddev) {
+  const double u = rng.uniform() + rng.uniform() + rng.uniform() - 1.5;
+  return mean + stddev * u * 2.0;
+}
+
+/// Apply the spec's error/quality model to a raw sequence in place,
+/// returning the quality string.
+std::string apply_errors(Xoshiro256& rng, const ReadSimSpec& spec,
+                         std::string& seq) {
+  const int m = static_cast<int>(seq.size());
+  std::string qual(seq.size(), '!');
+  for (int i = 0; i < m; ++i) {
+    const double ramp =
+        1.0 + (spec.error_ramp - 1.0) *
+                  (m > 1 ? static_cast<double>(i) / (m - 1) : 0.0);
+    const double p_err = std::min(0.5, spec.substitution_rate * ramp);
+    auto& c = seq[static_cast<std::size_t>(i)];
+    if (spec.n_rate > 0.0 && rng.bernoulli(spec.n_rate)) {
+      c = 'N';
+      qual[static_cast<std::size_t>(i)] = '#';
+      continue;
+    }
+    if (c != 'N' && rng.bernoulli(p_err)) c = substitute(rng, c);
+    qual[static_cast<std::size_t>(i)] = phred_char(p_err);
+  }
+  return qual;
+}
+
+}  // namespace
+
+PairedReads simulate_paired_reads(const std::string& genome,
+                                  const PairedSimSpec& spec) {
+  DAKC_CHECK(!genome.empty());
+  const auto len = static_cast<std::uint64_t>(genome.size());
+  const int m = spec.base.read_length;
+  DAKC_CHECK(m >= 1);
+  DAKC_CHECK_MSG(spec.insert_mean >= m,
+                 "insert size must cover one read length");
+  DAKC_CHECK_MSG(static_cast<std::uint64_t>(spec.insert_mean) +
+                         4ull * spec.insert_stddev <=
+                     len,
+                 "genome too short for the insert distribution");
+  // Pair count: each pair contributes two reads toward the coverage.
+  const std::uint64_t n_pairs =
+      std::max<std::uint64_t>(1, read_count_for(spec.base, len) / 2);
+  Xoshiro256 rng(spec.base.seed);
+
+  PairedReads out;
+  out.r1.reserve(n_pairs);
+  out.r2.reserve(n_pairs);
+  for (std::uint64_t p = 0; p < n_pairs; ++p) {
+    int insert = static_cast<int>(
+        rough_normal(rng, spec.insert_mean, spec.insert_stddev));
+    insert = std::clamp(insert, m, static_cast<int>(len));
+    const std::uint64_t pos =
+        rng.below(len - static_cast<std::uint64_t>(insert) + 1);
+    std::string fragment =
+        genome.substr(pos, static_cast<std::size_t>(insert));
+    if (spec.base.both_strands && rng.bernoulli(0.5))
+      fragment = reverse_complement_str(fragment);
+
+    // FR orientation: R1 = fragment 5' end; R2 = reverse complement of
+    // the fragment's 3' end.
+    std::string s1 = fragment.substr(0, static_cast<std::size_t>(m));
+    std::string s2 = reverse_complement_str(
+        fragment.substr(fragment.size() - static_cast<std::size_t>(m)));
+
+    io::SequenceRecord rec1, rec2;
+    rec1.id = spec.base.id_prefix + "." + std::to_string(p) + "/1";
+    rec2.id = spec.base.id_prefix + "." + std::to_string(p) + "/2";
+    rec1.qual = apply_errors(rng, spec.base, s1);
+    rec2.qual = apply_errors(rng, spec.base, s2);
+    rec1.seq = std::move(s1);
+    rec2.seq = std::move(s2);
+    out.r1.push_back(std::move(rec1));
+    out.r2.push_back(std::move(rec2));
+  }
+  return out;
+}
+
+std::vector<std::string> first_mates(const PairedReads& pairs) {
+  std::vector<std::string> seqs;
+  seqs.reserve(pairs.r1.size());
+  for (const auto& r : pairs.r1) seqs.push_back(r.seq);
+  return seqs;
+}
+
+}  // namespace dakc::sim

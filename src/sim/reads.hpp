@@ -1,0 +1,70 @@
+// ART-Illumina-like short-read simulator.
+//
+// The paper generates its synthetic FASTQ inputs with the ART Illumina
+// simulator [49]; this module is the offline substitute. It samples
+// fixed-length reads uniformly from a genome (both strands), applies a
+// position-ramped substitution error model (error rates rise toward the
+// 3' end, as on real Illumina machines), occasionally emits 'N', and
+// writes Phred+33 qualities consistent with the per-base error
+// probability.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/fastx.hpp"
+
+namespace dakc::sim {
+
+struct ReadSimSpec {
+  int read_length = 150;
+  double coverage = 50.0;  ///< mean sequencing depth (paper synthetics: 50x)
+  /// Mean per-base substitution probability.
+  double substitution_rate = 0.002;
+  /// Error probability multiplier at the last base relative to the first
+  /// (linear ramp); 1.0 = flat profile.
+  double error_ramp = 4.0;
+  /// Probability a base is replaced by 'N' (ambiguous call).
+  double n_rate = 0.0;
+  bool both_strands = true;
+  std::uint64_t seed = 7;
+  /// Prefix for read ids ("<prefix>.<index>").
+  std::string id_prefix = "read";
+};
+
+/// Number of reads the spec implies for a genome of `genome_length`.
+std::uint64_t read_count_for(const ReadSimSpec& spec,
+                             std::uint64_t genome_length);
+
+/// Simulate FASTQ records from a genome.
+std::vector<io::SequenceRecord> simulate_reads(const std::string& genome,
+                                               const ReadSimSpec& spec);
+
+/// Cheaper variant for counters that only need sequences.
+std::vector<std::string> simulate_read_seqs(const std::string& genome,
+                                            const ReadSimSpec& spec);
+
+/// A paired-end library (Table V's SRA runs are paired; the paper "only
+/// uses the first of the two paired-end reads").
+struct PairedReads {
+  std::vector<io::SequenceRecord> r1;  ///< forward mates ("<id>/1")
+  std::vector<io::SequenceRecord> r2;  ///< reverse mates ("<id>/2")
+};
+
+struct PairedSimSpec {
+  ReadSimSpec base;             ///< per-mate read parameters
+  int insert_mean = 400;        ///< outer fragment length, bases
+  int insert_stddev = 40;
+};
+
+/// Simulate paired-end reads: fragments are sampled from the genome, R1
+/// reads the fragment's 5' end on the sampled strand, R2 reads the 3'
+/// end on the opposite strand (standard Illumina FR orientation).
+PairedReads simulate_paired_reads(const std::string& genome,
+                                  const PairedSimSpec& spec);
+
+/// The paper's selection rule: keep only the first mates' sequences.
+std::vector<std::string> first_mates(const PairedReads& pairs);
+
+}  // namespace dakc::sim

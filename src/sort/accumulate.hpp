@@ -1,0 +1,64 @@
+// Accumulate: collapse a sorted run of k-mers (or {k-mer, count} pairs)
+// into {k-mer, total count} records — the paper's Accumulate() sweep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kmer/count.hpp"
+#include "util/check.hpp"
+
+namespace dakc::sort {
+
+/// Sweep a *sorted* array of k-mers; emit one record per distinct value.
+template <typename Word>
+std::vector<kmer::KmerCount<Word>> accumulate(const std::vector<Word>& sorted) {
+  std::vector<kmer::KmerCount<Word>> out;
+  if (sorted.empty()) return out;
+  out.push_back({sorted[0], 1});
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    DAKC_ASSERT(sorted[i] >= sorted[i - 1]);
+    if (sorted[i] == out.back().kmer)
+      ++out.back().count;
+    else
+      out.push_back({sorted[i], 1});
+  }
+  return out;
+}
+
+/// Sweep a *key-sorted* array of {k-mer, count} pairs, summing counts of
+/// equal keys (DAKC's phase 2, where HEAVY packets carry pre-counts).
+template <typename Word>
+std::vector<kmer::KmerCount<Word>> accumulate_pairs(
+    const std::vector<kmer::KmerCount<Word>>& sorted) {
+  std::vector<kmer::KmerCount<Word>> out;
+  if (sorted.empty()) return out;
+  out.push_back(sorted[0]);
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    DAKC_ASSERT(sorted[i].kmer >= sorted[i - 1].kmer);
+    if (sorted[i].kmer == out.back().kmer)
+      out.back().count += sorted[i].count;
+    else
+      out.push_back(sorted[i]);
+  }
+  return out;
+}
+
+/// In-place variant of accumulate_pairs (sorts nothing; input must be
+/// key-sorted). Returns the new logical size.
+template <typename Word>
+std::size_t accumulate_pairs_inplace(std::vector<kmer::KmerCount<Word>>& v) {
+  if (v.empty()) return 0;
+  std::size_t w = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    DAKC_ASSERT(v[i].kmer >= v[i - 1].kmer);
+    if (v[i].kmer == v[w].kmer)
+      v[w].count += v[i].count;
+    else
+      v[++w] = v[i];
+  }
+  v.resize(w + 1);
+  return v.size();
+}
+
+}  // namespace dakc::sort

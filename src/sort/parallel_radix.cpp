@@ -1,0 +1,92 @@
+#include "sort/parallel_radix.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace dakc::sort {
+
+namespace {
+constexpr std::size_t kSerialThreshold = 1 << 15;
+}
+
+SortStats parallel_radix_sort(std::vector<std::uint64_t>& v, int threads) {
+  if (threads <= 0)
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  if (v.size() <= kSerialThreshold || threads == 1)
+    return hybrid_radix_sort(v);
+
+  SortStats stats;
+  stats.elements = v.size();
+
+  // Find the most significant byte that actually differs.
+  std::array<std::array<std::size_t, 256>, 8> counts{};
+  for (std::uint64_t x : v)
+    for (int b = 0; b < 8; ++b) ++counts[b][(x >> (8 * b)) & 0xFF];
+  ++stats.passes;
+  int top = 7;
+  while (top > 0) {
+    bool uniform = false;
+    for (int c = 0; c < 256; ++c)
+      if (counts[top][c] == v.size()) {
+        uniform = true;
+        break;
+      }
+    if (!uniform) break;
+    --top;
+  }
+
+  // Scatter by the top byte into a temporary.
+  std::array<std::size_t, 256> offset{};
+  std::size_t sum = 0;
+  for (int c = 0; c < 256; ++c) {
+    offset[c] = sum;
+    sum += counts[top][c];
+  }
+  const std::array<std::size_t, 256> bucket_begin = offset;
+  std::vector<std::uint64_t> tmp(v.size());
+  for (std::uint64_t x : v) tmp[offset[(x >> (8 * top)) & 0xFF]++] = x;
+  stats.moves += v.size();
+  ++stats.passes;
+  v.swap(tmp);
+
+  // Sort buckets on worker threads, largest first for balance.
+  std::vector<int> order(256);
+  for (int c = 0; c < 256; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return counts[top][a] > counts[top][b];
+  });
+
+  std::atomic<int> next{0};
+  std::mutex stats_mutex;
+  auto worker = [&] {
+    SortStats local;
+    while (true) {
+      const int i = next.fetch_add(1);
+      if (i >= 256) break;
+      const int c = order[i];
+      const std::size_t lo = bucket_begin[c];
+      const std::size_t n = counts[top][c];
+      if (n <= 1) continue;
+      local += hybrid_radix_sort(
+          v.begin() + static_cast<std::ptrdiff_t>(lo),
+          v.begin() + static_cast<std::ptrdiff_t>(lo + n),
+          [](std::uint64_t w) { return w; });
+    }
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    stats += local;
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads) - 1);
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& th : pool) th.join();
+  stats.elements = v.size();  // bucket sorts re-counted their elements
+  return stats;
+}
+
+}  // namespace dakc::sort

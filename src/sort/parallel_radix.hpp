@@ -1,0 +1,23 @@
+// Multithreaded radix sort for host-side (real shared-memory) use.
+//
+// KMC3 and HySortK both rely on multithreaded radix sorting (RADULS). The
+// simulated baselines model that cost inside the DES; this kernel is the
+// real thing for host-side consumers (the quickstart example sorts with
+// it). Strategy: one parallel histogram pass over the most significant
+// non-uniform byte scatters elements into 256 buckets, then worker
+// threads hybrid-radix-sort buckets independently.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sort/radix.hpp"
+
+namespace dakc::sort {
+
+/// Sort 64-bit keys ascending using up to `threads` worker threads
+/// (0 = hardware concurrency). Falls back to the serial hybrid sort for
+/// small inputs.
+SortStats parallel_radix_sort(std::vector<std::uint64_t>& v, int threads = 0);
+
+}  // namespace dakc::sort

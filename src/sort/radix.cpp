@@ -1,0 +1,53 @@
+#include "sort/radix.hpp"
+
+namespace dakc::sort {
+
+SortStats lsd_radix_sort(std::vector<std::uint64_t>& v) {
+  SortStats stats;
+  stats.elements = v.size();
+  if (v.size() <= 1) return stats;
+
+  // One histogram pass computes all eight byte distributions.
+  std::array<std::array<std::size_t, 256>, 8> counts{};
+  for (std::uint64_t x : v)
+    for (int b = 0; b < 8; ++b) ++counts[b][(x >> (8 * b)) & 0xFF];
+  ++stats.passes;
+
+  std::vector<std::uint64_t> tmp(v.size());
+  std::uint64_t* src = v.data();
+  std::uint64_t* dst = tmp.data();
+  bool swapped = false;
+
+  for (int b = 0; b < 8; ++b) {
+    // Skip passes where every key shares the byte value.
+    bool uniform = false;
+    for (int c = 0; c < 256; ++c) {
+      if (counts[b][c] == v.size()) {
+        uniform = true;
+        break;
+      }
+    }
+    if (uniform) continue;
+
+    std::array<std::size_t, 256> offset{};
+    std::size_t sum = 0;
+    for (int c = 0; c < 256; ++c) {
+      offset[c] = sum;
+      sum += counts[b][c];
+    }
+    for (std::size_t i = 0; i < v.size(); ++i)
+      dst[offset[(src[i] >> (8 * b)) & 0xFF]++] = src[i];
+    stats.moves += v.size();
+    ++stats.passes;
+    std::swap(src, dst);
+    swapped = !swapped;
+  }
+
+  if (swapped) {
+    std::memcpy(v.data(), tmp.data(), v.size() * sizeof(std::uint64_t));
+    stats.moves += v.size();
+  }
+  return stats;
+}
+
+}  // namespace dakc::sort

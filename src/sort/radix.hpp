@@ -1,0 +1,166 @@
+// Sorting kernels for packed k-mers.
+//
+// The paper's phase 2 uses "a hybrid sorting algorithm [47] that starts
+// with an in-place radix sort and falls back to comparison-based sorting
+// using a heuristic" (ska_sort). hybrid_radix_sort() reimplements that
+// scheme: MSD american-flag radix over the key bytes, switching to
+// insertion sort for small buckets and to std::sort when recursion gets
+// suspiciously deep (the anti-quadratic heuristic).
+//
+// lsd_radix_sort() is the classic stable byte-wise LSD sort (what RADULS/
+// KMC and our PakMan* baseline use), with uniform-byte pass skipping.
+//
+// Every kernel reports SortStats so the simulator can charge *measured*
+// work (bytes actually moved, passes actually executed) instead of the
+// closed-form worst case the analytical model assumes — keeping the
+// model-validation experiments (Figs. 3-4) non-circular.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dakc::sort {
+
+struct SortStats {
+  std::uint64_t elements = 0;        ///< elements in the input
+  std::uint64_t moves = 0;           ///< element copies/swaps performed
+  std::uint64_t passes = 0;          ///< counting/permutation passes
+  std::uint64_t insertion_sorted = 0;///< elements finished by insertion sort
+  std::uint64_t fallback_sorted = 0; ///< elements finished by std::sort
+
+  SortStats& operator+=(const SortStats& o) {
+    elements += o.elements;
+    moves += o.moves;
+    passes += o.passes;
+    insertion_sorted += o.insertion_sorted;
+    fallback_sorted += o.fallback_sorted;
+    return *this;
+  }
+};
+
+namespace detail {
+
+template <typename Key>
+constexpr int key_bytes() {
+  return static_cast<int>(sizeof(Key));
+}
+
+template <typename Key>
+constexpr std::uint8_t byte_of(Key key, int byte_index) {
+  return static_cast<std::uint8_t>(key >> (8 * byte_index));
+}
+
+template <typename It, typename KeyFn>
+void insertion_sort(It first, It last, KeyFn&& key, SortStats& stats) {
+  for (It i = first + 1; i < last; ++i) {
+    auto v = std::move(*i);
+    const auto kv = key(v);
+    It j = i;
+    while (j > first && key(*(j - 1)) > kv) {
+      *j = std::move(*(j - 1));
+      --j;
+      ++stats.moves;
+    }
+    *j = std::move(v);
+    ++stats.moves;
+  }
+}
+
+/// American-flag in-place permutation for one byte, then recursion.
+template <typename It, typename KeyFn>
+void msd_radix(It first, It last, int byte_index, int depth, KeyFn&& key,
+               SortStats& stats) {
+  const auto n = static_cast<std::size_t>(last - first);
+  if (n <= 1) return;
+  if (n <= 32) {
+    insertion_sort(first, last, key, stats);
+    stats.insertion_sorted += n;
+    return;
+  }
+  // Heuristic fallback: if we recursed deeper than the key has bytes plus
+  // slack, something degenerate is happening; hand over to introsort.
+  if (depth > detail::key_bytes<decltype(key(*first))>() + 2) {
+    std::sort(first, last,
+              [&](const auto& a, const auto& b) { return key(a) < key(b); });
+    stats.fallback_sorted += n;
+    return;
+  }
+
+  std::array<std::size_t, 256> count{};
+  for (It it = first; it != last; ++it) ++count[byte_of(key(*it), byte_index)];
+  ++stats.passes;
+
+  // Uniform byte: skip straight to the next one.
+  if (std::any_of(count.begin(), count.end(),
+                  [&](std::size_t c) { return c == n; })) {
+    if (byte_index > 0) msd_radix(first, last, byte_index - 1, depth + 1, key, stats);
+    return;
+  }
+
+  std::array<std::size_t, 256> bucket_start{};
+  std::array<std::size_t, 256> bucket_end{};
+  std::size_t sum = 0;
+  for (int b = 0; b < 256; ++b) {
+    bucket_start[b] = sum;
+    sum += count[b];
+    bucket_end[b] = sum;
+  }
+
+  // Cycle-leader permutation (american flag).
+  std::array<std::size_t, 256> next = bucket_start;
+  for (int b = 0; b < 256; ++b) {
+    while (next[b] < bucket_end[b]) {
+      auto v = std::move(first[next[b]]);
+      std::uint8_t vb = byte_of(key(v), byte_index);
+      while (vb != b) {
+        std::swap(v, first[next[vb]]);
+        ++next[vb];
+        ++stats.moves;
+        vb = byte_of(key(v), byte_index);
+      }
+      first[next[b]] = std::move(v);
+      ++next[b];
+      ++stats.moves;
+    }
+  }
+  ++stats.passes;
+
+  if (byte_index == 0) return;
+  for (int b = 0; b < 256; ++b) {
+    if (count[b] > 1)
+      msd_radix(first + static_cast<std::ptrdiff_t>(bucket_start[b]),
+                first + static_cast<std::ptrdiff_t>(bucket_end[b]),
+                byte_index - 1, depth + 1, key, stats);
+  }
+}
+
+}  // namespace detail
+
+/// Hybrid in-place MSD radix sort (the paper's phase-2 sort). `key` must
+/// return an unsigned integer type; elements are ordered by it.
+template <typename It, typename KeyFn>
+SortStats hybrid_radix_sort(It first, It last, KeyFn key) {
+  SortStats stats;
+  stats.elements = static_cast<std::uint64_t>(last - first);
+  if (first == last) return stats;
+  const int top = detail::key_bytes<decltype(key(*first))>() - 1;
+  detail::msd_radix(first, last, top, 0, key, stats);
+  return stats;
+}
+
+/// Convenience overload for plain unsigned containers.
+template <typename Word>
+SortStats hybrid_radix_sort(std::vector<Word>& v) {
+  return hybrid_radix_sort(v.begin(), v.end(), [](Word w) { return w; });
+}
+
+/// Stable LSD radix sort of 64-bit keys, with pass skipping when a byte
+/// is uniform across the input. Uses one temporary buffer of equal size.
+SortStats lsd_radix_sort(std::vector<std::uint64_t>& v);
+
+}  // namespace dakc::sort

@@ -1,0 +1,39 @@
+// Lightweight runtime-check macros used across the library.
+//
+// DAKC_CHECK is always on (it guards invariants whose violation would
+// corrupt results); DAKC_ASSERT compiles away in NDEBUG builds and guards
+// internal consistency that is cheap to re-derive.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace dakc {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::string what = std::string("DAKC_CHECK failed: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) what += ": " + msg;
+  throw std::logic_error(what);
+}
+
+}  // namespace dakc
+
+#define DAKC_CHECK(expr)                                        \
+  do {                                                          \
+    if (!(expr)) ::dakc::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DAKC_CHECK_MSG(expr, msg)                                 \
+  do {                                                            \
+    if (!(expr)) ::dakc::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define DAKC_ASSERT(expr) ((void)0)
+#else
+#define DAKC_ASSERT(expr) DAKC_CHECK(expr)
+#endif

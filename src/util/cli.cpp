@@ -1,0 +1,152 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dakc {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+CliParser::Option& CliParser::declare(const std::string& name, Kind kind,
+                                      const std::string& help) {
+  DAKC_CHECK_MSG(!options_.count(name), "duplicate flag: --" + name);
+  Option opt;
+  opt.kind = kind;
+  opt.help = help;
+  order_.push_back(name);
+  return options_.emplace(name, std::move(opt)).first->second;
+}
+
+std::int64_t& CliParser::add_int(const std::string& name, std::int64_t def,
+                                 const std::string& help) {
+  Option& o = declare(name, Kind::kInt, help);
+  o.i = def;
+  o.default_repr = std::to_string(def);
+  return o.i;
+}
+
+double& CliParser::add_double(const std::string& name, double def,
+                              const std::string& help) {
+  Option& o = declare(name, Kind::kDouble, help);
+  o.d = def;
+  o.default_repr = std::to_string(def);
+  return o.d;
+}
+
+std::string& CliParser::add_string(const std::string& name,
+                                   const std::string& def,
+                                   const std::string& help) {
+  Option& o = declare(name, Kind::kString, help);
+  o.s = def;
+  o.default_repr = def.empty() ? "\"\"" : def;
+  return o.s;
+}
+
+bool& CliParser::add_flag(const std::string& name, bool def,
+                          const std::string& help) {
+  Option& o = declare(name, Kind::kFlag, help);
+  o.b = def;
+  o.default_repr = def ? "true" : "false";
+  return o.b;
+}
+
+bool CliParser::assign(Option& opt, const std::string& value,
+                       std::string* error, const std::string& name) {
+  try {
+    switch (opt.kind) {
+      case Kind::kInt:
+        opt.i = std::stoll(value);
+        return true;
+      case Kind::kDouble:
+        opt.d = std::stod(value);
+        return true;
+      case Kind::kString:
+        opt.s = value;
+        return true;
+      case Kind::kFlag:
+        if (value == "true" || value == "1") {
+          opt.b = true;
+        } else if (value == "false" || value == "0") {
+          opt.b = false;
+        } else {
+          *error = "--" + name + " expects true/false, got '" + value + "'";
+          return false;
+        }
+        return true;
+    }
+  } catch (const std::exception&) {
+    *error = "--" + name + ": cannot parse value '" + value + "'";
+    return false;
+  }
+  return false;  // unreachable
+}
+
+bool CliParser::try_parse(const std::vector<std::string>& args,
+                          std::string* error) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      *error = "positional arguments are not supported: '" + arg + "'";
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    if (it == options_.end()) {
+      *error = "unknown flag: --" + arg;
+      return false;
+    }
+    Option& opt = it->second;
+    if (!has_value) {
+      if (opt.kind == Kind::kFlag) {
+        opt.b = true;  // bare switch form: --verbose
+        continue;
+      }
+      if (i + 1 >= args.size()) {
+        *error = "--" + arg + " requires a value";
+        return false;
+      }
+      value = args[++i];
+    }
+    if (!assign(opt, value, error, arg)) return false;
+  }
+  return true;
+}
+
+void CliParser::parse(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (const auto& a : args) {
+    if (a == "--help" || a == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+  }
+  std::string error;
+  if (!try_parse(args, &error)) {
+    std::fprintf(stderr, "error: %s\n\n%s", error.c_str(), usage().c_str());
+    std::exit(2);
+  }
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " - " << description_ << "\n\nflags:\n";
+  for (const auto& name : order_) {
+    const Option& o = options_.at(name);
+    os << "  --" << name << " (default: " << o.default_repr << ")\n      "
+       << o.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dakc

@@ -1,0 +1,63 @@
+// Minimal command-line flag parser for examples and bench harnesses.
+//
+// Supports "--name value" and "--name=value" forms plus boolean switches.
+// Flags are declared with defaults before parse(); unknown flags are an
+// error so typos surface immediately. Example:
+//
+//   CliParser cli("quickstart", "Count k-mers of a FASTQ file");
+//   auto& k = cli.add_int("k", 31, "k-mer length");
+//   auto& in = cli.add_string("input", "", "FASTQ path (empty: synthetic)");
+//   cli.parse(argc, argv);            // exits with usage on --help / error
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dakc {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  std::int64_t& add_int(const std::string& name, std::int64_t def,
+                        const std::string& help);
+  double& add_double(const std::string& name, double def,
+                     const std::string& help);
+  std::string& add_string(const std::string& name, const std::string& def,
+                          const std::string& help);
+  bool& add_flag(const std::string& name, bool def, const std::string& help);
+
+  /// Parse argv. On --help prints usage and exits 0; on error prints the
+  /// problem plus usage and exits 2.
+  void parse(int argc, char** argv);
+
+  /// Parse from a vector, returning false + message instead of exiting
+  /// (used by tests).
+  bool try_parse(const std::vector<std::string>& args, std::string* error);
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string default_repr;
+    std::int64_t i = 0;
+    double d = 0.0;
+    std::string s;
+    bool b = false;
+  };
+  Option& declare(const std::string& name, Kind kind, const std::string& help);
+  bool assign(Option& opt, const std::string& value, std::string* error,
+              const std::string& name);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace dakc

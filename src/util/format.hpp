@@ -1,0 +1,64 @@
+// Small numeric-formatting helpers (gcc 12 does not ship std::format).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace dakc {
+
+/// Fixed-precision double, e.g. fmt_f(3.14159, 2) -> "3.14".
+inline std::string fmt_f(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+/// Scientific notation, e.g. fmt_e(12345.0, 2) -> "1.23e+04".
+inline std::string fmt_e(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+/// Human-readable byte size: 1536 -> "1.50 KiB".
+inline std::string fmt_bytes(double bytes) {
+  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[u]);
+  return buf;
+}
+
+/// Seconds with adaptive unit: 0.0000032 -> "3.20 us".
+inline std::string fmt_seconds(double s) {
+  char buf[64];
+  if (s >= 1.0)
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  else if (s >= 1e-3)
+    std::snprintf(buf, sizeof(buf), "%.3f ms", s * 1e3);
+  else if (s >= 1e-6)
+    std::snprintf(buf, sizeof(buf), "%.3f us", s * 1e6);
+  else
+    std::snprintf(buf, sizeof(buf), "%.1f ns", s * 1e9);
+  return buf;
+}
+
+/// Thousands-separated integer: 1234567 -> "1,234,567".
+inline std::string fmt_count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run && run % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++run;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace dakc

@@ -1,0 +1,53 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dakc {
+
+void CountHistogram::add(std::uint64_t count, std::uint64_t multiplicity) {
+  if (count == 0 || multiplicity == 0) return;
+  bins_[count] += multiplicity;
+  distinct_ += multiplicity;
+  total_ += count * multiplicity;
+}
+
+std::uint64_t CountHistogram::max_count() const {
+  return bins_.empty() ? 0 : bins_.rbegin()->first;
+}
+
+std::uint64_t CountHistogram::at(std::uint64_t c) const {
+  auto it = bins_.find(c);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+std::uint64_t CountHistogram::at_least(std::uint64_t c) const {
+  std::uint64_t sum = 0;
+  for (auto it = bins_.lower_bound(c); it != bins_.end(); ++it)
+    sum += it->second;
+  return sum;
+}
+
+std::uint64_t CountHistogram::mode_in(std::uint64_t lo, std::uint64_t hi) const {
+  std::uint64_t best_c = 0, best_n = 0;
+  for (auto it = bins_.lower_bound(lo); it != bins_.end() && it->first <= hi;
+       ++it) {
+    if (it->second > best_n) {
+      best_n = it->second;
+      best_c = it->first;
+    }
+  }
+  return best_c;
+}
+
+std::string CountHistogram::to_histo(std::uint64_t max_rows) const {
+  std::ostringstream os;
+  std::uint64_t rows = 0;
+  for (const auto& [c, n] : bins_) {
+    if (rows++ >= max_rows) break;
+    os << c << '\t' << n << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dakc

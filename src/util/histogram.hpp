@@ -1,0 +1,50 @@
+// Count histogram utilities.
+//
+// The output of every k-mer counter in this repo is an ordered array of
+// {kmer, count}. For analysis (k-mer spectra, genome-size estimation,
+// heavy-hitter reporting) we frequently need the *histogram of counts*
+// ("how many distinct k-mers occur exactly c times"), which this class
+// provides together with summary statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dakc {
+
+class CountHistogram {
+ public:
+  /// Record one distinct key that occurred `count` times.
+  void add(std::uint64_t count, std::uint64_t multiplicity = 1);
+
+  /// Number of distinct keys recorded.
+  std::uint64_t distinct() const { return distinct_; }
+  /// Sum of count * multiplicity over all records (total occurrences).
+  std::uint64_t total() const { return total_; }
+  /// Largest count seen (0 when empty).
+  std::uint64_t max_count() const;
+  /// Number of distinct keys with count == c.
+  std::uint64_t at(std::uint64_t c) const;
+  /// Number of distinct keys with count >= c.
+  std::uint64_t at_least(std::uint64_t c) const;
+
+  /// The count value c in [lo, hi] with the highest frequency; used for
+  /// coverage-peak detection in the k-mer spectrum example. Returns 0 when
+  /// the range is empty.
+  std::uint64_t mode_in(std::uint64_t lo, std::uint64_t hi) const;
+
+  const std::map<std::uint64_t, std::uint64_t>& bins() const { return bins_; }
+
+  /// Render as "count<TAB>num_distinct" lines (the ubiquitous .histo format
+  /// produced by jellyfish/KMC).
+  std::string to_histo(std::uint64_t max_rows = 1000) const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> bins_;
+  std::uint64_t distinct_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dakc

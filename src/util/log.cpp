@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace dakc {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < g_level.load()) return;
+  std::string line = std::string("[dakc ") + level_name(level) + "] " + msg + "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace dakc

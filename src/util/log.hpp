@@ -1,0 +1,41 @@
+// Leveled stderr logging with a global threshold.
+//
+// The library itself logs nothing above kDebug in hot paths; harnesses use
+// kInfo for progress. Not thread-safe beyond line atomicity (each message
+// is written with a single fwrite).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dakc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set/get the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one message (appends '\n').
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace dakc
+
+#define DAKC_LOG(level) ::dakc::detail::LogLine(::dakc::LogLevel::level)

@@ -1,0 +1,48 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dakc {
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  double var = 0.0;
+  for (double v : sorted) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(s.n));
+  const std::size_t mid = s.n / 2;
+  s.median = (s.n % 2) ? sorted[mid] : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  DAKC_CHECK(!samples.empty());
+  DAKC_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double imbalance(const std::vector<double>& per_pe_load) {
+  if (per_pe_load.empty()) return 1.0;
+  const Summary s = summarize(per_pe_load);
+  if (s.mean == 0.0) return 1.0;
+  return s.max / s.mean;
+}
+
+}  // namespace dakc

@@ -1,0 +1,28 @@
+// Summary statistics over small sample vectors (bench repetitions,
+// per-PE load distributions). Kept deliberately simple; not streaming.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dakc {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double median = 0.0;
+  std::size_t n = 0;
+};
+
+/// Compute a Summary; an empty input yields an all-zero Summary.
+Summary summarize(const std::vector<double>& samples);
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation.
+double percentile(std::vector<double> samples, double p);
+
+/// max/mean load-imbalance factor; 1.0 means perfectly balanced.
+double imbalance(const std::vector<double>& per_pe_load);
+
+}  // namespace dakc

@@ -1,0 +1,39 @@
+// Plain-text table renderer used by the benchmark harnesses.
+//
+// Each figure/table reproduction prints its rows through this class so all
+// bench output shares one aligned, greppable format. Columns are declared
+// up front; cells are strings, formatted by the caller (format.hpp has the
+// numeric helpers).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dakc {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns, a header rule, and 2-space gutters.
+  std::string render() const;
+
+  /// Render as comma-separated values (headers first).
+  std::string render_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner for a bench ("== Figure 7: strong scaling ==").
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace dakc

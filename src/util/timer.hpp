@@ -1,0 +1,22 @@
+// Wall-clock timer for host-side measurements (microbenchmarks of Table IV
+// and harness bookkeeping). Simulated-machine timing lives in dakc::des.
+#pragma once
+
+#include <chrono>
+
+namespace dakc {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dakc

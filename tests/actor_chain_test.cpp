@@ -1,0 +1,141 @@
+// Direct tests of actor-model quiescence with handler-driven sends
+// (messages spawning messages during done()) — the semantics distributed
+// unitig walkers rely on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "actor/actor.hpp"
+
+namespace dakc::actor {
+namespace {
+
+net::FabricConfig test_config(int pes) {
+  net::FabricConfig cfg;
+  cfg.pes = pes;
+  cfg.pes_per_node = 4;
+  cfg.zero_cost = true;
+  return cfg;
+}
+
+conveyor::ConveyorConfig conv_config(conveyor::Protocol p) {
+  conveyor::ConveyorConfig cfg;
+  cfg.protocol = p;
+  cfg.lane_bytes = 1024;
+  return cfg;
+}
+
+TEST(ActorChain, TokenForwardedThroughEveryPeDuringDone) {
+  // PE 0 sends one token before done(); each handler increments and
+  // forwards it to the next PE — the entire chain runs inside the
+  // quiescence protocol.
+  const int kPes = 8;
+  const std::uint64_t kLaps = 5;
+  net::Fabric fabric(test_config(kPes));
+  std::uint64_t final_value = 0;
+  fabric.run([&](net::Pe& pe) {
+    Actor actor(pe, ActorConfig{}, conv_config(conveyor::Protocol::k1D));
+    actor.set_handler([&](std::uint8_t, const std::uint64_t* w,
+                          std::size_t) {
+      const std::uint64_t hops = w[0] + 1;
+      if (hops >= kLaps * kPes) {
+        final_value = hops;
+        return;  // chain ends; quiescence must now be reachable
+      }
+      actor.send((pe.rank() + 1) % kPes, hops);
+    });
+    if (pe.rank() == 0) actor.send(1, std::uint64_t{0});
+    actor.done();
+  });
+  EXPECT_EQ(final_value, kLaps * kPes);
+}
+
+TEST(ActorChain, FanOutCascadeDuringDone) {
+  // Each received message with depth d spawns two messages of depth d-1:
+  // a binary cascade entirely inside done(). Total handled = 2^(d+1)-1.
+  const int kPes = 6;
+  const std::uint64_t kDepth = 9;
+  net::Fabric fabric(test_config(kPes));
+  std::vector<std::uint64_t> handled(kPes, 0);
+  fabric.run([&](net::Pe& pe) {
+    Actor actor(pe, ActorConfig{}, conv_config(conveyor::Protocol::k2D));
+    std::uint64_t salt = static_cast<std::uint64_t>(pe.rank());
+    actor.set_handler([&](std::uint8_t, const std::uint64_t* w,
+                          std::size_t) {
+      ++handled[pe.rank()];
+      if (w[0] == 0) return;
+      const std::uint64_t child = w[0] - 1;
+      actor.send(static_cast<int>((salt + w[0]) % kPes), child);
+      actor.send(static_cast<int>((salt + 2 * w[0]) % kPes), child);
+      ++salt;
+    });
+    if (pe.rank() == 0) actor.send(1, kDepth);
+    actor.done();
+  });
+  std::uint64_t total = 0;
+  for (auto h : handled) total += h;
+  EXPECT_EQ(total, (1ull << (kDepth + 1)) - 1);
+}
+
+TEST(ActorChain, CascadeCountsStayBalancedUnderCosts) {
+  // Same cascade with the cost model on: timing must not change the
+  // message algebra.
+  const int kPes = 5;
+  net::FabricConfig cfg;
+  cfg.pes = kPes;
+  cfg.pes_per_node = 2;
+  net::Fabric fabric(cfg);
+  std::vector<std::uint64_t> sent(kPes, 0), handled(kPes, 0);
+  fabric.run([&](net::Pe& pe) {
+    Actor actor(pe, ActorConfig{}, conv_config(conveyor::Protocol::k3D));
+    actor.set_handler([&](std::uint8_t, const std::uint64_t* w,
+                          std::size_t) {
+      if (w[0] > 0) actor.send(static_cast<int>(w[0] % kPes), w[0] - 1);
+    });
+    if (pe.rank() == 0)
+      for (std::uint64_t i = 0; i < 20; ++i) actor.send(1, i);
+    actor.done();
+    sent[pe.rank()] = actor.sent();
+    handled[pe.rank()] = actor.handled();
+  });
+  std::uint64_t gs = 0, gh = 0;
+  for (int p = 0; p < kPes; ++p) {
+    gs += sent[p];
+    gh += handled[p];
+  }
+  EXPECT_EQ(gs, gh);
+  // 20 roots with depths 0..19 -> 20 + sum(depths) messages total.
+  EXPECT_EQ(gs, 20u + 190u);
+  EXPECT_GT(fabric.makespan(), 0.0);
+}
+
+TEST(ActorChain, HandlerSendAfterDoneReturnsThrows) {
+  net::Fabric fabric(test_config(2));
+  fabric.run([&](net::Pe& pe) {
+    Actor actor(pe, ActorConfig{}, conv_config(conveyor::Protocol::k1D));
+    actor.set_handler([](std::uint8_t, const std::uint64_t*, std::size_t) {});
+    actor.done();
+    EXPECT_THROW(actor.send(0, std::uint64_t{1}), std::logic_error);
+  });
+}
+
+TEST(ActorChain, SelfSpawningLocalMessages) {
+  // Handler sends to its own PE: local deliveries must also keep the
+  // quiescence counters honest.
+  net::Fabric fabric(test_config(1));
+  std::uint64_t handled = 0;
+  fabric.run([&](net::Pe& pe) {
+    Actor actor(pe, ActorConfig{}, conv_config(conveyor::Protocol::k1D));
+    actor.set_handler([&](std::uint8_t, const std::uint64_t* w,
+                          std::size_t) {
+      ++handled;
+      if (w[0] > 0) actor.send(0, w[0] - 1);
+    });
+    actor.send(0, std::uint64_t{99});
+    actor.done();
+  });
+  EXPECT_EQ(handled, 100u);
+}
+
+}  // namespace
+}  // namespace dakc::actor

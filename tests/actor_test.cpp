@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "actor/actor.hpp"
+#include "util/rng.hpp"
+
+namespace dakc::actor {
+namespace {
+
+net::FabricConfig test_config(int pes) {
+  net::FabricConfig cfg;
+  cfg.pes = pes;
+  cfg.pes_per_node = 4;
+  cfg.zero_cost = true;
+  return cfg;
+}
+
+conveyor::ConveyorConfig conv_config(conveyor::Protocol p) {
+  conveyor::ConveyorConfig cfg;
+  cfg.protocol = p;
+  cfg.lane_bytes = 1024;
+  return cfg;
+}
+
+TEST(Actor, EveryMessageHandledExactlyOnce) {
+  const int kPes = 8;
+  const int kMsgs = 500;
+  net::Fabric fabric(test_config(kPes));
+  std::vector<std::map<std::uint64_t, int>> seen(kPes);
+  fabric.run([&](net::Pe& pe) {
+    ActorConfig acfg;
+    acfg.l1_packets = 16;  // small so L1 drains many times
+    Actor actor(pe, acfg, conv_config(conveyor::Protocol::k2D));
+    actor.set_handler([&](std::uint8_t, const std::uint64_t* w,
+                          std::size_t n) {
+      for (std::size_t i = 0; i < n; ++i) seen[pe.rank()][w[i]]++;
+    });
+    Xoshiro256 rng(99 + pe.rank());
+    for (int i = 0; i < kMsgs; ++i) {
+      const int dst = static_cast<int>(rng.below(kPes));
+      actor.send(dst, static_cast<std::uint64_t>(pe.rank()) << 32 | i);
+    }
+    actor.done();
+  });
+  // Reconstruct expectations with the same RNG streams.
+  for (int src = 0; src < kPes; ++src) {
+    Xoshiro256 rng(99 + src);
+    for (int i = 0; i < kMsgs; ++i) {
+      const int dst = static_cast<int>(rng.below(kPes));
+      const std::uint64_t v = static_cast<std::uint64_t>(src) << 32 | i;
+      ASSERT_EQ(seen[dst].count(v), 1u) << "src=" << src << " i=" << i;
+      EXPECT_EQ(seen[dst][v], 1);
+    }
+  }
+}
+
+TEST(Actor, SentEqualsHandledGlobally) {
+  const int kPes = 6;
+  net::Fabric fabric(test_config(kPes));
+  std::vector<std::uint64_t> sent(kPes), handled(kPes);
+  fabric.run([&](net::Pe& pe) {
+    Actor actor(pe, ActorConfig{}, conv_config(conveyor::Protocol::k1D));
+    actor.set_handler([](std::uint8_t, const std::uint64_t*, std::size_t) {});
+    for (int i = 0; i < 100; ++i) actor.send((pe.rank() + i) % kPes, i);
+    actor.done();
+    sent[pe.rank()] = actor.sent();
+    handled[pe.rank()] = actor.handled();
+  });
+  std::uint64_t gs = 0, gh = 0;
+  for (int p = 0; p < kPes; ++p) {
+    gs += sent[p];
+    gh += handled[p];
+  }
+  EXPECT_EQ(gs, 600u);
+  EXPECT_EQ(gh, 600u);
+}
+
+TEST(Actor, HandlerReceivesKindAndPayload) {
+  net::Fabric fabric(test_config(2));
+  fabric.run([&](net::Pe& pe) {
+    Actor actor(pe, ActorConfig{}, conv_config(conveyor::Protocol::k1D));
+    std::vector<std::uint64_t> got;
+    std::uint8_t got_kind = 0;
+    actor.set_handler(
+        [&](std::uint8_t kind, const std::uint64_t* w, std::size_t n) {
+          got_kind = kind;
+          got.assign(w, w + n);
+        });
+    if (pe.rank() == 0) {
+      std::uint64_t words[3] = {7, 8, 9};
+      actor.send(1, words, 3, /*kind=*/5);
+    }
+    actor.done();
+    if (pe.rank() == 1) {
+      EXPECT_EQ(got_kind, 5);
+      EXPECT_EQ(got, (std::vector<std::uint64_t>{7, 8, 9}));
+    }
+  });
+}
+
+TEST(Actor, MessagesCanBeHandledBeforeDone) {
+  // With a tiny L1 and poll interval, receivers start handling while
+  // senders are still producing — the fine-grained asynchrony FA-BSP
+  // depends on.
+  const int kPes = 4;
+  net::Fabric fabric(test_config(kPes));
+  std::vector<std::uint64_t> handled_before_done(kPes, 0);
+  fabric.run([&](net::Pe& pe) {
+    ActorConfig acfg;
+    acfg.l1_packets = 4;
+    acfg.poll_interval = 8;
+    Actor actor(pe, acfg, conv_config(conveyor::Protocol::k1D));
+    actor.set_handler([](std::uint8_t, const std::uint64_t*, std::size_t) {});
+    for (int i = 0; i < 2000; ++i) actor.send((pe.rank() + 1) % kPes, i);
+    handled_before_done[pe.rank()] = actor.handled();
+    actor.done();
+  });
+  std::uint64_t total = 0;
+  for (auto h : handled_before_done) total += h;
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Actor, SendAfterDoneThrows) {
+  net::Fabric fabric(test_config(1));
+  fabric.run([&](net::Pe& pe) {
+    Actor actor(pe, ActorConfig{}, conv_config(conveyor::Protocol::k1D));
+    actor.set_handler([](std::uint8_t, const std::uint64_t*, std::size_t) {});
+    actor.done();
+    EXPECT_THROW(actor.send(0, std::uint64_t{1}), std::logic_error);
+  });
+}
+
+TEST(Actor, MissingHandlerThrows) {
+  net::Fabric fabric(test_config(1));
+  fabric.run([&](net::Pe& pe) {
+    Actor actor(pe, ActorConfig{}, conv_config(conveyor::Protocol::k1D));
+    actor.send(0, std::uint64_t{1});
+    EXPECT_THROW(actor.done(), std::logic_error);
+  });
+}
+
+TEST(Actor, L1MemoryAccounted) {
+  net::Fabric fabric(test_config(2));
+  fabric.run([&](net::Pe& pe) {
+    ActorConfig acfg;
+    acfg.l1_bytes = 264 * 1024;
+    Actor actor(pe, acfg, conv_config(conveyor::Protocol::k1D));
+    actor.set_handler([](std::uint8_t, const std::uint64_t*, std::size_t) {});
+    EXPECT_EQ(actor.l1_buffer_bytes(), 264u * 1024u);
+    actor.done();
+  });
+  // Two PEs on one node: at least 2 * 264 KiB were accounted.
+  EXPECT_GE(fabric.node_mem_high(0), 2.0 * 264 * 1024);
+}
+
+TEST(Actor, HeavyTrafficToSingleDestination) {
+  // Incast pattern (all PEs target PE 0), the skew scenario behind the
+  // paper's L3 layer. Everything must still arrive exactly once.
+  const int kPes = 8;
+  const int kMsgs = 300;
+  net::Fabric fabric(test_config(kPes));
+  std::uint64_t received = 0;
+  fabric.run([&](net::Pe& pe) {
+    Actor actor(pe, ActorConfig{}, conv_config(conveyor::Protocol::k3D));
+    actor.set_handler(
+        [&](std::uint8_t, const std::uint64_t*, std::size_t n) {
+          if (pe.rank() == 0) received += n;
+        });
+    for (int i = 0; i < kMsgs; ++i) actor.send(0, std::uint64_t(i));
+    actor.done();
+  });
+  EXPECT_EQ(received, static_cast<std::uint64_t>(kPes) * kMsgs);
+}
+
+}  // namespace
+}  // namespace dakc::actor

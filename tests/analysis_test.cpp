@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "analysis/spectrum.hpp"
+#include "baseline/serial.hpp"
+#include "kmer/count.hpp"
+#include "sim/genome.hpp"
+#include "sim/reads.hpp"
+
+namespace dakc::analysis {
+namespace {
+
+CountHistogram histogram_for(std::uint64_t genome_len, double coverage,
+                             double error_rate, std::uint64_t seed,
+                             int k = 21, double satellite = 0.0) {
+  sim::GenomeSpec gs;
+  gs.length = genome_len;
+  gs.seed = seed;
+  if (satellite > 0.0) gs.satellites = {{"AATGG", satellite, 1000}};
+  sim::ReadSimSpec rs;
+  rs.coverage = coverage;
+  rs.read_length = 100;
+  rs.substitution_rate = error_rate;
+  rs.error_ramp = 1.0;  // flat profile: error_rate is exact
+  rs.seed = seed + 3;
+  auto reads = sim::simulate_read_seqs(sim::generate_genome(gs), rs);
+  // Canonical counting: reads sample both strands, so non-canonical
+  // counts would halve the apparent coverage depth.
+  return kmer::count_histogram(
+      baseline::serial_count(reads, k, /*canonical=*/true));
+}
+
+TEST(Spectrum, EmptyHistogramInvalid) {
+  CountHistogram h;
+  EXPECT_FALSE(fit_spectrum(h, 21).valid);
+}
+
+TEST(Spectrum, RecoversGenomeSize) {
+  const std::uint64_t genome = 1 << 15;
+  const auto h = histogram_for(genome, 40.0, 0.002, 5);
+  const GenomeProfile p = fit_spectrum(h, 21);
+  ASSERT_TRUE(p.valid);
+  EXPECT_NEAR(p.genome_size, static_cast<double>(genome),
+              0.15 * static_cast<double>(genome));
+}
+
+TEST(Spectrum, RecoversCoveragePeak) {
+  // 40x base coverage -> k-mer coverage ~ 40 * (m-k+1)/m = 32 for
+  // m=100, k=21.
+  const auto h = histogram_for(1 << 15, 40.0, 0.002, 6);
+  const GenomeProfile p = fit_spectrum(h, 21);
+  ASSERT_TRUE(p.valid);
+  EXPECT_GE(p.coverage_peak, 24u);
+  EXPECT_LE(p.coverage_peak, 40u);
+}
+
+TEST(Spectrum, ErrorRateEstimateInBallpark) {
+  const double e = 0.004;
+  const auto h = histogram_for(1 << 15, 50.0, e, 7);
+  const GenomeProfile p = fit_spectrum(h, 21);
+  ASSERT_TRUE(p.valid);
+  EXPECT_GT(p.error_rate, e * 0.3);
+  EXPECT_LT(p.error_rate, e * 3.0);
+}
+
+TEST(Spectrum, CleanDataHasLowErrorFraction) {
+  const auto h = histogram_for(1 << 14, 30.0, 0.0, 8);
+  const GenomeProfile p = fit_spectrum(h, 21);
+  ASSERT_TRUE(p.valid);
+  EXPECT_LT(p.error_kmer_fraction, 0.02);
+}
+
+TEST(Spectrum, DetectsRepetitiveContent) {
+  const auto flat = fit_spectrum(histogram_for(1 << 15, 30.0, 0.001, 9),
+                                 21);
+  const auto repeaty = fit_spectrum(
+      histogram_for(1 << 15, 30.0, 0.001, 9, 21, /*satellite=*/0.10), 21);
+  ASSERT_TRUE(flat.valid && repeaty.valid);
+  EXPECT_GT(repeaty.repetitive_fraction, flat.repetitive_fraction + 0.03);
+}
+
+TEST(Spectrum, ErrorCutoffSeparatesSpike) {
+  const auto h = histogram_for(1 << 15, 40.0, 0.005, 10);
+  const GenomeProfile p = fit_spectrum(h, 21);
+  ASSERT_TRUE(p.valid);
+  EXPECT_GE(p.error_cutoff, 2u);
+  EXPECT_LT(p.error_cutoff, p.coverage_peak);
+}
+
+TEST(Spectrum, SyntheticHistogramExactNumbers) {
+  // Hand-built spectrum: error spike at 1-2, clean peak at 20.
+  CountHistogram h;
+  h.add(1, 1000);
+  h.add(2, 200);
+  h.add(3, 10);
+  h.add(19, 100);
+  h.add(20, 300);
+  h.add(21, 120);
+  h.add(60, 10);  // repeats
+  const GenomeProfile p = fit_spectrum(h, 25);
+  ASSERT_TRUE(p.valid);
+  EXPECT_EQ(p.coverage_peak, 20u);
+  EXPECT_LE(p.error_cutoff, 4u);
+  // valley = 4, so the c=3 bin counts as error, not genomic.
+  const double genomic = 19.0 * 100 + 20.0 * 300 + 21.0 * 120 + 60.0 * 10;
+  EXPECT_NEAR(p.genome_size, genomic / 20.0, 1.0);
+  EXPECT_NEAR(p.repetitive_fraction, 600.0 / genomic, 1e-9);
+}
+
+}  // namespace
+}  // namespace dakc::analysis

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "cachesim/cachesim.hpp"
+
+namespace dakc::cachesim {
+namespace {
+
+CacheConfig tiny_cache() {
+  CacheConfig c;
+  c.size_bytes = 64 * 1024;  // 64 KiB
+  c.line_bytes = 64;
+  c.ways = 4;
+  return c;
+}
+
+TEST(CacheSim, GeometryDerivation) {
+  CacheSim sim(tiny_cache());
+  EXPECT_EQ(sim.sets(), 64u * 1024 / (64 * 4));
+}
+
+TEST(CacheSim, ColdMissesThenHits) {
+  CacheSim sim(tiny_cache());
+  const auto r = sim.alloc_region(4096);
+  sim.stream(r, 4096);  // 64 lines, all cold
+  EXPECT_EQ(sim.stats().misses, 64u);
+  sim.stream(r, 4096);  // fits in cache: all hits
+  EXPECT_EQ(sim.stats().misses, 64u);
+  EXPECT_EQ(sim.stats().accesses, 128u);
+}
+
+TEST(CacheSim, StreamLargerThanCacheMissesEveryLine) {
+  CacheSim sim(tiny_cache());
+  const std::uint64_t bytes = 1 << 20;  // 16x the cache
+  const auto r = sim.alloc_region(bytes);
+  sim.stream(r, bytes);
+  sim.reset_stats();
+  sim.stream(r, bytes);  // nothing useful survives: miss every line again
+  EXPECT_EQ(sim.stats().misses, bytes / 64);
+}
+
+TEST(CacheSim, AccessSpanningLinesTouchesBoth) {
+  CacheSim sim(tiny_cache());
+  const auto r = sim.alloc_region(256);
+  sim.access(r + 60, 8);  // crosses a 64 B boundary
+  EXPECT_EQ(sim.stats().accesses, 2u);
+}
+
+TEST(CacheSim, LruKeepsHotLine) {
+  CacheConfig cfg = tiny_cache();
+  cfg.size_bytes = 64 * 4;  // exactly one set of 4 ways
+  cfg.ways = 4;
+  CacheSim sim(cfg);
+  ASSERT_EQ(sim.sets(), 1u);
+  const auto r = sim.alloc_region(64 * 16);
+  // Touch lines 0,1,2,3 (fills the set), re-touch 0 (hot), then 4 evicts
+  // the LRU line (1), so 0 must still hit.
+  for (int l : {0, 1, 2, 3}) sim.access(r + 64 * l, 1);
+  sim.access(r + 0, 1);
+  sim.access(r + 64 * 4, 1);
+  sim.reset_stats();
+  sim.access(r + 0, 1);
+  EXPECT_EQ(sim.stats().misses, 0u);  // hot line survived
+  sim.access(r + 64 * 1, 1);
+  EXPECT_EQ(sim.stats().misses, 1u);  // LRU victim is gone
+}
+
+TEST(CacheSim, RegionsDoNotShareLines) {
+  CacheSim sim(tiny_cache());
+  const auto a = sim.alloc_region(10);
+  const auto b = sim.alloc_region(10);
+  EXPECT_GE(b - a, 64u);
+}
+
+TEST(CacheSim, MultiStreamAppendIsCacheFriendlyWhenStreamsFit) {
+  // 256 concurrent streams need 256 lines = 16 KiB; a 64 KiB cache holds
+  // them, so misses approach the compulsory rate (1 per line = 1/8 of
+  // 8-byte appends).
+  CacheSim sim(tiny_cache());
+  Xoshiro256 rng(5);
+  const std::uint64_t items = 100000;
+  const auto r = sim.alloc_region(items * 8 * 2);
+  sim.multi_stream_append(r, items, 8, 256, rng);
+  const double miss_per_item = static_cast<double>(sim.stats().misses) /
+                               static_cast<double>(items);
+  EXPECT_LT(miss_per_item, 0.2);
+  EXPECT_GT(miss_per_item, 0.1);
+}
+
+TEST(CacheSim, RandomScatterMissesWhenRegionExceedsCache) {
+  CacheSim sim(tiny_cache());
+  Xoshiro256 rng(6);
+  const auto r = sim.alloc_region(16 << 20);
+  sim.random_scatter(r, 16 << 20, 20000, 8, rng);
+  EXPECT_GT(sim.stats().miss_rate(), 0.95);
+}
+
+TEST(CacheSim, DefaultGeometryMatchesTableIV) {
+  CacheSim sim;  // defaults: Z = 38 MB, L = 64 B
+  EXPECT_EQ(sim.config().size_bytes, 38ull * 1024 * 1024);
+  EXPECT_EQ(sim.config().line_bytes, 64u);
+}
+
+TEST(CacheSim, ResetStatsClears) {
+  CacheSim sim(tiny_cache());
+  const auto r = sim.alloc_region(1024);
+  sim.stream(r, 1024);
+  sim.reset_stats();
+  EXPECT_EQ(sim.stats().accesses, 0u);
+  EXPECT_EQ(sim.stats().misses, 0u);
+}
+
+}  // namespace
+}  // namespace dakc::cachesim

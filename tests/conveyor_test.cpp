@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "conveyor/conveyor.hpp"
+#include "util/rng.hpp"
+
+namespace dakc::conveyor {
+namespace {
+
+net::FabricConfig test_config(int pes, bool zero_cost = true,
+                              int pes_per_node = 4) {
+  net::FabricConfig cfg;
+  cfg.pes = pes;
+  cfg.pes_per_node = pes_per_node;
+  cfg.zero_cost = zero_cost;
+  return cfg;
+}
+
+ConveyorConfig conv_config(Protocol p, std::size_t lane_bytes = 1024) {
+  ConveyorConfig cfg;
+  cfg.protocol = p;
+  cfg.lane_bytes = lane_bytes;  // small lanes force frequent flushes
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Router geometry
+// ---------------------------------------------------------------------------
+
+TEST(Router, OneDGoesDirect) {
+  Router r(Protocol::k1D, 16);
+  for (int s = 0; s < 16; ++s)
+    for (int d = 0; d < 16; ++d)
+      if (s != d) {
+        EXPECT_EQ(r.next_hop(s, d), d);
+        EXPECT_EQ(r.hops(s, d), 1);
+      }
+}
+
+TEST(Router, TwoDHopsAtMostTwo) {
+  for (int pes : {2, 3, 4, 7, 9, 15, 16, 17, 30, 64, 100}) {
+    Router r(Protocol::k2D, pes);
+    for (int s = 0; s < pes; ++s)
+      for (int d = 0; d < pes; ++d)
+        if (s != d) {
+          int h = r.hops(s, d);
+          EXPECT_GE(h, 1);
+          EXPECT_LE(h, 2) << "pes=" << pes << " s=" << s << " d=" << d;
+        }
+  }
+}
+
+TEST(Router, ThreeDHopsAtMostThree) {
+  for (int pes : {2, 5, 8, 11, 27, 28, 60, 64, 125}) {
+    Router r(Protocol::k3D, pes);
+    for (int s = 0; s < pes; ++s)
+      for (int d = 0; d < pes; ++d)
+        if (s != d) {
+          int h = r.hops(s, d);
+          EXPECT_GE(h, 1);
+          EXPECT_LE(h, 3) << "pes=" << pes << " s=" << s << " d=" << d;
+        }
+  }
+}
+
+TEST(Router, PerfectSquareUsesSqrtLanes) {
+  Router r(Protocol::k2D, 64);
+  EXPECT_EQ(r.max_lanes(0), 14);  // (8-1) + (8-1): Table II O(P^{3/2}) total
+}
+
+TEST(Router, PerfectCubeUsesCbrtLanes) {
+  Router r(Protocol::k3D, 64);
+  EXPECT_EQ(r.max_lanes(0), 9);  // 3 * (4-1): Table II O(P^{4/3}) total
+}
+
+TEST(Router, LaneScalingOrder) {
+  // 1D lanes grow ~P, 2D ~sqrt(P), 3D ~cbrt(P) (Table II).
+  Router r1(Protocol::k1D, 4096), r2(Protocol::k2D, 4096),
+      r3(Protocol::k3D, 4096);
+  EXPECT_EQ(r1.max_lanes(0), 4095);
+  EXPECT_EQ(r2.max_lanes(0), 126);  // 2*(64-1)
+  EXPECT_EQ(r3.max_lanes(0), 45);   // 3*(16-1)
+  EXPECT_GT(r1.max_lanes(0), r2.max_lanes(0));
+  EXPECT_GT(r2.max_lanes(0), r3.max_lanes(0));
+}
+
+TEST(Router, SingletonWorld) {
+  for (auto p : {Protocol::k1D, Protocol::k2D, Protocol::k3D}) {
+    Router r(p, 1);
+    EXPECT_GE(r.max_lanes(0), 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end traffic
+// ---------------------------------------------------------------------------
+
+struct TrafficResult {
+  // received[dst][value] = count
+  std::vector<std::map<std::uint64_t, int>> received;
+  std::vector<std::uint64_t> relayed;
+  std::vector<std::uint64_t> lane_count;
+  double makespan = 0.0;
+};
+
+// Every PE sends `per_pe` single-word packets to pseudo-random
+// destinations; values encode (src, seq) so receivers can verify
+// exactly-once delivery.
+TrafficResult run_traffic(Protocol protocol, int pes, int per_pe,
+                          bool zero_cost = true) {
+  net::Fabric fabric(test_config(pes, zero_cost));
+  TrafficResult result;
+  result.received.resize(pes);
+  result.relayed.resize(pes);
+  result.lane_count.resize(pes);
+  fabric.run([&](net::Pe& pe) {
+    Conveyor conv(pe, conv_config(protocol));
+    Xoshiro256 rng(1234 + pe.rank());
+    Packet pkt;
+    for (int i = 0; i < per_pe; ++i) {
+      const int dst = static_cast<int>(rng.below(pes));
+      const std::uint64_t value =
+          static_cast<std::uint64_t>(pe.rank()) << 32 | i;
+      conv.push(dst, value);
+      while (conv.pull(&pkt))
+        for (auto w : pkt.words) result.received[pe.rank()][w]++;
+    }
+    conv.finish();
+    while (conv.pull(&pkt))
+      for (auto w : pkt.words) result.received[pe.rank()][w]++;
+    result.relayed[pe.rank()] = conv.relayed();
+    result.lane_count[pe.rank()] = conv.lane_count();
+  });
+  result.makespan = fabric.makespan();
+  return result;
+}
+
+void expect_exactly_once(const TrafficResult& r, int pes, int per_pe) {
+  // Reconstruct the expected destination of every (src, seq) pair using
+  // the same RNG the senders used.
+  std::uint64_t total = 0;
+  for (int src = 0; src < pes; ++src) {
+    Xoshiro256 rng(1234 + src);
+    for (int i = 0; i < per_pe; ++i) {
+      const int dst = static_cast<int>(rng.below(pes));
+      const std::uint64_t value = static_cast<std::uint64_t>(src) << 32 | i;
+      auto it = r.received[dst].find(value);
+      ASSERT_NE(it, r.received[dst].end())
+          << "lost packet src=" << src << " seq=" << i << " dst=" << dst;
+      EXPECT_EQ(it->second, 1) << "duplicated packet";
+      ++total;
+    }
+  }
+  std::uint64_t received_total = 0;
+  for (const auto& m : r.received)
+    for (const auto& [v, c] : m) received_total += c;
+  EXPECT_EQ(received_total, total);
+}
+
+TEST(Conveyor, ExactlyOnce1D) {
+  auto r = run_traffic(Protocol::k1D, 8, 200);
+  expect_exactly_once(r, 8, 200);
+}
+
+TEST(Conveyor, ExactlyOnce2D) {
+  auto r = run_traffic(Protocol::k2D, 9, 200);
+  expect_exactly_once(r, 9, 200);
+}
+
+TEST(Conveyor, ExactlyOnce2DRaggedGrid) {
+  auto r = run_traffic(Protocol::k2D, 7, 150);
+  expect_exactly_once(r, 7, 150);
+}
+
+TEST(Conveyor, ExactlyOnce3D) {
+  auto r = run_traffic(Protocol::k3D, 27, 100);
+  expect_exactly_once(r, 27, 100);
+}
+
+TEST(Conveyor, ExactlyOnce3DRaggedBrick) {
+  auto r = run_traffic(Protocol::k3D, 11, 100);
+  expect_exactly_once(r, 11, 100);
+}
+
+TEST(Conveyor, ExactlyOnceWithModeledCosts) {
+  auto r = run_traffic(Protocol::k2D, 8, 100, /*zero_cost=*/false);
+  expect_exactly_once(r, 8, 100);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(Conveyor, OneDNeverRelays) {
+  auto r = run_traffic(Protocol::k1D, 8, 100);
+  for (auto v : r.relayed) EXPECT_EQ(v, 0u);
+}
+
+TEST(Conveyor, RoutedProtocolsDoRelay) {
+  auto r = run_traffic(Protocol::k2D, 16, 300);
+  std::uint64_t total_relays = 0;
+  for (auto v : r.relayed) total_relays += v;
+  EXPECT_GT(total_relays, 0u);
+}
+
+TEST(Conveyor, LaneCountRespectsTopologyBound) {
+  auto r1 = run_traffic(Protocol::k1D, 16, 300);
+  auto r2 = run_traffic(Protocol::k2D, 16, 300);
+  Router router2(Protocol::k2D, 16);
+  for (int p = 0; p < 16; ++p) {
+    EXPECT_LE(r1.lane_count[p], 15u);
+    EXPECT_LE(r2.lane_count[p],
+              static_cast<std::uint64_t>(router2.max_lanes(p)));
+  }
+}
+
+TEST(Conveyor, MultiWordPacketsSurviveIntact) {
+  const int kPes = 6;
+  net::Fabric fabric(test_config(kPes));
+  std::vector<std::vector<std::vector<std::uint64_t>>> got(kPes);
+  fabric.run([&](net::Pe& pe) {
+    Conveyor conv(pe, conv_config(Protocol::k2D));
+    // Send one packet of rank+2 words to every other PE.
+    std::vector<std::uint64_t> words;
+    for (int w = 0; w < pe.rank() + 2; ++w)
+      words.push_back(pe.rank() * 100 + w);
+    for (int d = 0; d < kPes; ++d)
+      if (d != pe.rank()) conv.push(d, words.data(), words.size());
+    conv.finish();
+    Packet pkt;
+    while (conv.pull(&pkt)) got[pe.rank()].push_back(pkt.words);
+  });
+  for (int d = 0; d < kPes; ++d) {
+    ASSERT_EQ(got[d].size(), static_cast<std::size_t>(kPes - 1));
+    // Identify each packet by its first word.
+    for (const auto& words : got[d]) {
+      const int src = static_cast<int>(words[0] / 100);
+      ASSERT_EQ(words.size(), static_cast<std::size_t>(src + 2));
+      for (std::size_t w = 0; w < words.size(); ++w)
+        EXPECT_EQ(words[w], static_cast<std::uint64_t>(src * 100 + w));
+    }
+  }
+}
+
+TEST(Conveyor, KindTagPreservedAcrossRelays) {
+  const int kPes = 9;
+  net::Fabric fabric(test_config(kPes));
+  std::vector<std::vector<std::uint8_t>> kinds(kPes);
+  fabric.run([&](net::Pe& pe) {
+    Conveyor conv(pe, conv_config(Protocol::k2D));
+    for (int d = 0; d < kPes; ++d)
+      if (d != pe.rank())
+        conv.push(d, static_cast<std::uint64_t>(pe.rank()),
+                  static_cast<std::uint8_t>(pe.rank() % 3));
+    conv.finish();
+    Packet pkt;
+    while (conv.pull(&pkt)) {
+      EXPECT_EQ(pkt.kind, static_cast<std::uint8_t>(pkt.words[0] % 3));
+      kinds[pe.rank()].push_back(pkt.kind);
+    }
+  });
+  for (const auto& k : kinds) EXPECT_EQ(k.size(), 8u);
+}
+
+TEST(Conveyor, SelfPushDeliversWithZeroHops) {
+  net::Fabric fabric(test_config(2));
+  fabric.run([&](net::Pe& pe) {
+    Conveyor conv(pe, conv_config(Protocol::k1D));
+    conv.push(pe.rank(), std::uint64_t{42});
+    Packet pkt;
+    ASSERT_TRUE(conv.pull(&pkt));
+    EXPECT_EQ(pkt.words, (std::vector<std::uint64_t>{42}));
+    EXPECT_EQ(conv.hop_histogram()[0], 1u);
+    conv.finish();
+  });
+}
+
+TEST(Conveyor, HopHistogramMatchesRouterPrediction) {
+  const int kPes = 16;
+  net::Fabric fabric(test_config(kPes));
+  std::vector<std::uint64_t> hist(4, 0);
+  fabric.run([&](net::Pe& pe) {
+    Conveyor conv(pe, conv_config(Protocol::k2D));
+    for (int d = 0; d < kPes; ++d)
+      if (d != pe.rank()) conv.push(d, std::uint64_t{1});
+    conv.finish();
+    Packet pkt;
+    while (conv.pull(&pkt)) {
+    }
+    for (int h = 0; h < 4; ++h) hist[h] += conv.hop_histogram()[h];
+    pe.barrier();
+  });
+  // Predict with the router: count pairs by hop distance.
+  Router router(Protocol::k2D, kPes);
+  std::uint64_t expect1 = 0, expect2 = 0;
+  for (int s = 0; s < kPes; ++s)
+    for (int d = 0; d < kPes; ++d)
+      if (s != d) (router.hops(s, d) == 1 ? expect1 : expect2)++;
+  EXPECT_EQ(hist[1], expect1);
+  EXPECT_EQ(hist[2], expect2);
+  EXPECT_EQ(hist[3], 0u);
+}
+
+TEST(Conveyor, InjectedAndDeliveredBalanceGlobally) {
+  const int kPes = 8;
+  net::Fabric fabric(test_config(kPes));
+  std::vector<std::uint64_t> injected(kPes), delivered(kPes);
+  fabric.run([&](net::Pe& pe) {
+    Conveyor conv(pe, conv_config(Protocol::k3D));
+    Xoshiro256 rng(pe.rank());
+    for (int i = 0; i < 100; ++i)
+      conv.push(static_cast<int>(rng.below(kPes)), rng());
+    conv.finish();
+    Packet pkt;
+    while (conv.pull(&pkt)) {
+    }
+    injected[pe.rank()] = conv.injected();
+    delivered[pe.rank()] = conv.delivered();
+  });
+  std::uint64_t gi = 0, gd = 0;
+  for (int p = 0; p < kPes; ++p) {
+    gi += injected[p];
+    gd += delivered[p];
+  }
+  EXPECT_EQ(gi, 8u * 100u);
+  EXPECT_EQ(gd, gi);
+}
+
+TEST(Conveyor, LaneMemoryAccountedAndReleased) {
+  net::FabricConfig cfg = test_config(4);
+  net::Fabric fabric(cfg);
+  fabric.run([&](net::Pe& pe) {
+    {
+      Conveyor conv(pe, conv_config(Protocol::k1D, 2048));
+      for (int d = 0; d < 4; ++d)
+        if (d != pe.rank()) conv.push(d, std::uint64_t{1});
+      EXPECT_EQ(conv.lane_buffer_bytes(), 3u * 2048u);
+      conv.finish();
+      Packet pkt;
+      while (conv.pull(&pkt)) {
+      }
+    }
+    pe.barrier();
+  });
+  // All lane memory was freed by the destructor.
+  for (int n = 0; n < fabric.node_count(); ++n) {
+    EXPECT_GT(fabric.node_mem_high(n), 0.0);
+  }
+}
+
+TEST(Conveyor, DeterministicAcrossRuns) {
+  auto a = run_traffic(Protocol::k2D, 9, 150, /*zero_cost=*/false);
+  auto b = run_traffic(Protocol::k2D, 9, 150, /*zero_cost=*/false);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.received, b.received);
+}
+
+TEST(Conveyor, FinishTwiceThrows) {
+  net::Fabric fabric(test_config(1));
+  fabric.run([&](net::Pe& pe) {
+    Conveyor conv(pe, conv_config(Protocol::k1D));
+    conv.finish();
+    EXPECT_THROW(conv.finish(), std::logic_error);
+  });
+}
+
+TEST(Conveyor, PushAfterFinishThrows) {
+  net::Fabric fabric(test_config(1));
+  fabric.run([&](net::Pe& pe) {
+    Conveyor conv(pe, conv_config(Protocol::k1D));
+    conv.finish();
+    EXPECT_THROW(conv.push(0, std::uint64_t{1}), std::logic_error);
+  });
+}
+
+}  // namespace
+}  // namespace dakc::conveyor

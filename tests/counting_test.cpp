@@ -1,0 +1,355 @@
+// Integration and property tests: every distributed backend must produce
+// a result bit-identical to the serial reference (Algorithm 1), across
+// backends, PE counts, protocols, aggregation configs, and data shapes —
+// including the heavy-hitter genomes DAKC's L3 layer exists for.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baseline/serial.hpp"
+#include "core/api.hpp"
+#include "sim/datasets.hpp"
+#include "sim/genome.hpp"
+#include "sim/reads.hpp"
+#include "util/rng.hpp"
+
+namespace dakc::core {
+namespace {
+
+std::vector<std::string> uniform_reads(std::uint64_t genome_len,
+                                       double coverage, std::uint64_t seed) {
+  sim::GenomeSpec gs;
+  gs.length = genome_len;
+  gs.seed = seed;
+  sim::ReadSimSpec rs;
+  rs.coverage = coverage;
+  rs.read_length = 100;
+  rs.seed = seed * 31 + 7;
+  return sim::simulate_read_seqs(sim::generate_genome(gs), rs);
+}
+
+std::vector<std::string> heavy_reads(std::uint64_t genome_len,
+                                     std::uint64_t seed) {
+  sim::GenomeSpec gs;
+  gs.length = genome_len;
+  gs.seed = seed;
+  gs.satellites = {{"AATGG", 0.10, 1000}};
+  sim::ReadSimSpec rs;
+  rs.coverage = 30.0;
+  rs.read_length = 100;
+  rs.seed = seed + 1;
+  return sim::simulate_read_seqs(sim::generate_genome(gs), rs);
+}
+
+CountConfig base_config(Backend backend, int pes, int k = 31) {
+  CountConfig c;
+  c.backend = backend;
+  c.k = k;
+  c.pes = pes;
+  c.pes_per_node = 4;
+  c.zero_cost = true;  // functional tests ignore the cost model
+  return c;
+}
+
+void expect_matches_serial(const std::vector<std::string>& reads,
+                           const CountConfig& config) {
+  const auto expect = baseline::serial_count(reads, config.k,
+                                             config.canonical);
+  const RunReport report = count_kmers(reads, config);
+  ASSERT_FALSE(report.oom);
+  ASSERT_EQ(report.counts.size(), expect.size())
+      << backend_name(config.backend) << " pes=" << config.pes;
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    ASSERT_EQ(report.counts[i].kmer, expect[i].kmer) << "index " << i;
+    ASSERT_EQ(report.counts[i].count, expect[i].count)
+        << "kmer index " << i << " backend " << backend_name(config.backend);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backend x PE-count sweep (the core equivalence property)
+// ---------------------------------------------------------------------------
+
+struct BackendPes {
+  Backend backend;
+  int pes;
+};
+
+class BackendEquivalence : public ::testing::TestWithParam<BackendPes> {};
+
+TEST_P(BackendEquivalence, MatchesSerialOnUniformReads) {
+  auto reads = uniform_reads(1 << 13, 8.0, 42);
+  expect_matches_serial(reads, base_config(GetParam().backend,
+                                           GetParam().pes));
+}
+
+TEST_P(BackendEquivalence, MatchesSerialOnHeavyHitterReads) {
+  auto reads = heavy_reads(1 << 13, 99);
+  expect_matches_serial(reads, base_config(GetParam().backend,
+                                           GetParam().pes));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BackendEquivalence,
+    ::testing::Values(BackendPes{Backend::kSerial, 1},
+                      BackendPes{Backend::kPakMan, 4},
+                      BackendPes{Backend::kPakManStar, 4},
+                      BackendPes{Backend::kPakManStar, 7},
+                      BackendPes{Backend::kHySortK, 8},
+                      BackendPes{Backend::kKmc3, 4},
+                      BackendPes{Backend::kDakc, 1},
+                      BackendPes{Backend::kDakc, 4},
+                      BackendPes{Backend::kDakc, 7},
+                      BackendPes{Backend::kDakc, 16}),
+    [](const ::testing::TestParamInfo<BackendPes>& info) {
+      std::string name = backend_name(info.param.backend);
+      for (auto& c : name)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name + "_p" + std::to_string(info.param.pes);
+    });
+
+// ---------------------------------------------------------------------------
+// DAKC configuration sweeps
+// ---------------------------------------------------------------------------
+
+class DakcProtocols
+    : public ::testing::TestWithParam<conveyor::Protocol> {};
+
+TEST_P(DakcProtocols, MatchesSerial) {
+  auto reads = uniform_reads(1 << 12, 6.0, 7);
+  CountConfig c = base_config(Backend::kDakc, 9);
+  c.protocol = GetParam();
+  expect_matches_serial(reads, c);
+}
+
+TEST_P(DakcProtocols, MatchesSerialWithL3) {
+  auto reads = heavy_reads(1 << 12, 8);
+  CountConfig c = base_config(Backend::kDakc, 9);
+  c.protocol = GetParam();
+  c.l3_enabled = true;
+  expect_matches_serial(reads, c);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, DakcProtocols,
+                         ::testing::Values(conveyor::Protocol::k1D,
+                                           conveyor::Protocol::k2D,
+                                           conveyor::Protocol::k3D),
+                         [](const auto& info) {
+                           return std::string("proto") +
+                                  conveyor::protocol_name(info.param);
+                         });
+
+TEST(DakcConfig, L0L1OnlyMatchesSerial) {
+  auto reads = uniform_reads(1 << 12, 5.0, 3);
+  CountConfig c = base_config(Backend::kDakc, 5);
+  c.l2_enabled = false;
+  c.l3_enabled = false;
+  expect_matches_serial(reads, c);
+}
+
+TEST(DakcConfig, L3OnHeavyDataMatchesSerial) {
+  auto reads = heavy_reads(1 << 12, 4);
+  CountConfig c = base_config(Backend::kDakc, 6);
+  c.l3_enabled = true;
+  expect_matches_serial(reads, c);
+}
+
+TEST(DakcConfig, SmallC2) {
+  auto reads = uniform_reads(1 << 11, 5.0, 5);
+  CountConfig c = base_config(Backend::kDakc, 4);
+  c.c2 = 2;
+  expect_matches_serial(reads, c);
+}
+
+TEST(DakcConfig, SmallC3) {
+  auto reads = heavy_reads(1 << 11, 6);
+  CountConfig c = base_config(Backend::kDakc, 4);
+  c.l3_enabled = true;
+  c.c3 = 16;
+  expect_matches_serial(reads, c);
+}
+
+TEST(DakcConfig, LargeC3NeverFlushedMidstream) {
+  auto reads = heavy_reads(1 << 11, 61);
+  CountConfig c = base_config(Backend::kDakc, 4);
+  c.l3_enabled = true;
+  c.c3 = 1 << 22;  // larger than the whole input: one flush at the end
+  expect_matches_serial(reads, c);
+}
+
+TEST(DakcConfig, HeavyThresholdOne) {
+  auto reads = heavy_reads(1 << 11, 62);
+  CountConfig c = base_config(Backend::kDakc, 4);
+  c.l3_enabled = true;
+  c.heavy_threshold = 1;  // every duplicate travels as a pair
+  expect_matches_serial(reads, c);
+}
+
+TEST(DakcConfig, TinyLanesForceManyFlushes) {
+  auto reads = uniform_reads(1 << 11, 5.0, 63);
+  CountConfig c = base_config(Backend::kDakc, 6);
+  c.l0_lane_bytes = 512;
+  c.c2 = 8;
+  c.c1 = 4;
+  expect_matches_serial(reads, c);
+}
+
+TEST(DakcConfig, C2LargerThanLaneRejected) {
+  auto reads = uniform_reads(1 << 10, 2.0, 67);
+  CountConfig c = base_config(Backend::kDakc, 2);
+  c.l0_lane_bytes = 128;
+  c.c2 = 32;
+  EXPECT_THROW(count_kmers(reads, c), std::logic_error);
+}
+
+TEST(DakcConfig, CanonicalCounting) {
+  auto reads = uniform_reads(1 << 11, 5.0, 64);
+  CountConfig c = base_config(Backend::kDakc, 4);
+  c.canonical = true;
+  expect_matches_serial(reads, c);
+}
+
+TEST(DakcConfig, VariousK) {
+  auto reads = uniform_reads(1 << 11, 5.0, 65);
+  for (int k : {5, 15, 16, 17, 31, 32}) {
+    CountConfig c = base_config(Backend::kDakc, 4, k);
+    expect_matches_serial(reads, c);
+  }
+}
+
+TEST(DakcConfig, L3RequiresL2) {
+  auto reads = uniform_reads(1 << 10, 2.0, 66);
+  CountConfig c = base_config(Backend::kDakc, 2);
+  c.l2_enabled = false;
+  c.l3_enabled = true;
+  EXPECT_THROW(count_kmers(reads, c), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// BSP-specific behaviour
+// ---------------------------------------------------------------------------
+
+TEST(BspConfig, TinyBatchesManyRounds) {
+  auto reads = uniform_reads(1 << 11, 5.0, 71);
+  CountConfig c = base_config(Backend::kPakManStar, 4);
+  c.batch = 64;  // hundreds of collective rounds
+  expect_matches_serial(reads, c);
+}
+
+TEST(BspConfig, LocalAccumulateVariant) {
+  auto reads = heavy_reads(1 << 11, 72);
+  CountConfig c = base_config(Backend::kPakManStar, 4);
+  c.bsp_local_accumulate = true;
+  expect_matches_serial(reads, c);
+}
+
+TEST(BspConfig, NonblockingTinyBatches) {
+  auto reads = uniform_reads(1 << 11, 5.0, 73);
+  CountConfig c = base_config(Backend::kHySortK, 8);
+  c.batch = 128;
+  expect_matches_serial(reads, c);
+}
+
+TEST(BspConfig, EmptyInput) {
+  std::vector<std::string> reads;
+  for (Backend b : {Backend::kPakManStar, Backend::kDakc, Backend::kKmc3}) {
+    const RunReport r = count_kmers(reads, base_config(b, 4));
+    EXPECT_EQ(r.total_kmers, 0u) << backend_name(b);
+    EXPECT_TRUE(r.counts.empty());
+  }
+}
+
+TEST(BspConfig, ReadsShorterThanK) {
+  std::vector<std::string> reads{"ACGT", "GG", "TTTT"};
+  const RunReport r = count_kmers(reads, base_config(Backend::kDakc, 4));
+  EXPECT_EQ(r.total_kmers, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Reporting invariants (with the cost model on)
+// ---------------------------------------------------------------------------
+
+TEST(Reporting, ModeledRunProducesTimings) {
+  auto reads = uniform_reads(1 << 12, 6.0, 81);
+  CountConfig c = base_config(Backend::kDakc, 8);
+  c.zero_cost = false;
+  const RunReport r = count_kmers(reads, c);
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GT(r.phase1_seconds, 0.0);
+  EXPECT_GT(r.phase2_seconds, 0.0);
+  EXPECT_LE(r.phase1_seconds, r.makespan);
+  EXPECT_GT(r.compute_seconds, 0.0);
+  EXPECT_GT(r.bytes_internode + r.bytes_intranode, 0u);
+  EXPECT_GT(r.node_mem_high, 0.0);
+}
+
+TEST(Reporting, DeterministicAcrossRuns) {
+  auto reads = uniform_reads(1 << 12, 4.0, 82);
+  CountConfig c = base_config(Backend::kDakc, 6);
+  c.zero_cost = false;
+  const RunReport a = count_kmers(reads, c);
+  const RunReport b = count_kmers(reads, c);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.bytes_internode, b.bytes_internode);
+  EXPECT_EQ(a.counts.size(), b.counts.size());
+}
+
+TEST(Reporting, OomSurfacesInReport) {
+  auto reads = uniform_reads(1 << 13, 10.0, 83);
+  CountConfig c = base_config(Backend::kPakManStar, 4);
+  c.zero_cost = false;
+  c.node_memory_limit = 32 * 1024;  // absurdly small
+  const RunReport r = count_kmers(reads, c);
+  EXPECT_TRUE(r.oom);
+  EXPECT_GE(r.oom_node, 0);
+}
+
+TEST(Reporting, TotalKmersMatchInputKmers) {
+  auto reads = uniform_reads(1 << 12, 4.0, 84);
+  std::uint64_t expected = 0;
+  for (const auto& r : reads)
+    if (r.size() >= 31) expected += r.size() - 31 + 1;
+  const RunReport rep = count_kmers(reads, base_config(Backend::kDakc, 8));
+  EXPECT_EQ(rep.total_kmers, expected);
+}
+
+TEST(Reporting, GatherCanBeDisabled) {
+  auto reads = uniform_reads(1 << 11, 3.0, 85);
+  CountConfig c = base_config(Backend::kDakc, 4);
+  c.gather_counts = false;
+  const RunReport r = count_kmers(reads, c);
+  EXPECT_TRUE(r.counts.empty());
+  EXPECT_GT(r.total_kmers, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property sweep: any (k, P, protocol, skew) combination
+// ---------------------------------------------------------------------------
+
+TEST(PropertySweep, RandomConfigsMatchSerial) {
+  Xoshiro256 rng(4242);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int k = 3 + static_cast<int>(rng.below(30));
+    const int pes = 1 + static_cast<int>(rng.below(12));
+    const bool heavy = rng.bernoulli(0.4);
+    auto reads = heavy ? heavy_reads(1 << 11, 1000 + trial)
+                       : uniform_reads(1 << 11, 4.0, 1000 + trial);
+    CountConfig c = base_config(Backend::kDakc, pes, k);
+    c.protocol = static_cast<conveyor::Protocol>(rng.below(3));
+    c.l2_enabled = rng.bernoulli(0.8);
+    c.l3_enabled = c.l2_enabled && rng.bernoulli(0.5);
+    c.c2 = 2 + rng.below(63);
+    c.c3 = 8 + rng.below(5000);
+    c.pes_per_node = 1 + static_cast<int>(rng.below(4));
+    SCOPED_TRACE("trial " + std::to_string(trial) + " k=" + std::to_string(k) +
+                 " pes=" + std::to_string(pes) +
+                 " proto=" + conveyor::protocol_name(c.protocol) +
+                 " l2=" + std::to_string(c.l2_enabled) +
+                 " l3=" + std::to_string(c.l3_enabled));
+    expect_matches_serial(reads, c);
+  }
+}
+
+}  // namespace
+}  // namespace dakc::core

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/serial.hpp"
+#include "dbg/graph.hpp"
+#include "kmer/extract.hpp"
+#include "sim/genome.hpp"
+#include "sim/reads.hpp"
+
+namespace dakc::dbg {
+namespace {
+
+std::vector<kmer::KmerCount64> counts_of(const std::string& seq, int k) {
+  return baseline::serial_count({seq}, k);
+}
+
+TEST(Graph, MembershipAndCounts) {
+  const auto counts = counts_of("ACGTACGTAC", 4);
+  DeBruijnGraph g(counts, 4);
+  EXPECT_TRUE(g.contains(kmer::parse_kmer("ACGT")));
+  EXPECT_FALSE(g.contains(kmer::parse_kmer("TTTT")));
+  EXPECT_EQ(g.count(kmer::parse_kmer("ACGT")), 2u);
+  EXPECT_EQ(g.count(kmer::parse_kmer("TTTT")), 0u);
+}
+
+TEST(Graph, MinCountFilters) {
+  // Windows of ACGTACGTAC: ACGT, CGTA, GTAC each twice; TACG once.
+  const auto counts = counts_of("ACGTACGTAC", 4);
+  DeBruijnGraph g(counts, 4, /*min_count=*/2);
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_TRUE(g.contains(kmer::parse_kmer("ACGT")));
+  EXPECT_TRUE(g.contains(kmer::parse_kmer("CGTA")));
+  EXPECT_TRUE(g.contains(kmer::parse_kmer("GTAC")));
+  EXPECT_FALSE(g.contains(kmer::parse_kmer("TACG")));
+}
+
+TEST(Graph, SuccessorPredecessorArithmetic) {
+  DeBruijnGraph g({}, 5);
+  const auto km = kmer::parse_kmer("ACGTA");
+  EXPECT_EQ(kmer::kmer_to_string(g.successor(km, kmer::encode_base('C')), 5),
+            "CGTAC");
+  EXPECT_EQ(kmer::kmer_to_string(
+                g.predecessor(km, kmer::encode_base('T')), 5),
+            "TACGT");
+}
+
+TEST(Graph, DegreesOnLinearPath) {
+  // "ACGTT" with k=3: ACG -> CGT -> GTT, a simple path.
+  const auto counts = counts_of("ACGTT", 3);
+  DeBruijnGraph g(counts, 3);
+  EXPECT_EQ(g.out_degree(kmer::parse_kmer("ACG")), 1);
+  EXPECT_EQ(g.in_degree(kmer::parse_kmer("ACG")), 0);
+  EXPECT_EQ(g.in_degree(kmer::parse_kmer("CGT")), 1);
+  EXPECT_EQ(g.out_degree(kmer::parse_kmer("GTT")), 0);
+}
+
+TEST(Graph, LinearSequenceYieldsOneUnitig) {
+  sim::GenomeSpec gs;
+  gs.length = 2000;
+  gs.seed = 3;
+  const std::string genome = sim::generate_genome(gs);
+  const int k = 21;
+  DeBruijnGraph g(counts_of(genome, k), k);
+  const auto unis = g.unitigs();
+  // A random 2 kb sequence has (almost surely) no repeated 20-mers, so
+  // the graph is one simple path reconstructing the sequence.
+  ASSERT_EQ(unis.size(), 1u);
+  EXPECT_EQ(unis[0].seq, genome);
+  EXPECT_FALSE(unis[0].circular);
+  EXPECT_EQ(unis[0].kmers, genome.size() - k + 1);
+}
+
+TEST(Graph, UnitigsCoverEveryKmerExactlyOnce) {
+  sim::GenomeSpec gs;
+  gs.length = 1 << 13;
+  gs.seed = 4;
+  gs.satellites = {{"AATGG", 0.05, 300}};  // force branching
+  const std::string genome = sim::generate_genome(gs);
+  const int k = 15;
+  const auto counts = counts_of(genome, k);
+  DeBruijnGraph g(counts, k);
+  const auto unis = g.unitigs();
+  std::size_t covered = 0;
+  std::set<kmer::Kmer64> seen;
+  for (const auto& u : unis) {
+    covered += u.kmers;
+    kmer::for_each_kmer(u.seq, k, [&](kmer::Kmer64 km) {
+      EXPECT_TRUE(g.contains(km));
+      EXPECT_TRUE(seen.insert(km).second) << "k-mer in two unitigs";
+    });
+  }
+  EXPECT_EQ(covered, g.size());
+  EXPECT_EQ(seen.size(), g.size());
+}
+
+TEST(Graph, RepeatBreaksAssembly) {
+  // Plant an exact 400 bp repeat at two loci: unitigs must break there.
+  sim::GenomeSpec gs;
+  gs.length = 6000;
+  gs.seed = 5;
+  std::string genome = sim::generate_genome(gs);
+  const std::string repeat = genome.substr(1000, 400);
+  genome.replace(4000, 400, repeat);
+  const int k = 21;
+  DeBruijnGraph g(counts_of(genome, k), k);
+  const auto unis = g.unitigs();
+  EXPECT_GT(unis.size(), 2u);
+  const AssemblyStats s = assembly_stats(unis);
+  EXPECT_LT(s.n50, genome.size());
+  // The repeat unitig is traversed twice -> coverage ~2.
+  double max_cov = 0.0;
+  for (const auto& u : unis) max_cov = std::max(max_cov, u.mean_coverage);
+  EXPECT_GT(max_cov, 1.5);
+}
+
+TEST(Graph, CycleEmittedOnce) {
+  // A circular sequence: count the k-mers of seq+seq[0:k-1] (wraparound).
+  sim::GenomeSpec gs;
+  gs.length = 300;
+  gs.seed = 6;
+  const std::string cycle = sim::generate_genome(gs);
+  const int k = 15;
+  const std::string wrapped = cycle + cycle.substr(0, k - 1);
+  DeBruijnGraph g(counts_of(wrapped, k), k);
+  const auto unis = g.unitigs();
+  ASSERT_EQ(unis.size(), 1u);
+  EXPECT_TRUE(unis[0].circular);
+  EXPECT_EQ(unis[0].kmers, cycle.size());
+}
+
+TEST(Graph, ErrorFilteringRescuesAssembly) {
+  sim::GenomeSpec gs;
+  gs.length = 1 << 13;
+  gs.seed = 7;
+  const std::string genome = sim::generate_genome(gs);
+  sim::ReadSimSpec rs;
+  rs.coverage = 35.0;
+  rs.read_length = 100;
+  rs.substitution_rate = 0.004;
+  rs.both_strands = false;
+  rs.seed = 8;
+  auto reads = sim::simulate_read_seqs(genome, rs);
+  const int k = 21;
+  const auto counts = baseline::serial_count(reads, k);
+
+  const AssemblyStats raw =
+      assembly_stats(DeBruijnGraph(counts, k, 1).unitigs());
+  const AssemblyStats filtered =
+      assembly_stats(DeBruijnGraph(counts, k, 4).unitigs());
+  // Error k-mers shatter the raw graph; filtering restores long unitigs.
+  EXPECT_GT(filtered.n50, 4u * raw.n50);
+  EXPECT_GT(filtered.n50, genome.size() / 20);
+}
+
+TEST(Stats, N50Definition) {
+  std::vector<Unitig> unis(3);
+  unis[0].seq = std::string(50, 'A');
+  unis[1].seq = std::string(30, 'A');
+  unis[2].seq = std::string(20, 'A');
+  const AssemblyStats s = assembly_stats(unis);
+  EXPECT_EQ(s.total_bases, 100u);
+  EXPECT_EQ(s.longest, 50u);
+  EXPECT_EQ(s.n50, 50u);  // 50 alone reaches half of 100
+  EXPECT_EQ(s.contigs, 3u);
+}
+
+TEST(Stats, EmptyInput) {
+  const AssemblyStats s = assembly_stats({});
+  EXPECT_EQ(s.contigs, 0u);
+  EXPECT_EQ(s.n50, 0u);
+}
+
+TEST(Graph, RejectsUnsortedCounts) {
+  std::vector<kmer::KmerCount64> bad{{5, 1}, {3, 1}};
+  EXPECT_THROW(DeBruijnGraph(bad, 4), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dakc::dbg

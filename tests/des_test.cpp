@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/engine.hpp"
+
+namespace dakc::des {
+namespace {
+
+TEST(Engine, SingleFiberRunsToCompletion) {
+  Engine e;
+  bool ran = false;
+  e.spawn([&](Context& ctx) {
+    ctx.charge(1.5, Category::kCompute);
+    ran = true;
+  });
+  e.run();
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(e.makespan(), 1.5);
+  EXPECT_DOUBLE_EQ(e.stats(0).compute, 1.5);
+}
+
+TEST(Engine, MinTimeFiberRunsFirst) {
+  Engine e;
+  std::vector<int> order;
+  e.spawn([&](Context& ctx) {
+    ctx.charge(10.0, Category::kCompute);
+    order.push_back(0);
+  });
+  e.spawn([&](Context& ctx) {
+    ctx.charge(1.0, Category::kCompute);
+    order.push_back(1);
+  });
+  e.run();
+  // Fiber 1's clock is behind after fiber 0 charges, so it finishes first.
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 0);
+}
+
+TEST(Engine, TieBrokenByFiberId) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i)
+    e.spawn([&, i](Context& ctx) {
+      ctx.yield();
+      order.push_back(i);
+    });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Engine, ChargeCategoriesAccumulateSeparately) {
+  Engine e;
+  e.spawn([&](Context& ctx) {
+    ctx.charge(1.0, Category::kCompute);
+    ctx.charge(2.0, Category::kMemory);
+    ctx.charge(3.0, Category::kNetwork);
+    ctx.charge(4.0, Category::kIdle);
+  });
+  e.run();
+  const FiberStats& s = e.stats(0);
+  EXPECT_DOUBLE_EQ(s.compute, 1.0);
+  EXPECT_DOUBLE_EQ(s.memory, 2.0);
+  EXPECT_DOUBLE_EQ(s.network, 3.0);
+  EXPECT_DOUBLE_EQ(s.idle, 4.0);
+  EXPECT_DOUBLE_EQ(s.busy(), 6.0);
+  EXPECT_DOUBLE_EQ(s.total(), 10.0);
+  EXPECT_DOUBLE_EQ(s.finish_time, 10.0);
+}
+
+TEST(Engine, BlockAndWake) {
+  Engine e;
+  double woke_at = -1.0;
+  e.spawn([&](Context& ctx) {
+    ctx.block();
+    woke_at = ctx.now();
+  });
+  e.spawn([&](Context& ctx) {
+    ctx.charge(5.0, Category::kCompute);
+    ctx.wake(0, 7.0);
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(woke_at, 7.0);
+  EXPECT_DOUBLE_EQ(e.stats(0).idle, 7.0);
+}
+
+TEST(Engine, PendingWakeIsNotLost) {
+  Engine e;
+  // Fiber 1 wakes fiber 0 *before* fiber 0 blocks; the wake must be
+  // remembered (binary-semaphore semantics).
+  double woke_at = -1.0;
+  e.spawn([&](Context& ctx) {
+    ctx.charge(10.0, Category::kCompute);  // ensure fiber 1 runs first
+    ctx.block();
+    woke_at = ctx.now();
+  });
+  e.spawn([&](Context& ctx) { ctx.wake(0, 2.0); });
+  e.run();
+  EXPECT_DOUBLE_EQ(woke_at, 10.0);  // wake time already passed
+}
+
+TEST(Engine, PendingWakeInFutureAdvancesClock) {
+  Engine e;
+  double woke_at = -1.0;
+  e.spawn([&](Context& ctx) {
+    ctx.charge(1.0, Category::kCompute);
+    ctx.block();
+    woke_at = ctx.now();
+  });
+  e.spawn([&](Context& ctx) { ctx.wake(0, 0.5); });
+  // wake(0, 0.5) happens at fiber-1 time 0 (allowed: 0.5 >= 0); fiber 0
+  // blocks at t=1 with a pending wake at 0.5, which must not rewind it.
+  e.run();
+  EXPECT_DOUBLE_EQ(woke_at, 1.0);
+}
+
+TEST(Engine, WakeOnDoneFiberIsBenign) {
+  Engine e;
+  e.spawn([](Context&) {});
+  e.spawn([&](Context& ctx) {
+    ctx.charge(1.0, Category::kCompute);
+    ctx.wake(0, 2.0);
+  });
+  EXPECT_NO_THROW(e.run());
+}
+
+TEST(Engine, DeadlockDetected) {
+  Engine e;
+  e.spawn([](Context& ctx) { ctx.block(); });
+  e.spawn([](Context& ctx) { ctx.block(); });
+  EXPECT_THROW(e.run(), std::logic_error);
+}
+
+TEST(Engine, ExceptionInFiberPropagates) {
+  Engine e;
+  e.spawn([](Context&) { throw std::runtime_error("inner"); });
+  try {
+    e.run();
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& err) {
+    EXPECT_STREQ(err.what(), "inner");
+  }
+}
+
+TEST(Engine, IdleUntilAccountsIdle) {
+  Engine e;
+  e.spawn([&](Context& ctx) {
+    ctx.charge(1.0, Category::kCompute);
+    ctx.idle_until(4.0);
+    EXPECT_DOUBLE_EQ(ctx.now(), 4.0);
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(e.stats(0).idle, 3.0);
+}
+
+TEST(Engine, IdleUntilPastThrows) {
+  Engine e;
+  e.spawn([&](Context& ctx) {
+    ctx.charge(2.0, Category::kCompute);
+    ctx.idle_until(1.0);
+  });
+  EXPECT_THROW(e.run(), std::logic_error);
+}
+
+TEST(Engine, NegativeChargeThrows) {
+  Engine e;
+  e.spawn([](Context& ctx) { ctx.charge(-1.0, Category::kCompute); });
+  EXPECT_THROW(e.run(), std::logic_error);
+}
+
+TEST(Engine, WakeBeforeWakersClockThrows) {
+  Engine e;
+  e.spawn([](Context& ctx) { ctx.block(); });
+  e.spawn([](Context& ctx) {
+    ctx.charge(5.0, Category::kCompute);
+    ctx.wake(0, 1.0);  // causality violation
+  });
+  EXPECT_THROW(e.run(), std::logic_error);
+}
+
+TEST(Engine, DeterministicInterleaving) {
+  // Two identical runs must produce identical event orders and clocks.
+  auto run_once = [] {
+    Engine e;
+    std::vector<std::pair<int, double>> trace;
+    for (int i = 0; i < 8; ++i) {
+      e.spawn([&, i](Context& ctx) {
+        for (int step = 0; step < 5; ++step) {
+          ctx.charge(0.1 * ((i * 7 + step) % 5 + 1), Category::kCompute);
+          trace.emplace_back(i, ctx.now());
+        }
+      });
+    }
+    e.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, ManyFibersScale) {
+  Engine::Config cfg;
+  cfg.stack_bytes = 64 * 1024;
+  Engine e(cfg);
+  const int n = 512;
+  std::vector<int> done(n, 0);
+  for (int i = 0; i < n; ++i)
+    e.spawn([&, i](Context& ctx) {
+      ctx.charge(static_cast<double>(i % 13), Category::kCompute);
+      done[i] = 1;
+    });
+  e.run();
+  for (int i = 0; i < n; ++i) EXPECT_EQ(done[i], 1);
+}
+
+TEST(Engine, RunTwiceThrows) {
+  Engine e;
+  e.spawn([](Context&) {});
+  e.run();
+  EXPECT_THROW(e.run(), std::logic_error);
+}
+
+TEST(Engine, ChargeKeepsRunningWhileStillEarliest) {
+  // A fiber that remains earliest should not pay scheduler round-trips.
+  Engine e;
+  e.spawn([](Context& ctx) {
+    for (int i = 0; i < 100; ++i) ctx.charge(0.001, Category::kCompute);
+  });
+  e.spawn([](Context& ctx) { ctx.charge(100.0, Category::kCompute); });
+  e.run();
+  EXPECT_LT(e.stats(0).yields, 5u);
+}
+
+}  // namespace
+}  // namespace dakc::des

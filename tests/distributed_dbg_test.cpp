@@ -1,0 +1,179 @@
+// Property tests for distributed unitig construction: the distributed
+// traversal must produce exactly the unitigs the shared-memory
+// DeBruijnGraph computes, for any PE count, protocol, and graph shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "baseline/serial.hpp"
+#include "dbg/distributed.hpp"
+#include "sim/genome.hpp"
+#include "sim/reads.hpp"
+
+namespace dakc::dbg {
+namespace {
+
+core::CountConfig pe_config(int pes, int per_node = 4) {
+  core::CountConfig cfg;
+  cfg.pes = pes;
+  cfg.pes_per_node = per_node;
+  cfg.zero_cost = true;
+  return cfg;
+}
+
+/// Canonical form of a unitig for set comparison: linear unitigs by
+/// sequence; circular ones by their lexicographically smallest rotation
+/// (a cycle may be entered at any k-mer).
+std::string canonical_form(const Unitig& u, int k) {
+  if (!u.circular) return "L:" + u.seq;
+  // The circular sequence's base cycle is its first `kmers` characters.
+  std::string cyc = u.seq.substr(0, u.kmers);
+  std::string best = cyc;
+  for (std::size_t r = 1; r < cyc.size(); ++r) {
+    std::string rot = cyc.substr(r) + cyc.substr(0, r);
+    best = std::min(best, rot);
+  }
+  (void)k;
+  return "C:" + best;
+}
+
+std::multiset<std::string> unitig_set(const std::vector<Unitig>& unitigs,
+                                      int k) {
+  std::multiset<std::string> s;
+  for (const auto& u : unitigs) s.insert(canonical_form(u, k));
+  return s;
+}
+
+void expect_matches_shared(const std::vector<kmer::KmerCount64>& counts,
+                           int k, int pes, std::uint64_t min_count = 1) {
+  const auto expected =
+      DeBruijnGraph(counts, k, min_count).unitigs();
+  const auto got =
+      distributed_unitigs(counts, k, pe_config(pes), min_count);
+  ASSERT_EQ(got.unitigs.size(), expected.size())
+      << "pes=" << pes << " k=" << k;
+  EXPECT_EQ(unitig_set(got.unitigs, k), unitig_set(expected, k));
+  // Coverage bookkeeping must agree too (sum over unitigs).
+  double cov_got = 0.0, cov_exp = 0.0;
+  for (const auto& u : got.unitigs)
+    cov_got += u.mean_coverage * static_cast<double>(u.kmers);
+  for (const auto& u : expected)
+    cov_exp += u.mean_coverage * static_cast<double>(u.kmers);
+  EXPECT_NEAR(cov_got, cov_exp, 1e-6 * std::max(1.0, cov_exp));
+}
+
+std::vector<kmer::KmerCount64> genome_counts(std::uint64_t len,
+                                             std::uint64_t seed, int k,
+                                             double satellite = 0.0) {
+  sim::GenomeSpec gs;
+  gs.length = len;
+  gs.seed = seed;
+  if (satellite > 0.0) gs.satellites = {{"AATGG", satellite, 200}};
+  return baseline::serial_count({sim::generate_genome(gs)}, k);
+}
+
+TEST(DistributedUnitigs, LinearGenomeAcrossPeCounts) {
+  const auto counts = genome_counts(4000, 1, 21);
+  for (int pes : {1, 2, 5, 8}) expect_matches_shared(counts, 21, pes);
+}
+
+TEST(DistributedUnitigs, BranchyGenome) {
+  const auto counts = genome_counts(1 << 13, 2, 15, /*satellite=*/0.05);
+  expect_matches_shared(counts, 15, 6);
+}
+
+TEST(DistributedUnitigs, ExactRepeatCreatesBranches) {
+  sim::GenomeSpec gs;
+  gs.length = 6000;
+  gs.seed = 3;
+  std::string genome = sim::generate_genome(gs);
+  genome.replace(4200, 350, genome.substr(900, 350));
+  const auto counts = baseline::serial_count({genome}, 21);
+  expect_matches_shared(counts, 21, 7);
+}
+
+TEST(DistributedUnitigs, CyclesWalkedExactlyOnce) {
+  sim::GenomeSpec gs;
+  gs.length = 250;
+  gs.seed = 4;
+  const std::string cyc = sim::generate_genome(gs);
+  const std::string wrapped = cyc + cyc.substr(0, 14);  // k-1 overlap
+  const auto counts = baseline::serial_count({wrapped}, 15);
+  const auto got = distributed_unitigs(counts, 15, pe_config(5));
+  ASSERT_EQ(got.unitigs.size(), 1u);
+  EXPECT_TRUE(got.unitigs[0].circular);
+  EXPECT_EQ(got.cycles, 1u);
+  expect_matches_shared(counts, 15, 5);
+}
+
+TEST(DistributedUnitigs, MultipleCycles) {
+  // Two disjoint plasmid-like circles.
+  sim::GenomeSpec g1, g2;
+  g1.length = 200;
+  g1.seed = 5;
+  g2.length = 300;
+  g2.seed = 6;
+  const std::string c1 = sim::generate_genome(g1);
+  const std::string c2 = sim::generate_genome(g2);
+  const auto counts = baseline::serial_count(
+      {c1 + c1.substr(0, 14), c2 + c2.substr(0, 14)}, 15);
+  const auto got = distributed_unitigs(counts, 15, pe_config(4));
+  EXPECT_EQ(got.cycles, 2u);
+  expect_matches_shared(counts, 15, 4);
+}
+
+TEST(DistributedUnitigs, SelfLoopHomopolymer) {
+  // Poly-A: the k-mer AAAA.. is its own successor (cycle of size 1).
+  const auto counts = baseline::serial_count({std::string(40, 'A')}, 9);
+  const auto got = distributed_unitigs(counts, 9, pe_config(3));
+  ASSERT_EQ(got.unitigs.size(), 1u);
+  EXPECT_TRUE(got.unitigs[0].circular);
+  EXPECT_EQ(got.unitigs[0].kmers, 1u);
+  expect_matches_shared(counts, 9, 3);
+}
+
+TEST(DistributedUnitigs, MinCountFiltering) {
+  sim::GenomeSpec gs;
+  gs.length = 1 << 12;
+  gs.seed = 7;
+  const std::string genome = sim::generate_genome(gs);
+  sim::ReadSimSpec rs;
+  rs.coverage = 25.0;
+  rs.substitution_rate = 0.003;
+  rs.both_strands = false;
+  rs.seed = 8;
+  const auto counts =
+      baseline::serial_count(sim::simulate_read_seqs(genome, rs), 21);
+  expect_matches_shared(counts, 21, 6, /*min_count=*/3);
+}
+
+TEST(DistributedUnitigs, EmptyInput) {
+  const auto got = distributed_unitigs({}, 21, pe_config(4));
+  EXPECT_TRUE(got.unitigs.empty());
+  EXPECT_EQ(got.cycles, 0u);
+}
+
+TEST(DistributedUnitigs, SinglePeDegeneratesToShared) {
+  const auto counts = genome_counts(3000, 9, 17);
+  expect_matches_shared(counts, 17, 1);
+}
+
+TEST(DistributedUnitigs, CostedRunProducesTimings) {
+  const auto counts = genome_counts(1 << 12, 10, 21);
+  auto cfg = pe_config(8);
+  cfg.zero_cost = false;
+  const auto got = distributed_unitigs(counts, 21, cfg);
+  EXPECT_GT(got.makespan, 0.0);
+  EXPECT_GT(got.edge_messages, 0u);
+}
+
+TEST(DistributedUnitigs, WalkersActuallyCrossPes) {
+  const auto counts = genome_counts(4000, 11, 21);
+  const auto got = distributed_unitigs(counts, 21, pe_config(8));
+  // A 4 kb unitig's path hops owners constantly under hash partitioning.
+  EXPECT_GT(got.walker_hops, 100u);
+}
+
+}  // namespace
+}  // namespace dakc::dbg

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/dump.hpp"
+#include "kmer/encoding.hpp"
+#include "util/rng.hpp"
+
+namespace dakc::io {
+namespace {
+
+std::vector<kmer::KmerCount64> sample_counts(std::size_t n,
+                                             std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<kmer::KmerCount64> v;
+  std::uint64_t key = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    key += 1 + rng.below(1000);
+    v.push_back({key, 1 + rng.below(50)});
+  }
+  return v;
+}
+
+TEST(Dump, TextRoundTrip) {
+  const auto counts = sample_counts(500, 1);
+  std::ostringstream out;
+  write_dump_text(out, counts, 31);
+  std::istringstream in(out.str());
+  int k = 0;
+  const auto back = read_dump_text(in, &k);
+  EXPECT_EQ(k, 31);
+  EXPECT_EQ(back, counts);
+}
+
+TEST(Dump, BinaryRoundTrip) {
+  const auto counts = sample_counts(500, 2);
+  std::ostringstream out(std::ios::binary);
+  write_dump_binary(out, counts, 27);
+  std::istringstream in(out.str(), std::ios::binary);
+  int k = 0;
+  const auto back = read_dump_binary(in, &k);
+  EXPECT_EQ(k, 27);
+  EXPECT_EQ(back, counts);
+}
+
+TEST(Dump, EmptyDumpOk) {
+  std::ostringstream out;
+  write_dump_binary(out, {}, 21);
+  std::istringstream in(out.str());
+  int k = 0;
+  EXPECT_TRUE(read_dump_binary(in, &k).empty());
+  EXPECT_EQ(k, 21);
+}
+
+TEST(Dump, TextRendersAcgt) {
+  std::ostringstream out;
+  write_dump_text(out, {{kmer::parse_kmer("ACGT"), 7}}, 4);
+  EXPECT_EQ(out.str(), "ACGT\t7\n");
+}
+
+TEST(Dump, FileAutoDetectsFormat) {
+  const auto counts = sample_counts(100, 3);
+  const std::string text_path = "/tmp/dakc_dump_test.txt";
+  const std::string bin_path = "/tmp/dakc_dump_test.bin";
+  write_dump_file(text_path, counts, 31, /*binary=*/false);
+  write_dump_file(bin_path, counts, 31, /*binary=*/true);
+  int ka = 0, kb = 0;
+  EXPECT_EQ(read_dump_file(text_path, &ka), counts);
+  EXPECT_EQ(read_dump_file(bin_path, &kb), counts);
+  EXPECT_EQ(ka, 31);
+  EXPECT_EQ(kb, 31);
+}
+
+TEST(Dump, RejectsUnsortedWrite) {
+  std::ostringstream out;
+  std::vector<kmer::KmerCount64> bad{{9, 1}, {3, 1}};
+  EXPECT_THROW(write_dump_text(out, bad, 4), std::logic_error);
+  EXPECT_THROW(write_dump_binary(out, bad, 4), std::logic_error);
+}
+
+TEST(Dump, RejectsMalformedText) {
+  auto parse = [](const std::string& body) {
+    std::istringstream in(body);
+    int k = 0;
+    return read_dump_text(in, &k);
+  };
+  EXPECT_THROW(parse("ACGT 7\n"), std::runtime_error);      // no tab
+  EXPECT_THROW(parse("ACGT\tx\n"), std::runtime_error);     // bad count
+  EXPECT_THROW(parse("ACNT\t3\n"), std::runtime_error);     // bad base
+  EXPECT_THROW(parse("ACGT\t3\nACG\t2\n"), std::runtime_error);  // k drift
+  EXPECT_THROW(parse("CCCC\t3\nAAAA\t2\n"), std::runtime_error); // unsorted
+  EXPECT_THROW(parse("ACGT\t0\n"), std::runtime_error);     // zero count
+}
+
+TEST(Dump, RejectsMalformedBinary) {
+  std::istringstream junk("not a dump at all");
+  int k = 0;
+  EXPECT_THROW(read_dump_binary(junk, &k), std::runtime_error);
+
+  // Truncated record section.
+  std::ostringstream out;
+  write_dump_binary(out, sample_counts(10, 4), 21);
+  std::string bytes = out.str();
+  bytes.resize(bytes.size() - 4);
+  std::istringstream in(bytes);
+  EXPECT_THROW(read_dump_binary(in, &k), std::runtime_error);
+}
+
+TEST(Dump, DiffIdentical) {
+  const auto a = sample_counts(200, 5);
+  const DumpDiff d = diff_dumps(a, a);
+  EXPECT_TRUE(d.identical());
+  EXPECT_EQ(d.matching, 200u);
+}
+
+TEST(Dump, DiffDetectsAllDifferenceKinds) {
+  std::vector<kmer::KmerCount64> a{{1, 1}, {2, 2}, {3, 3}, {5, 5}};
+  std::vector<kmer::KmerCount64> b{{2, 2}, {3, 9}, {4, 4}, {5, 5}};
+  const DumpDiff d = diff_dumps(a, b);
+  EXPECT_EQ(d.only_a, 1u);           // kmer 1
+  EXPECT_EQ(d.only_b, 1u);           // kmer 4
+  EXPECT_EQ(d.count_mismatch, 1u);   // kmer 3
+  EXPECT_EQ(d.matching, 2u);         // kmers 2 and 5
+  EXPECT_FALSE(d.identical());
+}
+
+TEST(Dump, DiffEmptySides) {
+  const auto a = sample_counts(10, 6);
+  EXPECT_EQ(diff_dumps(a, {}).only_a, 10u);
+  EXPECT_EQ(diff_dumps({}, a).only_b, 10u);
+  EXPECT_TRUE(diff_dumps({}, {}).identical());
+}
+
+}  // namespace
+}  // namespace dakc::io

@@ -1,0 +1,245 @@
+// Tests for the paper's future-work extensions (§VII): large-k counting
+// (128-bit k-mers, k <= 64) and the hash-table phase 2 ("asynchronous
+// updates" instead of a sort barrier).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baseline/serial.hpp"
+#include "core/api.hpp"
+#include "core/hash_counter.hpp"
+#include "core/large_k.hpp"
+#include "kmer/extract.hpp"
+#include "sim/genome.hpp"
+#include "sim/reads.hpp"
+#include "util/rng.hpp"
+
+namespace dakc::core {
+namespace {
+
+std::vector<std::string> sample_reads(std::uint64_t genome_len,
+                                      double coverage, std::uint64_t seed,
+                                      bool heavy = false) {
+  sim::GenomeSpec gs;
+  gs.length = genome_len;
+  gs.seed = seed;
+  if (heavy) gs.satellites = {{"AATGG", 0.10, 1000}};
+  sim::ReadSimSpec rs;
+  rs.coverage = coverage;
+  rs.read_length = 100;
+  rs.seed = seed + 5;
+  return sim::simulate_read_seqs(sim::generate_genome(gs), rs);
+}
+
+// ---------------------------------------------------------------------------
+// HashCounter
+// ---------------------------------------------------------------------------
+
+TEST(HashCounter, CountsOccurrences) {
+  HashCounter h;
+  h.add(5);
+  h.add(5);
+  h.add(9, 3);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.distinct(), 2u);
+  auto out = h.extract();
+  std::map<std::uint64_t, std::uint64_t> m;
+  for (const auto& kc : out) m[kc.kmer] = kc.count;
+  EXPECT_EQ(m[5], 2u);
+  EXPECT_EQ(m[9], 3u);
+}
+
+TEST(HashCounter, HandlesZeroKey) {
+  HashCounter h;
+  h.add(0, 4);
+  h.add(0);
+  EXPECT_EQ(h.distinct(), 1u);
+  auto out = h.extract();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kmer, 0u);
+  EXPECT_EQ(out[0].count, 5u);
+}
+
+TEST(HashCounter, GrowsUnderLoad) {
+  HashCounter h(16);
+  Xoshiro256 rng(3);
+  std::map<std::uint64_t, std::uint64_t> expect;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng.below(5000) + 1;
+    ++expect[key];
+    h.add(key);
+  }
+  EXPECT_GT(h.capacity(), 16u);
+  EXPECT_EQ(h.distinct(), expect.size());
+  auto out = h.extract();
+  ASSERT_EQ(out.size(), expect.size());
+  for (const auto& kc : out) EXPECT_EQ(kc.count, expect[kc.kmer]);
+}
+
+TEST(HashCounter, ProbeCountsArePositive) {
+  HashCounter h;
+  EXPECT_GE(h.add(123), 1u);
+  EXPECT_GE(h.add(123), 1u);
+}
+
+TEST(HashCounter, MatchesSerialHistogram) {
+  auto reads = sample_reads(1 << 12, 8.0, 77);
+  auto expect = baseline::serial_count(reads, 21);
+  HashCounter h;
+  for (const auto& read : reads)
+    kmer::for_each_kmer(read, 21, [&](kmer::Kmer64 km) { h.add(km); });
+  auto got = h.extract();
+  std::sort(got.begin(), got.end(),
+            [](const auto& a, const auto& b) { return a.kmer < b.kmer; });
+  EXPECT_EQ(got.size(), expect.size());
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), expect.begin()));
+}
+
+// ---------------------------------------------------------------------------
+// DAKC with hash-table phase 2
+// ---------------------------------------------------------------------------
+
+TEST(DakcHashPhase2, MatchesSerial) {
+  auto reads = sample_reads(1 << 13, 8.0, 21);
+  CountConfig cfg;
+  cfg.backend = Backend::kDakc;
+  cfg.k = 31;
+  cfg.pes = 6;
+  cfg.pes_per_node = 3;
+  cfg.zero_cost = true;
+  cfg.phase2_hash = true;
+  const RunReport report = count_kmers(reads, cfg);
+  const auto expect = baseline::serial_count(reads, 31);
+  ASSERT_EQ(report.counts.size(), expect.size());
+  EXPECT_TRUE(std::equal(report.counts.begin(), report.counts.end(),
+                         expect.begin()));
+}
+
+TEST(DakcHashPhase2, MatchesSerialWithL3Heavy) {
+  auto reads = sample_reads(1 << 12, 20.0, 22, /*heavy=*/true);
+  CountConfig cfg;
+  cfg.backend = Backend::kDakc;
+  cfg.k = 25;
+  cfg.pes = 8;
+  cfg.pes_per_node = 4;
+  cfg.zero_cost = true;
+  cfg.phase2_hash = true;
+  cfg.l3_enabled = true;
+  const RunReport report = count_kmers(reads, cfg);
+  const auto expect = baseline::serial_count(reads, 25);
+  ASSERT_EQ(report.counts.size(), expect.size());
+  EXPECT_TRUE(std::equal(report.counts.begin(), report.counts.end(),
+                         expect.begin()));
+}
+
+TEST(DakcHashPhase2, HashWinsOnHighCoverage) {
+  // High duplication: hash folds occurrences online; sort pays streaming
+  // passes over every occurrence.
+  auto reads = sample_reads(1 << 10, 120.0, 23);
+  CountConfig cfg;
+  cfg.backend = Backend::kDakc;
+  cfg.k = 31;
+  cfg.pes = 8;
+  cfg.pes_per_node = 4;
+  cfg.gather_counts = false;
+  cfg.phase2_hash = false;
+  const RunReport sorted = count_kmers(reads, cfg);
+  cfg.phase2_hash = true;
+  const RunReport hashed = count_kmers(reads, cfg);
+  EXPECT_LT(hashed.phase2_seconds, sorted.phase2_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Large-k (Kmer128) counting
+// ---------------------------------------------------------------------------
+
+TEST(LargeK, SerialOracleAgreesWith64BitPathForSmallK) {
+  auto reads = sample_reads(1 << 11, 5.0, 31);
+  const auto small = baseline::serial_count(reads, 21);
+  const auto large = serial_count_large(reads, 21);
+  ASSERT_EQ(large.size(), small.size());
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(static_cast<std::uint64_t>(large[i].kmer), small[i].kmer);
+    EXPECT_EQ(large[i].count, small[i].count);
+  }
+}
+
+TEST(LargeK, CountsK45) {
+  auto reads = sample_reads(1 << 11, 6.0, 32);
+  const auto counts = serial_count_large(reads, 45);
+  std::uint64_t total = 0, expect = 0;
+  for (const auto& kc : counts) total += kc.count;
+  for (const auto& r : reads)
+    if (r.size() >= 45) expect += r.size() - 44;
+  EXPECT_EQ(total, expect);
+}
+
+TEST(LargeK, DistributedMatchesSerialOracle) {
+  auto reads = sample_reads(1 << 11, 5.0, 33);
+  for (int k : {33, 45, 64}) {
+    CountConfig cfg;
+    cfg.pes = 6;
+    cfg.pes_per_node = 3;
+    cfg.zero_cost = true;
+    const LargeKReport report = count_kmers_large(reads, k, cfg);
+    const auto expect = serial_count_large(reads, k);
+    ASSERT_EQ(report.counts.size(), expect.size()) << "k=" << k;
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      ASSERT_TRUE(report.counts[i].kmer == expect[i].kmer) << "k=" << k;
+      ASSERT_EQ(report.counts[i].count, expect[i].count) << "k=" << k;
+    }
+  }
+}
+
+TEST(LargeK, DistributedAcrossProtocols) {
+  auto reads = sample_reads(1 << 10, 4.0, 34);
+  for (auto proto : {conveyor::Protocol::k2D, conveyor::Protocol::k3D}) {
+    CountConfig cfg;
+    cfg.pes = 9;
+    cfg.pes_per_node = 3;
+    cfg.zero_cost = true;
+    cfg.protocol = proto;
+    const LargeKReport report = count_kmers_large(reads, 41, cfg);
+    const auto expect = serial_count_large(reads, 41);
+    ASSERT_EQ(report.counts.size(), expect.size());
+    EXPECT_TRUE(std::equal(report.counts.begin(), report.counts.end(),
+                           expect.begin()));
+  }
+}
+
+TEST(LargeK, CanonicalMode) {
+  auto reads = sample_reads(1 << 10, 4.0, 35);
+  CountConfig cfg;
+  cfg.pes = 4;
+  cfg.pes_per_node = 2;
+  cfg.zero_cost = true;
+  cfg.canonical = true;
+  const LargeKReport report = count_kmers_large(reads, 39, cfg);
+  const auto expect = serial_count_large(reads, 39, /*canonical=*/true);
+  ASSERT_EQ(report.counts.size(), expect.size());
+  EXPECT_TRUE(std::equal(report.counts.begin(), report.counts.end(),
+                         expect.begin()));
+}
+
+TEST(LargeK, RejectsOutOfRangeK) {
+  std::vector<std::string> reads{"ACGT"};
+  CountConfig cfg;
+  cfg.pes = 1;
+  cfg.zero_cost = true;
+  EXPECT_THROW(count_kmers_large(reads, 65, cfg), std::logic_error);
+  EXPECT_THROW(serial_count_large(reads, 0), std::logic_error);
+}
+
+TEST(LargeK, ModeledRunProducesTimings) {
+  auto reads = sample_reads(1 << 11, 5.0, 36);
+  CountConfig cfg;
+  cfg.pes = 8;
+  cfg.pes_per_node = 4;
+  const LargeKReport report = count_kmers_large(reads, 55, cfg);
+  EXPECT_GT(report.makespan, 0.0);
+  EXPECT_GT(report.phase1_seconds, 0.0);
+  EXPECT_GT(report.total_kmers, 0u);
+}
+
+}  // namespace
+}  // namespace dakc::core

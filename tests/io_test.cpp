@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/fastx.hpp"
+
+namespace dakc::io {
+namespace {
+
+TEST(Fastx, ParsesSimpleFastq) {
+  std::istringstream in(
+      "@r1 left\nACGT\n+\nIIII\n"
+      "@r2\nTTGCA\n+\nHHHHH\n");
+  auto recs = read_fastx(in);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].id, "r1");
+  EXPECT_EQ(recs[0].comment, "left");
+  EXPECT_EQ(recs[0].seq, "ACGT");
+  EXPECT_EQ(recs[0].qual, "IIII");
+  EXPECT_TRUE(recs[0].is_fastq());
+  EXPECT_EQ(recs[1].id, "r2");
+  EXPECT_EQ(recs[1].seq, "TTGCA");
+}
+
+TEST(Fastx, ParsesWrappedFasta) {
+  std::istringstream in(">chr1 test\nACGT\nACGT\nAC\n>chr2\nGGGG\n");
+  auto recs = read_fastx(in);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].id, "chr1");
+  EXPECT_EQ(recs[0].seq, "ACGTACGTAC");
+  EXPECT_FALSE(recs[0].is_fastq());
+  EXPECT_EQ(recs[1].seq, "GGGG");
+}
+
+TEST(Fastx, HandlesCrLf) {
+  std::istringstream in("@r1\r\nACGT\r\n+\r\nIIII\r\n");
+  auto recs = read_fastx(in);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].seq, "ACGT");
+}
+
+TEST(Fastx, EmptyStreamYieldsNothing) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_fastx(in).empty());
+}
+
+TEST(Fastx, SkipsBlankLinesBetweenRecords) {
+  std::istringstream in("@r1\nACGT\n+\nIIII\n\n\n@r2\nGG\n+\nII\n");
+  auto recs = read_fastx(in);
+  EXPECT_EQ(recs.size(), 2u);
+}
+
+TEST(Fastx, RejectsTruncatedFastq) {
+  std::istringstream in("@r1\nACGT\n+\n");
+  EXPECT_THROW(read_fastx(in), std::runtime_error);
+}
+
+TEST(Fastx, RejectsQualityLengthMismatch) {
+  std::istringstream in("@r1\nACGT\n+\nIII\n");
+  EXPECT_THROW(read_fastx(in), std::runtime_error);
+}
+
+TEST(Fastx, RejectsMissingPlus) {
+  std::istringstream in("@r1\nACGT\nIIII\nIIII\n");
+  EXPECT_THROW(read_fastx(in), std::runtime_error);
+}
+
+TEST(Fastx, RejectsGarbageHeader) {
+  std::istringstream in("garbage\nACGT\n");
+  EXPECT_THROW(read_fastx(in), std::runtime_error);
+}
+
+TEST(Fastx, RejectsFastaRecordWithoutBases) {
+  std::istringstream in(">empty\n>next\nACGT\n");
+  EXPECT_THROW(read_fastx(in), std::runtime_error);
+}
+
+TEST(Fastx, FastqRoundTrip) {
+  std::vector<SequenceRecord> recs(3);
+  recs[0] = {"a", "c1", "ACGT", "IIII"};
+  recs[1] = {"b", "", "GATTACA", "HHHHHHH"};
+  recs[2] = {"c", "x y", "TT", "!!"};
+  std::ostringstream out;
+  write_fastq(out, recs);
+  std::istringstream in(out.str());
+  auto back = read_fastx(in);
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back[i].id, recs[i].id);
+    EXPECT_EQ(back[i].seq, recs[i].seq);
+    EXPECT_EQ(back[i].qual, recs[i].qual);
+  }
+}
+
+TEST(Fastx, FastaRoundTripWithWrapping) {
+  std::vector<SequenceRecord> recs(1);
+  recs[0].id = "g";
+  recs[0].seq = std::string(205, 'A') + std::string(10, 'C');
+  std::ostringstream out;
+  write_fasta(out, recs, 80);
+  std::istringstream in(out.str());
+  auto back = read_fastx(in);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].seq, recs[0].seq);
+}
+
+TEST(Fastx, WriteFastqRequiresQualities) {
+  std::vector<SequenceRecord> recs(1);
+  recs[0] = {"a", "", "ACGT", ""};
+  std::ostringstream out;
+  EXPECT_THROW(write_fastq(out, recs), std::logic_error);
+}
+
+TEST(Fastx, TotalBases) {
+  std::vector<SequenceRecord> recs(2);
+  recs[0].seq = "ACGT";
+  recs[1].seq = "AA";
+  EXPECT_EQ(total_bases(recs), 6u);
+}
+
+TEST(Fastx, StreamingReaderCountsRecords) {
+  std::istringstream in("@r1\nAC\n+\nII\n@r2\nGT\n+\nII\n");
+  FastxReader reader(in);
+  SequenceRecord rec;
+  while (reader.next(&rec)) {
+  }
+  EXPECT_EQ(reader.records_read(), 2u);
+  EXPECT_EQ(reader.format(), FastxFormat::kFastq);
+}
+
+}  // namespace
+}  // namespace dakc::io

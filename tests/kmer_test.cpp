@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "kmer/count.hpp"
+#include "kmer/encoding.hpp"
+#include "kmer/extract.hpp"
+
+namespace dakc::kmer {
+namespace {
+
+TEST(Encoding, BaseCodesRoundTrip) {
+  for (char c : std::string("ACGT")) {
+    const std::uint8_t code = encode_base(c);
+    ASSERT_NE(code, kInvalidBase);
+    EXPECT_EQ(decode_base(code), c);
+  }
+}
+
+TEST(Encoding, LowercaseAccepted) {
+  EXPECT_EQ(encode_base('a'), encode_base('A'));
+  EXPECT_EQ(encode_base('t'), encode_base('T'));
+}
+
+TEST(Encoding, InvalidBases) {
+  for (char c : std::string("NRYKMn x0-")) EXPECT_FALSE(valid_base(c));
+}
+
+TEST(Encoding, ComplementPairs) {
+  EXPECT_EQ(complement_code(encode_base('A')), encode_base('T'));
+  EXPECT_EQ(complement_code(encode_base('C')), encode_base('G'));
+  EXPECT_EQ(complement_code(encode_base('G')), encode_base('C'));
+  EXPECT_EQ(complement_code(encode_base('T')), encode_base('A'));
+}
+
+TEST(Encoding, ParseAndRenderRoundTrip) {
+  const std::string s = "ACGTACGTTTGCA";
+  const Kmer64 km = parse_kmer(s);
+  EXPECT_EQ(kmer_to_string(km, static_cast<int>(s.size())), s);
+}
+
+TEST(Encoding, ParseMatchesManualPacking) {
+  // "ACGT" -> 00 01 10 11 = 0x1B.
+  EXPECT_EQ(parse_kmer("ACGT"), 0x1Bu);
+  EXPECT_EQ(parse_kmer("A"), 0u);
+  EXPECT_EQ(parse_kmer("T"), 3u);
+}
+
+TEST(Encoding, AppendShiftsLeft) {
+  Kmer64 km = parse_kmer("ACG");
+  km = kmer_append(km, encode_base('T'), 3);
+  EXPECT_EQ(kmer_to_string(km, 3), "CGT");
+}
+
+TEST(Encoding, MaskAtMaxK) {
+  // k = 32 uses every bit of the word.
+  EXPECT_EQ(kmer_mask<Kmer64>(32), ~0ULL);
+  EXPECT_EQ(kmer_mask<Kmer64>(1), 3ULL);
+}
+
+TEST(Encoding, KmerBaseExtraction) {
+  const Kmer64 km = parse_kmer("ACGT");
+  EXPECT_EQ(kmer_base(km, 0, 4), encode_base('A'));
+  EXPECT_EQ(kmer_base(km, 3, 4), encode_base('T'));
+}
+
+TEST(Encoding, ReverseComplement) {
+  const Kmer64 km = parse_kmer("AACGT");
+  EXPECT_EQ(kmer_to_string(reverse_complement(km, 5), 5), "ACGTT");
+}
+
+TEST(Encoding, ReverseComplementIsInvolution) {
+  const std::string s = "ACGTACGTACGGTTACAGTATCCGGATTAGA";
+  const int k = static_cast<int>(s.size());
+  const Kmer64 km = parse_kmer(s);
+  EXPECT_EQ(reverse_complement(reverse_complement(km, k), k), km);
+}
+
+TEST(Encoding, CanonicalPicksSmaller) {
+  const Kmer64 km = parse_kmer("TTT");
+  EXPECT_EQ(kmer_to_string(canonical(km, 3), 3), "AAA");
+  const Kmer64 km2 = parse_kmer("AAA");
+  EXPECT_EQ(canonical(km2, 3), km2);
+}
+
+TEST(Encoding, CanonicalIsStrandInvariant) {
+  const std::string s = "ACGGATTTACGGATCCA";
+  const int k = static_cast<int>(s.size());
+  const Kmer64 a = parse_kmer(s);
+  const Kmer64 b = reverse_complement(a, k);
+  EXPECT_EQ(canonical(a, k), canonical(b, k));
+}
+
+TEST(Encoding, StorageBitsRule) {
+  // 2^ceil(log2 2k) bits (Section V).
+  EXPECT_EQ(kmer_storage_bits(4), 8);
+  EXPECT_EQ(kmer_storage_bits(15), 32);
+  EXPECT_EQ(kmer_storage_bits(16), 32);
+  EXPECT_EQ(kmer_storage_bits(17), 64);
+  EXPECT_EQ(kmer_storage_bits(31), 64);
+  EXPECT_EQ(kmer_storage_bits(32), 64);
+  EXPECT_DOUBLE_EQ(kmer_storage_bytes(31), 8.0);
+}
+
+#ifdef __SIZEOF_INT128__
+TEST(Encoding, Kmer128SupportsLongK) {
+  const std::string s(47, 'G');
+  const Kmer128 km = parse_kmer<Kmer128>(s);
+  EXPECT_EQ(kmer_to_string(km, 47), s);
+  const Kmer128 rc = reverse_complement(km, 47);
+  EXPECT_EQ(kmer_to_string(rc, 47), std::string(47, 'C'));
+}
+
+TEST(Encoding, Kmer128MaxK64) {
+  std::string s;
+  for (int i = 0; i < 64; ++i) s.push_back("ACGT"[i % 4]);
+  const Kmer128 km = parse_kmer<Kmer128>(s);
+  EXPECT_EQ(kmer_to_string(km, 64), s);
+  EXPECT_EQ(reverse_complement(reverse_complement(km, 64), 64), km);
+}
+#endif
+
+TEST(Extract, CountsSlidingWindows) {
+  // 10 bases, k=4 -> 7 k-mers.
+  auto v = extract_kmers("ACGTACGTAC", 4);
+  ASSERT_EQ(v.size(), 7u);
+  EXPECT_EQ(v[0], parse_kmer("ACGT"));
+  EXPECT_EQ(v[1], parse_kmer("CGTA"));
+  EXPECT_EQ(v[6], parse_kmer("GTAC"));
+}
+
+TEST(Extract, ShortReadYieldsNothing) {
+  EXPECT_TRUE(extract_kmers("ACG", 4).empty());
+  EXPECT_EQ(for_each_kmer("ACG", 4, [](Kmer64) {}), 0u);
+}
+
+TEST(Extract, ExactLengthYieldsOne) {
+  auto v = extract_kmers("ACGT", 4);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], parse_kmer("ACGT"));
+}
+
+TEST(Extract, NSplitsWindows) {
+  // k=3 over "ACGTNACGT": windows containing N are dropped.
+  auto v = extract_kmers("ACGTNACGT", 3);
+  ASSERT_EQ(v.size(), 4u);  // ACG, CGT from each side
+  EXPECT_EQ(v[0], parse_kmer("ACG"));
+  EXPECT_EQ(v[1], parse_kmer("CGT"));
+  EXPECT_EQ(v[2], parse_kmer("ACG"));
+  EXPECT_EQ(v[3], parse_kmer("CGT"));
+}
+
+TEST(Extract, AllInvalidYieldsNothing) {
+  EXPECT_TRUE(extract_kmers("NNNNNNNN", 3).empty());
+}
+
+TEST(Extract, K1CountsEveryValidBase) {
+  EXPECT_EQ(extract_kmers("ACGTN", 1).size(), 4u);
+}
+
+TEST(Extract, MatchesNaiveSubstringExtraction) {
+  const std::string read = "GATTACAGATTACAGGGCCCATTTACG";
+  for (int k : {1, 2, 5, 13, 27}) {
+    auto fast = extract_kmers(read, k);
+    std::vector<Kmer64> naive;
+    for (std::size_t i = 0; i + static_cast<std::size_t>(k) <= read.size();
+         ++i)
+      naive.push_back(parse_kmer(read.substr(i, static_cast<std::size_t>(k))));
+    EXPECT_EQ(fast, naive) << "k=" << k;
+  }
+}
+
+TEST(Extract, OwnerPeInRangeAndBalanced) {
+  const int pes = 7;
+  std::map<int, int> histogram;
+  for (std::uint64_t km = 0; km < 70000; ++km) {
+    const int p = owner_pe(km, pes);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, pes);
+    histogram[p]++;
+  }
+  for (const auto& [p, c] : histogram) {
+    EXPECT_GT(c, 70000 / pes / 2);
+    EXPECT_LT(c, 70000 / pes * 2);
+  }
+}
+
+TEST(Extract, OwnerPeDeterministic) {
+  EXPECT_EQ(owner_pe<Kmer64>(12345, 16), owner_pe<Kmer64>(12345, 16));
+}
+
+TEST(Extract, MinimizerIsWithinKmerAndStable) {
+  const Kmer64 km = parse_kmer("ACGTACGTATTTACGGGTACGATCAGT");
+  const std::uint64_t m1 = minimizer(km, 27, 7);
+  EXPECT_EQ(m1, minimizer(km, 27, 7));
+}
+
+TEST(Extract, AdjacentKmersOftenShareMinimizer) {
+  // The super-k-mer optimization depends on this property.
+  const std::string read =
+      "ACGGATTCAGGATTTACCAGGATCCAGTTACGGATTCAGGATTTACCAGGATCCAGTTA";
+  const int k = 21, m = 7;
+  auto kms = extract_kmers(read, k);
+  int shared = 0;
+  for (std::size_t i = 1; i < kms.size(); ++i)
+    shared += minimizer(kms[i], k, m) == minimizer(kms[i - 1], k, m);
+  EXPECT_GT(shared, static_cast<int>(kms.size()) / 3);
+}
+
+TEST(Count, HistogramFromCounts) {
+  std::vector<KmerCount64> counts{{1, 1}, {2, 1}, {3, 5}, {9, 5}, {12, 2}};
+  CountHistogram h = count_histogram(counts);
+  EXPECT_EQ(h.at(1), 2u);
+  EXPECT_EQ(h.at(5), 2u);
+  EXPECT_EQ(h.at(2), 1u);
+  EXPECT_EQ(h.distinct(), 5u);
+  EXPECT_EQ(h.total(), 14u);
+}
+
+}  // namespace
+}  // namespace dakc::kmer

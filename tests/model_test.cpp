@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "model/analytical.hpp"
+
+namespace dakc::model {
+namespace {
+
+Workload synthetic30_like() {
+  // Paper's Synthetic 30: 357.9M reads of 150 bases, k = 31.
+  Workload w;
+  w.n_reads = 357913900;
+  w.read_len = 150;
+  w.k = 31;
+  return w;
+}
+
+TEST(Model, KmerCountFormula) {
+  Workload w;
+  w.n_reads = 10;
+  w.read_len = 150;
+  w.k = 31;
+  EXPECT_DOUBLE_EQ(w.kmers(), 10.0 * 120.0);
+  EXPECT_DOUBLE_EQ(w.bases(), 1500.0);
+}
+
+TEST(Model, KmerBytesRule) {
+  EXPECT_DOUBLE_EQ(kmer_bytes(31), 8.0);
+  EXPECT_DOUBLE_EQ(kmer_bytes(16), 4.0);
+  EXPECT_DOUBLE_EQ(kmer_bytes(8), 2.0);
+}
+
+TEST(Model, AllTermsPositive) {
+  const ModelResult r = evaluate(synthetic30_like(), net::intel_node(), 32);
+  EXPECT_GT(r.t_comp1, 0.0);
+  EXPECT_GT(r.t_intra1, 0.0);
+  EXPECT_GT(r.t_inter1, 0.0);
+  EXPECT_GT(r.t_comp2, 0.0);
+  EXPECT_GT(r.t_intra2, 0.0);
+  EXPECT_GT(r.total_sum, 0.0);
+}
+
+TEST(Model, SumModelDominatesMaxModel) {
+  const ModelResult r = evaluate(synthetic30_like(), net::intel_node(), 32);
+  EXPECT_GE(r.t_comm1_sum, r.t_comm1_max);
+  EXPECT_GE(r.total_sum, r.total_max);
+}
+
+TEST(Model, PerfectStrongScalingOfAllTerms) {
+  const Workload w = synthetic30_like();
+  const ModelResult a = evaluate(w, net::intel_node(), 8);
+  const ModelResult b = evaluate(w, net::intel_node(), 16);
+  // The model is embarrassingly scalable (no cross-node serialization
+  // terms survive in eqs. 9-13 other than the /P).
+  EXPECT_NEAR(a.t_comp1 / b.t_comp1, 2.0, 0.01);
+  EXPECT_NEAR(a.t_inter1 / b.t_inter1, 2.0, 0.01);
+  EXPECT_GT(a.total_sum, b.total_sum);
+}
+
+TEST(Model, CommunicationDominatesCompute) {
+  // The paper's Fig. 5 observation: KC is movement-bound; compute is a
+  // sliver.
+  const ModelResult r = evaluate(synthetic30_like(), net::intel_node(), 32);
+  const Breakdown b = breakdown(r);
+  EXPECT_LT(b.compute, 0.15);
+  EXPECT_GT(b.intranode + b.internode, 0.85);
+  EXPECT_NEAR(b.compute + b.intranode + b.internode, 1.0, 1e-9);
+}
+
+TEST(Model, OpToByteRatioNearPaperValue) {
+  // Paper: ~0.12 iadd64/byte for k = 31 (conclusion section).
+  const double r = op_to_byte_ratio(synthetic30_like());
+  EXPECT_GT(r, 0.06);
+  EXPECT_LT(r, 0.25);
+}
+
+TEST(Model, MachineBalanceNearPaperValue) {
+  // Paper: Phoenix CPUs ~2.6 iadd64/byte.
+  EXPECT_NEAR(machine_balance(net::intel_node()), 2.6, 0.1);
+}
+
+TEST(Model, WorkloadBelowMachineBalance) {
+  // The imbalance the paper's GPU discussion hinges on.
+  EXPECT_LT(op_to_byte_ratio(synthetic30_like()),
+            machine_balance(net::intel_node()) / 5.0);
+}
+
+TEST(Model, SmallerKNeedsFewerPasses) {
+  Workload w = synthetic30_like();
+  const ModelResult k31 = evaluate(w, net::intel_node(), 8);
+  w.k = 15;  // 4-byte k-mers: half the radix passes, half the traffic
+  const ModelResult k15 = evaluate(w, net::intel_node(), 8);
+  EXPECT_LT(k15.t_comp2, k31.t_comp2);
+  EXPECT_LT(k15.t_inter1, k31.t_inter1);
+}
+
+TEST(Model, EmptyWorkloadIsZero) {
+  Workload w;
+  w.n_reads = 0;
+  w.read_len = 150;
+  const ModelResult r = evaluate(w, net::intel_node(), 4);
+  EXPECT_DOUBLE_EQ(r.total_sum, 0.0);
+}
+
+TEST(Model, ReadShorterThanKYieldsNothing) {
+  Workload w;
+  w.n_reads = 100;
+  w.read_len = 20;
+  w.k = 31;
+  EXPECT_DOUBLE_EQ(w.kmers(), 0.0);
+}
+
+TEST(Microbench, Int64RatePlausible) {
+  const double rate = measure_int64_add_rate(0.05);
+  EXPECT_GT(rate, 1e8);   // even a slow VM manages 100 Mop/s
+  EXPECT_LT(rate, 1e12);  // and nothing single-core does 1 Top/s
+}
+
+TEST(Microbench, StreamBandwidthPlausible) {
+  const double bw = measure_stream_bandwidth(0.05);
+  EXPECT_GT(bw, 1e8);
+  EXPECT_LT(bw, 1e12);
+}
+
+}  // namespace
+}  // namespace dakc::model

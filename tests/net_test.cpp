@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace dakc::net {
+namespace {
+
+FabricConfig zero_cost_config(int pes, int pes_per_node = 4) {
+  FabricConfig cfg;
+  cfg.pes = pes;
+  cfg.pes_per_node = pes_per_node;
+  cfg.zero_cost = true;
+  return cfg;
+}
+
+TEST(Fabric, RanksAndNodes) {
+  Fabric f(zero_cost_config(10, 4));
+  EXPECT_EQ(f.node_count(), 3);
+  std::vector<int> nodes(10, -1);
+  f.run([&](Pe& pe) { nodes[pe.rank()] = pe.node(); });
+  EXPECT_EQ(nodes, (std::vector<int>{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}));
+}
+
+TEST(Fabric, ColocationFollowsNodeGrouping) {
+  Fabric f(zero_cost_config(8, 4));
+  f.run([&](Pe& pe) {
+    if (pe.rank() == 0) {
+      EXPECT_TRUE(pe.colocated(3));
+      EXPECT_FALSE(pe.colocated(4));
+    }
+  });
+}
+
+TEST(Fabric, PutAndRecvDeliversPayload) {
+  Fabric f(zero_cost_config(2));
+  std::vector<std::uint64_t> got;
+  f.run([&](Pe& pe) {
+    if (pe.rank() == 0) {
+      pe.put(1, {10, 20, 30});
+    } else {
+      Message m = pe.recv_wait();
+      got = m.payload;
+      EXPECT_EQ(m.src, 0);
+    }
+  });
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{10, 20, 30}));
+}
+
+TEST(Fabric, ManyMessagesAllDelivered) {
+  const int kPes = 8;
+  const int kMsgsPerPe = 50;
+  Fabric f(zero_cost_config(kPes));
+  std::vector<std::uint64_t> received_sum(kPes, 0);
+  std::vector<int> received_count(kPes, 0);
+  f.run([&](Pe& pe) {
+    // Every PE sends kMsgsPerPe messages round-robin, then receives its
+    // expected share.
+    for (int i = 0; i < kMsgsPerPe; ++i) {
+      int dst = (pe.rank() + i + 1) % kPes;
+      pe.put(dst, {static_cast<std::uint64_t>(pe.rank() * 1000 + i)});
+    }
+    // Each PE receives exactly kMsgsPerPe messages (the sending pattern
+    // is symmetric).
+    for (int i = 0; i < kMsgsPerPe; ++i) {
+      Message m = pe.recv_wait();
+      received_sum[pe.rank()] += m.payload.at(0);
+      ++received_count[pe.rank()];
+    }
+  });
+  for (int r = 0; r < kPes; ++r) EXPECT_EQ(received_count[r], kMsgsPerPe);
+}
+
+TEST(Fabric, TryRecvReturnsFalseWhenEmpty) {
+  Fabric f(zero_cost_config(2));
+  f.run([&](Pe& pe) {
+    Message m;
+    if (pe.rank() == 0) {
+      EXPECT_FALSE(pe.try_recv(&m));
+      pe.barrier();
+    } else {
+      pe.barrier();
+    }
+  });
+}
+
+TEST(Fabric, InternodeArrivalIsDelayedByTauAndBandwidth) {
+  FabricConfig cfg;
+  cfg.pes = 2;
+  cfg.pes_per_node = 1;  // forces internode traffic
+  Fabric f(cfg);
+  const MachineParams m = cfg.machine;
+  double arrival_time = -1.0;
+  f.run([&](Pe& pe) {
+    if (pe.rank() == 0) {
+      pe.put(1, std::vector<std::uint64_t>(1000, 7));
+    } else {
+      pe.recv_wait();
+      arrival_time = pe.now();
+    }
+  });
+  // Arrival must include at least tau plus the wire time of 8016 bytes.
+  EXPECT_GT(arrival_time, m.tau + 8016.0 / m.beta_link);
+}
+
+TEST(Fabric, IntranodeIsCheaperThanInternode) {
+  auto one_put_makespan = [](int pes_per_node) {
+    FabricConfig cfg;
+    cfg.pes = 2;
+    cfg.pes_per_node = pes_per_node;
+    Fabric f(cfg);
+    f.run([&](Pe& pe) {
+      if (pe.rank() == 0)
+        pe.put(1, std::vector<std::uint64_t>(10000, 1));
+      else
+        pe.recv_wait();
+    });
+    return f.makespan();
+  };
+  EXPECT_LT(one_put_makespan(2), one_put_makespan(1));
+}
+
+TEST(Fabric, CountersSplitIntraInter) {
+  Fabric f(zero_cost_config(4, 2));
+  f.run([&](Pe& pe) {
+    if (pe.rank() == 0) {
+      pe.put(1, {1});  // same node
+      pe.put(2, {1});  // other node
+    }
+    pe.barrier();
+    if (pe.rank() != 0) {
+      Message m;
+      pe.try_recv(&m);
+    }
+  });
+  EXPECT_EQ(f.pe_counters(0).puts_intra, 1u);
+  EXPECT_EQ(f.pe_counters(0).puts_inter, 1u);
+}
+
+TEST(Fabric, BarrierSynchronizesClocks) {
+  FabricConfig cfg;
+  cfg.pes = 4;
+  cfg.pes_per_node = 2;
+  Fabric f(cfg);
+  std::vector<double> after(4);
+  f.run([&](Pe& pe) {
+    pe.charge(static_cast<double>(pe.rank()), des::Category::kCompute);
+    pe.barrier();
+    after[pe.rank()] = pe.now();
+  });
+  // Everyone leaves the barrier at the same instant, after the slowest.
+  for (int r = 1; r < 4; ++r) EXPECT_DOUBLE_EQ(after[r], after[0]);
+  EXPECT_GE(after[0], 3.0);
+}
+
+TEST(Fabric, BarrierIdleTimeAccrues) {
+  FabricConfig cfg;
+  cfg.pes = 2;
+  cfg.pes_per_node = 2;
+  Fabric f(cfg);
+  f.run([&](Pe& pe) {
+    if (pe.rank() == 1) pe.charge(10.0, des::Category::kCompute);
+    pe.barrier();
+  });
+  EXPECT_GE(f.pe_stats(0).idle, 10.0);
+  EXPECT_LT(f.pe_stats(1).idle, 1.0);
+}
+
+TEST(Fabric, AllreduceSum) {
+  Fabric f(zero_cost_config(5));
+  std::vector<std::uint64_t> results(5);
+  f.run([&](Pe& pe) {
+    results[pe.rank()] = pe.allreduce_sum(pe.rank() + 1);
+  });
+  for (auto r : results) EXPECT_EQ(r, 15u);
+}
+
+TEST(Fabric, AllreduceMax) {
+  Fabric f(zero_cost_config(5));
+  f.run([&](Pe& pe) {
+    EXPECT_EQ(pe.allreduce_max(pe.rank() * 10), 40u);
+  });
+}
+
+TEST(Fabric, AllreduceDoubleVariants) {
+  Fabric f(zero_cost_config(4));
+  f.run([&](Pe& pe) {
+    EXPECT_DOUBLE_EQ(pe.allreduce_sum_d(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(pe.allreduce_max_d(static_cast<double>(pe.rank())), 3.0);
+  });
+}
+
+TEST(Fabric, RepeatedCollectivesKeepWorking) {
+  Fabric f(zero_cost_config(3));
+  f.run([&](Pe& pe) {
+    for (std::uint64_t round = 0; round < 20; ++round) {
+      EXPECT_EQ(pe.allreduce_sum(round), 3 * round);
+      pe.barrier();
+    }
+  });
+}
+
+TEST(Fabric, Allgather) {
+  Fabric f(zero_cost_config(4));
+  f.run([&](Pe& pe) {
+    auto v = pe.allgather(pe.rank() * pe.rank());
+    EXPECT_EQ(v, (std::vector<std::uint64_t>{0, 1, 4, 9}));
+  });
+}
+
+TEST(Fabric, AlltoallvExchangesEverySlice) {
+  const int kPes = 5;
+  Fabric f(zero_cost_config(kPes));
+  f.run([&](Pe& pe) {
+    std::vector<std::vector<std::uint64_t>> send(kPes);
+    for (int p = 0; p < kPes; ++p)
+      send[p] = {static_cast<std::uint64_t>(pe.rank() * 100 + p)};
+    auto recv = pe.alltoallv(std::move(send));
+    ASSERT_EQ(recv.size(), static_cast<std::size_t>(kPes));
+    for (int p = 0; p < kPes; ++p) {
+      ASSERT_EQ(recv[p].size(), 1u);
+      EXPECT_EQ(recv[p][0], static_cast<std::uint64_t>(p * 100 + pe.rank()));
+    }
+  });
+}
+
+TEST(Fabric, AlltoallvEmptySlicesOk) {
+  const int kPes = 3;
+  Fabric f(zero_cost_config(kPes));
+  f.run([&](Pe& pe) {
+    std::vector<std::vector<std::uint64_t>> send(kPes);
+    auto recv = pe.alltoallv(std::move(send));
+    for (const auto& v : recv) EXPECT_TRUE(v.empty());
+  });
+}
+
+TEST(Fabric, NonblockingAlltoallvOverlaps) {
+  const int kPes = 4;
+  Fabric f(zero_cost_config(kPes));
+  f.run([&](Pe& pe) {
+    std::vector<std::vector<std::uint64_t>> send(kPes);
+    for (int p = 0; p < kPes; ++p)
+      send[p] = {static_cast<std::uint64_t>(pe.rank())};
+    CollectiveHandle h = pe.ialltoallv(std::move(send));
+    pe.charge(1.0, des::Category::kCompute);  // overlapped work
+    auto recv = pe.wait(h);
+    for (int p = 0; p < kPes; ++p) {
+      ASSERT_EQ(recv[p].size(), 1u);
+      EXPECT_EQ(recv[p][0], static_cast<std::uint64_t>(p));
+    }
+  });
+}
+
+TEST(Fabric, BackToBackCollectivesDoNotCrosstalk) {
+  const int kPes = 3;
+  Fabric f(zero_cost_config(kPes));
+  f.run([&](Pe& pe) {
+    std::vector<std::vector<std::uint64_t>> s1(kPes), s2(kPes);
+    for (int p = 0; p < kPes; ++p) {
+      s1[p] = {1};
+      s2[p] = {2};
+    }
+    CollectiveHandle h1 = pe.ialltoallv(std::move(s1));
+    CollectiveHandle h2 = pe.ialltoallv(std::move(s2));
+    auto r2 = pe.wait(h2);
+    auto r1 = pe.wait(h1);
+    for (int p = 0; p < kPes; ++p) {
+      EXPECT_EQ(r1[p][0], 1u);
+      EXPECT_EQ(r2[p][0], 2u);
+    }
+  });
+}
+
+TEST(Fabric, MemoryAccountingTriggersOom) {
+  FabricConfig cfg = zero_cost_config(2, 2);
+  cfg.node_memory_limit = 1000.0;
+  Fabric f(cfg);
+  EXPECT_THROW(f.run([&](Pe& pe) {
+                 if (pe.rank() == 0) pe.account_alloc(2000.0);
+                 pe.barrier();
+               }),
+               OomError);
+}
+
+TEST(Fabric, MemoryFreeAvoidsOom) {
+  FabricConfig cfg = zero_cost_config(2, 2);
+  cfg.node_memory_limit = 1000.0;
+  Fabric f(cfg);
+  EXPECT_NO_THROW(f.run([&](Pe& pe) {
+    for (int i = 0; i < 10; ++i) {
+      pe.account_alloc(400.0);
+      pe.account_free(400.0);
+    }
+    pe.barrier();
+  }));
+}
+
+TEST(Fabric, NodeMemHighWaterTracksPeak) {
+  FabricConfig cfg = zero_cost_config(2, 2);
+  Fabric f(cfg);
+  f.run([&](Pe& pe) {
+    if (pe.rank() == 0) {
+      pe.account_alloc(500.0);
+      pe.account_free(500.0);
+      pe.account_alloc(300.0);
+      pe.account_free(300.0);
+    }
+    pe.barrier();
+  });
+  EXPECT_DOUBLE_EQ(f.node_mem_high(0), 500.0);
+}
+
+TEST(Fabric, DeterministicMakespan) {
+  auto run_once = [] {
+    FabricConfig cfg;
+    cfg.pes = 6;
+    cfg.pes_per_node = 3;
+    Fabric f(cfg);
+    f.run([&](Pe& pe) {
+      for (int i = 0; i < 20; ++i) {
+        pe.put((pe.rank() + 1) % 6,
+               std::vector<std::uint64_t>(17, pe.rank()));
+        pe.charge_compute_ops(1000.0);
+      }
+      pe.barrier();
+      Message m;
+      while (pe.try_recv(&m)) {
+      }
+      pe.barrier();
+    });
+    return f.makespan();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(Fabric, SelfPutDelivered) {
+  Fabric f(zero_cost_config(2));
+  f.run([&](Pe& pe) {
+    pe.put(pe.rank(), {static_cast<std::uint64_t>(pe.rank())});
+    Message m = pe.recv_wait();
+    EXPECT_EQ(m.payload.at(0), static_cast<std::uint64_t>(pe.rank()));
+  });
+}
+
+TEST(MachineParams, DerivedRates) {
+  MachineParams m = intel_node();
+  EXPECT_DOUBLE_EQ(m.core_ops() * m.cores_per_node, m.cnode_ops);
+  EXPECT_GT(m.compute_time(1e9), 0.0);
+  EXPECT_GT(m.mem_time(1e9), 0.0);
+  MachineParams amd = amd_node();
+  EXPECT_EQ(amd.cores_per_node, 128);
+  EXPECT_GT(amd.cnode_ops, m.cnode_ops);
+}
+
+}  // namespace
+}  // namespace dakc::net

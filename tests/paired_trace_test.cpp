@@ -1,0 +1,195 @@
+// Tests for paired-end read simulation and the DES activity-trace export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/trace.hpp"
+#include "sim/genome.hpp"
+#include "sim/reads.hpp"
+
+namespace dakc {
+namespace {
+
+std::string small_genome(std::uint64_t len, std::uint64_t seed) {
+  sim::GenomeSpec gs;
+  gs.length = len;
+  gs.seed = seed;
+  return sim::generate_genome(gs);
+}
+
+TEST(PairedReads, MatesAreWellFormed) {
+  const auto genome = small_genome(20000, 1);
+  sim::PairedSimSpec spec;
+  spec.base.coverage = 8.0;
+  spec.base.read_length = 100;
+  const auto pairs = sim::simulate_paired_reads(genome, spec);
+  ASSERT_EQ(pairs.r1.size(), pairs.r2.size());
+  ASSERT_GT(pairs.r1.size(), 100u);
+  for (std::size_t i = 0; i < pairs.r1.size(); ++i) {
+    EXPECT_EQ(pairs.r1[i].seq.size(), 100u);
+    EXPECT_EQ(pairs.r2[i].seq.size(), 100u);
+    EXPECT_EQ(pairs.r1[i].qual.size(), 100u);
+    EXPECT_NE(pairs.r1[i].id.find("/1"), std::string::npos);
+    EXPECT_NE(pairs.r2[i].id.find("/2"), std::string::npos);
+  }
+}
+
+TEST(PairedReads, PairCountMatchesCoverage) {
+  const auto genome = small_genome(30000, 2);
+  sim::PairedSimSpec spec;
+  spec.base.coverage = 10.0;
+  spec.base.read_length = 100;
+  const auto pairs = sim::simulate_paired_reads(genome, spec);
+  // coverage * len / m reads total => half that many pairs.
+  EXPECT_EQ(pairs.r1.size(), 30000u * 10 / 100 / 2);
+}
+
+TEST(PairedReads, ErrorFreeMatesComeFromOppositeStrandsOfOneFragment) {
+  const auto genome = small_genome(10000, 3);
+  sim::PairedSimSpec spec;
+  spec.base.coverage = 4.0;
+  spec.base.read_length = 80;
+  spec.base.substitution_rate = 0.0;
+  spec.base.both_strands = false;  // fragments always forward strand
+  spec.insert_mean = 300;
+  spec.insert_stddev = 20;
+  const auto pairs = sim::simulate_paired_reads(genome, spec);
+  for (std::size_t i = 0; i < pairs.r1.size(); ++i) {
+    // R1 appears verbatim in the genome.
+    EXPECT_NE(genome.find(pairs.r1[i].seq), std::string::npos) << i;
+    // R2 is the reverse complement of a genomic substring downstream.
+    const std::string r2_rc = sim::reverse_complement_str(pairs.r2[i].seq);
+    const auto pos1 = genome.find(pairs.r1[i].seq);
+    const auto pos2 = genome.find(r2_rc);
+    ASSERT_NE(pos2, std::string::npos) << i;
+    EXPECT_GE(pos2 + 80, pos1 + 80);  // 3' end at or after R1
+    // Outer distance approximates the insert size.
+    const auto outer = (pos2 + 80) - pos1;
+    EXPECT_GE(outer, 80u);
+    EXPECT_LE(outer, 400u);
+  }
+}
+
+TEST(PairedReads, FirstMatesSelection) {
+  const auto genome = small_genome(5000, 4);
+  sim::PairedSimSpec spec;
+  spec.base.coverage = 4.0;
+  const auto pairs = sim::simulate_paired_reads(genome, spec);
+  const auto firsts = sim::first_mates(pairs);
+  ASSERT_EQ(firsts.size(), pairs.r1.size());
+  for (std::size_t i = 0; i < firsts.size(); ++i)
+    EXPECT_EQ(firsts[i], pairs.r1[i].seq);
+}
+
+TEST(PairedReads, RejectsImpossibleInsert) {
+  const auto genome = small_genome(500, 5);
+  sim::PairedSimSpec spec;
+  spec.base.read_length = 100;
+  spec.insert_mean = 50;  // shorter than a read
+  EXPECT_THROW(sim::simulate_paired_reads(genome, spec), std::logic_error);
+}
+
+TEST(PairedReads, Deterministic) {
+  const auto genome = small_genome(8000, 6);
+  sim::PairedSimSpec spec;
+  spec.base.coverage = 3.0;
+  const auto a = sim::simulate_paired_reads(genome, spec);
+  const auto b = sim::simulate_paired_reads(genome, spec);
+  ASSERT_EQ(a.r1.size(), b.r1.size());
+  for (std::size_t i = 0; i < a.r1.size(); ++i) {
+    EXPECT_EQ(a.r1[i].seq, b.r1[i].seq);
+    EXPECT_EQ(a.r2[i].seq, b.r2[i].seq);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Activity tracing
+// ---------------------------------------------------------------------------
+
+TEST(Trace, DisabledByDefault) {
+  net::FabricConfig cfg;
+  cfg.pes = 2;
+  cfg.pes_per_node = 2;
+  net::Fabric fabric(cfg);
+  fabric.run([](net::Pe& pe) {
+    pe.charge_compute_ops(1000.0);
+    pe.barrier();
+  });
+  EXPECT_TRUE(fabric.trace().empty());
+}
+
+TEST(Trace, RecordsChargedSpans) {
+  net::FabricConfig cfg;
+  cfg.pes = 3;
+  cfg.pes_per_node = 3;
+  cfg.trace = true;
+  net::Fabric fabric(cfg);
+  fabric.run([](net::Pe& pe) {
+    pe.charge_compute_ops(1e6);
+    pe.charge_mem_bytes(1e6);
+    pe.barrier();
+  });
+  const auto& trace = fabric.trace();
+  ASSERT_FALSE(trace.empty());
+  bool saw_compute = false, saw_memory = false;
+  for (const auto& e : trace) {
+    EXPECT_GE(e.fiber, 0);
+    EXPECT_LT(e.fiber, 3);
+    EXPECT_LT(e.start, e.end);
+    EXPECT_LE(e.end, fabric.makespan() + 1e-12);
+    saw_compute |= e.category == des::Category::kCompute;
+    saw_memory |= e.category == des::Category::kMemory;
+  }
+  EXPECT_TRUE(saw_compute);
+  EXPECT_TRUE(saw_memory);
+}
+
+TEST(Trace, SpansSumToStats) {
+  net::FabricConfig cfg;
+  cfg.pes = 2;
+  cfg.pes_per_node = 1;
+  cfg.trace = true;
+  net::Fabric fabric(cfg);
+  fabric.run([](net::Pe& pe) {
+    if (pe.rank() == 0) pe.put(1, std::vector<std::uint64_t>(5000, 1));
+    pe.barrier();
+    net::Message m;
+    pe.try_recv(&m);
+  });
+  double traced_busy[2] = {0.0, 0.0};
+  for (const auto& e : fabric.trace())
+    if (e.category != des::Category::kIdle)
+      traced_busy[e.fiber] += e.end - e.start;
+  for (int p = 0; p < 2; ++p)
+    EXPECT_NEAR(traced_busy[p], fabric.pe_stats(p).busy(), 1e-12);
+}
+
+TEST(Trace, ChromeJsonIsWellFormed) {
+  net::FabricConfig cfg;
+  cfg.pes = 4;
+  cfg.pes_per_node = 2;
+  cfg.trace = true;
+  net::Fabric fabric(cfg);
+  fabric.run([](net::Pe& pe) {
+    pe.charge_compute_ops(1e5);
+    pe.barrier();
+  });
+  std::ostringstream out;
+  net::write_chrome_trace(out, fabric);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node 1\""), std::string::npos);
+  // Balanced brackets/braces (cheap structural check).
+  long braces = 0;
+  for (char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+}  // namespace
+}  // namespace dakc

@@ -1,0 +1,293 @@
+// Cross-cutting robustness tests: cost-model-on equivalence, noise-model
+// determinism, fabric edge cases (chunked transfers, queue-driven OOM,
+// packed reductions), slicing properties, and API validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/bsp.hpp"
+#include "baseline/serial.hpp"
+#include "core/api.hpp"
+#include "core/common.hpp"
+#include "net/fabric.hpp"
+#include "sim/genome.hpp"
+#include "sim/reads.hpp"
+
+namespace dakc {
+namespace {
+
+std::vector<std::string> tiny_reads(std::uint64_t seed) {
+  sim::GenomeSpec gs;
+  gs.length = 1 << 11;
+  gs.seed = seed;
+  sim::ReadSimSpec rs;
+  rs.coverage = 5.0;
+  rs.read_length = 100;
+  rs.seed = seed + 1;
+  return sim::simulate_read_seqs(sim::generate_genome(gs), rs);
+}
+
+// ---------------------------------------------------------------------------
+// Counting correctness with the cost model ON (timing must never change
+// results)
+// ---------------------------------------------------------------------------
+
+TEST(CostedRuns, AllBackendsStillMatchSerial) {
+  auto reads = tiny_reads(5);
+  const auto expect = baseline::serial_count(reads, 31);
+  for (core::Backend b :
+       {core::Backend::kPakManStar, core::Backend::kHySortK,
+        core::Backend::kKmc3, core::Backend::kDakc}) {
+    core::CountConfig cfg;
+    cfg.backend = b;
+    cfg.k = 31;
+    cfg.pes = 8;
+    cfg.pes_per_node = 4;
+    cfg.zero_cost = false;  // full cost model
+    cfg.machine.noise_amplitude = 0.25;
+    const auto report = core::count_kmers(reads, cfg);
+    ASSERT_EQ(report.counts.size(), expect.size())
+        << core::backend_name(b);
+    EXPECT_TRUE(std::equal(report.counts.begin(), report.counts.end(),
+                           expect.begin()))
+        << core::backend_name(b);
+  }
+}
+
+TEST(CostedRuns, NoiseModelIsDeterministic) {
+  auto reads = tiny_reads(6);
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.pes = 8;
+  cfg.pes_per_node = 4;
+  cfg.machine.noise_amplitude = 0.25;
+  cfg.gather_counts = false;
+  const auto a = core::count_kmers(reads, cfg);
+  const auto b = core::count_kmers(reads, cfg);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(CostedRuns, NoiseSlowsThingsDown) {
+  auto reads = tiny_reads(7);
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kPakManStar;
+  cfg.pes = 8;
+  cfg.pes_per_node = 4;
+  cfg.gather_counts = false;
+  cfg.batch = 512;  // many synchronized rounds
+  cfg.machine.noise_amplitude = 0.0;
+  const auto quiet = core::count_kmers(reads, cfg);
+  cfg.machine.noise_amplitude = 0.4;
+  const auto noisy = core::count_kmers(reads, cfg);
+  EXPECT_GT(noisy.makespan, quiet.makespan);
+}
+
+TEST(CostedRuns, DifferentNoiseSeedsDiffer) {
+  auto reads = tiny_reads(8);
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.pes = 4;
+  cfg.pes_per_node = 2;
+  cfg.machine.noise_amplitude = 0.25;
+  cfg.gather_counts = false;
+  const auto a = core::count_kmers(reads, cfg);
+  cfg.machine.noise_seed = 999;
+  const auto b = core::count_kmers(reads, cfg);
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+TEST(CostedRuns, BusyPlusIdleEqualsFinishTimes) {
+  auto reads = tiny_reads(9);
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.pes = 6;
+  cfg.pes_per_node = 3;
+  cfg.gather_counts = false;
+  const auto r = core::count_kmers(reads, cfg);
+  // Sum over PEs of (busy + idle) can never exceed pes * makespan.
+  const double total =
+      r.compute_seconds + r.memory_seconds + r.network_seconds +
+      r.idle_seconds;
+  EXPECT_LE(total, 6.0 * r.makespan + 1e-9);
+  EXPECT_GT(total, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric edge cases
+// ---------------------------------------------------------------------------
+
+TEST(FabricEdge, LargePutIsChunkedButIntact) {
+  net::FabricConfig cfg;
+  cfg.pes = 2;
+  cfg.pes_per_node = 1;
+  cfg.put_chunk_words = 64;  // force many chunks
+  net::Fabric fabric(cfg);
+  std::vector<std::uint64_t> got;
+  fabric.run([&](net::Pe& pe) {
+    if (pe.rank() == 0) {
+      std::vector<std::uint64_t> big(10000);
+      for (std::size_t i = 0; i < big.size(); ++i) big[i] = i * 3;
+      pe.put(1, std::move(big));
+    } else {
+      got = pe.recv_wait().payload;
+    }
+  });
+  ASSERT_EQ(got.size(), 10000u);
+  for (std::size_t i = 0; i < got.size(); ++i) ASSERT_EQ(got[i], i * 3);
+}
+
+TEST(FabricEdge, NicBusyTracksServiceTime) {
+  net::FabricConfig cfg;
+  cfg.pes = 2;
+  cfg.pes_per_node = 1;
+  net::Fabric fabric(cfg);
+  const double bytes = 100000.0 * 8.0 + 16.0;
+  fabric.run([&](net::Pe& pe) {
+    if (pe.rank() == 0)
+      pe.put(1, std::vector<std::uint64_t>(100000, 1));
+    else
+      pe.recv_wait();
+  });
+  const double expected = bytes / cfg.machine.beta_link;
+  EXPECT_NEAR(fabric.nic_busy(0), expected, expected * 0.01);
+  EXPECT_NEAR(fabric.nic_busy(1), expected, expected * 0.01);
+}
+
+TEST(FabricEdge, WireBytesOverrideDrivesCost) {
+  auto run_with_wire = [](double wire) {
+    net::FabricConfig cfg;
+    cfg.pes = 2;
+    cfg.pes_per_node = 1;
+    net::Fabric fabric(cfg);
+    fabric.run([&](net::Pe& pe) {
+      if (pe.rank() == 0)
+        pe.put(1, std::vector<std::uint64_t>(64, 1), net::Pe::kAppTag, wire);
+      else
+        pe.recv_wait();
+    });
+    return fabric.makespan();
+  };
+  EXPECT_GT(run_with_wire(1e6), run_with_wire(64.0));
+}
+
+TEST(FabricEdge, AllreduceSum2PacksTwoCounters) {
+  net::FabricConfig cfg;
+  cfg.pes = 5;
+  cfg.pes_per_node = 5;
+  cfg.zero_cost = true;
+  net::Fabric fabric(cfg);
+  fabric.run([&](net::Pe& pe) {
+    const auto [a, b] = pe.allreduce_sum2(pe.rank() + 1, 2 * pe.rank());
+    EXPECT_EQ(a, 15u);
+    EXPECT_EQ(b, 20u);
+  });
+}
+
+TEST(FabricEdge, ReceiveQueueTriggersOom) {
+  // In-flight messages count against the destination node's budget —
+  // the incast failure mode.
+  net::FabricConfig cfg;
+  cfg.pes = 4;
+  cfg.pes_per_node = 1;
+  cfg.zero_cost = true;
+  cfg.node_memory_limit = 10000.0;
+  net::Fabric fabric(cfg);
+  EXPECT_THROW(fabric.run([&](net::Pe& pe) {
+                 if (pe.rank() != 0)
+                   for (int i = 0; i < 10; ++i)
+                     pe.put(0, std::vector<std::uint64_t>(256, 1));
+                 pe.barrier();
+               }),
+               net::OomError);
+}
+
+TEST(FabricEdge, IntranodePutsDoNotTouchNic) {
+  net::FabricConfig cfg;
+  cfg.pes = 4;
+  cfg.pes_per_node = 4;
+  net::Fabric fabric(cfg);
+  fabric.run([&](net::Pe& pe) {
+    if (pe.rank() == 0) pe.put(1, std::vector<std::uint64_t>(1000, 1));
+    pe.barrier();
+    net::Message m;
+    pe.try_recv(&m);
+  });
+  EXPECT_DOUBLE_EQ(fabric.nic_busy(0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers and validation
+// ---------------------------------------------------------------------------
+
+TEST(Helpers, ReadSlicePartitionsExactly) {
+  for (std::size_t n : {0ul, 1ul, 7ul, 100ul, 101ul}) {
+    for (int pes : {1, 3, 8}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (int r = 0; r < pes; ++r) {
+        const auto [b, e] = core::read_slice(n, pes, r);
+        EXPECT_EQ(b, prev_end);
+        EXPECT_LE(b, e);
+        covered += e - b;
+        prev_end = e;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(Helpers, ReadSliceBalanced) {
+  for (int r = 0; r < 7; ++r) {
+    const auto [b, e] = core::read_slice(100, 7, r);
+    const std::size_t len = e - b;
+    EXPECT_GE(len, 14u);
+    EXPECT_LE(len, 15u);
+  }
+}
+
+TEST(Helpers, BspRoundsMatchesBatchMath) {
+  auto reads = tiny_reads(11);
+  std::uint64_t max_kmers = 0;
+  for (int r = 0; r < 4; ++r) {
+    const auto [b, e] = core::read_slice(reads.size(), 4, r);
+    std::uint64_t n = 0;
+    for (std::size_t i = b; i < e; ++i)
+      if (reads[i].size() >= 31) n += reads[i].size() - 30;
+    max_kmers = std::max(max_kmers, n);
+  }
+  EXPECT_EQ(baseline::bsp_rounds(reads, 31, 4, 100),
+            (max_kmers + 99) / 100);
+}
+
+TEST(Validation, BadKRejected) {
+  std::vector<std::string> reads{"ACGT"};
+  core::CountConfig cfg;
+  cfg.k = 0;
+  EXPECT_THROW(core::count_kmers(reads, cfg), std::logic_error);
+  cfg.k = 33;
+  EXPECT_THROW(core::count_kmers(reads, cfg), std::logic_error);
+}
+
+TEST(Validation, BackendNamesAreStable) {
+  EXPECT_STREQ(core::backend_name(core::Backend::kSerial), "serial");
+  EXPECT_STREQ(core::backend_name(core::Backend::kPakMan), "pakman");
+  EXPECT_STREQ(core::backend_name(core::Backend::kPakManStar), "pakman*");
+  EXPECT_STREQ(core::backend_name(core::Backend::kHySortK), "hysortk");
+  EXPECT_STREQ(core::backend_name(core::Backend::kKmc3), "kmc3");
+  EXPECT_STREQ(core::backend_name(core::Backend::kDakc), "dakc");
+}
+
+TEST(Validation, SerialBackendIgnoresPeCount) {
+  auto reads = tiny_reads(12);
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kSerial;
+  cfg.pes = 16;  // collapsed to 1 by the driver
+  cfg.zero_cost = true;
+  const auto report = core::count_kmers(reads, cfg);
+  const auto expect = baseline::serial_count(reads, cfg.k);
+  EXPECT_EQ(report.counts.size(), expect.size());
+}
+
+}  // namespace
+}  // namespace dakc

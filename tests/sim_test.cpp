@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "baseline/serial.hpp"
+#include "kmer/extract.hpp"
+#include "sim/datasets.hpp"
+#include "sim/genome.hpp"
+#include "sim/reads.hpp"
+
+namespace dakc::sim {
+namespace {
+
+TEST(Genome, LengthAndAlphabet) {
+  GenomeSpec spec;
+  spec.length = 10000;
+  spec.seed = 3;
+  auto g = generate_genome(spec);
+  EXPECT_EQ(g.size(), 10000u);
+  for (char c : g) EXPECT_NE(std::string("ACGT").find(c), std::string::npos);
+}
+
+TEST(Genome, Deterministic) {
+  GenomeSpec spec;
+  spec.length = 5000;
+  spec.seed = 9;
+  EXPECT_EQ(generate_genome(spec), generate_genome(spec));
+  spec.seed = 10;
+  EXPECT_NE(generate_genome(spec), generate_genome(GenomeSpec{5000, 9}));
+}
+
+TEST(Genome, GcContentRespected) {
+  GenomeSpec spec;
+  spec.length = 200000;
+  spec.gc_content = 0.7;
+  auto g = generate_genome(spec);
+  double gc = 0;
+  for (char c : g) gc += (c == 'G' || c == 'C');
+  EXPECT_NEAR(gc / static_cast<double>(g.size()), 0.7, 0.02);
+}
+
+TEST(Genome, SatelliteCreatesHeavyHitters) {
+  GenomeSpec spec;
+  spec.length = 1 << 18;
+  spec.satellites = {{"AATGG", 0.05, 2000}};
+  auto g = generate_genome(spec);
+  // Count the satellite k-mer (AATGG repeated to k=15: AATGGAATGGAATGG).
+  const int k = 15;
+  const auto target = kmer::parse_kmer("AATGGAATGGAATGG");
+  std::uint64_t hits = 0;
+  kmer::for_each_kmer(g, k, [&](kmer::Kmer64 km) { hits += km == target; });
+  // ~5% of a 262k genome in 5-periodic arrays: thousands of occurrences.
+  EXPECT_GT(hits, 1000u);
+
+  // A uniform genome of the same size has essentially none.
+  GenomeSpec flat;
+  flat.length = spec.length;
+  auto g2 = generate_genome(flat);
+  std::uint64_t hits2 = 0;
+  kmer::for_each_kmer(g2, k, [&](kmer::Kmer64 km) { hits2 += km == target; });
+  EXPECT_LT(hits2, 5u);
+}
+
+TEST(Genome, RepeatFamiliesRaiseDuplication) {
+  const int k = 21;
+  GenomeSpec uniform;
+  uniform.length = 1 << 17;
+  GenomeSpec repeaty = uniform;
+  repeaty.families = {{200, 0.5, 0.02}};
+  auto cu = baseline::serial_count({generate_genome(uniform)}, k);
+  auto cr = baseline::serial_count({generate_genome(repeaty)}, k);
+  auto dup_fraction = [](const std::vector<kmer::KmerCount64>& counts) {
+    std::uint64_t dup = 0, total = 0;
+    for (const auto& kc : counts) {
+      total += kc.count;
+      if (kc.count > 1) dup += kc.count;
+    }
+    return static_cast<double>(dup) / static_cast<double>(total);
+  };
+  EXPECT_GT(dup_fraction(cr), dup_fraction(cu) + 0.1);
+}
+
+TEST(Genome, ReverseComplementString) {
+  EXPECT_EQ(reverse_complement_str("ACGT"), "ACGT");
+  EXPECT_EQ(reverse_complement_str("AAGG"), "CCTT");
+  EXPECT_EQ(reverse_complement_str("AN"), "NT");
+}
+
+TEST(Reads, CountMatchesCoverage) {
+  ReadSimSpec spec;
+  spec.read_length = 100;
+  spec.coverage = 10.0;
+  EXPECT_EQ(read_count_for(spec, 100000), 10000u);
+}
+
+TEST(Reads, RecordsWellFormed) {
+  GenomeSpec gs;
+  gs.length = 20000;
+  auto genome = generate_genome(gs);
+  ReadSimSpec spec;
+  spec.read_length = 150;
+  spec.coverage = 5.0;
+  auto reads = simulate_reads(genome, spec);
+  EXPECT_EQ(reads.size(), read_count_for(spec, 20000));
+  for (const auto& r : reads) {
+    EXPECT_EQ(r.seq.size(), 150u);
+    EXPECT_EQ(r.qual.size(), 150u);
+    for (char q : r.qual) {
+      EXPECT_GE(q, '!');
+      EXPECT_LE(q, 'K');
+    }
+  }
+}
+
+TEST(Reads, Deterministic) {
+  GenomeSpec gs;
+  gs.length = 5000;
+  auto genome = generate_genome(gs);
+  ReadSimSpec spec;
+  spec.coverage = 2.0;
+  auto a = simulate_reads(genome, spec);
+  auto b = simulate_reads(genome, spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].seq, b[i].seq);
+}
+
+TEST(Reads, ErrorFreeModeReproducesGenomeKmers) {
+  GenomeSpec gs;
+  gs.length = 3000;
+  auto genome = generate_genome(gs);
+  ReadSimSpec spec;
+  spec.substitution_rate = 0.0;
+  spec.n_rate = 0.0;
+  spec.both_strands = false;
+  spec.coverage = 20.0;
+  spec.read_length = 60;
+  const int k = 21;
+  // Every read k-mer must exist in the genome.
+  auto genome_kmers = kmer::extract_kmers(genome, k);
+  std::sort(genome_kmers.begin(), genome_kmers.end());
+  for (const auto& seq : simulate_read_seqs(genome, spec)) {
+    kmer::for_each_kmer(seq, k, [&](kmer::Kmer64 km) {
+      EXPECT_TRUE(std::binary_search(genome_kmers.begin(), genome_kmers.end(),
+                                     km));
+    });
+  }
+}
+
+TEST(Reads, ErrorsIntroduceNovelKmers) {
+  GenomeSpec gs;
+  gs.length = 10000;
+  auto genome = generate_genome(gs);
+  ReadSimSpec noisy;
+  noisy.substitution_rate = 0.02;
+  noisy.both_strands = false;
+  noisy.coverage = 10.0;
+  const int k = 31;
+  auto genome_kmers = kmer::extract_kmers(genome, k);
+  std::sort(genome_kmers.begin(), genome_kmers.end());
+  std::uint64_t novel = 0, total = 0;
+  for (const auto& seq : simulate_read_seqs(genome, noisy)) {
+    kmer::for_each_kmer(seq, k, [&](kmer::Kmer64 km) {
+      ++total;
+      novel += !std::binary_search(genome_kmers.begin(), genome_kmers.end(),
+                                   km);
+    });
+  }
+  EXPECT_GT(novel, total / 50);  // 2% error over 31-mers hits most windows
+}
+
+TEST(Reads, QualityTracksErrorRamp) {
+  GenomeSpec gs;
+  gs.length = 5000;
+  auto genome = generate_genome(gs);
+  ReadSimSpec spec;
+  spec.error_ramp = 10.0;
+  auto reads = simulate_reads(genome, spec);
+  // First base should have a higher quality score than the last.
+  EXPECT_GT(reads[0].qual.front(), reads[0].qual.back());
+}
+
+TEST(Reads, NRateEmitsN) {
+  GenomeSpec gs;
+  gs.length = 5000;
+  auto genome = generate_genome(gs);
+  ReadSimSpec spec;
+  spec.n_rate = 0.05;
+  spec.coverage = 5.0;
+  std::uint64_t ns = 0, total = 0;
+  for (const auto& seq : simulate_read_seqs(genome, spec)) {
+    for (char c : seq) {
+      ns += c == 'N';
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(ns) / static_cast<double>(total), 0.05,
+              0.01);
+}
+
+TEST(Datasets, RegistryMatchesTableV) {
+  const auto& reg = dataset_registry();
+  ASSERT_EQ(reg.size(), 20u);  // 13 synthetic + 7 organisms
+  EXPECT_EQ(reg[0].name, "synthetic20");
+  EXPECT_EQ(reg[0].genome_length, 1ULL << 20);
+  EXPECT_EQ(reg[0].paper_reads, 349500u);
+  EXPECT_EQ(reg[12].name, "synthetic32");
+  EXPECT_EQ(reg[12].paper_reads, 1431655750u);
+  EXPECT_EQ(dataset_by_name("human").accession, "SRR28206931");
+  EXPECT_TRUE(dataset_by_name("human").heavy_hitters);
+  EXPECT_TRUE(dataset_by_name("taestivum").heavy_hitters);
+  EXPECT_FALSE(dataset_by_name("synthetic24").heavy_hitters);
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(dataset_by_name("nope"), std::logic_error);
+}
+
+TEST(Datasets, SyntheticCoverageIsFifty) {
+  // Table V: reads * 150 / 2^XY == 50 for every synthetic dataset.
+  for (int xy = 20; xy <= 32; ++xy) {
+    const auto& d = dataset_by_name("synthetic" + std::to_string(xy));
+    const double cov = static_cast<double>(d.paper_reads) * 150.0 /
+                       static_cast<double>(1ULL << xy);
+    EXPECT_NEAR(cov, 50.0, 0.01) << d.name;
+  }
+}
+
+TEST(Datasets, ScalingPreservesCoverage) {
+  const auto& d = dataset_by_name("synthetic24");
+  const auto g1 = d.genome(1e-3);
+  const auto g2 = d.genome(2e-3);
+  EXPECT_NEAR(static_cast<double>(g2.length) / static_cast<double>(g1.length),
+              2.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(d.reads_at_scale(2e-3)) /
+                  static_cast<double>(d.reads_at_scale(1e-3)),
+              2.0, 0.01);
+}
+
+TEST(Datasets, MakeReadsProducesWorkableInput) {
+  const auto& d = dataset_by_name("synthetic20");
+  auto reads = make_dataset_reads(d, 1.0 / 64, 5);
+  EXPECT_GT(reads.size(), 1000u);
+  EXPECT_EQ(reads[0].size(), 150u);
+}
+
+TEST(Datasets, HumanProfileHasHeavyHitters) {
+  const auto& d = dataset_by_name("human");
+  auto reads = make_dataset_reads(d, 2e-5, 5);  // ~62 kb genome
+  auto counts = baseline::serial_count(reads, 21);
+  std::uint64_t max_count = 0;
+  for (const auto& kc : counts) max_count = std::max(max_count, kc.count);
+  // Satellite k-mers must tower over the ~13x coverage background.
+  EXPECT_GT(max_count, 200u);
+}
+
+}  // namespace
+}  // namespace dakc::sim

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "kmer/count.hpp"
+#include "sort/accumulate.hpp"
+#include "sort/parallel_radix.hpp"
+#include "sort/radix.hpp"
+#include "util/rng.hpp"
+
+namespace dakc::sort {
+namespace {
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed,
+                                       std::uint64_t bound = 0) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = bound ? rng.below(bound) : rng();
+  return v;
+}
+
+// Distributions that stress different code paths.
+struct Dist {
+  const char* name;
+  std::vector<std::uint64_t> (*make)(std::size_t);
+};
+
+std::vector<std::uint64_t> uniform64(std::size_t n) {
+  return random_keys(n, 11);
+}
+std::vector<std::uint64_t> small_range(std::size_t n) {
+  return random_keys(n, 12, 100);  // many duplicates, many uniform bytes
+}
+std::vector<std::uint64_t> already_sorted(std::size_t n) {
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i * 37;
+  return v;
+}
+std::vector<std::uint64_t> reverse_sorted(std::size_t n) {
+  auto v = already_sorted(n);
+  std::reverse(v.begin(), v.end());
+  return v;
+}
+std::vector<std::uint64_t> all_equal(std::size_t n) {
+  return std::vector<std::uint64_t>(n, 0xDEADBEEFULL);
+}
+std::vector<std::uint64_t> two_values(std::size_t n) {
+  std::vector<std::uint64_t> v(n);
+  Xoshiro256 rng(13);
+  for (auto& x : v) x = rng.bernoulli(0.5) ? 1 : ~0ULL;
+  return v;
+}
+std::vector<std::uint64_t> heavy_hitter(std::size_t n) {
+  // 80% one value, 20% random — the k-mer skew shape.
+  std::vector<std::uint64_t> v(n);
+  Xoshiro256 rng(14);
+  for (auto& x : v) x = rng.bernoulli(0.8) ? 42 : rng();
+  return v;
+}
+
+class SortDistributions : public ::testing::TestWithParam<Dist> {};
+
+TEST_P(SortDistributions, HybridMatchesStdSort) {
+  for (std::size_t n : {0ul, 1ul, 2ul, 31ul, 32ul, 1000ul, 20000ul}) {
+    auto v = GetParam().make(n);
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    const SortStats st = hybrid_radix_sort(v);
+    EXPECT_EQ(v, expect) << GetParam().name << " n=" << n;
+    EXPECT_EQ(st.elements, n);
+  }
+}
+
+TEST_P(SortDistributions, LsdMatchesStdSort) {
+  for (std::size_t n : {0ul, 1ul, 2ul, 255ul, 4096ul, 20000ul}) {
+    auto v = GetParam().make(n);
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    lsd_radix_sort(v);
+    EXPECT_EQ(v, expect) << GetParam().name << " n=" << n;
+  }
+}
+
+TEST_P(SortDistributions, ParallelMatchesStdSort) {
+  for (std::size_t n : {1000ul, 100000ul}) {
+    auto v = GetParam().make(n);
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    parallel_radix_sort(v, 4);
+    EXPECT_EQ(v, expect) << GetParam().name << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, SortDistributions,
+    ::testing::Values(Dist{"uniform64", uniform64},
+                      Dist{"small_range", small_range},
+                      Dist{"already_sorted", already_sorted},
+                      Dist{"reverse_sorted", reverse_sorted},
+                      Dist{"all_equal", all_equal},
+                      Dist{"two_values", two_values},
+                      Dist{"heavy_hitter", heavy_hitter}),
+    [](const ::testing::TestParamInfo<Dist>& info) {
+      return info.param.name;
+    });
+
+TEST(Sort, LsdSkipsUniformBytes) {
+  // Keys within one byte of range: only one counting pass + one permute.
+  auto v = random_keys(5000, 21, 256);
+  const SortStats st = lsd_radix_sort(v);
+  EXPECT_LE(st.passes, 3u);  // histogram pass + 1 permute (+ copy-back)
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(Sort, HybridUsesInsertionForSmallInputs) {
+  auto v = random_keys(20, 22);
+  const SortStats st = hybrid_radix_sort(v);
+  EXPECT_EQ(st.insertion_sorted, 20u);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(Sort, StatsTrackWork) {
+  auto v = random_keys(10000, 23);
+  const SortStats st = hybrid_radix_sort(v);
+  EXPECT_EQ(st.elements, 10000u);
+  EXPECT_GT(st.moves, 0u);
+  EXPECT_GT(st.passes, 0u);
+}
+
+TEST(Sort, PairSortByKey) {
+  Xoshiro256 rng(31);
+  std::vector<kmer::KmerCount64> v(5000);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = {rng.below(500), i};  // duplicate keys, distinct payloads
+  auto expect = v;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const auto& a, const auto& b) { return a.kmer < b.kmer; });
+  hybrid_radix_sort(v.begin(), v.end(),
+                    [](const kmer::KmerCount64& kc) { return kc.kmer; });
+  // Keys must be sorted (payload order within equal keys may differ —
+  // american flag is not stable).
+  for (std::size_t i = 1; i < v.size(); ++i)
+    EXPECT_LE(v[i - 1].kmer, v[i].kmer);
+  // Same multiset of keys.
+  std::vector<std::uint64_t> got, want;
+  for (const auto& kc : v) got.push_back(kc.kmer);
+  for (const auto& kc : expect) want.push_back(kc.kmer);
+  EXPECT_EQ(got, want);
+}
+
+#ifdef __SIZEOF_INT128__
+TEST(Sort, Kmer128Keys) {
+  Xoshiro256 rng(32);
+  std::vector<unsigned __int128> v(3000);
+  for (auto& x : v)
+    x = (static_cast<unsigned __int128>(rng()) << 64) | rng();
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  hybrid_radix_sort(v.begin(), v.end(),
+                    [](unsigned __int128 x) { return x; });
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), expect.begin()));
+}
+#endif
+
+TEST(Accumulate, CollapsesRuns) {
+  std::vector<std::uint64_t> sorted{1, 1, 1, 5, 7, 7};
+  auto out = accumulate(sorted);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (kmer::KmerCount64{1, 3}));
+  EXPECT_EQ(out[1], (kmer::KmerCount64{5, 1}));
+  EXPECT_EQ(out[2], (kmer::KmerCount64{7, 2}));
+}
+
+TEST(Accumulate, EmptyInput) {
+  EXPECT_TRUE(accumulate(std::vector<std::uint64_t>{}).empty());
+  EXPECT_TRUE(
+      accumulate_pairs(std::vector<kmer::KmerCount64>{}).empty());
+}
+
+TEST(Accumulate, PairsSumCounts) {
+  std::vector<kmer::KmerCount64> sorted{{1, 2}, {1, 3}, {4, 1}, {4, 1}, {9, 7}};
+  auto out = accumulate_pairs(sorted);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (kmer::KmerCount64{1, 5}));
+  EXPECT_EQ(out[1], (kmer::KmerCount64{4, 2}));
+  EXPECT_EQ(out[2], (kmer::KmerCount64{9, 7}));
+}
+
+TEST(Accumulate, InplaceMatchesCopy) {
+  Xoshiro256 rng(41);
+  std::vector<kmer::KmerCount64> v(2000);
+  for (auto& kc : v) kc = {rng.below(300), 1 + rng.below(4)};
+  hybrid_radix_sort(v.begin(), v.end(),
+                    [](const kmer::KmerCount64& kc) { return kc.kmer; });
+  auto expect = accumulate_pairs(v);
+  accumulate_pairs_inplace(v);
+  EXPECT_EQ(v, expect);
+}
+
+TEST(Accumulate, PreservesTotalCount) {
+  Xoshiro256 rng(42);
+  std::vector<std::uint64_t> keys(5000);
+  for (auto& k : keys) k = rng.below(700);
+  std::sort(keys.begin(), keys.end());
+  auto out = accumulate(keys);
+  std::uint64_t total = 0;
+  for (const auto& kc : out) total += kc.count;
+  EXPECT_EQ(total, keys.size());
+}
+
+TEST(Accumulate, SingleRun) {
+  std::vector<std::uint64_t> v(100, 7);
+  auto out = accumulate(v);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].count, 100u);
+}
+
+}  // namespace
+}  // namespace dakc::sort

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace dakc {
+namespace {
+
+TEST(Rng, SplitmixIsDeterministic) {
+  std::uint64_t a = 42, b = 42;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(splitmix64(a), splitmix64(b));
+}
+
+TEST(Rng, Mix64SpreadsNearbyInputs) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(Rng, XoshiroReproducible) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, XoshiroDifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(7), 7u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Xoshiro256 rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Xoshiro256 rng(6);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.25);
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Check, ThrowsWithContext) {
+  EXPECT_THROW(DAKC_CHECK_MSG(false, "boom"), std::logic_error);
+  try {
+    DAKC_CHECK_MSG(1 == 2, "boom");
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(Histogram, CountsDistinctAndTotal) {
+  CountHistogram h;
+  h.add(1, 10);  // 10 singletons
+  h.add(3, 2);   // 2 k-mers seen 3x
+  EXPECT_EQ(h.distinct(), 12u);
+  EXPECT_EQ(h.total(), 16u);
+  EXPECT_EQ(h.at(1), 10u);
+  EXPECT_EQ(h.at(3), 2u);
+  EXPECT_EQ(h.at(2), 0u);
+  EXPECT_EQ(h.max_count(), 3u);
+}
+
+TEST(Histogram, AtLeastIsCumulative) {
+  CountHistogram h;
+  h.add(1, 5);
+  h.add(2, 4);
+  h.add(10, 1);
+  EXPECT_EQ(h.at_least(1), 10u);
+  EXPECT_EQ(h.at_least(2), 5u);
+  EXPECT_EQ(h.at_least(3), 1u);
+  EXPECT_EQ(h.at_least(11), 0u);
+}
+
+TEST(Histogram, ModeInRange) {
+  CountHistogram h;
+  h.add(1, 100);  // error peak
+  h.add(20, 30);  // coverage peak
+  h.add(21, 25);
+  EXPECT_EQ(h.mode_in(2, 1000), 20u);
+  EXPECT_EQ(h.mode_in(1, 1000), 1u);
+  EXPECT_EQ(h.mode_in(50, 60), 0u);
+}
+
+TEST(Histogram, ZeroEntriesIgnored) {
+  CountHistogram h;
+  h.add(0, 5);
+  h.add(3, 0);
+  EXPECT_EQ(h.distinct(), 0u);
+}
+
+TEST(Histogram, HistoFormat) {
+  CountHistogram h;
+  h.add(1, 2);
+  h.add(5, 1);
+  EXPECT_EQ(h.to_histo(), "1\t2\n5\t1\n");
+}
+
+TEST(Stats, SummaryBasics) {
+  Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_EQ(s.n, 4u);
+}
+
+TEST(Stats, SummaryEmpty) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+}
+
+TEST(Stats, ImbalanceOfBalancedLoadIsOne) {
+  EXPECT_DOUBLE_EQ(imbalance({2.0, 2.0, 2.0}), 1.0);
+}
+
+TEST(Stats, ImbalanceDetectsSkew) {
+  EXPECT_DOUBLE_EQ(imbalance({0.0, 0.0, 0.0, 4.0}), 4.0);
+}
+
+TEST(Format, Numbers) {
+  EXPECT_EQ(fmt_f(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(12), "12");
+  EXPECT_EQ(fmt_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(fmt_seconds(0.25), "250.000 ms");
+}
+
+TEST(Table, RenderAligns) {
+  TextTable t({"a", "bbb"});
+  t.add_row({"12345", "z"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("a      bbb"), std::string::npos);
+  EXPECT_NE(out.find("12345  z"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesNothingButJoins) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TextTable t({"x", "y"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Cli, ParsesAllKinds) {
+  CliParser cli("t", "test");
+  auto& i = cli.add_int("n", 5, "int");
+  auto& d = cli.add_double("rate", 0.5, "double");
+  auto& s = cli.add_string("name", "x", "string");
+  auto& b = cli.add_flag("verbose", false, "flag");
+  std::string err;
+  ASSERT_TRUE(cli.try_parse(
+      {"--n", "10", "--rate=0.25", "--name", "abc", "--verbose"}, &err))
+      << err;
+  EXPECT_EQ(i, 10);
+  EXPECT_DOUBLE_EQ(d, 0.25);
+  EXPECT_EQ(s, "abc");
+  EXPECT_TRUE(b);
+}
+
+TEST(Cli, UnknownFlagFails) {
+  CliParser cli("t", "test");
+  std::string err;
+  EXPECT_FALSE(cli.try_parse({"--nope", "1"}, &err));
+  EXPECT_NE(err.find("nope"), std::string::npos);
+}
+
+TEST(Cli, MissingValueFails) {
+  CliParser cli("t", "test");
+  cli.add_int("n", 0, "int");
+  std::string err;
+  EXPECT_FALSE(cli.try_parse({"--n"}, &err));
+}
+
+TEST(Cli, BadIntFails) {
+  CliParser cli("t", "test");
+  cli.add_int("n", 0, "int");
+  std::string err;
+  EXPECT_FALSE(cli.try_parse({"--n", "abc"}, &err));
+}
+
+TEST(Cli, DefaultsSurvive) {
+  CliParser cli("t", "test");
+  auto& n = cli.add_int("n", 7, "int");
+  std::string err;
+  ASSERT_TRUE(cli.try_parse({}, &err));
+  EXPECT_EQ(n, 7);
+}
+
+}  // namespace
+}  // namespace dakc

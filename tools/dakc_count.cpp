@@ -1,0 +1,195 @@
+// dakc_count — the production-style command-line front end.
+//
+//   dakc_count count   --input reads.fastq --k 31 --out counts.dump
+//   dakc_count count   --dataset human --scale 2e-5 --nodes 8 --l3
+//   dakc_count histo   --dump counts.dump
+//   dakc_count stats   --dump counts.dump
+//   dakc_count compare --dump counts.dump --dump2 other.dump
+//
+// `count` runs any backend on the simulated cluster and writes a
+// text/binary dump; `histo` prints the KMC-style count histogram;
+// `stats` runs the spectrum fit (genome size, coverage, error rate);
+// `compare` diffs two dumps (e.g. DAKC vs a baseline).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/spectrum.hpp"
+#include "core/api.hpp"
+#include "io/dump.hpp"
+#include "io/fastx.hpp"
+#include "kmer/count.hpp"
+#include "sim/datasets.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dakc;
+
+int usage() {
+  std::fputs(
+      "usage: dakc_count <count|histo|stats|compare> [--help] [flags]\n"
+      "  count    count k-mers of a FASTQ/FASTA file or a Table V dataset\n"
+      "  histo    print the count histogram of a dump\n"
+      "  stats    fit a genome profile to a dump's spectrum\n"
+      "  compare  diff two dumps\n",
+      stderr);
+  return 2;
+}
+
+core::Backend backend_from(const std::string& name) {
+  if (name == "dakc") return core::Backend::kDakc;
+  if (name == "pakman") return core::Backend::kPakMan;
+  if (name == "pakman*") return core::Backend::kPakManStar;
+  if (name == "hysortk") return core::Backend::kHySortK;
+  if (name == "kmc3") return core::Backend::kKmc3;
+  if (name == "serial") return core::Backend::kSerial;
+  std::fprintf(stderr, "unknown backend '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+int cmd_count(int argc, char** argv) {
+  CliParser cli("dakc_count count", "count k-mers on the simulated cluster");
+  auto& input = cli.add_string("input", "", "FASTQ/FASTA path");
+  auto& dataset = cli.add_string("dataset", "synthetic22",
+                                 "Table V dataset (when no --input)");
+  auto& scale = cli.add_double("scale", 1.0 / 256, "dataset scale");
+  auto& k = cli.add_int("k", 31, "k-mer length (1..32)");
+  auto& backend = cli.add_string("backend", "dakc",
+                                 "dakc|pakman|pakman*|hysortk|kmc3|serial");
+  auto& nodes = cli.add_int("nodes", 2, "simulated nodes");
+  auto& cores = cli.add_int("cores-per-node", 4, "simulated cores per node");
+  auto& canonical = cli.add_flag("canonical", false, "canonical k-mers");
+  auto& l3 = cli.add_flag("l3", false, "DAKC: enable the L3 layer");
+  auto& hash = cli.add_flag("hash-phase2", false,
+                            "DAKC: hash-table phase 2 (extension)");
+  auto& min_count = cli.add_int("min-count", 1, "drop k-mers below this");
+  auto& out_path = cli.add_string("out", "", "dump output path (empty: none)");
+  auto& binary = cli.add_flag("binary", false, "binary dump format");
+  auto& trace = cli.add_string("trace", "",
+                               "write a Chrome-tracing JSON timeline here");
+  cli.parse(argc, argv);
+
+  std::vector<std::string> reads;
+  if (!input.empty()) {
+    for (auto& rec : io::read_fastx_file(input))
+      reads.push_back(std::move(rec.seq));
+  } else {
+    reads = sim::make_dataset_reads(sim::dataset_by_name(dataset), scale, 1);
+  }
+  std::printf("input: %zu reads\n", reads.size());
+
+  core::CountConfig cfg;
+  cfg.backend = backend_from(backend);
+  cfg.k = static_cast<int>(k);
+  cfg.canonical = canonical;
+  cfg.pes = static_cast<int>(nodes * cores);
+  cfg.pes_per_node = static_cast<int>(cores);
+  cfg.machine.cores_per_node = static_cast<int>(cores);
+  cfg.l3_enabled = l3;
+  cfg.phase2_hash = hash;
+  cfg.trace_path = trace;
+  const core::RunReport report = core::count_kmers(reads, cfg);
+  if (report.oom) {
+    std::printf("OOM on node %d\n", report.oom_node);
+    return 1;
+  }
+
+  std::vector<kmer::KmerCount64> counts = report.counts;
+  if (min_count > 1) {
+    std::erase_if(counts, [&](const kmer::KmerCount64& kc) {
+      return kc.count < static_cast<std::uint64_t>(min_count);
+    });
+  }
+  std::printf("%s: %s k-mers, %s distinct (%s after min-count), %s "
+              "simulated (phase1 %s, phase2 %s)\n",
+              report.backend.c_str(), fmt_count(report.total_kmers).c_str(),
+              fmt_count(report.distinct_kmers).c_str(),
+              fmt_count(counts.size()).c_str(),
+              fmt_seconds(report.makespan).c_str(),
+              fmt_seconds(report.phase1_seconds).c_str(),
+              fmt_seconds(report.phase2_seconds).c_str());
+  if (!out_path.empty()) {
+    io::write_dump_file(out_path, counts, cfg.k, binary);
+    std::printf("wrote %s (%s)\n", out_path.c_str(),
+                binary ? "binary" : "text");
+  }
+  return 0;
+}
+
+int cmd_histo(int argc, char** argv) {
+  CliParser cli("dakc_count histo", "count histogram of a dump");
+  auto& dump = cli.add_string("dump", "", "dump path (text or binary)");
+  auto& rows = cli.add_int("rows", 64, "max rows");
+  cli.parse(argc, argv);
+  int k = 0;
+  const auto counts = io::read_dump_file(dump, &k);
+  CountHistogram h;
+  for (const auto& kc : counts) h.add(kc.count);
+  std::printf("k=%d, %s distinct, %s total\n%s", k,
+              fmt_count(h.distinct()).c_str(), fmt_count(h.total()).c_str(),
+              h.to_histo(static_cast<std::uint64_t>(rows)).c_str());
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  CliParser cli("dakc_count stats", "spectrum fit of a dump");
+  auto& dump = cli.add_string("dump", "", "dump path");
+  cli.parse(argc, argv);
+  int k = 0;
+  const auto counts = io::read_dump_file(dump, &k);
+  CountHistogram h;
+  for (const auto& kc : counts) h.add(kc.count);
+  const analysis::GenomeProfile p = analysis::fit_spectrum(h, k);
+  if (!p.valid) {
+    std::printf("no genomic peak found\n");
+    return 1;
+  }
+  TextTable t({"metric", "value"});
+  t.add_row({"k", std::to_string(k)});
+  t.add_row({"coverage peak", fmt_count(p.coverage_peak)});
+  t.add_row({"error cutoff", fmt_count(p.error_cutoff)});
+  t.add_row({"est. genome size",
+             fmt_count(static_cast<std::uint64_t>(p.genome_size))});
+  t.add_row({"est. error rate", fmt_f(p.error_rate, 5)});
+  t.add_row({"repetitive fraction", fmt_f(p.repetitive_fraction, 4)});
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_compare(int argc, char** argv) {
+  CliParser cli("dakc_count compare", "diff two dumps");
+  auto& dump_a = cli.add_string("dump", "", "first dump");
+  auto& dump_b = cli.add_string("dump2", "", "second dump");
+  cli.parse(argc, argv);
+  int ka = 0, kb = 0;
+  const auto a = io::read_dump_file(dump_a, &ka);
+  const auto b = io::read_dump_file(dump_b, &kb);
+  if (ka != kb) {
+    std::printf("k mismatch: %d vs %d\n", ka, kb);
+    return 1;
+  }
+  const io::DumpDiff d = io::diff_dumps(a, b);
+  std::printf("matching %s | only-A %s | only-B %s | count mismatches %s\n",
+              fmt_count(d.matching).c_str(), fmt_count(d.only_a).c_str(),
+              fmt_count(d.only_b).c_str(),
+              fmt_count(d.count_mismatch).c_str());
+  std::printf(d.identical() ? "dumps are identical\n"
+                            : "dumps differ\n");
+  return d.identical() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "count") return cmd_count(argc - 1, argv + 1);
+  if (cmd == "histo") return cmd_histo(argc - 1, argv + 1);
+  if (cmd == "stats") return cmd_stats(argc - 1, argv + 1);
+  if (cmd == "compare") return cmd_compare(argc - 1, argv + 1);
+  return usage();
+}
