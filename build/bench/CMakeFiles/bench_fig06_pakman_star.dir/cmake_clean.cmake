@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_pakman_star.dir/bench_fig06_pakman_star.cpp.o"
+  "CMakeFiles/bench_fig06_pakman_star.dir/bench_fig06_pakman_star.cpp.o.d"
+  "bench_fig06_pakman_star"
+  "bench_fig06_pakman_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_pakman_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

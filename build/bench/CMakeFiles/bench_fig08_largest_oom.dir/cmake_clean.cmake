@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_largest_oom.dir/bench_fig08_largest_oom.cpp.o"
+  "CMakeFiles/bench_fig08_largest_oom.dir/bench_fig08_largest_oom.cpp.o.d"
+  "bench_fig08_largest_oom"
+  "bench_fig08_largest_oom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_largest_oom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_topology.dir/bench_fig11_topology.cpp.o"
+  "CMakeFiles/bench_fig11_topology.dir/bench_fig11_topology.cpp.o.d"
+  "bench_fig11_topology"
+  "bench_fig11_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

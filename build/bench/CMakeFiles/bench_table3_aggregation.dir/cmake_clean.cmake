@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_aggregation.dir/bench_table3_aggregation.cpp.o"
+  "CMakeFiles/bench_table3_aggregation.dir/bench_table3_aggregation.cpp.o.d"
+  "bench_table3_aggregation"
+  "bench_table3_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_machine.dir/bench_table4_machine.cpp.o"
+  "CMakeFiles/bench_table4_machine.dir/bench_table4_machine.cpp.o.d"
+  "bench_table4_machine"
+  "bench_table4_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/dakc_bench_util.dir/bench_util.cpp.o.d"
+  "libdakc_bench_util.a"
+  "libdakc_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmer_spectrum.dir/kmer_spectrum.cpp.o"
+  "CMakeFiles/kmer_spectrum.dir/kmer_spectrum.cpp.o.d"
+  "kmer_spectrum"
+  "kmer_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmer_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

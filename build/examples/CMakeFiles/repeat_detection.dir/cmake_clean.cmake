@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repeat_detection.dir/repeat_detection.cpp.o"
+  "CMakeFiles/repeat_detection.dir/repeat_detection.cpp.o.d"
+  "repeat_detection"
+  "repeat_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repeat_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

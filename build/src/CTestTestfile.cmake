@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("des")
+subdirs("net")
+subdirs("conveyor")
+subdirs("actor")
+subdirs("kmer")
+subdirs("io")
+subdirs("sort")
+subdirs("sim")
+subdirs("cachesim")
+subdirs("model")
+subdirs("baseline")
+subdirs("core")
+subdirs("analysis")
+subdirs("dbg")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_actor.dir/actor.cpp.o"
+  "CMakeFiles/dakc_actor.dir/actor.cpp.o.d"
+  "libdakc_actor.a"
+  "libdakc_actor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_actor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_analysis.dir/spectrum.cpp.o"
+  "CMakeFiles/dakc_analysis.dir/spectrum.cpp.o.d"
+  "libdakc_analysis.a"
+  "libdakc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

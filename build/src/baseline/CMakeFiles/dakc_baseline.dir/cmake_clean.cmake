@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_baseline.dir/bsp.cpp.o"
+  "CMakeFiles/dakc_baseline.dir/bsp.cpp.o.d"
+  "CMakeFiles/dakc_baseline.dir/kmc3.cpp.o"
+  "CMakeFiles/dakc_baseline.dir/kmc3.cpp.o.d"
+  "CMakeFiles/dakc_baseline.dir/serial.cpp.o"
+  "CMakeFiles/dakc_baseline.dir/serial.cpp.o.d"
+  "libdakc_baseline.a"
+  "libdakc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

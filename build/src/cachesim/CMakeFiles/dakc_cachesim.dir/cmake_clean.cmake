@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_cachesim.dir/cachesim.cpp.o"
+  "CMakeFiles/dakc_cachesim.dir/cachesim.cpp.o.d"
+  "libdakc_cachesim.a"
+  "libdakc_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_conveyor.dir/conveyor.cpp.o"
+  "CMakeFiles/dakc_conveyor.dir/conveyor.cpp.o.d"
+  "libdakc_conveyor.a"
+  "libdakc_conveyor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_conveyor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_core.dir/dakc.cpp.o"
+  "CMakeFiles/dakc_core.dir/dakc.cpp.o.d"
+  "CMakeFiles/dakc_core.dir/driver.cpp.o"
+  "CMakeFiles/dakc_core.dir/driver.cpp.o.d"
+  "CMakeFiles/dakc_core.dir/large_k.cpp.o"
+  "CMakeFiles/dakc_core.dir/large_k.cpp.o.d"
+  "libdakc_core.a"
+  "libdakc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

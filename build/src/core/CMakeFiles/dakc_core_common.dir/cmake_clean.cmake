@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_core_common.dir/common.cpp.o"
+  "CMakeFiles/dakc_core_common.dir/common.cpp.o.d"
+  "libdakc_core_common.a"
+  "libdakc_core_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_core_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

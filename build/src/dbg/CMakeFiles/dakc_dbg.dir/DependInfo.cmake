@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbg/distributed.cpp" "src/dbg/CMakeFiles/dakc_dbg.dir/distributed.cpp.o" "gcc" "src/dbg/CMakeFiles/dakc_dbg.dir/distributed.cpp.o.d"
+  "/root/repo/src/dbg/graph.cpp" "src/dbg/CMakeFiles/dakc_dbg.dir/graph.cpp.o" "gcc" "src/dbg/CMakeFiles/dakc_dbg.dir/graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dakc_core_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/actor/CMakeFiles/dakc_actor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dakc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/conveyor/CMakeFiles/dakc_conveyor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dakc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/dakc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/dakc_sort.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_dbg.dir/distributed.cpp.o"
+  "CMakeFiles/dakc_dbg.dir/distributed.cpp.o.d"
+  "CMakeFiles/dakc_dbg.dir/graph.cpp.o"
+  "CMakeFiles/dakc_dbg.dir/graph.cpp.o.d"
+  "libdakc_dbg.a"
+  "libdakc_dbg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_dbg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_des.dir/engine.cpp.o"
+  "CMakeFiles/dakc_des.dir/engine.cpp.o.d"
+  "libdakc_des.a"
+  "libdakc_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_io.dir/dump.cpp.o"
+  "CMakeFiles/dakc_io.dir/dump.cpp.o.d"
+  "CMakeFiles/dakc_io.dir/fastx.cpp.o"
+  "CMakeFiles/dakc_io.dir/fastx.cpp.o.d"
+  "libdakc_io.a"
+  "libdakc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

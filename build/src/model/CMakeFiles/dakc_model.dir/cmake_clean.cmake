@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_model.dir/analytical.cpp.o"
+  "CMakeFiles/dakc_model.dir/analytical.cpp.o.d"
+  "libdakc_model.a"
+  "libdakc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

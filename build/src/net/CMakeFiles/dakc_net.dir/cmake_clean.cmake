@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_net.dir/fabric.cpp.o"
+  "CMakeFiles/dakc_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/dakc_net.dir/trace.cpp.o"
+  "CMakeFiles/dakc_net.dir/trace.cpp.o.d"
+  "libdakc_net.a"
+  "libdakc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_sim.dir/datasets.cpp.o"
+  "CMakeFiles/dakc_sim.dir/datasets.cpp.o.d"
+  "CMakeFiles/dakc_sim.dir/genome.cpp.o"
+  "CMakeFiles/dakc_sim.dir/genome.cpp.o.d"
+  "CMakeFiles/dakc_sim.dir/reads.cpp.o"
+  "CMakeFiles/dakc_sim.dir/reads.cpp.o.d"
+  "libdakc_sim.a"
+  "libdakc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

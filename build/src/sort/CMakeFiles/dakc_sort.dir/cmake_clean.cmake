@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_sort.dir/parallel_radix.cpp.o"
+  "CMakeFiles/dakc_sort.dir/parallel_radix.cpp.o.d"
+  "CMakeFiles/dakc_sort.dir/radix.cpp.o"
+  "CMakeFiles/dakc_sort.dir/radix.cpp.o.d"
+  "libdakc_sort.a"
+  "libdakc_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

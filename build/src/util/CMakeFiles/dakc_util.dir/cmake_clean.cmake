@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_util.dir/cli.cpp.o"
+  "CMakeFiles/dakc_util.dir/cli.cpp.o.d"
+  "CMakeFiles/dakc_util.dir/histogram.cpp.o"
+  "CMakeFiles/dakc_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/dakc_util.dir/log.cpp.o"
+  "CMakeFiles/dakc_util.dir/log.cpp.o.d"
+  "CMakeFiles/dakc_util.dir/stats.cpp.o"
+  "CMakeFiles/dakc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dakc_util.dir/table.cpp.o"
+  "CMakeFiles/dakc_util.dir/table.cpp.o.d"
+  "libdakc_util.a"
+  "libdakc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

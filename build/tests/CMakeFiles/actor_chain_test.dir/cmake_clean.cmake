@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_chain_test.dir/actor_chain_test.cpp.o"
+  "CMakeFiles/actor_chain_test.dir/actor_chain_test.cpp.o.d"
+  "actor_chain_test"
+  "actor_chain_test.pdb"
+  "actor_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

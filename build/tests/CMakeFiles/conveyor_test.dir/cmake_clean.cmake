@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conveyor_test.dir/conveyor_test.cpp.o"
+  "CMakeFiles/conveyor_test.dir/conveyor_test.cpp.o.d"
+  "conveyor_test"
+  "conveyor_test.pdb"
+  "conveyor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conveyor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmer_test.dir/kmer_test.cpp.o"
+  "CMakeFiles/kmer_test.dir/kmer_test.cpp.o.d"
+  "kmer_test"
+  "kmer_test.pdb"
+  "kmer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

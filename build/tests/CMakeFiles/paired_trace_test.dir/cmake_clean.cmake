@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paired_trace_test.dir/paired_trace_test.cpp.o"
+  "CMakeFiles/paired_trace_test.dir/paired_trace_test.cpp.o.d"
+  "paired_trace_test"
+  "paired_trace_test.pdb"
+  "paired_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paired_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/des_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/conveyor_test[1]_include.cmake")
+include("/root/repo/build/tests/actor_test[1]_include.cmake")
+include("/root/repo/build/tests/kmer_test[1]_include.cmake")
+include("/root/repo/build/tests/sort_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/cachesim_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/counting_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/dbg_test[1]_include.cmake")
+include("/root/repo/build/tests/dump_test[1]_include.cmake")
+include("/root/repo/build/tests/paired_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/distributed_dbg_test[1]_include.cmake")
+include("/root/repo/build/tests/actor_chain_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dakc_count.dir/dakc_count.cpp.o"
+  "CMakeFiles/dakc_count.dir/dakc_count.cpp.o.d"
+  "dakc_count"
+  "dakc_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dakc_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
