@@ -9,6 +9,7 @@
 #include "conveyor/conveyor.hpp"
 #include "kmer/extract.hpp"
 #include "net/fabric.hpp"
+#include "reference_kernels.hpp"
 #include "sim/genome.hpp"
 #include "sort/accumulate.hpp"
 #include "sort/parallel_radix.hpp"
@@ -45,6 +46,20 @@ void BM_EncodeBases(benchmark::State& state) {
 }
 BENCHMARK(BM_EncodeBases);
 
+void BM_RefEncodeBases(benchmark::State& state) {
+  // Pre-overhaul switch-based encoder (bench/reference_kernels.hpp), for
+  // direct comparison against BM_EncodeBases in the same binary.
+  const std::string g = bench_genome(1 << 16);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (char c : g) acc += refk::encode_base(c);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 16));
+}
+BENCHMARK(BM_RefEncodeBases);
+
 void BM_ExtractKmers(benchmark::State& state) {
   const std::string g = bench_genome(1 << 16);
   const int k = static_cast<int>(state.range(0));
@@ -57,6 +72,20 @@ void BM_ExtractKmers(benchmark::State& state) {
                           ((1 << 16) - k + 1));
 }
 BENCHMARK(BM_ExtractKmers)->Arg(15)->Arg(31);
+
+void BM_RefExtractKmers(benchmark::State& state) {
+  // Pre-overhaul branch-per-base extraction loop.
+  const std::string g = bench_genome(1 << 16);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    refk::for_each_kmer(g, k, [&](kmer::Kmer64 km) { acc ^= km; });
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          ((1 << 16) - k + 1));
+}
+BENCHMARK(BM_RefExtractKmers)->Arg(15)->Arg(31);
 
 void BM_OwnerHash(benchmark::State& state) {
   auto keys = bench_keys(1 << 14);
@@ -81,6 +110,19 @@ void BM_Minimizer(benchmark::State& state) {
                           (1 << 12));
 }
 BENCHMARK(BM_Minimizer);
+
+void BM_RefMinimizer(benchmark::State& state) {
+  // Pre-overhaul variable-shift minimizer scan.
+  auto keys = bench_keys(1 << 12);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (auto km : keys) acc ^= refk::minimizer(km, 31, 7);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 12));
+}
+BENCHMARK(BM_RefMinimizer);
 
 void BM_HybridRadixSort(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -185,6 +227,35 @@ void BM_ConveyorPushThroughput(benchmark::State& state) {
                           pes * per_pe);
 }
 BENCHMARK(BM_ConveyorPushThroughput)->Arg(4)->Arg(16);
+
+void BM_RefConveyorPushThroughput(benchmark::State& state) {
+  // Same traffic through the pre-overhaul conveyor (ordered-map lanes, no
+  // buffer pooling, copying pull) for a pooled-vs-unpooled comparison.
+  const int pes = static_cast<int>(state.range(0));
+  const int per_pe = 20000;
+  for (auto _ : state) {
+    net::FabricConfig fcfg;
+    fcfg.pes = pes;
+    fcfg.pes_per_node = 4;
+    fcfg.zero_cost = true;
+    net::Fabric fabric(fcfg);
+    fabric.run([&](net::Pe& pe) {
+      conveyor::ConveyorConfig ccfg;
+      refk::RefConveyor conv(pe, ccfg);
+      Xoshiro256 rng(pe.rank());
+      for (int i = 0; i < per_pe; ++i)
+        conv.push(static_cast<int>(rng.below(pes)), rng());
+      conv.finish();
+      conveyor::Packet pkt;
+      while (conv.pull(&pkt)) {
+      }
+    });
+    benchmark::DoNotOptimize(fabric.makespan());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          pes * per_pe);
+}
+BENCHMARK(BM_RefConveyorPushThroughput)->Arg(4)->Arg(16);
 
 }  // namespace
 

@@ -1,0 +1,239 @@
+// Frozen pre-optimization reference kernels for the perf harness.
+//
+// Each entity here is a faithful copy of the implementation the host
+// hot-path overhaul replaced: the switch-based base encoder, the
+// branch-per-base k-mer extraction loop, the variable-shift minimizer
+// scan, and the ordered-map conveyor without buffer pooling. They exist so
+// `bench_kernels` and `tools/perf_baseline` can measure NEW vs REF on the
+// same machine in the same binary — the speedup numbers in
+// BENCH_kernels.json are therefore apples-to-apples, not cross-build
+// noise. Keep these frozen: they are the measurement baseline, not live
+// code.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "conveyor/conveyor.hpp"
+#include "kmer/encoding.hpp"
+#include "net/fabric.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dakc::refk {
+
+/// The original switch-based encoder (compiles to a branch tree / small
+/// jump table rather than one indexed load).
+constexpr std::uint8_t encode_base(char c) {
+  switch (c) {
+    case 'A': case 'a': return 0;
+    case 'C': case 'c': return 1;
+    case 'G': case 'g': return 2;
+    case 'T': case 't': return 3;
+    default: return kmer::kInvalidBase;
+  }
+}
+
+/// The original extraction loop: one branch per base on validity, one on
+/// window fill, mask applied inside kmer_append on every base.
+template <typename Word = kmer::Kmer64, typename Fn>
+std::size_t for_each_kmer(std::string_view read, int k, Fn&& fn) {
+  DAKC_CHECK(k >= 1 && k <= kmer::KmerTraits<Word>::kMaxK);
+  if (static_cast<int>(read.size()) < k) return 0;
+  std::size_t produced = 0;
+  Word kmer = 0;
+  int filled = 0;
+  for (char c : read) {
+    const std::uint8_t code = encode_base(c);
+    if (code == kmer::kInvalidBase) {
+      filled = 0;
+      kmer = 0;
+      continue;
+    }
+    kmer = kmer::kmer_append(kmer, code, k);
+    if (filled < k) ++filled;
+    if (filled == k) {
+      fn(kmer);
+      ++produced;
+    }
+  }
+  return produced;
+}
+
+/// The original minimizer: every window re-extracted with a
+/// position-dependent variable shift.
+template <typename Word>
+std::uint64_t minimizer(Word kmer, int k, int m) {
+  DAKC_ASSERT(m >= 1 && m <= k && m <= 32);
+  const std::uint64_t mmask = (m == 32) ? ~0ULL : ((1ULL << (2 * m)) - 1);
+  std::uint64_t best = ~0ULL;
+  for (int i = 0; i + m <= k; ++i) {
+    const auto mmer = static_cast<std::uint64_t>(
+                          kmer >> (2 * (k - m - i))) &
+                      mmask;
+    const std::uint64_t ranked = mix64(mmer);
+    if (ranked < best) best = ranked;
+  }
+  return best;
+}
+
+/// The original conveyor: ordered-map lane lookup on every push, a fresh
+/// heap allocation per lane flush, per-packet allocation on delivery, and
+/// a copying pull(). Reuses the live Router/config/Packet types so the
+/// routing behaviour (and hence traffic pattern) is identical to the
+/// optimized conveyor — only the host-side machinery differs.
+class RefConveyor {
+ public:
+  RefConveyor(net::Pe& pe, conveyor::ConveyorConfig config)
+      : pe_(pe),
+        config_(config),
+        router_(config.protocol, pe.size()),
+        header_wire_bytes_(config.protocol == conveyor::Protocol::k1D ? 0.0
+                                                                      : 4.0),
+        lane_capacity_words_(config.lane_bytes / 8) {
+    DAKC_CHECK_MSG(lane_capacity_words_ >= 16,
+                   "lane_bytes too small to hold packets");
+  }
+  ~RefConveyor() {
+    pe_.account_free(static_cast<double>(lanes_.size() * config_.lane_bytes));
+  }
+
+  RefConveyor(const RefConveyor&) = delete;
+  RefConveyor& operator=(const RefConveyor&) = delete;
+
+  void push(int dst, const std::uint64_t* words, std::size_t n,
+            std::uint8_t kind = 0) {
+    DAKC_CHECK_MSG(!finished_, "push() after finish() completed");
+    DAKC_CHECK(n >= 1 && n < lane_capacity_words_);
+    ++injected_;
+    pe_.charge_compute_ops(config_.push_ops);
+    pe_.charge_mem_bytes(static_cast<double>(n) * 8.0);
+    if (dst == pe_.rank()) {
+      deliver_local(kind, words, n);
+      return;
+    }
+    route(dst, words, n, kind);
+  }
+  void push(int dst, std::uint64_t word, std::uint8_t kind = 0) {
+    push(dst, &word, 1, kind);
+  }
+
+  void progress() {
+    net::Message msg;
+    while (pe_.try_recv(&msg)) unpack_message(msg);
+  }
+
+  bool pull(conveyor::Packet* out) {
+    if (ready_.empty()) progress();
+    if (ready_.empty()) return false;
+    *out = std::move(ready_.front());
+    ready_.pop_front();
+    return true;
+  }
+
+  void finish(const std::function<void()>& on_progress = {}) {
+    DAKC_CHECK_MSG(!finished_, "finish() called twice");
+    flush_all();
+    pe_.barrier();
+    while (true) {
+      progress();
+      if (on_progress) on_progress();
+      flush_all();
+      const auto [global_injected, global_delivered] =
+          pe_.allreduce_sum2(injected_, delivered_);
+      if (global_injected == global_delivered) break;
+      des::SimTime when;
+      if (pe_.next_arrival(&when) && when > pe_.now()) pe_.idle_until(when);
+    }
+    finished_ = true;
+  }
+
+ private:
+  struct Lane {
+    std::vector<std::uint64_t> words;
+    double wire_bytes = 0.0;
+  };
+
+  static constexpr std::uint64_t make_descriptor(int dst, std::size_t len,
+                                                 std::uint8_t kind,
+                                                 std::uint8_t hops) {
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) |
+           (static_cast<std::uint64_t>(len) << 32) |
+           (static_cast<std::uint64_t>(kind) << 48) |
+           (static_cast<std::uint64_t>(hops) << 56);
+  }
+
+  void route(int dst, const std::uint64_t* words, std::size_t n,
+             std::uint8_t kind, std::uint8_t hops = 0) {
+    const int next = router_.next_hop(pe_.rank(), dst);
+    auto [it, inserted] = lanes_.try_emplace(next);
+    Lane& lane = it->second;
+    if (inserted)
+      pe_.account_alloc(static_cast<double>(config_.lane_bytes));
+    lane.words.push_back(
+        make_descriptor(dst, n, kind, static_cast<std::uint8_t>(hops + 1)));
+    lane.words.insert(lane.words.end(), words, words + n);
+    lane.wire_bytes += header_wire_bytes_ + static_cast<double>(n) * 8.0;
+    if (lane.words.size() + 1 >= lane_capacity_words_) flush_lane(next, lane);
+  }
+
+  void flush_lane(int next_hop, Lane& lane) {
+    if (lane.words.empty()) return;
+    const double wire = lane.wire_bytes;
+    std::vector<std::uint64_t> out;  // fresh allocation every flush
+    out.swap(lane.words);
+    lane.wire_bytes = 0.0;
+    pe_.put(next_hop, std::move(out), net::Pe::kAppTag, wire);
+  }
+
+  void flush_all() {
+    for (auto& [next, lane] : lanes_) flush_lane(next, lane);
+  }
+
+  void deliver_local(std::uint8_t kind, const std::uint64_t* words,
+                     std::size_t n) {
+    conveyor::Packet pkt;
+    pkt.kind = kind;
+    pkt.words.assign(words, words + n);
+    ready_.push_back(std::move(pkt));
+    ++delivered_;
+  }
+
+  void unpack_message(const net::Message& msg) {
+    const auto& w = msg.payload;
+    std::size_t i = 0;
+    while (i < w.size()) {
+      const std::uint64_t desc = w[i++];
+      const auto n = static_cast<std::size_t>((desc >> 32) & 0xFFFFu);
+      DAKC_CHECK_MSG(i + n <= w.size(), "corrupt conveyor buffer");
+      const int dst = static_cast<int>(desc & 0xFFFFFFFFu);
+      const auto kind = static_cast<std::uint8_t>((desc >> 48) & 0xFFu);
+      const auto hops = static_cast<std::uint8_t>((desc >> 56) & 0xFFu);
+      if (dst == pe_.rank()) {
+        deliver_local(kind, &w[i], n);
+      } else {
+        pe_.charge_compute_ops(config_.push_ops);
+        pe_.charge_mem_bytes(static_cast<double>(n) * 8.0);
+        route(dst, &w[i], n, kind, hops);
+      }
+      i += n;
+    }
+  }
+
+  net::Pe& pe_;
+  conveyor::ConveyorConfig config_;
+  conveyor::Router router_;
+  double header_wire_bytes_;
+  std::size_t lane_capacity_words_;
+  std::map<int, Lane> lanes_;
+  std::deque<conveyor::Packet> ready_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t delivered_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace dakc::refk

@@ -27,6 +27,9 @@ Actor::Actor(net::Pe& pe, ActorConfig config,
              conveyor::ConveyorConfig conv_config)
     : pe_(pe), config_(config), conveyor_(pe, conv_config) {
   DAKC_CHECK(config_.l1_packets >= 1);
+  // Size the staging FIFO for its steady state (descriptor + a couple of
+  // payload words per packet) so the first few drains don't regrow it.
+  l1_.reserve(config_.l1_packets * 4);
   pe_.account_alloc(static_cast<double>(config_.l1_bytes));
 }
 

@@ -10,6 +10,8 @@ CacheSim::CacheSim(CacheConfig config) : config_(config) {
   DAKC_CHECK(config_.ways >= 1);
   sets_ = config_.size_bytes / (config_.line_bytes * config_.ways);
   DAKC_CHECK_MSG(sets_ >= 1, "cache smaller than one set");
+  line_shift_ = 0;
+  while ((1u << line_shift_) < config_.line_bytes) ++line_shift_;
   tags_.assign(sets_ * config_.ways, 0);
   last_use_.assign(sets_ * config_.ways, 0);
 }
@@ -23,9 +25,22 @@ std::uint64_t CacheSim::alloc_region(std::uint64_t bytes) {
 }
 
 void CacheSim::touch_line(std::uint64_t line_addr) {
+  // Re-touch filter: sub-line replays (8-byte items in 64-byte lines) hit
+  // the same line repeatedly, so short-circuit the set scan when the last
+  // touched slot still holds this line. Stats-wise this is exactly the
+  // slow path's hit branch (access counted, LRU stamp refreshed).
+  if (line_addr == last_line_ && tags_[last_index_] == line_addr) {
+    ++stats_.accesses;
+    last_use_[last_index_] = ++tick_;
+    return;
+  }
+  touch_line_slow(line_addr);
+}
+
+void CacheSim::touch_line_slow(std::uint64_t line_addr) {
   ++stats_.accesses;
   ++tick_;
-  const std::uint64_t set = (line_addr / config_.line_bytes) % sets_;
+  const std::uint64_t set = (line_addr >> line_shift_) % sets_;
   std::uint64_t* tags = &tags_[set * config_.ways];
   std::uint64_t* uses = &last_use_[set * config_.ways];
   std::uint32_t lru_way = 0;
@@ -33,6 +48,8 @@ void CacheSim::touch_line(std::uint64_t line_addr) {
   for (std::uint32_t w = 0; w < config_.ways; ++w) {
     if (tags[w] == line_addr) {
       uses[w] = tick_;
+      last_line_ = line_addr;
+      last_index_ = set * config_.ways + w;
       return;  // hit
     }
     if (uses[w] < lru_tick) {
@@ -44,14 +61,19 @@ void CacheSim::touch_line(std::uint64_t line_addr) {
   if (tags[lru_way] != 0) ++stats_.evictions;
   tags[lru_way] = line_addr;
   uses[lru_way] = tick_;
+  last_line_ = line_addr;
+  last_index_ = set * config_.ways + lru_way;
 }
 
 void CacheSim::access(std::uint64_t addr, std::uint64_t bytes) {
   DAKC_CHECK(bytes >= 1);
-  const std::uint64_t line = config_.line_bytes;
-  const std::uint64_t first = addr / line;
-  const std::uint64_t last = (addr + bytes - 1) / line;
-  for (std::uint64_t l = first; l <= last; ++l) touch_line(l * line);
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + bytes - 1) >> line_shift_;
+  if (first == last) {  // the common case: an item inside one line
+    touch_line(first << line_shift_);
+    return;
+  }
+  for (std::uint64_t l = first; l <= last; ++l) touch_line(l << line_shift_);
 }
 
 void CacheSim::stream(std::uint64_t addr, std::uint64_t bytes) {

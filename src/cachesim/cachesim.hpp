@@ -74,9 +74,17 @@ class CacheSim {
 
  private:
   void touch_line(std::uint64_t line_addr);
+  void touch_line_slow(std::uint64_t line_addr);
 
   CacheConfig config_;
   std::uint64_t sets_;
+  std::uint32_t line_shift_;  ///< log2(line_bytes); lines are addr >> shift
+  /// Most recently touched line and its slot in tags_: sequential replays
+  /// re-touch the same line for every item inside it, so this one-entry
+  /// filter answers most touches without the set scan. The tag re-check
+  /// guards against the line having been evicted in between.
+  std::uint64_t last_line_ = ~0ULL;
+  std::size_t last_index_ = 0;
   // tags_[set*ways + way]; 0 = empty (addresses start above 0).
   std::vector<std::uint64_t> tags_;
   std::vector<std::uint64_t> last_use_;

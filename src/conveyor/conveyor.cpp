@@ -140,6 +140,7 @@ Conveyor::Conveyor(net::Pe& pe, ConveyorConfig config)
       lane_capacity_words_(config.lane_bytes / 8) {
   DAKC_CHECK_MSG(lane_capacity_words_ >= 16,
                  "lane_bytes too small to hold packets");
+  lanes_.resize(static_cast<std::size_t>(pe.size()));
 }
 
 Conveyor::~Conveyor() {
@@ -147,7 +148,34 @@ Conveyor::~Conveyor() {
 }
 
 std::size_t Conveyor::lane_buffer_bytes() const {
-  return lanes_.size() * config_.lane_bytes;
+  return active_lanes_.size() * config_.lane_bytes;
+}
+
+std::uint32_t Conveyor::acquire_slab() {
+  if (free_slab_ != kNoSlab) {
+    const std::uint32_t id = free_slab_;
+    Slab& s = slabs_[id];
+    free_slab_ = s.next_free;
+    s.next_free = kNoSlab;
+    return id;
+  }
+  const auto id = static_cast<std::uint32_t>(slabs_.size());
+  slabs_.emplace_back();
+  return id;
+}
+
+void Conveyor::release_slab(std::uint32_t id) {
+  Slab& s = slabs_[id];
+  // Donate lane-capacity vectors to the flush pool (bounded by one spare
+  // per potential next-hop plus in-flight slack); keep smaller ones on the
+  // slab for the next self-delivery.
+  if (s.words.capacity() * 8 >= config_.lane_bytes &&
+      lane_pool_.size() < lanes_.size() + 8) {
+    s.words.clear();
+    lane_pool_.push_back(std::move(s.words));
+  }
+  s.next_free = free_slab_;
+  free_slab_ = id;
 }
 
 void Conveyor::push(int dst, const std::uint64_t* words, std::size_t n,
@@ -167,9 +195,15 @@ void Conveyor::push(int dst, const std::uint64_t* words, std::size_t n,
 void Conveyor::route(int dst, const std::uint64_t* words, std::size_t n,
                      std::uint8_t kind, std::uint8_t hops) {
   const int next = router_.next_hop(pe_.rank(), dst);
-  auto [it, inserted] = lanes_.try_emplace(next);
-  Lane& lane = it->second;
-  if (inserted) {
+  Lane& lane = lanes_[static_cast<std::size_t>(next)];
+  if (!lane.active) {
+    lane.active = true;
+    // Keep the activation list sorted so flush_all walks lanes in
+    // ascending next-hop order (the deterministic order the old ordered
+    // map gave); activations are rare (bounded by Router::max_lanes).
+    active_lanes_.insert(
+        std::lower_bound(active_lanes_.begin(), active_lanes_.end(), next),
+        next);
     // Account the lane at full capacity (the real library allocates it
     // up front: Table III / Fig. 2) but let the host vector grow lazily
     // so high-PE simulations stay affordable.
@@ -179,42 +213,64 @@ void Conveyor::route(int dst, const std::uint64_t* words, std::size_t n,
                                        static_cast<std::uint8_t>(hops + 1)));
   lane.words.insert(lane.words.end(), words, words + n);
   lane.wire_bytes += header_wire_bytes_ + static_cast<double>(n) * 8.0;
-  if (lane.words.size() + 1 >= lane_capacity_words_) flush_lane(next, lane);
+  if (lane.words.size() + 1 >= lane_capacity_words_) flush_lane(lane, next);
 }
 
-void Conveyor::flush_lane(int next_hop, Lane& lane) {
+void Conveyor::flush_lane(Lane& lane, int next_hop) {
   if (lane.words.empty()) return;
   const double wire = lane.wire_bytes;
+  // Swap in a pooled buffer: the lane keeps its grown capacity on the
+  // recycled vector instead of re-growing from zero after every flush.
   std::vector<std::uint64_t> out;
+  if (!lane_pool_.empty()) {
+    out = std::move(lane_pool_.back());
+    lane_pool_.pop_back();
+  }
   out.swap(lane.words);
   lane.wire_bytes = 0.0;
   pe_.put(next_hop, std::move(out), net::Pe::kAppTag, wire);
 }
 
 void Conveyor::flush_all() {
-  for (auto& [next, lane] : lanes_) flush_lane(next, lane);
+  for (int next : active_lanes_)
+    flush_lane(lanes_[static_cast<std::size_t>(next)], next);
 }
 
 void Conveyor::deliver_local(std::uint8_t kind, const std::uint64_t* words,
                              std::size_t n, std::uint8_t hops) {
-  Packet pkt;
-  pkt.kind = kind;
-  pkt.words.assign(words, words + n);
-  ready_.push_back(std::move(pkt));
+  // Self-delivery: copy into a single-packet slab (its vector keeps its
+  // capacity across free-list reuse, so steady-state self traffic does
+  // not allocate).
+  const std::uint32_t id = acquire_slab();
+  Slab& slab = slabs_[id];
+  slab.words.assign(words, words + n);
+  slab.live = 1;
+  ready_.push_back({id, 0, static_cast<std::uint32_t>(n), kind});
   ++delivered_;
   ++hop_hist_[std::min<std::uint8_t>(hops, 3)];
 }
 
-void Conveyor::unpack_message(const net::Message& msg) {
-  const auto& w = msg.payload;
+void Conveyor::unpack_message(net::Message& msg) {
+  // Move the payload into a slab and deliver local packets as views into
+  // it — the only per-word copy on the delivery path happens in pull(),
+  // straight into the caller's buffer.
+  const std::uint32_t id = acquire_slab();
+  Slab& slab = slabs_[id];
+  slab.words = std::move(msg.payload);
+  const auto& w = slab.words;
   std::size_t i = 0;
+  std::uint32_t local = 0;
   while (i < w.size()) {
     const std::uint64_t desc = w[i++];
     const std::size_t n = desc_len(desc);
     DAKC_CHECK_MSG(i + n <= w.size(), "corrupt conveyor buffer");
     const int dst = desc_dst(desc);
     if (dst == pe_.rank()) {
-      deliver_local(desc_kind(desc), &w[i], n, desc_hops(desc));
+      ready_.push_back({id, static_cast<std::uint32_t>(i),
+                        static_cast<std::uint32_t>(n), desc_kind(desc)});
+      ++local;
+      ++delivered_;
+      ++hop_hist_[std::min<std::uint8_t>(desc_hops(desc), 3)];
     } else {
       ++relayed_;
       pe_.charge_compute_ops(config_.push_ops);
@@ -223,6 +279,8 @@ void Conveyor::unpack_message(const net::Message& msg) {
     }
     i += n;
   }
+  slab.live = local;
+  if (local == 0) release_slab(id);
 }
 
 void Conveyor::progress() {
@@ -233,8 +291,13 @@ void Conveyor::progress() {
 bool Conveyor::pull(Packet* out) {
   if (ready_.empty()) progress();
   if (ready_.empty()) return false;
-  *out = std::move(ready_.front());
+  const ReadyPacket rp = ready_.front();
   ready_.pop_front();
+  Slab& slab = slabs_[rp.slab];
+  out->kind = rp.kind;
+  out->words.assign(slab.words.data() + rp.offset,
+                    slab.words.data() + rp.offset + rp.len);
+  if (--slab.live == 0) release_slab(rp.slab);
   return true;
 }
 

@@ -44,7 +44,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "net/fabric.hpp"
@@ -119,6 +118,9 @@ class Conveyor {
   void progress();
 
   /// Pop one delivered packet; false when none are available right now.
+  /// The packet's words are copied out of the arrival slab into *out,
+  /// reusing out->words' existing capacity — a pull loop recycling one
+  /// Packet runs allocation-free in steady state.
   bool pull(Packet* out);
   /// True if delivered packets are queued locally (without polling the
   /// fabric). Quiescence callbacks use this to keep dispatching until the
@@ -139,7 +141,7 @@ class Conveyor {
   /// Bytes of send-lane buffer memory this PE has allocated (Fig. 2).
   std::size_t lane_buffer_bytes() const;
   /// Number of allocated lanes.
-  std::size_t lane_count() const { return lanes_.size(); }
+  std::size_t lane_count() const { return active_lanes_.size(); }
   /// Packets this PE injected (as origin).
   std::uint64_t injected() const { return injected_; }
   /// Packets delivered to this PE (as final destination).
@@ -156,23 +158,59 @@ class Conveyor {
   struct Lane {
     std::vector<std::uint64_t> words;
     double wire_bytes = 0.0;
+    bool active = false;  // memory accounted, listed in active_lanes_
   };
+
+  /// Storage backing delivered-but-not-yet-pulled packets. An arrived
+  /// message's payload is *moved* into a slab and its local packets are
+  /// delivered as {slab, offset, len} views — no per-packet copy until
+  /// pull() hands the words to the caller. Self-deliveries use a
+  /// single-packet slab. `live` counts undelivered views; a slab whose
+  /// last view is pulled returns to the free list (vector capacity
+  /// retained for reuse).
+  struct Slab {
+    std::vector<std::uint64_t> words;
+    std::uint32_t live = 0;
+    std::uint32_t next_free = kNoSlab;
+  };
+  struct ReadyPacket {
+    std::uint32_t slab;
+    std::uint32_t offset;
+    std::uint32_t len;
+    std::uint8_t kind;
+  };
+  static constexpr std::uint32_t kNoSlab = ~0u;
 
   void route(int dst, const std::uint64_t* words, std::size_t n,
              std::uint8_t kind, std::uint8_t hops);
-  void flush_lane(int next_hop, Lane& lane);
+  void flush_lane(Lane& lane, int next_hop);
   void flush_all();
   void deliver_local(std::uint8_t kind, const std::uint64_t* words,
                      std::size_t n, std::uint8_t hops);
-  void unpack_message(const net::Message& msg);
+  void unpack_message(net::Message& msg);
+  /// Pop a slab off the free list (or grow slabs_); the slab's words
+  /// vector keeps whatever capacity its last use grew.
+  std::uint32_t acquire_slab();
+  void release_slab(std::uint32_t id);
 
   net::Pe& pe_;
   ConveyorConfig config_;
   Router router_;
   double header_wire_bytes_;  // 4.0 for routed protocols, 0.0 for 1D
   std::size_t lane_capacity_words_;
-  std::map<int, Lane> lanes_;
-  std::deque<Packet> ready_;
+  /// Dense per-next-hop lane table (O(1) lookup on the push path, vs the
+  /// O(log P) ordered-map lookup it replaces) plus the sorted list of
+  /// activated next-hops, which preserves the deterministic ascending
+  /// flush order the quiescence protocol relies on.
+  std::vector<Lane> lanes_;
+  std::vector<int> active_lanes_;
+  /// Free list of lane-sized buffers: released slabs donate lane-capacity
+  /// vectors here, and flush_lane takes them so a flushed lane regains a
+  /// full-capacity buffer instead of re-growing from empty.
+  std::vector<std::vector<std::uint64_t>> lane_pool_;
+  std::vector<Slab> slabs_;
+  std::uint32_t free_slab_ = kNoSlab;
+  std::deque<ReadyPacket> ready_;
   std::uint64_t injected_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t relayed_ = 0;

@@ -1,6 +1,7 @@
 #include "core/dakc.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "actor/actor.hpp"
 #include "core/hash_counter.hpp"
@@ -107,12 +108,19 @@ class DakcPe {
       maybe_account_hash();
       return;
     }
+    // Bulk-append the packet into T: one resize, then a straight slab
+    // copy (HEAVY {kmer,count} pairs share KmerCount64's exact layout)
+    // instead of per-element push_backs with capacity checks.
+    const std::size_t old_size = t_.size();
     if (kind == kPacketHeavy) {
       DAKC_ASSERT(n % 2 == 0);
-      for (std::size_t i = 0; i + 1 < n; i += 2)
-        t_.push_back({w[i], w[i + 1]});
+      t_.resize(old_size + n / 2);
+      static_assert(sizeof(kmer::KmerCount64) == 2 * sizeof(std::uint64_t));
+      if (n > 0) std::memcpy(t_.data() + old_size, w, n * sizeof(std::uint64_t));
     } else {
-      for (std::size_t i = 0; i < n; ++i) t_.push_back({w[i], 1});
+      t_.resize(old_size + n);
+      kmer::KmerCount64* out = t_.data() + old_size;
+      for (std::size_t i = 0; i < n; ++i) out[i] = {w[i], 1};
     }
     pe_.charge_mem_bytes(static_cast<double>(n) * 16.0);
     maybe_account_t();
@@ -184,9 +192,18 @@ class DakcPe {
       h.push_back(count);
       if (h.size() >= config_.c2) flush_l2h(p);
     } else {
+      // Fill whole C2 slabs at a time: nbuf.size() < c2 holds on entry
+      // (flush_l2n clears at exactly c2), so each round appends one
+      // contiguous run and flushes on the same boundaries the
+      // element-wise loop did — identical packets, fewer capacity checks.
       auto& nbuf = l2n_[static_cast<std::size_t>(p)];
-      for (std::uint64_t c = 0; c < count; ++c) {
-        nbuf.push_back(km);
+      std::uint64_t remaining = count;
+      while (remaining > 0) {
+        const auto space =
+            static_cast<std::uint64_t>(config_.c2 - nbuf.size());
+        const std::uint64_t take = std::min(space, remaining);
+        nbuf.insert(nbuf.end(), static_cast<std::size_t>(take), km);
+        remaining -= take;
         if (nbuf.size() >= config_.c2) flush_l2n(p);
       }
     }

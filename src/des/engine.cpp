@@ -29,7 +29,6 @@ struct Engine::Fiber {
   std::unique_ptr<char[]> stack;
   std::size_t stack_size;
   std::function<void(Context&)> body;
-  SimTime vtime = 0.0;
   State state = State::kNew;
   bool pending_wake = false;
   SimTime pending_wake_time = 0.0;
@@ -48,6 +47,7 @@ int Engine::spawn(std::function<void(Context&)> body) {
   auto fiber = std::make_unique<Fiber>(config_.stack_bytes);
   fiber->body = std::move(body);
   fibers_.push_back(std::move(fiber));
+  clocks_.emplace_back();
   return static_cast<int>(fibers_.size()) - 1;
 }
 
@@ -57,7 +57,8 @@ void Engine::trampoline() {
   engine->run_fiber_body(id);
   Fiber& f = *engine->fibers_[id];
   f.state = Fiber::State::kDone;
-  f.stats.finish_time = f.vtime;
+  engine->flush_pending(id);
+  f.stats.finish_time = engine->clocks_[id].vtime;
   swapcontext(&f.ctx, &g_sched_ctx);
   // A finished fiber must never be resumed.
   DAKC_CHECK_MSG(false, "resumed a completed fiber");
@@ -86,12 +87,16 @@ void Engine::run() {
     f.ctx.uc_link = nullptr;  // trampoline never falls off the end
     makecontext(&f.ctx, reinterpret_cast<void (*)()>(&Engine::trampoline), 0);
     f.state = Fiber::State::kRunnable;
-    runnable_.push({f.vtime, id});
+    runnable_.push({clocks_[id].vtime, id});
   }
+  next_runnable_time_ =
+      runnable_.empty() ? kNoneRunnable : runnable_.top().time;
 
   while (!runnable_.empty()) {
     const HeapEntry entry = runnable_.top();
     runnable_.pop();
+    next_runnable_time_ =
+        runnable_.empty() ? kNoneRunnable : runnable_.top().time;
     Fiber& f = *fibers_[entry.id];
     DAKC_ASSERT(f.state == Fiber::State::kRunnable);
     f.state = Fiber::State::kRunning;
@@ -129,10 +134,19 @@ SimTime Engine::makespan() const {
   return m;
 }
 
-SimTime Engine::fiber_now(int id) const { return fibers_[id]->vtime; }
+void Engine::flush_pending(int id) {
+  FiberClock& c = clocks_[id];
+  FiberStats& s = fibers_[id]->stats;
+  s.compute += c.pending[static_cast<int>(Category::kCompute)];
+  s.memory += c.pending[static_cast<int>(Category::kMemory)];
+  s.network += c.pending[static_cast<int>(Category::kNetwork)];
+  s.idle += c.pending[static_cast<int>(Category::kIdle)];
+  c.pending[0] = c.pending[1] = c.pending[2] = c.pending[3] = 0.0;
+}
 
 void Engine::return_to_scheduler(int id) {
   Fiber& f = *fibers_[id];
+  flush_pending(id);
   ++f.stats.yields;
   swapcontext(&f.ctx, &g_sched_ctx);
   DAKC_ASSERT(f.state == Fiber::State::kRunning);
@@ -141,32 +155,26 @@ void Engine::return_to_scheduler(int id) {
 void Engine::make_runnable(int id) {
   Fiber& f = *fibers_[id];
   f.state = Fiber::State::kRunnable;
-  runnable_.push({f.vtime, id});
+  const SimTime t = clocks_[id].vtime;
+  runnable_.push({t, id});
+  if (t < next_runnable_time_) next_runnable_time_ = t;
 }
 
 void Engine::record(int fiber, Category cat, SimTime start, SimTime end) {
   if (tracing_ && end > start) trace_.push_back({fiber, cat, start, end});
 }
 
-void Engine::fiber_charge(int id, SimTime dt, Category cat) {
-  DAKC_CHECK_MSG(dt >= 0.0, "negative time charge");
-  Fiber& f = *fibers_[id];
-  record(id, cat, f.vtime, f.vtime + dt);
-  switch (cat) {
-    case Category::kCompute: f.stats.compute += dt; break;
-    case Category::kMemory: f.stats.memory += dt; break;
-    case Category::kNetwork: f.stats.network += dt; break;
-    case Category::kIdle: f.stats.idle += dt; break;
-  }
-  f.vtime += dt;
-  // Keep running while we are still the earliest fiber; otherwise hand
-  // control to the scheduler so the earlier one proceeds first.
-  if (!runnable_.empty() && runnable_.top().time < f.vtime) {
-    make_runnable(id);
-    return_to_scheduler(id);
-  } else {
-    f.state = Fiber::State::kRunning;  // unchanged; explicit for clarity
-  }
+void Engine::reschedule_after_charge(int id) {
+  make_runnable(id);
+  return_to_scheduler(id);
+}
+
+void Engine::advance_idle(int id, SimTime to) {
+  FiberClock& c = clocks_[id];
+  if (to <= c.vtime) return;
+  record(id, Category::kIdle, c.vtime, to);
+  c.pending[static_cast<int>(Category::kIdle)] += to - c.vtime;
+  c.vtime = to;
 }
 
 void Engine::fiber_yield(int id) {
@@ -178,33 +186,24 @@ void Engine::fiber_block(int id) {
   Fiber& f = *fibers_[id];
   if (f.pending_wake) {
     f.pending_wake = false;
-    if (f.pending_wake_time > f.vtime) {
-      record(id, Category::kIdle, f.vtime, f.pending_wake_time);
-      f.stats.idle += f.pending_wake_time - f.vtime;
-      f.vtime = f.pending_wake_time;
-    }
+    advance_idle(id, f.pending_wake_time);
     // The clock may have advanced past other fibers; reschedule fairly.
     fiber_yield(id);
     return;
   }
   f.state = Fiber::State::kBlocked;
-  f.blocked_since = f.vtime;
+  f.blocked_since = clocks_[id].vtime;
   return_to_scheduler(id);
 }
 
 void Engine::fiber_wake(int waker, int target, SimTime not_before) {
   DAKC_CHECK(target >= 0 && target < fiber_count());
-  Fiber& w = *fibers_[waker];
-  DAKC_CHECK_MSG(not_before >= w.vtime,
+  DAKC_CHECK_MSG(not_before >= clocks_[waker].vtime,
                  "wake time precedes the waker's clock (causality)");
   Fiber& t = *fibers_[target];
   switch (t.state) {
     case Fiber::State::kBlocked:
-      if (not_before > t.vtime) {
-        record(target, Category::kIdle, t.vtime, not_before);
-        t.stats.idle += not_before - t.vtime;
-        t.vtime = not_before;
-      }
+      advance_idle(target, not_before);
       make_runnable(target);
       break;
     case Fiber::State::kDone:
@@ -219,16 +218,11 @@ void Engine::fiber_wake(int waker, int target, SimTime not_before) {
 }
 
 void Engine::fiber_idle_until(int id, SimTime t) {
-  Fiber& f = *fibers_[id];
-  DAKC_CHECK_MSG(t >= f.vtime, "idle_until() into the past");
-  fiber_charge(id, t - f.vtime, Category::kIdle);
+  DAKC_CHECK_MSG(t >= clocks_[id].vtime, "idle_until() into the past");
+  fiber_charge(id, t - clocks_[id].vtime, Category::kIdle);
 }
 
 int Context::count() const { return engine_->fiber_count(); }
-SimTime Context::now() const { return engine_->fiber_now(id_); }
-void Context::charge(SimTime dt, Category cat) {
-  engine_->fiber_charge(id_, dt, cat);
-}
 void Context::yield() { engine_->fiber_yield(id_); }
 void Context::block() { engine_->fiber_block(id_); }
 void Context::wake(int fiber, SimTime not_before) {

@@ -29,10 +29,13 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <queue>
 #include <string>
 #include <vector>
+
+#include "util/check.hpp"
 
 namespace dakc::des {
 
@@ -101,6 +104,10 @@ class Context {
   /// as idle. Used by barriers ("waiting for the slowest PE").
   void idle_until(SimTime t);
 
+  /// Whether the engine records trace events (lets zero-duration charges
+  /// be skipped entirely when nobody is watching).
+  bool tracing() const;
+
  private:
   friend class Engine;
   Context(Engine* engine, int id) : engine_(engine), id_(id) {}
@@ -136,7 +143,11 @@ class Engine {
 
   /// Record every charged time span for post-run timeline export. Call
   /// before run(); costs memory proportional to the event count.
-  void enable_tracing() { tracing_ = true; }
+  void enable_tracing() {
+    tracing_ = true;
+    trace_.reserve(1 << 16);  // skip the early doubling regrows
+  }
+  bool tracing() const { return tracing_; }
   const std::vector<TraceEvent>& trace() const { return trace_; }
 
   /// Post-run accounting.
@@ -159,14 +170,42 @@ class Engine {
     }
   };
 
+  /// Hot per-fiber scheduling state, split out of Fiber so the charge
+  /// fast path below can be inlined into callers without exposing the
+  /// (ucontext-heavy) Fiber definition. `pending` batches charged time by
+  /// category; it folds into FiberStats only at scheduler handoffs, so the
+  /// common charge costs two adds and one compare against the cached
+  /// earliest runnable clock — no heap access, no context switch.
+  struct FiberClock {
+    SimTime vtime = 0.0;
+    SimTime pending[4] = {0.0, 0.0, 0.0, 0.0};
+  };
+
+  static constexpr SimTime kNoneRunnable =
+      std::numeric_limits<SimTime>::infinity();
+
   // Context back-ends.
-  SimTime fiber_now(int id) const;
-  void fiber_charge(int id, SimTime dt, Category cat);
+  SimTime fiber_now(int id) const { return clocks_[id].vtime; }
+  void fiber_charge(int id, SimTime dt, Category cat) {
+    DAKC_CHECK_MSG(dt >= 0.0, "negative time charge");
+    FiberClock& c = clocks_[id];
+    if (tracing_) record(id, cat, c.vtime, c.vtime + dt);
+    c.pending[static_cast<int>(cat)] += dt;
+    c.vtime += dt;
+    // Keep running while we are still the earliest fiber; otherwise hand
+    // control to the scheduler so the earlier one proceeds first.
+    if (next_runnable_time_ < c.vtime) reschedule_after_charge(id);
+  }
   void fiber_yield(int id);
   void fiber_block(int id);
   void fiber_wake(int waker, int target, SimTime not_before);
   void fiber_idle_until(int id, SimTime t);
 
+  void reschedule_after_charge(int id);
+  /// Advance a fiber's clock to `to`, accounting the gap as (traced) idle.
+  void advance_idle(int id, SimTime to);
+  /// Fold the batched per-category pending time into FiberStats.
+  void flush_pending(int id);
   void make_runnable(int id);
   /// Switch from fiber `id` back to the scheduler loop.
   void return_to_scheduler(int id);
@@ -179,12 +218,23 @@ class Engine {
   bool tracing_ = false;
   std::vector<TraceEvent> trace_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<FiberClock> clocks_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
       runnable_;
+  /// Cached runnable_.top().time (kNoneRunnable when the heap is empty),
+  /// maintained at every push/pop so the charge fast path never touches
+  /// the heap.
+  SimTime next_runnable_time_ = kNoneRunnable;
   int running_ = -1;
   bool started_ = false;
   std::uint64_t events_ = 0;
   std::exception_ptr first_error_;
 };
+
+inline SimTime Context::now() const { return engine_->fiber_now(id_); }
+inline void Context::charge(SimTime dt, Category cat) {
+  engine_->fiber_charge(id_, dt, cat);
+}
+inline bool Context::tracing() const { return engine_->tracing(); }
 
 }  // namespace dakc::des

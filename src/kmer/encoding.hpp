@@ -19,14 +19,31 @@ namespace dakc::kmer {
 /// insensitive), e.g. the 'N' ambiguity code.
 constexpr std::uint8_t kInvalidBase = 0xFF;
 
-constexpr std::uint8_t encode_base(char c) {
-  switch (c) {
-    case 'A': case 'a': return 0;
-    case 'C': case 'c': return 1;
-    case 'G': case 'g': return 2;
-    case 'T': case 't': return 3;
-    default: return kInvalidBase;
+namespace detail {
+
+/// 256-entry base-code table: one unconditional load per character in the
+/// parse hot loop (KMC/Gerbil-style), instead of a branchy switch.
+struct BaseCodeTable {
+  std::uint8_t code[256];
+  constexpr BaseCodeTable() : code{} {
+    for (auto& c : code) c = kInvalidBase;
+    code[static_cast<unsigned char>('A')] = 0;
+    code[static_cast<unsigned char>('a')] = 0;
+    code[static_cast<unsigned char>('C')] = 1;
+    code[static_cast<unsigned char>('c')] = 1;
+    code[static_cast<unsigned char>('G')] = 2;
+    code[static_cast<unsigned char>('g')] = 2;
+    code[static_cast<unsigned char>('T')] = 3;
+    code[static_cast<unsigned char>('t')] = 3;
   }
+};
+
+inline constexpr BaseCodeTable kBaseCodes{};
+
+}  // namespace detail
+
+constexpr std::uint8_t encode_base(char c) {
+  return detail::kBaseCodes.code[static_cast<unsigned char>(c)];
 }
 
 constexpr char decode_base(std::uint8_t code) {

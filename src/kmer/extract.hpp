@@ -19,25 +19,66 @@ namespace dakc::kmer {
 template <typename Word = Kmer64, typename Fn>
 std::size_t for_each_kmer(std::string_view read, int k, Fn&& fn) {
   DAKC_CHECK(k >= 1 && k <= KmerTraits<Word>::kMaxK);
-  if (static_cast<int>(read.size()) < k) return 0;
+  const std::size_t n = read.size();
+  if (static_cast<int>(n) < k) return 0;
+  const Word mask = kmer_mask<Word>(k);
+  const char* s = read.data();
   std::size_t produced = 0;
-  Word kmer = 0;
-  int filled = 0;  // valid bases currently in the rolling window
-  for (char c : read) {
-    const std::uint8_t code = encode_base(c);
-    if (code == kInvalidBase) {
-      filled = 0;
-      kmer = 0;
-      continue;
+  std::size_t i = 0;
+  for (;;) {
+    // Fill phase: assemble a window of k valid bases, restarting after
+    // every invalid character (this also skips 'N' runs base by base —
+    // each invalid byte costs one table load and one compare).
+    Word kmer = 0;
+    int filled = 0;
+    while (filled < k) {
+      if (i >= n) return produced;
+      const std::uint8_t code = encode_base(s[i++]);
+      if (code == kInvalidBase) {
+        filled = 0;
+        kmer = 0;
+      } else {
+        kmer = (kmer << 2) | Word{code};
+        ++filled;
+      }
     }
-    kmer = kmer_append(kmer, code, k);
-    if (filled < k) ++filled;
-    if (filled == k) {
+    kmer &= mask;
+    fn(kmer);
+    ++produced;
+    // Rolling phase, 4x unrolled: valid codes are 0..3, so one OR over
+    // four table loads detects an invalid base in the block without
+    // per-character branches. All four windows derive from the block's
+    // base k-mer (not from each other), so the four shift/or/mask chains
+    // and the callback work overlap instead of serializing on a
+    // two-bit-per-step dependency.
+    for (;;) {
+      if (i + 4 <= n) {
+        const std::uint8_t c0 = encode_base(s[i]);
+        const std::uint8_t c1 = encode_base(s[i + 1]);
+        const std::uint8_t c2 = encode_base(s[i + 2]);
+        const std::uint8_t c3 = encode_base(s[i + 3]);
+        if ((c0 | c1 | c2 | c3) < 4) {
+          const Word w01 = (Word{c0} << 2) | Word{c1};
+          const Word w012 = (w01 << 2) | Word{c2};
+          const Word w0123 = (w012 << 2) | Word{c3};
+          fn(((kmer << 2) | Word{c0}) & mask);
+          fn(((kmer << 4) | w01) & mask);
+          fn(((kmer << 6) | w012) & mask);
+          kmer = ((kmer << 8) | w0123) & mask;
+          fn(kmer);
+          produced += 4;
+          i += 4;
+          continue;
+        }
+      }
+      if (i >= n) return produced;
+      const std::uint8_t code = encode_base(s[i++]);
+      if (code == kInvalidBase) break;  // window restarts in the fill phase
+      kmer = ((kmer << 2) | Word{code}) & mask;
       fn(kmer);
       ++produced;
     }
   }
-  return produced;
 }
 
 /// Materialize all k-mers of a read.
@@ -69,15 +110,26 @@ template <typename Word>
 std::uint64_t minimizer(Word kmer, int k, int m) {
   DAKC_ASSERT(m >= 1 && m <= k && m <= 32);
   const std::uint64_t mmask = (m == 32) ? ~0ULL : ((1ULL << (2 * m)) - 1);
-  std::uint64_t best = ~0ULL;
-  for (int i = 0; i + m <= k; ++i) {
-    const auto mmer = static_cast<std::uint64_t>(
-                          kmer >> (2 * (k - m - i))) &
-                      mmask;
-    const std::uint64_t ranked = mix64(mmer);
-    if (ranked < best) best = ranked;
+  // Slide the window by strength-reduced shift counts, two windows per
+  // step into two independent min chains: each window extracts straight
+  // from `kmer`, so the two extract+mix64 pipelines run concurrently
+  // instead of serializing on one rolling accumulator / one best-so-far.
+  std::uint64_t best0 = ~0ULL;
+  std::uint64_t best1 = ~0ULL;
+  int s = 2 * (k - m);
+  for (; s >= 2; s -= 4) {
+    const std::uint64_t r0 =
+        mix64(static_cast<std::uint64_t>(kmer >> s) & mmask);
+    const std::uint64_t r1 =
+        mix64(static_cast<std::uint64_t>(kmer >> (s - 2)) & mmask);
+    if (r0 < best0) best0 = r0;
+    if (r1 < best1) best1 = r1;
   }
-  return best;
+  if (s == 0) {
+    const std::uint64_t r = mix64(static_cast<std::uint64_t>(kmer) & mmask);
+    if (r < best0) best0 = r;
+  }
+  return best0 < best1 ? best0 : best1;
 }
 
 }  // namespace dakc::kmer

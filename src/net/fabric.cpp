@@ -141,36 +141,7 @@ int Pe::size() const { return fabric_->config_.pes; }
 int Pe::node() const { return fabric_->node_of(rank_); }
 int Pe::node_count() const { return fabric_->node_count(); }
 int Pe::node_of(int pe) const { return fabric_->node_of(pe); }
-const MachineParams& Pe::machine() const { return fabric_->config_.machine; }
 PeCounters& Pe::counters() { return fabric_->pes_[rank_]->counters; }
-
-void Pe::charge(des::SimTime dt, des::Category cat) {
-  if (fabric_->config_.zero_cost) {
-    ctx_.charge(0.0, cat);
-    return;
-  }
-  const MachineParams& m = machine();
-  if (m.noise_amplitude > 0.0 &&
-      (cat == des::Category::kCompute || cat == des::Category::kMemory)) {
-    // Deterministic per-(PE, window) slowdown; see machine.hpp.
-    const auto window =
-        static_cast<std::uint64_t>(now() / m.noise_window);
-    std::uint64_t h = m.noise_seed;
-    h = mix64(h ^ static_cast<std::uint64_t>(rank_));
-    h = mix64(h ^ window);
-    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
-    dt *= 1.0 + m.noise_amplitude * u;
-  }
-  ctx_.charge(dt, cat);
-}
-
-void Pe::charge_compute_ops(double ops) {
-  charge(machine().compute_time(ops), des::Category::kCompute);
-}
-
-void Pe::charge_mem_bytes(double bytes) {
-  charge(machine().mem_time(bytes), des::Category::kMemory);
-}
 
 void Pe::account_alloc(double bytes) {
   auto& node_state = *fabric_->nodes_[node()];

@@ -41,6 +41,7 @@
 
 #include "des/engine.hpp"
 #include "net/machine.hpp"
+#include "util/rng.hpp"
 
 namespace dakc::net {
 
@@ -124,6 +125,8 @@ class Pe {
   const MachineParams& machine() const;
 
   // -- cost charging ----------------------------------------------------
+  // Defined inline at the bottom of this header: these run once per
+  // simulated packet/k-mer and are the simulator's hottest call path.
   void charge_compute_ops(double ops);
   void charge_mem_bytes(double bytes);
   void charge(des::SimTime dt, des::Category cat);
@@ -246,5 +249,43 @@ class Fabric {
   std::unique_ptr<RendezvousState> rendezvous_;
   bool ran_ = false;
 };
+
+// ---------------------------------------------------------------------------
+// Inline hot paths
+// ---------------------------------------------------------------------------
+
+inline const MachineParams& Pe::machine() const {
+  return fabric_->config_.machine;
+}
+
+inline void Pe::charge(des::SimTime dt, des::Category cat) {
+  if (fabric_->config_.zero_cost) {
+    // Every clock in a zero-cost run stays at 0.0, so a zero charge can
+    // never trigger a reschedule; it only matters as a zero-width trace
+    // event, so skip the engine call entirely when tracing is off.
+    if (ctx_.tracing()) ctx_.charge(0.0, cat);
+    return;
+  }
+  const MachineParams& m = machine();
+  if (m.noise_amplitude > 0.0 &&
+      (cat == des::Category::kCompute || cat == des::Category::kMemory)) {
+    // Deterministic per-(PE, window) slowdown; see machine.hpp.
+    const auto window = static_cast<std::uint64_t>(now() / m.noise_window);
+    std::uint64_t h = m.noise_seed;
+    h = mix64(h ^ static_cast<std::uint64_t>(rank_));
+    h = mix64(h ^ window);
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    dt *= 1.0 + m.noise_amplitude * u;
+  }
+  ctx_.charge(dt, cat);
+}
+
+inline void Pe::charge_compute_ops(double ops) {
+  charge(machine().compute_time(ops), des::Category::kCompute);
+}
+
+inline void Pe::charge_mem_bytes(double bytes) {
+  charge(machine().mem_time(bytes), des::Category::kMemory);
+}
 
 }  // namespace dakc::net

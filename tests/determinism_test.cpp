@@ -1,0 +1,100 @@
+// Bit-identical determinism regression tests.
+//
+// The host hot-path overhaul (batched DES charging, pooled conveyor
+// buffers, table-driven extraction) is allowed to change how fast the
+// simulator runs, but never WHAT it simulates: the same seeds must
+// produce the same simulated seconds, the same counts, in the same
+// order. These tests pin that contract two ways:
+//
+//  1. Same-seed-twice: two identical runs in one process must agree
+//     exactly ({kmer, count} arrays and makespan), catching any hidden
+//     host-side state leaking into simulated behaviour (e.g. a buffer
+//     pool changing delivery order between runs).
+//  2. Golden values: a Fig. 12-style DAKC configuration (L2+L3, 2D
+//     protocol, noisy machine) is checked against an FNV-1a hash of the
+//     gathered counts and the exact makespan captured from the tree
+//     BEFORE the overhaul. If either changes, an "optimization" altered
+//     observable simulation output and must be fixed, not re-baselined.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/api.hpp"
+#include "sim/datasets.hpp"
+
+namespace dakc {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t counts_hash(const core::RunReport& rep) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& kc : rep.counts) {
+    h = fnv1a(h, kc.kmer);
+    h = fnv1a(h, kc.count);
+  }
+  return h;
+}
+
+core::CountConfig golden_config() {
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.k = 31;
+  cfg.pes = 32;
+  cfg.pes_per_node = 4;
+  cfg.machine.cores_per_node = 4;
+  cfg.machine.noise_amplitude = 0.25;
+  cfg.protocol = conveyor::Protocol::k2D;
+  cfg.l2_enabled = true;
+  cfg.l3_enabled = true;
+  cfg.gather_counts = true;
+  return cfg;
+}
+
+std::vector<std::string> golden_reads() {
+  const auto& spec = sim::dataset_by_name("human");
+  const double scale =
+      2e5 / (spec.coverage * static_cast<double>(spec.genome_length));
+  return sim::make_dataset_reads(spec, scale, 41);
+}
+
+TEST(Determinism, SameSeedTwiceIsBitIdentical) {
+  const auto reads = golden_reads();
+  const auto cfg = golden_config();
+  const auto a = core::count_kmers(reads, cfg);
+  const auto b = core::count_kmers(reads, cfg);
+
+  EXPECT_EQ(a.distinct_kmers, b.distinct_kmers);
+  EXPECT_EQ(a.total_kmers, b.total_kmers);
+  // Makespan derives purely from fiber virtual clocks: any divergence
+  // means the schedule itself changed.
+  EXPECT_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.counts.size(), b.counts.size());
+  for (std::size_t i = 0; i < a.counts.size(); ++i) {
+    ASSERT_EQ(a.counts[i].kmer, b.counts[i].kmer) << "at index " << i;
+    ASSERT_EQ(a.counts[i].count, b.counts[i].count) << "at index " << i;
+  }
+}
+
+TEST(Determinism, GoldenValuesMatchPreOverhaulTree) {
+  const auto reads = golden_reads();
+  ASSERT_EQ(reads.size(), 1342u);
+
+  const auto rep = core::count_kmers(reads, golden_config());
+  EXPECT_EQ(rep.distinct_kmers, 51088u);
+  EXPECT_EQ(rep.total_kmers, 159698u);
+  EXPECT_EQ(counts_hash(rep), 0x36570c604a3d3804ULL);
+  // Exact double equality on purpose: virtual time is accumulated in a
+  // fixed deterministic order, so even a 1-ulp drift marks a real change
+  // in what was simulated (or in charge ordering).
+  EXPECT_EQ(rep.makespan, 0.00026077420450312501);
+}
+
+}  // namespace
+}  // namespace dakc

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: the checking half of the perf harness.
+
+Reads the BENCH_kernels.json that tools/perf_baseline just produced and
+
+  1. enforces the overhaul's speedup floors (NEW vs the frozen reference
+     implementations measured in the same binary — machine-independent),
+  2. compares each kernel's host time against the committed baseline
+     (tools/perf_baseline.json), failing on regressions beyond
+     --tolerance. When both files carry "calibration_seconds" (the
+     frozen reference extractor's time), times are divided by it first,
+     cancelling uniform machine slowdowns (CPU contention, frequency
+     scaling); refresh the baseline with --update when the hardware
+     changes.
+
+Exit status: 0 = all gates pass, 1 = regression or missing floor.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# NEW must beat REF by at least this factor (ISSUE acceptance criteria:
+# >= 1.5x on extraction and conveyor push). Same-binary measurement, so
+# these hold on any machine.
+REQUIRED_SPEEDUPS = {
+    "extract_k31": 1.5,
+    "conveyor_push": 1.5,
+}
+
+
+def parse_tolerance(text):
+    """Accept '0.2', '20%', or '20' (percent when > 1)."""
+    text = text.strip()
+    if text.endswith("%"):
+        return float(text[:-1]) / 100.0
+    value = float(text)
+    return value / 100.0 if value > 1.0 else value
+
+
+def load_doc(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc, {k["name"]: k for k in doc["kernels"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", default="BENCH_kernels.json",
+                    help="fresh measurement from perf_baseline")
+    ap.add_argument("--baseline",
+                    default=os.path.join(os.path.dirname(__file__),
+                                         "perf_baseline.json"),
+                    help="committed reference timings")
+    ap.add_argument("--tolerance", default="20%", type=parse_tolerance,
+                    help="allowed slowdown vs baseline (default 20%%)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from --bench and exit")
+    args = ap.parse_args()
+
+    bench_doc, bench = load_doc(args.bench)
+    failures = []
+
+    for name, floor in REQUIRED_SPEEDUPS.items():
+        kernel = bench.get(name)
+        if kernel is None or "speedup" not in kernel:
+            failures.append(f"{name}: no speedup measurement in {args.bench}")
+            continue
+        speedup = kernel["speedup"]
+        status = "ok" if speedup >= floor else "FAIL"
+        print(f"speedup  {name:<18} {speedup:6.2f}x (floor {floor}x) {status}")
+        if speedup < floor:
+            failures.append(f"{name}: speedup {speedup:.2f}x < floor {floor}x")
+
+    if args.update:
+        with open(args.bench) as f:
+            doc = json.load(f)
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline}")
+
+    if os.path.exists(args.baseline):
+        base_doc, baseline = load_doc(args.baseline)
+        # Normalize by the frozen-reference calibration kernel when both
+        # runs recorded one, so a uniformly slower/faster machine state
+        # doesn't register as a regression/improvement.
+        bench_cal = bench_doc.get("calibration_seconds", 0.0)
+        base_cal = base_doc.get("calibration_seconds", 0.0)
+        scale = base_cal / bench_cal if bench_cal > 0 and base_cal > 0 else 1.0
+        if scale != 1.0:
+            print(f"calibration: machine scale {1.0 / scale:.2f}x vs baseline "
+                  "capture (times normalized)")
+        for name, kernel in sorted(bench.items()):
+            ref = baseline.get(name)
+            if ref is None:
+                print(f"time     {name:<18} (new kernel, no baseline)")
+                continue
+            new_s, base_s = kernel["new_seconds"] * scale, ref["new_seconds"]
+            ratio = new_s / base_s if base_s > 0 else float("inf")
+            limit = 1.0 + args.tolerance
+            status = "ok" if ratio <= limit else "FAIL"
+            print(f"time     {name:<18} {new_s * 1e3:9.3f} ms vs baseline "
+                  f"{base_s * 1e3:9.3f} ms ({ratio:5.2f}x, limit "
+                  f"{limit:.2f}x) {status}")
+            if ratio > limit:
+                failures.append(
+                    f"{name}: {new_s * 1e3:.3f} ms (normalized) is "
+                    f"{ratio:.2f}x the baseline {base_s * 1e3:.3f} ms")
+    else:
+        print(f"note: no committed baseline at {args.baseline}; "
+              "run with --update to create one")
+
+    if failures:
+        print("\nperf check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

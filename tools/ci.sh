@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# One-shot CI entry point: configure, build, run the tier-1 test suite,
+# then run the perf-regression harness (tools/perf_baseline +
+# tools/check_perf.py) against the committed baseline.
+#
+# Usage: tools/ci.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build" -j "$(nproc)"
+
+(cd "$build" && ctest --output-on-failure -j "$(nproc)")
+
+"$build/tools/perf_baseline" --out "$build/BENCH_kernels.json"
+python3 "$repo/tools/check_perf.py" \
+  --bench "$build/BENCH_kernels.json" \
+  --baseline "$repo/tools/perf_baseline.json" \
+  --tolerance 20%

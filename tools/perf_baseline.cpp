@@ -1,0 +1,247 @@
+// perf_baseline: the perf-regression harness's measurement half.
+//
+// Times the host-side hot kernels the overhaul touched — k-mer
+// extraction, base encoding, minimizers, conveyor push, LSD radix sort,
+// and the cachesim replay loop — and, where a frozen pre-overhaul
+// implementation exists (bench/reference_kernels.hpp), times that too so
+// the emitted JSON carries a same-binary NEW-vs-REF speedup.
+//
+// Output: BENCH_kernels.json (or --out PATH), consumed by
+// tools/check_perf.py, which compares against the committed
+// tools/perf_baseline.json and enforces the overhaul's speedup floors.
+//
+// Methodology: fixed work sizes, best-of-N wall-clock (steady_clock) so a
+// background hiccup inflates one repetition, not the reported number.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cachesim/cachesim.hpp"
+#include "conveyor/conveyor.hpp"
+#include "kmer/extract.hpp"
+#include "net/fabric.hpp"
+#include "reference_kernels.hpp"
+#include "sim/genome.hpp"
+#include "sort/radix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dakc;
+
+volatile std::uint64_t g_sink = 0;  // defeats dead-code elimination
+
+template <typename Fn>
+double best_of(Fn&& fn, int reps = 9) {
+  using Clock = std::chrono::steady_clock;
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const auto t1 = Clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Result {
+  std::string name;
+  double new_seconds = 0.0;
+  double ref_seconds = 0.0;  // 0 when no reference implementation exists
+  std::uint64_t work_items = 0;
+};
+
+std::string bench_genome(std::size_t len) {
+  sim::GenomeSpec gs;
+  gs.length = len;
+  gs.seed = 5;
+  return sim::generate_genome(gs);
+}
+
+std::vector<std::uint64_t> bench_keys(std::size_t n) {
+  Xoshiro256 rng(6);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng();
+  return v;
+}
+
+Result bench_encode() {
+  const std::string g = bench_genome(1 << 20);
+  Result r{"encode_bases", 0, 0, g.size()};
+  r.new_seconds = best_of([&] {
+    std::uint64_t acc = 0;
+    for (char c : g) acc += kmer::encode_base(c);
+    g_sink = g_sink + acc;
+  });
+  r.ref_seconds = best_of([&] {
+    std::uint64_t acc = 0;
+    for (char c : g) acc += refk::encode_base(c);
+    g_sink = g_sink + acc;
+  });
+  return r;
+}
+
+Result bench_extract(int k) {
+  const std::string g = bench_genome(1 << 20);
+  Result r{"extract_k" + std::to_string(k), 0, 0, g.size() - k + 1};
+  r.new_seconds = best_of([&] {
+    std::uint64_t acc = 0;
+    kmer::for_each_kmer(g, k, [&](kmer::Kmer64 km) { acc ^= km; });
+    g_sink = g_sink + acc;
+  });
+  r.ref_seconds = best_of([&] {
+    std::uint64_t acc = 0;
+    refk::for_each_kmer(g, k, [&](kmer::Kmer64 km) { acc ^= km; });
+    g_sink = g_sink + acc;
+  });
+  return r;
+}
+
+Result bench_minimizer() {
+  const auto keys = bench_keys(1 << 15);
+  Result r{"minimizer", 0, 0, keys.size()};
+  r.new_seconds = best_of([&] {
+    std::uint64_t acc = 0;
+    for (auto km : keys) acc ^= kmer::minimizer(km, 31, 7);
+    g_sink = g_sink + acc;
+  });
+  r.ref_seconds = best_of([&] {
+    std::uint64_t acc = 0;
+    for (auto km : keys) acc ^= refk::minimizer(km, 31, 7);
+    g_sink = g_sink + acc;
+  });
+  return r;
+}
+
+template <typename ConveyorT>
+void run_conveyor_traffic(int pes, int per_pe) {
+  net::FabricConfig fcfg;
+  fcfg.pes = pes;
+  fcfg.pes_per_node = 4;
+  fcfg.zero_cost = true;
+  net::Fabric fabric(fcfg);
+  fabric.run([&](net::Pe& pe) {
+    conveyor::ConveyorConfig ccfg;
+    ConveyorT conv(pe, ccfg);
+    Xoshiro256 rng(pe.rank());
+    for (int i = 0; i < per_pe; ++i)
+      conv.push(static_cast<int>(rng.below(pes)), rng());
+    conv.finish();
+    conveyor::Packet pkt;
+    std::uint64_t acc = 0;
+    while (conv.pull(&pkt)) acc += pkt.words.size();
+    g_sink = g_sink + acc;
+  });
+}
+
+Result bench_conveyor_push() {
+  const int pes = 16, per_pe = 20000;
+  Result r{"conveyor_push", 0, 0,
+           static_cast<std::uint64_t>(pes) * per_pe};
+  r.new_seconds =
+      best_of([&] { run_conveyor_traffic<conveyor::Conveyor>(pes, per_pe); });
+  r.ref_seconds =
+      best_of([&] { run_conveyor_traffic<refk::RefConveyor>(pes, per_pe); });
+  return r;
+}
+
+Result bench_lsd_sort() {
+  const auto keys = bench_keys(1 << 20);
+  Result r{"lsd_radix_sort", 0, 0, keys.size()};
+  r.new_seconds = best_of([&] {
+    auto v = keys;
+    sort::lsd_radix_sort(v);
+    g_sink = g_sink + v.front();
+  });
+  return r;
+}
+
+Result bench_cachesim_replay() {
+  // The Fig. 3 replay shapes: sequential stream + radix-style
+  // multi-stream scatter, through a Phoenix-geometry LRU cache.
+  Result r{"cachesim_replay", 0, 0, 1 << 20};
+  r.new_seconds = best_of([&] {
+    cachesim::CacheSim cache;
+    const std::uint64_t src = cache.alloc_region(8ull << 20);
+    const std::uint64_t dst = cache.alloc_region(8ull << 20);
+    cache.stream(src, 8ull << 20);
+    Xoshiro256 rng(11);
+    cache.multi_stream_append(dst, 1 << 20, 8, 256, rng);
+    g_sink = g_sink + cache.stats().misses;
+  });
+  return r;
+}
+
+void write_json(const char* path, const std::vector<Result>& results,
+                double calibration_seconds) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::perror(path);
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n  \"schema\": 1,\n  \"calibration_seconds\": %.9f,\n"
+               "  \"kernels\": [\n",
+               calibration_seconds);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"new_seconds\": %.9f, "
+                 "\"work_items\": %llu",
+                 r.name.c_str(), r.new_seconds,
+                 static_cast<unsigned long long>(r.work_items));
+    if (r.ref_seconds > 0.0)
+      std::fprintf(f, ", \"ref_seconds\": %.9f, \"speedup\": %.3f",
+                   r.ref_seconds, r.ref_seconds / r.new_seconds);
+    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<Result> results;
+  results.push_back(bench_encode());
+  results.push_back(bench_extract(15));
+  results.push_back(bench_extract(31));
+  results.push_back(bench_minimizer());
+  results.push_back(bench_conveyor_push());
+  results.push_back(bench_lsd_sort());
+  results.push_back(bench_cachesim_replay());
+
+  // Calibration = the frozen reference extractor's time. Its code never
+  // changes, so dividing absolute times by it cancels uniform machine
+  // slowdowns (CPU contention, frequency scaling) when check_perf.py
+  // compares this run against the committed baseline.
+  double calibration_seconds = 0.0;
+  for (const Result& r : results)
+    if (r.name == "extract_k31") calibration_seconds = r.ref_seconds;
+
+  for (const Result& r : results) {
+    if (r.ref_seconds > 0.0)
+      std::printf("%-18s new %9.3f ms  ref %9.3f ms  speedup %.2fx\n",
+                  r.name.c_str(), r.new_seconds * 1e3, r.ref_seconds * 1e3,
+                  r.ref_seconds / r.new_seconds);
+    else
+      std::printf("%-18s new %9.3f ms\n", r.name.c_str(),
+                  r.new_seconds * 1e3);
+  }
+  write_json(out, results, calibration_seconds);
+  std::printf("wrote %s\n", out);
+  return 0;
+}
