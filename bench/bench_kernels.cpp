@@ -14,6 +14,7 @@
 #include "sort/accumulate.hpp"
 #include "sort/parallel_radix.hpp"
 #include "sort/radix.hpp"
+#include "sort/wc_radix.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -154,6 +155,21 @@ void BM_LsdRadixSort(benchmark::State& state) {
 }
 BENCHMARK(BM_LsdRadixSort)->Arg(1 << 16)->Arg(1 << 20);
 
+void BM_WcRadixSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto keys = bench_keys(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = keys;
+    state.ResumeTiming();
+    sort::wc_radix_sort(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_WcRadixSort)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
 void BM_StdSortBaseline(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   auto keys = bench_keys(n);
@@ -197,6 +213,22 @@ void BM_Accumulate(benchmark::State& state) {
                           (1 << 18));
 }
 BENCHMARK(BM_Accumulate);
+
+void BM_FusedSortAccumulate(benchmark::State& state) {
+  Xoshiro256 rng(9);
+  std::vector<std::uint64_t> keys(1 << 18);
+  for (auto& x : keys) x = rng.below(1 << 14);  // ~16 copies per key
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = keys;
+    state.ResumeTiming();
+    auto out = sort::wc_sort_accumulate(v);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 18));
+}
+BENCHMARK(BM_FusedSortAccumulate);
 
 void BM_ConveyorPushThroughput(benchmark::State& state) {
   // End-to-end zero-cost fabric: how many packets/second the host can

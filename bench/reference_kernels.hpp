@@ -9,6 +9,10 @@
 // BENCH_kernels.json are therefore apples-to-apples, not cross-build
 // noise. Keep these frozen: they are the measurement baseline, not live
 // code.
+//
+// The frozen *sorting* kernels (pre-overhaul LSD radix, hybrid MSD,
+// Accumulate) live in the dependency-light bench/reference_sort.hpp so
+// sort_test can include them without linking the fabric.
 #pragma once
 
 #include <cstdint>

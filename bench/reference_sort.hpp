@@ -1,0 +1,245 @@
+// Frozen pre-overhaul sorting kernels for the perf harness (PR 2).
+//
+// Faithful copies of the sort-engine implementations the phase-2 sort
+// overhaul replaced: the straight-scatter LSD radix sort, the MSD
+// american-flag hybrid sort, and the standalone Accumulate sweeps. They
+// let `tools/perf_baseline` (and tests) measure NEW vs REF in the same
+// binary, so the speedups in BENCH_kernels.json are apples-to-apples.
+//
+// This header is deliberately dependency-light (sort/ + kmer/ only) so
+// tests can include it without linking the fabric; the heavier frozen
+// kernels (conveyor, extraction) stay in reference_kernels.hpp.
+//
+// Keep these frozen: they are the measurement baseline, not live code.
+// `refsort::lsd_radix_sort` doubles as the *charging* reference — the
+// live LSD sort must report bit-identical SortStats (tests/sort_test.cpp
+// pins that), because simulated BSP baselines charge from those stats.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "kmer/count.hpp"
+#include "sort/radix.hpp"
+#include "util/check.hpp"
+
+namespace dakc::refsort {
+
+using sort::SortStats;
+
+/// Pre-overhaul LSD radix sort: one 8-histogram pass, uniform-byte pass
+/// skipping, straight (unbuffered) scatter with source prefetch.
+inline SortStats lsd_radix_sort(std::vector<std::uint64_t>& v) {
+  SortStats stats;
+  stats.elements = v.size();
+  if (v.size() <= 1) return stats;
+
+  std::array<std::array<std::size_t, 256>, 8> counts{};
+  {
+    const std::uint64_t* p = v.data();
+    const std::size_t n = v.size();
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      const std::uint64_t x = p[i];
+      const std::uint64_t y = p[i + 1];
+      for (int b = 0; b < 8; ++b) {
+        ++counts[b][(x >> (8 * b)) & 0xFF];
+        ++counts[b][(y >> (8 * b)) & 0xFF];
+      }
+    }
+    if (i < n) {
+      const std::uint64_t x = p[i];
+      for (int b = 0; b < 8; ++b) ++counts[b][(x >> (8 * b)) & 0xFF];
+    }
+  }
+  ++stats.passes;
+
+  std::vector<std::uint64_t> tmp(v.size());
+  std::uint64_t* src = v.data();
+  std::uint64_t* dst = tmp.data();
+  bool swapped = false;
+
+  for (int b = 0; b < 8; ++b) {
+    bool uniform = false;
+    for (int c = 0; c < 256; ++c) {
+      if (counts[b][c] == v.size()) {
+        uniform = true;
+        break;
+      }
+    }
+    if (uniform) continue;
+
+    std::array<std::size_t, 256> offset{};
+    std::size_t sum = 0;
+    for (int c = 0; c < 256; ++c) {
+      offset[c] = sum;
+      sum += counts[b][c];
+    }
+    const std::size_t n = v.size();
+    const int shift = 8 * b;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + 64 < n) __builtin_prefetch(&src[i + 64], 0, 0);
+      dst[offset[(src[i] >> shift) & 0xFF]++] = src[i];
+    }
+    stats.moves += v.size();
+    ++stats.passes;
+    std::swap(src, dst);
+    swapped = !swapped;
+  }
+
+  if (swapped) {
+    std::memcpy(v.data(), tmp.data(), v.size() * sizeof(std::uint64_t));
+    stats.moves += v.size();
+  }
+  return stats;
+}
+
+namespace detail {
+
+template <typename Key>
+constexpr int key_bytes() {
+  return static_cast<int>(sizeof(Key));
+}
+
+template <typename Key>
+constexpr std::uint8_t byte_of(Key key, int byte_index) {
+  return static_cast<std::uint8_t>(key >> (8 * byte_index));
+}
+
+template <typename It, typename KeyFn>
+void insertion_sort(It first, It last, KeyFn&& key, SortStats& stats) {
+  for (It i = first + 1; i < last; ++i) {
+    auto v = std::move(*i);
+    const auto kv = key(v);
+    It j = i;
+    while (j > first && key(*(j - 1)) > kv) {
+      *j = std::move(*(j - 1));
+      --j;
+      ++stats.moves;
+    }
+    *j = std::move(v);
+    ++stats.moves;
+  }
+}
+
+template <typename It, typename KeyFn>
+void msd_radix(It first, It last, int byte_index, int depth, KeyFn&& key,
+               SortStats& stats) {
+  const auto n = static_cast<std::size_t>(last - first);
+  if (n <= 1) return;
+  if (n <= 32) {
+    insertion_sort(first, last, key, stats);
+    stats.insertion_sorted += n;
+    return;
+  }
+  if (depth > detail::key_bytes<decltype(key(*first))>() + 2) {
+    std::sort(first, last,
+              [&](const auto& a, const auto& b) { return key(a) < key(b); });
+    stats.fallback_sorted += n;
+    return;
+  }
+
+  std::array<std::size_t, 256> count{};
+  for (It it = first; it != last; ++it) ++count[byte_of(key(*it), byte_index)];
+  ++stats.passes;
+
+  if (std::any_of(count.begin(), count.end(),
+                  [&](std::size_t c) { return c == n; })) {
+    if (byte_index > 0)
+      msd_radix(first, last, byte_index - 1, depth + 1, key, stats);
+    return;
+  }
+
+  std::array<std::size_t, 256> bucket_start{};
+  std::array<std::size_t, 256> bucket_end{};
+  std::size_t sum = 0;
+  for (int b = 0; b < 256; ++b) {
+    bucket_start[b] = sum;
+    sum += count[b];
+    bucket_end[b] = sum;
+  }
+
+  std::array<std::size_t, 256> next = bucket_start;
+  for (int b = 0; b < 256; ++b) {
+    while (next[b] < bucket_end[b]) {
+      auto v = std::move(first[next[b]]);
+      std::uint8_t vb = byte_of(key(v), byte_index);
+      while (vb != b) {
+        std::swap(v, first[next[vb]]);
+        ++next[vb];
+        ++stats.moves;
+        vb = byte_of(key(v), byte_index);
+      }
+      first[next[b]] = std::move(v);
+      ++next[b];
+      ++stats.moves;
+    }
+  }
+  ++stats.passes;
+
+  if (byte_index == 0) return;
+  for (int b = 0; b < 256; ++b) {
+    if (count[b] > 1)
+      msd_radix(first + static_cast<std::ptrdiff_t>(bucket_start[b]),
+                first + static_cast<std::ptrdiff_t>(bucket_end[b]),
+                byte_index - 1, depth + 1, key, stats);
+  }
+}
+
+}  // namespace detail
+
+/// Pre-overhaul hybrid in-place MSD (american-flag) radix sort with
+/// insertion-sort leaves and the anti-quadratic std::sort fallback.
+template <typename It, typename KeyFn>
+SortStats hybrid_msd_sort(It first, It last, KeyFn key) {
+  SortStats stats;
+  stats.elements = static_cast<std::uint64_t>(last - first);
+  if (first == last) return stats;
+  const int top = detail::key_bytes<decltype(key(*first))>() - 1;
+  detail::msd_radix(first, last, top, 0, key, stats);
+  return stats;
+}
+
+template <typename Word>
+SortStats hybrid_msd_sort(std::vector<Word>& v) {
+  return hybrid_msd_sort(v.begin(), v.end(), [](Word w) { return w; });
+}
+
+/// Pre-overhaul Accumulate: sweep a sorted key array into {kmer, count}
+/// records (phase 2's second, separate pass before fusion).
+template <typename Word>
+std::vector<kmer::KmerCount<Word>> accumulate(const std::vector<Word>& sorted) {
+  std::vector<kmer::KmerCount<Word>> out;
+  if (sorted.empty()) return out;
+  out.push_back({sorted[0], 1});
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    DAKC_ASSERT(sorted[i] >= sorted[i - 1]);
+    if (sorted[i] == out.back().kmer)
+      ++out.back().count;
+    else
+      out.push_back({sorted[i], 1});
+  }
+  return out;
+}
+
+/// Pre-overhaul pair Accumulate (key-sorted {kmer, count} input).
+template <typename Word>
+std::vector<kmer::KmerCount<Word>> accumulate_pairs(
+    const std::vector<kmer::KmerCount<Word>>& sorted) {
+  std::vector<kmer::KmerCount<Word>> out;
+  if (sorted.empty()) return out;
+  out.push_back(sorted[0]);
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    DAKC_ASSERT(sorted[i].kmer >= sorted[i - 1].kmer);
+    if (sorted[i].kmer == out.back().kmer)
+      out.back().count += sorted[i].count;
+    else
+      out.push_back(sorted[i]);
+  }
+  return out;
+}
+
+}  // namespace dakc::refsort

@@ -3,6 +3,7 @@
 #include "kmer/extract.hpp"
 #include "sort/accumulate.hpp"
 #include "sort/radix.hpp"
+#include "sort/wc_radix.hpp"
 
 namespace dakc::baseline {
 
@@ -14,8 +15,8 @@ std::vector<kmer::KmerCount64> serial_count(
       all.push_back(canonical ? kmer::canonical(km, k) : km);
     });
   }
-  sort::hybrid_radix_sort(all);
-  return sort::accumulate(all);
+  // Host-side oracle (nothing charged): fused buffered sort+accumulate.
+  return sort::wc_sort_accumulate(all);
 }
 
 void run_serial_pe(net::Pe& pe, const std::vector<std::string>& reads,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sort/accumulate.hpp"
+#include "sort/wc_radix.hpp"
 #include "util/check.hpp"
 
 namespace dakc::core {
@@ -56,12 +57,12 @@ std::vector<kmer::KmerCount64> merge_slices(std::vector<PeOutput>& outputs) {
   merged.reserve(total);
   for (auto& o : outputs)
     merged.insert(merged.end(), o.counts.begin(), o.counts.end());
-  sort::hybrid_radix_sort(merged.begin(), merged.end(),
-                          [](const kmer::KmerCount64& kc) { return kc.kmer; });
   // Owners partition by hash, so no key appears in two slices; still,
-  // accumulate defensively so the merge is a fixed point.
-  auto out = sort::accumulate_pairs(merged);
-  return out;
+  // the fused engine merges defensively so the merge is a fixed point.
+  // Host-side only (nothing is charged here), so the buffered engine is
+  // free to replace the hybrid sort + accumulate sweep.
+  sort::wc_sort_accumulate_pairs(merged);
+  return merged;
 }
 
 void fill_report_from_fabric(const net::Fabric& fabric,

@@ -8,6 +8,7 @@
 #include "kmer/extract.hpp"
 #include "sort/accumulate.hpp"
 #include "sort/radix.hpp"
+#include "sort/wc_radix.hpp"
 #include "util/check.hpp"
 
 namespace dakc::core {
@@ -141,9 +142,11 @@ class DakcPe {
   std::vector<kmer::KmerCount64> extract_hash_counts() {
     auto counts = hash_.extract();
     pe_.charge_mem_bytes(hash_.storage_bytes());  // table sweep
-    const sort::SortStats st = sort::hybrid_radix_sort(
-        counts.begin(), counts.end(),
-        [](const kmer::KmerCount64& kc) { return kc.kmer; });
+    // Extracted entries are already distinct, so the fused engine's
+    // merge step is a no-op and this is a pure buffered key sort. The
+    // charge follows the engine's measured stats (this path feeds no
+    // pinned golden; hash mode's phase-2 advantage is structural).
+    const sort::SortStats st = sort::wc_sort_accumulate_pairs(counts);
     charge_sort(pe_, st, sizeof(kmer::KmerCount64));
     return counts;
   }

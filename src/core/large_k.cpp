@@ -6,8 +6,7 @@
 #include "core/common.hpp"
 #include "kmer/extract.hpp"
 #include "net/fabric.hpp"
-#include "sort/accumulate.hpp"
-#include "sort/radix.hpp"
+#include "sort/wc_radix.hpp"
 #include "util/check.hpp"
 
 namespace dakc::core {
@@ -36,14 +35,14 @@ Kmer read_kmer(const std::uint64_t* w, int k) {
 std::vector<Record> serial_count_large(const std::vector<std::string>& reads,
                                        int k, bool canonical) {
   DAKC_CHECK(k >= 1 && k <= 64);
-  std::vector<Kmer> all;
+  std::vector<Record> all;
   for (const auto& read : reads) {
     kmer::for_each_kmer<Kmer>(read, k, [&](Kmer km) {
-      all.push_back(canonical ? kmer::canonical(km, k) : km);
+      all.push_back({canonical ? kmer::canonical(km, k) : km, 1});
     });
   }
-  sort::hybrid_radix_sort(all.begin(), all.end(), [](Kmer km) { return km; });
-  return sort::accumulate(all);
+  sort::wc_sort_accumulate_pairs(all);
+  return all;
 }
 
 LargeKReport count_kmers_large(const std::vector<std::string>& reads, int k,
@@ -116,13 +115,10 @@ LargeKReport count_kmers_large(const std::vector<std::string>& reads, int k,
     actor.done();
     out.phase1_end = pe.now();
 
-    const sort::SortStats stats = sort::hybrid_radix_sort(
-        local.begin(), local.end(), [](const Record& r) { return r.kmer; });
+    const sort::SortStats stats = sort::wc_sort_accumulate_pairs(local);
     charge_sort(pe, stats, sizeof(Record));
-    if (!local.empty()) {
-      sort::accumulate_pairs_inplace(local);
+    if (!local.empty())
       pe.charge_mem_bytes(static_cast<double>(local.size()) * sizeof(Record));
-    }
     out.counts = std::move(local);
     pe.barrier();
     out.phase2_end = pe.now();
@@ -141,9 +137,7 @@ LargeKReport count_kmers_large(const std::vector<std::string>& reads, int k,
   for (auto& o : outputs)
     report.counts.insert(report.counts.end(), o.counts.begin(),
                          o.counts.end());
-  sort::hybrid_radix_sort(report.counts.begin(), report.counts.end(),
-                          [](const Record& r) { return r.kmer; });
-  report.counts = sort::accumulate_pairs(report.counts);
+  sort::wc_sort_accumulate_pairs(report.counts);
   report.distinct_kmers = report.counts.size();
   for (const auto& r : report.counts) report.total_kmers += r.count;
   return report;

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "sort/wc_radix.hpp"
+
 namespace dakc::sort {
 
 namespace {
@@ -17,7 +19,7 @@ SortStats parallel_radix_sort(std::vector<std::uint64_t>& v, int threads) {
     threads = static_cast<int>(
         std::max(1u, std::thread::hardware_concurrency()));
   if (v.size() <= kSerialThreshold || threads == 1)
-    return hybrid_radix_sort(v);
+    return wc_radix_sort(v);
 
   SortStats stats;
   stats.elements = v.size();
@@ -71,10 +73,7 @@ SortStats parallel_radix_sort(std::vector<std::uint64_t>& v, int threads) {
       const std::size_t lo = bucket_begin[c];
       const std::size_t n = counts[top][c];
       if (n <= 1) continue;
-      local += hybrid_radix_sort(
-          v.begin() + static_cast<std::ptrdiff_t>(lo),
-          v.begin() + static_cast<std::ptrdiff_t>(lo + n),
-          [](std::uint64_t w) { return w; });
+      local += wc_radix_sort(v.data() + lo, n);
     }
     std::lock_guard<std::mutex> lock(stats_mutex);
     stats += local;

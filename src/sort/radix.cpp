@@ -1,76 +1,44 @@
 #include "sort/radix.hpp"
 
+#include "sort/wc_radix.hpp"
+
 namespace dakc::sort {
 
+// lsd_radix_sort: byte-wise LSD radix sort *interface* running on the
+// cache-blocked planned-digit engine (sort/wc_radix.cpp).
+//
+// STATS CONTRACT — this function's SortStats are frozen to the classic
+// byte-wise algorithm's bookkeeping, independent of how the engine
+// actually sorts, because simulated call sites (bsp.cpp's FlushBuffer in
+// particular) charge from them and those charges feed the pinned
+// determinism goldens:
+//
+//   elements = n
+//   passes   = 1 (histogram) + one per non-uniform byte
+//   moves    = n per non-uniform byte, + n if the pass count is odd
+//              (the ping-pong tail copy back into v)
+//
+// A byte is "uniform" when every key shares its value there — exactly
+// when that byte of diff_mask_u64 (OR of all keys XOR AND of all keys)
+// is zero, which is the same predicate the frozen reference derives from
+// its full 8-table histogram (`some counts[b][c] == n`). The formula
+// below is therefore bit-identical to refsort::lsd_radix_sort's measured
+// stats on every input.
 SortStats lsd_radix_sort(std::vector<std::uint64_t>& v) {
   SortStats stats;
   stats.elements = v.size();
-  if (v.size() <= 1) return stats;
+  const std::size_t n = v.size();
+  if (n <= 1) return stats;
 
-  // One histogram pass computes all eight byte distributions. The element
-  // loop is 2x unrolled so the independent increment chains of two keys
-  // interleave; each key contributes one slot to each of the eight tables.
-  std::array<std::array<std::size_t, 256>, 8> counts{};
-  {
-    const std::uint64_t* p = v.data();
-    const std::size_t n = v.size();
-    std::size_t i = 0;
-    for (; i + 2 <= n; i += 2) {
-      const std::uint64_t x = p[i];
-      const std::uint64_t y = p[i + 1];
-      for (int b = 0; b < 8; ++b) {
-        ++counts[b][(x >> (8 * b)) & 0xFF];
-        ++counts[b][(y >> (8 * b)) & 0xFF];
-      }
-    }
-    if (i < n) {
-      const std::uint64_t x = p[i];
-      for (int b = 0; b < 8; ++b) ++counts[b][(x >> (8 * b)) & 0xFF];
-    }
-  }
-  ++stats.passes;
+  std::uint64_t diff = 0;
+  detail::sort_engine_u64(v.data(), n, nullptr, &diff);
 
-  std::vector<std::uint64_t> tmp(v.size());
-  std::uint64_t* src = v.data();
-  std::uint64_t* dst = tmp.data();
-  bool swapped = false;
+  std::uint64_t active = 0;
+  for (int b = 0; b < 8; ++b)
+    if (((diff >> (8 * b)) & 0xFF) != 0) ++active;
 
-  for (int b = 0; b < 8; ++b) {
-    // Skip passes where every key shares the byte value.
-    bool uniform = false;
-    for (int c = 0; c < 256; ++c) {
-      if (counts[b][c] == v.size()) {
-        uniform = true;
-        break;
-      }
-    }
-    if (uniform) continue;
-
-    std::array<std::size_t, 256> offset{};
-    std::size_t sum = 0;
-    for (int c = 0; c < 256; ++c) {
-      offset[c] = sum;
-      sum += counts[b][c];
-    }
-    // Scatter with a read-ahead prefetch: the store targets are data-
-    // dependent (the point of radix scatter), but the source stream is
-    // sequential, so keep it ~8 lines ahead of the loads.
-    const std::size_t n = v.size();
-    const int shift = 8 * b;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (i + 64 < n) __builtin_prefetch(&src[i + 64], 0, 0);
-      dst[offset[(src[i] >> shift) & 0xFF]++] = src[i];
-    }
-    stats.moves += v.size();
-    ++stats.passes;
-    std::swap(src, dst);
-    swapped = !swapped;
-  }
-
-  if (swapped) {
-    std::memcpy(v.data(), tmp.data(), v.size() * sizeof(std::uint64_t));
-    stats.moves += v.size();
-  }
+  stats.passes = 1 + active;
+  stats.moves = n * active + ((active & 1) ? n : 0);
   return stats;
 }
 

@@ -1,0 +1,768 @@
+// Cache-blocked planned-digit radix engine (see wc_radix.hpp for the
+// design rationale). Layout of this file:
+//
+//   1. key/bit helpers and digit planning,
+//   2. the scatter kernels (fused-count, run-aware final, global split
+//      with the gated write-combining/NT path),
+//   3. the flat LSD loop and the recursive cache-blocking core,
+//   4. the public entry points (sort, fused accumulate, pair variant).
+//
+// Tuning notes from the machine this was calibrated on (single core,
+// 48 KB L1d / 2 MB L2 / 260 MB LLC): straight scatter beats NT staging
+// for anything LLC-resident, which is why kWcNtBytes gates the WC path
+// instead of it being the default; 12-bit digits are the widest whose
+// three u32 tables (histogram, next-histogram, offsets) still fit L1
+// beside the stream buffers; and the fused next-digit count is measured
+// ~free inside a scatter pass, while the same count folded into a
+// run-detecting loop de-pipelines it — hence two separate kernels.
+#include "sort/wc_radix.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <type_traits>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace dakc::sort {
+
+namespace detail {
+
+std::uint8_t* wc_scratch(std::size_t bytes) {
+  thread_local std::vector<std::uint8_t> slab;
+  if (slab.size() < bytes) slab.resize(bytes);
+  return slab.data();
+}
+
+std::size_t& wc_nt_threshold() {
+  thread_local std::size_t bytes = kWcNtBytes;
+  return bytes;
+}
+
+std::uint64_t diff_mask_u64(const std::uint64_t* p, std::size_t n) {
+  std::uint64_t o0 = p[0], a0 = p[0];
+  std::uint64_t o1 = p[0], a1 = p[0];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    o0 |= p[i] | p[i + 1];
+    a0 &= p[i] & p[i + 1];
+    o1 |= p[i + 2] | p[i + 3];
+    a1 &= p[i + 2] & p[i + 3];
+  }
+  for (; i < n; ++i) {
+    o0 |= p[i];
+    a0 &= p[i];
+  }
+  return (o0 | o1) ^ (a0 & a1);
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr int kMaxDigitBits = 12;   // 3 u32 tables of 2^12 fit L1
+constexpr int kMaxSplitBits = 8;    // ≤ 256 blocks per split level
+constexpr int kMaxSplitDepth = 2;   // skewed data degrades to flat LSD
+constexpr std::uint32_t kMaxSlots = 1u << kMaxDigitBits;
+
+/// Digit width by input size: wide digits amortize passes on big arrays;
+/// small arrays can't amortize the 2^w-slot prefix sums.
+int digit_bits_for(std::size_t n) {
+  if (n >= (std::size_t{1} << 15)) return 12;
+  if (n >= (std::size_t{1} << 12)) return 11;
+  return 8;
+}
+
+inline std::uint64_t key_of(std::uint64_t e) { return e; }
+template <typename W>
+inline W key_of(const kmer::KmerCount<W>& e) {
+  return e.kmer;
+}
+
+inline int top_bit(std::uint64_t m) { return 63 - __builtin_clzll(m); }
+inline int low_bit(std::uint64_t m) { return __builtin_ctzll(m); }
+#ifdef __SIZEOF_INT128__
+inline int top_bit(unsigned __int128 m) {
+  const auto hi = static_cast<std::uint64_t>(m >> 64);
+  return hi ? 64 + top_bit(hi) : top_bit(static_cast<std::uint64_t>(m));
+}
+inline int low_bit(unsigned __int128 m) {
+  const auto lo = static_cast<std::uint64_t>(m);
+  return lo ? low_bit(lo) : 64 + low_bit(static_cast<std::uint64_t>(m >> 64));
+}
+#endif
+
+struct Digit {
+  int shift;
+  int width;
+};
+
+/// Cover the active bits of `mask` with shift/mask windows, lowest
+/// first. Windows are at most `dmax` wide and are shrunk so their top
+/// bit is active; fully-inactive spans between windows cost nothing.
+template <typename Key>
+int plan_digits(Key mask, int dmax, Digit* out) {
+  int nd = 0;
+  while (mask != 0) {
+    const int s = low_bit(mask);
+    const Key rest = mask >> s;
+    const Key window = rest & ((Key{1} << dmax) - 1);
+    const int w = top_bit(window) + 1;
+    out[nd++] = {s, w};
+    mask &= ~(((Key{1} << w) - 1) << s);
+  }
+  return nd;
+}
+
+template <typename Elem>
+void wc_insertion_sort(Elem* a, std::size_t n, SortStats* st) {
+  std::uint64_t moves = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    Elem v = a[i];
+    const auto kv = key_of(v);
+    std::size_t j = i;
+    while (j > 0 && key_of(a[j - 1]) > kv) {
+      a[j] = a[j - 1];
+      --j;
+      ++moves;
+    }
+    a[j] = v;
+    ++moves;
+  }
+  if (st) {
+    st->moves += moves;
+    st->insertion_sorted += n;
+  }
+}
+
+/// One stable scatter pass a -> b that counts the *next* pass's digit
+/// histogram on the way through (a scatter permutes, so the histogram of
+/// any other digit is unchanged by it).
+template <typename Key, typename Elem>
+void scatter_count(const Elem* a, Elem* b, std::size_t n, int sh,
+                   std::uint32_t mk, std::uint32_t* off, int nsh,
+                   std::uint32_t nmk, std::uint32_t* hn) {
+  // (A two-table unrolled variant was tried here and measured slower:
+  // a fourth 2^12-slot table pushes the pass's table working set past
+  // L1d, costing more than the broken increment chain saves.)
+  for (std::size_t i = 0; i < n; ++i) {
+    const Elem& e = a[i];
+    const Key k = key_of(e);
+    b[off[static_cast<std::uint32_t>(k >> sh) & mk]++] = e;
+    ++hn[static_cast<std::uint32_t>(k >> nsh) & nmk];
+  }
+}
+
+/// Final scatter pass, run-aware flavour (accumulate paths): equal keys
+/// are adjacent by now (sorted on every lower digit), so runs advance
+/// the bucket cursor in one bulk add — duplicate-heavy counting inputs
+/// stop serializing on the off[d] forward chain. On mostly-unique data
+/// the run probe is pure overhead, so the sort path uses scatter_plain.
+template <typename Key, typename Elem>
+void scatter_final(const Elem* a, Elem* b, std::size_t n, int sh,
+                   std::uint32_t mk, std::uint32_t* off) {
+  std::size_t i = 0;
+  while (i < n) {
+    const Key k = key_of(a[i]);
+    std::size_t j = i + 1;
+    while (j < n && key_of(a[j]) == k) ++j;
+    const std::uint32_t d = static_cast<std::uint32_t>(k >> sh) & mk;
+    std::uint32_t o = off[d];
+    off[d] = o + static_cast<std::uint32_t>(j - i);
+    for (; i < j; ++i) b[o++] = a[i];
+  }
+}
+
+/// Final scatter pass, plain flavour (sort path — no next histogram to
+/// count, no run probing).
+template <typename Key, typename Elem>
+void scatter_plain(const Elem* a, Elem* b, std::size_t n, int sh,
+                   std::uint32_t mk, std::uint32_t* off) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Elem& e = a[i];
+    b[off[static_cast<std::uint32_t>(key_of(e) >> sh) & mk]++] = e;
+  }
+}
+
+/// The root sweep: one read of the keys producing both the global diff
+/// mask and the exact histogram of the top byte (key >> 56). The top-byte
+/// counts aggregate onto any split digit whose shift lands at or above
+/// bit 56 (see Split::from_root), so for wide-key inputs — random 64-bit
+/// hashes, 62-bit k-mers — this single sweep replaces what used to be
+/// two full passes: the planner's OR/AND sweep and the split's counting
+/// sweep. The histogram is two interleaved tables (4 KB total, L1) so
+/// consecutive same-bucket keys don't serialize; the OR/AND accumulators
+/// are registers and measured ~free beside the counting loads.
+struct RootSweep {
+  std::uint64_t mask;
+  std::size_t c8[256];
+};
+
+RootSweep root_sweep_u64(const std::uint64_t* p, std::size_t n) {
+  RootSweep rs;
+  std::size_t c2[256];
+  for (int b = 0; b < 256; ++b) {
+    rs.c8[b] = 0;
+    c2[b] = 0;
+  }
+  std::uint64_t o0 = p[0], a0 = p[0], o1 = p[0], a1 = p[0];
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const std::uint64_t x = p[i], y = p[i + 1];
+    o0 |= x;
+    a0 &= x;
+    o1 |= y;
+    a1 &= y;
+    ++rs.c8[x >> 56];
+    ++c2[y >> 56];
+  }
+  if (i < n) {
+    o0 |= p[i];
+    a0 &= p[i];
+    ++rs.c8[p[i] >> 56];
+  }
+  for (int b = 0; b < 256; ++b) rs.c8[b] += c2[b];
+  rs.mask = (o0 | o1) ^ (a0 & a1);
+  return rs;
+}
+
+/// Per-block diff mask, computed while the block is still cache-hot
+/// right after the global split scatter (folding OR/AND into the split's
+/// counting sweep was measured ~3x slower: three read-modify-writes per
+/// element into the same table lines serialize on store forwarding).
+template <typename Key, typename Elem>
+Key diff_mask_of(const Elem* p, std::size_t n) {
+  if constexpr (std::is_same_v<Elem, std::uint64_t>) {
+    return detail::diff_mask_u64(p, n);
+  } else {
+    Key o = key_of(p[0]);
+    Key a = o;
+    for (std::size_t i = 1; i < n; ++i) {
+      const Key k = key_of(p[i]);
+      o |= k;
+      a &= k;
+    }
+    return o ^ a;
+  }
+}
+
+#if defined(__SSE2__)
+/// Software write-combining scatter (u64, beyond-LLC payloads only):
+/// per-bucket cache-line staging, whole lines flushed with non-temporal
+/// stores once the bucket cursor is line-aligned. Straight stores cover
+/// the unaligned head and the staged tail.
+void wc_nt_scatter_u64(const std::uint64_t* src, std::uint64_t* dst,
+                       std::size_t n, int sh, std::uint32_t mk,
+                       std::size_t* off, std::uint32_t slots) {
+  alignas(64) std::uint64_t buf[256][8];
+  std::uint8_t fill[256] = {};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 64 < n) __builtin_prefetch(&src[i + 64], 0, 0);
+    const std::uint64_t x = src[i];
+    const auto d = static_cast<std::uint32_t>(x >> sh) & mk;
+    const std::size_t p = off[d];
+    if ((p & 7) != 0) {  // head: store straight until line-aligned
+      dst[p] = x;
+      off[d] = p + 1;
+      continue;
+    }
+    buf[d][fill[d]++] = x;
+    if (fill[d] == 8) {
+      auto* q = reinterpret_cast<__m128i*>(dst + p);
+      const auto* s = reinterpret_cast<const __m128i*>(buf[d]);
+      _mm_stream_si128(q + 0, _mm_load_si128(s + 0));
+      _mm_stream_si128(q + 1, _mm_load_si128(s + 1));
+      _mm_stream_si128(q + 2, _mm_load_si128(s + 2));
+      _mm_stream_si128(q + 3, _mm_load_si128(s + 3));
+      off[d] = p + 8;
+      fill[d] = 0;
+    }
+  }
+  for (std::uint32_t d = 0; d < slots; ++d) {  // drain staged tails
+    std::size_t p = off[d];
+    for (std::uint8_t f = 0; f < fill[d]; ++f) dst[p++] = buf[d][f];
+    off[d] = p;
+  }
+  _mm_sfence();
+}
+#endif
+
+/// Scratch for the split scatter's fused per-block first-digit
+/// histograms (separate from the element ping-pong slab). One slab per
+/// split depth: a block that splits again must not clobber the
+/// histograms its parent still reads for later blocks.
+std::uint32_t* wc_bh_scratch(std::size_t slots_total, int depth) {
+  thread_local std::vector<std::uint32_t> slab[kMaxSplitDepth];
+  auto& s = slab[depth];
+  if (s.size() < slots_total) s.resize(slots_total);
+  return s.data();
+}
+
+/// The split-level scatter: straight stores with stream prefetch while
+/// the destination can live in the LLC, write-combining NT lines beyond.
+/// When `bh` is non-null the straight path also counts, per block, the
+/// histogram of digit (key >> h0s) & (2^h0w - 1) into bh[block << h0w |
+/// digit] — every leaf block shares the same first planned window, so
+/// this one fused count replaces each block's own histogram sweep.
+template <typename Key, typename Elem>
+void scatter_split(const Elem* src, Elem* dst, std::size_t n, int sh,
+                   std::uint32_t mk, std::size_t* off, std::uint32_t slots,
+                   std::uint32_t* bh, int h0s, int h0w) {
+#if defined(__SSE2__)
+  if constexpr (std::is_same_v<Elem, std::uint64_t>) {
+    if (n * sizeof(Elem) >= detail::wc_nt_threshold()) {
+      wc_nt_scatter_u64(src, dst, n, sh, mk, off, slots);
+      return;
+    }
+  }
+#endif
+  (void)slots;
+  const auto* bytes = reinterpret_cast<const char*>(src);
+  if (bh) {
+    const std::uint32_t h0mk = (1u << h0w) - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      __builtin_prefetch(bytes + i * sizeof(Elem) + 512, 0, 0);
+      const Elem& e = src[i];
+      const Key k = key_of(e);
+      const auto d = static_cast<std::uint32_t>(k >> sh) & mk;
+      dst[off[d]++] = e;
+      ++bh[(static_cast<std::size_t>(d) << h0w) |
+           (static_cast<std::uint32_t>(k >> h0s) & h0mk)];
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    __builtin_prefetch(bytes + i * sizeof(Elem) + 512, 0, 0);
+    const Elem& e = src[i];
+    dst[off[static_cast<std::uint32_t>(key_of(e) >> sh) & mk]++] = e;
+  }
+}
+
+/// Flat planned-digit LSD loop for a cache-resident (or depth-capped)
+/// range. Data starts in `src`; the sorted result is left in `src` or
+/// `dst` depending on pass parity — the returned pointer says which.
+/// RunAware selects the final-pass kernel (see scatter_final). `h0`, if
+/// non-null, is a precomputed histogram of digit (key >> h0s, h0w bits
+/// wide) over this range — used only when it matches the planned first
+/// window (a histogram is a property of data + digit, not of the mask,
+/// so matching shift/width is the exact validity condition).
+template <bool RunAware, typename Key, typename Elem>
+Elem* lsd_flat(Elem* src, Elem* dst, std::size_t n, Key mask, SortStats* st,
+               const std::uint32_t* h0 = nullptr, int h0s = 0, int h0w = 0) {
+  Digit dig[24];
+  const int nd = plan_digits(mask, digit_bits_for(n), dig);
+  if (nd == 0) return src;  // unreachable (callers guard mask != 0)
+  alignas(64) std::uint32_t h[kMaxSlots];
+  alignas(64) std::uint32_t hn[kMaxSlots];
+  alignas(64) std::uint32_t off[kMaxSlots];
+  if (h0 != nullptr && dig[0].shift == h0s && dig[0].width == h0w) {
+    std::memcpy(h, h0, sizeof(std::uint32_t) << h0w);
+  } else {
+    const int sh = dig[0].shift;
+    const std::uint32_t mk = (1u << dig[0].width) - 1;
+    std::memset(h, 0, sizeof(std::uint32_t) << dig[0].width);
+    for (std::size_t i = 0; i < n; ++i)
+      ++h[static_cast<std::uint32_t>(key_of(src[i]) >> sh) & mk];
+    if (st) ++st->passes;
+  }
+  Elem* a = src;
+  Elem* b = dst;
+  for (int p = 0; p < nd; ++p) {
+    const int sh = dig[p].shift;
+    const std::uint32_t mk = (1u << dig[p].width) - 1;
+    const std::uint32_t slots = 1u << dig[p].width;
+    std::uint32_t sum = 0;
+    for (std::uint32_t c = 0; c < slots; ++c) {
+      off[c] = sum;
+      sum += h[c];
+    }
+    if (p + 1 < nd) {
+      const int nsh = dig[p + 1].shift;
+      const std::uint32_t nmk = (1u << dig[p + 1].width) - 1;
+      std::memset(hn, 0, sizeof(std::uint32_t) << dig[p + 1].width);
+      scatter_count<Key>(a, b, n, sh, mk, off, nsh, nmk, hn);
+      std::memcpy(h, hn, sizeof(std::uint32_t) << dig[p + 1].width);
+    } else if constexpr (RunAware) {
+      scatter_final<Key>(a, b, n, sh, mk, off);
+    } else {
+      scatter_plain<Key>(a, b, n, sh, mk, off);
+    }
+    if (st) {
+      st->moves += n;
+      ++st->passes;
+    }
+    std::swap(a, b);
+  }
+  return a;
+}
+
+/// Split bookkeeping shared by the sort and fused-accumulate cores: one
+/// counting sweep (two interleaved tables so consecutive same-bucket
+/// elements don't serialize), prefix sums, then the global scatter. Each
+/// block's own diff mask is taken right before its recursion, while the
+/// block is cache-hot (see diff_mask_of).
+template <typename Key, typename Elem>
+struct Split {
+  int shift = 0;
+  std::uint32_t slots = 0;
+  std::size_t count[256];
+  std::size_t start[257];
+
+  void build(const Elem* src, std::size_t n, Key mask) {
+    int sbits = 1;
+    while (((n * sizeof(Elem)) >> sbits) > kWcBlockBytes &&
+           sbits < kMaxSplitBits)
+      ++sbits;
+    const int hi = top_bit(mask);
+    shift = hi - sbits + 1;
+    if (shift < 0) shift = 0;
+    slots = 1u << (hi - shift + 1);
+    std::size_t c2[256];
+    for (std::uint32_t c = 0; c < slots; ++c) {
+      count[c] = 0;
+      c2[c] = 0;
+    }
+    const std::uint32_t mk = slots - 1;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      ++count[static_cast<std::uint32_t>(key_of(src[i]) >> shift) & mk];
+      ++c2[static_cast<std::uint32_t>(key_of(src[i + 1]) >> shift) & mk];
+    }
+    if (i < n)
+      ++count[static_cast<std::uint32_t>(key_of(src[i]) >> shift) & mk];
+    std::size_t sum = 0;
+    for (std::uint32_t c = 0; c < slots; ++c) {
+      count[c] += c2[c];
+      start[c] = sum;
+      sum += count[c];
+    }
+    start[slots] = sum;
+  }
+
+  /// Build from the root sweep's top-byte histogram instead of a fresh
+  /// counting pass. Exact whenever the chosen shift lands at or above
+  /// bit 56: bucket b of c8 holds the keys whose top byte is b, and they
+  /// all carry split digit (b >> (shift - 56)) & (slots - 1) — the same
+  /// value build() would have counted. Caller guarantees
+  /// top_bit(mask) >= 56.
+  void from_root(const std::size_t* c8, std::size_t n, Key mask) {
+    int sbits = 1;
+    while (((n * sizeof(Elem)) >> sbits) > kWcBlockBytes &&
+           sbits < kMaxSplitBits)
+      ++sbits;
+    const int hi = top_bit(mask);
+    shift = hi - sbits + 1;
+    if (shift < 56) shift = 56;
+    slots = 1u << (hi - shift + 1);
+    const std::uint32_t mk = slots - 1;
+    for (std::uint32_t c = 0; c < slots; ++c) count[c] = 0;
+    const int s = shift - 56;
+    for (std::uint32_t b = 0; b < 256; ++b) count[(b >> s) & mk] += c8[b];
+    std::size_t sum = 0;
+    for (std::uint32_t c = 0; c < slots; ++c) {
+      start[c] = sum;
+      sum += count[c];
+    }
+    start[slots] = sum;
+  }
+
+  void scatter(const Elem* src, Elem* dst, std::size_t n, SortStats* st,
+               std::uint32_t* bh = nullptr, int h0s = 0, int h0w = 0) {
+    std::size_t off[256];
+    std::memcpy(off, start, slots * sizeof(std::size_t));
+    scatter_split<Key>(src, dst, n, shift, slots - 1, off, slots, bh, h0s,
+                       h0w);
+    if (st) {
+      st->moves += n;
+      st->passes += 2;  // the counting sweep and the scatter
+    }
+  }
+
+  /// Set up the fused per-block first-digit histogram for this split (or
+  /// return null when it doesn't apply — NT path, or nothing below the
+  /// split). h0s/h0w receive the first planned window of the leaf mask.
+  std::uint32_t* fused_histograms(std::size_t n, Key below, int depth,
+                                  int* h0s, int* h0w) {
+    constexpr bool may_nt = std::is_same_v<Elem, std::uint64_t>;
+    if ((may_nt && n * sizeof(Elem) >= detail::wc_nt_threshold()) || below == 0)
+      return nullptr;
+    Digit d0[24];
+    plan_digits(below, kMaxDigitBits, d0);
+    *h0s = d0[0].shift;
+    *h0w = d0[0].width;
+    const std::size_t total = static_cast<std::size_t>(slots) << *h0w;
+    if (total > (std::size_t{128} << 10))  // > 512 KB of tables: L2 thrash
+      return nullptr;
+    std::uint32_t* bh = wc_bh_scratch(total, depth);
+    std::memset(bh, 0, total * sizeof(std::uint32_t));
+    return bh;
+  }
+};
+
+template <bool RunAware, typename Key, typename Elem>
+Elem* sort_core(Elem* src, Elem* dst, std::size_t n, Key mask, int depth,
+                SortStats* st, const std::uint32_t* h0 = nullptr, int h0s = 0,
+                int h0w = 0);
+
+/// Scatter an already-built split and recurse into its blocks. Separate
+/// from sort_core so the root driver can enter with a split built from
+/// the root sweep's histogram (Split::from_root) and skip the counting
+/// pass.
+template <bool RunAware, typename Key, typename Elem>
+Elem* run_split(Split<Key, Elem>& sp, Elem* src, Elem* dst, std::size_t n,
+                Key mask, int depth, SortStats* st) {
+  const Key below = mask & static_cast<Key>((Key{1} << sp.shift) - Key{1});
+  int bs = 0, bw = 0;
+  std::uint32_t* bh = sp.fused_histograms(n, below, depth, &bs, &bw);
+  sp.scatter(src, dst, n, st, bh, bs, bw);
+  for (std::uint32_t c = 0; c < sp.slots; ++c) {
+    const std::size_t len = sp.count[c];
+    if (len == 0) continue;
+    const std::size_t at = sp.start[c];
+    // Leaf-sized blocks take the free superset mask (bits at and above
+    // the split shift are constant within a block); blocks that will
+    // recurse again pay one diff sweep for a better-informed split.
+    Key bm;
+    if (len * sizeof(Elem) > kWcBlockBytes && depth + 1 < kMaxSplitDepth) {
+      bm = diff_mask_of<Key>(dst + at, len);
+      if (st) ++st->passes;
+    } else {
+      bm = below;
+    }
+    const std::uint32_t* ch =
+        bh ? bh + (static_cast<std::size_t>(c) << bw) : nullptr;
+    Elem* r = sort_core<RunAware, Key>(dst + at, src + at, len, bm, depth + 1,
+                                       st, ch, bs, bw);
+    if (r != src + at) {
+      std::copy_n(r, len, src + at);
+      if (st) st->moves += len;
+    }
+  }
+  return src;
+}
+
+template <bool RunAware, typename Key, typename Elem>
+Elem* sort_core(Elem* src, Elem* dst, std::size_t n, Key mask, int depth,
+                SortStats* st, const std::uint32_t* h0, int h0s, int h0w) {
+  if (mask == 0) return src;
+  if (n <= kWcTinyElements) {
+    wc_insertion_sort(src, n, st);
+    return src;
+  }
+  if (n * sizeof(Elem) <= kWcBlockBytes || depth >= kMaxSplitDepth)
+    return lsd_flat<RunAware, Key>(src, dst, n, mask, st, h0, h0s, h0w);
+
+  Split<Key, Elem> sp;
+  sp.build(src, n, mask);
+  return run_split<RunAware, Key>(sp, src, dst, n, mask, depth, st);
+}
+
+void emit_runs(const std::uint64_t* a, std::size_t n,
+               std::vector<kmer::KmerCount64>& out) {
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint64_t k = a[i];
+    std::size_t j = i + 1;
+    while (j < n && a[j] == k) ++j;
+    out.push_back({k, j - i});
+    i = j;
+  }
+}
+
+void accum_core(std::uint64_t* src, std::uint64_t* dst, std::size_t n,
+                std::uint64_t mask, int depth, SortStats* st,
+                std::vector<kmer::KmerCount64>& out,
+                const std::uint32_t* h0 = nullptr, int h0s = 0, int h0w = 0);
+
+/// The accumulate flavour of run_split (same structure, recursing into
+/// accum_core so each block is emitted while cache-hot).
+void run_split_accum(Split<std::uint64_t, std::uint64_t>& sp,
+                     std::uint64_t* src, std::uint64_t* dst, std::size_t n,
+                     std::uint64_t mask, int depth, SortStats* st,
+                     std::vector<kmer::KmerCount64>& out) {
+  const std::uint64_t below = mask & ((std::uint64_t{1} << sp.shift) - 1);
+  int bs = 0, bw = 0;
+  std::uint32_t* bh = sp.fused_histograms(n, below, depth, &bs, &bw);
+  sp.scatter(src, dst, n, st, bh, bs, bw);
+  for (std::uint32_t c = 0; c < sp.slots; ++c) {
+    const std::size_t len = sp.count[c];
+    if (len == 0) continue;
+    const std::size_t at = sp.start[c];
+    std::uint64_t bm;
+    if (len * sizeof(std::uint64_t) > kWcBlockBytes &&
+        depth + 1 < kMaxSplitDepth) {
+      bm = detail::diff_mask_u64(dst + at, len);
+      if (st) ++st->passes;
+    } else {
+      bm = below;
+    }
+    const std::uint32_t* ch =
+        bh ? bh + (static_cast<std::size_t>(c) << bw) : nullptr;
+    accum_core(dst + at, src + at, len, bm, depth + 1, st, out, ch, bs, bw);
+  }
+}
+
+/// Fused sort + accumulate core: blocks are swept into {kmer, count}
+/// records immediately after their final pass, while still cache-hot.
+/// Blocks are visited in ascending split-digit order and equal keys can
+/// never span blocks, so appending per block keeps `out` globally sorted.
+void accum_core(std::uint64_t* src, std::uint64_t* dst, std::size_t n,
+                std::uint64_t mask, int depth, SortStats* st,
+                std::vector<kmer::KmerCount64>& out, const std::uint32_t* h0,
+                int h0s, int h0w) {
+  if (mask == 0) {
+    out.push_back({src[0], n});
+    return;
+  }
+  if (n <= kWcTinyElements) {
+    wc_insertion_sort(src, n, st);
+    emit_runs(src, n, out);
+    return;
+  }
+  if (n * sizeof(std::uint64_t) <= kWcBlockBytes || depth >= kMaxSplitDepth) {
+    const std::uint64_t* r =
+        lsd_flat<true, std::uint64_t>(src, dst, n, mask, st, h0, h0s, h0w);
+    emit_runs(r, n, out);
+    return;
+  }
+
+  Split<std::uint64_t, std::uint64_t> sp;
+  sp.build(src, n, mask);
+  run_split_accum(sp, src, dst, n, mask, depth, st, out);
+}
+
+}  // namespace
+
+namespace detail {
+
+void sort_engine_u64(std::uint64_t* data, std::size_t n, SortStats* st,
+                     std::uint64_t* mask_out) {
+  if (mask_out) *mask_out = 0;
+  if (n <= 1) return;
+  if (n <= kWcTinyElements) {
+    if (mask_out) *mask_out = diff_mask_u64(data, n);
+    wc_insertion_sort(data, n, st);
+    return;
+  }
+  const RootSweep rs = root_sweep_u64(data, n);
+  if (st) ++st->passes;
+  if (mask_out) *mask_out = rs.mask;
+  if (rs.mask == 0) return;
+  auto* tmp =
+      reinterpret_cast<std::uint64_t*>(wc_scratch(n * sizeof(std::uint64_t)));
+  std::uint64_t* r;
+  if (n * sizeof(std::uint64_t) > kWcBlockBytes && top_bit(rs.mask) >= 56) {
+    // Wide-key fast path: the root sweep's top-byte histogram doubles as
+    // the split's counting pass (Split::from_root), so the first data
+    // read the splitter does is already the scatter.
+    Split<std::uint64_t, std::uint64_t> sp;
+    sp.from_root(rs.c8, n, rs.mask);
+    r = run_split<false, std::uint64_t>(sp, data, tmp, n, rs.mask, 0, st);
+  } else {
+    r = sort_core<false, std::uint64_t>(data, tmp, n, rs.mask, 0, st);
+  }
+  if (r != data) {
+    std::memcpy(data, r, n * sizeof(std::uint64_t));
+    if (st) st->moves += n;
+  }
+}
+
+}  // namespace detail
+
+SortStats wc_radix_sort(std::uint64_t* first, std::size_t n) {
+  SortStats st;
+  st.elements = n;
+  detail::sort_engine_u64(first, n, &st);
+  return st;
+}
+
+std::vector<kmer::KmerCount64> wc_sort_accumulate(
+    std::vector<std::uint64_t>& keys, SortStats* stats) {
+  SortStats st;
+  st.elements = keys.size();
+  std::vector<kmer::KmerCount64> out;
+  const std::size_t n = keys.size();
+  if (n > 0) {
+    out.reserve(n / 4 + 16);  // avoids most regrow copies mid-emit
+    auto* tmp = reinterpret_cast<std::uint64_t*>(
+        detail::wc_scratch(n * sizeof(std::uint64_t)));
+    if (n > kWcTinyElements) {
+      const RootSweep rs = root_sweep_u64(keys.data(), n);
+      ++st.passes;
+      if (rs.mask != 0 && n * sizeof(std::uint64_t) > kWcBlockBytes &&
+          top_bit(rs.mask) >= 56) {
+        // Same wide-key fast path as sort_engine_u64: the root sweep
+        // already counted the split digit.
+        Split<std::uint64_t, std::uint64_t> sp;
+        sp.from_root(rs.c8, n, rs.mask);
+        run_split_accum(sp, keys.data(), tmp, n, rs.mask, 0, &st, out);
+      } else {
+        accum_core(keys.data(), tmp, n, rs.mask, 0, &st, out);
+      }
+    } else {
+      const std::uint64_t mask = detail::diff_mask_u64(keys.data(), n);
+      ++st.passes;
+      accum_core(keys.data(), tmp, n, mask, 0, &st, out);
+    }
+    st.moves += out.size();  // the record emission itself
+    ++st.passes;
+  }
+  if (stats) *stats = st;
+  return out;
+}
+
+template <typename Word>
+SortStats wc_sort_accumulate_pairs(std::vector<kmer::KmerCount<Word>>& v) {
+  using Rec = kmer::KmerCount<Word>;
+  SortStats st;
+  st.elements = v.size();
+  const std::size_t n = v.size();
+  if (n <= 1) return st;
+
+  Word mor = v[0].kmer;
+  Word mand = v[0].kmer;
+  for (std::size_t i = 1; i < n; ++i) {
+    mor |= v[i].kmer;
+    mand &= v[i].kmer;
+  }
+  const Word mask = mor ^ mand;
+  ++st.passes;
+
+  if (mask != 0) {
+    if (n <= kWcTinyElements) {
+      wc_insertion_sort(v.data(), n, &st);
+    } else {
+      auto* tmp = reinterpret_cast<Rec*>(detail::wc_scratch(n * sizeof(Rec)));
+      Rec* r = sort_core<true, Word>(v.data(), tmp, n, mask, 0, &st);
+      if (r != v.data()) {
+        std::copy_n(r, n, v.data());
+        st.moves += n;
+      }
+    }
+  }
+
+  // In-place merge of adjacent equal keys (the write cursor trails the
+  // read cursor, so compaction is safe).
+  std::size_t w = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (v[i].kmer == v[w].kmer) {
+      v[w].count += v[i].count;
+    } else {
+      v[++w] = v[i];
+    }
+  }
+  v.resize(w + 1);
+  st.moves += w + 1;
+  ++st.passes;
+  return st;
+}
+
+template SortStats wc_sort_accumulate_pairs<kmer::Kmer64>(
+    std::vector<kmer::KmerCount<kmer::Kmer64>>& v);
+#ifdef __SIZEOF_INT128__
+template SortStats wc_sort_accumulate_pairs<kmer::Kmer128>(
+    std::vector<kmer::KmerCount<kmer::Kmer128>>& v);
+#endif
+
+}  // namespace dakc::sort

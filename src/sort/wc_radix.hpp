@@ -1,0 +1,135 @@
+// Cache-blocked planned-digit radix engine with fused accumulation
+// (phase 2's host-side workhorse after the PR-2 sort overhaul).
+//
+// The classic byte-wise LSD sort makes every pass scatter the whole
+// array: 256 concurrently-open destination streams of random stores, an
+// up-front 8-table histogram sweep, and one pass per *byte* whether the
+// byte carries one bit of entropy or eight. This engine restructures all
+// of that around what the memory hierarchy rewards:
+//
+//  * Bit-granular digit planning. One cheap OR/AND sweep finds the bits
+//    on which keys actually differ; digits are planned as shift/mask
+//    windows over those bits only (up to 12 bits per pass on large
+//    inputs). 62-bit k-mers, hash-partitioned slices, and counting-sort
+//    shapes all shed passes the byte-wise sort had to run.
+//  * L2 cache blocking. Inputs that outgrow L2 are first split by the
+//    top active bits into cache-sized blocks (one global scatter), then
+//    each block ping-pongs entirely inside L2 — the scatter stores that
+//    were LLC round-trips become cache hits. Skewed splits recurse; past
+//    a depth cap the engine degrades to the flat LSD loop.
+//  * Fused histograms. Each scatter pass counts the *next* pass's digit
+//    histogram while it runs (a scatter permutes, so the histogram is
+//    unchanged), replacing the monolithic multi-histogram pre-pass with
+//    one single-digit count.
+//  * Software write-combining for beyond-LLC payloads. When the payload
+//    exceeds kWcNtBytes the global split scatter stages each bucket in a
+//    cache-line buffer and flushes whole lines with non-temporal stores
+//    (the RADULS/KMC trick). It is *gated*, not default: NT stores
+//    bypass the cache, and on a machine whose LLC holds the working set
+//    (260 MB on the dev box) they turn cache hits into DRAM round trips.
+//  * Duplicate-run handling. The final pass advances bucket cursors in
+//    bulk over runs of equal keys, breaking the load-store-forward chain
+//    that duplicate-heavy counting workloads otherwise serialize on.
+//
+// Three entry points:
+//
+//  * wc_radix_sort(): plain 64-bit key sort — also the engine behind
+//    parallel_radix_sort's bucket sorts and its small-input fallback.
+//  * wc_sort_accumulate(): sort + Accumulate fused — each cache-resident
+//    block is swept into {kmer, count} records while still hot, instead
+//    of materializing a fully sorted array and re-scanning it cold.
+//  * wc_sort_accumulate_pairs(): the {kmer, count}-pair variant (counts
+//    of equal keys are summed); instantiated for Kmer64 and Kmer128.
+//
+// SortStats contract: the engine reports its own measured work
+// (elements; moves = elements relocated per executed sweep, including
+// tail copies and insertion shifts; passes = sweeps executed, where a
+// sweep over an L2 block counts once per block). Simulated call sites
+// that charge from these stats stay model-consistent — but sites whose
+// charges feed the pinned determinism goldens must NOT be switched to
+// this engine (see DESIGN.md §6.1): they keep the paper's hybrid MSD
+// sort as the measured algorithm. lsd_radix_sort() runs on this engine
+// too, yet still reports the frozen byte-wise stats formula — see
+// src/sort/radix.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kmer/count.hpp"
+#include "sort/radix.hpp"
+
+namespace dakc::sort {
+
+/// Tiny inputs are insertion-sorted (same threshold as the hybrid sort's
+/// leaves).
+inline constexpr std::size_t kWcTinyElements = 64;
+
+/// Target size of one cache block: payloads at or below this many bytes
+/// are sorted by the flat planned-digit LSD loop; larger payloads are
+/// split so each block's ping-pong working set stays L2-resident.
+inline constexpr std::size_t kWcBlockBytes = 768 * 1024;
+
+/// Non-temporal write-combining engages only when one scatter pass moves
+/// at least this many bytes — i.e. when the destination cannot be
+/// LLC-resident and every straight store would pay an RFO to DRAM. Sized
+/// to the dev box's 260 MB LLC: measured at 32 MB (comfortably
+/// LLC-resident) the NT path was ~2.4x *slower* than straight stores,
+/// exactly the bypass-the-cache failure mode the gate exists to avoid.
+inline constexpr std::size_t kWcNtBytes = 256ull << 20;
+
+/// Sort `n` 64-bit keys ascending in place (range form — used for the
+/// per-bucket sorts of parallel_radix_sort).
+SortStats wc_radix_sort(std::uint64_t* first, std::size_t n);
+
+inline SortStats wc_radix_sort(std::vector<std::uint64_t>& v) {
+  return wc_radix_sort(v.data(), v.size());
+}
+
+/// Fused sort + Accumulate: sorts `keys` by value and returns one
+/// {kmer, count} record per distinct key, in ascending key order.
+/// `keys` is consumed as scratch (contents unspecified afterwards).
+std::vector<kmer::KmerCount64> wc_sort_accumulate(
+    std::vector<std::uint64_t>& keys, SortStats* stats = nullptr);
+
+/// Fused pair sort + Accumulate: key-sorts `v` and sums the counts of
+/// equal keys; `v` is resized to the number of distinct keys. Returns
+/// the engine's measured SortStats.
+template <typename Word>
+SortStats wc_sort_accumulate_pairs(std::vector<kmer::KmerCount<Word>>& v);
+
+extern template SortStats wc_sort_accumulate_pairs<kmer::Kmer64>(
+    std::vector<kmer::KmerCount<kmer::Kmer64>>& v);
+#ifdef __SIZEOF_INT128__
+extern template SortStats wc_sort_accumulate_pairs<kmer::Kmer128>(
+    std::vector<kmer::KmerCount<kmer::Kmer128>>& v);
+#endif
+
+namespace detail {
+
+/// XOR of the bitwise-OR and bitwise-AND over all keys: a set bit marks a
+/// position on which at least two keys differ. Zero means all-equal.
+std::uint64_t diff_mask_u64(const std::uint64_t* p, std::size_t n);
+
+/// Sort `n` 64-bit keys ascending in place through the cache-blocked
+/// engine, without the wrapper's stats bookkeeping. Exists so
+/// lsd_radix_sort can reuse the engine while reporting the frozen
+/// byte-wise stats formula (`stats` may be null). When `mask_out` is
+/// non-null it receives the global diff mask (zero for n <= 1) — the
+/// engine computes it anyway, so callers that need it (the frozen stats
+/// formula) don't pay a second sweep.
+void sort_engine_u64(std::uint64_t* data, std::size_t n, SortStats* stats,
+                     std::uint64_t* mask_out = nullptr);
+
+/// Thread-local reusable scratch slab (never shrinks) — the radix
+/// engines' ping-pong buffer, so repeated sorts allocate nothing.
+std::uint8_t* wc_scratch(std::size_t bytes);
+
+/// The live NT write-combining threshold (initially kWcNtBytes).
+/// Mutable so tests can force the NT scatter path on small inputs
+/// without allocating a beyond-LLC array.
+std::size_t& wc_nt_threshold();
+
+}  // namespace detail
+
+}  // namespace dakc::sort

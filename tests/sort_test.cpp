@@ -4,9 +4,11 @@
 #include <vector>
 
 #include "kmer/count.hpp"
+#include "reference_sort.hpp"
 #include "sort/accumulate.hpp"
 #include "sort/parallel_radix.hpp"
 #include "sort/radix.hpp"
+#include "sort/wc_radix.hpp"
 #include "util/rng.hpp"
 
 namespace dakc::sort {
@@ -58,6 +60,18 @@ std::vector<std::uint64_t> heavy_hitter(std::size_t n) {
   for (auto& x : v) x = rng.bernoulli(0.8) ? 42 : rng();
   return v;
 }
+std::vector<std::uint64_t> kmer_skew(std::size_t n) {
+  // The (AATGG)* repeat k-mer at k=31 (a 62-bit key, top two bits dead)
+  // as the heavy hitter, the rest random 62-bit k-mers: the shape a
+  // repeat-rich genome hands phase 2.
+  constexpr std::uint8_t codes[5] = {0, 0, 3, 2, 2};  // A A T G G
+  std::uint64_t repeat = 0;
+  for (int i = 0; i < 31; ++i) repeat = (repeat << 2) | codes[i % 5];
+  std::vector<std::uint64_t> v(n);
+  Xoshiro256 rng(15);
+  for (auto& x : v) x = rng.bernoulli(0.7) ? repeat : (rng() >> 2);
+  return v;
+}
 
 class SortDistributions : public ::testing::TestWithParam<Dist> {};
 
@@ -100,10 +114,76 @@ INSTANTIATE_TEST_SUITE_P(
                       Dist{"reverse_sorted", reverse_sorted},
                       Dist{"all_equal", all_equal},
                       Dist{"two_values", two_values},
-                      Dist{"heavy_hitter", heavy_hitter}),
+                      Dist{"heavy_hitter", heavy_hitter},
+                      Dist{"kmer_skew", kmer_skew}),
     [](const ::testing::TestParamInfo<Dist>& info) {
       return info.param.name;
     });
+
+// Sizes that straddle every internal threshold of the cache-blocked
+// engine: the insertion-sort cutoff (kWcTinyElements = 64), the digit
+// width steps (2^12 and 2^15 elements), and the L2 block boundary
+// (kWcBlockBytes / 8 = 98304 elements — one past it goes through the
+// split scatter; 262144 recurses with multiple blocks).
+const std::size_t kWcSizes[] = {0,    1,     2,     63,    64,    65,
+                                4095, 4096,  32767, 32768, 98304, 98305,
+                                262144};
+
+TEST_P(SortDistributions, WcRadixMatchesStdSort) {
+  for (std::size_t n : kWcSizes) {
+    auto v = GetParam().make(n);
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    const SortStats st = wc_radix_sort(v);
+    EXPECT_EQ(v, expect) << GetParam().name << " n=" << n;
+    EXPECT_EQ(st.elements, n);
+  }
+}
+
+// The fused sort+accumulate must be indistinguishable from running the
+// frozen reference pipeline (sort, then a separate Accumulate sweep).
+TEST_P(SortDistributions, FusedEqualsSortThenAccumulate) {
+  for (std::size_t n : kWcSizes) {
+    auto v = GetParam().make(n);
+    auto ref = v;
+    refsort::lsd_radix_sort(ref);
+    const auto expect = refsort::accumulate(ref);
+    const auto out = wc_sort_accumulate(v);
+    EXPECT_EQ(out, expect) << GetParam().name << " n=" << n;
+  }
+}
+
+// The live LSD interface must report bit-identical SortStats to the
+// frozen pre-overhaul implementation on every input — simulated call
+// sites charge from these stats, so any drift would silently change
+// simulated costs (see DESIGN.md §6.1).
+TEST_P(SortDistributions, LsdStatsMatchFrozenReference) {
+  for (std::size_t n : {0ul, 1ul, 2ul, 65ul, 4096ul, 20000ul, 98305ul}) {
+    auto v = GetParam().make(n);
+    auto ref = v;
+    const SortStats ref_st = refsort::lsd_radix_sort(ref);
+    const SortStats st = lsd_radix_sort(v);
+    EXPECT_EQ(v, ref) << GetParam().name << " n=" << n;
+    EXPECT_EQ(st.elements, ref_st.elements) << GetParam().name << " n=" << n;
+    EXPECT_EQ(st.moves, ref_st.moves) << GetParam().name << " n=" << n;
+    EXPECT_EQ(st.passes, ref_st.passes) << GetParam().name << " n=" << n;
+  }
+}
+
+// Force the write-combining NT scatter (normally gated behind a
+// beyond-LLC payload) onto a small input and check it sorts correctly.
+TEST_P(SortDistributions, NtScatterPathMatchesStdSort) {
+  const std::size_t saved = detail::wc_nt_threshold();
+  detail::wc_nt_threshold() = 1;  // every split scatter takes the NT path
+  for (std::size_t n : {98305ul, 262144ul}) {
+    auto v = GetParam().make(n);
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    wc_radix_sort(v);
+    EXPECT_EQ(v, expect) << GetParam().name << " n=" << n;
+  }
+  detail::wc_nt_threshold() = saved;
+}
 
 TEST(Sort, LsdSkipsUniformBytes) {
   // Keys within one byte of range: only one counting pass + one permute.
@@ -215,6 +295,45 @@ TEST(Accumulate, SingleRun) {
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].count, 100u);
 }
+
+// Pair-record fused sort+accumulate vs the reference two-step pipeline.
+// 60000 records (≈ 940 KB) exceed kWcBlockBytes, so the engine's split
+// path runs on the pair layout too.
+TEST(Accumulate, FusedPairsEqualReference) {
+  for (std::size_t n : {0ul, 1ul, 63ul, 5000ul, 60000ul}) {
+    Xoshiro256 rng(51);
+    std::vector<kmer::KmerCount64> v(n);
+    for (auto& kc : v) kc = {rng.below(n / 4 + 2), 1 + rng.below(3)};
+    auto ref = v;
+    std::sort(ref.begin(), ref.end(),
+              [](const auto& a, const auto& b) { return a.kmer < b.kmer; });
+    const auto expect = refsort::accumulate_pairs(ref);
+    const SortStats st = wc_sort_accumulate_pairs(v);
+    EXPECT_EQ(v, expect) << "n=" << n;
+    EXPECT_EQ(st.elements, n);
+  }
+}
+
+#ifdef __SIZEOF_INT128__
+TEST(Accumulate, FusedPairs128EqualReference) {
+  for (std::size_t n : {1ul, 64ul, 5000ul, 50000ul}) {
+    Xoshiro256 rng(52);
+    std::vector<kmer::KmerCount<kmer::Kmer128>> v(n);
+    for (auto& kc : v) {
+      // High entropy in both 64-bit halves of the 128-bit key.
+      const auto key = (static_cast<kmer::Kmer128>(rng.below(64)) << 64) |
+                       rng.below(1024);
+      kc = {key, 1 + rng.below(3)};
+    }
+    auto ref = v;
+    std::sort(ref.begin(), ref.end(),
+              [](const auto& a, const auto& b) { return a.kmer < b.kmer; });
+    const auto expect = refsort::accumulate_pairs(ref);
+    wc_sort_accumulate_pairs(v);
+    EXPECT_EQ(v, expect) << "n=" << n;
+  }
+}
+#endif
 
 }  // namespace
 }  // namespace dakc::sort

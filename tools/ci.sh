@@ -12,10 +12,16 @@ build="${1:-$repo/build}"
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build" -j "$(nproc)"
 
-(cd "$build" && ctest --output-on-failure -j "$(nproc)")
+# Tier-1 excludes the perf-labelled ctest entries; the harness runs
+# explicitly below (serially, after the functional suite is green).
+(cd "$build" && ctest --output-on-failure -LE perf -j "$(nproc)")
 
 "$build/tools/perf_baseline" --out "$build/BENCH_kernels.json"
 python3 "$repo/tools/check_perf.py" \
   --bench "$build/BENCH_kernels.json" \
   --baseline "$repo/tools/perf_baseline.json" \
   --tolerance 20%
+
+# Green run: refresh the committed perf snapshot so the repo-root copy
+# can't silently go stale relative to the code that produced it.
+cp "$build/BENCH_kernels.json" "$repo/BENCH_kernels.json"

@@ -1,10 +1,11 @@
 // perf_baseline: the perf-regression harness's measurement half.
 //
-// Times the host-side hot kernels the overhaul touched — k-mer
-// extraction, base encoding, minimizers, conveyor push, LSD radix sort,
-// and the cachesim replay loop — and, where a frozen pre-overhaul
-// implementation exists (bench/reference_kernels.hpp), times that too so
-// the emitted JSON carries a same-binary NEW-vs-REF speedup.
+// Times the host-side hot kernels the overhauls touched — k-mer
+// extraction, base encoding, minimizers, conveyor push, the sort engine
+// (LSD, hybrid MSD, accumulate, fused sort+accumulate), and the cachesim
+// replay loop — and, where a frozen pre-overhaul implementation exists
+// (bench/reference_kernels.hpp, bench/reference_sort.hpp), times that
+// too so the emitted JSON carries a same-binary NEW-vs-REF speedup.
 //
 // Output: BENCH_kernels.json (or --out PATH), consumed by
 // tools/check_perf.py, which compares against the committed
@@ -12,6 +13,7 @@
 //
 // Methodology: fixed work sizes, best-of-N wall-clock (steady_clock) so a
 // background hiccup inflates one repetition, not the reported number.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -23,8 +25,11 @@
 #include "kmer/extract.hpp"
 #include "net/fabric.hpp"
 #include "reference_kernels.hpp"
+#include "reference_sort.hpp"
 #include "sim/genome.hpp"
+#include "sort/accumulate.hpp"
 #include "sort/radix.hpp"
+#include "sort/wc_radix.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -46,6 +51,33 @@ double best_of(Fn&& fn, int reps = 9) {
   return best;
 }
 
+// Interleaved best-of-N for NEW-vs-REF pairs: each repetition runs both
+// kernels back to back (untimed prep, then the timed kernel), so a
+// background-load window degrades (or spares) both sides equally and
+// the reported ratio stays about the kernels. Sequential best_of blocks
+// can land in different machine states and skew the ratio either way;
+// keeping the prep (input copy into a persistent buffer) outside the
+// timed region keeps allocator page faults out of the numbers.
+template <typename PA, typename FA, typename PB, typename FB>
+void best_of_pair(PA&& prep_a, FA&& fa, PB&& prep_b, FB&& fb, int reps,
+                  double* ta, double* tb) {
+  using Clock = std::chrono::steady_clock;
+  *ta = 1e300;
+  *tb = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    prep_a();
+    const auto a0 = Clock::now();
+    fa();
+    const auto a1 = Clock::now();
+    prep_b();
+    const auto b0 = Clock::now();
+    fb();
+    const auto b1 = Clock::now();
+    *ta = std::min(*ta, std::chrono::duration<double>(a1 - a0).count());
+    *tb = std::min(*tb, std::chrono::duration<double>(b1 - b0).count());
+  }
+}
+
 struct Result {
   std::string name;
   double new_seconds = 0.0;
@@ -64,6 +96,17 @@ std::vector<std::uint64_t> bench_keys(std::size_t n) {
   Xoshiro256 rng(6);
   std::vector<std::uint64_t> v(n);
   for (auto& x : v) x = rng();
+  return v;
+}
+
+// Keys with ~8x multiplicity (a pool of n/8 distinct values), the shape
+// the accumulate kernels exist for.
+std::vector<std::uint64_t> bench_dup_keys(std::size_t n) {
+  Xoshiro256 rng(7);
+  std::vector<std::uint64_t> pool(n / 8);
+  for (auto& x : pool) x = rng();
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = pool[rng.below(pool.size())];
   return v;
 }
 
@@ -147,14 +190,91 @@ Result bench_conveyor_push() {
   return r;
 }
 
+// The two gated sort kernels get the careful treatment: interleaved
+// NEW/REF repetitions (their floors are the tightest in check_perf.py)
+// and more of them than the ungated benches. Both sorts run in place,
+// so each repetition refills a persistent buffer from `keys` in the
+// untimed prep step — the timed region is the sort kernel alone.
+constexpr int kSortReps = 21;
+
 Result bench_lsd_sort() {
-  const auto keys = bench_keys(1 << 20);
+  const auto keys = bench_keys(1 << 22);
   Result r{"lsd_radix_sort", 0, 0, keys.size()};
+  std::vector<std::uint64_t> v;
+  const auto refill = [&] { v.assign(keys.begin(), keys.end()); };
+  best_of_pair(
+      refill,
+      [&] {
+        sort::lsd_radix_sort(v);
+        g_sink = g_sink + v.front();
+      },
+      refill,
+      [&] {
+        refsort::lsd_radix_sort(v);
+        g_sink = g_sink + v.front();
+      },
+      kSortReps, &r.new_seconds, &r.ref_seconds);
+  return r;
+}
+
+// The hybrid MSD sort is intentionally unchanged by the sort overhaul
+// (its measured SortStats feed the pinned simulation goldens), so this
+// pair should report ~1.0x; it guards against accidental divergence.
+Result bench_hybrid_sort() {
+  const auto keys = bench_keys(1 << 18);
+  Result r{"hybrid_msd_sort", 0, 0, keys.size()};
   r.new_seconds = best_of([&] {
     auto v = keys;
-    sort::lsd_radix_sort(v);
+    sort::hybrid_radix_sort(v);
     g_sink = g_sink + v.front();
   });
+  r.ref_seconds = best_of([&] {
+    auto v = keys;
+    refsort::hybrid_msd_sort(v);
+    g_sink = g_sink + v.front();
+  });
+  return r;
+}
+
+// Standalone Accumulate sweep over a pre-sorted array (also ~1.0x by
+// construction; the win from fusing it into the sort shows up in
+// fused_accumulate below).
+Result bench_accumulate() {
+  auto keys = bench_dup_keys(1 << 20);
+  sort::lsd_radix_sort(keys);
+  Result r{"accumulate", 0, 0, keys.size()};
+  r.new_seconds = best_of([&] {
+    const auto out = sort::accumulate(keys);
+    g_sink = g_sink + out.size();
+  });
+  r.ref_seconds = best_of([&] {
+    const auto out = refsort::accumulate(keys);
+    g_sink = g_sink + out.size();
+  });
+  return r;
+}
+
+// Fused sort+accumulate (the overhauled phase-2 pipeline) vs the frozen
+// two-step pipeline it replaced: reference LSD sort, then a separate
+// Accumulate sweep.
+Result bench_fused_accumulate() {
+  const auto keys = bench_dup_keys(1 << 22);
+  Result r{"fused_accumulate", 0, 0, keys.size()};
+  std::vector<std::uint64_t> v;
+  const auto refill = [&] { v.assign(keys.begin(), keys.end()); };
+  best_of_pair(
+      refill,
+      [&] {
+        const auto out = sort::wc_sort_accumulate(v);
+        g_sink = g_sink + out.size();
+      },
+      refill,
+      [&] {
+        refsort::lsd_radix_sort(v);
+        const auto out = refsort::accumulate(v);
+        g_sink = g_sink + out.size();
+      },
+      kSortReps, &r.new_seconds, &r.ref_seconds);
   return r;
 }
 
@@ -222,6 +342,9 @@ int main(int argc, char** argv) {
   results.push_back(bench_minimizer());
   results.push_back(bench_conveyor_push());
   results.push_back(bench_lsd_sort());
+  results.push_back(bench_hybrid_sort());
+  results.push_back(bench_accumulate());
+  results.push_back(bench_fused_accumulate());
   results.push_back(bench_cachesim_replay());
 
   // Calibration = the frozen reference extractor's time. Its code never
