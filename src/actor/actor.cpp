@@ -1,5 +1,7 @@
 #include "actor/actor.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace dakc::actor {
@@ -25,25 +27,63 @@ constexpr std::uint8_t desc_kind(std::uint64_t d) {
 
 Actor::Actor(net::Pe& pe, ActorConfig config,
              conveyor::ConveyorConfig conv_config)
-    : pe_(pe), config_(config), conveyor_(pe, conv_config) {
-  DAKC_CHECK(config_.l1_packets >= 1);
+    : pe_(pe),
+      config_(config),
+      conveyor_(pe, conv_config),
+      l1_limit_(config.l1_packets),
+      l1_accounted_(static_cast<double>(config.l1_bytes)) {
+  DAKC_CHECK_MSG(config_.l1_packets >= 1,
+                 "ActorConfig.l1_packets must be >= 1");
+  DAKC_CHECK_MSG(config_.l1_bytes > 0, "ActorConfig.l1_bytes must be > 0");
+  DAKC_CHECK_MSG(config_.poll_interval >= 1,
+                 "ActorConfig.poll_interval must be >= 1");
+  DAKC_CHECK_MSG(config_.send_ops >= 0.0 && config_.dispatch_ops >= 0.0,
+                 "ActorConfig op charges must be non-negative");
   // Size the staging FIFO for its steady state (descriptor + a couple of
   // payload words per packet) so the first few drains don't regrow it.
   l1_.reserve(config_.l1_packets * 4);
-  pe_.account_alloc(static_cast<double>(config_.l1_bytes));
+  pe_.account_alloc(l1_accounted_);
+  // The callback must stay trivial (fabric contract): the heavy response
+  // runs at the next send(), outside the fabric's call stack.
+  pressure_handle_ =
+      pe_.add_pressure_listener([this] { pressure_flag_ = true; });
 }
 
-Actor::~Actor() { pe_.account_free(static_cast<double>(config_.l1_bytes)); }
+Actor::~Actor() {
+  pe_.remove_pressure_listener(pressure_handle_);
+  pe_.account_free(l1_accounted_);
+}
+
+void Actor::apply_pressure() {
+  pressure_flag_ = false;
+  // Shed staged packets toward the network, then halve the L1 budget so
+  // this PE holds less staging memory for the rest of the episode.
+  drain_l1();
+  if (l1_limit_ > 1) {
+    l1_limit_ = std::max<std::size_t>(1, l1_limit_ / 2);
+    const double freed = l1_accounted_ / 2.0;
+    l1_accounted_ -= freed;
+    pe_.account_free(freed);
+    ++pe_.counters().buffer_shrinks;
+  }
+  backpressure_ = true;
+}
 
 void Actor::send(int dst, const std::uint64_t* words, std::size_t n,
                  std::uint8_t kind) {
   DAKC_CHECK_MSG(!done_, "send() after done() returned");
   DAKC_CHECK(n >= 1);
+  if (pressure_flag_) apply_pressure();
+  if (backpressure_) {
+    // Consume instead of produce until the node has headroom again.
+    progress();
+    if (pe_.memory_utilization() < 0.7) backpressure_ = false;
+  }
   ++sent_;
   pe_.charge_compute_ops(config_.send_ops);
   l1_.push_back(make_desc(dst, n, kind));
   l1_.insert(l1_.end(), words, words + n);
-  if (++l1_count_ >= config_.l1_packets) drain_l1();
+  if (++l1_count_ >= l1_limit_) drain_l1();
   if (++sends_since_poll_ >= config_.poll_interval) {
     sends_since_poll_ = 0;
     progress();
@@ -70,10 +110,18 @@ void Actor::dispatch_ready() {
     pe_.charge_compute_ops(config_.dispatch_ops);
     handler_(pkt.kind, pkt.words.data(), pkt.words.size());
     ++handled_;
+    // A long dispatch burst can grow receive-side state (the handler
+    // appends to T) straight through the pressure rungs — respond here,
+    // not only on the send path.
+    if (pressure_flag_) apply_pressure();
   }
 }
 
 void Actor::progress() {
+  // Memory pressure can build while a PE only receives (the phase-end
+  // drain grows T with no further send()s), so the degradation response
+  // hooks the receive path too.
+  if (pressure_flag_) apply_pressure();
   conveyor_.progress();
   dispatch_ready();
 }
@@ -90,6 +138,7 @@ void Actor::done() {
     // otherwise the quiescence reduction could see matching global
     // counters while undispatched work sits here.
     do {
+      if (pressure_flag_) apply_pressure();
       dispatch_ready();
       drain_l1();
     } while (conveyor_.has_ready());

@@ -81,12 +81,23 @@ class Actor {
   // -- introspection -----------------------------------------------------
   std::uint64_t sent() const { return sent_; }
   std::uint64_t handled() const { return handled_; }
-  std::size_t l1_buffer_bytes() const { return config_.l1_bytes; }
+  /// Currently accounted L1 bytes (shrinks under memory pressure).
+  std::size_t l1_buffer_bytes() const {
+    return static_cast<std::size_t>(l1_accounted_);
+  }
+  /// Current L1 packet budget (halved per pressure response).
+  std::size_t l1_packet_limit() const { return l1_limit_; }
+  /// True while the actor is in backpressure mode (draining instead of
+  /// buffering because its node is short on memory).
+  bool under_backpressure() const { return backpressure_; }
   const conveyor::Conveyor& conveyor() const { return conveyor_; }
 
  private:
   void drain_l1();
   void dispatch_ready();
+  /// Heavy response to a pending memory-pressure signal, run at the next
+  /// send(): drain + halve the L1 budget and enter backpressure mode.
+  void apply_pressure();
 
   net::Pe& pe_;
   ActorConfig config_;
@@ -98,6 +109,12 @@ class Actor {
   std::uint64_t sent_ = 0;
   std::uint64_t handled_ = 0;
   std::size_t sends_since_poll_ = 0;
+  // -- graceful degradation state ---------------------------------------
+  std::size_t l1_limit_;     ///< live packet budget (starts at l1_packets)
+  double l1_accounted_;      ///< live accounted bytes (starts at l1_bytes)
+  bool pressure_flag_ = false;  ///< set by the fabric's pressure callback
+  bool backpressure_ = false;
+  std::size_t pressure_handle_ = 0;
   bool done_ = false;
 };
 

@@ -33,6 +33,24 @@ constexpr std::uint8_t desc_hops(std::uint64_t d) {
 
 int int_ceil_div(int a, int b) { return (a + b - 1) / b; }
 
+// Reliable-frame header word (slot 0 of a lane buffer when the protocol
+// is armed): [magic 0xC5 : 8 | reserved : 24 | seq : 32].
+constexpr std::uint64_t kFrameMagic = 0xC5ULL << 56;
+constexpr std::uint64_t make_frame_header(std::uint32_t seq) {
+  return kFrameMagic | seq;
+}
+constexpr bool frame_header_ok(std::uint64_t w) {
+  return (w >> 56) == 0xC5ULL;
+}
+constexpr std::uint32_t frame_seq(std::uint64_t w) {
+  return static_cast<std::uint32_t>(w & 0xFFFFFFFFu);
+}
+
+/// seq_a strictly before seq_b in modular 32-bit sequence space.
+constexpr bool seq_before(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
 }  // namespace
 
 const char* protocol_name(Protocol p) {
@@ -138,13 +156,36 @@ Conveyor::Conveyor(net::Pe& pe, ConveyorConfig config)
       router_(config.protocol, pe.size()),
       header_wire_bytes_(config.protocol == Protocol::k1D ? 0.0 : 4.0),
       lane_capacity_words_(config.lane_bytes / 8) {
+  DAKC_CHECK_MSG(config_.lane_bytes > 0,
+                 "ConveyorConfig.lane_bytes must be positive");
   DAKC_CHECK_MSG(lane_capacity_words_ >= 16,
                  "lane_bytes too small to hold packets");
+  DAKC_CHECK_MSG(config_.push_ops >= 0.0,
+                 "ConveyorConfig.push_ops must be non-negative");
+  DAKC_CHECK_MSG(config_.rto_seconds > 0.0 &&
+                     config_.rto_max_seconds >= config_.rto_seconds,
+                 "ConveyorConfig retransmit timeouts must satisfy "
+                 "0 < rto_seconds <= rto_max_seconds");
+  DAKC_CHECK_MSG(config_.stale_rounds >= 1,
+                 "ConveyorConfig.stale_rounds must be >= 1");
+  reliable_ =
+      config_.reliability == Reliability::kOn ||
+      (config_.reliability == Reliability::kAuto &&
+       pe_.fault_config().any_message_faults() && pe_.faults_enabled());
   lanes_.resize(static_cast<std::size_t>(pe.size()));
 }
 
 Conveyor::~Conveyor() {
   pe_.account_free(static_cast<double>(lane_buffer_bytes()));
+  for (auto& [dst, link] : send_links_)
+    for (const Frame& fr : link.unacked)
+      pe_.account_free(static_cast<double>(fr.words.size()) * 8.0);
+}
+
+std::size_t Conveyor::unacked_frames() const {
+  std::size_t n = 0;
+  for (const auto& [dst, link] : send_links_) n += link.unacked.size();
+  return n;
 }
 
 std::size_t Conveyor::lane_buffer_bytes() const {
@@ -209,6 +250,9 @@ void Conveyor::route(int dst, const std::uint64_t* words, std::size_t n,
     // so high-PE simulations stay affordable.
     pe_.account_alloc(static_cast<double>(config_.lane_bytes));
   }
+  // Armed reliability reserves slot 0 of every frame for the sequence
+  // header, filled in at flush time.
+  if (reliable_ && lane.words.empty()) lane.words.push_back(0);
   lane.words.push_back(make_descriptor(dst, n, kind,
                                        static_cast<std::uint8_t>(hops + 1)));
   lane.words.insert(lane.words.end(), words, words + n);
@@ -218,7 +262,7 @@ void Conveyor::route(int dst, const std::uint64_t* words, std::size_t n,
 
 void Conveyor::flush_lane(Lane& lane, int next_hop) {
   if (lane.words.empty()) return;
-  const double wire = lane.wire_bytes;
+  double wire = lane.wire_bytes;
   // Swap in a pooled buffer: the lane keeps its grown capacity on the
   // recycled vector instead of re-growing from zero after every flush.
   std::vector<std::uint64_t> out;
@@ -228,7 +272,24 @@ void Conveyor::flush_lane(Lane& lane, int next_hop) {
   }
   out.swap(lane.words);
   lane.wire_bytes = 0.0;
-  pe_.put(next_hop, std::move(out), net::Pe::kAppTag, wire);
+  if (!reliable_) {
+    pe_.put(next_hop, std::move(out), net::Pe::kAppTag, wire);
+    return;
+  }
+  // Go-Back-N sender: stamp the frame with this link's next sequence
+  // number, retain a copy until the cumulative ack covers it, and ship it
+  // best-effort (the fault plane may drop or duplicate it — recovery is
+  // our job now, not the transport's).
+  SendLink& link = send_links_[next_hop];
+  const std::uint32_t seq = link.next_seq++;
+  out[0] = make_frame_header(seq);
+  wire += 8.0;  // sequence header rides the wire
+  pe_.account_alloc(static_cast<double>(out.size()) * 8.0);
+  if (link.unacked.empty()) link.rto = config_.rto_seconds;
+  link.unacked.push_back({seq, out, wire});
+  pe_.put(next_hop, std::move(out), net::Pe::kAppTag, wire,
+          net::Delivery::kBestEffort);
+  link.last_send = pe_.now();
 }
 
 void Conveyor::flush_all() {
@@ -250,15 +311,16 @@ void Conveyor::deliver_local(std::uint8_t kind, const std::uint64_t* words,
   ++hop_hist_[std::min<std::uint8_t>(hops, 3)];
 }
 
-void Conveyor::unpack_message(net::Message& msg) {
+void Conveyor::unpack_message(net::Message& msg, std::size_t offset) {
   // Move the payload into a slab and deliver local packets as views into
   // it — the only per-word copy on the delivery path happens in pull(),
-  // straight into the caller's buffer.
+  // straight into the caller's buffer. `offset` skips the reliability
+  // frame header when the protocol is armed.
   const std::uint32_t id = acquire_slab();
   Slab& slab = slabs_[id];
   slab.words = std::move(msg.payload);
   const auto& w = slab.words;
-  std::size_t i = 0;
+  std::size_t i = offset;
   std::uint32_t local = 0;
   while (i < w.size()) {
     const std::uint64_t desc = w[i++];
@@ -283,9 +345,73 @@ void Conveyor::unpack_message(net::Message& msg) {
   if (local == 0) release_slab(id);
 }
 
+void Conveyor::handle_frame(net::Message& msg) {
+  DAKC_CHECK_MSG(!msg.payload.empty() && frame_header_ok(msg.payload[0]),
+                 "reliable conveyor received an unframed message");
+  RecvLink& link = recv_links_[msg.src];
+  const std::uint32_t seq = frame_seq(msg.payload[0]);
+  // Re-ack on every frame, accepted or not: a discarded retransmission
+  // means our previous ack was lost, and only a fresh ack stops the
+  // sender's backoff loop.
+  link.ack_dirty = true;
+  if (seq != link.expected) {
+    // Go-Back-N receiver: anything but the next expected frame is a
+    // duplicate (retransmit raced the ack, or the fault plane duplicated
+    // it) or out of order; discard it — the sender will resend in order.
+    ++pe_.counters().dedup_discards;
+    return;
+  }
+  ++link.expected;
+  unpack_message(msg, /*offset=*/1);
+}
+
+void Conveyor::handle_ack(const net::Message& msg) {
+  DAKC_CHECK_MSG(msg.payload.size() == 1, "malformed conveyor ack");
+  SendLink& link = send_links_[msg.src];
+  const auto ack = static_cast<std::uint32_t>(msg.payload[0] & 0xFFFFFFFFu);
+  // Cumulative: everything strictly before `ack` is delivered.
+  while (!link.unacked.empty() && seq_before(link.unacked.front().seq, ack)) {
+    pe_.account_free(
+        static_cast<double>(link.unacked.front().words.size()) * 8.0);
+    link.unacked.pop_front();
+    link.rto = config_.rto_seconds;  // forward progress resets backoff
+  }
+}
+
+void Conveyor::send_pending_acks() {
+  for (auto& [src, link] : recv_links_) {
+    if (!link.ack_dirty) continue;
+    link.ack_dirty = false;
+    pe_.put(src, {static_cast<std::uint64_t>(link.expected)}, kAckTag,
+            /*wire_bytes=*/8.0, net::Delivery::kBestEffort);
+    ++pe_.counters().acks_sent;
+  }
+}
+
+void Conveyor::maybe_retransmit(bool force) {
+  for (auto& [dst, link] : send_links_) {
+    if (link.unacked.empty()) continue;
+    if (!force && pe_.now() < link.last_send + link.rto) continue;
+    for (const Frame& fr : link.unacked) {
+      pe_.put(dst, fr.words, net::Pe::kAppTag, fr.wire_bytes,
+              net::Delivery::kBestEffort);
+      ++pe_.counters().retransmits;
+    }
+    link.last_send = pe_.now();
+    link.rto = std::min(link.rto * 2.0, config_.rto_max_seconds);
+  }
+}
+
 void Conveyor::progress() {
   net::Message msg;
-  while (pe_.try_recv(&msg)) unpack_message(msg);
+  if (!reliable_) {
+    while (pe_.try_recv(&msg)) unpack_message(msg);
+    return;
+  }
+  while (pe_.try_recv(&msg, kAckTag)) handle_ack(msg);
+  while (pe_.try_recv(&msg)) handle_frame(msg);
+  send_pending_acks();
+  maybe_retransmit(/*force=*/false);
 }
 
 bool Conveyor::pull(Packet* out) {
@@ -309,6 +435,14 @@ void Conveyor::finish(const std::function<void()>& on_progress) {
   // is older than the barrier release, so the first counting round below
   // usually confirms quiescence immediately (1D never needs a second).
   pe_.barrier();
+  // Retransmit-aware quiescence: under loss, sent-vs-delivered can sit
+  // unequal with nothing in flight (the frames are gone). Track global
+  // delivery progress across rounds; when it stalls for stale_rounds
+  // consecutive reductions, force-retransmit all unacked frames — RTO
+  // timers alone cannot be trusted here because zero-cost clocks never
+  // advance.
+  std::uint64_t last_delivered = ~0ull;
+  int stale = 0;
   while (true) {
     progress();
     if (on_progress) on_progress();  // may push() follow-up packets
@@ -317,6 +451,18 @@ void Conveyor::finish(const std::function<void()>& on_progress) {
         pe_.allreduce_sum2(injected_, delivered_);
     DAKC_ASSERT(global_delivered <= global_injected);
     if (global_injected == global_delivered) break;
+    if (reliable_) {
+      if (global_delivered == last_delivered) {
+        if (++stale >= config_.stale_rounds) {
+          maybe_retransmit(/*force=*/true);
+          send_pending_acks();
+          stale = 0;
+        }
+      } else {
+        stale = 0;
+        last_delivered = global_delivered;
+      }
+    }
     // Packets are still in flight; fast-forward to our next arrival (if
     // any) so the next progress() sees it. PEs with nothing inbound just
     // ride the reduction rounds, whose cost advances their clocks.

@@ -44,6 +44,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "net/fabric.hpp"
@@ -54,6 +55,13 @@ enum class Protocol : std::uint8_t { k1D, k2D, k3D };
 
 const char* protocol_name(Protocol p);
 
+/// Whether the conveyor runs its software reliability protocol
+/// (sequence-numbered frames, cumulative acks, retransmit, dedup) on top
+/// of best-effort delivery. kAuto arms it exactly when the fabric's fault
+/// plane can corrupt the message stream, so fault-free runs stay
+/// bit-identical to a build without the protocol.
+enum class Reliability : std::uint8_t { kAuto, kOff, kOn };
+
 struct ConveyorConfig {
   Protocol protocol = Protocol::k1D;
   /// Lane capacity in bytes (paper Table III: 40 KiB per L0 buffer).
@@ -63,6 +71,18 @@ struct ConveyorConfig {
   /// checks) — tens of nanoseconds per packet in the real library, which
   /// is exactly the overhead the paper's L2 layer amortizes (Fig. 12).
   double push_ops = 40.0;
+  // -- reliability protocol (Go-Back-N over best-effort puts) ------------
+  Reliability reliability = Reliability::kAuto;
+  /// Initial retransmission timeout; doubles per firing (exponential
+  /// backoff) up to rto_max_seconds, and resets when an ack makes
+  /// progress.
+  double rto_seconds = 50e-6;
+  double rto_max_seconds = 800e-6;
+  /// In finish(), the number of consecutive quiescence rounds with no
+  /// global delivery progress before unacked frames are force-retransmit
+  /// (covers zero-cost runs, where clocks never advance and the RTO timer
+  /// can therefore never fire).
+  int stale_rounds = 2;
 };
 
 /// A delivered packet. `kind` is an application tag (DAKC uses it to mark
@@ -148,6 +168,10 @@ class Conveyor {
   std::uint64_t delivered() const { return delivered_; }
   /// Packets this PE relayed on behalf of others.
   std::uint64_t relayed() const { return relayed_; }
+  /// True when the reliability protocol is armed on this conveyor.
+  bool reliable() const { return reliable_; }
+  /// Frames sent but not yet cumulatively acked (retransmit candidates).
+  std::size_t unacked_frames() const;
   /// Distribution of hop counts over packets delivered here (index 0 =
   /// self-delivery, 1..3 = network hops).
   const std::uint64_t* hop_histogram() const { return hop_hist_; }
@@ -181,13 +205,41 @@ class Conveyor {
   };
   static constexpr std::uint32_t kNoSlab = ~0u;
 
+  /// Ack control messages travel on their own tag so they never mix with
+  /// data frames (collective tags are positive, data is tag 0).
+  static constexpr int kAckTag = -2;
+
+  /// One sent-but-unacked frame, retained for Go-Back-N retransmission.
+  struct Frame {
+    std::uint32_t seq;
+    std::vector<std::uint64_t> words;
+    double wire_bytes;
+  };
+  struct SendLink {
+    std::uint32_t next_seq = 0;
+    std::deque<Frame> unacked;
+    des::SimTime last_send = 0.0;
+    double rto = 0.0;
+  };
+  struct RecvLink {
+    std::uint32_t expected = 0;
+    bool ack_dirty = false;
+  };
+
   void route(int dst, const std::uint64_t* words, std::size_t n,
              std::uint8_t kind, std::uint8_t hops);
   void flush_lane(Lane& lane, int next_hop);
   void flush_all();
   void deliver_local(std::uint8_t kind, const std::uint64_t* words,
                      std::size_t n, std::uint8_t hops);
-  void unpack_message(net::Message& msg);
+  void unpack_message(net::Message& msg, std::size_t offset = 0);
+  // Reliability protocol internals (no-ops unless reliable_):
+  void handle_frame(net::Message& msg);
+  void handle_ack(const net::Message& msg);
+  void send_pending_acks();
+  /// Retransmit every unacked frame on links whose RTO expired (or on all
+  /// links with backlog when `force`), doubling the link's RTO each time.
+  void maybe_retransmit(bool force);
   /// Pop a slab off the free list (or grow slabs_); the slab's words
   /// vector keeps whatever capacity its last use grew.
   std::uint32_t acquire_slab();
@@ -217,6 +269,13 @@ class Conveyor {
   std::uint64_t hop_hist_[4] = {0, 0, 0, 0};
   bool finished_ = false;
   bool endgame_ = false;
+  /// Armed reliability protocol (resolved from config.reliability at
+  /// construction; see Reliability).
+  bool reliable_ = false;
+  /// Per-peer protocol state, keyed by next-hop / source PE. Ordered maps
+  /// keep ack and retransmit iteration deterministic.
+  std::map<int, SendLink> send_links_;
+  std::map<int, RecvLink> recv_links_;
 };
 
 }  // namespace dakc::conveyor

@@ -41,6 +41,15 @@ struct CountConfig {
   net::MachineParams machine;
   bool zero_cost = false;  ///< functional mode for tests
   double node_memory_limit = 0.0;  ///< bytes; 0 = unlimited (Fig. 8 uses it)
+  /// Deterministic fault injection (net/fault.hpp). All-zero rates (the
+  /// default) keep the zero-fault path bit-identical to the seed goldens;
+  /// any message-fault rate arms the conveyor's reliability protocol.
+  net::FaultConfig faults;
+  /// Graceful memory degradation: under node_memory_limit, signal
+  /// pressure listeners (actor/DAKC shrink L1/L2/L3 and backpressure)
+  /// instead of throwing at the soft threshold; hard OOM still reported
+  /// at the limit. Off = the Fig. 8 fail-fast behavior.
+  bool graceful_memory = false;
 
   // -- BSP parameters (Algorithm 2) ---------------------------------------
   /// Batch size b: k-mers generated per PE between collective rounds.
@@ -85,6 +94,8 @@ struct RunReport {
   std::string backend;
   bool oom = false;       ///< a node exceeded its memory budget (Fig. 8)
   int oom_node = -1;
+  /// Size of the allocation that tipped the node over (0 when !oom).
+  double oom_alloc_bytes = 0.0;
 
   double makespan = 0.0;      ///< simulated end-to-end seconds
   double phase1_seconds = 0.0;///< max over PEs: parse+reshuffle (incl. barrier)
@@ -102,6 +113,19 @@ struct RunReport {
   std::uint64_t messages = 0;
 
   double node_mem_high = 0.0;  ///< max over nodes of accounted high water
+
+  // -- reliability / degradation counters (sums over PEs; all zero when
+  //    the fault plane and graceful_memory are off) ----------------------
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t faults_delayed = 0;
+  std::uint64_t brownout_chunks = 0;
+  std::uint64_t hw_retransmits = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dedup_discards = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t pressure_events = 0;
+  std::uint64_t buffer_shrinks = 0;
 
   std::uint64_t total_kmers = 0;    ///< sum of counts
   std::uint64_t distinct_kmers = 0;

@@ -80,6 +80,16 @@ void fill_report_from_fabric(const net::Fabric& fabric,
     report->bytes_internode += c.bytes_inter;
     report->bytes_intranode += c.bytes_intra;
     report->messages += c.puts_inter + c.puts_intra;
+    report->faults_dropped += c.faults_dropped;
+    report->faults_duplicated += c.faults_duplicated;
+    report->faults_delayed += c.faults_delayed;
+    report->brownout_chunks += c.brownout_chunks;
+    report->hw_retransmits += c.hw_retransmits;
+    report->retransmits += c.retransmits;
+    report->dedup_discards += c.dedup_discards;
+    report->acks_sent += c.acks_sent;
+    report->pressure_events += c.pressure_events;
+    report->buffer_shrinks += c.buffer_shrinks;
   }
   for (const auto& o : outputs) {
     report->phase1_seconds = std::max(report->phase1_seconds, o.phase1_end);

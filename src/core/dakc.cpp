@@ -24,37 +24,44 @@ class DakcPe {
         config_(config),
         actor_(pe, make_actor_config(config), make_conveyor_config(config)),
         l2n_(static_cast<std::size_t>(pe.size())),
-        l2h_(static_cast<std::size_t>(pe.size())) {
+        l2h_(static_cast<std::size_t>(pe.size())),
+        c2_eff_(config.c2),
+        c3_eff_(config.c3) {
     actor_.set_handler([this](std::uint8_t kind, const std::uint64_t* w,
                               std::size_t n) { handle(kind, w, n); });
     if (config_.l2_enabled) {
       for (auto& b : l2n_) b.reserve(config_.c2);
       for (auto& b : l2h_) b.reserve(config_.c2);
       // Table III: L2 memory = 264 B per destination, two buffer sets.
-      pe_.account_alloc(static_cast<double>(pe_.size()) *
-                        static_cast<double>(config_.c2) * 8.0 * 2.0);
+      l2_accounted_ = static_cast<double>(pe_.size()) *
+                      static_cast<double>(config_.c2) * 8.0 * 2.0;
+      pe_.account_alloc(l2_accounted_);
     }
     if (config_.l3_enabled) {
       l3_.reserve(config_.c3);
-      pe_.account_alloc(static_cast<double>(config_.c3) * 8.0);
+      l3_accounted_ = static_cast<double>(config_.c3) * 8.0;
+      pe_.account_alloc(l3_accounted_);
     }
+    // Trivial flag-set callback (fabric contract); the heavy degradation
+    // response runs at the next async_add, outside the fabric call stack.
+    pressure_handle_ =
+        pe_.add_pressure_listener([this] { pressure_flag_ = true; });
   }
 
   ~DakcPe() {
-    if (config_.l2_enabled)
-      pe_.account_free(static_cast<double>(pe_.size()) *
-                       static_cast<double>(config_.c2) * 8.0 * 2.0);
-    if (config_.l3_enabled)
-      pe_.account_free(static_cast<double>(config_.c3) * 8.0);
+    pe_.remove_pressure_listener(pressure_handle_);
+    if (config_.l2_enabled) pe_.account_free(l2_accounted_);
+    if (config_.l3_enabled) pe_.account_free(l3_accounted_);
     if (t_accounted_ > 0.0) pe_.account_free(t_accounted_);
   }
 
   /// Algorithm 4's AsyncAdd: entry point for every parsed k-mer.
   void async_add(kmer::Kmer64 km) {
+    if (pressure_flag_) degrade();
     pe_.charge_compute_ops(2.0);  // owner hash + buffer bookkeeping
     if (config_.l3_enabled) {
       l3_.push_back(km);
-      if (l3_.size() >= config_.c3) flush_l3();
+      if (l3_.size() >= c3_eff_) flush_l3();
       return;
     }
     add_to_l2(km, 1);
@@ -93,6 +100,7 @@ class DakcPe {
   /// Receive side (ProcessReceiveBuffer): append into T, or fold into
   /// the hash table (future-work phase-2 mode).
   void handle(std::uint8_t kind, const std::uint64_t* w, std::size_t n) {
+    if (pressure_flag_) degrade();
     if (config_.phase2_hash) {
       std::size_t probes = 0;
       if (kind == kPacketHeavy) {
@@ -161,6 +169,38 @@ class DakcPe {
     }
   }
 
+  /// Graceful degradation (memory-pressure response): flush every staging
+  /// buffer toward its destination, then halve the effective L2/L3
+  /// capacities so this PE buffers less until the episode ends. Receive
+  /// array T is NOT shrinkable — it holds the phase-1 result — so under
+  /// sustained pressure a run still ends in hard OOM at the limit.
+  void degrade() {
+    pressure_flag_ = false;
+    if (config_.l3_enabled) {
+      flush_l3();
+      if (c3_eff_ > 16) {
+        c3_eff_ = std::max<std::size_t>(16, c3_eff_ / 2);
+        const double freed = l3_accounted_ / 2.0;
+        l3_accounted_ -= freed;
+        pe_.account_free(freed);
+        ++pe_.counters().buffer_shrinks;
+      }
+    }
+    if (config_.l2_enabled) {
+      for (int p = 0; p < pe_.size(); ++p) {
+        flush_l2n(p);
+        flush_l2h(p);
+      }
+      if (c2_eff_ > 2) {
+        c2_eff_ = std::max<std::size_t>(2, c2_eff_ / 2);
+        const double freed = l2_accounted_ / 2.0;
+        l2_accounted_ -= freed;
+        pe_.account_free(freed);
+        ++pe_.counters().buffer_shrinks;
+      }
+    }
+  }
+
   /// Sort + accumulate the L3 buffer, then forward {kmer, count} entries
   /// into L2 (HEAVY when count > threshold).
   void flush_l3() {
@@ -193,21 +233,21 @@ class DakcPe {
       auto& h = l2h_[static_cast<std::size_t>(p)];
       h.push_back(km);
       h.push_back(count);
-      if (h.size() >= config_.c2) flush_l2h(p);
+      if (h.size() >= c2_eff_) flush_l2h(p);
     } else {
       // Fill whole C2 slabs at a time: nbuf.size() < c2 holds on entry
-      // (flush_l2n clears at exactly c2), so each round appends one
-      // contiguous run and flushes on the same boundaries the
-      // element-wise loop did — identical packets, fewer capacity checks.
+      // (flush_l2n clears at exactly c2, and degrade() flushes before
+      // shrinking c2_eff_), so each round appends one contiguous run and
+      // flushes on the same boundaries the element-wise loop did —
+      // identical packets, fewer capacity checks.
       auto& nbuf = l2n_[static_cast<std::size_t>(p)];
       std::uint64_t remaining = count;
       while (remaining > 0) {
-        const auto space =
-            static_cast<std::uint64_t>(config_.c2 - nbuf.size());
+        const auto space = static_cast<std::uint64_t>(c2_eff_ - nbuf.size());
         const std::uint64_t take = std::min(space, remaining);
         nbuf.insert(nbuf.end(), static_cast<std::size_t>(take), km);
         remaining -= take;
-        if (nbuf.size() >= config_.c2) flush_l2n(p);
+        if (nbuf.size() >= c2_eff_) flush_l2n(p);
       }
     }
   }
@@ -235,6 +275,13 @@ class DakcPe {
   std::vector<kmer::KmerCount64> t_;
   HashCounter hash_;
   double t_accounted_ = 0.0;
+  // -- graceful degradation state (== config values until pressure) ------
+  std::size_t c2_eff_;
+  std::size_t c3_eff_;
+  double l2_accounted_ = 0.0;
+  double l3_accounted_ = 0.0;
+  bool pressure_flag_ = false;
+  std::size_t pressure_handle_ = 0;
 };
 
 }  // namespace

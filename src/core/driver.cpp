@@ -24,6 +24,8 @@ net::FabricConfig fabric_config_for(const CountConfig& c) {
   f.machine = c.machine;
   f.zero_cost = c.zero_cost;
   f.node_memory_limit = c.node_memory_limit;
+  f.faults = c.faults;
+  f.graceful_memory = c.graceful_memory;
   f.trace = !c.trace_path.empty();
   return f;
 }
@@ -125,6 +127,7 @@ RunReport count_kmers(const std::vector<std::string>& reads,
   } catch (const net::OomError& oom) {
     report.oom = true;
     report.oom_node = oom.node;
+    report.oom_alloc_bytes = oom.alloc_bytes;
     report.node_mem_high = oom.attempted;
     return report;
   }

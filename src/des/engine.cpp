@@ -7,6 +7,21 @@
 
 #include "util/check.hpp"
 
+// ASan tracks one stack per thread; ucontext fibers run on heap-allocated
+// stacks it has never seen, so every switch (and especially exception
+// unwinding inside a fiber) must be announced via the fiber-switch hooks
+// or ASan reports false stack-buffer-overflow / use-after-scope errors.
+#if defined(__SANITIZE_ADDRESS__)
+#define DAKC_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DAKC_ASAN_FIBERS 1
+#endif
+#endif
+#if defined(DAKC_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace dakc::des {
 
 namespace {
@@ -17,6 +32,35 @@ namespace {
 thread_local Engine* g_current_engine = nullptr;
 // Scheduler-side context to swap back into.
 thread_local ucontext_t g_sched_ctx;
+
+// Bounds of the scheduler's (host) stack, reported by ASan the first time
+// a fiber switch lands on a fiber stack; needed to announce switches back
+// (unused without ASan — the announce helpers compile to nothing).
+thread_local const void* g_sched_stack_bottom = nullptr;
+thread_local std::size_t g_sched_stack_size = 0;
+
+// Announce a switch onto a fiber/host stack to ASan (no-ops otherwise).
+// `fake_save` preserves the suspended context's fake-stack; pass nullptr
+// for a context that will never run again so ASan can reclaim it.
+inline void asan_start_switch([[maybe_unused]] void** fake_save,
+                              [[maybe_unused]] const void* bottom,
+                              [[maybe_unused]] std::size_t size) {
+#if defined(DAKC_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(fake_save, bottom, size);
+#endif
+}
+inline void asan_finish_switch([[maybe_unused]] void* fake_save,
+                               [[maybe_unused]] const void** from_bottom,
+                               [[maybe_unused]] std::size_t* from_size) {
+#if defined(DAKC_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(fake_save, from_bottom, from_size);
+#endif
+}
+
+// Thrown into a suspended fiber during forced unwinding so its stack
+// objects are destructed. Deliberately not derived from std::exception:
+// simulation code catching std::exception must not swallow it.
+struct FiberUnwind {};
 }  // namespace
 
 struct Engine::Fiber {
@@ -28,6 +72,7 @@ struct Engine::Fiber {
   ucontext_t ctx{};
   std::unique_ptr<char[]> stack;
   std::size_t stack_size;
+  void* asan_fake_stack = nullptr;  ///< this fiber's suspended fake stack
   std::function<void(Context&)> body;
   State state = State::kNew;
   bool pending_wake = false;
@@ -52,13 +97,20 @@ int Engine::spawn(std::function<void(Context&)> body) {
 }
 
 void Engine::trampoline() {
+  // First entry onto this fiber's stack: no fake stack to restore; the
+  // stack we came from is the scheduler's — remember its bounds.
+  asan_finish_switch(nullptr, &g_sched_stack_bottom, &g_sched_stack_size);
   Engine* engine = g_current_engine;
   const int id = engine->running_;
-  engine->run_fiber_body(id);
+  // A fiber first entered during forced unwinding has no work to do —
+  // running its body would start fresh work after the run already failed.
+  if (!engine->unwinding_) engine->run_fiber_body(id);
   Fiber& f = *engine->fibers_[id];
   f.state = Fiber::State::kDone;
   engine->flush_pending(id);
   f.stats.finish_time = engine->clocks_[id].vtime;
+  // nullptr fake_save: this fiber never runs again, let ASan reclaim it.
+  asan_start_switch(nullptr, g_sched_stack_bottom, g_sched_stack_size);
   swapcontext(&f.ctx, &g_sched_ctx);
   // A finished fiber must never be resumed.
   DAKC_CHECK_MSG(false, "resumed a completed fiber");
@@ -102,13 +154,34 @@ void Engine::run() {
     f.state = Fiber::State::kRunning;
     running_ = entry.id;
     ++events_;
+    void* sched_fake = nullptr;
+    asan_start_switch(&sched_fake, f.stack.get(), f.stack_size);
     swapcontext(&g_sched_ctx, &f.ctx);
+    asan_finish_switch(sched_fake, nullptr, nullptr);
     running_ = -1;
     if (first_error_) break;
   }
-  g_current_engine = nullptr;
 
-  if (first_error_) std::rethrow_exception(first_error_);
+  if (first_error_) {
+    // Unwind every suspended fiber: resume it one last time; the resume
+    // point (or the trampoline, for never-started fibers) sees
+    // unwinding_ and unwinds the stack so destructors run.
+    unwinding_ = true;
+    for (int id = 0; id < static_cast<int>(fibers_.size()); ++id) {
+      Fiber& f = *fibers_[id];
+      if (f.state == Fiber::State::kDone) continue;
+      f.state = Fiber::State::kRunning;
+      running_ = id;
+      void* sched_fake = nullptr;
+      asan_start_switch(&sched_fake, f.stack.get(), f.stack_size);
+      swapcontext(&g_sched_ctx, &f.ctx);
+      asan_finish_switch(sched_fake, nullptr, nullptr);
+    }
+    running_ = -1;
+    g_current_engine = nullptr;
+    std::rethrow_exception(first_error_);
+  }
+  g_current_engine = nullptr;
 
   // Every fiber must have completed; otherwise the program deadlocked.
   std::ostringstream blocked;
@@ -148,7 +221,11 @@ void Engine::return_to_scheduler(int id) {
   Fiber& f = *fibers_[id];
   flush_pending(id);
   ++f.stats.yields;
+  asan_start_switch(&f.asan_fake_stack, g_sched_stack_bottom,
+                    g_sched_stack_size);
   swapcontext(&f.ctx, &g_sched_ctx);
+  asan_finish_switch(f.asan_fake_stack, nullptr, nullptr);
+  if (unwinding_) throw FiberUnwind{};
   DAKC_ASSERT(f.state == Fiber::State::kRunning);
 }
 

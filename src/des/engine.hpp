@@ -227,6 +227,11 @@ class Engine {
   SimTime next_runnable_time_ = kNoneRunnable;
   int running_ = -1;
   bool started_ = false;
+  /// Set after the run loop aborts on a fiber error: every suspended
+  /// fiber is resumed one last time to unwind its stack (destructors
+  /// must run — the driver catches OomError and keeps the process
+  /// alive, so leaked fiber stacks would be real leaks).
+  bool unwinding_ = false;
   std::uint64_t events_ = 0;
   std::exception_ptr first_error_;
 };

@@ -22,6 +22,66 @@ int ceil_log2(int n) {
   }
   return bits;
 }
+
+// ---------------------------------------------------------------------------
+// Fault-plane decision functions (see net/fault.hpp). Every decision is a
+// pure hash of (seed, salt, identity, index-or-window), so a fixed seed
+// replays the same fault schedule regardless of host or wall-clock.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kSaltLink = 0x11A8D509ULL;      // per-message faults
+constexpr std::uint64_t kSaltBrownout = 0xB20B7001ULL;  // NIC windows
+constexpr std::uint64_t kSaltStall = 0x57A11000ULL;     // PE freeze windows
+constexpr std::uint64_t kSaltCrash = 0xC2A5BEEFULL;     // PE crash windows
+
+double u01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t fault_hash(std::uint64_t seed, std::uint64_t salt,
+                         std::uint64_t a, std::uint64_t b) {
+  std::uint64_t h = mix64(seed ^ salt);
+  h = mix64(h ^ a);
+  h = mix64(h ^ b);
+  return h;
+}
+
+/// Window fault test: within window `floor(t / window_s)` the entity is
+/// faulty for the leading `fault_s` seconds with probability `rate`.
+/// Returns true when `t` falls inside such a faulty span; *end receives
+/// the span's end so callers can skip past it.
+bool window_fault_at(std::uint64_t seed, std::uint64_t salt, int id,
+                     double rate, double window_s, double fault_s,
+                     des::SimTime t, des::SimTime* end) {
+  if (rate <= 0.0 || t < 0.0) return false;
+  const auto w = static_cast<std::uint64_t>(t / window_s);
+  if (u01(fault_hash(seed, salt, static_cast<std::uint64_t>(id), w)) >= rate)
+    return false;
+  const des::SimTime start = static_cast<double>(w) * window_s;
+  if (t >= start + fault_s) return false;
+  *end = start + fault_s;
+  return true;
+}
+
+bool crashed_at(const FaultConfig& f, int pe, des::SimTime t,
+                des::SimTime* end) {
+  return window_fault_at(f.seed, kSaltCrash, pe, f.crash_rate,
+                         f.crash_window_seconds, f.crash_seconds, t, end);
+}
+
+bool stalled_at(const FaultConfig& f, int pe, des::SimTime t,
+                des::SimTime* end) {
+  return window_fault_at(f.seed, kSaltStall, pe, f.stall_rate,
+                         f.stall_window_seconds, f.stall_seconds, t, end);
+}
+
+bool browned_at(const FaultConfig& f, int node, des::SimTime t) {
+  des::SimTime end;
+  return window_fault_at(f.seed, kSaltBrownout, node, f.brownout_rate,
+                         f.brownout_window_seconds, f.brownout_window_seconds,
+                         t, &end);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -46,6 +106,12 @@ struct Fabric::PeState {
   std::uint64_t arrival_seq = 0;
   PeCounters counters;
   int next_coll_tag = 1;
+  // -- fault plane / pressure state --------------------------------------
+  /// Per-destination message index (per-link fault decision stream);
+  /// lazily sized on first faulty send.
+  std::vector<std::uint32_t> link_seq;
+  std::vector<std::function<void()>> pressure_listeners;
+  bool in_pressure_cb = false;
 };
 
 struct Fabric::NodeState {
@@ -58,6 +124,10 @@ struct Fabric::NodeState {
   des::SimTime nic_busy = 0.0;  // in + out service time
   double mem_used = 0.0;
   double mem_high = 0.0;
+  /// Pressure rungs already signaled in the current high-memory episode
+  /// (graceful_memory mode); reset when usage falls well below the soft
+  /// threshold so a later episode signals again.
+  int pressure_rung = 0;
 };
 
 struct Fabric::RendezvousState {
@@ -93,6 +163,33 @@ Fabric::Fabric(FabricConfig config)
   DAKC_CHECK(config_.pes >= 1);
   DAKC_CHECK(config_.pes_per_node >= 1);
   DAKC_CHECK(config_.put_chunk_words >= 1);
+  const FaultConfig& fl = config_.faults;
+  auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+  DAKC_CHECK_MSG(rate_ok(fl.drop_rate) && rate_ok(fl.dup_rate) &&
+                     rate_ok(fl.delay_rate) && rate_ok(fl.brownout_rate) &&
+                     rate_ok(fl.stall_rate) && rate_ok(fl.crash_rate),
+                 "fault rates must lie in [0, 1]");
+  DAKC_CHECK_MSG(fl.delay_spike_seconds >= 0.0 && fl.hw_retry_seconds >= 0.0,
+                 "fault delay/retry penalties must be non-negative");
+  DAKC_CHECK_MSG(fl.brownout_rate == 0.0 ||
+                     (fl.brownout_window_seconds > 0.0 &&
+                      fl.brownout_factor >= 1.0),
+                 "brownouts need a positive window and a factor >= 1");
+  DAKC_CHECK_MSG(fl.stall_rate == 0.0 || (fl.stall_window_seconds > 0.0 &&
+                                          fl.stall_seconds >= 0.0),
+                 "stall windows need positive window/duration");
+  DAKC_CHECK_MSG(fl.crash_rate == 0.0 || (fl.crash_window_seconds > 0.0 &&
+                                          fl.crash_seconds >= 0.0),
+                 "crash windows need positive window/duration");
+  DAKC_CHECK_MSG(!(config_.zero_cost && fl.any_time_faults()),
+                 "window faults (brownout/stall/crash) need the cost model: "
+                 "zero-cost clocks would never leave the first window");
+  DAKC_CHECK_MSG(!config_.graceful_memory ||
+                     (config_.mem_soft_ratio > 0.0 &&
+                      config_.mem_soft_ratio < 1.0),
+                 "mem_soft_ratio must lie in (0, 1)");
+  message_faults_ = fl.any_message_faults();
+  time_faults_ = fl.any_time_faults();
   pes_.reserve(config_.pes);
   for (int i = 0; i < config_.pes; ++i)
     pes_.push_back(std::make_unique<PeState>());
@@ -143,19 +240,100 @@ int Pe::node_count() const { return fabric_->node_count(); }
 int Pe::node_of(int pe) const { return fabric_->node_of(pe); }
 PeCounters& Pe::counters() { return fabric_->pes_[rank_]->counters; }
 
+void Fabric::signal_pressure(int node) {
+  // Listeners are contractually trivial (set a flag and return), so they
+  // run synchronously right here — a PE deep in a receive-dispatch loop
+  // sees the flag immediately, not at its next fabric call. The guard
+  // stops reentry should a listener ever allocate.
+  const int first = node * config_.pes_per_node;
+  const int last = std::min(first + config_.pes_per_node, config_.pes);
+  for (int p = first; p < last; ++p) {
+    PeState& st = *pes_[p];
+    if (st.in_pressure_cb) continue;
+    st.in_pressure_cb = true;
+    ++st.counters.pressure_events;
+    for (auto& cb : st.pressure_listeners)
+      if (cb) cb();
+    st.in_pressure_cb = false;
+  }
+}
+
+void Fabric::account_node_alloc(int node, double bytes, double alloc_bytes) {
+  NodeState& ns = *nodes_[node];
+  ns.mem_used += bytes;
+  ns.mem_high = std::max(ns.mem_high, ns.mem_used);
+  const double limit = config_.node_memory_limit;
+  if (limit <= 0.0) return;
+  if (config_.graceful_memory) {
+    // Escalating rungs between the soft threshold and the hard limit:
+    // each crossing signals every PE on the node once, so listeners get
+    // several chances to shed buffer memory before the hard limit.
+    const double soft = config_.mem_soft_ratio * limit;
+    const double step = (limit - soft) / 4.0;
+    while (ns.pressure_rung < 4 &&
+           ns.mem_used > soft + ns.pressure_rung * step) {
+      ++ns.pressure_rung;
+      signal_pressure(node);
+    }
+  }
+  if (ns.mem_used > limit)
+    throw OomError(node, ns.mem_used, limit, alloc_bytes);
+}
+
 void Pe::account_alloc(double bytes) {
-  auto& node_state = *fabric_->nodes_[node()];
-  node_state.mem_used += bytes;
-  node_state.mem_high = std::max(node_state.mem_high, node_state.mem_used);
-  const double limit = fabric_->config_.node_memory_limit;
-  if (limit > 0.0 && node_state.mem_used > limit)
-    throw OomError(node(), node_state.mem_used, limit);
+  fabric_->account_node_alloc(node(), bytes, bytes);
 }
 
 void Pe::account_free(double bytes) {
   auto& node_state = *fabric_->nodes_[node()];
   node_state.mem_used -= bytes;
   DAKC_ASSERT(node_state.mem_used >= -1.0);  // tolerate FP dust
+  // End of a pressure episode: re-arm the rungs once usage drops well
+  // below the soft threshold (hysteresis avoids signal flapping).
+  if (node_state.pressure_rung > 0 &&
+      node_state.mem_used <= 0.75 * fabric_->config_.mem_soft_ratio *
+                                 fabric_->config_.node_memory_limit)
+    node_state.pressure_rung = 0;
+}
+
+bool Pe::faults_enabled() const {
+  return fabric_->message_faults_ || fabric_->time_faults_;
+}
+
+const FaultConfig& Pe::fault_config() const {
+  return fabric_->config_.faults;
+}
+
+double Pe::memory_utilization() const {
+  const double limit = fabric_->config_.node_memory_limit;
+  if (limit <= 0.0) return 0.0;
+  return fabric_->nodes_[node()]->mem_used / limit;
+}
+
+std::size_t Pe::add_pressure_listener(std::function<void()> cb) {
+  auto& listeners = fabric_->pes_[rank_]->pressure_listeners;
+  listeners.push_back(std::move(cb));
+  return listeners.size() - 1;
+}
+
+void Pe::remove_pressure_listener(std::size_t handle) {
+  auto& listeners = fabric_->pes_[rank_]->pressure_listeners;
+  DAKC_CHECK(handle < listeners.size());
+  listeners[handle] = nullptr;
+}
+
+void Pe::apply_time_faults() {
+  const FaultConfig& f = fabric_->config_.faults;
+  des::SimTime end;
+  // A stalled or crashed PE is frozen: fast-forward (as idle) to the end
+  // of the fault span. idle_until is idempotent, so hitting the same span
+  // from several safepoints costs nothing extra.
+  if (stalled_at(f, rank_, now(), &end)) ctx_.idle_until(end);
+  if (crashed_at(f, rank_, now(), &end)) ctx_.idle_until(end);
+}
+
+void Pe::safepoint() {
+  if (fabric_->time_faults_) apply_time_faults();
 }
 
 // ---------------------------------------------------------------------------
@@ -163,9 +341,11 @@ void Pe::account_free(double bytes) {
 // ---------------------------------------------------------------------------
 
 des::SimTime Pe::put(int dst, std::vector<std::uint64_t> payload, int tag,
-                     double wire_bytes) {
+                     double wire_bytes, Delivery delivery) {
   DAKC_CHECK(dst >= 0 && dst < size());
+  safepoint();
   const auto& m = machine();
+  const FaultConfig& f = fabric_->config_.faults;
   const double bytes =
       wire_bytes >= 0.0
           ? wire_bytes + kEnvelopeBytes
@@ -191,6 +371,7 @@ des::SimTime Pe::put(int dst, std::vector<std::uint64_t> payload, int tag,
     // storms convoy far beyond the real serialization.
     auto& snic = *fabric_->nodes_[node()];
     auto& rnic = *fabric_->nodes_[node_of(dst)];
+    const bool brownouts = fabric_->time_faults_ && f.brownout_rate > 0.0;
     const double max_chunk_bytes =
         static_cast<double>(fabric_->config_.put_chunk_words) * 8.0;
     double remaining = std::max(bytes, 1.0);
@@ -199,12 +380,22 @@ des::SimTime Pe::put(int dst, std::vector<std::uint64_t> payload, int tag,
       const double chunk_bytes = std::min(remaining, max_chunk_bytes);
       remaining -= chunk_bytes;
       const des::SimTime s_start = std::max(now(), snic.nic_out_free);
-      const des::SimTime s_end = s_start + chunk_bytes / m.beta_link;
-      snic.nic_busy += chunk_bytes / m.beta_link;
+      double s_service = chunk_bytes / m.beta_link;
+      if (brownouts && browned_at(f, node(), s_start)) {
+        s_service *= f.brownout_factor;
+        ++c.brownout_chunks;
+      }
+      const des::SimTime s_end = s_start + s_service;
+      snic.nic_busy += s_service;
       snic.nic_out_free = s_end;
       const des::SimTime r_start = std::max(s_end, rnic.nic_in_free);
-      recv_end = r_start + chunk_bytes / m.beta_link;
-      rnic.nic_busy += chunk_bytes / m.beta_link;
+      double r_service = chunk_bytes / m.beta_link;
+      if (brownouts && browned_at(f, node_of(dst), r_start)) {
+        r_service *= f.brownout_factor;
+        ++c.brownout_chunks;
+      }
+      recv_end = r_start + r_service;
+      rnic.nic_busy += r_service;
       rnic.nic_in_free = recv_end;
     }
     arrival = recv_end + m.tau;
@@ -218,20 +409,96 @@ des::SimTime Pe::put(int dst, std::vector<std::uint64_t> payload, int tag,
     c.bytes_inter += static_cast<std::uint64_t>(bytes);
   }
 
+  // -- fault plane --------------------------------------------------------
+  // Per-link message faults, decided by a hash stream keyed on the link's
+  // message index so the schedule replays exactly under a fixed seed.
+  bool deliver = true;
+  bool duplicate = false;
+  if (fabric_->message_faults_) {
+    if (!intra) {
+      Fabric::PeState& st = *fabric_->pes_[rank_];
+      if (st.link_seq.empty()) st.link_seq.resize(size(), 0);
+      const std::uint32_t idx = st.link_seq[dst]++;
+      std::uint64_t h = fault_hash(
+          f.seed, kSaltLink,
+          (static_cast<std::uint64_t>(rank_) << 32) |
+              static_cast<std::uint32_t>(dst),
+          idx);
+      const double u_delay = u01(h);
+      h = mix64(h);
+      const double u_drop = u01(h);
+      h = mix64(h);
+      const double u_dup = u01(h);
+      // Time penalties only exist in costed mode: zero-cost clocks never
+      // advance, so a penalized arrival would sit past the receiver's
+      // clock forever and the message would be functionally lost. The
+      // fault *decisions* (and counters) stay identical either way so a
+      // seed replays the same schedule in both modes.
+      const bool charge_time = !fabric_->config_.zero_cost;
+      if (u_delay < f.delay_rate) {
+        if (charge_time) arrival += f.delay_spike_seconds;
+        ++c.faults_delayed;
+      }
+      if (u_drop < f.drop_rate) {
+        if (delivery == Delivery::kReliable) {
+          // Hardware-reliable transport: the NIC retransmits; the message
+          // arrives late instead of vanishing.
+          if (charge_time) arrival += f.hw_retry_seconds;
+          ++c.hw_retransmits;
+        } else {
+          deliver = false;
+          ++c.faults_dropped;
+        }
+      }
+      if (deliver && delivery == Delivery::kBestEffort &&
+          u_dup < f.dup_rate) {
+        duplicate = true;
+        ++c.faults_duplicated;
+      }
+    }
+    // A message landing inside the destination PE's crash span is lost
+    // (best-effort) or retried past the span (reliable). Bounded walk in
+    // case consecutive windows are all faulty.
+    if (f.crash_rate > 0.0) {
+      des::SimTime end;
+      for (int i = 0; i < 8 && deliver && crashed_at(f, dst, arrival, &end);
+           ++i) {
+        if (delivery == Delivery::kReliable) {
+          arrival = end + f.hw_retry_seconds;
+          ++c.hw_retransmits;
+        } else {
+          deliver = false;
+          ++c.faults_dropped;
+        }
+      }
+    }
+  }
+  // A dropped message is never enqueued and never charged to the
+  // destination's receive queue (it would otherwise leak accounting: only
+  // delivery frees it).
+  if (!deliver) return arrival;
+
   // Receive-queue memory lives on the destination node until popped.
-  auto& dst_node = *fabric_->nodes_[node_of(dst)];
-  dst_node.mem_used += bytes;
-  dst_node.mem_high = std::max(dst_node.mem_high, dst_node.mem_used);
-  const double limit = fabric_->config_.node_memory_limit;
-  if (limit > 0.0 && dst_node.mem_used > limit)
-    throw OomError(node_of(dst), dst_node.mem_used, limit);
+  fabric_->account_node_alloc(node_of(dst), bytes, bytes);
 
   Fabric::PeState& dst_state = *fabric_->pes_[dst];
   Message msg;
   msg.src = rank_;
   msg.tag = tag;
-  msg.payload = std::move(payload);
   msg.wire_bytes = bytes;
+  if (duplicate) {
+    // Duplicated delivery: a second, independently accounted copy lands
+    // one hop latency later.
+    const des::SimTime arrival2 =
+        arrival + (fabric_->config_.zero_cost ? 0.0 : m.tau);
+    fabric_->account_node_alloc(node_of(dst), bytes, bytes);
+    Message copy = msg;
+    copy.payload = payload;
+    dst_state.incoming.push(
+        {arrival2, dst_state.arrival_seq++, std::move(copy)});
+    if (dst != rank_) ctx_.wake(dst, arrival2);
+  }
+  msg.payload = std::move(payload);
   dst_state.incoming.push(
       {arrival, dst_state.arrival_seq++, std::move(msg)});
   if (dst != rank_) ctx_.wake(dst, arrival);
@@ -261,6 +528,7 @@ void Pe::deliver_charge(const Message& msg) {
 }
 
 bool Pe::try_recv(Message* out, int tag) {
+  safepoint();
   drain_arrivals();
   Fabric::PeState& st = *fabric_->pes_[rank_];
   auto it = st.stash.find(tag);
@@ -272,6 +540,7 @@ bool Pe::try_recv(Message* out, int tag) {
 }
 
 bool Pe::has_arrived(int tag) {
+  safepoint();
   drain_arrivals();
   Fabric::PeState& st = *fabric_->pes_[rank_];
   auto it = st.stash.find(tag);
@@ -382,12 +651,14 @@ int Pe::next_collective_tag() {
 }
 
 void Pe::barrier() {
+  safepoint();
   rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
              fabric_->config_.zero_cost, size(), node_count(), RvOp::kBarrier,
              0, 0.0, nullptr);
 }
 
 std::uint64_t Pe::allreduce_sum(std::uint64_t value) {
+  safepoint();
   return rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
                     fabric_->config_.zero_cost, size(), node_count(),
                     RvOp::kSumU, value, 0.0, nullptr)
@@ -396,6 +667,7 @@ std::uint64_t Pe::allreduce_sum(std::uint64_t value) {
 
 std::pair<std::uint64_t, std::uint64_t> Pe::allreduce_sum2(
     std::uint64_t a, std::uint64_t b) {
+  safepoint();
   const RendezvousResult r =
       rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
                  fabric_->config_.zero_cost, size(), node_count(),
@@ -404,6 +676,7 @@ std::pair<std::uint64_t, std::uint64_t> Pe::allreduce_sum2(
 }
 
 std::uint64_t Pe::allreduce_max(std::uint64_t value) {
+  safepoint();
   return rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
                     fabric_->config_.zero_cost, size(), node_count(),
                     RvOp::kMaxU, value, 0.0, nullptr)
@@ -411,6 +684,7 @@ std::uint64_t Pe::allreduce_max(std::uint64_t value) {
 }
 
 double Pe::allreduce_sum_d(double value) {
+  safepoint();
   return rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
                     fabric_->config_.zero_cost, size(), node_count(),
                     RvOp::kSumD, 0, value, nullptr)
@@ -418,6 +692,7 @@ double Pe::allreduce_sum_d(double value) {
 }
 
 double Pe::allreduce_max_d(double value) {
+  safepoint();
   return rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
                     fabric_->config_.zero_cost, size(), node_count(),
                     RvOp::kMaxD, 0, value, nullptr)
@@ -425,6 +700,7 @@ double Pe::allreduce_max_d(double value) {
 }
 
 std::vector<std::uint64_t> Pe::allgather(std::uint64_t value) {
+  safepoint();
   std::vector<std::uint64_t> out;
   rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
              fabric_->config_.zero_cost, size(), node_count(), RvOp::kGather,

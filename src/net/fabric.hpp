@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "des/engine.hpp"
+#include "net/fault.hpp"
 #include "net/machine.hpp"
 #include "util/rng.hpp"
 
@@ -48,15 +49,24 @@ namespace dakc::net {
 /// Thrown by memory accounting when a node exceeds its budget; harnesses
 /// catch it to report OOM data points (Fig. 8).
 struct OomError : std::runtime_error {
-  OomError(int node_id, double attempted_bytes, double limit_bytes)
+  OomError(int node_id, double attempted_bytes, double limit_bytes,
+           double failing_alloc_bytes)
       : std::runtime_error("simulated OOM on node " + std::to_string(node_id)),
         node(node_id),
         attempted(attempted_bytes),
-        limit(limit_bytes) {}
+        limit(limit_bytes),
+        alloc_bytes(failing_alloc_bytes) {}
   int node;
-  double attempted;
+  double attempted;  ///< node in-use bytes after the failing allocation
   double limit;
+  double alloc_bytes;  ///< size of the allocation that tipped it over
 };
+
+/// How a put() behaves when the fault plane is active (see net/fault.hpp).
+/// kReliable traffic always arrives (hardware retransmit, modeled as an
+/// arrival penalty); kBestEffort traffic can be dropped or duplicated and
+/// needs a software recovery protocol above it.
+enum class Delivery : std::uint8_t { kReliable, kBestEffort };
 
 /// One delivered message. Payloads are 64-bit words because every layer of
 /// the k-mer stack traffics in packed 64-bit k-mers.
@@ -77,6 +87,19 @@ struct PeCounters {
   std::uint64_t bytes_inter = 0;
   std::uint64_t msgs_received = 0;
   std::uint64_t bytes_received = 0;
+  // -- fault plane (injected by the fabric, counted at the sender) -------
+  std::uint64_t faults_dropped = 0;     ///< best-effort messages lost
+  std::uint64_t faults_duplicated = 0;  ///< best-effort messages doubled
+  std::uint64_t faults_delayed = 0;     ///< latency spikes applied
+  std::uint64_t brownout_chunks = 0;    ///< wire chunks served derated
+  std::uint64_t hw_retransmits = 0;     ///< losses absorbed by kReliable
+  // -- reliability protocol (incremented by the conveyor layer) ----------
+  std::uint64_t retransmits = 0;     ///< software frame retransmissions
+  std::uint64_t dedup_discards = 0;  ///< duplicate/out-of-order frames cut
+  std::uint64_t acks_sent = 0;       ///< cumulative-ack control messages
+  // -- memory pressure (graceful degradation) ----------------------------
+  std::uint64_t pressure_events = 0;  ///< pressure signals delivered here
+  std::uint64_t buffer_shrinks = 0;   ///< degradation responses applied
 };
 
 struct FabricConfig {
@@ -94,6 +117,16 @@ struct FabricConfig {
   std::size_t put_chunk_words = 8192;
   /// Record every PE's activity timeline (export with write_chrome_trace).
   bool trace = false;
+  /// Deterministic fault injection (all-zero rates = plane fully off; the
+  /// zero-fault path is bit-identical to a build without the plane).
+  FaultConfig faults;
+  /// When true and node_memory_limit > 0, crossing mem_soft_ratio of the
+  /// limit signals registered pressure listeners (graceful degradation)
+  /// and OomError is only thrown at the hard limit. When false (the
+  /// Fig. 8 configuration) the limit throws immediately, as always.
+  bool graceful_memory = false;
+  /// Fraction of node_memory_limit at which pressure signaling starts.
+  double mem_soft_ratio = 0.85;
 };
 
 class Fabric;
@@ -142,9 +175,11 @@ class Pe {
   /// whose logical representation is wider than their wire format (the
   /// conveyor packs 32-bit routing headers into 64-bit words) use this to
   /// keep the cost model exact. Returns the message's arrival time at
-  /// the destination.
+  /// the destination (for kBestEffort sends under an active fault plane,
+  /// the time it WOULD arrive; the message may never be delivered).
   des::SimTime put(int dst, std::vector<std::uint64_t> payload,
-                   int tag = kAppTag, double wire_bytes = -1.0);
+                   int tag = kAppTag, double wire_bytes = -1.0,
+                   Delivery delivery = Delivery::kReliable);
 
   /// Pop the earliest already-arrived message with this tag, if any.
   bool try_recv(Message* out, int tag = kAppTag);
@@ -188,6 +223,24 @@ class Pe {
   void account_alloc(double bytes);
   void account_free(double bytes);
 
+  // -- fault plane / memory pressure -------------------------------------
+  /// True when any fault injection is configured (layers use this to arm
+  /// their recovery protocols).
+  bool faults_enabled() const;
+  const FaultConfig& fault_config() const;
+  /// Current in-use fraction of this PE's node memory budget (0.0 when no
+  /// limit is configured). Degradation layers poll this to decide when
+  /// backpressure can be released.
+  double memory_utilization() const;
+  /// Register a callback invoked when this PE's node crosses a
+  /// memory-pressure rung (graceful_memory mode). Callbacks run
+  /// SYNCHRONOUSLY from inside the failing-side memory accounting — they
+  /// MUST be trivial (set a flag and return; do the heavy response —
+  /// flushing, shrinking — at the owner's next dispatch/send). Returns a
+  /// handle for remove_pressure_listener.
+  std::size_t add_pressure_listener(std::function<void()> cb);
+  void remove_pressure_listener(std::size_t handle);
+
   PeCounters& counters();
 
  private:
@@ -198,6 +251,11 @@ class Pe {
   void drain_arrivals();
   void deliver_charge(const Message& m);
   int next_collective_tag();
+  /// Fault-plane hook executed at message and collective boundaries:
+  /// applies stall/crash freezes. Compiles to one predictable branch when
+  /// time faults are off, keeping the zero-fault path bit-identical.
+  void safepoint();
+  void apply_time_faults();
 
   Fabric* fabric_;
   des::Context& ctx_;
@@ -241,12 +299,23 @@ class Fabric {
  private:
   friend class Pe;
 
+  /// Account `bytes` of node memory (alloc side), driving both the
+  /// OomError hard limit and, in graceful_memory mode, the pressure-rung
+  /// signaling. `alloc_bytes` is the logical allocation size reported on
+  /// failure (may span several accounting calls).
+  void account_node_alloc(int node, double bytes, double alloc_bytes);
+  /// Mark every PE of `node` as having a pending pressure signal.
+  void signal_pressure(int node);
+
   FabricConfig config_;
   int node_count_;
   des::Engine engine_;
   std::vector<std::unique_ptr<PeState>> pes_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
   std::unique_ptr<RendezvousState> rendezvous_;
+  // Snapshots of config_.faults classification, checked on hot-ish paths.
+  bool message_faults_ = false;
+  bool time_faults_ = false;
   bool ran_ = false;
 };
 

@@ -1,0 +1,81 @@
+// Deterministic fault injection for the simulated fabric.
+//
+// The paper's stack (HClib-Actor over Conveyors over OpenSHMEM) assumes a
+// lossless fabric; production deployments cannot. This header describes a
+// seeded fault plane the fabric applies to traffic and execution so the
+// reliability layer above it (src/conveyor's sequence/ack/retransmit
+// protocol, the actor's graceful degradation) can be exercised and tested
+// reproducibly: every fault decision is a pure function of (seed, link or
+// PE id, message index or time window), so a fixed seed replays the exact
+// same fault schedule on any host.
+//
+// Two delivery classes see faults differently (see net::Delivery):
+//
+//  * kReliable — models MPI-style traffic on a hardware-reliable
+//    transport (InfiniBand RC): the NIC retransmits lost frames itself,
+//    so the message always arrives, but late (hw_retry_seconds per loss)
+//    and counted in PeCounters::hw_retransmits. The BSP baselines and
+//    raw Pe::put users ride this class.
+//  * kBestEffort — models one-sided datagram puts with no transport
+//    recovery: dropped messages are simply gone, duplicated messages
+//    arrive twice. The conveyor opts into this class when its software
+//    reliability protocol is active, making it the layer that must
+//    recover.
+//
+// Window faults (brownout, stall, crash) are keyed on virtual-time
+// windows like the machine noise model (machine.hpp): within each window
+// a node/PE either suffers the fault for the window's leading
+// `*_seconds`, or runs clean — decided by hashing (seed, id, window).
+#pragma once
+
+#include <cstdint>
+
+namespace dakc::net {
+
+struct FaultConfig {
+  std::uint64_t seed = 0xFA17ED;
+
+  // -- per-link message faults (applied to internode puts) ---------------
+  /// Probability a message on a link is lost on the wire.
+  double drop_rate = 0.0;
+  /// Probability a message is delivered twice (best-effort only).
+  double dup_rate = 0.0;
+  /// Probability a message suffers a latency spike of delay_spike_seconds.
+  double delay_rate = 0.0;
+  double delay_spike_seconds = 50e-6;
+
+  // -- NIC brownouts: per (node, window) ---------------------------------
+  /// Probability a node's NIC runs derated within a given window.
+  double brownout_rate = 0.0;
+  /// Service-time multiplier while browned out.
+  double brownout_factor = 8.0;
+  double brownout_window_seconds = 200e-6;
+
+  // -- PE stall windows (OS jitter writ large: the PE freezes) -----------
+  double stall_rate = 0.0;
+  double stall_seconds = 100e-6;
+  double stall_window_seconds = 500e-6;
+
+  // -- PE crash windows (transient brown-down: PE frozen AND its inbound
+  //    messages are lost for the window) ---------------------------------
+  double crash_rate = 0.0;
+  double crash_seconds = 150e-6;
+  double crash_window_seconds = 1000e-6;
+
+  // -- hardware-reliable transport model ---------------------------------
+  /// Arrival penalty per loss absorbed by the reliable transport.
+  double hw_retry_seconds = 10e-6;
+
+  /// Faults that corrupt the message stream (need a recovery protocol).
+  bool any_message_faults() const {
+    return drop_rate > 0.0 || dup_rate > 0.0 || delay_rate > 0.0 ||
+           crash_rate > 0.0;
+  }
+  /// Faults that only warp execution/transfer timing.
+  bool any_time_faults() const {
+    return brownout_rate > 0.0 || stall_rate > 0.0 || crash_rate > 0.0;
+  }
+  bool enabled() const { return any_message_faults() || any_time_faults(); }
+};
+
+}  // namespace dakc::net

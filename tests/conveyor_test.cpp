@@ -104,14 +104,23 @@ struct TrafficResult {
   std::vector<std::uint64_t> relayed;
   std::vector<std::uint64_t> lane_count;
   double makespan = 0.0;
+  // Fault/reliability counter sums over PEs.
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dedup_discards = 0;
+  std::uint64_t acks_sent = 0;
 };
 
 // Every PE sends `per_pe` single-word packets to pseudo-random
 // destinations; values encode (src, seq) so receivers can verify
 // exactly-once delivery.
 TrafficResult run_traffic(Protocol protocol, int pes, int per_pe,
-                          bool zero_cost = true) {
-  net::Fabric fabric(test_config(pes, zero_cost));
+                          bool zero_cost = true,
+                          net::FaultConfig faults = {}) {
+  net::FabricConfig fab_cfg = test_config(pes, zero_cost);
+  fab_cfg.faults = faults;
+  net::Fabric fabric(fab_cfg);
   TrafficResult result;
   result.received.resize(pes);
   result.relayed.resize(pes);
@@ -135,6 +144,14 @@ TrafficResult run_traffic(Protocol protocol, int pes, int per_pe,
     result.lane_count[pe.rank()] = conv.lane_count();
   });
   result.makespan = fabric.makespan();
+  for (int p = 0; p < pes; ++p) {
+    const net::PeCounters& c = fabric.pe_counters(p);
+    result.faults_dropped += c.faults_dropped;
+    result.faults_duplicated += c.faults_duplicated;
+    result.retransmits += c.retransmits;
+    result.dedup_discards += c.dedup_discards;
+    result.acks_sent += c.acks_sent;
+  }
   return result;
 }
 
@@ -371,6 +388,184 @@ TEST(Conveyor, PushAfterFinishThrows) {
     conv.finish();
     EXPECT_THROW(conv.push(0, std::uint64_t{1}), std::logic_error);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Config validation
+// ---------------------------------------------------------------------------
+
+TEST(Conveyor, ZeroLaneBytesThrows) {
+  net::Fabric fabric(test_config(1));
+  fabric.run([&](net::Pe& pe) {
+    ConveyorConfig cfg;
+    cfg.lane_bytes = 0;
+    EXPECT_THROW(Conveyor conv(pe, cfg), std::logic_error);
+  });
+}
+
+TEST(Conveyor, TinyLaneThrows) {
+  net::Fabric fabric(test_config(1));
+  fabric.run([&](net::Pe& pe) {
+    ConveyorConfig cfg;
+    cfg.lane_bytes = 32;  // less than 16 words of capacity
+    EXPECT_THROW(Conveyor conv(pe, cfg), std::logic_error);
+  });
+}
+
+TEST(Conveyor, BadRtoThrows) {
+  net::Fabric fabric(test_config(1));
+  fabric.run([&](net::Pe& pe) {
+    ConveyorConfig cfg;
+    cfg.rto_seconds = 0.0;
+    EXPECT_THROW(Conveyor conv(pe, cfg), std::logic_error);
+    ConveyorConfig cfg2;
+    cfg2.rto_seconds = 1e-3;
+    cfg2.rto_max_seconds = 1e-4;  // max below initial
+    EXPECT_THROW(Conveyor conv2(pe, cfg2), std::logic_error);
+    ConveyorConfig cfg3;
+    cfg3.stale_rounds = 0;
+    EXPECT_THROW(Conveyor conv3(pe, cfg3), std::logic_error);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fault campaigns: the reliability protocol must deliver exactly once
+// through seeded drop/dup/delay fault schedules on every router geometry.
+// ---------------------------------------------------------------------------
+
+net::FaultConfig campaign_faults(double drop, double dup = 0.0,
+                                 double delay = 0.0) {
+  net::FaultConfig f;
+  f.seed = 0xC0FFEE;
+  f.drop_rate = drop;
+  f.dup_rate = dup;
+  f.delay_rate = delay;
+  return f;
+}
+
+TEST(ConveyorFaults, ExactlyOnceUnderDrop1D) {
+  auto r = run_traffic(Protocol::k1D, 8, 200, /*zero_cost=*/true,
+                       campaign_faults(0.10, 0.05, 0.05));
+  expect_exactly_once(r, 8, 200);
+  EXPECT_GT(r.faults_dropped, 0u);
+  EXPECT_GT(r.retransmits, 0u);
+  EXPECT_GT(r.acks_sent, 0u);
+}
+
+TEST(ConveyorFaults, ExactlyOnceUnderDrop2D) {
+  auto r = run_traffic(Protocol::k2D, 9, 200, /*zero_cost=*/true,
+                       campaign_faults(0.10, 0.05, 0.05));
+  expect_exactly_once(r, 9, 200);
+  EXPECT_GT(r.retransmits, 0u);
+}
+
+TEST(ConveyorFaults, ExactlyOnceUnderDrop3D) {
+  auto r = run_traffic(Protocol::k3D, 27, 100, /*zero_cost=*/true,
+                       campaign_faults(0.10, 0.05, 0.05));
+  expect_exactly_once(r, 27, 100);
+  EXPECT_GT(r.retransmits, 0u);
+}
+
+TEST(ConveyorFaults, ExactlyOnceUnderFaultsWithModeledCosts) {
+  auto r = run_traffic(Protocol::k2D, 9, 150, /*zero_cost=*/false,
+                       campaign_faults(0.08, 0.04, 0.08));
+  expect_exactly_once(r, 9, 150);
+  EXPECT_GT(r.retransmits, 0u);
+}
+
+TEST(ConveyorFaults, SameSeedSameMakespan) {
+  auto a = run_traffic(Protocol::k2D, 9, 150, /*zero_cost=*/false,
+                       campaign_faults(0.08, 0.04, 0.08));
+  auto b = run_traffic(Protocol::k2D, 9, 150, /*zero_cost=*/false,
+                       campaign_faults(0.08, 0.04, 0.08));
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.received, b.received);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.dedup_discards, b.dedup_discards);
+}
+
+TEST(ConveyorFaults, DifferentSeedDifferentSchedule) {
+  auto a = run_traffic(Protocol::k2D, 9, 150, /*zero_cost=*/false,
+                       campaign_faults(0.08, 0.04, 0.08));
+  net::FaultConfig other = campaign_faults(0.08, 0.04, 0.08);
+  other.seed = 0xBEEF;
+  auto b =
+      run_traffic(Protocol::k2D, 9, 150, /*zero_cost=*/false, other);
+  // Both deliver exactly once, but the fault schedules differ.
+  expect_exactly_once(a, 9, 150);
+  expect_exactly_once(b, 9, 150);
+  EXPECT_NE(a.faults_dropped, b.faults_dropped);
+}
+
+TEST(ConveyorFaults, FinishTerminatesUnderSustainedLoss) {
+  // 30% drop: way past what hardware retry would see; quiescence must
+  // still terminate because finish() forces retransmits on stagnation.
+  auto r = run_traffic(Protocol::k1D, 8, 100, /*zero_cost=*/true,
+                       campaign_faults(0.30));
+  expect_exactly_once(r, 8, 100);
+  EXPECT_GT(r.retransmits, 0u);
+}
+
+TEST(ConveyorFaults, DuplicatesAreDiscarded) {
+  auto r = run_traffic(Protocol::k1D, 8, 200, /*zero_cost=*/true,
+                       campaign_faults(0.0, 0.15));
+  expect_exactly_once(r, 8, 200);
+  EXPECT_GT(r.faults_duplicated, 0u);
+  EXPECT_GT(r.dedup_discards, 0u);
+}
+
+TEST(ConveyorFaults, ReliabilityOffByDefaultWithoutFaults) {
+  net::Fabric fabric(test_config(4));
+  fabric.run([&](net::Pe& pe) {
+    Conveyor conv(pe, conv_config(Protocol::k1D));
+    EXPECT_FALSE(conv.reliable());
+    conv.finish();
+    Packet pkt;
+    while (conv.pull(&pkt)) {
+    }
+  });
+}
+
+TEST(ConveyorFaults, ReliabilityAutoArmsUnderMessageFaults) {
+  net::FabricConfig cfg = test_config(4);
+  cfg.faults = campaign_faults(0.05);
+  net::Fabric fabric(cfg);
+  fabric.run([&](net::Pe& pe) {
+    Conveyor conv(pe, conv_config(Protocol::k1D));
+    EXPECT_TRUE(conv.reliable());
+    conv.finish();
+    Packet pkt;
+    while (conv.pull(&pkt)) {
+    }
+  });
+}
+
+TEST(ConveyorFaults, ForcedReliabilityMatchesExactlyOnce) {
+  // Reliability::kOn without faults: protocol overhead only, still exact.
+  const int kPes = 8, kPerPe = 100;
+  net::Fabric fabric(test_config(kPes));
+  std::vector<std::map<std::uint64_t, int>> received(kPes);
+  fabric.run([&](net::Pe& pe) {
+    ConveyorConfig cfg = conv_config(Protocol::k2D);
+    cfg.reliability = Reliability::kOn;
+    Conveyor conv(pe, cfg);
+    EXPECT_TRUE(conv.reliable());
+    Xoshiro256 rng(1234 + pe.rank());
+    Packet pkt;
+    for (int i = 0; i < kPerPe; ++i) {
+      const int dst = static_cast<int>(rng.below(kPes));
+      conv.push(dst, static_cast<std::uint64_t>(pe.rank()) << 32 | i);
+      while (conv.pull(&pkt))
+        for (auto w : pkt.words) received[pe.rank()][w]++;
+    }
+    conv.finish();
+    while (conv.pull(&pkt))
+      for (auto w : pkt.words) received[pe.rank()][w]++;
+    EXPECT_EQ(conv.unacked_frames(), 0u);
+  });
+  TrafficResult r;
+  r.received = std::move(received);
+  expect_exactly_once(r, kPes, kPerPe);
 }
 
 }  // namespace

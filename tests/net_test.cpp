@@ -344,6 +344,166 @@ TEST(Fabric, SelfPutDelivered) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// Fault plane
+// ---------------------------------------------------------------------------
+
+FabricConfig faulty_config(int pes, double drop, double dup = 0.0,
+                           bool zero_cost = true) {
+  FabricConfig cfg;
+  cfg.pes = pes;
+  cfg.pes_per_node = 1;  // every link is internode, so faults apply
+  cfg.zero_cost = zero_cost;
+  cfg.faults.seed = 42;
+  cfg.faults.drop_rate = drop;
+  cfg.faults.dup_rate = dup;
+  return cfg;
+}
+
+TEST(FaultPlane, ReliablePutsAlwaysArrive) {
+  // Default-delivery traffic survives heavy loss: the fabric models
+  // hardware retransmit as an arrival penalty, never as a lost message.
+  Fabric f(faulty_config(2, 0.4));
+  int got = 0;
+  f.run([&](Pe& pe) {
+    if (pe.rank() == 0) {
+      for (int i = 0; i < 50; ++i)
+        pe.put(1, {static_cast<std::uint64_t>(i)});
+    }
+    pe.barrier();
+    Message m;
+    while (pe.try_recv(&m)) ++got;
+  });
+  EXPECT_EQ(got, 50);
+  EXPECT_GT(f.pe_counters(0).hw_retransmits, 0u);
+}
+
+TEST(FaultPlane, BestEffortPutsCanBeDropped) {
+  Fabric f(faulty_config(2, 0.4));
+  int got = 0;
+  f.run([&](Pe& pe) {
+    if (pe.rank() == 0) {
+      for (int i = 0; i < 50; ++i)
+        pe.put(1, {static_cast<std::uint64_t>(i)}, Pe::kAppTag, -1.0,
+               Delivery::kBestEffort);
+    }
+    pe.barrier();
+    Message m;
+    while (pe.try_recv(&m)) ++got;
+  });
+  EXPECT_LT(got, 50);
+  EXPECT_GT(got, 0);
+  EXPECT_EQ(static_cast<std::uint64_t>(50 - got),
+            f.pe_counters(0).faults_dropped);
+}
+
+TEST(FaultPlane, BestEffortPutsCanBeDuplicated) {
+  Fabric f(faulty_config(2, 0.0, 0.3));
+  int got = 0;
+  f.run([&](Pe& pe) {
+    if (pe.rank() == 0) {
+      for (int i = 0; i < 50; ++i)
+        pe.put(1, {static_cast<std::uint64_t>(i)}, Pe::kAppTag, -1.0,
+               Delivery::kBestEffort);
+    }
+    pe.barrier();
+    Message m;
+    while (pe.try_recv(&m)) ++got;
+  });
+  EXPECT_GT(got, 50);
+  EXPECT_EQ(static_cast<std::uint64_t>(got - 50),
+            f.pe_counters(0).faults_duplicated);
+}
+
+TEST(FaultPlane, FaultScheduleIsAFunctionOfTheSeed) {
+  auto dropped_with_seed = [](std::uint64_t seed) {
+    FabricConfig cfg = faulty_config(2, 0.2);
+    cfg.faults.seed = seed;
+    Fabric f(cfg);
+    f.run([&](Pe& pe) {
+      if (pe.rank() == 0)
+        for (int i = 0; i < 100; ++i)
+          pe.put(1, {static_cast<std::uint64_t>(i)}, Pe::kAppTag, -1.0,
+                 Delivery::kBestEffort);
+      pe.barrier();
+      Message m;
+      while (pe.try_recv(&m)) {
+      }
+    });
+    return f.pe_counters(0).faults_dropped;
+  };
+  EXPECT_EQ(dropped_with_seed(7), dropped_with_seed(7));
+  EXPECT_NE(dropped_with_seed(7), dropped_with_seed(8));
+}
+
+TEST(FaultPlane, CollectivesAreImmuneToMessageFaults) {
+  // Rendezvous collectives share state instead of exchanging modeled
+  // messages, so they complete exactly even under extreme loss.
+  Fabric f(faulty_config(4, 0.9));
+  f.run([&](Pe& pe) {
+    EXPECT_EQ(pe.allreduce_sum(1), 4u);
+    const auto all = pe.allgather(static_cast<std::uint64_t>(pe.rank()));
+    ASSERT_EQ(all.size(), 4u);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(all[i], static_cast<std::uint64_t>(i));
+  });
+}
+
+TEST(FaultPlane, IntranodePutsAreImmuneToMessageFaults) {
+  FabricConfig cfg = faulty_config(2, 0.9);
+  cfg.pes_per_node = 2;  // same node: memcpy path, no NIC, no faults
+  Fabric f(cfg);
+  int got = 0;
+  f.run([&](Pe& pe) {
+    if (pe.rank() == 0)
+      for (int i = 0; i < 50; ++i)
+        pe.put(1, {static_cast<std::uint64_t>(i)}, Pe::kAppTag, -1.0,
+               Delivery::kBestEffort);
+    pe.barrier();
+    Message m;
+    while (pe.try_recv(&m)) ++got;
+  });
+  EXPECT_EQ(got, 50);
+  EXPECT_EQ(f.pe_counters(0).faults_dropped, 0u);
+}
+
+TEST(FaultPlane, BrownoutSlowsInternodeTraffic) {
+  auto makespan_with_brownout = [](double rate) {
+    FabricConfig cfg;
+    cfg.pes = 2;
+    cfg.pes_per_node = 1;
+    cfg.faults.seed = 99;
+    cfg.faults.brownout_rate = rate;
+    Fabric f(cfg);
+    f.run([&](Pe& pe) {
+      if (pe.rank() == 0)
+        pe.put(1, std::vector<std::uint64_t>(50000, 1));
+      else
+        pe.recv_wait();
+    });
+    return f.makespan();
+  };
+  EXPECT_GT(makespan_with_brownout(1.0), makespan_with_brownout(0.0));
+}
+
+TEST(FaultPlane, StallWindowsDelayCompute) {
+  auto makespan_with_stalls = [](double rate) {
+    FabricConfig cfg;
+    cfg.pes = 2;
+    cfg.pes_per_node = 1;
+    cfg.faults.seed = 5;
+    cfg.faults.stall_rate = rate;
+    Fabric f(cfg);
+    f.run([&](Pe& pe) {
+      for (int i = 0; i < 200; ++i) {
+        pe.charge_compute_ops(5000.0);
+        pe.barrier();
+      }
+    });
+    return f.makespan();
+  };
+  EXPECT_GT(makespan_with_stalls(0.5), makespan_with_stalls(0.0));
+}
+
 TEST(MachineParams, DerivedRates) {
   MachineParams m = intel_node();
   EXPECT_DOUBLE_EQ(m.core_ops() * m.cores_per_node, m.cnode_ops);

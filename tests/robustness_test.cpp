@@ -5,6 +5,7 @@
 
 #include <algorithm>
 
+#include "actor/actor.hpp"
 #include "baseline/bsp.hpp"
 #include "baseline/serial.hpp"
 #include "core/api.hpp"
@@ -287,6 +288,257 @@ TEST(Validation, SerialBackendIgnoresPeCount) {
   const auto report = core::count_kmers(reads, cfg);
   const auto expect = baseline::serial_count(reads, cfg.k);
   EXPECT_EQ(report.counts.size(), expect.size());
+}
+
+TEST(Validation, ActorConfigRejected) {
+  net::FabricConfig fab;
+  fab.pes = 1;
+  fab.pes_per_node = 1;
+  fab.zero_cost = true;
+  net::Fabric fabric(fab);
+  fabric.run([&](net::Pe& pe) {
+    conveyor::ConveyorConfig conv;
+    actor::ActorConfig bad_packets;
+    bad_packets.l1_packets = 0;
+    EXPECT_THROW(actor::Actor a(pe, bad_packets, conv), std::logic_error);
+    actor::ActorConfig bad_poll;
+    bad_poll.poll_interval = 0;
+    EXPECT_THROW(actor::Actor a(pe, bad_poll, conv), std::logic_error);
+    actor::ActorConfig bad_bytes;
+    bad_bytes.l1_bytes = 0;
+    EXPECT_THROW(actor::Actor a(pe, bad_bytes, conv), std::logic_error);
+  });
+}
+
+TEST(Validation, FaultRateOutOfRangeRejected) {
+  net::FabricConfig cfg;
+  cfg.pes = 2;
+  cfg.pes_per_node = 1;
+  cfg.faults.drop_rate = 1.5;
+  EXPECT_THROW(net::Fabric fabric(cfg), std::logic_error);
+  cfg.faults.drop_rate = -0.1;
+  EXPECT_THROW(net::Fabric fabric(cfg), std::logic_error);
+}
+
+TEST(Validation, ZeroCostTimeFaultsRejected) {
+  // Window faults stretch virtual time; with zero-cost clocks the run
+  // would never leave window 0, so the combination is refused up front.
+  net::FabricConfig cfg;
+  cfg.pes = 2;
+  cfg.pes_per_node = 1;
+  cfg.zero_cost = true;
+  cfg.faults.stall_rate = 0.1;
+  EXPECT_THROW(net::Fabric fabric(cfg), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Fault campaigns at the backend level: seeded message/time faults must
+// never change counting results, only timings and reliability counters.
+// ---------------------------------------------------------------------------
+
+net::FaultConfig message_faults(double drop, double dup, double delay) {
+  net::FaultConfig f;
+  f.seed = 0xD15EA5E;
+  f.drop_rate = drop;
+  f.dup_rate = dup;
+  f.delay_rate = delay;
+  return f;
+}
+
+TEST(FaultRuns, BackendsMatchSerialUnderMessageFaults) {
+  auto reads = tiny_reads(20);
+  const auto expect = baseline::serial_count(reads, 31);
+  for (core::Backend b :
+       {core::Backend::kPakMan, core::Backend::kPakManStar,
+        core::Backend::kHySortK, core::Backend::kDakc}) {
+    core::CountConfig cfg;
+    cfg.backend = b;
+    cfg.k = 31;
+    cfg.pes = 8;
+    cfg.pes_per_node = 2;  // 4 nodes: plenty of internode links
+    cfg.zero_cost = false;
+    cfg.faults = message_faults(0.10, 0.05, 0.05);
+    const auto report = core::count_kmers(reads, cfg);
+    ASSERT_EQ(report.counts.size(), expect.size()) << core::backend_name(b);
+    EXPECT_TRUE(std::equal(report.counts.begin(), report.counts.end(),
+                           expect.begin()))
+        << core::backend_name(b);
+  }
+}
+
+TEST(FaultRuns, DakcExactUnderFaultsWithAllAggregationLayers) {
+  auto reads = tiny_reads(21);
+  const auto expect = baseline::serial_count(reads, 31);
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.pes = 8;
+  cfg.pes_per_node = 2;
+  cfg.zero_cost = false;
+  cfg.protocol = conveyor::Protocol::k2D;
+  cfg.l2_enabled = true;
+  cfg.l3_enabled = true;
+  cfg.faults = message_faults(0.10, 0.05, 0.05);
+  const auto report = core::count_kmers(reads, cfg);
+  ASSERT_EQ(report.counts.size(), expect.size());
+  EXPECT_TRUE(std::equal(report.counts.begin(), report.counts.end(),
+                         expect.begin()));
+  // The protocol had real work to do and says so.
+  EXPECT_GT(report.faults_dropped, 0u);
+  EXPECT_GT(report.retransmits, 0u);
+  EXPECT_GT(report.acks_sent, 0u);
+}
+
+TEST(FaultRuns, SeededFaultMakespanIsDeterministic) {
+  auto reads = tiny_reads(22);
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.pes = 8;
+  cfg.pes_per_node = 2;
+  cfg.zero_cost = false;
+  cfg.gather_counts = false;
+  cfg.faults = message_faults(0.08, 0.04, 0.08);
+  cfg.faults.stall_rate = 0.05;
+  cfg.faults.brownout_rate = 0.1;
+  const auto a = core::count_kmers(reads, cfg);
+  const auto b = core::count_kmers(reads, cfg);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.dedup_discards, b.dedup_discards);
+  EXPECT_EQ(a.faults_dropped, b.faults_dropped);
+}
+
+TEST(FaultRuns, WindowFaultsPreserveCounts) {
+  // Crash/stall windows and NIC brownouts stretch time but never lose
+  // reliable traffic; counts stay exact.
+  auto reads = tiny_reads(23);
+  const auto expect = baseline::serial_count(reads, 31);
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.pes = 8;
+  cfg.pes_per_node = 2;
+  cfg.zero_cost = false;
+  cfg.faults.seed = 77;
+  cfg.faults.crash_rate = 0.02;
+  cfg.faults.stall_rate = 0.05;
+  cfg.faults.brownout_rate = 0.10;
+  cfg.faults.drop_rate = 0.05;
+  const auto report = core::count_kmers(reads, cfg);
+  ASSERT_EQ(report.counts.size(), expect.size());
+  EXPECT_TRUE(std::equal(report.counts.begin(), report.counts.end(),
+                         expect.begin()));
+}
+
+TEST(FaultRuns, FaultsSlowTheRunDown) {
+  auto reads = tiny_reads(24);
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.pes = 8;
+  cfg.pes_per_node = 2;
+  cfg.zero_cost = false;
+  cfg.gather_counts = false;
+  const auto clean = core::count_kmers(reads, cfg);
+  cfg.faults = message_faults(0.10, 0.0, 0.10);
+  cfg.faults.brownout_rate = 0.2;
+  const auto faulty = core::count_kmers(reads, cfg);
+  EXPECT_GT(faulty.makespan, clean.makespan);
+}
+
+// ---------------------------------------------------------------------------
+// OOM precision and graceful degradation
+// ---------------------------------------------------------------------------
+
+TEST(FabricEdge, OomErrorRecordsFailingAllocation) {
+  net::FabricConfig cfg;
+  cfg.pes = 4;
+  cfg.pes_per_node = 1;
+  cfg.zero_cost = true;
+  cfg.node_memory_limit = 10000.0;
+  net::Fabric fabric(cfg);
+  try {
+    fabric.run([&](net::Pe& pe) {
+      if (pe.rank() != 0)
+        for (int i = 0; i < 10; ++i)
+          pe.put(0, std::vector<std::uint64_t>(256, 1));
+      pe.barrier();
+    });
+    FAIL() << "expected OomError";
+  } catch (const net::OomError& oom) {
+    EXPECT_EQ(oom.node, 0);
+    // Payload words plus the 16-byte message envelope.
+    EXPECT_DOUBLE_EQ(oom.alloc_bytes, 256.0 * 8.0 + 16.0);
+    EXPECT_GT(oom.attempted, oom.limit);
+    EXPECT_DOUBLE_EQ(oom.limit, 10000.0);
+  }
+}
+
+TEST(FaultRuns, OomReportRecordsAllocationForEveryBackend) {
+  auto reads = tiny_reads(25);
+  for (core::Backend b :
+       {core::Backend::kPakMan, core::Backend::kPakManStar,
+        core::Backend::kHySortK, core::Backend::kKmc3,
+        core::Backend::kDakc}) {
+    core::CountConfig cfg;
+    cfg.backend = b;
+    cfg.pes = 8;
+    cfg.pes_per_node = 4;
+    cfg.zero_cost = true;
+    cfg.node_memory_limit = 50000.0;  // far below any backend's footprint
+    const auto report = core::count_kmers(reads, cfg);
+    EXPECT_TRUE(report.oom) << core::backend_name(b);
+    EXPECT_GE(report.oom_node, 0) << core::backend_name(b);
+    EXPECT_GT(report.oom_alloc_bytes, 0.0) << core::backend_name(b);
+  }
+}
+
+core::CountConfig graceful_probe_config() {
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.pes = 8;
+  cfg.pes_per_node = 4;  // 2 nodes
+  cfg.zero_cost = false;
+  cfg.gather_counts = true;
+  cfg.l0_lane_bytes = 4096;  // keep the fixed (unsheddable) footprint low
+  cfg.l2_enabled = true;
+  cfg.l3_enabled = true;
+  return cfg;
+}
+
+TEST(FaultRuns, GracefulModeCompletesWhereDefaultOoms) {
+  auto reads = tiny_reads(26);
+  const auto expect = baseline::serial_count(reads, 31);
+  // A budget inside the degradation window: above the irreducible
+  // footprint, below the run's natural high-water mark (~1.56 MB).
+  core::CountConfig cfg = graceful_probe_config();
+  cfg.node_memory_limit = 1.45e6;
+
+  const auto fail_fast = core::count_kmers(reads, cfg);
+  EXPECT_TRUE(fail_fast.oom);
+  EXPECT_GT(fail_fast.oom_alloc_bytes, 0.0);
+
+  cfg.graceful_memory = true;
+  const auto graceful = core::count_kmers(reads, cfg);
+  EXPECT_FALSE(graceful.oom);
+  EXPECT_GT(graceful.pressure_events, 0u);
+  EXPECT_GT(graceful.buffer_shrinks, 0u);
+  // Degradation trades time, never correctness.
+  ASSERT_EQ(graceful.counts.size(), expect.size());
+  EXPECT_TRUE(std::equal(graceful.counts.begin(), graceful.counts.end(),
+                         expect.begin()));
+}
+
+TEST(FaultRuns, GracefulModeIsNoOpWithHeadroom) {
+  // With a generous budget the soft threshold is never crossed: graceful
+  // mode must not perturb the run at all.
+  auto reads = tiny_reads(27);
+  core::CountConfig cfg = graceful_probe_config();
+  cfg.gather_counts = false;
+  const auto plain = core::count_kmers(reads, cfg);
+  cfg.graceful_memory = true;
+  cfg.node_memory_limit = 64.0 * 1024 * 1024;
+  const auto graceful = core::count_kmers(reads, cfg);
+  EXPECT_EQ(graceful.pressure_events, 0u);
+  EXPECT_EQ(graceful.buffer_shrinks, 0u);
+  EXPECT_DOUBLE_EQ(graceful.makespan, plain.makespan);
 }
 
 }  // namespace

@@ -25,3 +25,15 @@ python3 "$repo/tools/check_perf.py" \
 # Green run: refresh the committed perf snapshot so the repo-root copy
 # can't silently go stale relative to the code that produced it.
 cp "$build/BENCH_kernels.json" "$repo/BENCH_kernels.json"
+
+# ---------------------------------------------------------------------------
+# Sanitizer job: the full tier-1 suite again under ASan + UBSan. The perf
+# harness is skipped here — sanitized timings are meaningless and the
+# functional suite is what the instrumentation is for. Fault-injection and
+# reliability tests especially benefit: retransmit/dedup paths juggle
+# frame buffers whose lifetime bugs a clean build would never surface.
+build_asan="${build}-asan"
+cmake -B "$build_asan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDAKC_SANITIZE=ON
+cmake --build "$build_asan" -j "$(nproc)"
+(cd "$build_asan" && ctest --output-on-failure -LE perf -j "$(nproc)")

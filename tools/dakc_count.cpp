@@ -71,6 +71,26 @@ int cmd_count(int argc, char** argv) {
   auto& binary = cli.add_flag("binary", false, "binary dump format");
   auto& trace = cli.add_string("trace", "",
                                "write a Chrome-tracing JSON timeline here");
+  auto& fault_seed = cli.add_int("fault-seed", 0xFA17ED,
+                                 "fault-injection RNG seed");
+  auto& fault_drop = cli.add_double("fault-drop", 0.0,
+                                    "per-message drop probability [0,1]");
+  auto& fault_dup = cli.add_double("fault-dup", 0.0,
+                                   "per-message duplication probability");
+  auto& fault_delay = cli.add_double("fault-delay", 0.0,
+                                     "per-message delay-spike probability");
+  auto& fault_brownout = cli.add_double(
+      "fault-brownout", 0.0, "per-window NIC brownout probability");
+  auto& fault_stall = cli.add_double("fault-stall", 0.0,
+                                     "per-window PE stall probability");
+  auto& fault_crash = cli.add_double("fault-crash", 0.0,
+                                     "per-window PE crash probability");
+  auto& mem_limit_mb = cli.add_double(
+      "mem-limit-mb", 0.0, "per-node memory budget in MiB (0 = unlimited)");
+  auto& graceful = cli.add_flag(
+      "graceful", false,
+      "degrade buffers under memory pressure instead of failing at the "
+      "soft threshold");
   cli.parse(argc, argv);
 
   std::vector<std::string> reads;
@@ -92,10 +112,39 @@ int cmd_count(int argc, char** argv) {
   cfg.l3_enabled = l3;
   cfg.phase2_hash = hash;
   cfg.trace_path = trace;
+  cfg.faults.seed = static_cast<std::uint64_t>(fault_seed);
+  cfg.faults.drop_rate = fault_drop;
+  cfg.faults.dup_rate = fault_dup;
+  cfg.faults.delay_rate = fault_delay;
+  cfg.faults.brownout_rate = fault_brownout;
+  cfg.faults.stall_rate = fault_stall;
+  cfg.faults.crash_rate = fault_crash;
+  cfg.node_memory_limit = mem_limit_mb * 1024.0 * 1024.0;
+  cfg.graceful_memory = graceful;
   const core::RunReport report = core::count_kmers(reads, cfg);
   if (report.oom) {
-    std::printf("OOM on node %d\n", report.oom_node);
+    std::printf("OOM on node %d (failing allocation %s, high water %s)\n",
+                report.oom_node, fmt_bytes(report.oom_alloc_bytes).c_str(),
+                fmt_bytes(report.node_mem_high).c_str());
     return 1;
+  }
+  if (cfg.faults.enabled()) {
+    std::printf("faults: dropped %s, duplicated %s, delayed %s, "
+                "brownout-chunks %s, hw-retransmits %s\n",
+                fmt_count(report.faults_dropped).c_str(),
+                fmt_count(report.faults_duplicated).c_str(),
+                fmt_count(report.faults_delayed).c_str(),
+                fmt_count(report.brownout_chunks).c_str(),
+                fmt_count(report.hw_retransmits).c_str());
+    std::printf("reliability: retransmits %s, dedup-discards %s, acks %s\n",
+                fmt_count(report.retransmits).c_str(),
+                fmt_count(report.dedup_discards).c_str(),
+                fmt_count(report.acks_sent).c_str());
+  }
+  if (cfg.graceful_memory || report.pressure_events > 0) {
+    std::printf("memory pressure: events %s, buffer-shrinks %s\n",
+                fmt_count(report.pressure_events).c_str(),
+                fmt_count(report.buffer_shrinks).c_str());
   }
 
   std::vector<kmer::KmerCount64> counts = report.counts;
