@@ -24,16 +24,6 @@ std::uint64_t slice_kmers(const std::vector<std::string>& reads, int k,
   return n;
 }
 
-/// Charge a comparison sort (PakMan's quicksort): ~1.5 n log2 n ops and
-/// one 8-byte stream per level.
-void charge_comparison_sort(net::Pe& pe, std::size_t n,
-                            std::size_t elem_bytes) {
-  if (n < 2) return;
-  const double levels = std::log2(static_cast<double>(n));
-  pe.charge_compute_ops(1.5 * static_cast<double>(n) * levels);
-  pe.charge_mem_bytes(static_cast<double>(n * elem_bytes) * levels);
-}
-
 }  // namespace
 
 std::uint64_t bsp_rounds(const std::vector<std::string>& reads, int k,
@@ -57,6 +47,7 @@ void run_bsp_pe(net::Pe& pe, const std::vector<std::string>& reads,
   const std::uint64_t rounds = std::max<std::uint64_t>(
       pe.allreduce_max((my_kmers + batch - 1) / batch), 1);
 
+  cachesim::CostModel cost = core::make_cost_model(config, pe);
   std::vector<std::vector<std::uint64_t>> send(pes);
   std::vector<kmer::KmerCount64> local;  // T_r as {kmer, count} pairs
   double accounted = 0.0;
@@ -72,7 +63,7 @@ void run_bsp_pe(net::Pe& pe, const std::vector<std::string>& reads,
       } else {
         for (std::uint64_t word : slice) local.push_back({word, 1});
       }
-      pe.charge_mem_bytes(static_cast<double>(slice.size()) * 16.0);
+      cost.receive_append(pe, static_cast<double>(slice.size()) * 16.0);
     }
     const double now_bytes = static_cast<double>(local.size()) * 16.0;
     if (now_bytes > accounted) {
@@ -88,9 +79,9 @@ void run_bsp_pe(net::Pe& pe, const std::vector<std::string>& reads,
       for (auto& buf : send) {
         if (buf.empty()) continue;
         const sort::SortStats st = sort::lsd_radix_sort(buf);
-        core::charge_sort(pe, st, 8);
+        cost.sort(pe, st, 8);
         const auto pairs = sort::accumulate(buf);
-        pe.charge_mem_bytes(static_cast<double>(buf.size()) * 8.0);
+        cost.buffer_drain(pe, static_cast<double>(buf.size()) * 8.0);
         buf.clear();
         buf.reserve(pairs.size() * 2);
         for (const auto& kc : pairs) {
@@ -124,7 +115,7 @@ void run_bsp_pe(net::Pe& pe, const std::vector<std::string>& reads,
         in_batch = 0;
       }
     });
-    core::charge_parse(pe, read.size(), emitted);
+    cost.parse(pe, read.size(), emitted);
   }
   // Final (possibly empty) rounds so every PE joins every collective.
   while (flushed < rounds) {
@@ -134,20 +125,20 @@ void run_bsp_pe(net::Pe& pe, const std::vector<std::string>& reads,
   if (pending.valid()) absorb(pe.wait(pending));
   pe.barrier();
   out->phase1_end = pe.now();
+  out->replay_phase1 = cost.stats();
 
   // Phase 2: sort + accumulate.
   if (opts.radix_sort) {
-    core::sort_and_accumulate_local(pe, local, out);
+    core::sort_and_accumulate_local(pe, cost, local, out);
   } else {
     std::sort(local.begin(), local.end(),
               [](const kmer::KmerCount64& a, const kmer::KmerCount64& b) {
                 return a.kmer < b.kmer;
               });
-    charge_comparison_sort(pe, local.size(), sizeof(kmer::KmerCount64));
+    cost.comparison_sort(pe, local.size(), sizeof(kmer::KmerCount64));
     if (!local.empty()) {
       sort::accumulate_pairs_inplace(local);
-      pe.charge_mem_bytes(static_cast<double>(local.size()) * 16.0);
-      pe.charge_compute_ops(static_cast<double>(local.size()));
+      cost.accumulate(pe, local.size(), sizeof(kmer::KmerCount64));
     }
     out->counts = std::move(local);
     out->phase2_end = pe.now();
@@ -155,6 +146,7 @@ void run_bsp_pe(net::Pe& pe, const std::vector<std::string>& reads,
   if (accounted > 0.0) pe.account_free(accounted);
   pe.barrier();
   out->phase2_end = pe.now();
+  out->replay_total = cost.stats();
 }
 
 }  // namespace dakc::baseline

@@ -26,6 +26,7 @@ void run_kmc3_pe(net::Pe& pe, const std::vector<std::string>& reads,
                  "KMC3 backend is shared-memory: all PEs must share a node");
   const int k = config.k;
   const int pes = pe.size();
+  cachesim::CostModel cost = core::make_cost_model(config, pe);
 
   // Per-destination buffers: [run_len | kmers...]* plus the modeled wire
   // size of the packed super-k-mers.
@@ -97,7 +98,7 @@ void run_kmc3_pe(net::Pe& pe, const std::vector<std::string>& reads,
           pe.charge_compute_ops(1.0);
         });
     end_run();
-    core::charge_parse(pe, read.size(), emitted);
+    cost.parse(pe, read.size(), emitted);
     drain();
   }
   for (int d = 0; d < pes; ++d) flush(d);
@@ -105,11 +106,13 @@ void run_kmc3_pe(net::Pe& pe, const std::vector<std::string>& reads,
   drain();
   pe.barrier();
   out->phase1_end = pe.now();
+  out->replay_phase1 = cost.stats();
 
-  core::sort_and_accumulate_local(pe, local, out);
+  core::sort_and_accumulate_local(pe, cost, local, out);
   if (accounted > 0.0) pe.account_free(accounted);
   pe.barrier();
   out->phase2_end = pe.now();
+  out->replay_total = cost.stats();
 }
 
 }  // namespace dakc::baseline

@@ -28,6 +28,7 @@ void run_serial_pe(net::Pe& pe, const std::vector<std::string>& reads,
     out->phase2_end = pe.now();
     return;
   }
+  cachesim::CostModel cost = core::make_cost_model(config, pe);
   const int k = config.k;
   std::vector<kmer::Kmer64> all;
   for (const auto& read : reads) {
@@ -35,24 +36,25 @@ void run_serial_pe(net::Pe& pe, const std::vector<std::string>& reads,
         kmer::for_each_kmer(read, k, [&](kmer::Kmer64 km) {
           all.push_back(config.canonical ? kmer::canonical(km, k) : km);
         });
-    core::charge_parse(pe, read.size(), emitted);
+    cost.parse(pe, read.size(), emitted);
   }
   pe.account_alloc(static_cast<double>(all.size()) * 8.0);
   pe.barrier();
   out->phase1_end = pe.now();
+  out->replay_phase1 = cost.stats();
 
   const sort::SortStats stats = sort::hybrid_radix_sort(all);
-  core::charge_sort(pe, stats, sizeof(kmer::Kmer64));
+  cost.sort(pe, stats, sizeof(kmer::Kmer64));
   out->counts.clear();
   {
     auto accumulated = sort::accumulate(all);
-    pe.charge_mem_bytes(static_cast<double>(all.size()) * 8.0);
-    pe.charge_compute_ops(static_cast<double>(all.size()));
+    cost.accumulate(pe, all.size(), sizeof(kmer::Kmer64));
     out->counts = std::move(accumulated);
   }
   pe.account_free(static_cast<double>(all.size()) * 8.0);
   pe.barrier();
   out->phase2_end = pe.now();
+  out->replay_total = cost.stats();
 }
 
 }  // namespace dakc::baseline

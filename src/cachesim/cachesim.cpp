@@ -29,7 +29,8 @@ void CacheSim::touch_line(std::uint64_t line_addr) {
   // the same line repeatedly, so short-circuit the set scan when the last
   // touched slot still holds this line. Stats-wise this is exactly the
   // slow path's hit branch (access counted, LRU stamp refreshed).
-  if (line_addr == last_line_ && tags_[last_index_] == line_addr) {
+  if (config_.retouch_filter && line_addr == last_line_ &&
+      tags_[last_index_] == line_addr) {
     ++stats_.accesses;
     last_use_[last_index_] = ++tick_;
     return;

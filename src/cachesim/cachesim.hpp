@@ -27,6 +27,10 @@ struct CacheConfig {
   std::uint64_t size_bytes = 38ull * 1024 * 1024;  ///< Z (Table IV)
   std::uint32_t line_bytes = 64;                   ///< L (Table IV)
   std::uint32_t ways = 16;
+  /// The `last_line_` one-entry re-touch filter is a pure fast path; this
+  /// knob exists so tests can equivalence-check it against the plain
+  /// set-scan (tests/cachesim_test.cpp).
+  bool retouch_filter = true;
 };
 
 struct CacheStats {

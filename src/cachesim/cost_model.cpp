@@ -1,0 +1,229 @@
+#include "cachesim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/fabric.hpp"
+#include "util/check.hpp"
+
+namespace dakc::cachesim {
+
+namespace {
+
+/// Rolling windows must exceed the replay cache so that by the time a
+/// window wraps, its head lines have been evicted — wrapped appends stay
+/// effectively cold, and the address space stays bounded.
+constexpr std::uint64_t kMinRollWindow = 1ull << 20;
+
+}  // namespace
+
+CostModel::CostModel(const CostModelConfig& config,
+                     const net::MachineParams& machine, int rank)
+    : config_(config),
+      rng_(config.replay_seed ^
+           (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(rank) + 1))) {
+  DAKC_CHECK(config_.llc_hit_speedup >= 1.0);
+  DAKC_CHECK(config_.scatter_streams >= 1);
+  line_bytes_ = machine.line_bytes;
+  line_miss_seconds_ = machine.line_bytes / machine.core_mem_bw();
+  line_hit_seconds_ = line_miss_seconds_ / config_.llc_hit_speedup;
+  if (config_.kind != CostModelKind::kReplay) return;
+
+  CacheConfig cc;
+  std::uint64_t bytes = config_.replay_cache_bytes;
+  if (bytes == 0) {
+    bytes = static_cast<std::uint64_t>(
+        machine.cache_bytes / std::max(1, machine.cores_per_node));
+  }
+  cc.line_bytes = static_cast<std::uint32_t>(machine.line_bytes);
+  // Keep at least one full set; tiny shares degrade to a small
+  // direct-mapped-ish cache rather than an invalid geometry.
+  cc.size_bytes = std::max<std::uint64_t>(
+      bytes, static_cast<std::uint64_t>(cc.line_bytes) * cc.ways);
+  sim_ = std::make_unique<CacheSim>(cc);
+  roll_window_ = std::max<std::uint64_t>(4 * cc.size_bytes, kMinRollWindow);
+}
+
+CostModel::Region& CostModel::region(Slot slot, std::uint64_t bytes) {
+  Region& r = regions_[slot];
+  if (r.capacity < bytes || r.base == 0) {
+    r.capacity = std::max(bytes, std::max(r.capacity * 2, std::uint64_t{64}));
+    r.base = sim_->alloc_region(r.capacity);
+    r.cursor = 0;
+  }
+  return r;
+}
+
+void CostModel::roll_stream(Slot slot, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  Region& r = region(slot, roll_window_);
+  // Stream in window-bounded chunks, wrapping the cursor: fresh memory
+  // until the wrap, long-evicted memory after it.
+  std::uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const std::uint64_t room = r.capacity - r.cursor;
+    const std::uint64_t take = std::min(remaining, room);
+    sim_->stream(r.base + r.cursor, take);
+    r.cursor = (r.cursor + take) % r.capacity;
+    remaining -= take;
+  }
+}
+
+void CostModel::charge_delta(net::Pe& pe) {
+  const CacheStats& s = sim_->stats();
+  const std::uint64_t accesses = s.accesses - charged_accesses_;
+  const std::uint64_t misses = s.misses - charged_misses_;
+  charged_accesses_ = s.accesses;
+  charged_misses_ = s.misses;
+  const std::uint64_t hits = accesses - misses;
+  pe.charge(static_cast<double>(hits) * line_hit_seconds_ +
+                static_cast<double>(misses) * line_miss_seconds_,
+            des::Category::kMemory);
+}
+
+ReplayStats CostModel::stats() const {
+  ReplayStats r;
+  if (sim_) {
+    r.accesses = sim_->stats().accesses;
+    r.misses = sim_->stats().misses;
+  }
+  return r;
+}
+
+void CostModel::parse(net::Pe& pe, std::size_t read_bytes,
+                      std::size_t kmers_emitted) {
+  pe.charge_compute_ops(static_cast<double>(kmers_emitted));
+  if (!replaying()) {
+    pe.charge_mem_bytes(static_cast<double>(read_bytes) +
+                        8.0 * static_cast<double>(kmers_emitted));
+    return;
+  }
+  roll_stream(kRollParse, read_bytes);
+  roll_stream(kRollEmit, kmers_emitted * 8);
+  charge_delta(pe);
+}
+
+void CostModel::sort(net::Pe& pe, const sort::SortStats& stats,
+                     std::size_t element_bytes) {
+  // moves counts element copies across every pass/recursion level (the
+  // real data traffic); histogram/scan passes read each element roughly
+  // once per move as well. Two index ops per moved element.
+  const double touched = 2.0 * static_cast<double>(stats.moves) +
+                         static_cast<double>(stats.elements);
+  pe.charge_compute_ops(touched);
+  if (!replaying()) {
+    pe.charge_mem_bytes(touched * static_cast<double>(element_bytes));
+    return;
+  }
+  if (stats.elements == 0) {
+    charge_delta(pe);
+    return;
+  }
+  const std::uint64_t payload = stats.elements * element_bytes;
+  Region& src = region(kSortSrc, payload);
+  Region& dst = region(kSortDst, payload);
+  // Insertion-sorted leaves report moves without counting passes; give
+  // the replay at least one sweep whenever elements moved.
+  const std::uint64_t passes =
+      std::max<std::uint64_t>(stats.passes, stats.moves ? 1 : 0);
+  std::uint64_t base_src = src.base;
+  std::uint64_t base_dst = dst.base;
+  std::uint64_t moves_left = stats.moves;
+  for (std::uint64_t p = 0; p < passes; ++p) {
+    // Histogram/read sweep of the pass source.
+    sim_->stream(base_src, payload);
+    // Scatter this pass's share of the measured moves into the 256
+    // concurrently-open destination streams of a radix permutation.
+    const std::uint64_t share =
+        p + 1 == passes ? moves_left : stats.moves / passes;
+    moves_left -= share;
+    if (share > 0) {
+      sim_->multi_stream_append(base_dst, share,
+                                static_cast<std::uint32_t>(element_bytes),
+                                config_.scatter_streams, rng_);
+    }
+    std::swap(base_src, base_dst);
+  }
+  charge_delta(pe);
+}
+
+void CostModel::accumulate(net::Pe& pe, std::size_t elements,
+                           std::size_t element_bytes) {
+  if (!replaying()) {
+    pe.charge_mem_bytes(static_cast<double>(elements) *
+                        static_cast<double>(element_bytes));
+    pe.charge_compute_ops(static_cast<double>(elements));
+    return;
+  }
+  // Sweep the just-sorted payload (the sort's source region is the last
+  // one written after an even pass count; either ping-pong half is
+  // equally warm, so sweep kSortSrc).
+  const std::uint64_t payload =
+      static_cast<std::uint64_t>(elements) * element_bytes;
+  if (payload > 0) sim_->stream(region(kSortSrc, payload).base, payload);
+  charge_delta(pe);
+  pe.charge_compute_ops(static_cast<double>(elements));
+}
+
+void CostModel::receive_append(net::Pe& pe, double bytes) {
+  if (!replaying()) {
+    pe.charge_mem_bytes(bytes);
+    return;
+  }
+  roll_stream(kRollRecv, static_cast<std::uint64_t>(bytes));
+  charge_delta(pe);
+}
+
+void CostModel::buffer_drain(net::Pe& pe, double bytes) {
+  if (!replaying()) {
+    pe.charge_mem_bytes(bytes);
+    return;
+  }
+  const auto b = static_cast<std::uint64_t>(bytes);
+  if (b > 0) sim_->stream(region(kDrain, b).base, b);
+  charge_delta(pe);
+}
+
+void CostModel::hash_probes(net::Pe& pe, std::size_t probes,
+                            double table_bytes) {
+  if (!replaying()) {
+    pe.charge_mem_bytes(static_cast<double>(probes) * line_bytes_);
+    pe.charge_compute_ops(4.0 * static_cast<double>(probes));
+    return;
+  }
+  const auto b = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(table_bytes), 64);
+  if (probes > 0) {
+    Region& t = region(kTable, b);
+    sim_->random_scatter(t.base, b, probes, 8, rng_);
+  }
+  charge_delta(pe);
+  pe.charge_compute_ops(4.0 * static_cast<double>(probes));
+}
+
+void CostModel::comparison_sort(net::Pe& pe, std::size_t n,
+                                std::size_t element_bytes) {
+  if (n < 2) return;
+  const double levels = std::log2(static_cast<double>(n));
+  pe.charge_compute_ops(1.5 * static_cast<double>(n) * levels);
+  if (!replaying()) {
+    pe.charge_mem_bytes(static_cast<double>(n * element_bytes) * levels);
+    return;
+  }
+  const std::uint64_t payload = n * element_bytes;
+  Region& r = region(kSortSrc, payload);
+  const auto sweeps = static_cast<std::uint64_t>(std::ceil(levels));
+  for (std::uint64_t p = 0; p < sweeps; ++p) sim_->stream(r.base, payload);
+  charge_delta(pe);
+}
+
+void CostModel::stream_touch(net::Pe& pe, double bytes) {
+  if (!replaying()) {
+    pe.charge_mem_bytes(bytes);
+    return;
+  }
+  roll_stream(kRollTouch, static_cast<std::uint64_t>(bytes));
+  charge_delta(pe);
+}
+
+}  // namespace dakc::cachesim

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "cachesim/cost_model.hpp"
 #include "conveyor/conveyor.hpp"
 #include "kmer/count.hpp"
 #include "net/machine.hpp"
@@ -50,6 +51,11 @@ struct CountConfig {
   /// instead of throwing at the soft threshold; hard OOM still reported
   /// at the limit. Off = the Fig. 8 fail-fast behavior.
   bool graceful_memory = false;
+  /// How charged sites convert measured work into simulated seconds:
+  /// kFlat (touched bytes / beta_mem; the golden-pinned model) or
+  /// kReplay (deterministic CacheSim replay, hits x C_cache + misses x
+  /// C_mem). See cachesim/cost_model.hpp and DESIGN.md §8.
+  cachesim::CostModelConfig cost_model;
 
   // -- BSP parameters (Algorithm 2) ---------------------------------------
   /// Batch size b: k-mers generated per PE between collective rounds.
@@ -126,6 +132,12 @@ struct RunReport {
   std::uint64_t acks_sent = 0;
   std::uint64_t pressure_events = 0;
   std::uint64_t buffer_shrinks = 0;
+
+  // -- cache-replay cost model (sums over PEs; all zero under kFlat) -----
+  std::uint64_t replay_accesses = 0;       ///< line touches replayed
+  std::uint64_t replay_misses = 0;         ///< simulated LLC misses
+  std::uint64_t replay_phase1_misses = 0;  ///< misses before the barrier
+  std::uint64_t replay_phase2_misses = 0;  ///< misses in sort+accumulate
 
   std::uint64_t total_kmers = 0;    ///< sum of counts
   std::uint64_t distinct_kmers = 0;

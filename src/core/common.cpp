@@ -31,23 +31,11 @@ std::pair<std::size_t, std::size_t> read_slice(std::size_t n_reads, int pes,
   return {begin, end};
 }
 
-void charge_parse(net::Pe& pe, std::size_t read_bytes,
-                  std::size_t kmers_emitted) {
-  pe.charge_compute_ops(static_cast<double>(kmers_emitted));
-  pe.charge_mem_bytes(static_cast<double>(read_bytes) +
-                      8.0 * static_cast<double>(kmers_emitted));
-}
-
-void charge_sort(net::Pe& pe, const sort::SortStats& stats,
-                 std::size_t element_bytes) {
-  // moves counts element copies across every pass/recursion level (the
-  // real data traffic); histogram/scan passes read each element roughly
-  // once per move as well. Two index ops per moved element.
-  const double touched =
-      2.0 * static_cast<double>(stats.moves) +
-      static_cast<double>(stats.elements);
-  pe.charge_compute_ops(touched);
-  pe.charge_mem_bytes(touched * static_cast<double>(element_bytes));
+cachesim::CostModel make_cost_model(const CountConfig& config,
+                                    const net::Pe& pe) {
+  cachesim::CostModelConfig cmc = config.cost_model;
+  if (config.zero_cost) cmc.kind = cachesim::CostModelKind::kFlat;
+  return cachesim::CostModel(cmc, pe.machine(), pe.rank());
 }
 
 std::vector<kmer::KmerCount64> merge_slices(std::vector<PeOutput>& outputs) {
@@ -95,25 +83,28 @@ void fill_report_from_fabric(const net::Fabric& fabric,
     report->phase1_seconds = std::max(report->phase1_seconds, o.phase1_end);
     report->phase2_seconds =
         std::max(report->phase2_seconds, o.phase2_end - o.phase1_end);
+    report->replay_accesses += o.replay_total.accesses;
+    report->replay_misses += o.replay_total.misses;
+    report->replay_phase1_misses += o.replay_phase1.misses;
+    report->replay_phase2_misses +=
+        o.replay_total.misses - o.replay_phase1.misses;
   }
   for (int n = 0; n < fabric.node_count(); ++n)
     report->node_mem_high = std::max(report->node_mem_high,
                                      fabric.node_mem_high(n));
 }
 
-void sort_and_accumulate_local(net::Pe& pe,
+void sort_and_accumulate_local(net::Pe& pe, cachesim::CostModel& cost,
                                std::vector<kmer::KmerCount64>& pairs,
                                PeOutput* out) {
   const sort::SortStats stats = sort::hybrid_radix_sort(
       pairs.begin(), pairs.end(),
       [](const kmer::KmerCount64& kc) { return kc.kmer; });
-  charge_sort(pe, stats, sizeof(kmer::KmerCount64));
+  cost.sort(pe, stats, sizeof(kmer::KmerCount64));
   if (!pairs.empty()) {
     sort::accumulate_pairs_inplace(pairs);
     // The accumulate sweep streams the array once.
-    pe.charge_mem_bytes(static_cast<double>(pairs.size()) *
-                        sizeof(kmer::KmerCount64));
-    pe.charge_compute_ops(static_cast<double>(pairs.size()));
+    cost.accumulate(pe, pairs.size(), sizeof(kmer::KmerCount64));
   }
   out->counts = std::move(pairs);
   out->phase2_end = pe.now();

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "cachesim/cost_model.hpp"
 #include "core/api.hpp"
 #include "kmer/count.hpp"
 #include "net/fabric.hpp"
@@ -18,22 +19,21 @@ namespace dakc::core {
 std::pair<std::size_t, std::size_t> read_slice(std::size_t n_reads, int pes,
                                                int rank);
 
-/// Charge the parse step of a read: one op per k-mer generated plus a
-/// streaming pass over the read bytes and the emitted k-mer words
-/// (phase-1 cost in the paper's model, but with *measured* quantities).
-void charge_parse(net::Pe& pe, std::size_t read_bytes,
-                  std::size_t kmers_emitted);
-
-/// Charge a completed sort from its measured statistics: index arithmetic
-/// as compute, element movement as memory traffic.
-void charge_sort(net::Pe& pe, const sort::SortStats& stats,
-                 std::size_t element_bytes);
+/// Per-PE cost model for this run: config.cost_model with the replay
+/// forced off under zero_cost (a replay whose every charge collapses to
+/// zero seconds would only burn host time).
+cachesim::CostModel make_cost_model(const CountConfig& config,
+                                    const net::Pe& pe);
 
 /// Per-PE output captured on the host side while the fabric runs.
 struct PeOutput {
   std::vector<kmer::KmerCount64> counts;  ///< local, k-mer-sorted
   double phase1_end = 0.0;  ///< pe.now() right after the phase boundary
   double phase2_end = 0.0;
+  /// Replay counters (zero under the flat cost model): snapshot at the
+  /// phase-1 boundary plus the end-of-run totals.
+  cachesim::ReplayStats replay_phase1;
+  cachesim::ReplayStats replay_total;
 };
 
 /// Merge per-PE slices into one k-mer-sorted vector (hash ownership
@@ -46,9 +46,9 @@ void fill_report_from_fabric(const net::Fabric& fabric,
                              RunReport* report);
 
 /// Final local step of every sorting-based counter: sort the local pairs
-/// by k-mer, accumulate equal keys, charge the measured cost, and record
-/// phase-2 completion.
-void sort_and_accumulate_local(net::Pe& pe,
+/// by k-mer, accumulate equal keys, charge the measured cost through the
+/// PE's cost model, and record phase-2 completion.
+void sort_and_accumulate_local(net::Pe& pe, cachesim::CostModel& cost,
                                std::vector<kmer::KmerCount64>& pairs,
                                PeOutput* out);
 

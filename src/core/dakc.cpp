@@ -19,8 +19,9 @@ namespace {
 /// runtime, plus the receive-side array T.
 class DakcPe {
  public:
-  DakcPe(net::Pe& pe, const CountConfig& config)
+  DakcPe(net::Pe& pe, cachesim::CostModel& cost, const CountConfig& config)
       : pe_(pe),
+        cost_(cost),
         config_(config),
         actor_(pe, make_actor_config(config), make_conveyor_config(config)),
         l2n_(static_cast<std::size_t>(pe.size())),
@@ -111,9 +112,7 @@ class DakcPe {
         for (std::size_t i = 0; i < n; ++i) probes += hash_.add(w[i]);
       }
       // Each probe is a random cache-line touch plus compare/insert ops.
-      pe_.charge_mem_bytes(static_cast<double>(probes) *
-                           pe_.machine().line_bytes);
-      pe_.charge_compute_ops(4.0 * static_cast<double>(probes));
+      cost_.hash_probes(pe_, probes, hash_.storage_bytes());
       maybe_account_hash();
       return;
     }
@@ -131,7 +130,7 @@ class DakcPe {
       kmer::KmerCount64* out = t_.data() + old_size;
       for (std::size_t i = 0; i < n; ++i) out[i] = {w[i], 1};
     }
-    pe_.charge_mem_bytes(static_cast<double>(n) * 16.0);
+    cost_.receive_append(pe_, static_cast<double>(n) * 16.0);
     maybe_account_t();
   }
 
@@ -149,13 +148,13 @@ class DakcPe {
   /// in phase 1). The resize-and-rehash traffic was charged per insert.
   std::vector<kmer::KmerCount64> extract_hash_counts() {
     auto counts = hash_.extract();
-    pe_.charge_mem_bytes(hash_.storage_bytes());  // table sweep
+    cost_.buffer_drain(pe_, hash_.storage_bytes());  // table sweep
     // Extracted entries are already distinct, so the fused engine's
     // merge step is a no-op and this is a pure buffered key sort. The
     // charge follows the engine's measured stats (this path feeds no
     // pinned golden; hash mode's phase-2 advantage is structural).
     const sort::SortStats st = sort::wc_sort_accumulate_pairs(counts);
-    charge_sort(pe_, st, sizeof(kmer::KmerCount64));
+    cost_.sort(pe_, st, sizeof(kmer::KmerCount64));
     return counts;
   }
 
@@ -208,8 +207,8 @@ class DakcPe {
     const sort::SortStats st =
         sort::hybrid_radix_sort(l3_.begin(), l3_.end(),
                                 [](std::uint64_t w) { return w; });
-    charge_sort(pe_, st, 8);
-    pe_.charge_mem_bytes(static_cast<double>(l3_.size()) * 8.0);
+    cost_.sort(pe_, st, 8);
+    cost_.buffer_drain(pe_, static_cast<double>(l3_.size()) * 8.0);
     std::size_t i = 0;
     while (i < l3_.size()) {
       std::size_t j = i + 1;
@@ -267,6 +266,7 @@ class DakcPe {
   }
 
   net::Pe& pe_;
+  cachesim::CostModel& cost_;
   const CountConfig& config_;
   actor::Actor actor_;
   std::vector<std::uint64_t> l3_;
@@ -295,7 +295,8 @@ void run_dakc_pe(net::Pe& pe, const std::vector<std::string>& reads,
                  "C2 packets must fit inside an L0 lane");
   pe.barrier();  // global sync #1: start of the counting epoch
 
-  DakcPe state(pe, config);
+  cachesim::CostModel cost = make_cost_model(config, pe);
+  DakcPe state(pe, cost, config);
   const auto [begin, end] = core::read_slice(reads.size(), pe.size(),
                                              pe.rank());
   const int k = config.k;
@@ -306,19 +307,21 @@ void run_dakc_pe(net::Pe& pe, const std::vector<std::string>& reads,
           if (config.canonical) km = kmer::canonical(km, k);
           state.async_add(km);
         });
-    charge_parse(pe, read.size(), emitted);
+    cost.parse(pe, read.size(), emitted);
   }
   state.finish_phase1();  // global sync #2: the phase-1/2 barrier
   out->phase1_end = pe.now();
+  out->replay_phase1 = cost.stats();
 
   if (config.phase2_hash) {
     out->counts = state.extract_hash_counts();
     out->phase2_end = pe.now();
   } else {
-    sort_and_accumulate_local(pe, state.local_pairs(), out);
+    sort_and_accumulate_local(pe, cost, state.local_pairs(), out);
   }
   pe.barrier();  // global sync #3: end of the counting epoch
   out->phase2_end = pe.now();
+  out->replay_total = cost.stats();
 }
 
 }  // namespace dakc::core

@@ -69,6 +69,7 @@ LargeKReport count_kmers_large(const std::vector<std::string>& reads, int k,
   fabric.run([&](net::Pe& pe) {
     Output& out = outputs[static_cast<std::size_t>(pe.rank())];
     pe.barrier();
+    cachesim::CostModel cost = make_cost_model(config, pe);
 
     actor::ActorConfig acfg;
     acfg.l1_packets = config.c1;
@@ -84,7 +85,7 @@ LargeKReport count_kmers_large(const std::vector<std::string>& reads, int k,
       DAKC_ASSERT(n % words == 0);
       for (std::size_t i = 0; i < n; i += words)
         local.push_back({read_kmer(w + i, k), 1});
-      pe.charge_mem_bytes(static_cast<double>(n) * 8.0 * 2.0);
+      cost.receive_append(pe, static_cast<double>(n) * 8.0 * 2.0);
     });
 
     // L2: per-destination packet buffers of C2 words.
@@ -109,16 +110,17 @@ LargeKReport count_kmers_large(const std::vector<std::string>& reads, int k,
             append_kmer(b, km, k);
             if (b.size() + words > config.c2) flush_l2(p);
           });
-      charge_parse(pe, read.size(), emitted * words);
+      cost.parse(pe, read.size(), emitted * words);
     }
     for (int p = 0; p < pe.size(); ++p) flush_l2(p);
     actor.done();
     out.phase1_end = pe.now();
 
     const sort::SortStats stats = sort::wc_sort_accumulate_pairs(local);
-    charge_sort(pe, stats, sizeof(Record));
+    cost.sort(pe, stats, sizeof(Record));
     if (!local.empty())
-      pe.charge_mem_bytes(static_cast<double>(local.size()) * sizeof(Record));
+      cost.stream_touch(
+          pe, static_cast<double>(local.size()) * sizeof(Record));
     out.counts = std::move(local);
     pe.barrier();
     out.phase2_end = pe.now();

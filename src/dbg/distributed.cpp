@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "actor/actor.hpp"
+#include "core/common.hpp"
 #include "kmer/encoding.hpp"
 #include "kmer/extract.hpp"
 #include "net/fabric.hpp"
@@ -50,8 +51,8 @@ struct PackedSeq {
 class Partition {
  public:
   Partition(net::Pe& pe, const std::vector<kmer::KmerCount64>& counts,
-            int k, std::uint64_t min_count)
-      : pe_(pe), k_(k) {
+            int k, std::uint64_t min_count, const core::CountConfig& config)
+      : pe_(pe), k_(k), cost_(core::make_cost_model(config, pe)) {
     for (const auto& kc : counts) {
       if (kc.count < min_count) continue;
       if (kmer::owner_pe(kc.kmer, pe.size()) != pe.rank()) continue;
@@ -59,8 +60,8 @@ class Partition {
       cnt_.push_back(kc.count);
     }
     // Scanning the global array once is this PE's setup cost.
-    pe_.charge_mem_bytes(static_cast<double>(counts.size()) * 16.0 /
-                         pe.size());
+    cost_.stream_touch(pe_, static_cast<double>(counts.size()) * 16.0 /
+                                pe.size());
     in_.assign(kms_.size(), 0);
     out_.assign(kms_.size(), 0);
     visited_.assign(kms_.size(), false);
@@ -93,6 +94,7 @@ class Partition {
 
   net::Pe& pe_;
   int k_;
+  cachesim::CostModel cost_;
   std::vector<kmer::Kmer64> kms_;
   std::vector<std::uint64_t> cnt_;
   std::vector<std::uint8_t> in_, out_;
@@ -237,7 +239,7 @@ void emit(Partition& part, const PackedSeq& seq, double cov_sum,
   u.mean_coverage = cov_sum / static_cast<double>(u.kmers);
   u.circular = circular;
   part.unitigs_.push_back(std::move(u));
-  part.pe_.charge_mem_bytes(static_cast<double>(seq.len));
+  part.cost_.stream_touch(part.pe_, static_cast<double>(seq.len));
 }
 
 /// Serialize a walker message: [next, (start), cov, len, bases...].
@@ -308,7 +310,7 @@ void receive_walker(Partition& part, actor::Actor& actor, std::uint8_t kind,
   PackedSeq seq;
   seq.len = w[at++];
   seq.words.assign(w + at, w + n);
-  part.pe_.charge_mem_bytes(static_cast<double>(n) * 8.0);
+  part.cost_.receive_append(part.pe_, static_cast<double>(n) * 8.0);
 
   const std::size_t j = part.find(next);
   DAKC_ASSERT(j != Partition::kNpos);
@@ -399,7 +401,7 @@ DistributedUnitigReport distributed_unitigs(
   std::vector<PeResult> results(static_cast<std::size_t>(config.pes));
 
   fabric.run([&](net::Pe& pe) {
-    Partition part(pe, counts, k, min_count);
+    Partition part(pe, counts, k, min_count, config);
     discover_edges(part);
     mark_starts(part);
     walk_linear(part, config);

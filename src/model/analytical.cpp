@@ -98,6 +98,17 @@ AcceleratorWhatIf accelerator_what_if(const Workload& w,
   return out;
 }
 
+MissLowerBounds optimal_miss_lower_bounds(const Workload& w,
+                                          double distinct_kmers,
+                                          const net::MachineParams& machine) {
+  MissLowerBounds b;
+  const double L = machine.line_bytes;
+  const double W = kmer_bytes(w.k);
+  b.phase1 = (w.bases() + w.kmers() * W) / L;
+  b.phase2 = distinct_kmers * (W + 8.0) / L;
+  return b;
+}
+
 // ---------------------------------------------------------------------------
 // Host microbenchmarks (Table IV)
 // ---------------------------------------------------------------------------

@@ -97,6 +97,27 @@ inline constexpr double kH100MemBw = 3.35e12;
 inline constexpr double kH100Int64Rate = 8.3 * 3.35e12;
 
 // ---------------------------------------------------------------------------
+// Optimal-replacement miss lower bounds (replay validation)
+// ---------------------------------------------------------------------------
+
+/// Cluster-total lower bounds on LLC misses for the two phases under ANY
+/// replacement policy, optimal (Belady) included: every distinct line the
+/// workload streams must cold-miss at least once. Phase 1 reads the input
+/// bases and writes the k-mer stream; phase 2 materializes the accumulated
+/// {kmer, count} pair array ((W + 8) bytes per distinct key for the
+/// 64-bit-count layout) at least once. The paper's eqs. 10/13 assume
+/// optimal replacement, so these are their compulsory cores with the
+/// per-node ceiling constants dropped; an LRU cache replay of the same
+/// work can only miss MORE (Fig. 3's measured-above-model relationship).
+struct MissLowerBounds {
+  double phase1 = 0.0;  ///< misses to stream input + emit k-mers once
+  double phase2 = 0.0;  ///< misses to touch the accumulated pairs once
+};
+MissLowerBounds optimal_miss_lower_bounds(const Workload& w,
+                                          double distinct_kmers,
+                                          const net::MachineParams& machine);
+
+// ---------------------------------------------------------------------------
 // Table IV microbenchmarks (host-side, real measurements)
 // ---------------------------------------------------------------------------
 

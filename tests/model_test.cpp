@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "model/analytical.hpp"
+#include "util/timer.hpp"
 
 namespace dakc::model {
 namespace {
@@ -109,6 +110,24 @@ TEST(Model, ReadShorterThanKYieldsNothing) {
   EXPECT_DOUBLE_EQ(w.kmers(), 0.0);
 }
 
+TEST(Model, OptimalMissLowerBoundsScaleWithWorkload) {
+  Workload w;
+  w.n_reads = 1000;
+  w.read_len = 150;
+  w.k = 31;
+  const auto m = net::intel_node();
+  const MissLowerBounds b = optimal_miss_lower_bounds(w, 50000.0, m);
+  // Phase 1: stream mn input bytes + N*W emitted bytes, one miss/line.
+  EXPECT_DOUBLE_EQ(b.phase1, (w.bases() + w.kmers() * 8.0) / m.line_bytes);
+  // Phase 2: touch 16 B per distinct pair at least once.
+  EXPECT_DOUBLE_EQ(b.phase2, 50000.0 * 16.0 / m.line_bytes);
+  // Doubling the reads doubles the phase-1 bound.
+  Workload w2 = w;
+  w2.n_reads = 2000;
+  EXPECT_DOUBLE_EQ(optimal_miss_lower_bounds(w2, 50000.0, m).phase1,
+                   2.0 * b.phase1);
+}
+
 TEST(Microbench, Int64RatePlausible) {
   const double rate = measure_int64_add_rate(0.05);
   EXPECT_GT(rate, 1e8);   // even a slow VM manages 100 Mop/s
@@ -119,6 +138,16 @@ TEST(Microbench, StreamBandwidthPlausible) {
   const double bw = measure_stream_bandwidth(0.05);
   EXPECT_GT(bw, 1e8);
   EXPECT_LT(bw, 1e12);
+}
+
+TEST(Microbench, BudgetIsRespected) {
+  // The budget is a lower bound on measurement time, not a target the
+  // loop may undershoot: each measurement must run at least that long
+  // (they exit on the first elapsed() >= budget check).
+  WallTimer t;
+  (void)measure_int64_add_rate(0.02);
+  (void)measure_stream_bandwidth(0.02);
+  EXPECT_GE(t.seconds(), 0.04);
 }
 
 }  // namespace

@@ -9,9 +9,28 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace dakc {
 namespace {
+
+TEST(WallTimer, SecondsIsNonNegativeAndMonotonic) {
+  // WallTimer is HOST-side instrumentation (microbenchmarks, harness
+  // bookkeeping); the simulation-time lint (tools/lint_simtime.sh) keeps
+  // it out of charged code, and this pins its one contract: elapsed time
+  // never decreases and reset() restarts it near zero.
+  WallTimer t;
+  const double a = t.seconds();
+  EXPECT_GE(a, 0.0);
+  // Burn a little real work so the clock observably advances.
+  volatile std::uint64_t x = 1;
+  for (int i = 0; i < 100000; ++i) x = x + (x >> 1);
+  const double b = t.seconds();
+  EXPECT_GE(b, a);
+  t.reset();
+  EXPECT_LE(t.seconds(), b + 1.0);
+  EXPECT_GE(t.seconds(), 0.0);
+}
 
 TEST(Rng, SplitmixIsDeterministic) {
   std::uint64_t a = 42, b = 42;

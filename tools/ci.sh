@@ -9,12 +9,29 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 
+# Static gate first: no wall-clock access reachable from simulation-time
+# code (a violation would de-pin every makespan golden below).
+"$repo/tools/lint_simtime.sh"
+
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build" -j "$(nproc)"
 
 # Tier-1 excludes the perf-labelled ctest entries; the harness runs
 # explicitly below (serially, after the functional suite is green).
 (cd "$build" && ctest --output-on-failure -LE perf -j "$(nproc)")
+
+# ---------------------------------------------------------------------------
+# Host-independence smoke test: the replay cost model must produce
+# byte-identical full reports (makespan, every counter, every replayed
+# miss count) across two runs in the same job. Anything host-timing-
+# dependent in the charge path diverges here before it can rot a golden.
+golden_flags=(count --dataset human --scale 4.962779156327544e-06
+  --dataset-seed 41 --nodes 8 --cores-per-node 4 --l3 --protocol 2d
+  --noise 0.25 --cost-model replay)
+"$build/tools/dakc_count" "${golden_flags[@]}" --report-out "$build/replay_a.txt"
+"$build/tools/dakc_count" "${golden_flags[@]}" --report-out "$build/replay_b.txt"
+cmp "$build/replay_a.txt" "$build/replay_b.txt"
+echo "host-independence: replay reports are byte-identical"
 
 "$build/tools/perf_baseline" --out "$build/BENCH_kernels.json"
 python3 "$repo/tools/check_perf.py" \
@@ -37,3 +54,16 @@ cmake -B "$build_asan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDAKC_SANITIZE=ON
 cmake --build "$build_asan" -j "$(nproc)"
 (cd "$build_asan" && ctest --output-on-failure -LE perf -j "$(nproc)")
+
+# ---------------------------------------------------------------------------
+# Coverage job (opt-in: DAKC_COVERAGE=1 tools/ci.sh): rebuild with gcov
+# instrumentation at -O0, run the tier-1 suite, and print per-directory
+# line coverage of src/ via tools/coverage_report.py.
+if [[ "${DAKC_COVERAGE:-0}" != "0" ]]; then
+  build_cov="${build}-cov"
+  cmake -B "$build_cov" -S "$repo" -DCMAKE_BUILD_TYPE=Debug \
+    -DDAKC_COVERAGE=ON
+  cmake --build "$build_cov" -j "$(nproc)"
+  (cd "$build_cov" && ctest --output-on-failure -LE perf -j "$(nproc)")
+  python3 "$repo/tools/coverage_report.py" "$build_cov"
+fi

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage into a per-directory report.
+
+Usage: tools/coverage_report.py BUILD_DIR [--min-total PCT]
+
+Walks BUILD_DIR for .gcda files produced by a DAKC_COVERAGE=ON test run,
+invokes `gcov --json-format --stdout` on each, and prints line coverage
+for every repository source file, grouped by directory (src/kmer,
+src/sort, ...). Exits non-zero when --min-total is given and the overall
+line coverage falls below it, so CI can enforce a floor.
+
+Only files under the repository's src/ tree count: tests, benches, and
+system headers measure the harness, not the product.
+"""
+
+import argparse
+import collections
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for f in files:
+            if f.endswith(".gcda"):
+                yield os.path.join(root, f)
+
+
+def gcov_json(gcda):
+    """All file records from one gcda, or [] if gcov fails on it."""
+    try:
+        out = subprocess.run(
+            ["gcov", "--json-format", "--stdout", gcda],
+            capture_output=True, check=True, cwd=os.path.dirname(gcda))
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return []
+    records = []
+    for line in out.stdout.splitlines():
+        if not line.strip():
+            continue
+        try:
+            records.extend(json.loads(line).get("files", []))
+        except json.JSONDecodeError:
+            continue
+    return records
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("build_dir")
+    ap.add_argument("--min-total", type=float, default=None,
+                    help="fail if overall src/ line coverage %% is below this")
+    args = ap.parse_args()
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src_prefix = os.path.join(repo, "src") + os.sep
+
+    # file -> line -> max execution count (a line is covered if ANY test
+    # binary executed it; gcov emits one record per object file).
+    per_file = collections.defaultdict(dict)
+    gcdas = list(find_gcda(args.build_dir))
+    if not gcdas:
+        print(f"coverage_report: no .gcda files under {args.build_dir} "
+              "(build with -DDAKC_COVERAGE=ON and run the tests first)",
+              file=sys.stderr)
+        return 2
+    for gcda in gcdas:
+        for rec in gcov_json(gcda):
+            path = os.path.abspath(os.path.join(
+                os.path.dirname(gcda), rec.get("file", "")))
+            if not path.startswith(src_prefix):
+                continue
+            rel = os.path.relpath(path, repo)
+            lines = per_file[rel]
+            for ln in rec.get("lines", []):
+                n = ln["line_number"]
+                lines[n] = max(lines.get(n, 0), ln["count"])
+
+    by_dir = collections.defaultdict(lambda: [0, 0])  # dir -> [hit, total]
+    total_hit = total_lines = 0
+    for rel, lines in sorted(per_file.items()):
+        d = os.path.dirname(rel)
+        hit = sum(1 for c in lines.values() if c > 0)
+        by_dir[d][0] += hit
+        by_dir[d][1] += len(lines)
+        total_hit += hit
+        total_lines += len(lines)
+
+    print(f"{'directory':<24} {'lines':>8} {'covered':>8} {'pct':>7}")
+    for d in sorted(by_dir):
+        hit, total = by_dir[d]
+        pct = 100.0 * hit / total if total else 0.0
+        print(f"{d:<24} {total:>8} {hit:>8} {pct:>6.1f}%")
+    total_pct = 100.0 * total_hit / total_lines if total_lines else 0.0
+    print(f"{'TOTAL':<24} {total_lines:>8} {total_hit:>8} {total_pct:>6.1f}%")
+
+    if args.min_total is not None and total_pct < args.min_total:
+        print(f"coverage_report: total {total_pct:.1f}% is below the "
+              f"required {args.min_total:.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

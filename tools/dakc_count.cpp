@@ -51,6 +51,67 @@ core::Backend backend_from(const std::string& name) {
   std::exit(2);
 }
 
+/// FNV-1a over the gathered {kmer, count} pairs: the same hash the
+/// determinism goldens pin, exposed so CI can diff two runs' full output
+/// without shipping the dumps.
+std::uint64_t counts_hash(const core::RunReport& report) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& kc : report.counts) {
+    mix(kc.kmer);
+    mix(kc.count);
+  }
+  return h;
+}
+
+/// Dump every RunReport field at full precision (%.17g round-trips
+/// doubles exactly), one `key value` pair per line. Two runs of the same
+/// configuration must produce byte-identical files on ANY host — the
+/// CI host-independence check diffs them with cmp.
+void write_report(const std::string& path, const core::RunReport& r) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::perror(path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "backend %s\n", r.backend.c_str());
+  std::fprintf(f, "oom %d\n", r.oom ? 1 : 0);
+  std::fprintf(f, "makespan %.17g\n", r.makespan);
+  std::fprintf(f, "phase1_seconds %.17g\n", r.phase1_seconds);
+  std::fprintf(f, "phase2_seconds %.17g\n", r.phase2_seconds);
+  std::fprintf(f, "compute_seconds %.17g\n", r.compute_seconds);
+  std::fprintf(f, "memory_seconds %.17g\n", r.memory_seconds);
+  std::fprintf(f, "network_seconds %.17g\n", r.network_seconds);
+  std::fprintf(f, "idle_seconds %.17g\n", r.idle_seconds);
+  std::fprintf(f, "bytes_internode %llu\n",
+               static_cast<unsigned long long>(r.bytes_internode));
+  std::fprintf(f, "bytes_intranode %llu\n",
+               static_cast<unsigned long long>(r.bytes_intranode));
+  std::fprintf(f, "messages %llu\n",
+               static_cast<unsigned long long>(r.messages));
+  std::fprintf(f, "node_mem_high %.17g\n", r.node_mem_high);
+  std::fprintf(f, "replay_accesses %llu\n",
+               static_cast<unsigned long long>(r.replay_accesses));
+  std::fprintf(f, "replay_misses %llu\n",
+               static_cast<unsigned long long>(r.replay_misses));
+  std::fprintf(f, "replay_phase1_misses %llu\n",
+               static_cast<unsigned long long>(r.replay_phase1_misses));
+  std::fprintf(f, "replay_phase2_misses %llu\n",
+               static_cast<unsigned long long>(r.replay_phase2_misses));
+  std::fprintf(f, "total_kmers %llu\n",
+               static_cast<unsigned long long>(r.total_kmers));
+  std::fprintf(f, "distinct_kmers %llu\n",
+               static_cast<unsigned long long>(r.distinct_kmers));
+  std::fprintf(f, "counts_hash 0x%016llx\n",
+               static_cast<unsigned long long>(counts_hash(r)));
+  std::fclose(f);
+}
+
 int cmd_count(int argc, char** argv) {
   CliParser cli("dakc_count count", "count k-mers on the simulated cluster");
   auto& input = cli.add_string("input", "", "FASTQ/FASTA path");
@@ -63,6 +124,18 @@ int cmd_count(int argc, char** argv) {
   auto& nodes = cli.add_int("nodes", 2, "simulated nodes");
   auto& cores = cli.add_int("cores-per-node", 4, "simulated cores per node");
   auto& canonical = cli.add_flag("canonical", false, "canonical k-mers");
+  auto& cost_model = cli.add_string(
+      "cost-model", "flat",
+      "memory charge model: flat (bytes/beta_mem) or replay (cache sim)");
+  auto& protocol = cli.add_string("protocol", "1d",
+                                  "DAKC routing topology: 1d|2d|3d");
+  auto& noise = cli.add_double("noise", 0.0,
+                               "deterministic machine noise amplitude");
+  auto& dataset_seed = cli.add_int("dataset-seed", 1,
+                                   "synthetic dataset RNG seed");
+  auto& report_out = cli.add_string(
+      "report-out", "",
+      "write the full-precision RunReport (plus the counts hash) here");
   auto& l3 = cli.add_flag("l3", false, "DAKC: enable the L3 layer");
   auto& hash = cli.add_flag("hash-phase2", false,
                             "DAKC: hash-table phase 2 (extension)");
@@ -98,7 +171,8 @@ int cmd_count(int argc, char** argv) {
     for (auto& rec : io::read_fastx_file(input))
       reads.push_back(std::move(rec.seq));
   } else {
-    reads = sim::make_dataset_reads(sim::dataset_by_name(dataset), scale, 1);
+    reads = sim::make_dataset_reads(sim::dataset_by_name(dataset), scale,
+                                    static_cast<std::uint64_t>(dataset_seed));
   }
   std::printf("input: %zu reads\n", reads.size());
 
@@ -111,6 +185,25 @@ int cmd_count(int argc, char** argv) {
   cfg.machine.cores_per_node = static_cast<int>(cores);
   cfg.l3_enabled = l3;
   cfg.phase2_hash = hash;
+  cfg.machine.noise_amplitude = noise;
+  if (std::string(cost_model) == "replay") {
+    cfg.cost_model.kind = cachesim::CostModelKind::kReplay;
+  } else if (std::string(cost_model) != "flat") {
+    std::fprintf(stderr, "unknown cost model '%s'\n",
+                 std::string(cost_model).c_str());
+    return 2;
+  }
+  if (std::string(protocol) == "1d") {
+    cfg.protocol = conveyor::Protocol::k1D;
+  } else if (std::string(protocol) == "2d") {
+    cfg.protocol = conveyor::Protocol::k2D;
+  } else if (std::string(protocol) == "3d") {
+    cfg.protocol = conveyor::Protocol::k3D;
+  } else {
+    std::fprintf(stderr, "unknown protocol '%s'\n",
+                 std::string(protocol).c_str());
+    return 2;
+  }
   cfg.trace_path = trace;
   cfg.faults.seed = static_cast<std::uint64_t>(fault_seed);
   cfg.faults.drop_rate = fault_drop;
@@ -146,6 +239,15 @@ int cmd_count(int argc, char** argv) {
                 fmt_count(report.pressure_events).c_str(),
                 fmt_count(report.buffer_shrinks).c_str());
   }
+  if (cfg.cost_model.kind == cachesim::CostModelKind::kReplay) {
+    std::printf("replay: %s line accesses, %s misses "
+                "(phase1 %s, phase2 %s)\n",
+                fmt_count(report.replay_accesses).c_str(),
+                fmt_count(report.replay_misses).c_str(),
+                fmt_count(report.replay_phase1_misses).c_str(),
+                fmt_count(report.replay_phase2_misses).c_str());
+  }
+  if (!report_out.empty()) write_report(report_out, report);
 
   std::vector<kmer::KmerCount64> counts = report.counts;
   if (min_count > 1) {

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Simulation-time purity lint.
+#
+# Simulated seconds must derive ONLY from charged work (ops, bytes,
+# cache-replay hits/misses) — never from the host's clock. A single
+# wall-clock read inside a charge path would make makespans vary run to
+# run and host to host, silently breaking every golden in
+# determinism_test and cost_model_test. This lint keeps the wall clock
+# confined to its two legitimate homes:
+#
+#   src/util/timer.hpp      WallTimer itself (host-side instrumentation)
+#   src/model/analytical.cpp  Table IV microbenchmarks (real measurements
+#                             of the HOST, by design)
+#
+# Everything else under src/ must not mention WallTimer, std::chrono, or
+# the C time API. bench/ and tools/ are host-side harnesses and may time
+# themselves freely.
+#
+# Usage: tools/lint_simtime.sh   (exits non-zero on a violation)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+allow_re='^src/(util/timer\.hpp|model/analytical\.cpp):'
+pattern='WallTimer|std::chrono|<chrono>|[^a-zA-Z_](time|clock|gettimeofday|clock_gettime)\('
+
+violations=$(cd "$repo" && grep -rnE "$pattern" src/ --include='*.cpp' --include='*.hpp' \
+  | grep -vE "$allow_re" || true)
+
+if [[ -n "$violations" ]]; then
+  echo "lint_simtime: wall-clock access reachable from simulation-time code:" >&2
+  echo "$violations" >&2
+  echo "(charge simulated time via Pe::charge*/CostModel instead;" >&2
+  echo " host-side timing belongs in bench/ or tools/)" >&2
+  exit 1
+fi
+echo "lint_simtime: OK (wall clock confined to timer.hpp + analytical.cpp)"
