@@ -41,6 +41,10 @@ struct CountConfig {
   int pes_per_node = 4;    ///< cores per node
   net::MachineParams machine;
   bool zero_cost = false;  ///< functional mode for tests
+  /// Host worker threads driving the simulation (net::FabricConfig
+  /// host_threads). 1 = serial engine; higher values overlap PE compute
+  /// segments on the host without changing any simulated result.
+  int host_threads = 1;
   double node_memory_limit = 0.0;  ///< bytes; 0 = unlimited (Fig. 8 uses it)
   /// Deterministic fault injection (net/fault.hpp). All-zero rates (the
   /// default) keep the zero-fault path bit-identical to the seed goldens;

@@ -27,6 +27,7 @@ net::FabricConfig fabric_config_for(const CountConfig& c) {
   f.faults = c.faults;
   f.graceful_memory = c.graceful_memory;
   f.trace = !c.trace_path.empty();
+  f.host_threads = c.host_threads;
   return f;
 }
 

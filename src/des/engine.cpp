@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 // ASan tracks one stack per thread; ucontext fibers run on heap-allocated
 // stacks it has never seen, so every switch (and especially exception
@@ -22,16 +23,66 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// TSan likewise tracks one shadow stack per thread; fiber switches must
+// be announced through its fiber API or the serial engine's stack reuse
+// looks like cross-thread races. (The parallel runtime is disabled under
+// TSan — these annotations keep the *serial* DES clean so the TSan CI job
+// can exercise the thread pool and the host-independence smoke.)
+#if defined(__SANITIZE_THREAD__)
+#define DAKC_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DAKC_TSAN_FIBERS 1
+#endif
+#endif
+#if defined(DAKC_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace dakc::des {
 
 namespace {
-// The engine is strictly single-threaded; this points at the engine whose
-// run() loop is active so the makecontext trampoline (which cannot take a
-// pointer argument portably) can find it. thread_local so independent
-// engines may run in different host threads (tests do this).
+// Points at the engine whose scheduler (arbiter or warm worker) last
+// switched into a fiber on this thread, so the makecontext trampoline
+// (which cannot take a pointer argument portably) can find it.
+// thread_local so independent engines may run in different host threads
+// (tests do this) and pool workers can warm fibers concurrently.
 thread_local Engine* g_current_engine = nullptr;
-// Scheduler-side context to swap back into.
+// Scheduler-side context to swap back into (per thread: the arbiter's run
+// loop, or a worker's run_warm frame).
 thread_local ucontext_t g_sched_ctx;
+// Fiber id the current thread last switched into. Set before EVERY swap
+// into a fiber; the trampoline reads it to learn its own id (an engine
+// member would race once workers warm fibers from their first
+// instruction).
+thread_local int g_resume_id = -1;
+
+inline void* tsan_create_fiber() {
+#if defined(DAKC_TSAN_FIBERS)
+  return __tsan_create_fiber(0);
+#else
+  return nullptr;
+#endif
+}
+inline void tsan_destroy_fiber([[maybe_unused]] void* fiber) {
+#if defined(DAKC_TSAN_FIBERS)
+  if (fiber) __tsan_destroy_fiber(fiber);
+#endif
+}
+inline void* tsan_current_fiber() {
+#if defined(DAKC_TSAN_FIBERS)
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+inline void tsan_switch([[maybe_unused]] void* fiber) {
+#if defined(DAKC_TSAN_FIBERS)
+  __tsan_switch_to_fiber(fiber, 0);
+#endif
+}
+// The scheduler thread's own TSan fiber handle, captured at run() entry.
+thread_local void* g_tsan_sched_fiber = nullptr;
 
 // Bounds of the scheduler's (host) stack, reported by ASan the first time
 // a fiber switch lands on a fiber stack; needed to announce switches back
@@ -73,19 +124,39 @@ struct Engine::Fiber {
   std::unique_ptr<char[]> stack;
   std::size_t stack_size;
   void* asan_fake_stack = nullptr;  ///< this fiber's suspended fake stack
+  void* tsan_fiber = nullptr;       ///< TSan shadow-stack handle
   std::function<void(Context&)> body;
   State state = State::kNew;
   bool pending_wake = false;
   SimTime pending_wake_time = 0.0;
   SimTime blocked_since = 0.0;
   FiberStats stats;
+
+  // -- parallel host runtime state (see DESIGN.md §9) --------------------
+  internal::WarmLog warm_log;
+  /// Arbiter view: a warm segment has been started and its log not yet
+  /// fully replayed and retired.
+  bool warm_open = false;
+  /// Why the fiber last physically parked outside the serial suspension
+  /// points; reset by the arbiter before each physical resume.
+  WarmPark warm_park_kind = WarmPark::kNone;
+  /// InteractionScope nesting depth (fiber-local; only the outermost exit
+  /// re-warms).
+  int fence_depth = 0;
+  /// Exception thrown by the body, captured on the thread that caught it;
+  /// folded into first_error_ by the arbiter at completion. (The __cxa
+  /// catch machinery must open and close on one thread — a body that
+  /// throws while warm unwinds entirely on its worker.)
+  std::exception_ptr body_error;
 };
 
 Engine::Engine(Config config) : config_(config) {
   DAKC_CHECK(config_.stack_bytes >= 16 * 1024);
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  for (auto& f : fibers_) tsan_destroy_fiber(f->tsan_fiber);
+}
 
 int Engine::spawn(std::function<void(Context&)> body) {
   DAKC_CHECK_MSG(!started_, "spawn() after run() is not supported");
@@ -101,16 +172,26 @@ void Engine::trampoline() {
   // stack we came from is the scheduler's — remember its bounds.
   asan_finish_switch(nullptr, &g_sched_stack_bottom, &g_sched_stack_size);
   Engine* engine = g_current_engine;
-  const int id = engine->running_;
+  const int id = g_resume_id;
   // A fiber first entered during forced unwinding has no work to do —
   // running its body would start fresh work after the run already failed.
   if (!engine->unwinding_) engine->run_fiber_body(id);
+  // Body returned while warm (on a pool worker): the completion below
+  // mutates shared engine state, so park until the arbiter has replayed
+  // the log and resumes us in normal mode. This park must NOT rethrow on
+  // resume — an exception here would propagate off the trampoline.
+  if (internal::t_warm_log != nullptr)
+    engine->warm_park(id, WarmPark::kBodyDone);
+  engine = g_current_engine;  // the park may have moved us to the arbiter
   Fiber& f = *engine->fibers_[id];
   f.state = Fiber::State::kDone;
   engine->flush_pending(id);
   f.stats.finish_time = engine->clocks_[id].vtime;
+  if (f.body_error && !engine->first_error_)
+    engine->first_error_ = f.body_error;
   // nullptr fake_save: this fiber never runs again, let ASan reclaim it.
   asan_start_switch(nullptr, g_sched_stack_bottom, g_sched_stack_size);
+  tsan_switch(g_tsan_sched_fiber);
   swapcontext(&f.ctx, &g_sched_ctx);
   // A finished fiber must never be resumed.
   DAKC_CHECK_MSG(false, "resumed a completed fiber");
@@ -121,7 +202,9 @@ void Engine::run_fiber_body(int id) {
     Context ctx(this, id);
     fibers_[id]->body(ctx);
   } catch (...) {
-    if (!first_error_) first_error_ = std::current_exception();
+    // Captured here, on the throwing thread, so the exception is fully
+    // caught before the fiber next migrates between threads.
+    fibers_[id]->body_error = std::current_exception();
   }
 }
 
@@ -130,7 +213,15 @@ void Engine::run() {
   started_ = true;
   DAKC_CHECK_MSG(!fibers_.empty(), "no fibers spawned");
 
+#if defined(DAKC_ASAN_FIBERS) || defined(DAKC_TSAN_FIBERS)
+  constexpr bool kSanitizedBuild = true;
+#else
+  constexpr bool kSanitizedBuild = false;
+#endif
+  parallel_ = config_.host_threads > 1 && !tracing_ && !kSanitizedBuild;
+
   g_current_engine = this;
+  g_tsan_sched_fiber = tsan_current_fiber();
   for (int id = 0; id < static_cast<int>(fibers_.size()); ++id) {
     Fiber& f = *fibers_[id];
     getcontext(&f.ctx);
@@ -138,12 +229,27 @@ void Engine::run() {
     f.ctx.uc_stack.ss_size = f.stack_size;
     f.ctx.uc_link = nullptr;  // trampoline never falls off the end
     makecontext(&f.ctx, reinterpret_cast<void (*)()>(&Engine::trampoline), 0);
+    f.tsan_fiber = tsan_create_fiber();
     f.state = Fiber::State::kRunnable;
     runnable_.push({clocks_[id].vtime, id});
   }
   next_runnable_time_ =
       runnable_.empty() ? kNoneRunnable : runnable_.top().time;
 
+  if (parallel_) {
+    auto& pool = util::ThreadPool::host();
+    if (pool.parallelism() < config_.host_threads)
+      pool.set_parallelism(config_.host_threads);
+    // Every heap-resident fiber warms concurrently from the start.
+    for (int id = 0; id < static_cast<int>(fibers_.size()); ++id)
+      start_warm(id);
+  }
+
+  // The pop loop is the serial algorithm verbatim in both modes; with the
+  // parallel runtime, continue_fiber() replays the popped fiber's warm
+  // charge log (produced concurrently by pool workers) instead of — or
+  // before — physically resuming it, which preserves the exact pop order,
+  // event count, and per-fiber bookkeeping of the serial engine.
   while (!runnable_.empty()) {
     const HeapEntry entry = runnable_.top();
     runnable_.pop();
@@ -154,12 +260,27 @@ void Engine::run() {
     f.state = Fiber::State::kRunning;
     running_ = entry.id;
     ++events_;
-    void* sched_fake = nullptr;
-    asan_start_switch(&sched_fake, f.stack.get(), f.stack_size);
-    swapcontext(&g_sched_ctx, &f.ctx);
-    asan_finish_switch(sched_fake, nullptr, nullptr);
+    if (parallel_)
+      continue_fiber(entry.id);
+    else
+      resume_physical(entry.id);
     running_ = -1;
     if (first_error_) break;
+  }
+
+  if (parallel_) {
+    // Quiesce: wait until every in-flight warm segment has closed, so no
+    // worker still runs on a fiber stack we are about to unwind (error
+    // path) or report on. On a clean termination no segment can be open —
+    // an empty heap means every fiber is blocked or done, and both states
+    // are reached in normal mode with the log retired.
+    for (auto& fp : fibers_) {
+      Fiber& f = *fp;
+      if (!f.warm_open) continue;
+      std::unique_lock<std::mutex> lk(f.warm_log.m);
+      f.warm_log.cv.wait(lk, [&] { return f.warm_log.closed; });
+      f.warm_open = false;
+    }
   }
 
   if (first_error_) {
@@ -172,10 +293,7 @@ void Engine::run() {
       if (f.state == Fiber::State::kDone) continue;
       f.state = Fiber::State::kRunning;
       running_ = id;
-      void* sched_fake = nullptr;
-      asan_start_switch(&sched_fake, f.stack.get(), f.stack_size);
-      swapcontext(&g_sched_ctx, &f.ctx);
-      asan_finish_switch(sched_fake, nullptr, nullptr);
+      resume_physical(id);
     }
     running_ = -1;
     g_current_engine = nullptr;
@@ -223,10 +341,154 @@ void Engine::return_to_scheduler(int id) {
   ++f.stats.yields;
   asan_start_switch(&f.asan_fake_stack, g_sched_stack_bottom,
                     g_sched_stack_size);
+  tsan_switch(g_tsan_sched_fiber);
   swapcontext(&f.ctx, &g_sched_ctx);
   asan_finish_switch(f.asan_fake_stack, nullptr, nullptr);
   if (unwinding_) throw FiberUnwind{};
   DAKC_ASSERT(f.state == Fiber::State::kRunning);
+}
+
+void Engine::resume_physical(int id) {
+  Fiber& f = *fibers_[id];
+  g_resume_id = id;
+  void* sched_fake = nullptr;
+  asan_start_switch(&sched_fake, f.stack.get(), f.stack_size);
+  tsan_switch(f.tsan_fiber);
+  swapcontext(&g_sched_ctx, &f.ctx);
+  asan_finish_switch(sched_fake, nullptr, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel host runtime (DESIGN.md §9). Disabled under ASan/TSan, so the
+// worker-side switches below skip the sanitizer fiber hooks: they are
+// unreachable in sanitized builds.
+// ---------------------------------------------------------------------------
+
+void Engine::warm_park(int id, WarmPark kind) {
+  Fiber& f = *fibers_[id];
+  f.warm_park_kind = kind;
+  // Purely physical suspension: no pending flush, no yield count — the
+  // serial engine has no counterpart event here.
+  swapcontext(&f.ctx, &g_sched_ctx);
+  // Resumed: by the arbiter in normal mode (kFence, kBodyDone) or by a
+  // pool worker in warm mode (kRewarm). kBodyDone must complete the
+  // trampoline and so never rethrows (see trampoline()).
+  if (kind != WarmPark::kBodyDone && unwinding_) throw FiberUnwind{};
+}
+
+void Engine::start_warm(int id) {
+  Fiber& f = *fibers_[id];
+  // The log is reset (entries cleared, cursor 0, closed false) by the
+  // arbiter when the previous segment retired; only the shadow clock
+  // needs seeding. The worker sees these writes via the pool's queue
+  // synchronization.
+  f.warm_log.shadow = clocks_[id].vtime;
+  f.warm_open = true;
+  util::ThreadPool::host().submit([this, id] { run_warm(id); });
+}
+
+void Engine::run_warm(int id) {
+  Fiber& f = *fibers_[id];
+  Engine* const saved_engine = g_current_engine;
+  g_current_engine = this;
+  internal::t_warm_log = &f.warm_log;
+  g_resume_id = id;
+  swapcontext(&g_sched_ctx, &f.ctx);
+  internal::t_warm_log = nullptr;
+  g_current_engine = saved_engine;
+  // The fiber parked (fence, rewarm request is impossible here, or body
+  // done). Publish the segment's end; the arbiter acts on the fiber's
+  // park state once it has replayed every entry.
+  {
+    std::lock_guard<std::mutex> lk(f.warm_log.m);
+    f.warm_log.closed = true;
+  }
+  f.warm_log.cv.notify_all();
+}
+
+void Engine::continue_fiber(int id) {
+  Fiber& f = *fibers_[id];
+  while (true) {
+    if (!f.warm_open) {
+      // No speculative segment pending: run the fiber for real (it is
+      // parked at an interaction fence, at its body's completion, at a
+      // serial suspension point, or was never started).
+      f.warm_park_kind = WarmPark::kNone;
+      resume_physical(id);
+      if (f.warm_park_kind == WarmPark::kRewarm) {
+        // It left the outermost InteractionScope: back to the pool, and
+        // keep consuming its fresh log — it is still logically running.
+        start_warm(id);
+        continue;
+      }
+      return;  // suspended into the heap, blocked, or done
+    }
+
+    // Replay the warm log entry by entry, exactly as fiber_charge would
+    // have executed each charge serially. (No trace record: tracing
+    // forces the serial engine.)
+    internal::WarmLog::Entry e;
+    bool have = false;
+    {
+      std::unique_lock<std::mutex> lk(f.warm_log.m);
+      f.warm_log.cv.wait(lk, [&] {
+        return f.warm_log.cursor < f.warm_log.entries.size() ||
+               f.warm_log.closed;
+      });
+      if (f.warm_log.cursor < f.warm_log.entries.size()) {
+        e = f.warm_log.entries[f.warm_log.cursor++];
+        have = true;
+      }
+    }
+    if (have) {
+      FiberClock& c = clocks_[id];
+      c.pending[static_cast<int>(e.cat)] += e.dt;
+      c.vtime += e.dt;
+      if (next_runnable_time_ < c.vtime) {
+        // Virtual preemption — mirror reschedule_after_charge() +
+        // return_to_scheduler() without a physical switch: the fiber
+        // keeps warming; the rest of its log replays on later pops.
+        make_runnable(id);
+        flush_pending(id);
+        ++f.stats.yields;
+        return;
+      }
+      continue;
+    }
+
+    // Segment closed and fully replayed: retire the log, then loop into
+    // the physical-resume branch to act on the park point.
+    {
+      std::lock_guard<std::mutex> lk(f.warm_log.m);
+      f.warm_log.entries.clear();
+      f.warm_log.cursor = 0;
+      f.warm_log.closed = false;
+    }
+    f.warm_open = false;
+  }
+}
+
+InteractionScope::InteractionScope(Context& ctx)
+    : engine_(ctx.engine_), id_(ctx.id_) {
+  if (!engine_->parallel_) return;
+  active_ = true;
+  // Entering shared-state territory while warm: park until the arbiter
+  // commits our charges and resumes us at this exact point, serialized.
+  if (internal::t_warm_log != nullptr)
+    engine_->warm_park(id_, Engine::WarmPark::kFence);
+  ++engine_->fibers_[id_]->fence_depth;
+}
+
+InteractionScope::~InteractionScope() noexcept(false) {
+  if (!active_) return;
+  Engine::Fiber& f = *engine_->fibers_[id_];
+  if (--f.fence_depth == 0 && !engine_->unwinding_ &&
+      std::uncaught_exceptions() == 0) {
+    // Outermost exit: hand the fiber back to the worker pool. We resume
+    // in warm mode on a worker (or unwind, in which case the park
+    // rethrows — hence noexcept(false)).
+    engine_->warm_park(id_, Engine::WarmPark::kRewarm);
+  }
 }
 
 void Engine::make_runnable(int id) {
@@ -300,11 +562,21 @@ void Engine::fiber_idle_until(int id, SimTime t) {
 }
 
 int Context::count() const { return engine_->fiber_count(); }
-void Context::yield() { engine_->fiber_yield(id_); }
-void Context::block() { engine_->fiber_block(id_); }
+void Context::yield() {
+  InteractionScope scope(*this);
+  engine_->fiber_yield(id_);
+}
+void Context::block() {
+  InteractionScope scope(*this);
+  engine_->fiber_block(id_);
+}
 void Context::wake(int fiber, SimTime not_before) {
+  InteractionScope scope(*this);
   engine_->fiber_wake(id_, fiber, not_before);
 }
-void Context::idle_until(SimTime t) { engine_->fiber_idle_until(id_, t); }
+void Context::idle_until(SimTime t) {
+  InteractionScope scope(*this);
+  engine_->fiber_idle_until(id_, t);
+}
 
 }  // namespace dakc::des

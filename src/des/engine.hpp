@@ -26,11 +26,13 @@
 // `while (!predicate()) ctx.block();` loop has no lost-wakeup race.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <string>
 #include <vector>
@@ -61,6 +63,34 @@ struct FiberStats {
 };
 
 class Engine;
+class InteractionScope;
+
+namespace internal {
+
+/// Charge log of one speculative (warm) fiber segment. While the parallel
+/// host runtime is active, pool workers run fibers' pure-compute segments
+/// ahead of the virtual clock and stream every Context::charge() into
+/// this log; the single arbiter thread replays the entries against the
+/// live scheduler state in exactly the order the serial engine would have
+/// produced them. See DESIGN.md §9 for the commit-order protocol.
+struct WarmLog {
+  struct Entry {
+    SimTime dt;
+    Category cat;
+  };
+  std::mutex m;
+  std::condition_variable cv;       ///< signaled on append and on close
+  std::vector<Entry> entries;       ///< guarded by m
+  bool closed = false;              ///< guarded by m; segment is over
+  std::size_t cursor = 0;           ///< arbiter-only replay position
+  SimTime shadow = 0.0;             ///< warming worker's private clock
+};
+
+/// Non-null exactly while the current thread is running a fiber in warm
+/// (speculative) mode; routes the charge/now fast paths into the log.
+inline thread_local WarmLog* t_warm_log = nullptr;
+
+}  // namespace internal
 
 /// One contiguous span of virtual time a fiber spent in one activity
 /// category (recorded only when tracing is enabled).
@@ -110,13 +140,40 @@ class Context {
 
  private:
   friend class Engine;
+  friend class InteractionScope;
   Context(Engine* engine, int id) : engine_(engine), id_(id) {}
   Engine* engine_;
   int id_;
 };
 
+/// RAII fence around a simulation *interaction* — anything that observes
+/// or mutates state shared between fibers (messages, collectives, wakes,
+/// memory accounting, blocking). Under the parallel host runtime a warm
+/// (speculatively executing) fiber parks at the scope's entry; the
+/// arbiter replays its charge log, then resumes the fiber at the commit
+/// point, so the scope's body runs serially at the exact virtual time and
+/// in the exact order the serial engine would run it. Leaving the
+/// outermost scope hands the fiber back to the worker pool. Scopes nest
+/// (only the outermost exit re-warms). No-op on a serial engine.
+class InteractionScope {
+ public:
+  explicit InteractionScope(Context& ctx);
+  ~InteractionScope() noexcept(false);
+  InteractionScope(const InteractionScope&) = delete;
+  InteractionScope& operator=(const InteractionScope&) = delete;
+
+ private:
+  Engine* engine_ = nullptr;
+  int id_ = 0;
+  bool active_ = false;
+};
+
 /// The simulation engine. Spawn all fibers first, then run() to
-/// completion. Engine is single-threaded by design.
+/// completion. The *logical* schedule is single-threaded by design; with
+/// Config::host_threads > 1 pool workers execute fibers' pure-compute
+/// segments speculatively while the arbiter (the run() thread) commits
+/// their charges in serial order — results are bit-identical at any
+/// thread count.
 class Engine {
  public:
   struct Config {
@@ -124,6 +181,12 @@ class Engine {
     /// hybrid radix sort (bounded by key bytes), so small stacks suffice
     /// and large PE counts stay affordable.
     std::size_t stack_bytes = 512 * 1024;
+    /// Host threads (>= 1) for speculative fiber execution. 1 runs the
+    /// classic single-threaded engine; N > 1 shares util::ThreadPool
+    /// workers with the sort layer. Forced back to 1 under tracing and
+    /// under ASan/TSan (the ucontext fiber hops confuse their runtimes
+    /// when mixed with real threads). Never changes results.
+    int host_threads = 1;
   };
 
   Engine() : Engine(Config{}) {}
@@ -160,7 +223,16 @@ class Engine {
 
  private:
   friend class Context;
+  friend class InteractionScope;
   struct Fiber;
+  /// Why a fiber physically suspended outside the serial scheduler's
+  /// suspension points (parallel runtime only).
+  enum class WarmPark : std::uint8_t {
+    kNone,      ///< not parked by the warm machinery
+    kFence,     ///< hit an InteractionScope entry while warm
+    kRewarm,    ///< left the outermost InteractionScope; wants a worker
+    kBodyDone,  ///< body returned while warm; completion needs the arbiter
+  };
   struct HeapEntry {
     SimTime time;
     int id;
@@ -185,9 +257,27 @@ class Engine {
       std::numeric_limits<SimTime>::infinity();
 
   // Context back-ends.
-  SimTime fiber_now(int id) const { return clocks_[id].vtime; }
+  SimTime fiber_now(int id) const {
+    // Warm mode: the fiber runs ahead of its committed clock; the shadow
+    // clock (segment start + logged charges) equals the vtime the serial
+    // engine would show at this exact code point.
+    if (const internal::WarmLog* log = internal::t_warm_log)
+      return log->shadow;
+    return clocks_[id].vtime;
+  }
   void fiber_charge(int id, SimTime dt, Category cat) {
     DAKC_CHECK_MSG(dt >= 0.0, "negative time charge");
+    if (internal::WarmLog* log = internal::t_warm_log) {
+      // Warm mode: stream the charge to the arbiter instead of touching
+      // scheduler state; preemption is applied during replay.
+      {
+        std::lock_guard<std::mutex> lk(log->m);
+        log->entries.push_back({dt, cat});
+      }
+      log->cv.notify_all();
+      log->shadow += dt;
+      return;
+    }
     FiberClock& c = clocks_[id];
     if (tracing_) record(id, cat, c.vtime, c.vtime + dt);
     c.pending[static_cast<int>(cat)] += dt;
@@ -212,6 +302,21 @@ class Engine {
   static void trampoline();
   void run_fiber_body(int id);
 
+  // -- parallel host runtime (engine.cpp; see DESIGN.md §9) --------------
+  /// Physically park the current fiber (called on its stack) and hand
+  /// control back to whichever thread is executing it.
+  void warm_park(int id, WarmPark kind);
+  /// Open a fresh warm segment for `id` and submit it to the pool.
+  void start_warm(int id);
+  /// Pool-worker task: run one warm segment of `id`, then close its log.
+  void run_warm(int id);
+  /// Arbiter: advance the logically-running fiber `id` — replay its warm
+  /// log and/or physically resume it — until it suspends into the heap,
+  /// blocks, or finishes.
+  void continue_fiber(int id);
+  /// Swap from the arbiter into fiber `id` (normal, non-warm mode).
+  void resume_physical(int id);
+
   void record(int fiber, Category cat, SimTime start, SimTime end);
 
   Config config_;
@@ -227,6 +332,9 @@ class Engine {
   SimTime next_runnable_time_ = kNoneRunnable;
   int running_ = -1;
   bool started_ = false;
+  /// True while run() executes with the parallel host runtime enabled
+  /// (host_threads > 1, no tracing, no sanitizer).
+  bool parallel_ = false;
   /// Set after the run loop aborts on a fiber error: every suspended
   /// fiber is resumed one last time to unwind its stack (destructors
   /// must run — the driver catches OomError and keeps the process

@@ -82,6 +82,18 @@ bool browned_at(const FaultConfig& f, int node, des::SimTime t) {
                          t, &end);
 }
 
+des::Engine::Config engine_config_for(const FabricConfig& c) {
+  des::Engine::Config ec;
+  // Parallel host runtime gates: zero-cost clocks never advance, so there
+  // is no compute time to overlap; graceful_memory delivers pressure
+  // callbacks synchronously *across* PEs (a warm peer would race them);
+  // tracing needs the serial engine's record order (it also re-checks
+  // internally). The setting never changes simulated results.
+  ec.host_threads =
+      (c.zero_cost || c.graceful_memory || c.trace) ? 1 : c.host_threads;
+  return ec;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -159,7 +171,9 @@ struct Fabric::RendezvousState {
 
 Fabric::Fabric(FabricConfig config)
     : config_(config),
-      node_count_((config.pes + config.pes_per_node - 1) / config.pes_per_node) {
+      node_count_((config.pes + config.pes_per_node - 1) / config.pes_per_node),
+      engine_(engine_config_for(config)) {
+  DAKC_CHECK_MSG(config_.host_threads >= 1, "host_threads must be >= 1");
   DAKC_CHECK(config_.pes >= 1);
   DAKC_CHECK(config_.pes_per_node >= 1);
   DAKC_CHECK(config_.put_chunk_words >= 1);
@@ -281,10 +295,12 @@ void Fabric::account_node_alloc(int node, double bytes, double alloc_bytes) {
 }
 
 void Pe::account_alloc(double bytes) {
+  des::InteractionScope fence(ctx_);  // node budget is shared
   fabric_->account_node_alloc(node(), bytes, bytes);
 }
 
 void Pe::account_free(double bytes) {
+  des::InteractionScope fence(ctx_);  // node budget is shared
   auto& node_state = *fabric_->nodes_[node()];
   node_state.mem_used -= bytes;
   DAKC_ASSERT(node_state.mem_used >= -1.0);  // tolerate FP dust
@@ -305,18 +321,21 @@ const FaultConfig& Pe::fault_config() const {
 }
 
 double Pe::memory_utilization() const {
+  des::InteractionScope fence(ctx_);  // node budget is shared
   const double limit = fabric_->config_.node_memory_limit;
   if (limit <= 0.0) return 0.0;
   return fabric_->nodes_[node()]->mem_used / limit;
 }
 
 std::size_t Pe::add_pressure_listener(std::function<void()> cb) {
+  des::InteractionScope fence(ctx_);  // peers invoke these via pressure
   auto& listeners = fabric_->pes_[rank_]->pressure_listeners;
   listeners.push_back(std::move(cb));
   return listeners.size() - 1;
 }
 
 void Pe::remove_pressure_listener(std::size_t handle) {
+  des::InteractionScope fence(ctx_);  // peers invoke these via pressure
   auto& listeners = fabric_->pes_[rank_]->pressure_listeners;
   DAKC_CHECK(handle < listeners.size());
   listeners[handle] = nullptr;
@@ -342,6 +361,10 @@ void Pe::safepoint() {
 
 des::SimTime Pe::put(int dst, std::vector<std::uint64_t> payload, int tag,
                      double wire_bytes, Delivery delivery) {
+  // Commit-order fence (DESIGN.md §9): NIC channels, destination queues and
+  // node memory are shared across PEs, so this whole method runs on the
+  // arbiter in heap pop order. No-op in a serial run.
+  des::InteractionScope fence(ctx_);
   DAKC_CHECK(dst >= 0 && dst < size());
   safepoint();
   const auto& m = machine();
@@ -528,6 +551,7 @@ void Pe::deliver_charge(const Message& msg) {
 }
 
 bool Pe::try_recv(Message* out, int tag) {
+  des::InteractionScope fence(ctx_);  // incoming queue is filled by peers
   safepoint();
   drain_arrivals();
   Fabric::PeState& st = *fabric_->pes_[rank_];
@@ -540,6 +564,7 @@ bool Pe::try_recv(Message* out, int tag) {
 }
 
 bool Pe::has_arrived(int tag) {
+  des::InteractionScope fence(ctx_);  // incoming queue is filled by peers
   safepoint();
   drain_arrivals();
   Fabric::PeState& st = *fabric_->pes_[rank_];
@@ -548,6 +573,7 @@ bool Pe::has_arrived(int tag) {
 }
 
 bool Pe::next_arrival(des::SimTime* when) const {
+  des::InteractionScope fence(ctx_);  // incoming queue is filled by peers
   const Fabric::PeState& st = *fabric_->pes_[rank_];
   if (st.incoming.empty()) return false;
   *when = st.incoming.top().time;
@@ -555,6 +581,7 @@ bool Pe::next_arrival(des::SimTime* when) const {
 }
 
 Message Pe::recv_wait(int tag) {
+  des::InteractionScope fence(ctx_);  // incoming queue is filled by peers
   Fabric::PeState& st = *fabric_->pes_[rank_];
   Message out;
   while (true) {
@@ -651,6 +678,7 @@ int Pe::next_collective_tag() {
 }
 
 void Pe::barrier() {
+  des::InteractionScope fence(ctx_);  // rendezvous state is shared
   safepoint();
   rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
              fabric_->config_.zero_cost, size(), node_count(), RvOp::kBarrier,
@@ -658,6 +686,7 @@ void Pe::barrier() {
 }
 
 std::uint64_t Pe::allreduce_sum(std::uint64_t value) {
+  des::InteractionScope fence(ctx_);  // rendezvous state is shared
   safepoint();
   return rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
                     fabric_->config_.zero_cost, size(), node_count(),
@@ -667,6 +696,7 @@ std::uint64_t Pe::allreduce_sum(std::uint64_t value) {
 
 std::pair<std::uint64_t, std::uint64_t> Pe::allreduce_sum2(
     std::uint64_t a, std::uint64_t b) {
+  des::InteractionScope fence(ctx_);  // rendezvous state is shared
   safepoint();
   const RendezvousResult r =
       rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
@@ -676,6 +706,7 @@ std::pair<std::uint64_t, std::uint64_t> Pe::allreduce_sum2(
 }
 
 std::uint64_t Pe::allreduce_max(std::uint64_t value) {
+  des::InteractionScope fence(ctx_);  // rendezvous state is shared
   safepoint();
   return rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
                     fabric_->config_.zero_cost, size(), node_count(),
@@ -684,6 +715,7 @@ std::uint64_t Pe::allreduce_max(std::uint64_t value) {
 }
 
 double Pe::allreduce_sum_d(double value) {
+  des::InteractionScope fence(ctx_);  // rendezvous state is shared
   safepoint();
   return rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
                     fabric_->config_.zero_cost, size(), node_count(),
@@ -692,6 +724,7 @@ double Pe::allreduce_sum_d(double value) {
 }
 
 double Pe::allreduce_max_d(double value) {
+  des::InteractionScope fence(ctx_);  // rendezvous state is shared
   safepoint();
   return rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
                     fabric_->config_.zero_cost, size(), node_count(),
@@ -700,6 +733,7 @@ double Pe::allreduce_max_d(double value) {
 }
 
 std::vector<std::uint64_t> Pe::allgather(std::uint64_t value) {
+  des::InteractionScope fence(ctx_);  // rendezvous state is shared
   safepoint();
   std::vector<std::uint64_t> out;
   rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
@@ -709,6 +743,7 @@ std::vector<std::uint64_t> Pe::allgather(std::uint64_t value) {
 }
 
 CollectiveHandle Pe::ialltoallv(std::vector<std::vector<std::uint64_t>> send) {
+  des::InteractionScope fence(ctx_);  // puts touch NICs and peer queues
   DAKC_CHECK_MSG(static_cast<int>(send.size()) == size(),
                  "alltoallv send vector must have one slice per PE");
   CollectiveHandle h;
@@ -732,6 +767,7 @@ CollectiveHandle Pe::ialltoallv(std::vector<std::vector<std::uint64_t>> send) {
 }
 
 std::vector<std::vector<std::uint64_t>> Pe::wait(CollectiveHandle& handle) {
+  des::InteractionScope fence(ctx_);  // drains the shared incoming queue
   DAKC_CHECK_MSG(handle.valid(), "wait() on an invalid collective handle");
   while (handle.remaining_ > 0) {
     Message msg = recv_wait(handle.tag_);

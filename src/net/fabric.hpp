@@ -127,6 +127,12 @@ struct FabricConfig {
   bool graceful_memory = false;
   /// Fraction of node_memory_limit at which pressure signaling starts.
   double mem_soft_ratio = 0.85;
+  /// Host worker threads for the parallel DES runtime (des::Engine::Config
+  /// host_threads). 1 = the exact serial engine. Forced to 1 under
+  /// zero_cost (clocks never advance, nothing to overlap), graceful_memory
+  /// (pressure callbacks run synchronously across PEs), and trace (serial
+  /// record order). Never changes simulated results (DESIGN.md §9).
+  int host_threads = 1;
 };
 
 class Fabric;

@@ -11,17 +11,22 @@
 namespace dakc::sort {
 
 /// Sweep a *sorted* array of k-mers; emit one record per distinct value.
+/// Scans each run of equal keys in a register before emitting a single
+/// record, so the hot loop never re-reads out.back() from the heap.
 template <typename Word>
 std::vector<kmer::KmerCount<Word>> accumulate(const std::vector<Word>& sorted) {
   std::vector<kmer::KmerCount<Word>> out;
-  if (sorted.empty()) return out;
-  out.push_back({sorted[0], 1});
-  for (std::size_t i = 1; i < sorted.size(); ++i) {
-    DAKC_ASSERT(sorted[i] >= sorted[i - 1]);
-    if (sorted[i] == out.back().kmer)
-      ++out.back().count;
-    else
-      out.push_back({sorted[i], 1});
+  const std::size_t n = sorted.size();
+  if (n == 0) return out;
+  const Word* p = sorted.data();
+  std::size_t i = 0;
+  while (i < n) {
+    const Word k = p[i];
+    std::size_t j = i + 1;
+    while (j < n && p[j] == k) ++j;
+    DAKC_ASSERT(j == n || p[j] > k);
+    out.push_back({k, static_cast<std::uint64_t>(j - i)});
+    i = j;
   }
   return out;
 }
@@ -32,14 +37,20 @@ template <typename Word>
 std::vector<kmer::KmerCount<Word>> accumulate_pairs(
     const std::vector<kmer::KmerCount<Word>>& sorted) {
   std::vector<kmer::KmerCount<Word>> out;
-  if (sorted.empty()) return out;
-  out.push_back(sorted[0]);
-  for (std::size_t i = 1; i < sorted.size(); ++i) {
-    DAKC_ASSERT(sorted[i].kmer >= sorted[i - 1].kmer);
-    if (sorted[i].kmer == out.back().kmer)
-      out.back().count += sorted[i].count;
-    else
-      out.push_back(sorted[i]);
+  const std::size_t n = sorted.size();
+  if (n == 0) return out;
+  const kmer::KmerCount<Word>* p = sorted.data();
+  std::size_t i = 0;
+  while (i < n) {
+    kmer::KmerCount<Word> rec = p[i];
+    std::size_t j = i + 1;
+    while (j < n && p[j].kmer == rec.kmer) {
+      rec.count += p[j].count;
+      ++j;
+    }
+    DAKC_ASSERT(j == n || p[j].kmer > rec.kmer);
+    out.push_back(rec);
+    i = j;
   }
   return out;
 }
@@ -48,16 +59,23 @@ std::vector<kmer::KmerCount<Word>> accumulate_pairs(
 /// key-sorted). Returns the new logical size.
 template <typename Word>
 std::size_t accumulate_pairs_inplace(std::vector<kmer::KmerCount<Word>>& v) {
-  if (v.empty()) return 0;
+  const std::size_t n = v.size();
+  if (n == 0) return 0;
+  kmer::KmerCount<Word>* p = v.data();
   std::size_t w = 0;
-  for (std::size_t i = 1; i < v.size(); ++i) {
-    DAKC_ASSERT(v[i].kmer >= v[i - 1].kmer);
-    if (v[i].kmer == v[w].kmer)
-      v[w].count += v[i].count;
-    else
-      v[++w] = v[i];
+  std::size_t i = 0;
+  while (i < n) {
+    kmer::KmerCount<Word> rec = p[i];
+    std::size_t j = i + 1;
+    while (j < n && p[j].kmer == rec.kmer) {
+      rec.count += p[j].count;
+      ++j;
+    }
+    DAKC_ASSERT(j == n || p[j].kmer > rec.kmer);
+    p[w++] = rec;
+    i = j;
   }
-  v.resize(w + 1);
+  v.resize(w);
   return v.size();
 }
 

@@ -2,11 +2,9 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
-#include <mutex>
-#include <thread>
 
 #include "sort/wc_radix.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dakc::sort {
 
@@ -15,11 +13,11 @@ constexpr std::size_t kSerialThreshold = 1 << 15;
 }
 
 SortStats parallel_radix_sort(std::vector<std::uint64_t>& v, int threads) {
-  if (threads <= 0)
-    threads = static_cast<int>(
-        std::max(1u, std::thread::hardware_concurrency()));
+  util::ThreadPool& pool = util::ThreadPool::host();
+  if (threads <= 0) threads = pool.parallelism();
   if (v.size() <= kSerialThreshold || threads == 1)
     return wc_radix_sort(v);
+  if (threads > pool.parallelism()) pool.set_parallelism(threads);
 
   SortStats stats;
   stats.elements = v.size();
@@ -55,35 +53,31 @@ SortStats parallel_radix_sort(std::vector<std::uint64_t>& v, int threads) {
   ++stats.passes;
   v.swap(tmp);
 
-  // Sort buckets on worker threads, largest first for balance.
+  // Sort the 256 top-byte partitions on the work-stealing pool, submitted
+  // largest first for balance. Partitions are disjoint ranges of v, so
+  // the sorted bytes are steal-order independent; per-partition stats
+  // reduce in fixed bucket order so the totals are too.
   std::vector<int> order(256);
   for (int c = 0; c < 256; ++c) order[c] = c;
   std::sort(order.begin(), order.end(), [&](int a, int b) {
     return counts[top][a] > counts[top][b];
   });
 
-  std::atomic<int> next{0};
-  std::mutex stats_mutex;
-  auto worker = [&] {
-    SortStats local;
-    while (true) {
-      const int i = next.fetch_add(1);
-      if (i >= 256) break;
+  std::array<SortStats, 256> bucket_stats{};
+  {
+    util::ThreadPool::Group g(pool);
+    for (int i = 0; i < 256; ++i) {
       const int c = order[i];
       const std::size_t lo = bucket_begin[c];
       const std::size_t n = counts[top][c];
       if (n <= 1) continue;
-      local += wc_radix_sort(v.data() + lo, n);
+      std::uint64_t* base = v.data() + lo;
+      SortStats* out = &bucket_stats[c];
+      g.submit([base, n, out] { *out = wc_radix_sort(base, n); });
     }
-    std::lock_guard<std::mutex> lock(stats_mutex);
-    stats += local;
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads) - 1);
-  for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
-  worker();
-  for (auto& th : pool) th.join();
+    g.wait();
+  }
+  for (int c = 0; c < 256; ++c) stats += bucket_stats[c];
   stats.elements = v.size();  // bucket sorts re-counted their elements
   return stats;
 }

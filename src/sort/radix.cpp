@@ -1,8 +1,87 @@
 #include "sort/radix.hpp"
 
+#include <cstring>
+
 #include "sort/wc_radix.hpp"
 
 namespace dakc::sort {
+
+namespace {
+
+/// Cache-blocked MSD level: histogram the current byte (skipping uniform
+/// ones), scatter a -> scratch out of place, then copy each bucket back
+/// and recurse on it immediately while its cache lines are still hot.
+/// Depth is bounded by the 8 key bytes, so no anti-quadratic fallback is
+/// needed (that heuristic in the template guards degenerate KeyFns).
+void blocked_msd(std::uint64_t* a, std::uint64_t* scratch, std::size_t n,
+                 int byte, SortStats& stats) {
+  while (true) {
+    if (n <= 1) return;
+    if (n <= 32) {
+      detail::insertion_sort(a, a + n, [](std::uint64_t x) { return x; },
+                             stats);
+      stats.insertion_sorted += n;
+      return;
+    }
+    if (byte < 0) return;
+
+    std::array<std::size_t, 256> count{};
+    for (std::size_t i = 0; i < n; ++i)
+      ++count[(a[i] >> (8 * byte)) & 0xFF];
+    ++stats.passes;
+
+    bool uniform = false;
+    for (int c = 0; c < 256; ++c)
+      if (count[c] == n) {
+        uniform = true;
+        break;
+      }
+    if (uniform) {
+      --byte;
+      continue;
+    }
+
+    std::array<std::size_t, 256> off{};
+    std::size_t sum = 0;
+    for (int c = 0; c < 256; ++c) {
+      off[c] = sum;
+      sum += count[c];
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      scratch[off[(a[i] >> (8 * byte)) & 0xFF]++] = a[i];
+    stats.moves += n;
+    ++stats.passes;
+
+    std::size_t pos = 0;
+    for (int c = 0; c < 256; ++c) {
+      const std::size_t cnt = count[c];
+      if (cnt == 0) continue;
+      std::memcpy(a + pos, scratch + pos, cnt * sizeof(std::uint64_t));
+      stats.moves += cnt;
+      if (cnt > 1 && byte > 0)
+        blocked_msd(a + pos, scratch + pos, cnt, byte - 1, stats);
+      pos += cnt;
+    }
+    return;
+  }
+}
+
+}  // namespace
+
+SortStats hybrid_radix_sort(std::vector<std::uint64_t>& v) {
+  SortStats stats;
+  stats.elements = v.size();
+  if (v.size() <= 1) return stats;
+  if (v.size() <= 32) {
+    detail::insertion_sort(v.data(), v.data() + v.size(),
+                           [](std::uint64_t x) { return x; }, stats);
+    stats.insertion_sorted += v.size();
+    return stats;
+  }
+  std::vector<std::uint64_t> scratch(v.size());
+  blocked_msd(v.data(), scratch.data(), v.size(), 7, stats);
+  return stats;
+}
 
 // lsd_radix_sort: byte-wise LSD radix sort *interface* running on the
 // cache-blocked planned-digit engine (sort/wc_radix.cpp).

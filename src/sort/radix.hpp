@@ -159,6 +159,16 @@ SortStats hybrid_radix_sort(std::vector<Word>& v) {
   return hybrid_radix_sort(v.begin(), v.end(), [](Word w) { return w; });
 }
 
+/// Cache-blocked MSD radix sort for plain 64-bit keys. Preferred over the
+/// template for std::vector<uint64_t>: instead of american-flag swap
+/// chains (random access across the whole range) it scatters each level
+/// out-of-place into a scratch buffer, then copies every bucket back and
+/// recurses on it immediately while it is cache-hot. Same interface and
+/// small-input behavior (insertion sort for n <= 32) as the template,
+/// but its SortStats reflect the blocked algorithm — golden-charged
+/// simulation sites keep using the iterator form (DESIGN.md §6.1).
+SortStats hybrid_radix_sort(std::vector<std::uint64_t>& v);
+
 /// Stable LSD radix sort of 64-bit keys, with pass skipping when a byte
 /// is uniform across the input. Uses one temporary buffer of equal size.
 SortStats lsd_radix_sort(std::vector<std::uint64_t>& v);

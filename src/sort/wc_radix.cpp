@@ -18,8 +18,11 @@
 #include "sort/wc_radix.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <type_traits>
+
+#include "util/thread_pool.hpp"
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -516,9 +519,11 @@ Elem* run_split(Split<Key, Elem>& sp, Elem* src, Elem* dst, std::size_t n,
   int bs = 0, bw = 0;
   std::uint32_t* bh = sp.fused_histograms(n, below, depth, &bs, &bw);
   sp.scatter(src, dst, n, st, bh, bs, bw);
-  for (std::uint32_t c = 0; c < sp.slots; ++c) {
+  // One block: sort [at, at+len) in place, leaving the result in src.
+  // Blocks touch disjoint src/dst ranges and read-only slices of bh, so
+  // any execution order produces the same bytes.
+  auto run_block = [&](std::uint32_t c, SortStats* bst) {
     const std::size_t len = sp.count[c];
-    if (len == 0) continue;
     const std::size_t at = sp.start[c];
     // Leaf-sized blocks take the free superset mask (bits at and above
     // the split shift are constant within a block); blocks that will
@@ -526,17 +531,38 @@ Elem* run_split(Split<Key, Elem>& sp, Elem* src, Elem* dst, std::size_t n,
     Key bm;
     if (len * sizeof(Elem) > kWcBlockBytes && depth + 1 < kMaxSplitDepth) {
       bm = diff_mask_of<Key>(dst + at, len);
-      if (st) ++st->passes;
+      if (bst) ++bst->passes;
     } else {
       bm = below;
     }
     const std::uint32_t* ch =
         bh ? bh + (static_cast<std::size_t>(c) << bw) : nullptr;
     Elem* r = sort_core<RunAware, Key>(dst + at, src + at, len, bm, depth + 1,
-                                       st, ch, bs, bw);
+                                       bst, ch, bs, bw);
     if (r != src + at) {
       std::copy_n(r, len, src + at);
-      if (st) st->moves += len;
+      if (bst) bst->moves += len;
+    }
+  };
+  util::ThreadPool& pool = util::ThreadPool::host();
+  if (pool.parallelism() > 1) {
+    // Per-block stats accumulate privately and reduce in fixed block
+    // order, so the reported SortStats (and thus every simulated charge
+    // derived from them) are identical at any worker count.
+    std::array<SortStats, 256> bstats{};
+    util::ThreadPool::Group g(pool);
+    for (std::uint32_t c = 0; c < sp.slots; ++c) {
+      if (sp.count[c] == 0) continue;
+      SortStats* bst = st ? &bstats[c] : nullptr;
+      g.submit([&run_block, bst, c] { run_block(c, bst); });
+    }
+    g.wait();
+    if (st)
+      for (std::uint32_t c = 0; c < sp.slots; ++c) *st += bstats[c];
+  } else {
+    for (std::uint32_t c = 0; c < sp.slots; ++c) {
+      if (sp.count[c] == 0) continue;
+      run_block(c, st);
     }
   }
   return src;
@@ -585,21 +611,46 @@ void run_split_accum(Split<std::uint64_t, std::uint64_t>& sp,
   int bs = 0, bw = 0;
   std::uint32_t* bh = sp.fused_histograms(n, below, depth, &bs, &bw);
   sp.scatter(src, dst, n, st, bh, bs, bw);
-  for (std::uint32_t c = 0; c < sp.slots; ++c) {
+  auto run_block = [&](std::uint32_t c, SortStats* bst,
+                       std::vector<kmer::KmerCount64>& bout) {
     const std::size_t len = sp.count[c];
-    if (len == 0) continue;
     const std::size_t at = sp.start[c];
     std::uint64_t bm;
     if (len * sizeof(std::uint64_t) > kWcBlockBytes &&
         depth + 1 < kMaxSplitDepth) {
       bm = detail::diff_mask_u64(dst + at, len);
-      if (st) ++st->passes;
+      if (bst) ++bst->passes;
     } else {
       bm = below;
     }
     const std::uint32_t* ch =
         bh ? bh + (static_cast<std::size_t>(c) << bw) : nullptr;
-    accum_core(dst + at, src + at, len, bm, depth + 1, st, out, ch, bs, bw);
+    accum_core(dst + at, src + at, len, bm, depth + 1, bst, bout, ch, bs, bw);
+  };
+  util::ThreadPool& pool = util::ThreadPool::host();
+  if (pool.parallelism() > 1) {
+    // Blocks emit into private vectors, concatenated in ascending block
+    // order afterwards: equal keys never span blocks, so the result is
+    // byte-identical to the serial append, at any worker count.
+    std::array<SortStats, 256> bstats{};
+    std::array<std::vector<kmer::KmerCount64>, 256> bouts;
+    util::ThreadPool::Group g(pool);
+    for (std::uint32_t c = 0; c < sp.slots; ++c) {
+      if (sp.count[c] == 0) continue;
+      SortStats* bst = st ? &bstats[c] : nullptr;
+      auto* bout = &bouts[c];
+      g.submit([&run_block, bst, bout, c] { run_block(c, bst, *bout); });
+    }
+    g.wait();
+    for (std::uint32_t c = 0; c < sp.slots; ++c) {
+      if (st) *st += bstats[c];
+      out.insert(out.end(), bouts[c].begin(), bouts[c].end());
+    }
+  } else {
+    for (std::uint32_t c = 0; c < sp.slots; ++c) {
+      if (sp.count[c] == 0) continue;
+      run_block(c, st, out);
+    }
   }
 }
 

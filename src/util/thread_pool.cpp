@@ -1,0 +1,209 @@
+#include "util/thread_pool.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dakc::util {
+
+namespace {
+/// Pool worker index of the current thread (-1 off-pool). Lets owners
+/// push to their own deque and skip themselves when stealing.
+thread_local int t_worker_index = -1;
+
+/// Hard cap so workers_ / threads_ can be reserved up front: worker
+/// threads index these vectors without locks, so the storage must never
+/// reallocate once the first worker starts.
+constexpr int kMaxWorkers = 64;
+}  // namespace
+
+ThreadPool& ThreadPool::host() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() {
+  workers_.reserve(kMaxWorkers);
+  threads_.reserve(kMaxWorkers);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(sleep_m_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::set_parallelism(int threads) {
+  DAKC_CHECK_MSG(threads >= 1, "parallelism must be >= 1");
+  DAKC_CHECK_MSG(threads <= kMaxWorkers + 1, "parallelism beyond pool cap");
+  const int target = threads - 1;
+  {
+    std::lock_guard<std::mutex> lk(sleep_m_);
+    while (static_cast<int>(threads_.size()) < target) {
+      const int index = static_cast<int>(threads_.size());
+      workers_.push_back(std::make_unique<WorkerState>());
+      threads_.emplace_back([this, index] { worker_loop(index); });
+    }
+    active_workers_.store(target, std::memory_order_release);
+    work_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+}
+
+void ThreadPool::set_steal_seed(std::uint64_t seed) {
+  steal_seed_.store(seed, std::memory_order_relaxed);
+}
+
+void ThreadPool::push_item(Item item) {
+  const int active = active_workers_.load(std::memory_order_acquire);
+  DAKC_CHECK_MSG(active > 0, "task submitted to a pool with parallelism 1");
+  int target = t_worker_index;
+  if (target < 0 || target >= active) {
+    target = static_cast<int>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                              static_cast<std::uint64_t>(active));
+  }
+  {
+    WorkerState& w = *workers_[target];
+    std::lock_guard<std::mutex> lk(w.m);
+    w.q.push_back(std::move(item));
+  }
+  work_epoch_.fetch_add(1, std::memory_order_release);
+  work_cv_.notify_all();
+}
+
+void ThreadPool::submit(Task fn) { push_item({nullptr, std::move(fn)}); }
+
+bool ThreadPool::pop_own(int self, Item* out, bool group_only, Group* group) {
+  if (self < 0 || self >= static_cast<int>(workers_.size())) return false;
+  WorkerState& w = *workers_[self];
+  std::lock_guard<std::mutex> lk(w.m);
+  if (group_only) {
+    for (auto it = w.q.rbegin(); it != w.q.rend(); ++it) {
+      if (it->group == group) {
+        *out = std::move(*it);
+        w.q.erase(std::next(it).base());
+        return true;
+      }
+    }
+    return false;
+  }
+  if (w.q.empty()) return false;
+  *out = std::move(w.q.back());
+  w.q.pop_back();
+  return true;
+}
+
+bool ThreadPool::steal(int self, Item* out, bool group_only, Group* group) {
+  const int n = static_cast<int>(workers_.size());
+  if (n == 0) return false;
+  // Seeded victim order: the seed never changes results (tasks are
+  // independent by contract), only the interleaving the stress test
+  // wants to randomize.
+  thread_local std::uint64_t scan_count = 0;
+  std::uint64_t h = mix64(steal_seed_.load(std::memory_order_relaxed) ^
+                          (static_cast<std::uint64_t>(self + 1) << 32) ^
+                          ++scan_count);
+  const int start = static_cast<int>(h % static_cast<std::uint64_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const int v = (start + k) % n;
+    if (v == self) continue;
+    WorkerState& w = *workers_[v];
+    std::lock_guard<std::mutex> lk(w.m);
+    if (group_only) {
+      for (auto it = w.q.begin(); it != w.q.end(); ++it) {
+        if (it->group == group) {
+          *out = std::move(*it);
+          w.q.erase(it);
+          return true;
+        }
+      }
+      continue;
+    }
+    if (w.q.empty()) continue;
+    *out = std::move(w.q.front());
+    w.q.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::run_item(Item& item) {
+  Group* g = item.group;
+  item.fn();
+  if (g != nullptr &&
+      g->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(sleep_m_);
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(int index) {
+  t_worker_index = index;
+  while (true) {
+    const std::uint64_t seen = work_epoch_.load(std::memory_order_acquire);
+    if (index < active_workers_.load(std::memory_order_acquire)) {
+      Item item;
+      if (pop_own(index, &item, false, nullptr) ||
+          steal(index, &item, false, nullptr)) {
+        run_item(item);
+        continue;
+      }
+    }
+    std::unique_lock<std::mutex> lk(sleep_m_);
+    work_cv_.wait(lk, [&] {
+      return stopping_ ||
+             work_epoch_.load(std::memory_order_acquire) != seen;
+    });
+    if (stopping_) return;
+  }
+}
+
+void ThreadPool::Group::submit(Task fn) {
+  // Parallelism 1: execute on the calling thread, exactly like a build
+  // without the pool. (Queueing would be wrong twice over: there is no
+  // worker to drain the deque, and a failed push after the pending_
+  // increment would leave wait() blocked forever.)
+  if (pool_.active_workers_.load(std::memory_order_acquire) == 0) {
+    fn();
+    return;
+  }
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pool_.push_item({this, std::move(fn)});
+}
+
+void ThreadPool::Group::wait() {
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    Item item;
+    if (pool_.pop_own(t_worker_index, &item, true, this) ||
+        pool_.steal(t_worker_index, &item, true, this)) {
+      pool_.run_item(item);
+      continue;
+    }
+    // Every queued member is gone; the rest are running on workers.
+    std::unique_lock<std::mutex> lk(pool_.sleep_m_);
+    pool_.done_cv_.wait(lk, [&] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  DAKC_CHECK(grain >= 1);
+  if (end <= begin) return;
+  if (parallelism() <= 1 || end - begin <= grain) {
+    body(begin, end);
+    return;
+  }
+  Group g(*this);
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    const std::size_t hi = lo + grain < end ? lo + grain : end;
+    g.submit([&body, lo, hi] { body(lo, hi); });
+  }
+  g.wait();
+}
+
+}  // namespace dakc::util

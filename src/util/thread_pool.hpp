@@ -1,0 +1,136 @@
+// Deterministic work-stealing host thread pool.
+//
+// This pool parallelizes HOST execution only: wc_radix split blocks,
+// parallel_radix_sort buckets, and the DES engine's warm fiber segments
+// all run on it. Nothing simulated depends on it — every consumer is
+// required (and tested) to produce bit-identical results at any worker
+// count and any steal order, so the pool needs no determinism of its
+// own; it only needs to never deadlock and never run a task twice.
+//
+// Structure: one deque per worker (owner pushes/pops the back, thieves
+// take the front), a seeded per-thread RNG choosing steal victims (the
+// seed is a test hook: the steal-order stress test sweeps seeds and
+// asserts output equality), and a Group abstraction for fork/join use:
+//
+//   ThreadPool::Group g(pool);
+//   for (...) g.submit([=]{ ... });
+//   g.wait();   // the waiter HELPS, but only with tasks of this group
+//
+// The help restriction matters: free-standing tasks submitted via
+// submit() can suspend their host thread for a long time (the DES
+// engine's warm fiber segments run until the fiber hits an interaction
+// fence). A waiter that picked one of those up inside wait() would nest
+// a fiber switch on a foreign stack. Group waiters therefore execute
+// group members only; free-standing tasks are executed exclusively by
+// the top of the worker loop.
+//
+// No wall-clock anywhere: sleeping is untimed condition_variable waits,
+// so the pool is safe to link into simulation code (tools/lint_simtime.sh
+// stays green).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dakc::util {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Process-wide pool shared by the sort engine and the parallel DES
+  /// runtime. Starts with zero workers and an effective parallelism of
+  /// 1 (everything inline); grow it with set_parallelism().
+  static ThreadPool& host();
+
+  ThreadPool();
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Set the effective parallelism to `threads` (>= 1): spawns missing
+  /// workers up to threads - 1 and puts any surplus workers to sleep.
+  /// Threads are never destroyed until process exit, so flipping between
+  /// 1 and N is cheap and the "1" setting still executes everything on
+  /// the calling thread exactly like a build without the pool.
+  void set_parallelism(int threads);
+  /// Current effective parallelism (1 = serial).
+  int parallelism() const {
+    return 1 + active_workers_.load(std::memory_order_acquire);
+  }
+
+  /// Seed the steal-victim RNG of every worker. Outputs must not depend
+  /// on it (that is the determinism contract this pool exists to test);
+  /// the stress test sweeps seeds to randomize steal interleavings.
+  void set_steal_seed(std::uint64_t seed);
+
+  /// Submit a free-standing task. Only the worker loop runs these (never
+  /// a Group waiter), so they may occupy their worker indefinitely.
+  void submit(Task fn);
+
+  /// Fork/join task group. Submit all tasks first, then wait() once;
+  /// the waiter executes queued tasks of this group while waiting. At
+  /// parallelism 1 submit() runs the task inline on the calling thread.
+  class Group {
+   public:
+    explicit Group(ThreadPool& pool) : pool_(pool) {}
+    Group(const Group&) = delete;
+    Group& operator=(const Group&) = delete;
+    ~Group() { wait(); }
+
+    void submit(Task fn);
+    void wait();
+
+   private:
+    friend class ThreadPool;
+    ThreadPool& pool_;
+    std::atomic<std::size_t> pending_{0};
+  };
+
+  /// Run body(lo, hi) over a fixed decomposition of [begin, end) into
+  /// chunks of `grain` (the chunking depends only on the range and the
+  /// grain, never on the worker count, so per-chunk side outputs can be
+  /// reduced in chunk order bit-identically at any parallelism). Runs
+  /// inline when parallelism() == 1 or the range fits one chunk.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  struct Item {
+    Group* group;  // nullptr for free-standing tasks
+    Task fn;
+  };
+  struct WorkerState {
+    std::mutex m;
+    std::deque<Item> q;
+  };
+
+  void push_item(Item item);
+  bool pop_own(int self, Item* out, bool group_only, Group* group);
+  bool steal(int self, Item* out, bool group_only, Group* group);
+  void run_item(Item& item);
+  void worker_loop(int index);
+
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<int> active_workers_{0};
+  std::atomic<std::uint64_t> steal_seed_{0x9E3779B97F4A7C15ULL};
+  std::atomic<std::uint64_t> rr_{0};  // round-robin submit cursor
+
+  // Sleep/wake machinery (workers idle here; Group waiters too).
+  std::mutex sleep_m_;
+  std::condition_variable work_cv_;   // new work or parallelism change
+  std::condition_variable done_cv_;   // a group task finished
+  std::atomic<std::uint64_t> work_epoch_{0};
+  bool stopping_ = false;
+};
+
+}  // namespace dakc::util

@@ -1,0 +1,225 @@
+// Parallel DES host runtime determinism tests.
+//
+// The conservative-window parallel scheduler (des/engine.cpp, DESIGN.md
+// §9) may only change how fast the HOST executes a simulation — never
+// what is simulated. These tests pin that contract the hard way:
+//
+//  1. The flat and replay determinism goldens (the same values
+//     determinism_test.cpp and cost_model_test.cpp pin for the serial
+//     engine) must come out bit-identical at every tested host_threads.
+//  2. A field-by-field RunReport comparison between host_threads = 1 and
+//     each parallel setting, on plain, fault-injected, and
+//     graceful-memory configurations — every counter, every timing
+//     double, every gathered {kmer, count} pair.
+//
+// Note: sanitized builds force the engine serial (fiber speculation and
+// ASan/TSan stack bookkeeping don't mix), so under ASan these tests
+// trivially compare serial vs serial — the parallel coverage comes from
+// the regular RelWithDebInfo tier-1 run and the TSan pool job.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/api.hpp"
+#include "sim/datasets.hpp"
+
+namespace dakc {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t counts_hash(const core::RunReport& rep) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& kc : rep.counts) {
+    h = fnv1a(h, kc.kmer);
+    h = fnv1a(h, kc.count);
+  }
+  return h;
+}
+
+core::CountConfig golden_config() {
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.k = 31;
+  cfg.pes = 32;
+  cfg.pes_per_node = 4;
+  cfg.machine.cores_per_node = 4;
+  cfg.machine.noise_amplitude = 0.25;
+  cfg.protocol = conveyor::Protocol::k2D;
+  cfg.l2_enabled = true;
+  cfg.l3_enabled = true;
+  cfg.gather_counts = true;
+  return cfg;
+}
+
+std::vector<std::string> golden_reads() {
+  const auto& spec = sim::dataset_by_name("human");
+  const double scale =
+      2e5 / (spec.coverage * static_cast<double>(spec.genome_length));
+  return sim::make_dataset_reads(spec, scale, 41);
+}
+
+constexpr std::uint64_t kGoldenHash = 0x36570c604a3d3804ULL;
+constexpr double kGoldenFlatMakespan = 0.00026077420450312501;
+constexpr double kGoldenReplayMakespan = 0.00047302732873268907;
+
+/// Every field of the report, exact. EXPECT_EQ on doubles on purpose:
+/// virtual time accumulates in arbiter commit order, which the parallel
+/// runtime must reproduce to the last ulp.
+void expect_reports_identical(const core::RunReport& a,
+                              const core::RunReport& b) {
+  EXPECT_EQ(a.backend, b.backend);
+  EXPECT_EQ(a.oom, b.oom);
+  EXPECT_EQ(a.oom_node, b.oom_node);
+  EXPECT_EQ(a.oom_alloc_bytes, b.oom_alloc_bytes);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.phase1_seconds, b.phase1_seconds);
+  EXPECT_EQ(a.phase2_seconds, b.phase2_seconds);
+  EXPECT_EQ(a.compute_seconds, b.compute_seconds);
+  EXPECT_EQ(a.memory_seconds, b.memory_seconds);
+  EXPECT_EQ(a.network_seconds, b.network_seconds);
+  EXPECT_EQ(a.idle_seconds, b.idle_seconds);
+  EXPECT_EQ(a.bytes_internode, b.bytes_internode);
+  EXPECT_EQ(a.bytes_intranode, b.bytes_intranode);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.node_mem_high, b.node_mem_high);
+  EXPECT_EQ(a.faults_dropped, b.faults_dropped);
+  EXPECT_EQ(a.faults_duplicated, b.faults_duplicated);
+  EXPECT_EQ(a.faults_delayed, b.faults_delayed);
+  EXPECT_EQ(a.brownout_chunks, b.brownout_chunks);
+  EXPECT_EQ(a.hw_retransmits, b.hw_retransmits);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.dedup_discards, b.dedup_discards);
+  EXPECT_EQ(a.acks_sent, b.acks_sent);
+  EXPECT_EQ(a.pressure_events, b.pressure_events);
+  EXPECT_EQ(a.buffer_shrinks, b.buffer_shrinks);
+  EXPECT_EQ(a.replay_accesses, b.replay_accesses);
+  EXPECT_EQ(a.replay_misses, b.replay_misses);
+  EXPECT_EQ(a.replay_phase1_misses, b.replay_phase1_misses);
+  EXPECT_EQ(a.replay_phase2_misses, b.replay_phase2_misses);
+  EXPECT_EQ(a.total_kmers, b.total_kmers);
+  EXPECT_EQ(a.distinct_kmers, b.distinct_kmers);
+  ASSERT_EQ(a.counts.size(), b.counts.size());
+  for (std::size_t i = 0; i < a.counts.size(); ++i) {
+    ASSERT_EQ(a.counts[i].kmer, b.counts[i].kmer) << "at index " << i;
+    ASSERT_EQ(a.counts[i].count, b.counts[i].count) << "at index " << i;
+  }
+}
+
+class ParallelHostThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelHostThreads, FlatGoldenBitIdentical) {
+  const auto reads = golden_reads();
+  auto cfg = golden_config();
+  cfg.host_threads = GetParam();
+  const auto rep = core::count_kmers(reads, cfg);
+  EXPECT_EQ(rep.distinct_kmers, 51088u);
+  EXPECT_EQ(rep.total_kmers, 159698u);
+  EXPECT_EQ(counts_hash(rep), kGoldenHash);
+  EXPECT_EQ(rep.makespan, kGoldenFlatMakespan);
+}
+
+TEST_P(ParallelHostThreads, ReplayGoldenBitIdentical) {
+  const auto reads = golden_reads();
+  auto cfg = golden_config();
+  cfg.host_threads = GetParam();
+  cfg.cost_model.kind = cachesim::CostModelKind::kReplay;
+  const auto rep = core::count_kmers(reads, cfg);
+  EXPECT_EQ(counts_hash(rep), kGoldenHash);
+  EXPECT_EQ(rep.makespan, kGoldenReplayMakespan);
+}
+
+TEST_P(ParallelHostThreads, FullReportMatchesSerial) {
+  const auto reads = golden_reads();
+  auto cfg = golden_config();
+  cfg.host_threads = 1;
+  const auto serial = core::count_kmers(reads, cfg);
+  cfg.host_threads = GetParam();
+  const auto parallel = core::count_kmers(reads, cfg);
+  expect_reports_identical(serial, parallel);
+}
+
+TEST_P(ParallelHostThreads, FaultCampaignMatchesSerial) {
+  // The full fault plane at once: message faults arm the conveyor's
+  // reliability protocol, time faults freeze PEs mid-schedule. Arrival
+  // order, retransmits and dedup discards must all commit identically.
+  const auto& spec = sim::dataset_by_name("human");
+  const auto reads = sim::make_dataset_reads(
+      spec, 1e5 / (spec.coverage * static_cast<double>(spec.genome_length)),
+      7);
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.pes = 16;
+  cfg.pes_per_node = 4;
+  cfg.machine.cores_per_node = 4;
+  cfg.faults.drop_rate = 0.02;
+  cfg.faults.dup_rate = 0.02;
+  cfg.faults.delay_rate = 0.05;
+  cfg.faults.brownout_rate = 0.1;
+  cfg.faults.stall_rate = 0.05;
+  cfg.faults.crash_rate = 0.02;
+  cfg.host_threads = 1;
+  const auto serial = core::count_kmers(reads, cfg);
+  EXPECT_GT(serial.hw_retransmits + serial.faults_delayed, 0u);
+  cfg.host_threads = GetParam();
+  const auto parallel = core::count_kmers(reads, cfg);
+  expect_reports_identical(serial, parallel);
+}
+
+TEST_P(ParallelHostThreads, GracefulMemoryMatchesSerial) {
+  // graceful_memory forces the engine serial (cross-PE pressure
+  // callbacks); this pins that the config plumbing does so and the
+  // results stay identical rather than racing.
+  const auto& spec = sim::dataset_by_name("human");
+  const auto reads = sim::make_dataset_reads(
+      spec, 1e5 / (spec.coverage * static_cast<double>(spec.genome_length)),
+      7);
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.pes = 16;
+  cfg.pes_per_node = 4;
+  cfg.machine.cores_per_node = 4;
+  cfg.node_memory_limit = 8.0 * 1024 * 1024;
+  cfg.graceful_memory = true;
+  cfg.host_threads = 1;
+  const auto serial = core::count_kmers(reads, cfg);
+  cfg.host_threads = GetParam();
+  const auto parallel = core::count_kmers(reads, cfg);
+  expect_reports_identical(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(HostThreads, ParallelHostThreads,
+                         ::testing::Values(1, 2, 7, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(ParallelHostThreads2, BackendsMatchSerialAtEightThreads) {
+  const auto& spec = sim::dataset_by_name("synthetic22");
+  const auto reads = sim::make_dataset_reads(spec, 1.0 / 256, 3);
+  for (core::Backend be :
+       {core::Backend::kSerial, core::Backend::kPakMan,
+        core::Backend::kPakManStar, core::Backend::kHySortK,
+        core::Backend::kKmc3, core::Backend::kDakc}) {
+    core::CountConfig cfg;
+    cfg.backend = be;
+    cfg.pes = 8;
+    cfg.pes_per_node = 4;
+    cfg.machine.cores_per_node = 4;
+    cfg.host_threads = 1;
+    const auto serial = core::count_kmers(reads, cfg);
+    cfg.host_threads = 8;
+    const auto parallel = core::count_kmers(reads, cfg);
+    SCOPED_TRACE(core::backend_name(be));
+    expect_reports_identical(serial, parallel);
+  }
+}
+
+}  // namespace
+}  // namespace dakc

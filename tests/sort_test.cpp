@@ -106,6 +106,34 @@ TEST_P(SortDistributions, ParallelMatchesStdSort) {
   }
 }
 
+TEST_P(SortDistributions, ParallelBitIdenticalAcrossThreadCounts) {
+  // The pooled sort's output AND reduced stats must not depend on the
+  // worker count: the bucket decomposition is fixed by the data, only
+  // who executes each bucket changes. Reference = 2 threads (the first
+  // parallel decomposition); every other count must reproduce it, and
+  // the sorted output must equal the serial engine's.
+  const std::size_t n = 100000;
+  const auto input = GetParam().make(n);
+  auto serial = input;
+  wc_radix_sort(serial);
+
+  auto ref = input;
+  const SortStats ref_stats = parallel_radix_sort(ref, 2);
+  ASSERT_EQ(ref, serial) << GetParam().name;
+  for (int threads : {3, 4, 8}) {
+    auto v = input;
+    const SortStats st = parallel_radix_sort(v, threads);
+    ASSERT_EQ(v, serial) << GetParam().name << " threads=" << threads;
+    EXPECT_EQ(st.elements, ref_stats.elements) << "threads=" << threads;
+    EXPECT_EQ(st.moves, ref_stats.moves) << "threads=" << threads;
+    EXPECT_EQ(st.passes, ref_stats.passes) << "threads=" << threads;
+    EXPECT_EQ(st.insertion_sorted, ref_stats.insertion_sorted)
+        << "threads=" << threads;
+    EXPECT_EQ(st.fallback_sorted, ref_stats.fallback_sorted)
+        << "threads=" << threads;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllDistributions, SortDistributions,
     ::testing::Values(Dist{"uniform64", uniform64},

@@ -1,0 +1,146 @@
+// Work-stealing pool tests: the fork/join semantics every deterministic
+// consumer builds on, plus the steal-order stress test — the pool's
+// contract is that OUTPUTS never depend on which worker ran what, so we
+// sweep steal seeds (randomizing victim choice, hence interleavings) and
+// assert the pooled sort's output and stats are bit-identical each time.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sort/parallel_radix.hpp"
+#include "sort/wc_radix.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dakc::util {
+namespace {
+
+TEST(ThreadPool, StartsSerial) {
+  // The shared pool begins with parallelism 1; a fresh process must be
+  // able to run every consumer inline without ever spawning a thread.
+  EXPECT_GE(ThreadPool::host().parallelism(), 1);
+}
+
+TEST(ThreadPool, GroupRunsEveryTaskExactlyOnce) {
+  ThreadPool& pool = ThreadPool::host();
+  pool.set_parallelism(4);
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> ran(kTasks);
+  {
+    ThreadPool::Group g(pool);
+    for (int i = 0; i < kTasks; ++i)
+      g.submit([&ran, i] { ran[i].fetch_add(1, std::memory_order_relaxed); });
+    g.wait();
+  }
+  for (int i = 0; i < kTasks; ++i)
+    EXPECT_EQ(ran[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadPool, GroupWaitIsReusableAndDtorWaits) {
+  ThreadPool& pool = ThreadPool::host();
+  pool.set_parallelism(3);
+  std::atomic<int> sum{0};
+  ThreadPool::Group g(pool);
+  g.submit([&] { sum.fetch_add(1); });
+  g.wait();
+  EXPECT_EQ(sum.load(), 1);
+  // A group may be refilled after a wait().
+  g.submit([&] { sum.fetch_add(10); });
+  g.wait();
+  EXPECT_EQ(sum.load(), 11);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool& pool = ThreadPool::host();
+  pool.set_parallelism(4);
+  constexpr std::size_t kN = 10007;  // prime: uneven final chunk
+  std::vector<std::atomic<int>> hit(kN);
+  pool.parallel_for(0, kN, 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      hit[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(hit[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SetParallelismShrinkKeepsWorking) {
+  ThreadPool& pool = ThreadPool::host();
+  pool.set_parallelism(8);
+  EXPECT_EQ(pool.parallelism(), 8);
+  pool.set_parallelism(2);
+  EXPECT_EQ(pool.parallelism(), 2);
+  std::atomic<int> sum{0};
+  ThreadPool::Group g(pool);
+  for (int i = 0; i < 100; ++i) g.submit([&] { sum.fetch_add(1); });
+  g.wait();
+  EXPECT_EQ(sum.load(), 100);
+  pool.set_parallelism(1);
+  EXPECT_EQ(pool.parallelism(), 1);
+  ThreadPool::Group g2(pool);
+  g2.submit([&] { sum.fetch_add(1); });
+  g2.wait();
+  EXPECT_EQ(sum.load(), 101);
+}
+
+TEST(ThreadPool, NestedGroupsDoNotDeadlock) {
+  // A group task spawning its own group: the inner waiter helps with
+  // inner-group tasks only, so this must complete at any parallelism.
+  ThreadPool& pool = ThreadPool::host();
+  pool.set_parallelism(4);
+  std::atomic<int> sum{0};
+  ThreadPool::Group outer(pool);
+  for (int i = 0; i < 8; ++i) {
+    outer.submit([&pool, &sum] {
+      ThreadPool::Group inner(pool);
+      for (int j = 0; j < 8; ++j) inner.submit([&sum] { sum.fetch_add(1); });
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(sum.load(), 64);
+}
+
+// The determinism contract, stressed: different steal seeds randomize
+// victim choice and therefore which worker executes which bucket in what
+// interleaving. The sorted output (which must equal the serial engine's)
+// AND the reduced SortStats (fixed by the decomposition, not by who ran
+// it) must be bit-identical under every seed.
+TEST(ThreadPool, StealOrderStressLeavesSortBitIdentical) {
+  Xoshiro256 rng(0xC0FFEE);
+  std::vector<std::uint64_t> input(1 << 17);
+  for (auto& x : input) x = rng();
+
+  auto expect_v = input;
+  sort::wc_radix_sort(expect_v);
+
+  ThreadPool& pool = ThreadPool::host();
+  pool.set_parallelism(7);  // odd count: uneven steal pressure
+
+  // Reference stats from the first seed; every other seed must reproduce
+  // them exactly (the decomposition is fixed, only the schedule varies).
+  auto ref = input;
+  pool.set_steal_seed(0);
+  const sort::SortStats ref_stats = sort::parallel_radix_sort(ref, 7);
+  ASSERT_EQ(ref, expect_v);
+
+  for (std::uint64_t seed : {1ull, 42ull, 0x9E3779B97F4A7C15ull,
+                             0xDEADBEEFull, 7777777ull}) {
+    pool.set_steal_seed(seed);
+    auto v = input;
+    const sort::SortStats st = sort::parallel_radix_sort(v, 7);
+    ASSERT_EQ(v, expect_v) << "steal seed " << seed;
+    EXPECT_EQ(st.elements, ref_stats.elements) << "seed " << seed;
+    EXPECT_EQ(st.moves, ref_stats.moves) << "seed " << seed;
+    EXPECT_EQ(st.passes, ref_stats.passes) << "seed " << seed;
+    EXPECT_EQ(st.insertion_sorted, ref_stats.insertion_sorted)
+        << "seed " << seed;
+    EXPECT_EQ(st.fallback_sorted, ref_stats.fallback_sorted)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dakc::util

@@ -33,6 +33,15 @@ golden_flags=(count --dataset human --scale 4.962779156327544e-06
 cmp "$build/replay_a.txt" "$build/replay_b.txt"
 echo "host-independence: replay reports are byte-identical"
 
+# Parallel-runtime smoke: the same golden configuration driven by the
+# work-stealing host runtime must emit a byte-identical report. The unit
+# suite covers thread counts {1,2,7,16}; this end-to-end pass guards the
+# CLI plumbing.
+"$build/tools/dakc_count" "${golden_flags[@]}" --host-threads 2 \
+  --report-out "$build/replay_t2.txt"
+cmp "$build/replay_a.txt" "$build/replay_t2.txt"
+echo "host-independence: 2-thread report is byte-identical to serial"
+
 "$build/tools/perf_baseline" --out "$build/BENCH_kernels.json"
 python3 "$repo/tools/check_perf.py" \
   --bench "$build/BENCH_kernels.json" \
@@ -54,6 +63,25 @@ cmake -B "$build_asan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDAKC_SANITIZE=ON
 cmake --build "$build_asan" -j "$(nproc)"
 (cd "$build_asan" && ctest --output-on-failure -LE perf -j "$(nproc)")
+
+# ---------------------------------------------------------------------------
+# ThreadSanitizer job: the work-stealing pool and the parallel DES
+# runtime under TSan. Under TSan the engine runs its fibers serially
+# with TSan fiber annotations (speculative warming is gated off), so
+# what this job races is exactly what can race in production: the pool's
+# deques, wake/sleep machinery, and the pooled sort — plus an end-to-end
+# 2-thread run of the golden CLI config for the plumbing.
+build_tsan="${build}-tsan"
+cmake -B "$build_tsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDAKC_SANITIZE=thread
+cmake --build "$build_tsan" -j "$(nproc)" --target \
+  thread_pool_test sort_test des_test parallel_runtime_test dakc_count
+(cd "$build_tsan" && ./tests/thread_pool_test && ./tests/sort_test &&
+  ./tests/des_test && ./tests/parallel_runtime_test)
+"$build_tsan/tools/dakc_count" "${golden_flags[@]}" --host-threads 2 \
+  --report-out "$build_tsan/replay_t2.txt"
+cmp "$build/replay_a.txt" "$build_tsan/replay_t2.txt"
+echo "tsan: pool + parallel-DES tests clean, 2-thread report identical"
 
 # ---------------------------------------------------------------------------
 # Coverage job (opt-in: DAKC_COVERAGE=1 tools/ci.sh): rebuild with gcov

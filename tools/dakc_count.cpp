@@ -10,6 +10,7 @@
 // text/binary dump; `histo` prints the KMC-style count histogram;
 // `stats` runs the spectrum fit (genome size, coverage, error rate);
 // `compare` diffs two dumps (e.g. DAKC vs a baseline).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -123,6 +124,10 @@ int cmd_count(int argc, char** argv) {
                                  "dakc|pakman|pakman*|hysortk|kmc3|serial");
   auto& nodes = cli.add_int("nodes", 2, "simulated nodes");
   auto& cores = cli.add_int("cores-per-node", 4, "simulated cores per node");
+  auto& host_threads = cli.add_int(
+      "host-threads", 1,
+      "host worker threads for the simulation (results are identical at "
+      "any value; 1 = serial engine)");
   auto& canonical = cli.add_flag("canonical", false, "canonical k-mers");
   auto& cost_model = cli.add_string(
       "cost-model", "flat",
@@ -182,6 +187,8 @@ int cmd_count(int argc, char** argv) {
   cfg.canonical = canonical;
   cfg.pes = static_cast<int>(nodes * cores);
   cfg.pes_per_node = static_cast<int>(cores);
+  cfg.host_threads =
+      std::clamp(static_cast<int>(host_threads), 1, 64);
   cfg.machine.cores_per_node = static_cast<int>(cores);
   cfg.l3_enabled = l3;
   cfg.phase2_hash = hash;
