@@ -3,21 +3,12 @@
 #include <algorithm>
 
 #include "kmer/extract.hpp"
+#include "kmer/superkmer.hpp"
 #include "sort/accumulate.hpp"
 #include "sort/radix.hpp"
 #include "util/check.hpp"
 
 namespace dakc::baseline {
-
-namespace {
-
-/// Packed-base bytes of a super-k-mer run of `run` k-mers (2 bits/base).
-double superkmer_wire_bytes(std::size_t run, int k) {
-  const double bases = static_cast<double>(run) + static_cast<double>(k) - 1.0;
-  return bases / 4.0 + 4.0;  // + a small run header
-}
-
-}  // namespace
 
 void run_kmc3_pe(net::Pe& pe, const std::vector<std::string>& reads,
                  const core::CountConfig& config, const Kmc3Options& opts,
@@ -73,7 +64,7 @@ void run_kmc3_pe(net::Pe& pe, const std::vector<std::string>& reads,
     if (run_dst < 0) return;
     const std::size_t run_len = buf[run_dst].size() - run_begin - 1;
     buf[run_dst][run_begin] = run_len;
-    wire[run_dst] += superkmer_wire_bytes(run_len, k);
+    wire[run_dst] += kmer::superkmer_wire_bytes(run_len, k);
     if (buf[run_dst].size() >= opts.buffer_words) flush(run_dst);
     run_dst = -1;
   };

@@ -174,6 +174,18 @@ void CostModel::receive_append(net::Pe& pe, double bytes) {
   charge_delta(pe);
 }
 
+void CostModel::superkmer_expand(net::Pe& pe, double packed_bytes,
+                                 std::size_t kmers, double out_bytes) {
+  pe.charge_compute_ops(static_cast<double>(kmers));
+  if (!replaying()) {
+    pe.charge_mem_bytes(packed_bytes + out_bytes);
+    return;
+  }
+  roll_stream(kRollRecv, static_cast<std::uint64_t>(packed_bytes));
+  roll_stream(kRollEmit, static_cast<std::uint64_t>(out_bytes));
+  charge_delta(pe);
+}
+
 void CostModel::buffer_drain(net::Pe& pe, double bytes) {
   if (!replaying()) {
     pe.charge_mem_bytes(bytes);

@@ -117,6 +117,13 @@ class CostModel {
   /// window (appends land in fresh memory).
   void receive_append(net::Pe& pe, double bytes);
 
+  /// Expand packed super-k-mer runs: one op per rebuilt k-mer, a stream
+  /// over the `packed_bytes` of run payload, and a stream of the
+  /// `out_bytes` the expansion appends. Replay: both streams roll through
+  /// the receive/emit windows (arrivals and appends are fresh memory).
+  void superkmer_expand(net::Pe& pe, double packed_bytes, std::size_t kmers,
+                        double out_bytes);
+
   /// Sweep a bounded, reused staging buffer (L3 drain, hash-table
   /// extraction sweep). Replay: stream the same region from offset 0
   /// every time — hot when the buffer fits the cache.

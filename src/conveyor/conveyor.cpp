@@ -256,7 +256,10 @@ void Conveyor::route(int dst, const std::uint64_t* words, std::size_t n,
   lane.words.push_back(make_descriptor(dst, n, kind,
                                        static_cast<std::uint8_t>(hops + 1)));
   lane.words.insert(lane.words.end(), words, words + n);
-  lane.wire_bytes += header_wire_bytes_ + static_cast<double>(n) * 8.0;
+  lane.wire_bytes += header_wire_bytes_ +
+                     (config_.wire_model != nullptr
+                          ? config_.wire_model(kind, words, n)
+                          : static_cast<double>(n) * 8.0);
   if (lane.words.size() + 1 >= lane_capacity_words_) flush_lane(lane, next);
 }
 

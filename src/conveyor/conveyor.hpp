@@ -66,6 +66,14 @@ struct ConveyorConfig {
   Protocol protocol = Protocol::k1D;
   /// Lane capacity in bytes (paper Table III: 40 KiB per L0 buffer).
   std::size_t lane_bytes = 40 * 1024;
+  /// Modeled wire bytes of one packet's payload, by kind. Null (the
+  /// default, and the golden-pinned behavior) charges the host
+  /// representation: n * 8 bytes. Applications whose packets pack
+  /// denser than their in-memory words — super-k-mer runs at 2
+  /// bits/base — install a model here; it must depend only on the
+  /// packet's own words so relays recompute the identical value.
+  double (*wire_model)(std::uint8_t kind, const std::uint64_t* words,
+                       std::size_t n) = nullptr;
   /// Modeled CPU ops charged per push/relay. Covers the runtime's
   /// per-packet software path (descriptor build, lane lookup, bounds
   /// checks) — tens of nanoseconds per packet in the real library, which

@@ -81,6 +81,29 @@ struct CountConfig {
   /// {kmer, count} pair (paper: "> 2").
   std::uint64_t heavy_threshold = 2;
 
+  // -- super-k-mer transport + out-of-core minimizer bins (DAKC) ----------
+  /// Ship minimizer-delimited super-k-mer runs (2 bits/base on the wire)
+  /// instead of individual k-mers: the KMC 2 / MSPKmerCounter wire-byte
+  /// amortization promoted into the async pipeline (DESIGN.md §10).
+  /// Replaces L2/L3 buffering with per-destination packed-run buffers;
+  /// ownership moves to the run's minimizer. Default off — the flat and
+  /// replay goldens pin the per-k-mer transport.
+  bool superkmer = false;
+  /// Minimizer length m (clamped to k). 7 matches the kmc3 baseline.
+  int minimizer_len = 7;
+  /// Per-destination packed-run staging buffer, in 64-bit words (the
+  /// super-k-mer analogue of C2; one conveyor packet per flush).
+  std::size_t superkmer_buffer_words = 512;
+  /// Non-empty enables out-of-core counting: received runs are filed
+  /// into per-PE minimizer bins under this directory, spilled to disk
+  /// under memory pressure, and phase 2 counts one bin at a time with
+  /// bounded resident memory. Empty = expand in memory.
+  std::string tmp_dir;
+  /// Minimizer bins per PE in out-of-core mode.
+  int max_bins = 64;
+  /// Resident bytes of binned runs one PE holds before spilling.
+  std::size_t bin_resident_bytes = 1 << 20;
+
   // -- future-work extension (paper §VII) ---------------------------------
   /// Fold arriving k-mers into a local hash table instead of buffering
   /// them for the phase-2 sort: the "asynchronous updates" structure the
@@ -136,6 +159,16 @@ struct RunReport {
   std::uint64_t acks_sent = 0;
   std::uint64_t pressure_events = 0;
   std::uint64_t buffer_shrinks = 0;
+
+  // -- super-k-mer transport / out-of-core bins (all zero when
+  //    CountConfig::superkmer is off) --------------------------------------
+  std::uint64_t superkmer_runs = 0;   ///< packed runs shipped in phase 1
+  std::uint64_t superkmer_kmers = 0;  ///< k-mers those runs carried
+  double packed_wire_bytes = 0.0;     ///< modeled packed payload bytes
+  std::uint64_t bin_spills = 0;       ///< bin spill-to-disk events
+  double bin_spill_bytes = 0.0;       ///< bytes written to spill files
+  double bin_reload_bytes = 0.0;      ///< bytes read back in phase 2
+  double bin_peak_resident = 0.0;     ///< max over PEs of resident bin bytes
 
   // -- cache-replay cost model (sums over PEs; all zero under kFlat) -----
   std::uint64_t replay_accesses = 0;       ///< line touches replayed

@@ -88,6 +88,14 @@ void fill_report_from_fabric(const net::Fabric& fabric,
     report->replay_phase1_misses += o.replay_phase1.misses;
     report->replay_phase2_misses +=
         o.replay_total.misses - o.replay_phase1.misses;
+    report->superkmer_runs += o.superkmer_runs;
+    report->superkmer_kmers += o.superkmer_kmers;
+    report->packed_wire_bytes += o.packed_wire_bytes;
+    report->bin_spills += o.bin_spills;
+    report->bin_spill_bytes += o.bin_spill_bytes;
+    report->bin_reload_bytes += o.bin_reload_bytes;
+    report->bin_peak_resident =
+        std::max(report->bin_peak_resident, o.bin_peak_resident);
   }
   for (int n = 0; n < fabric.node_count(); ++n)
     report->node_mem_high = std::max(report->node_mem_high,

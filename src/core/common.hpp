@@ -34,6 +34,15 @@ struct PeOutput {
   /// phase-1 boundary plus the end-of-run totals.
   cachesim::ReplayStats replay_phase1;
   cachesim::ReplayStats replay_total;
+  /// Super-k-mer transport / out-of-core bin counters (zero unless
+  /// CountConfig::superkmer): summed (peak: maxed) into the RunReport.
+  std::uint64_t superkmer_runs = 0;
+  std::uint64_t superkmer_kmers = 0;
+  double packed_wire_bytes = 0.0;
+  std::uint64_t bin_spills = 0;
+  double bin_spill_bytes = 0.0;
+  double bin_reload_bytes = 0.0;
+  double bin_peak_resident = 0.0;
 };
 
 /// Merge per-PE slices into one k-mer-sorted vector (hash ownership

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 
 #include "actor/actor.hpp"
 #include "core/hash_counter.hpp"
+#include "io/bins.hpp"
 #include "kmer/extract.hpp"
+#include "kmer/superkmer.hpp"
 #include "sort/accumulate.hpp"
 #include "sort/radix.hpp"
 #include "sort/wc_radix.hpp"
@@ -15,8 +18,20 @@ namespace dakc::core {
 
 namespace {
 
+/// Conveyor wire model for super-k-mer mode: packed-run packets cost
+/// their 2-bit/base payload plus run headers; everything else (allreduce
+/// words, stray kinds) keeps the host-word charge. Depends only on the
+/// packet's own words, so 2D/3D relays recompute the identical value.
+double superkmer_wire_model(std::uint8_t kind, const std::uint64_t* words,
+                            std::size_t n) {
+  if (kind != kPacketSuper) return static_cast<double>(n) * 8.0;
+  return kmer::superkmer_buffer_wire_bytes(words, n);
+}
+
 /// Phase-1 state of one PE: the L2/L3 buffers in front of the actor
-/// runtime, plus the receive-side array T.
+/// runtime, plus the receive-side array T. In super-k-mer mode the L2/L3
+/// k-mer buffers are replaced by per-destination packed-run buffers and
+/// T by the expanded key array (or the disk-backed minimizer bins).
 class DakcPe {
  public:
   DakcPe(net::Pe& pe, cachesim::CostModel& cost, const CountConfig& config)
@@ -27,21 +42,41 @@ class DakcPe {
         l2n_(static_cast<std::size_t>(pe.size())),
         l2h_(static_cast<std::size_t>(pe.size())),
         c2_eff_(config.c2),
-        c3_eff_(config.c3) {
+        c3_eff_(config.c3),
+        packer_(config.k),
+        minimizer_len_(std::min(config.minimizer_len, config.k)),
+        sk_cap_eff_(config.superkmer_buffer_words) {
     actor_.set_handler([this](std::uint8_t kind, const std::uint64_t* w,
                               std::size_t n) { handle(kind, w, n); });
-    if (config_.l2_enabled) {
-      for (auto& b : l2n_) b.reserve(config_.c2);
-      for (auto& b : l2h_) b.reserve(config_.c2);
-      // Table III: L2 memory = 264 B per destination, two buffer sets.
-      l2_accounted_ = static_cast<double>(pe_.size()) *
-                      static_cast<double>(config_.c2) * 8.0 * 2.0;
-      pe_.account_alloc(l2_accounted_);
-    }
-    if (config_.l3_enabled) {
-      l3_.reserve(config_.c3);
-      l3_accounted_ = static_cast<double>(config_.c3) * 8.0;
-      pe_.account_alloc(l3_accounted_);
+    if (config_.superkmer) {
+      sk_buf_.resize(static_cast<std::size_t>(pe.size()));
+      // Staging memory mirrors L2's accounting: per-destination buffers
+      // at full capacity.
+      sk_accounted_ = static_cast<double>(pe_.size()) *
+                      static_cast<double>(sk_cap_eff_) * 8.0;
+      pe_.account_alloc(sk_accounted_);
+      update_max_run();
+      if (!config_.tmp_dir.empty()) {
+        io::BinStoreConfig bc;
+        bc.dir = config_.tmp_dir + "/pe" + std::to_string(pe.rank());
+        bc.bins = config_.max_bins;
+        bc.resident_limit_bytes = config_.bin_resident_bytes;
+        bins_ = std::make_unique<io::BinStore>(std::move(bc));
+      }
+    } else {
+      if (config_.l2_enabled) {
+        for (auto& b : l2n_) b.reserve(config_.c2);
+        for (auto& b : l2h_) b.reserve(config_.c2);
+        // Table III: L2 memory = 264 B per destination, two buffer sets.
+        l2_accounted_ = static_cast<double>(pe_.size()) *
+                        static_cast<double>(config_.c2) * 8.0 * 2.0;
+        pe_.account_alloc(l2_accounted_);
+      }
+      if (config_.l3_enabled) {
+        l3_.reserve(config_.c3);
+        l3_accounted_ = static_cast<double>(config_.c3) * 8.0;
+        pe_.account_alloc(l3_accounted_);
+      }
     }
     // Trivial flag-set callback (fabric contract); the heavy degradation
     // response runs at the next async_add, outside the fabric call stack.
@@ -51,8 +86,12 @@ class DakcPe {
 
   ~DakcPe() {
     pe_.remove_pressure_listener(pressure_handle_);
-    if (config_.l2_enabled) pe_.account_free(l2_accounted_);
-    if (config_.l3_enabled) pe_.account_free(l3_accounted_);
+    if (!config_.superkmer && config_.l2_enabled)
+      pe_.account_free(l2_accounted_);
+    if (!config_.superkmer && config_.l3_enabled)
+      pe_.account_free(l3_accounted_);
+    if (sk_accounted_ > 0.0) pe_.account_free(sk_accounted_);
+    if (bins_accounted_ > 0.0) pe_.account_free(bins_accounted_);
     if (t_accounted_ > 0.0) pe_.account_free(t_accounted_);
   }
 
@@ -68,14 +107,52 @@ class DakcPe {
     add_to_l2(km, 1);
   }
 
+  /// Super-k-mer AsyncAdd: group consecutive *as-parsed* windows sharing
+  /// a minimizer into one packed run; ownership follows the minimizer so
+  /// a whole run has a single destination. Canonical counting computes
+  /// the minimizer on the canonical form (the receiver canonicalizes
+  /// after expansion), keeping same-k-mer arrivals on one owner.
+  void async_add_super(kmer::Kmer64 km) {
+    if (pressure_flag_) degrade();
+    pe_.charge_compute_ops(2.0);  // rolling minimizer + run bookkeeping
+    const kmer::Kmer64 ck =
+        config_.canonical ? kmer::canonical(km, config_.k) : km;
+    const std::uint64_t min = kmer::minimizer(ck, config_.k, minimizer_len_);
+    if (packer_.open() && min == run_min_ && packer_.try_extend(km, max_run_))
+      return;
+    end_run();
+    run_min_ = min;
+    run_dst_ = static_cast<int>(min % static_cast<std::uint64_t>(pe_.size()));
+    packer_.begin(km);
+  }
+
+  /// Close the open super-k-mer run (read boundary, minimizer change,
+  /// non-extending window) and stage it toward its destination.
+  void end_run() {
+    if (!packer_.open()) return;
+    auto& buf = sk_buf_[static_cast<std::size_t>(run_dst_)];
+    if (!buf.empty() && buf.size() + packer_.emit_words() > sk_cap_eff_)
+      flush_sk(run_dst_);
+    ++sk_runs_;
+    sk_kmers_ += packer_.run();
+    sk_wire_ += kmer::superkmer_wire_bytes(packer_.run(), config_.k);
+    packer_.emit(bin_of(run_min_), buf);
+    if (buf.size() >= sk_cap_eff_) flush_sk(run_dst_);
+  }
+
   /// End of this PE's parse loop: push out every partial buffer, then
   /// drive the global phase boundary.
   void finish_phase1() {
-    if (config_.l3_enabled) flush_l3();
-    if (config_.l2_enabled) {
-      for (int p = 0; p < pe_.size(); ++p) {
-        flush_l2n(p);
-        flush_l2h(p);
+    if (config_.superkmer) {
+      end_run();
+      for (int p = 0; p < pe_.size(); ++p) flush_sk(p);
+    } else {
+      if (config_.l3_enabled) flush_l3();
+      if (config_.l2_enabled) {
+        for (int p = 0; p < pe_.size(); ++p) {
+          flush_l2n(p);
+          flush_l2h(p);
+        }
       }
     }
     actor_.done();
@@ -83,6 +160,18 @@ class DakcPe {
 
   std::vector<kmer::KmerCount64>& local_pairs() { return t_; }
   const actor::Actor& runtime() const { return actor_; }
+
+  void export_stats(PeOutput* out) const {
+    out->superkmer_runs = sk_runs_;
+    out->superkmer_kmers = sk_kmers_;
+    out->packed_wire_bytes = sk_wire_;
+    if (bins_) {
+      out->bin_spills = bins_->spills();
+      out->bin_spill_bytes = bins_->spill_bytes();
+      out->bin_reload_bytes = bins_->reload_bytes();
+      out->bin_peak_resident = bins_->peak_resident_bytes();
+    }
+  }
 
  private:
   static actor::ActorConfig make_actor_config(const CountConfig& c) {
@@ -95,6 +184,7 @@ class DakcPe {
     conveyor::ConveyorConfig v;
     v.protocol = c.protocol;
     v.lane_bytes = c.l0_lane_bytes;
+    if (c.superkmer) v.wire_model = &superkmer_wire_model;
     return v;
   }
 
@@ -102,6 +192,10 @@ class DakcPe {
   /// the hash table (future-work phase-2 mode).
   void handle(std::uint8_t kind, const std::uint64_t* w, std::size_t n) {
     if (pressure_flag_) degrade();
+    if (kind == kPacketSuper) {
+      handle_super(w, n);
+      return;
+    }
     if (config_.phase2_hash) {
       std::size_t probes = 0;
       if (kind == kPacketHeavy) {
@@ -134,6 +228,49 @@ class DakcPe {
     maybe_account_t();
   }
 
+  /// A [header | packed]* packet arrived. In-memory mode: expand every
+  /// run into the raw key array (canonicalizing per k-mer when asked).
+  /// Out-of-core mode: file runs into their sender-chosen minimizer bin
+  /// without expanding — expansion waits for phase 2's per-bin pass.
+  void handle_super(const std::uint64_t* w, std::size_t n) {
+    std::size_t kmers = 0;
+    double packed_bytes = 0.0;
+    if (bins_) {
+      kmer::for_each_packed_run(
+          w, n, [&](std::uint64_t h, const std::uint64_t* packed) {
+            kmers += kmer::run_header_run(h);
+            packed_bytes +=
+                static_cast<double>(kmer::run_header_bases(h)) / 4.0 + 4.0;
+            const auto bin = static_cast<int>(
+                kmer::run_header_bin(h) %
+                static_cast<std::uint64_t>(bins_->bins()));
+            // packed - 1 is the run's header word inside the packet, so
+            // one append files the contiguous [header | packed] record.
+            bins_->append(bin, packed - 1,
+                          1 + kmer::superkmer_words(kmer::run_header_bases(h)));
+          });
+      cost_.receive_append(pe_, packed_bytes);  // filing, not expansion
+      sync_bins_account();
+      return;
+    }
+    const std::size_t old_size = sk_keys_.size();
+    const int k = config_.k;
+    kmer::for_each_packed_run(
+        w, n, [&](std::uint64_t h, const std::uint64_t* packed) {
+          kmers += kmer::run_header_run(h);
+          packed_bytes +=
+              static_cast<double>(kmer::run_header_bases(h)) / 4.0 + 4.0;
+          kmer::expand_superkmer(h, packed, k, [&](kmer::Kmer64 km) {
+            sk_keys_.push_back(config_.canonical ? kmer::canonical(km, k)
+                                                 : km);
+          });
+        });
+    cost_.superkmer_expand(
+        pe_, packed_bytes, kmers,
+        static_cast<double>(sk_keys_.size() - old_size) * 8.0);
+    maybe_account_keys();
+  }
+
   void maybe_account_hash() {
     const double bytes = hash_.storage_bytes();
     if (bytes > t_accounted_) {
@@ -158,6 +295,85 @@ class DakcPe {
     return counts;
   }
 
+  /// Phase 2 in super-k-mer mode. In-memory: the expanded raw keys run
+  /// through the fused wc_radix sort+accumulate (this path feeds no
+  /// pinned golden, so the buffered engine substitutes per DESIGN.md
+  /// §6.1). Out-of-core: one bin at a time — load, expand, count, drop —
+  /// so the resident working set is one bin plus the output, not the
+  /// whole spectrum.
+  void superkmer_phase2(PeOutput* out) {
+    if (!bins_) {
+      sort::SortStats st;
+      auto counts = sort::wc_sort_accumulate(sk_keys_, &st);
+      cost_.sort(pe_, st, 8);
+      cost_.accumulate(pe_, counts.size(), sizeof(kmer::KmerCount64));
+      const double counts_bytes = static_cast<double>(counts.size()) * 16.0;
+      pe_.account_alloc(counts_bytes);
+      pe_.account_free(t_accounted_);  // the key scratch is released
+      t_accounted_ = counts_bytes;
+      sk_keys_ = std::vector<std::uint64_t>();
+      out->counts = std::move(counts);
+      out->phase2_end = pe_.now();
+      return;
+    }
+    std::vector<kmer::KmerCount64> all;
+    for (int b = 0; b < bins_->bins(); ++b) {
+      std::vector<std::uint64_t> words = bins_->load(b);
+      const double reload = bins_->reload_bytes();
+      if (reload > charged_reload_) {  // spilled prefix re-streams in
+        cost_.stream_touch(pe_, reload - charged_reload_);
+        charged_reload_ = reload;
+      }
+      if (words.empty()) {
+        bins_->drop(b);
+        sync_bins_account();
+        continue;
+      }
+      const double loaded_bytes = static_cast<double>(words.size()) * 8.0;
+      pe_.account_alloc(loaded_bytes);
+      std::size_t kmers = 0;
+      double packed_bytes = 0.0;
+      kmer::for_each_packed_run(
+          words.data(), words.size(),
+          [&](std::uint64_t h, const std::uint64_t*) {
+            kmers += kmer::run_header_run(h);
+            packed_bytes +=
+                static_cast<double>(kmer::run_header_bases(h)) / 4.0 + 4.0;
+          });
+      std::vector<std::uint64_t> keys;
+      keys.reserve(kmers);
+      pe_.account_alloc(static_cast<double>(kmers) * 8.0);
+      const int k = config_.k;
+      kmer::for_each_packed_run(
+          words.data(), words.size(),
+          [&](std::uint64_t h, const std::uint64_t* packed) {
+            kmer::expand_superkmer(h, packed, k, [&](kmer::Kmer64 km) {
+              keys.push_back(config_.canonical ? kmer::canonical(km, k) : km);
+            });
+          });
+      cost_.superkmer_expand(pe_, packed_bytes, kmers,
+                             static_cast<double>(kmers) * 8.0);
+      words = std::vector<std::uint64_t>();
+      pe_.account_free(loaded_bytes);
+      sort::SortStats st;
+      auto counts = sort::wc_sort_accumulate(keys, &st);
+      cost_.sort(pe_, st, 8);
+      cost_.accumulate(pe_, counts.size(), sizeof(kmer::KmerCount64));
+      pe_.account_free(static_cast<double>(kmers) * 8.0);
+      const double grow = static_cast<double>(counts.size()) * 16.0;
+      pe_.account_alloc(grow);
+      t_accounted_ += grow;
+      all.insert(all.end(), counts.begin(), counts.end());
+      bins_->drop(b);
+      sync_bins_account();
+    }
+    // Bins partition k-mer types (the bin is a function of the k-mer's
+    // minimizer), so the concatenation has no duplicate keys; the
+    // gathered result is re-sorted globally by merge_slices.
+    out->counts = std::move(all);
+    out->phase2_end = pe_.now();
+  }
+
  private:
 
   void maybe_account_t() {
@@ -168,13 +384,58 @@ class DakcPe {
     }
   }
 
+  void maybe_account_keys() {
+    const double bytes = static_cast<double>(sk_keys_.size()) * 8.0;
+    if (bytes > t_accounted_ + (1 << 16)) {
+      pe_.account_alloc(bytes - t_accounted_);
+      t_accounted_ = bytes;
+    }
+  }
+
+  /// Keep the fabric's memory accounting and the disk-traffic charges in
+  /// step with the bin store after any append/spill/drop.
+  void sync_bins_account() {
+    const double spilled = bins_->spill_bytes();
+    if (spilled > charged_spill_) {  // spill writes stream the bins out
+      cost_.stream_touch(pe_, spilled - charged_spill_);
+      charged_spill_ = spilled;
+    }
+    const double resident = bins_->resident_bytes();
+    if (resident > bins_accounted_) {
+      pe_.account_alloc(resident - bins_accounted_);
+      bins_accounted_ = resident;
+    } else if (resident < bins_accounted_) {
+      pe_.account_free(bins_accounted_ - resident);
+      bins_accounted_ = resident;
+    }
+  }
+
   /// Graceful degradation (memory-pressure response): flush every staging
   /// buffer toward its destination, then halve the effective L2/L3
   /// capacities so this PE buffers less until the episode ends. Receive
   /// array T is NOT shrinkable — it holds the phase-1 result — so under
   /// sustained pressure a run still ends in hard OOM at the limit.
+  /// Super-k-mer mode responds analogously: staged runs flush, binned
+  /// arrivals spill to disk, and the staging budget halves.
   void degrade() {
     pressure_flag_ = false;
+    if (config_.superkmer) {
+      end_run();
+      for (int p = 0; p < pe_.size(); ++p) flush_sk(p);
+      if (bins_) {
+        bins_->spill_all();
+        sync_bins_account();
+      }
+      if (sk_cap_eff_ > 16) {
+        sk_cap_eff_ = std::max<std::size_t>(16, sk_cap_eff_ / 2);
+        const double freed = sk_accounted_ / 2.0;
+        sk_accounted_ -= freed;
+        pe_.account_free(freed);
+        update_max_run();
+        ++pe_.counters().buffer_shrinks;
+      }
+      return;
+    }
     if (config_.l3_enabled) {
       flush_l3();
       if (c3_eff_ > 16) {
@@ -265,6 +526,29 @@ class DakcPe {
     b.clear();
   }
 
+  void flush_sk(int p) {
+    auto& b = sk_buf_[static_cast<std::size_t>(p)];
+    if (b.empty()) return;
+    actor_.send(p, b.data(), b.size(), kPacketSuper);
+    b.clear();
+  }
+
+  /// Receiver-side minimizer bin, stamped into the run header by the
+  /// sender: the minimizer's high bits, independent of the low-bit owner
+  /// selection (min % pes).
+  std::uint64_t bin_of(std::uint64_t min) const {
+    return (min >> 32) % static_cast<std::uint64_t>(config_.max_bins);
+  }
+
+  /// Cap a run so its emitted record fits one staging buffer (and the
+  /// header's 24-bit run field).
+  void update_max_run() {
+    const std::size_t max_bases = (sk_cap_eff_ - 1) * 32;
+    max_run_ = std::min<std::size_t>(
+        kmer::kMaxRunKmers,
+        max_bases - static_cast<std::size_t>(config_.k) + 1);
+  }
+
   net::Pe& pe_;
   cachesim::CostModel& cost_;
   const CountConfig& config_;
@@ -282,6 +566,24 @@ class DakcPe {
   double l3_accounted_ = 0.0;
   bool pressure_flag_ = false;
   std::size_t pressure_handle_ = 0;
+  // -- super-k-mer transport state ----------------------------------------
+  kmer::SuperkmerPacker<> packer_;
+  int minimizer_len_;
+  std::uint64_t run_min_ = 0;  ///< open run's minimizer value
+  int run_dst_ = 0;            ///< open run's destination PE
+  std::size_t max_run_ = 0;
+  std::vector<std::vector<std::uint64_t>> sk_buf_;  // per-dest packed runs
+  std::size_t sk_cap_eff_;     ///< staging words per destination (halves
+                               ///< under pressure, like C2)
+  double sk_accounted_ = 0.0;
+  std::vector<std::uint64_t> sk_keys_;  ///< receive side: expanded keys
+  std::unique_ptr<io::BinStore> bins_;  ///< out-of-core receive side
+  double bins_accounted_ = 0.0;
+  double charged_spill_ = 0.0;
+  double charged_reload_ = 0.0;
+  std::uint64_t sk_runs_ = 0;
+  std::uint64_t sk_kmers_ = 0;
+  double sk_wire_ = 0.0;
 };
 
 }  // namespace
@@ -293,6 +595,19 @@ void run_dakc_pe(net::Pe& pe, const std::vector<std::string>& reads,
   DAKC_CHECK(config.c2 >= 2 && config.c3 >= 2);
   DAKC_CHECK_MSG(config.c2 * 8 + 16 <= config.l0_lane_bytes,
                  "C2 packets must fit inside an L0 lane");
+  if (config.superkmer) {
+    DAKC_CHECK_MSG(!config.phase2_hash,
+                   "super-k-mer transport feeds the phase-2 sort, not the "
+                   "hash extension");
+    DAKC_CHECK_MSG(config.minimizer_len >= 1, "minimizer_len must be >= 1");
+    DAKC_CHECK_MSG(config.superkmer_buffer_words >= 16 &&
+                       config.superkmer_buffer_words * 8 <=
+                           config.l0_lane_bytes / 2,
+                   "superkmer_buffer_words must be >= 16 and packets must "
+                   "fit well inside an L0 lane");
+    DAKC_CHECK_MSG(config.max_bins >= 1 && config.max_bins <= kmer::kMaxBins,
+                   "max_bins must be in [1, 65536]");
+  }
   pe.barrier();  // global sync #1: start of the counting epoch
 
   cachesim::CostModel cost = make_cost_model(config, pe);
@@ -304,21 +619,31 @@ void run_dakc_pe(net::Pe& pe, const std::vector<std::string>& reads,
     const std::string& read = reads[i];
     const std::size_t emitted =
         kmer::for_each_kmer(read, k, [&](kmer::Kmer64 km) {
+          if (config.superkmer) {
+            // As-parsed windows keep runs contiguous; canonicalization
+            // happens after expansion at the owner.
+            state.async_add_super(km);
+            return;
+          }
           if (config.canonical) km = kmer::canonical(km, k);
           state.async_add(km);
         });
+    if (config.superkmer) state.end_run();  // runs never straddle reads
     cost.parse(pe, read.size(), emitted);
   }
   state.finish_phase1();  // global sync #2: the phase-1/2 barrier
   out->phase1_end = pe.now();
   out->replay_phase1 = cost.stats();
 
-  if (config.phase2_hash) {
+  if (config.superkmer) {
+    state.superkmer_phase2(out);
+  } else if (config.phase2_hash) {
     out->counts = state.extract_hash_counts();
     out->phase2_end = pe.now();
   } else {
     sort_and_accumulate_local(pe, cost, state.local_pairs(), out);
   }
+  state.export_stats(out);
   pe.barrier();  // global sync #3: end of the counting epoch
   out->phase2_end = pe.now();
   out->replay_total = cost.stats();

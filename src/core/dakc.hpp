@@ -33,5 +33,8 @@ void run_dakc_pe(net::Pe& pe, const std::vector<std::string>& reads,
 /// Packet kinds on the wire (conveyor `kind` byte).
 inline constexpr std::uint8_t kPacketNormal = 0;  ///< raw k-mers
 inline constexpr std::uint8_t kPacketHeavy = 1;   ///< {kmer, count} pairs
+/// Packed super-k-mer runs ([header | bases]*, kmer/superkmer.hpp); the
+/// conveyor wire model charges these at 2 bits/base + run headers.
+inline constexpr std::uint8_t kPacketSuper = 2;
 
 }  // namespace dakc::core

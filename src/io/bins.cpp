@@ -1,0 +1,109 @@
+#include "io/bins.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "util/check.hpp"
+
+namespace dakc::io {
+
+namespace fs = std::filesystem;
+
+BinStore::BinStore(BinStoreConfig config) : config_(std::move(config)) {
+  DAKC_CHECK_MSG(!config_.dir.empty(), "BinStoreConfig.dir must be set");
+  DAKC_CHECK_MSG(config_.bins >= 1 && config_.bins <= (1 << 16),
+                 "BinStoreConfig.bins must be in [1, 65536]");
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  DAKC_CHECK_MSG(!ec, "cannot create bin directory: " + config_.dir);
+  bins_.resize(static_cast<std::size_t>(config_.bins));
+}
+
+BinStore::~BinStore() {
+  // Cleanup must survive error unwinding (OomError mid-run): best-effort
+  // removal of every spill file, then of the (now empty) directory.
+  std::error_code ec;
+  for (int b = 0; b < config_.bins; ++b)
+    if (bins_[static_cast<std::size_t>(b)].on_disk)
+      fs::remove(path_for(b), ec);
+  fs::remove(config_.dir, ec);
+}
+
+std::string BinStore::path_for(int bin) const {
+  return config_.dir + "/bin" + std::to_string(bin) + ".skm";
+}
+
+void BinStore::append(int bin, const std::uint64_t* words, std::size_t n) {
+  DAKC_CHECK(bin >= 0 && bin < config_.bins);
+  auto& b = bins_[static_cast<std::size_t>(bin)];
+  b.words.insert(b.words.end(), words, words + n);
+  resident_ += static_cast<double>(n) * 8.0;
+  peak_resident_ = std::max(peak_resident_, resident_);
+  if (resident_ > static_cast<double>(config_.resident_limit_bytes))
+    spill_all();
+}
+
+double BinStore::spill_all() {
+  double written = 0.0;
+  for (int i = 0; i < config_.bins; ++i) {
+    auto& b = bins_[static_cast<std::size_t>(i)];
+    if (b.words.empty()) continue;
+    std::FILE* f = std::fopen(path_for(i).c_str(), "ab");
+    DAKC_CHECK_MSG(f != nullptr, "cannot open spill file: " + path_for(i));
+    const std::size_t n =
+        std::fwrite(b.words.data(), sizeof(std::uint64_t), b.words.size(), f);
+    std::fclose(f);
+    DAKC_CHECK_MSG(n == b.words.size(),
+                   "short write to spill file: " + path_for(i));
+    b.on_disk = true;
+    written += static_cast<double>(n) * 8.0;
+    b.words.clear();
+    b.words.shrink_to_fit();
+  }
+  if (written > 0.0) {
+    ++spills_;
+    spill_bytes_ += written;
+    resident_ = 0.0;
+  }
+  return written;
+}
+
+std::vector<std::uint64_t> BinStore::load(int bin) {
+  DAKC_CHECK(bin >= 0 && bin < config_.bins);
+  auto& b = bins_[static_cast<std::size_t>(bin)];
+  std::vector<std::uint64_t> out;
+  if (b.on_disk) {
+    const std::string path = path_for(bin);
+    std::error_code ec;
+    const auto file_bytes = fs::file_size(path, ec);
+    DAKC_CHECK_MSG(!ec && file_bytes % 8 == 0,
+                   "unreadable spill file: " + path);
+    const std::size_t n = static_cast<std::size_t>(file_bytes / 8);
+    out.resize(n);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    DAKC_CHECK_MSG(f != nullptr, "cannot open spill file: " + path);
+    const std::size_t got =
+        n == 0 ? 0 : std::fread(out.data(), sizeof(std::uint64_t), n, f);
+    std::fclose(f);
+    DAKC_CHECK_MSG(got == n, "short read from spill file: " + path);
+    reload_bytes_ += static_cast<double>(n) * 8.0;
+  }
+  out.insert(out.end(), b.words.begin(), b.words.end());
+  return out;
+}
+
+void BinStore::drop(int bin) {
+  DAKC_CHECK(bin >= 0 && bin < config_.bins);
+  auto& b = bins_[static_cast<std::size_t>(bin)];
+  resident_ -= static_cast<double>(b.words.size()) * 8.0;
+  b.words.clear();
+  b.words.shrink_to_fit();
+  if (b.on_disk) {
+    std::error_code ec;
+    fs::remove(path_for(bin), ec);
+    b.on_disk = false;
+  }
+}
+
+}  // namespace dakc::io

@@ -1,0 +1,85 @@
+// Disk-backed minimizer bins for out-of-core counting (DESIGN.md §10).
+//
+// A BinStore files [header | packed]* super-k-mer runs (kmer/superkmer.hpp
+// format) into per-bin buffers. When the resident bytes exceed the
+// configured limit — or when the owner reacts to a memory-pressure rung —
+// every bin's buffered words are appended to its spill file and the
+// resident memory is released. Phase 2 then load()s one bin at a time
+// (disk part first, then the still-resident tail, i.e. exact append
+// order), so the counting working set is one bin, not the spectrum.
+//
+// The store is passive: it never touches the simulated fabric. The owner
+// (DakcPe) polls resident_bytes() to keep the fabric's memory accounting
+// in sync and charges spill/reload traffic through its cost model.
+// KMC-style lifecycle discipline: the destructor removes every spill
+// file and the store's directory even when the run aborts mid-phase
+// (OomError unwinding), so no temp garbage outlives a failed run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dakc::io {
+
+struct BinStoreConfig {
+  /// Directory holding this store's spill files. Created (recursively)
+  /// by the constructor, owned exclusively by the store, and removed by
+  /// the destructor; concurrent stores must use distinct directories.
+  std::string dir;
+  int bins = 64;
+  /// Resident bytes across all bins before append() spills to disk.
+  std::size_t resident_limit_bytes = 1 << 20;
+};
+
+class BinStore {
+ public:
+  explicit BinStore(BinStoreConfig config);
+  ~BinStore();
+
+  BinStore(const BinStore&) = delete;
+  BinStore& operator=(const BinStore&) = delete;
+
+  int bins() const { return config_.bins; }
+
+  /// File `n` words into `bin`, spilling every bin when the resident
+  /// limit is exceeded afterwards.
+  void append(int bin, const std::uint64_t* words, std::size_t n);
+
+  /// Append every bin's resident words to its spill file and release the
+  /// resident memory. Returns the bytes written (0 when nothing was
+  /// resident). Also the memory-pressure response hook.
+  double spill_all();
+
+  /// All words ever appended to `bin`, in append order (spilled prefix
+  /// read back from disk, then the resident tail).
+  std::vector<std::uint64_t> load(int bin);
+
+  /// Release `bin` entirely: resident words freed, spill file removed.
+  void drop(int bin);
+
+  // -- stats (all byte counts are exact, not modeled) ---------------------
+  double resident_bytes() const { return resident_; }
+  double peak_resident_bytes() const { return peak_resident_; }
+  std::uint64_t spills() const { return spills_; }
+  double spill_bytes() const { return spill_bytes_; }
+  double reload_bytes() const { return reload_bytes_; }
+
+ private:
+  struct Bin {
+    std::vector<std::uint64_t> words;  // resident tail
+    bool on_disk = false;              // a spill file exists
+  };
+
+  std::string path_for(int bin) const;
+
+  BinStoreConfig config_;
+  std::vector<Bin> bins_;
+  double resident_ = 0.0;
+  double peak_resident_ = 0.0;
+  std::uint64_t spills_ = 0;
+  double spill_bytes_ = 0.0;
+  double reload_bytes_ = 0.0;
+};
+
+}  // namespace dakc::io

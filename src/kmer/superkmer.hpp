@@ -1,0 +1,171 @@
+// Super-k-mers: minimizer-delimited runs of consecutive k-mers stored as
+// one base string (KMC 2 / MSPKmerCounter). A run of r k-mers sharing a
+// minimizer covers r + k - 1 bases; packed at 2 bits/base it costs
+// (r+k-1)/4 bytes on the wire instead of 8r — the amortization that
+// motivates both the kmc3 baseline's transfers and the distributed
+// super-k-mer transport (DESIGN.md §10).
+//
+// Wire/buffer format shared by the sender, the conveyor wire model, the
+// receiver, and the disk bins: a sequence of runs, each
+//
+//   [header word | ceil(bases/32) packed words]
+//
+// with header [bin:16 | bases:24 | run:24] and bases packed first-base-
+// first into the low bits of each word (32 bases per 64-bit word). The
+// header carries everything a relay or receiver needs: `bases` sizes the
+// packed payload (no k required to walk a buffer), `run` counts the
+// k-mers it expands to, and `bin` names the receiver-side minimizer bin
+// chosen by the sender (out-of-core mode files the run without
+// recomputing minimizers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kmer/encoding.hpp"
+#include "util/check.hpp"
+
+namespace dakc::kmer {
+
+/// Modeled wire bytes of one super-k-mer run of `run` k-mers: the packed
+/// bases plus a small run header. Single source of truth for the kmc3
+/// baseline and the DAKC super-k-mer transport.
+constexpr double superkmer_wire_bytes(std::size_t run, int k) {
+  const double bases = static_cast<double>(run) + static_cast<double>(k) - 1.0;
+  return bases / 4.0 + 4.0;  // + a small run header
+}
+
+/// Header field widths bound run length and bin count.
+inline constexpr std::size_t kMaxRunKmers = (1u << 24) - 1;
+inline constexpr std::size_t kMaxRunBases = (1u << 24) - 1;
+inline constexpr int kMaxBins = 1 << 16;
+
+constexpr std::uint64_t make_run_header(std::size_t run, std::size_t bases,
+                                        std::uint64_t bin) {
+  return static_cast<std::uint64_t>(run) |
+         (static_cast<std::uint64_t>(bases) << 24) | (bin << 48);
+}
+constexpr std::size_t run_header_run(std::uint64_t h) {
+  return static_cast<std::size_t>(h & 0xFFFFFFu);
+}
+constexpr std::size_t run_header_bases(std::uint64_t h) {
+  return static_cast<std::size_t>((h >> 24) & 0xFFFFFFu);
+}
+constexpr std::uint64_t run_header_bin(std::uint64_t h) { return h >> 48; }
+
+/// Packed words holding `bases` 2-bit codes (32 per word).
+constexpr std::size_t superkmer_words(std::size_t bases) {
+  return (bases + 31) / 32;
+}
+
+/// Accumulates one run: begin() with its first k-mer, try_extend() with
+/// each following window, emit() the [header | packed] record. The
+/// packer stores *as-parsed* bases — canonical counting canonicalizes
+/// after expansion, so a run stays one contiguous base string even when
+/// its windows flip strands.
+template <typename Word = Kmer64>
+class SuperkmerPacker {
+ public:
+  explicit SuperkmerPacker(int k) : k_(k) {
+    DAKC_CHECK(k >= 1 && k <= KmerTraits<Word>::kMaxK);
+  }
+
+  bool open() const { return run_ > 0; }
+  std::size_t run() const { return run_; }
+  std::size_t bases() const { return bases_; }
+  /// Words emit() will append, including the header.
+  std::size_t emit_words() const { return 1 + superkmer_words(bases_); }
+
+  /// Start a new run from its first k-mer.
+  void begin(Word km) {
+    DAKC_ASSERT(!open());
+    packed_.clear();
+    bases_ = 0;
+    run_ = 1;
+    prev_ = km;
+    for (int i = 0; i < k_; ++i) push_base(kmer_base(km, i, k_));
+  }
+
+  /// Extend with the next window if it continues the previous one (the
+  /// new k-mer's first k-1 bases equal the previous k-mer's last k-1) and
+  /// the run stays under `max_run`. Returns false — leaving the run
+  /// untouched — when the caller must end_run()/begin() instead.
+  bool try_extend(Word km, std::size_t max_run) {
+    if (!open() || run_ >= max_run || run_ >= kMaxRunKmers) return false;
+    if (k_ > 1 && (km >> 2) != (prev_ & kmer_mask<Word>(k_ - 1))) return false;
+    push_base(static_cast<std::uint8_t>(km & 3));
+    ++run_;
+    prev_ = km;
+    return true;
+  }
+
+  /// Append [header | packed words] for the open run to `out` and reset.
+  void emit(std::uint64_t bin, std::vector<std::uint64_t>& out) {
+    DAKC_ASSERT(open());
+    DAKC_ASSERT(bases_ == run_ + static_cast<std::size_t>(k_) - 1);
+    out.push_back(make_run_header(run_, bases_, bin));
+    out.insert(out.end(), packed_.begin(), packed_.end());
+    run_ = 0;
+  }
+
+ private:
+  void push_base(std::uint8_t code) {
+    if (bases_ % 32 == 0) packed_.push_back(0);
+    packed_.back() |= static_cast<std::uint64_t>(code) << (2 * (bases_ % 32));
+    ++bases_;
+  }
+
+  int k_;
+  Word prev_ = 0;
+  std::size_t run_ = 0;
+  std::size_t bases_ = 0;
+  std::vector<std::uint64_t> packed_;
+};
+
+/// Rebuild every k-mer of one packed run, invoking `fn(kmer)` in the
+/// original left-to-right order (the exact windows the packer consumed).
+template <typename Word = Kmer64, typename Fn>
+void expand_superkmer(std::uint64_t header, const std::uint64_t* packed,
+                      int k, Fn&& fn) {
+  const std::size_t bases = run_header_bases(header);
+  DAKC_ASSERT(bases == run_header_run(header) +
+                           static_cast<std::size_t>(k) - 1);
+  const Word mask = kmer_mask<Word>(k);
+  Word km = 0;
+  for (std::size_t i = 0; i < bases; ++i) {
+    const auto code = static_cast<std::uint8_t>(
+        (packed[i / 32] >> (2 * (i % 32))) & 3);
+    km = ((km << 2) | Word{code}) & mask;
+    if (i + 1 >= static_cast<std::size_t>(k)) fn(km);
+  }
+}
+
+/// Walk a [header | packed]* buffer, invoking `fn(header, packed_ptr)`
+/// per run. Validates that every run's payload fits the buffer.
+template <typename Fn>
+void for_each_packed_run(const std::uint64_t* words, std::size_t n,
+                         Fn&& fn) {
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint64_t header = words[i++];
+    const std::size_t nw = superkmer_words(run_header_bases(header));
+    DAKC_CHECK_MSG(i + nw <= n, "corrupt super-k-mer buffer");
+    fn(header, words + i);
+    i += nw;
+  }
+}
+
+/// Modeled wire bytes of a whole [header | packed]* buffer: the sum of
+/// its runs' packed-base payloads plus one run header each. This is the
+/// conveyor's wire model for super-k-mer packets — relays recompute the
+/// identical value from the headers alone.
+inline double superkmer_buffer_wire_bytes(const std::uint64_t* words,
+                                          std::size_t n) {
+  double bytes = 0.0;
+  for_each_packed_run(words, n, [&](std::uint64_t header, const std::uint64_t*) {
+    bytes += static_cast<double>(run_header_bases(header)) / 4.0 + 4.0;
+  });
+  return bytes;
+}
+
+}  // namespace dakc::kmer

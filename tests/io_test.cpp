@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
+#include <memory>
 #include <sstream>
+#include <vector>
 
+#include "io/bins.hpp"
 #include "io/fastx.hpp"
 
 namespace dakc::io {
@@ -116,6 +121,111 @@ TEST(Fastx, TotalBases) {
   recs[0].seq = "ACGT";
   recs[1].seq = "AA";
   EXPECT_EQ(total_bases(recs), 6u);
+}
+
+// --- BinStore: disk-backed minimizer bins (DESIGN.md §10) ------------------
+
+namespace fs = std::filesystem;
+
+BinStoreConfig bin_config(const std::string& name, std::size_t limit) {
+  BinStoreConfig c;
+  c.dir = (fs::temp_directory_path() / name).string();
+  c.bins = 4;
+  c.resident_limit_bytes = limit;
+  return c;
+}
+
+std::vector<std::uint64_t> seq_words(std::uint64_t start, std::size_t n) {
+  std::vector<std::uint64_t> w(n);
+  for (std::size_t i = 0; i < n; ++i) w[i] = start + i;
+  return w;
+}
+
+TEST(BinStore, ResidentRoundTripInAppendOrder) {
+  BinStore store(bin_config("dakc_bins_resident", 1 << 20));
+  const auto a = seq_words(100, 5);
+  const auto b = seq_words(900, 3);
+  store.append(1, a.data(), a.size());
+  store.append(2, b.data(), b.size());
+  store.append(1, b.data(), b.size());
+  EXPECT_EQ(store.spills(), 0u);
+  EXPECT_EQ(store.resident_bytes(), 8.0 * (5 + 3 + 3));
+  auto got = store.load(1);
+  auto want = a;
+  want.insert(want.end(), b.begin(), b.end());
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(store.load(2), b);
+  EXPECT_TRUE(store.load(3).empty());
+}
+
+TEST(BinStore, SpillsOverLimitAndLoadsDiskPrefixFirst) {
+  // 64-byte limit: the second append pushes resident past it and every
+  // bin spills; later appends land in the resident tail, and load()
+  // returns spilled prefix + tail = exact append order.
+  BinStore store(bin_config("dakc_bins_spill", 64));
+  const auto a = seq_words(0, 6);   // 48 B
+  const auto b = seq_words(50, 4);  // 32 B -> spill at 80 B resident
+  const auto c = seq_words(70, 2);
+  store.append(0, a.data(), a.size());
+  EXPECT_EQ(store.spills(), 0u);
+  store.append(0, b.data(), b.size());
+  EXPECT_EQ(store.spills(), 1u);
+  EXPECT_EQ(store.resident_bytes(), 0.0);
+  EXPECT_EQ(store.spill_bytes(), 80.0);
+  EXPECT_EQ(store.peak_resident_bytes(), 80.0);
+  store.append(0, c.data(), c.size());
+  auto want = a;
+  want.insert(want.end(), b.begin(), b.end());
+  want.insert(want.end(), c.begin(), c.end());
+  EXPECT_EQ(store.load(0), want);
+  EXPECT_EQ(store.reload_bytes(), 80.0);  // only the disk prefix re-reads
+}
+
+TEST(BinStore, DropReleasesResidentAndRemovesSpillFile) {
+  auto cfg = bin_config("dakc_bins_drop", 32);
+  const fs::path dir = cfg.dir;
+  BinStore store(std::move(cfg));
+  const auto a = seq_words(0, 8);  // 64 B -> immediate spill
+  store.append(3, a.data(), a.size());
+  EXPECT_EQ(store.spills(), 1u);
+  EXPECT_TRUE(fs::exists(dir / "bin3.skm"));
+  store.drop(3);
+  EXPECT_FALSE(fs::exists(dir / "bin3.skm"));
+  EXPECT_EQ(store.resident_bytes(), 0.0);
+  EXPECT_TRUE(store.load(3).empty());
+}
+
+TEST(BinStore, DestructorRemovesFilesAndDirectory) {
+  // The KMC-style lifecycle pin: even with spill files on disk (e.g. an
+  // OomError unwinding mid-run), destruction leaves nothing behind.
+  auto cfg = bin_config("dakc_bins_cleanup", 16);
+  const fs::path dir = cfg.dir;
+  {
+    BinStore store(std::move(cfg));
+    const auto a = seq_words(0, 4);
+    store.append(0, a.data(), a.size());
+    store.append(1, a.data(), a.size());
+    EXPECT_GE(store.spills(), 1u);
+    EXPECT_TRUE(fs::exists(dir));
+  }
+  EXPECT_FALSE(fs::exists(dir));
+}
+
+TEST(BinStore, SpillAllIsIdempotentAndCountsOnce) {
+  BinStore store(bin_config("dakc_bins_spillall", 1 << 20));
+  const auto a = seq_words(5, 3);
+  store.append(2, a.data(), a.size());
+  EXPECT_EQ(store.spill_all(), 24.0);
+  EXPECT_EQ(store.spill_all(), 0.0);  // nothing resident -> no-op
+  EXPECT_EQ(store.spills(), 1u);
+  EXPECT_EQ(store.load(2), a);
+}
+
+TEST(BinStore, RejectsBadBinCount) {
+  auto cfg = bin_config("dakc_bins_bad", 64);
+  cfg.bins = 0;
+  EXPECT_THROW(std::make_unique<BinStore>(std::move(cfg)),
+               std::logic_error);
 }
 
 TEST(Fastx, StreamingReaderCountsRecords) {

@@ -1,0 +1,369 @@
+// Super-k-mer transport + out-of-core minimizer bins (DESIGN.md §10).
+//
+// The packed-run transport (CountConfig::superkmer) changes HOW k-mers
+// travel — minimizer-delimited base runs at 2 bits/base instead of 8-byte
+// words — and out-of-core mode changes WHERE arrivals wait for phase 2
+// (disk-backed bins instead of the resident key array). Neither may
+// change WHAT is counted:
+//
+//  1. pack → wire → expand reproduces the exact window sequence the
+//     parser emitted (including read-boundary breaks and strand flips);
+//  2. superkmer runs produce the same spectra as per-k-mer transport,
+//     canonical or not — pinned on the golden workload's hash;
+//  3. the transport must actually earn its keep: golden-workload wire
+//     bytes >= 3x lower and a strictly better replay makespan;
+//  4. out-of-core runs are bit-deterministic at any host-thread count and
+//     leave no temp files behind, even when the run dies in OOM.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "kmer/extract.hpp"
+#include "kmer/superkmer.hpp"
+#include "sim/datasets.hpp"
+
+namespace dakc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t counts_hash(const core::RunReport& rep) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& kc : rep.counts) {
+    h = fnv1a(h, kc.kmer);
+    h = fnv1a(h, kc.count);
+  }
+  return h;
+}
+
+/// The determinism_test golden configuration (DAKC, L2+L3, 2D, noisy
+/// machine); superkmer mode must reproduce its pinned flat hash.
+core::CountConfig golden_config() {
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.k = 31;
+  cfg.pes = 32;
+  cfg.pes_per_node = 4;
+  cfg.machine.cores_per_node = 4;
+  cfg.machine.noise_amplitude = 0.25;
+  cfg.protocol = conveyor::Protocol::k2D;
+  cfg.l2_enabled = true;
+  cfg.l3_enabled = true;
+  cfg.gather_counts = true;
+  return cfg;
+}
+
+std::vector<std::string> golden_reads() {
+  const auto& spec = sim::dataset_by_name("human");
+  const double scale =
+      2e5 / (spec.coverage * static_cast<double>(spec.genome_length));
+  return sim::make_dataset_reads(spec, scale, 41);
+}
+
+constexpr std::uint64_t kGoldenHash = 0x36570c604a3d3804ULL;
+
+core::CountConfig with_replay(core::CountConfig cfg) {
+  cfg.cost_model.kind = cachesim::CostModelKind::kReplay;
+  return cfg;
+}
+
+std::vector<std::string> random_reads(int n, int len, unsigned seed,
+                                      bool with_n = false) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> base(0, 3);
+  std::uniform_int_distribution<int> drop(0, 39);
+  std::vector<std::string> reads;
+  reads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::string r(static_cast<std::size_t>(len), 'A');
+    for (auto& c : r) {
+      c = "ACGT"[base(rng)];
+      if (with_n && drop(rng) == 0) c = 'N';  // breaks window contiguity
+    }
+    reads.push_back(std::move(r));
+  }
+  return reads;
+}
+
+std::string reverse_complement(const std::string& s) {
+  std::string rc(s.rbegin(), s.rend());
+  for (auto& c : rc) {
+    switch (c) {
+      case 'A': c = 'T'; break;
+      case 'C': c = 'G'; break;
+      case 'G': c = 'C'; break;
+      case 'T': c = 'A'; break;
+      default: break;
+    }
+  }
+  return rc;
+}
+
+/// Mirror of the sender's grouping loop (DakcPe::async_add_super): pack
+/// every as-parsed window, breaking runs on minimizer changes,
+/// non-extending windows, and read boundaries.
+std::vector<std::uint64_t> pack_reads(const std::vector<std::string>& reads,
+                                      int k, int m,
+                                      std::vector<kmer::Kmer64>* direct) {
+  std::vector<std::uint64_t> records;
+  kmer::SuperkmerPacker<> packer(k);
+  std::uint64_t run_min = 0;
+  const auto end_run = [&] {
+    if (packer.open()) packer.emit(run_min & 0xFF, records);
+  };
+  for (const auto& read : reads) {
+    kmer::for_each_kmer(read, k, [&](kmer::Kmer64 km) {
+      if (direct != nullptr) direct->push_back(km);
+      const std::uint64_t min = kmer::minimizer(kmer::canonical(km, k), k, m);
+      if (packer.open() && min == run_min &&
+          packer.try_extend(km, kmer::kMaxRunKmers))
+        return;
+      end_run();
+      run_min = min;
+      packer.begin(km);
+    });
+    end_run();  // runs never straddle reads
+  }
+  return records;
+}
+
+// --- pack -> wire -> expand round trip -------------------------------------
+
+TEST(Superkmer, PackExpandReproducesParseOrder) {
+  const int k = 31;
+  const auto reads = random_reads(60, 150, 1234, /*with_n=*/true);
+  std::vector<kmer::Kmer64> direct;
+  const auto records = pack_reads(reads, k, 7, &direct);
+  ASSERT_FALSE(records.empty());
+  std::vector<kmer::Kmer64> expanded;
+  std::size_t header_kmers = 0;
+  kmer::for_each_packed_run(
+      records.data(), records.size(),
+      [&](std::uint64_t h, const std::uint64_t* packed) {
+        header_kmers += kmer::run_header_run(h);
+        EXPECT_EQ(kmer::run_header_bases(h),
+                  kmer::run_header_run(h) + static_cast<std::size_t>(k) - 1);
+        kmer::expand_superkmer(h, packed, k,
+                               [&](kmer::Kmer64 km) { expanded.push_back(km); });
+      });
+  // Runs expand in record order and records follow parse order, so the
+  // round trip is exact — not just multiset-equal.
+  EXPECT_EQ(expanded, direct);
+  EXPECT_EQ(header_kmers, direct.size());
+}
+
+TEST(Superkmer, ShortAndBoundaryRuns) {
+  // k-sized reads produce single-k-mer runs; k-1 produces nothing.
+  const int k = 7;
+  const std::vector<std::string> reads = {"ACGTACG", "ACGTAC", "AAAAAAAA"};
+  std::vector<kmer::Kmer64> direct;
+  const auto records = pack_reads(reads, k, 3, &direct);
+  std::vector<kmer::Kmer64> expanded;
+  kmer::for_each_packed_run(records.data(), records.size(),
+                            [&](std::uint64_t h, const std::uint64_t* packed) {
+                              kmer::expand_superkmer(
+                                  h, packed, k,
+                                  [&](kmer::Kmer64 km) { expanded.push_back(km); });
+                            });
+  EXPECT_EQ(expanded, direct);
+  EXPECT_EQ(direct.size(), 1u + 0u + 2u);
+}
+
+TEST(Superkmer, WireBytesMatchHeaderModel) {
+  const int k = 31;
+  const auto reads = random_reads(20, 100, 99);
+  const auto records = pack_reads(reads, k, 7, nullptr);
+  double per_run = 0.0;
+  kmer::for_each_packed_run(records.data(), records.size(),
+                            [&](std::uint64_t h, const std::uint64_t*) {
+                              per_run += kmer::superkmer_wire_bytes(
+                                  kmer::run_header_run(h), k);
+                            });
+  EXPECT_DOUBLE_EQ(
+      per_run,
+      kmer::superkmer_buffer_wire_bytes(records.data(), records.size()));
+}
+
+// --- end-to-end equivalence with per-k-mer transport -----------------------
+
+TEST(Superkmer, MatchesFlatTransportCounts) {
+  const auto& spec = sim::dataset_by_name("synthetic20");
+  const auto reads = sim::make_dataset_reads(spec, 1.0 / 256, 3);
+  for (const bool canonical : {false, true}) {
+    core::CountConfig cfg;
+    cfg.backend = core::Backend::kDakc;
+    cfg.k = 31;
+    cfg.canonical = canonical;
+    cfg.pes = 8;
+    cfg.pes_per_node = 4;
+    cfg.machine.cores_per_node = 4;
+    cfg.gather_counts = true;
+    cfg.zero_cost = true;
+    const auto flat = core::count_kmers(reads, cfg);
+    cfg.superkmer = true;
+    const auto sk = core::count_kmers(reads, cfg);
+    EXPECT_EQ(flat.total_kmers, sk.total_kmers);
+    EXPECT_EQ(flat.distinct_kmers, sk.distinct_kmers);
+    EXPECT_EQ(counts_hash(flat), counts_hash(sk));
+    EXPECT_EQ(sk.superkmer_kmers, sk.total_kmers);
+    EXPECT_GT(sk.superkmer_runs, 0u);
+    EXPECT_LT(sk.superkmer_runs, sk.superkmer_kmers);
+  }
+}
+
+TEST(Superkmer, CanonicalSpectraMatchAcrossStrands) {
+  // Strand flips inside a run are the canonical edge case: the packer
+  // ships as-parsed bases and the owner canonicalizes after expansion,
+  // so a read and its reverse complement must count identically.
+  auto reads = random_reads(40, 90, 77);
+  std::vector<std::string> rc_reads;
+  for (const auto& r : reads) rc_reads.push_back(reverse_complement(r));
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.k = 21;
+  cfg.canonical = true;
+  cfg.superkmer = true;
+  cfg.pes = 8;
+  cfg.pes_per_node = 4;
+  cfg.machine.cores_per_node = 4;
+  cfg.gather_counts = true;
+  cfg.zero_cost = true;
+  const auto fwd = core::count_kmers(reads, cfg);
+  const auto rev = core::count_kmers(rc_reads, cfg);
+  EXPECT_EQ(counts_hash(fwd), counts_hash(rev));
+}
+
+// --- golden acceptance: same counts, cheaper wire, faster replay -----------
+
+TEST(Superkmer, GoldenWorkloadAcceptance) {
+  const auto reads = golden_reads();
+  const auto base = core::count_kmers(reads, golden_config());
+  auto sk_cfg = golden_config();
+  sk_cfg.superkmer = true;
+  const auto sk = core::count_kmers(reads, sk_cfg);
+
+  // Identical spectrum, pinned against the determinism golden.
+  EXPECT_EQ(counts_hash(base), kGoldenHash);
+  EXPECT_EQ(counts_hash(sk), kGoldenHash);
+  EXPECT_EQ(sk.superkmer_kmers, sk.total_kmers);
+
+  // The packed transport must cut total wire traffic at least 3x.
+  const double base_wire = static_cast<double>(base.bytes_internode) +
+                           static_cast<double>(base.bytes_intranode);
+  const double sk_wire = static_cast<double>(sk.bytes_internode) +
+                         static_cast<double>(sk.bytes_intranode);
+  EXPECT_GE(base_wire, 3.0 * sk_wire)
+      << "wire ratio " << base_wire / sk_wire;
+  EXPECT_GT(sk.packed_wire_bytes, 0.0);
+  // Average packed cost per k-mer stays near the model's (r+k-1)/4 + 4.
+  EXPECT_LT(sk.packed_wire_bytes /
+                static_cast<double>(sk.superkmer_kmers),
+            3.0);
+
+  // Under the cache-replay model the fused receive path must be a strict
+  // improvement, not a wash.
+  const auto base_replay =
+      core::count_kmers(reads, with_replay(golden_config()));
+  const auto sk_replay = core::count_kmers(reads, with_replay(sk_cfg));
+  EXPECT_EQ(counts_hash(sk_replay), kGoldenHash);
+  EXPECT_LT(sk_replay.makespan, base_replay.makespan);
+}
+
+// --- out-of-core minimizer bins --------------------------------------------
+
+core::CountConfig ooc_config(const std::string& tmp) {
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.k = 31;
+  cfg.canonical = true;
+  cfg.superkmer = true;
+  cfg.pes = 8;
+  cfg.pes_per_node = 4;
+  cfg.machine.cores_per_node = 4;
+  cfg.gather_counts = true;
+  cfg.tmp_dir = tmp;
+  cfg.max_bins = 8;
+  cfg.bin_resident_bytes = 4 << 10;  // tiny: force spills
+  return cfg;
+}
+
+TEST(Superkmer, OutOfCoreMatchesInMemory) {
+  const auto tmp = (fs::temp_directory_path() / "dakc_sk_ooc").string();
+  const auto& spec = sim::dataset_by_name("synthetic20");
+  const auto reads = sim::make_dataset_reads(spec, 1.0 / 128, 5);
+  auto cfg = ooc_config(tmp);
+  const auto ooc = core::count_kmers(reads, cfg);
+  EXPECT_GT(ooc.bin_spills, 0u);
+  EXPECT_GT(ooc.bin_spill_bytes, 0.0);
+  EXPECT_EQ(ooc.bin_reload_bytes, ooc.bin_spill_bytes);
+  EXPECT_GT(ooc.bin_peak_resident, 0.0);
+  cfg.tmp_dir.clear();
+  const auto mem = core::count_kmers(reads, cfg);
+  EXPECT_EQ(mem.total_kmers, ooc.total_kmers);
+  EXPECT_EQ(counts_hash(mem), counts_hash(ooc));
+  // Every spill file and per-PE directory is gone after the run.
+  EXPECT_TRUE(!fs::exists(tmp) || fs::is_empty(tmp));
+}
+
+TEST(Superkmer, OutOfCoreDeterministicAcrossHostThreads) {
+  const auto& spec = sim::dataset_by_name("synthetic20");
+  const auto reads = sim::make_dataset_reads(spec, 1.0 / 128, 7);
+  core::RunReport ref;
+  for (const int threads : {1, 4}) {
+    auto cfg = ooc_config((fs::temp_directory_path() /
+                           ("dakc_sk_ht" + std::to_string(threads)))
+                              .string());
+    cfg.host_threads = threads;
+    const auto rep = core::count_kmers(reads, cfg);
+    if (threads == 1) {
+      ref = rep;
+      continue;
+    }
+    // Bit-identical simulation: timing, traffic, spill behavior, output.
+    EXPECT_EQ(rep.makespan, ref.makespan);
+    EXPECT_EQ(rep.bytes_internode, ref.bytes_internode);
+    EXPECT_EQ(rep.bytes_intranode, ref.bytes_intranode);
+    EXPECT_EQ(rep.bin_spills, ref.bin_spills);
+    EXPECT_EQ(rep.bin_spill_bytes, ref.bin_spill_bytes);
+    EXPECT_EQ(rep.bin_peak_resident, ref.bin_peak_resident);
+    EXPECT_EQ(rep.superkmer_runs, ref.superkmer_runs);
+    EXPECT_EQ(counts_hash(rep), counts_hash(ref));
+  }
+}
+
+TEST(Superkmer, OomRunLeavesNoTempFiles) {
+  const auto tmp = (fs::temp_directory_path() / "dakc_sk_oom").string();
+  const auto& spec = sim::dataset_by_name("synthetic22");
+  const auto reads = sim::make_dataset_reads(spec, 1.0 / 64, 9);
+  auto cfg = ooc_config(tmp);
+  cfg.node_memory_limit = 512.0 * 1024.0;  // far below the working set
+  const auto rep = core::count_kmers(reads, cfg);
+  EXPECT_TRUE(rep.oom);
+  // The BinStore destructors ran during OOM unwinding: nothing survives
+  // under the tmp root (KMC-style lifecycle discipline).
+  EXPECT_TRUE(!fs::exists(tmp) || fs::is_empty(tmp));
+}
+
+TEST(Superkmer, RejectsHashPhase2Combination) {
+  auto cfg = golden_config();
+  cfg.superkmer = true;
+  cfg.phase2_hash = true;
+  EXPECT_THROW(core::count_kmers(golden_reads(), cfg), std::exception);
+}
+
+}  // namespace
+}  // namespace dakc

@@ -42,6 +42,28 @@ echo "host-independence: replay reports are byte-identical"
 cmp "$build/replay_a.txt" "$build/replay_t2.txt"
 echo "host-independence: 2-thread report is byte-identical to serial"
 
+# ---------------------------------------------------------------------------
+# Out-of-core smoke: the super-k-mer transport must reproduce the exact
+# spectrum of the in-memory run while holding per-PE arrivals in
+# disk-backed minimizer bins, under a node memory budget the in-memory
+# receive path could not satisfy. Only the counts hash is compared —
+# spill charges legitimately change the timing lines.
+sk_flags=(count --dataset human --scale 4e-5 --dataset-seed 41
+  --nodes 8 --cores-per-node 4 --l3 --protocol 2d --noise 0.25
+  --k 31 --superkmer)
+"$build/tools/dakc_count" "${sk_flags[@]}" --report-out "$build/sk_mem.txt"
+"$build/tools/dakc_count" "${sk_flags[@]}" --mem-limit-mb 4.3 \
+  --tmp-dir "$build/sk_bins" --max-bins 32 --bin-resident-kb 16 \
+  --report-out "$build/sk_ooc.txt"
+[ "$(grep '^counts_hash' "$build/sk_mem.txt")" = \
+  "$(grep '^counts_hash' "$build/sk_ooc.txt")" ]
+if grep -q '^bin_spills 0$' "$build/sk_ooc.txt"; then
+  echo "out-of-core smoke never spilled"; exit 1
+fi
+# Lifecycle discipline: every per-PE bin directory is gone after the run.
+[ -z "$(find "$build/sk_bins" -mindepth 1 2>/dev/null)" ]
+echo "out-of-core: mem-limited binned run matches the in-memory spectrum"
+
 "$build/tools/perf_baseline" --out "$build/BENCH_kernels.json"
 python3 "$repo/tools/check_perf.py" \
   --bench "$build/BENCH_kernels.json" \

@@ -104,6 +104,16 @@ void write_report(const std::string& path, const core::RunReport& r) {
                static_cast<unsigned long long>(r.replay_phase1_misses));
   std::fprintf(f, "replay_phase2_misses %llu\n",
                static_cast<unsigned long long>(r.replay_phase2_misses));
+  std::fprintf(f, "superkmer_runs %llu\n",
+               static_cast<unsigned long long>(r.superkmer_runs));
+  std::fprintf(f, "superkmer_kmers %llu\n",
+               static_cast<unsigned long long>(r.superkmer_kmers));
+  std::fprintf(f, "packed_wire_bytes %.17g\n", r.packed_wire_bytes);
+  std::fprintf(f, "bin_spills %llu\n",
+               static_cast<unsigned long long>(r.bin_spills));
+  std::fprintf(f, "bin_spill_bytes %.17g\n", r.bin_spill_bytes);
+  std::fprintf(f, "bin_reload_bytes %.17g\n", r.bin_reload_bytes);
+  std::fprintf(f, "bin_peak_resident %.17g\n", r.bin_peak_resident);
   std::fprintf(f, "total_kmers %llu\n",
                static_cast<unsigned long long>(r.total_kmers));
   std::fprintf(f, "distinct_kmers %llu\n",
@@ -142,6 +152,20 @@ int cmd_count(int argc, char** argv) {
       "report-out", "",
       "write the full-precision RunReport (plus the counts hash) here");
   auto& l3 = cli.add_flag("l3", false, "DAKC: enable the L3 layer");
+  auto& superkmer = cli.add_flag(
+      "superkmer", false,
+      "DAKC: ship packed super-k-mer runs instead of per-k-mer packets");
+  auto& minimizer_len = cli.add_int("minimizer-len", 7,
+                                    "superkmer: minimizer length m <= k");
+  auto& tmp_dir = cli.add_string(
+      "tmp-dir", "",
+      "superkmer: spill minimizer bins under this directory (out-of-core "
+      "phase 2; empty = in-memory)");
+  auto& max_bins = cli.add_int("max-bins", 64,
+                               "superkmer: minimizer bins per PE");
+  auto& bin_resident_kb = cli.add_double(
+      "bin-resident-kb", 1024.0,
+      "superkmer: resident bytes per PE's bin store before spilling (KiB)");
   auto& hash = cli.add_flag("hash-phase2", false,
                             "DAKC: hash-table phase 2 (extension)");
   auto& min_count = cli.add_int("min-count", 1, "drop k-mers below this");
@@ -192,6 +216,12 @@ int cmd_count(int argc, char** argv) {
   cfg.machine.cores_per_node = static_cast<int>(cores);
   cfg.l3_enabled = l3;
   cfg.phase2_hash = hash;
+  cfg.superkmer = superkmer;
+  cfg.minimizer_len = static_cast<int>(minimizer_len);
+  cfg.tmp_dir = tmp_dir;
+  cfg.max_bins = static_cast<int>(max_bins);
+  cfg.bin_resident_bytes =
+      static_cast<std::size_t>(bin_resident_kb * 1024.0);
   cfg.machine.noise_amplitude = noise;
   if (std::string(cost_model) == "replay") {
     cfg.cost_model.kind = cachesim::CostModelKind::kReplay;
@@ -245,6 +275,25 @@ int cmd_count(int argc, char** argv) {
     std::printf("memory pressure: events %s, buffer-shrinks %s\n",
                 fmt_count(report.pressure_events).c_str(),
                 fmt_count(report.buffer_shrinks).c_str());
+  }
+  if (cfg.superkmer) {
+    std::printf("superkmer: %s runs, %s k-mers packed, %s wire bytes "
+                "(%.2f B/k-mer)\n",
+                fmt_count(report.superkmer_runs).c_str(),
+                fmt_count(report.superkmer_kmers).c_str(),
+                fmt_bytes(report.packed_wire_bytes).c_str(),
+                report.superkmer_kmers > 0
+                    ? report.packed_wire_bytes /
+                          static_cast<double>(report.superkmer_kmers)
+                    : 0.0);
+    if (!cfg.tmp_dir.empty()) {
+      std::printf("bins: %s spills, %s spilled, %s reloaded, peak "
+                  "resident %s\n",
+                  fmt_count(report.bin_spills).c_str(),
+                  fmt_bytes(report.bin_spill_bytes).c_str(),
+                  fmt_bytes(report.bin_reload_bytes).c_str(),
+                  fmt_bytes(report.bin_peak_resident).c_str());
+    }
   }
   if (cfg.cost_model.kind == cachesim::CostModelKind::kReplay) {
     std::printf("replay: %s line accesses, %s misses "
