@@ -126,29 +126,39 @@ void Actor::progress() {
   dispatch_ready();
 }
 
-void Actor::done() {
+bool Actor::done(const std::function<bool()>& abort) {
   DAKC_CHECK_MSG(!done_, "done() called twice");
   drain_l1();
   // Handlers may send() while we drain (messages spawning messages); the
   // conveyor's quiescence protocol counts that follow-up traffic, so
   // done() returns only when no handler produces more work anywhere.
-  conveyor_.finish([this] {
-    // Handlers may send to THIS PE: those packets are delivered locally
-    // by drain_l1(), so keep cycling until the local queue stays empty —
-    // otherwise the quiescence reduction could see matching global
-    // counters while undispatched work sits here.
-    do {
-      if (pressure_flag_) apply_pressure();
-      dispatch_ready();
-      drain_l1();
-    } while (conveyor_.has_ready());
-  });
+  const bool quiesced = conveyor_.finish(
+      [this] {
+        // Handlers may send to THIS PE: those packets are delivered
+        // locally by drain_l1(), so keep cycling until the local queue
+        // stays empty — otherwise the quiescence reduction could see
+        // matching global counters while undispatched work sits here.
+        do {
+          if (pressure_flag_) apply_pressure();
+          dispatch_ready();
+          drain_l1();
+        } while (conveyor_.has_ready());
+      },
+      abort);
+  if (!quiesced) {
+    // Condemned stream (a peer died): the phase attempt is being rolled
+    // back — leave without the completion barrier; the recovery protocol
+    // owns alignment from here.
+    done_ = true;
+    return false;
+  }
   dispatch_ready();
   done_ = true;
   // finish() guarantees global delivery and our rounds dispatched it all;
   // one barrier makes "done() returned" mean "every handler ran
   // everywhere", which is what the FA-BSP phase boundary promises.
   pe_.barrier();
+  return true;
 }
 
 }  // namespace dakc::actor

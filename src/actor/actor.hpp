@@ -76,7 +76,12 @@ class Actor {
   /// send()ing while done() is draining (messages spawning messages);
   /// done() returns only when the whole system is quiescent. May be
   /// called once; send() after it returns throws.
-  void done();
+  ///
+  /// `abort`, when given, is forwarded to the conveyor's quiescence loop
+  /// (polled after each global reduction); a true return abandons the
+  /// phase and done() returns false — the recovery protocol rolls the
+  /// epoch back. Returns true on normal quiescence.
+  bool done(const std::function<bool()>& abort = {});
 
   // -- introspection -----------------------------------------------------
   std::uint64_t sent() const { return sent_; }

@@ -34,13 +34,20 @@ constexpr std::uint8_t desc_hops(std::uint64_t d) {
 int int_ceil_div(int a, int b) { return (a + b - 1) / b; }
 
 // Reliable-frame header word (slot 0 of a lane buffer when the protocol
-// is armed): [magic 0xC5 : 8 | reserved : 24 | seq : 32].
+// is armed): [magic 0xC5 : 8 | stream : 24 | seq : 32]. Acks reuse the
+// stream/seq layout without the magic byte. Stream 0 (the default)
+// reproduces the original reserved-zero header bit-for-bit.
 constexpr std::uint64_t kFrameMagic = 0xC5ULL << 56;
-constexpr std::uint64_t make_frame_header(std::uint32_t seq) {
-  return kFrameMagic | seq;
+constexpr std::uint64_t make_frame_header(std::uint32_t stream,
+                                          std::uint32_t seq) {
+  return kFrameMagic |
+         (static_cast<std::uint64_t>(stream & 0xFFFFFFu) << 32) | seq;
 }
 constexpr bool frame_header_ok(std::uint64_t w) {
   return (w >> 56) == 0xC5ULL;
+}
+constexpr std::uint32_t frame_stream(std::uint64_t w) {
+  return static_cast<std::uint32_t>((w >> 32) & 0xFFFFFFu);
 }
 constexpr std::uint32_t frame_seq(std::uint64_t w) {
   return static_cast<std::uint32_t>(w & 0xFFFFFFFFu);
@@ -168,10 +175,18 @@ Conveyor::Conveyor(net::Pe& pe, ConveyorConfig config)
                  "0 < rto_seconds <= rto_max_seconds");
   DAKC_CHECK_MSG(config_.stale_rounds >= 1,
                  "ConveyorConfig.stale_rounds must be >= 1");
+  DAKC_CHECK_MSG(config_.max_retransmits >= 1,
+                 "ConveyorConfig.max_retransmits must be >= 1");
+  DAKC_CHECK_MSG(config_.stream_id < (1u << 24),
+                 "ConveyorConfig.stream_id must fit in 24 bits");
   reliable_ =
       config_.reliability == Reliability::kOn ||
       (config_.reliability == Reliability::kAuto &&
        pe_.fault_config().any_message_faults() && pe_.faults_enabled());
+  // Cached so route()'s per-packet corpse check costs one member-bool
+  // branch instead of an out-of-line Pe::alive() call when kills are off.
+  peer_death_possible_ =
+      pe_.faults_enabled() && pe_.fault_config().kill_rate > 0.0;
   lanes_.resize(static_cast<std::size_t>(pe.size()));
 }
 
@@ -235,7 +250,11 @@ void Conveyor::push(int dst, const std::uint64_t* words, std::size_t n,
 
 void Conveyor::route(int dst, const std::uint64_t* words, std::size_t n,
                      std::uint8_t kind, std::uint8_t hops) {
-  const int next = router_.next_hop(pe_.rank(), dst);
+  int next = router_.next_hop(pe_.rank(), dst);
+  // 2D/3D relays must not route through a corpse: a permanently dead
+  // intermediate would swallow the packet even though the final
+  // destination is alive. Go direct instead.
+  if (peer_death_possible_ && next != dst && !pe_.alive(next)) next = dst;
   Lane& lane = lanes_[static_cast<std::size_t>(next)];
   if (!lane.active) {
     lane.active = true;
@@ -285,7 +304,7 @@ void Conveyor::flush_lane(Lane& lane, int next_hop) {
   // our job now, not the transport's).
   SendLink& link = send_links_[next_hop];
   const std::uint32_t seq = link.next_seq++;
-  out[0] = make_frame_header(seq);
+  out[0] = make_frame_header(config_.stream_id, seq);
   wire += 8.0;  // sequence header rides the wire
   pe_.account_alloc(static_cast<double>(out.size()) * 8.0);
   if (link.unacked.empty()) link.rto = config_.rto_seconds;
@@ -351,6 +370,14 @@ void Conveyor::unpack_message(net::Message& msg, std::size_t offset) {
 void Conveyor::handle_frame(net::Message& msg) {
   DAKC_CHECK_MSG(!msg.payload.empty() && frame_header_ok(msg.payload[0]),
                  "reliable conveyor received an unframed message");
+  // A frame from another stream is flotsam from a condemned epoch attempt
+  // (recovery rolled it back and rebuilt the conveyor under a new stream
+  // id): drop it without acking — an ack would carry OUR expected seq and
+  // confuse nobody useful, and the stale sender is gone anyway.
+  if (frame_stream(msg.payload[0]) != (config_.stream_id & 0xFFFFFFu)) {
+    ++pe_.counters().dedup_discards;
+    return;
+  }
   RecvLink& link = recv_links_[msg.src];
   const std::uint32_t seq = frame_seq(msg.payload[0]);
   // Re-ack on every frame, accepted or not: a discarded retransmission
@@ -370,6 +397,10 @@ void Conveyor::handle_frame(net::Message& msg) {
 
 void Conveyor::handle_ack(const net::Message& msg) {
   DAKC_CHECK_MSG(msg.payload.size() == 1, "malformed conveyor ack");
+  // Acks carry [stream:24 | expected:32] like frames (sans magic); a
+  // stale ack from a condemned stream must not free this stream's frames.
+  if (frame_stream(msg.payload[0]) != (config_.stream_id & 0xFFFFFFu))
+    return;
   SendLink& link = send_links_[msg.src];
   const auto ack = static_cast<std::uint32_t>(msg.payload[0] & 0xFFFFFFFFu);
   // Cumulative: everything strictly before `ack` is delivered.
@@ -378,6 +409,7 @@ void Conveyor::handle_ack(const net::Message& msg) {
         static_cast<double>(link.unacked.front().words.size()) * 8.0);
     link.unacked.pop_front();
     link.rto = config_.rto_seconds;  // forward progress resets backoff
+    link.attempts = 0;
   }
 }
 
@@ -385,7 +417,10 @@ void Conveyor::send_pending_acks() {
   for (auto& [src, link] : recv_links_) {
     if (!link.ack_dirty) continue;
     link.ack_dirty = false;
-    pe_.put(src, {static_cast<std::uint64_t>(link.expected)}, kAckTag,
+    const std::uint64_t word =
+        (static_cast<std::uint64_t>(config_.stream_id & 0xFFFFFFu) << 32) |
+        link.expected;
+    pe_.put(src, {word}, kAckTag,
             /*wire_bytes=*/8.0, net::Delivery::kBestEffort);
     ++pe_.counters().acks_sent;
   }
@@ -393,13 +428,24 @@ void Conveyor::send_pending_acks() {
 
 void Conveyor::maybe_retransmit(bool force) {
   for (auto& [dst, link] : send_links_) {
-    if (link.unacked.empty()) continue;
+    if (link.unacked.empty() || link.dead) continue;
     if (!force && pe_.now() < link.last_send + link.rto) continue;
+    if (link.attempts >= config_.max_retransmits && !pe_.alive(dst)) {
+      // Retransmit budget exhausted and the fabric confirms the peer is
+      // permanently gone: declare it dead and stop resending — the ack
+      // will never come. A live peer is never condemned, whatever the
+      // budget says (exactly-once must survive arbitrary transient loss);
+      // its frames simply keep retrying at the capped rto_max interval.
+      link.dead = true;
+      ++pe_.counters().peers_declared_dead;
+      continue;
+    }
     for (const Frame& fr : link.unacked) {
       pe_.put(dst, fr.words, net::Pe::kAppTag, fr.wire_bytes,
               net::Delivery::kBestEffort);
       ++pe_.counters().retransmits;
     }
+    ++link.attempts;
     link.last_send = pe_.now();
     link.rto = std::min(link.rto * 2.0, config_.rto_max_seconds);
   }
@@ -430,7 +476,8 @@ bool Conveyor::pull(Packet* out) {
   return true;
 }
 
-void Conveyor::finish(const std::function<void()>& on_progress) {
+bool Conveyor::finish(const std::function<void()>& on_progress,
+                      const std::function<bool()>& abort) {
   DAKC_CHECK_MSG(!finished_ && !endgame_, "finish() called twice");
   endgame_ = true;
   flush_all();
@@ -438,6 +485,7 @@ void Conveyor::finish(const std::function<void()>& on_progress) {
   // is older than the barrier release, so the first counting round below
   // usually confirms quiescence immediately (1D never needs a second).
   pe_.barrier();
+  if (abort && abort()) return false;
   // Retransmit-aware quiescence: under loss, sent-vs-delivered can sit
   // unequal with nothing in flight (the frames are gone). Track global
   // delivery progress across rounds; when it stalls for stale_rounds
@@ -452,6 +500,12 @@ void Conveyor::finish(const std::function<void()>& on_progress) {
     flush_all();  // relays and handler pushes may have refilled lanes
     const auto [global_injected, global_delivered] =
         pe_.allreduce_sum2(injected_, delivered_);
+    // A PE death removes its injected/delivered tallies from the
+    // reduction, so the invariant (and the termination arithmetic) only
+    // hold while nobody died; abort-capable callers poll right after the
+    // reduction — every PE released by it sees the same death state — and
+    // condemn the stream before the arithmetic can mislead anyone.
+    if (abort && abort()) return false;
     DAKC_ASSERT(global_delivered <= global_injected);
     if (global_injected == global_delivered) break;
     if (reliable_) {
@@ -473,6 +527,7 @@ void Conveyor::finish(const std::function<void()>& on_progress) {
     if (pe_.next_arrival(&when) && when > pe_.now()) pe_.idle_until(when);
   }
   finished_ = true;
+  return true;
 }
 
 }  // namespace dakc::conveyor

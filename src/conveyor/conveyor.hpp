@@ -91,6 +91,21 @@ struct ConveyorConfig {
   /// (covers zero-cost runs, where clocks never advance and the RTO timer
   /// can therefore never fire).
   int stale_rounds = 2;
+  /// Retransmit budget per link: after this many retransmission attempts
+  /// with no ack progress, a peer the fabric reports permanently dead is
+  /// *declared* dead (PeCounters::peers_declared_dead) and the link stops
+  /// retransmitting — Go-Back-N must not retry a corpse forever. A peer
+  /// that is still alive is never given up on (exactly-once delivery
+  /// holds under arbitrary transient loss); the budget only bounds the
+  /// goodbye to the permanently failed.
+  int max_retransmits = 64;
+  /// Stream id stamped into every reliable frame and ack header (24
+  /// bits). Recovery protocols construct a fresh conveyor per epoch
+  /// attempt with a new stream id so in-flight frames and acks from a
+  /// condemned attempt are filtered out instead of corrupting the new
+  /// attempt's sequence space. 0 (the default) keeps the wire format
+  /// bit-identical to the pre-stream protocol.
+  std::uint32_t stream_id = 0;
 };
 
 /// A delivered packet. `kind` is an application tag (DAKC uses it to mark
@@ -156,14 +171,22 @@ class Conveyor {
   bool has_ready() const { return !ready_.empty(); }
 
   /// Collective completion: flush lanes, then drive global quiescence.
-  /// After it returns every pushed packet has been delivered somewhere
-  /// (pull until empty). May be called once.
+  /// After it returns true, every pushed packet has been delivered
+  /// somewhere (pull until empty). May be called once.
   ///
   /// `on_progress`, when given, runs once per quiescence round after
   /// arrivals are drained; it may pull() delivered packets and push() new
   /// ones (actor semantics: messages spawning messages). The stream is
   /// quiescent only when no handler produces further traffic.
-  void finish(const std::function<void()>& on_progress = {});
+  ///
+  /// `abort`, when given, is polled once per quiescence round (right
+  /// after the global reduction, so every PE polls an agreed state). A
+  /// true return abandons quiescence immediately and finish() returns
+  /// false: the stream is condemned — recovery protocols roll the epoch
+  /// back and build a fresh conveyor with a new stream id. Without an
+  /// abort callback finish() always returns true.
+  bool finish(const std::function<void()>& on_progress = {},
+              const std::function<bool()>& abort = {});
 
   // -- introspection -----------------------------------------------------
   /// Bytes of send-lane buffer memory this PE has allocated (Fig. 2).
@@ -228,6 +251,10 @@ class Conveyor {
     std::deque<Frame> unacked;
     des::SimTime last_send = 0.0;
     double rto = 0.0;
+    /// Retransmission attempts since the last ack progress.
+    int attempts = 0;
+    /// Peer declared permanently dead: retransmission stopped for good.
+    bool dead = false;
   };
   struct RecvLink {
     std::uint32_t expected = 0;
@@ -280,6 +307,9 @@ class Conveyor {
   /// Armed reliability protocol (resolved from config.reliability at
   /// construction; see Reliability).
   bool reliable_ = false;
+  /// Permanent kills armed on the fabric (cached at construction):
+  /// gates route()'s per-packet dead-relay check off the hot path.
+  bool peer_death_possible_ = false;
   /// Per-peer protocol state, keyed by next-hop / source PE. Ordered maps
   /// keep ack and retransmit iteration deterministic.
   std::map<int, SendLink> send_links_;

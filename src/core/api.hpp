@@ -104,6 +104,22 @@ struct CountConfig {
   /// Resident bytes of binned runs one PE holds before spilling.
   std::size_t bin_resident_bytes = 1 << 20;
 
+  // -- checkpoint / restart / permanent-failure recovery (DESIGN.md §11) --
+  /// Split DAKC's phase 1 into this many epoch safepoints, each ending in
+  /// quiescence + a per-PE snapshot of the counting state. 0 = off (the
+  /// bit-identical legacy path); any kill_rate > 0 implies at least one
+  /// epoch (the phase-1/2-barrier checkpoint). DAKC backend only.
+  int checkpoint_epochs = 0;
+  /// Non-empty: mirror every epoch snapshot to versioned, checksummed
+  /// files under this directory (io/checkpoint.hpp) and maintain a
+  /// MANIFEST so a killed *process* can resume with `restart`.
+  std::string checkpoint_dir;
+  /// Resume from checkpoint_dir's MANIFEST instead of starting at read
+  /// slice 0: already-counted epochs are restored from disk and only the
+  /// tail is parsed. The spectrum (counts/total/distinct) matches the
+  /// uninterrupted run; timings legitimately differ.
+  bool restart = false;
+
   // -- future-work extension (paper §VII) ---------------------------------
   /// Fold arriving k-mers into a local hash table instead of buffering
   /// them for the phase-2 sort: the "asynchronous updates" structure the
@@ -159,6 +175,17 @@ struct RunReport {
   std::uint64_t acks_sent = 0;
   std::uint64_t pressure_events = 0;
   std::uint64_t buffer_shrinks = 0;
+
+  // -- permanent-failure recovery / checkpointing (all zero when
+  //    kill_rate is 0 and checkpoint_epochs is 0) --------------------------
+  int pes_killed = 0;                 ///< PEs the fault plane took down
+  std::uint64_t puts_to_dead = 0;     ///< sends suppressed at a dead PE
+  std::uint64_t peers_declared_dead = 0;  ///< links condemned by the cap
+  std::uint64_t checkpoints_written = 0;  ///< epoch snapshots taken
+  double checkpoint_bytes = 0.0;      ///< serialized snapshot bytes
+  std::uint64_t rollbacks = 0;        ///< epoch attempts rolled back
+  std::uint64_t recovered_shards = 0; ///< shards re-admitted onto survivors
+  std::uint64_t replayed_reads = 0;   ///< reads re-parsed during replay
 
   // -- super-k-mer transport / out-of-core bins (all zero when
   //    CountConfig::superkmer is off) --------------------------------------

@@ -78,7 +78,10 @@ void fill_report_from_fabric(const net::Fabric& fabric,
     report->acks_sent += c.acks_sent;
     report->pressure_events += c.pressure_events;
     report->buffer_shrinks += c.buffer_shrinks;
+    report->puts_to_dead += c.puts_to_dead;
+    report->peers_declared_dead += c.peers_declared_dead;
   }
+  report->pes_killed = fabric.pes_killed();
   for (const auto& o : outputs) {
     report->phase1_seconds = std::max(report->phase1_seconds, o.phase1_end);
     report->phase2_seconds =
@@ -96,6 +99,11 @@ void fill_report_from_fabric(const net::Fabric& fabric,
     report->bin_reload_bytes += o.bin_reload_bytes;
     report->bin_peak_resident =
         std::max(report->bin_peak_resident, o.bin_peak_resident);
+    report->checkpoints_written += o.checkpoints_written;
+    report->checkpoint_bytes += o.checkpoint_bytes;
+    report->rollbacks += o.rollbacks;
+    report->recovered_shards += o.recovered_shards;
+    report->replayed_reads += o.replayed_reads;
   }
   for (int n = 0; n < fabric.node_count(); ++n)
     report->node_mem_high = std::max(report->node_mem_high,

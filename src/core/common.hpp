@@ -43,6 +43,12 @@ struct PeOutput {
   double bin_spill_bytes = 0.0;
   double bin_reload_bytes = 0.0;
   double bin_peak_resident = 0.0;
+  /// Checkpoint/recovery counters (zero unless the recovery plane runs).
+  std::uint64_t checkpoints_written = 0;
+  double checkpoint_bytes = 0.0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t recovered_shards = 0;
+  std::uint64_t replayed_reads = 0;
 };
 
 /// Merge per-PE slices into one k-mer-sorted vector (hash ownership

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 
 #include "actor/actor.hpp"
@@ -34,11 +35,18 @@ double superkmer_wire_model(std::uint8_t kind, const std::uint64_t* words,
 /// T by the expanded key array (or the disk-backed minimizer bins).
 class DakcPe {
  public:
-  DakcPe(net::Pe& pe, cachesim::CostModel& cost, const CountConfig& config)
+  /// `stream` tags this instance's conveyor frames (recovery mode spins a
+  /// fresh stream per epoch attempt so condemned traffic can't leak into
+  /// the retry); `redirect` maps nominal k-mer owners to the PE actually
+  /// holding their shard after recovery adoption (null = identity).
+  DakcPe(net::Pe& pe, cachesim::CostModel& cost, const CountConfig& config,
+         std::uint32_t stream = 0, const std::vector<int>* redirect = nullptr)
       : pe_(pe),
         cost_(cost),
         config_(config),
-        actor_(pe, make_actor_config(config), make_conveyor_config(config)),
+        redirect_(redirect),
+        actor_(pe, make_actor_config(config),
+               make_conveyor_config(config, stream)),
         l2n_(static_cast<std::size_t>(pe.size())),
         l2h_(static_cast<std::size_t>(pe.size())),
         c2_eff_(config.c2),
@@ -122,7 +130,8 @@ class DakcPe {
       return;
     end_run();
     run_min_ = min;
-    run_dst_ = static_cast<int>(min % static_cast<std::uint64_t>(pe_.size()));
+    run_dst_ = dst_of(
+        static_cast<int>(min % static_cast<std::uint64_t>(pe_.size())));
     packer_.begin(km);
   }
 
@@ -141,8 +150,10 @@ class DakcPe {
   }
 
   /// End of this PE's parse loop: push out every partial buffer, then
-  /// drive the global phase boundary.
-  void finish_phase1() {
+  /// drive the global phase boundary. `abort` (recovery mode) is polled
+  /// inside the quiescence loop; false return = the epoch attempt was
+  /// abandoned because a peer died.
+  bool finish_phase1(const std::function<bool()>& abort = {}) {
     if (config_.superkmer) {
       end_run();
       for (int p = 0; p < pe_.size(); ++p) flush_sk(p);
@@ -155,16 +166,34 @@ class DakcPe {
         }
       }
     }
-    actor_.done();
+    return actor_.done(abort);
   }
 
   std::vector<kmer::KmerCount64>& local_pairs() { return t_; }
+  std::vector<std::uint64_t> take_keys() { return std::move(sk_keys_); }
   const actor::Actor& runtime() const { return actor_; }
 
+  /// Restore carried-over receive state (recovery mode: the previous
+  /// epoch's checkpointed T / expanded keys) into this fresh instance.
+  void adopt(std::vector<kmer::KmerCount64>&& pairs,
+             std::vector<std::uint64_t>&& keys) {
+    t_ = std::move(pairs);
+    sk_keys_ = std::move(keys);
+    const double bytes = static_cast<double>(t_.size()) * 16.0 +
+                         static_cast<double>(sk_keys_.size()) * 8.0;
+    if (bytes > 0.0) {
+      pe_.account_alloc(bytes);
+      t_accounted_ = bytes;
+    }
+  }
+
   void export_stats(PeOutput* out) const {
-    out->superkmer_runs = sk_runs_;
-    out->superkmer_kmers = sk_kmers_;
-    out->packed_wire_bytes = sk_wire_;
+    // Accumulate (not assign): recovery mode runs one DakcPe per epoch
+    // attempt and wants the run totals; the legacy path calls this once
+    // on zeroed fields, where += and = coincide.
+    out->superkmer_runs += sk_runs_;
+    out->superkmer_kmers += sk_kmers_;
+    out->packed_wire_bytes += sk_wire_;
     if (bins_) {
       out->bin_spills = bins_->spills();
       out->bin_spill_bytes = bins_->spill_bytes();
@@ -180,12 +209,21 @@ class DakcPe {
     a.l1_bytes = c.c1 * (c.c2 * 8 + 8);
     return a;
   }
-  static conveyor::ConveyorConfig make_conveyor_config(const CountConfig& c) {
+  static conveyor::ConveyorConfig make_conveyor_config(const CountConfig& c,
+                                                       std::uint32_t stream) {
     conveyor::ConveyorConfig v;
     v.protocol = c.protocol;
     v.lane_bytes = c.l0_lane_bytes;
+    v.stream_id = stream;
     if (c.superkmer) v.wire_model = &superkmer_wire_model;
     return v;
+  }
+
+  /// The PE that actually receives traffic for nominal owner `owner`
+  /// (identity outside recovery mode).
+  int dst_of(int owner) const {
+    return redirect_ == nullptr ? owner : (*redirect_)[
+        static_cast<std::size_t>(owner)];
   }
 
   /// Receive side (ProcessReceiveBuffer): append into T, or fold into
@@ -485,10 +523,11 @@ class DakcPe {
     if (!config_.l2_enabled) {
       // L0-L1 only: every k-mer occurrence is its own packet.
       for (std::uint64_t c = 0; c < count; ++c)
-        actor_.send(kmer::owner_pe(km, pe_.size()), km, kPacketNormal);
+        actor_.send(dst_of(kmer::owner_pe(km, pe_.size())), km,
+                    kPacketNormal);
       return;
     }
-    const int p = kmer::owner_pe(km, pe_.size());
+    const int p = dst_of(kmer::owner_pe(km, pe_.size()));
     if (count > config_.heavy_threshold) {
       auto& h = l2h_[static_cast<std::size_t>(p)];
       h.push_back(km);
@@ -552,6 +591,7 @@ class DakcPe {
   net::Pe& pe_;
   cachesim::CostModel& cost_;
   const CountConfig& config_;
+  const std::vector<int>* redirect_;
   actor::Actor actor_;
   std::vector<std::uint64_t> l3_;
   std::vector<std::vector<std::uint64_t>> l2n_;  // NORMAL: raw k-mers
@@ -586,10 +626,330 @@ class DakcPe {
   double sk_wire_ = 0.0;
 };
 
+/// One PE's phase-1 parse over reads [begin, end): shared between the
+/// legacy single-shot path and the recovery protocol's epoch attempts.
+void parse_range(net::Pe& pe, cachesim::CostModel& cost,
+                 const std::vector<std::string>& reads, std::size_t begin,
+                 std::size_t end, const CountConfig& config, DakcPe& state) {
+  const int k = config.k;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& read = reads[i];
+    const std::size_t emitted =
+        kmer::for_each_kmer(read, k, [&](kmer::Kmer64 km) {
+          if (config.superkmer) {
+            // As-parsed windows keep runs contiguous; canonicalization
+            // happens after expansion at the owner.
+            state.async_add_super(km);
+            return;
+          }
+          if (config.canonical) km = kmer::canonical(km, k);
+          state.async_add(km);
+        });
+    if (config.superkmer) state.end_run();  // runs never straddle reads
+    cost.parse(pe, read.size(), emitted);
+  }
+}
+
+/// Epoch `epoch` of `epochs`'s share of one shard's read range.
+std::pair<std::size_t, std::size_t> epoch_slice(std::size_t begin,
+                                                std::size_t end, int epochs,
+                                                int epoch) {
+  const auto [b, e] = read_slice(end - begin, epochs, epoch);
+  return {begin + b, begin + e};
+}
+
+/// The checkpoint/rollback protocol of DESIGN.md §11. Phase 1 runs as
+/// `plane.total_epochs` epoch attempts, each on a fresh conveyor stream:
+/// parse this epoch's slice of every owned shard, quiesce, snapshot the
+/// receive state into the plane (and optionally to disk), barrier. A
+/// permanent kill observed anywhere in that sequence aborts the attempt;
+/// survivors adopt the dead PE's shards from its last durable slot,
+/// agree (allreduce) on the newest epoch every needed slot can supply,
+/// and replay from there. The spectrum is bit-identical to the
+/// fault-free run because every k-mer occurrence is folded in exactly
+/// once: epochs partition the input, checkpoints capture whole epochs
+/// only, and a rolled-back attempt's partial traffic dies with its
+/// conveyor stream.
+void run_dakc_pe_recovery(net::Pe& pe, const std::vector<std::string>& reads,
+                          const CountConfig& config, PeOutput* out,
+                          RecoveryPlane& plane) {
+  namespace fs = std::filesystem;
+  const int rank = pe.rank();
+  const int pes = pe.size();
+  const int epochs = plane.total_epochs;
+  pe.barrier();  // global sync #1: start of the counting epoch
+
+  cachesim::CostModel cost = make_cost_model(config, pe);
+
+  // redirect[owner] = the PE actually holding owner's shard + key range.
+  std::vector<int> redirect(static_cast<std::size_t>(pes));
+  for (int p = 0; p < pes; ++p) redirect[static_cast<std::size_t>(p)] = p;
+  std::vector<int> my_shards{rank};
+  std::vector<kmer::KmerCount64> carry_pairs;  // receive array T, carried
+  std::vector<std::uint64_t> carry_keys;       // across epoch attempts
+  double carry_accounted = 0.0;
+  int next_epoch = 0;
+  int epoch_high = 0;  // attempted-epoch high water (replay detection)
+  std::uint32_t stream = 1;  // stream 0 is the legacy wire format
+  std::size_t deaths_handled = 0;
+
+  auto account_carry = [&] {
+    const double bytes = static_cast<double>(carry_pairs.size()) * 16.0 +
+                         static_cast<double>(carry_keys.size()) * 8.0;
+    if (bytes > carry_accounted)
+      pe.account_alloc(bytes - carry_accounted);
+    else if (bytes < carry_accounted)
+      pe.account_free(carry_accounted - bytes);
+    carry_accounted = bytes;
+  };
+  auto lowest_live = [&] {
+    for (int p = 0; p < pes; ++p)
+      if (pe.alive(p)) return p;
+    return 0;
+  };
+  /// Deaths since the last rollback, with their recovery owners. `upto`
+  /// MUST be a collectively-agreed dead count (collective_dead_epoch()
+  /// after a rendezvous): death_order() is append-only, so a prefix
+  /// length names the same dead set at every survivor, while its live
+  /// size()/alive() can already include deaths a peer has not observed.
+  auto new_owners = [&](int upto) {
+    const auto& order = pe.death_order();
+    std::vector<int> newly(order.begin() +
+                               static_cast<std::ptrdiff_t>(deaths_handled),
+                           order.begin() + upto);
+    deaths_handled = static_cast<std::size_t>(upto);
+    std::vector<char> dead(static_cast<std::size_t>(pes), 0);
+    for (int i = 0; i < upto; ++i)
+      dead[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = 1;
+    std::vector<int> live;
+    for (int p = 0; p < pes; ++p)
+      if (!dead[static_cast<std::size_t>(p)]) live.push_back(p);
+    return assign_recovery_owners(std::move(newly), std::move(live));
+  };
+  /// Snapshot the carried state as the generation covering `epoch_done`
+  /// epochs. The in-memory slot is stored before any cost is charged, so
+  /// a kill landing inside the charge still leaves a durable snapshot.
+  auto write_slot = [&](int epoch_done) {
+    RecoverySlot slot;
+    slot.epoch = epoch_done;
+    slot.shards = my_shards;
+    slot.pairs = carry_pairs;
+    slot.sk_keys = carry_keys;
+    const io::Checkpoint ck = slot_to_checkpoint(rank, slot);
+    const double bytes = io::checkpoint_bytes(ck);
+    plane.store(rank, std::move(slot));
+    ++out->checkpoints_written;
+    out->checkpoint_bytes += bytes;
+    if (!plane.dir.empty()) {
+      io::write_checkpoint_file(checkpoint_path(plane.dir, rank, epoch_done),
+                                ck);
+      std::error_code ec;  // keep two generations on disk, like the slots
+      fs::remove(checkpoint_path(plane.dir, rank, epoch_done - 2), ec);
+    }
+    cost.stream_touch(pe, bytes);  // modeled serialization stream
+  };
+
+  // -- restart: resume from the on-disk state the driver loaded ----------
+  if (plane.start_epoch > 0) {
+    next_epoch = epoch_high = plane.start_epoch;
+    my_shards.clear();
+    for (int p = 0; p < pes; ++p) {
+      const auto& gens = plane.slots[static_cast<std::size_t>(p)];
+      if (gens.empty()) continue;
+      for (int s : gens.front().shards)
+        redirect[static_cast<std::size_t>(s)] = p;
+    }
+    if (const RecoverySlot* mine = plane.find(rank, plane.start_epoch)) {
+      my_shards = mine->shards;
+      carry_pairs = mine->pairs;
+      carry_keys = mine->sk_keys;
+      cost.stream_touch(
+          pe, io::checkpoint_bytes(slot_to_checkpoint(rank, *mine)));
+      account_carry();
+    }
+  }
+
+  // -- phase 1: epoch attempts with rollback ------------------------------
+  while (next_epoch < epochs) {
+    const int e = next_epoch;
+    const int dead0 = pe.collective_dead_epoch();
+    // Deaths already agreed on but not yet adopted (a PE can die before
+    // the epoch's first collective — even at time zero, before any
+    // snapshot exists): skip the attempt and go straight to adoption,
+    // otherwise the corpse's shard would be parsed toward a dead owner
+    // and quiescence could never drain those frames.
+    bool ok = dead0 == static_cast<int>(deaths_handled);
+    if (ok) {
+      {
+        DakcPe state(pe, cost, config, stream, &redirect);
+        ++stream;
+        state.adopt(std::move(carry_pairs), std::move(carry_keys));
+        carry_pairs.clear();
+        carry_keys.clear();
+        carry_accounted = 0.0;  // ownership moved into the DakcPe
+        for (int shard : my_shards) {
+          const auto [sb, se] = read_slice(reads.size(), pes, shard);
+          const auto [eb, ee] = epoch_slice(sb, se, epochs, e);
+          if (e < epoch_high)  // re-attempt of a rolled-back epoch
+            out->replayed_reads += static_cast<std::uint64_t>(ee - eb);
+          parse_range(pe, cost, reads, eb, ee, config, state);
+        }
+        epoch_high = std::max(epoch_high, e + 1);
+        ok = state.finish_phase1(
+            [&] { return pe.collective_dead_epoch() != dead0; });
+        if (ok) {
+          carry_pairs = std::move(state.local_pairs());
+          carry_keys = state.take_keys();
+        }
+        state.export_stats(out);
+      }  // fresh conveyor stream for the next attempt
+      account_carry();
+    }
+    if (ok) {
+      write_slot(e + 1);
+      pe.barrier();  // every live PE's generation e+1 is now durable
+      if (pe.collective_dead_epoch() == dead0) {
+        // The MANIFEST trails the barrier so it never names an epoch some
+        // PE's file is missing from.
+        if (!plane.dir.empty() && rank == lowest_live())
+          write_manifest(plane.dir, pes, epochs, e + 1);
+        next_epoch = e + 1;
+        continue;
+      }
+      ok = false;  // a peer died this epoch: roll the attempt back
+    }
+
+    // -- rollback --------------------------------------------------------
+    pe.barrier();  // realign the survivors of the aborted attempt
+    ++out->rollbacks;
+    const auto owners = new_owners(pe.collective_dead_epoch());
+    std::vector<int> adoptees;
+    for (const auto& [d, o] : owners) {
+      for (int r = 0; r < pes; ++r)
+        if (redirect[static_cast<std::size_t>(r)] == d)
+          redirect[static_cast<std::size_t>(r)] = o;
+      if (o == rank) adoptees.push_back(d);
+    }
+    // Agree on the newest epoch every needed generation can supply. A PE
+    // that died between storing e+1 and the barrier leaves survivors on
+    // e+1 while it stopped at e — the second generation covers the gap.
+    int avail = plane.newest_epoch(rank);
+    for (int d : adoptees) avail = std::min(avail, plane.newest_epoch(d));
+    const auto gap =
+        pe.allreduce_max(static_cast<std::uint64_t>(epochs - avail));
+    const int rollback = epochs - static_cast<int>(gap);
+    carry_pairs.clear();
+    carry_keys.clear();
+    if (const RecoverySlot* mine = plane.find(rank, rollback)) {
+      carry_pairs = mine->pairs;
+      carry_keys = mine->sk_keys;
+    } else {
+      DAKC_CHECK_MSG(rollback == 0,
+                     "no checkpoint generation at the rollback epoch");
+    }
+    for (int d : adoptees) {
+      const auto& dgens = plane.slots[static_cast<std::size_t>(d)];
+      const std::vector<int> dshards =
+          dgens.empty() ? std::vector<int>{d} : dgens.front().shards;
+      if (const RecoverySlot* ds = plane.find(d, rollback)) {
+        carry_pairs.insert(carry_pairs.end(), ds->pairs.begin(),
+                           ds->pairs.end());
+        carry_keys.insert(carry_keys.end(), ds->sk_keys.begin(),
+                          ds->sk_keys.end());
+      } else {
+        DAKC_CHECK_MSG(rollback == 0,
+                       "dead PE has no generation at the rollback epoch");
+      }
+      out->recovered_shards += static_cast<std::uint64_t>(dshards.size());
+      my_shards.insert(my_shards.end(), dshards.begin(), dshards.end());
+      if (!plane.dir.empty()) {
+        // The corpse's files are superseded by our merged snapshots.
+        std::error_code ec;
+        for (int de = 0; de <= epochs; ++de)
+          fs::remove(checkpoint_path(plane.dir, d, de), ec);
+      }
+    }
+    std::sort(my_shards.begin(), my_shards.end());
+    // Make the merged state the single durable generation at `rollback`
+    // (shard ownership is control-plane state: it never rolls back).
+    RecoverySlot merged;
+    merged.epoch = rollback;
+    merged.shards = my_shards;
+    merged.pairs = carry_pairs;
+    merged.sk_keys = carry_keys;
+    const io::Checkpoint merged_ck = slot_to_checkpoint(rank, merged);
+    if (!plane.dir.empty() && rollback >= 1)
+      io::write_checkpoint_file(checkpoint_path(plane.dir, rank, rollback),
+                                merged_ck);
+    plane.reset(rank, std::move(merged));
+    if (!plane.dir.empty() && rank == lowest_live()) {
+      if (rollback >= 1) {
+        write_manifest(plane.dir, pes, epochs, rollback);
+      } else {
+        std::error_code ec;  // nothing durable yet: no restart point
+        fs::remove(manifest_path(plane.dir), ec);
+      }
+    }
+    cost.stream_touch(pe, io::checkpoint_bytes(merged_ck));  // restore read
+    account_carry();
+    next_epoch = rollback;
+  }
+
+  out->phase1_end = pe.now();
+  out->replay_phase1 = cost.stats();
+
+  // -- phase 2: local sort + accumulate, redone if a PE dies mid-sort ----
+  while (true) {
+    const int dead0 = pe.collective_dead_epoch();
+    if (config.superkmer) {
+      // Mirror of DakcPe::superkmer_phase2's in-memory branch, run on a
+      // copy of the carried keys (kept intact in case a redo is needed).
+      std::vector<std::uint64_t> keys = carry_keys;
+      sort::SortStats st;
+      auto counts = sort::wc_sort_accumulate(keys, &st);
+      cost.sort(pe, st, 8);
+      cost.accumulate(pe, counts.size(), sizeof(kmer::KmerCount64));
+      out->counts = std::move(counts);
+      out->phase2_end = pe.now();
+    } else {
+      std::vector<kmer::KmerCount64> pairs = carry_pairs;  // keep the carry
+      sort_and_accumulate_local(pe, cost, pairs, out);
+    }
+    pe.barrier();  // global sync #3 (doubles as the phase-2 death check)
+    if (pe.collective_dead_epoch() == dead0) break;
+    // A PE died during its local phase 2. It passed the final checkpoint
+    // barrier, so its epoch-`epochs` generation is complete: adopt it and
+    // redo the (purely local) sort with the merged input.
+    ++out->rollbacks;
+    for (const auto& [d, o] : new_owners(pe.collective_dead_epoch())) {
+      for (int r = 0; r < pes; ++r)
+        if (redirect[static_cast<std::size_t>(r)] == d)
+          redirect[static_cast<std::size_t>(r)] = o;
+      if (o != rank) continue;
+      const RecoverySlot* ds = plane.find(d, epochs);
+      DAKC_CHECK_MSG(ds != nullptr,
+                     "phase-2 casualty has no final checkpoint");
+      carry_pairs.insert(carry_pairs.end(), ds->pairs.begin(),
+                         ds->pairs.end());
+      carry_keys.insert(carry_keys.end(), ds->sk_keys.begin(),
+                        ds->sk_keys.end());
+      out->recovered_shards += static_cast<std::uint64_t>(ds->shards.size());
+      my_shards.insert(my_shards.end(), ds->shards.begin(),
+                       ds->shards.end());
+      cost.stream_touch(pe,
+                        io::checkpoint_bytes(slot_to_checkpoint(rank, *ds)));
+    }
+    account_carry();
+  }
+  out->phase2_end = pe.now();
+  out->replay_total = cost.stats();
+}
+
 }  // namespace
 
 void run_dakc_pe(net::Pe& pe, const std::vector<std::string>& reads,
-                 const CountConfig& config, PeOutput* out) {
+                 const CountConfig& config, PeOutput* out,
+                 RecoveryPlane* recovery) {
   DAKC_CHECK_MSG(!config.l3_enabled || config.l2_enabled,
                  "L3 requires L2 (Algorithm 4's layering)");
   DAKC_CHECK(config.c2 >= 2 && config.c3 >= 2);
@@ -608,29 +968,24 @@ void run_dakc_pe(net::Pe& pe, const std::vector<std::string>& reads,
     DAKC_CHECK_MSG(config.max_bins >= 1 && config.max_bins <= kmer::kMaxBins,
                    "max_bins must be in [1, 65536]");
   }
+  if (recovery != nullptr) {
+    DAKC_CHECK_MSG(recovery->total_epochs >= 1,
+                   "recovery plane needs at least one epoch");
+    DAKC_CHECK_MSG(config.tmp_dir.empty(),
+                   "checkpoint/recovery mode cannot run out-of-core "
+                   "(tmp_dir): disk-resident bins are not snapshotable");
+    DAKC_CHECK_MSG(!config.phase2_hash,
+                   "checkpoint/recovery mode requires the sorting phase 2");
+    run_dakc_pe_recovery(pe, reads, config, out, *recovery);
+    return;
+  }
   pe.barrier();  // global sync #1: start of the counting epoch
 
   cachesim::CostModel cost = make_cost_model(config, pe);
   DakcPe state(pe, cost, config);
   const auto [begin, end] = core::read_slice(reads.size(), pe.size(),
                                              pe.rank());
-  const int k = config.k;
-  for (std::size_t i = begin; i < end; ++i) {
-    const std::string& read = reads[i];
-    const std::size_t emitted =
-        kmer::for_each_kmer(read, k, [&](kmer::Kmer64 km) {
-          if (config.superkmer) {
-            // As-parsed windows keep runs contiguous; canonicalization
-            // happens after expansion at the owner.
-            state.async_add_super(km);
-            return;
-          }
-          if (config.canonical) km = kmer::canonical(km, k);
-          state.async_add(km);
-        });
-    if (config.superkmer) state.end_run();  // runs never straddle reads
-    cost.parse(pe, read.size(), emitted);
-  }
+  parse_range(pe, cost, reads, begin, end, config, state);
   state.finish_phase1();  // global sync #2: the phase-1/2 barrier
   out->phase1_end = pe.now();
   out->replay_phase1 = cost.stats();

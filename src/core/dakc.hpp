@@ -24,11 +24,16 @@
 #include <vector>
 
 #include "core/common.hpp"
+#include "core/recovery.hpp"
 
 namespace dakc::core {
 
+/// `recovery` non-null runs the checkpoint/rollback epoch protocol
+/// (DESIGN.md §11); null is the legacy single-shot path, bit-identical
+/// to the pinned goldens.
 void run_dakc_pe(net::Pe& pe, const std::vector<std::string>& reads,
-                 const CountConfig& config, PeOutput* out);
+                 const CountConfig& config, PeOutput* out,
+                 RecoveryPlane* recovery = nullptr);
 
 /// Packet kinds on the wire (conveyor `kind` byte).
 inline constexpr std::uint8_t kPacketNormal = 0;  ///< raw k-mers

@@ -8,10 +8,13 @@
 #include "core/api.hpp"
 #include "core/common.hpp"
 #include "core/dakc.hpp"
+#include "core/recovery.hpp"
 #include "net/trace.hpp"
 #include "util/check.hpp"
 
+#include <filesystem>
 #include <fstream>
+#include <memory>
 
 namespace dakc::core {
 
@@ -81,6 +84,36 @@ RunReport count_kmers(const std::vector<std::string>& reads,
       break;
   }
 
+  // -- checkpoint / restart / permanent-failure recovery (DESIGN.md §11) --
+  // The recovery plane only exists for the DAKC backend; kills without it
+  // have no recovery protocol and are refused up front.
+  DAKC_CHECK_MSG(cfg.faults.kill_rate == 0.0 ||
+                     cfg.backend == Backend::kDakc,
+                 "kill_rate requires the dakc backend (recovery protocol)");
+  DAKC_CHECK_MSG(cfg.checkpoint_epochs == 0 ||
+                     cfg.backend == Backend::kDakc,
+                 "checkpoint_epochs requires the dakc backend");
+  DAKC_CHECK_MSG(cfg.checkpoint_epochs >= 0,
+                 "checkpoint_epochs must be non-negative");
+  DAKC_CHECK_MSG(!cfg.restart || !cfg.checkpoint_dir.empty(),
+                 "restart needs checkpoint_dir to restore from");
+  std::unique_ptr<RecoveryPlane> plane;
+  if (cfg.backend == Backend::kDakc &&
+      (cfg.faults.kill_rate > 0.0 || cfg.checkpoint_epochs > 0 ||
+       cfg.restart)) {
+    plane = std::make_unique<RecoveryPlane>();
+    plane->total_epochs = std::max(1, cfg.checkpoint_epochs);
+    plane->dir = cfg.checkpoint_dir;
+    plane->slots.resize(static_cast<std::size_t>(fab_cfg.pes));
+    if (!plane->dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(plane->dir, ec);
+      DAKC_CHECK_MSG(!ec,
+                     "cannot create checkpoint directory: " + plane->dir);
+    }
+    if (cfg.restart) load_restart_state(plane.get(), fab_cfg.pes);
+  }
+
   net::Fabric fabric(fab_cfg);
   std::vector<PeOutput> outputs(static_cast<std::size_t>(fab_cfg.pes));
 
@@ -118,7 +151,7 @@ RunReport count_kmers(const std::vector<std::string>& reads,
         break;
       }
       case Backend::kDakc:
-        run_dakc_pe(pe, reads, cfg, out);
+        run_dakc_pe(pe, reads, cfg, out, plane.get());
         break;
     }
   };
@@ -132,6 +165,12 @@ RunReport count_kmers(const std::vector<std::string>& reads,
     report.node_mem_high = oom.attempted;
     return report;
   }
+
+  // A PE killed at the very last barrier may have finished its local
+  // phase 2 first; its pairs were also re-admitted onto a survivor, so
+  // drop the corpse's slice to keep every k-mer counted exactly once.
+  for (int d : fabric.killed_ranks())
+    outputs[static_cast<std::size_t>(d)].counts.clear();
 
   fill_report_from_fabric(fabric, outputs, &report);
   if (!cfg.trace_path.empty()) {

@@ -1,0 +1,170 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+#include "util/check.hpp"
+
+namespace dakc::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Checkpoint section ids (io/checkpoint.hpp framing).
+constexpr std::uint32_t kSectionPairs = 1;    // KmerCount64 pairs, 2 words each
+constexpr std::uint32_t kSectionKeys = 2;     // raw super-k-mer keys
+constexpr std::uint32_t kSectionShards = 3;   // adopted shard ranks
+constexpr std::uint32_t kSectionManifest = 4; // {pes, total_epochs}
+
+}  // namespace
+
+const RecoverySlot* RecoveryPlane::find(int rank, int epoch) const {
+  for (const auto& gen : slots[static_cast<std::size_t>(rank)])
+    if (gen.epoch == epoch) return &gen;
+  return nullptr;
+}
+
+int RecoveryPlane::newest_epoch(int rank) const {
+  const auto& gens = slots[static_cast<std::size_t>(rank)];
+  return gens.empty() ? 0 : gens.front().epoch;
+}
+
+void RecoveryPlane::store(int rank, RecoverySlot slot) {
+  auto& gens = slots[static_cast<std::size_t>(rank)];
+  gens.insert(gens.begin(), std::move(slot));
+  if (gens.size() > 2) gens.resize(2);
+}
+
+void RecoveryPlane::reset(int rank, RecoverySlot slot) {
+  auto& gens = slots[static_cast<std::size_t>(rank)];
+  gens.clear();
+  gens.push_back(std::move(slot));
+}
+
+io::Checkpoint slot_to_checkpoint(int rank, const RecoverySlot& slot) {
+  io::Checkpoint ck;
+  ck.rank = static_cast<std::uint32_t>(rank);
+  ck.epoch = static_cast<std::uint32_t>(slot.epoch);
+  static_assert(sizeof(kmer::KmerCount64) == 2 * sizeof(std::uint64_t));
+  io::CheckpointSection pairs;
+  pairs.id = kSectionPairs;
+  pairs.words.resize(slot.pairs.size() * 2);
+  if (!slot.pairs.empty())
+    std::memcpy(pairs.words.data(), slot.pairs.data(),
+                pairs.words.size() * sizeof(std::uint64_t));
+  ck.sections.push_back(std::move(pairs));
+  io::CheckpointSection keys;
+  keys.id = kSectionKeys;
+  keys.words = slot.sk_keys;
+  ck.sections.push_back(std::move(keys));
+  io::CheckpointSection shards;
+  shards.id = kSectionShards;
+  shards.words.reserve(slot.shards.size());
+  for (int s : slot.shards)
+    shards.words.push_back(static_cast<std::uint64_t>(s));
+  ck.sections.push_back(std::move(shards));
+  return ck;
+}
+
+RecoverySlot checkpoint_to_slot(const io::Checkpoint& ck) {
+  RecoverySlot slot;
+  slot.epoch = static_cast<int>(ck.epoch);
+  const auto* pairs = ck.find(kSectionPairs);
+  const auto* keys = ck.find(kSectionKeys);
+  const auto* shards = ck.find(kSectionShards);
+  DAKC_CHECK_MSG(pairs != nullptr && keys != nullptr && shards != nullptr,
+                 "checkpoint is missing a required section");
+  DAKC_CHECK_MSG(pairs->size() % 2 == 0,
+                 "checkpoint pair section has odd word count");
+  slot.pairs.resize(pairs->size() / 2);
+  if (!pairs->empty())
+    std::memcpy(slot.pairs.data(), pairs->data(),
+                pairs->size() * sizeof(std::uint64_t));
+  slot.sk_keys = *keys;
+  slot.shards.reserve(shards->size());
+  for (std::uint64_t s : *shards) slot.shards.push_back(static_cast<int>(s));
+  return slot;
+}
+
+std::string checkpoint_path(const std::string& dir, int rank, int epoch) {
+  return dir + "/pe" + std::to_string(rank) + ".e" + std::to_string(epoch) +
+         ".ckpt";
+}
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/MANIFEST.ckpt";
+}
+
+std::vector<std::pair<int, int>> assign_recovery_owners(
+    std::vector<int> newly_dead, std::vector<int> live) {
+  DAKC_CHECK_MSG(!live.empty(), "no live PE left to adopt dead shards");
+  std::sort(newly_dead.begin(), newly_dead.end());
+  std::sort(live.begin(), live.end());
+  std::vector<std::pair<int, int>> owners;
+  owners.reserve(newly_dead.size());
+  for (std::size_t i = 0; i < newly_dead.size(); ++i)
+    owners.emplace_back(newly_dead[i], live[i % live.size()]);
+  return owners;
+}
+
+void write_manifest(const std::string& dir, int pes, int total_epochs,
+                    int epoch) {
+  io::Checkpoint ck;
+  ck.rank = 0;
+  ck.epoch = static_cast<std::uint32_t>(epoch);
+  io::CheckpointSection meta;
+  meta.id = kSectionManifest;
+  meta.words = {static_cast<std::uint64_t>(pes),
+                static_cast<std::uint64_t>(total_epochs)};
+  ck.sections.push_back(std::move(meta));
+  // Write-then-rename so a crash mid-write never leaves a torn MANIFEST:
+  // restart either sees the previous epoch or this one.
+  const std::string tmp = manifest_path(dir) + ".tmp";
+  io::write_checkpoint_file(tmp, ck);
+  std::error_code ec;
+  fs::rename(tmp, manifest_path(dir), ec);
+  DAKC_CHECK_MSG(!ec, "cannot publish checkpoint manifest in " + dir);
+}
+
+void load_restart_state(RecoveryPlane* plane, int pes) {
+  const io::Checkpoint manifest =
+      io::read_checkpoint_file(manifest_path(plane->dir));
+  const auto* meta = manifest.find(kSectionManifest);
+  DAKC_CHECK_MSG(meta != nullptr && meta->size() == 2,
+                 "checkpoint manifest is malformed");
+  DAKC_CHECK_MSG(static_cast<int>((*meta)[0]) == pes,
+                 "checkpoint manifest was written for a different PE count");
+  DAKC_CHECK_MSG(static_cast<int>((*meta)[1]) == plane->total_epochs,
+                 "checkpoint manifest was written with a different "
+                 "checkpoint_epochs");
+  const int epoch = static_cast<int>(manifest.epoch);
+  DAKC_CHECK_MSG(epoch >= 1 && epoch <= plane->total_epochs,
+                 "checkpoint manifest names an impossible epoch");
+  plane->start_epoch = epoch;
+  std::vector<int> covered(static_cast<std::size_t>(pes), 0);
+  for (int r = 0; r < pes; ++r) {
+    const std::string path = checkpoint_path(plane->dir, r, epoch);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) continue;  // shard adopted by a survivor
+    const io::Checkpoint ck = io::read_checkpoint_file(path);
+    DAKC_CHECK_MSG(static_cast<int>(ck.rank) == r &&
+                       static_cast<int>(ck.epoch) == epoch,
+                   "checkpoint file header disagrees with its name: " + path);
+    RecoverySlot slot = checkpoint_to_slot(ck);
+    for (int s : slot.shards) {
+      DAKC_CHECK_MSG(s >= 0 && s < pes,
+                     "checkpoint names an out-of-range shard: " + path);
+      ++covered[static_cast<std::size_t>(s)];
+    }
+    plane->slots[static_cast<std::size_t>(r)].push_back(std::move(slot));
+  }
+  for (int s = 0; s < pes; ++s)
+    DAKC_CHECK_MSG(covered[static_cast<std::size_t>(s)] == 1,
+                   "restart state covers shard " + std::to_string(s) + " " +
+                       std::to_string(covered[static_cast<std::size_t>(s)]) +
+                       " times (want exactly 1)");
+}
+
+}  // namespace dakc::core

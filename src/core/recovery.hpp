@@ -1,0 +1,84 @@
+// Checkpoint/restart and permanent-failure recovery for the DAKC kernel
+// (DESIGN.md §11).
+//
+// The recovery plane is host-side state owned by the driver for one
+// count_kmers() call: per-PE checkpoint slots (the last two epoch
+// generations) plus the on-disk mirror used by --restart-from. Each PE
+// only ever writes its own slot while the fabric runs; other PEs' slots
+// are read exclusively during rollback processing, which only happens
+// under permanent kills — and kills force the serial engine — so no
+// locking is needed.
+//
+// Epoch protocol (run in dakc.cpp when a RecoveryPlane is supplied):
+// phase 1 is split into `total_epochs` read sub-slices. Each epoch runs
+// on a fresh conveyor stream, quiesces, snapshots the receive array into
+// a slot (and optionally a checkpoint file), and barriers. If a PE died
+// during the epoch, survivors abort the attempt, adopt the dead PE's
+// shards from its last durable slot, agree on a global rollback epoch,
+// and replay from there. Two generations per slot close the window where
+// a PE dies after storing epoch e+1 while another survivor only holds e.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/checkpoint.hpp"
+#include "kmer/count.hpp"
+
+namespace dakc::core {
+
+/// One durable snapshot of a PE's counting state: everything folded in
+/// after `epoch` completed epochs of every shard in `shards`.
+struct RecoverySlot {
+  int epoch = 0;               ///< epochs of parsed input covered: [0, epoch)
+  std::vector<int> shards;     ///< read shards whose traffic lands here
+  std::vector<kmer::KmerCount64> pairs;  ///< receive array T
+  std::vector<std::uint64_t> sk_keys;    ///< super-k-mer expanded keys
+};
+
+/// Host-side checkpoint store for one run.
+struct RecoveryPlane {
+  int total_epochs = 1;   ///< phase-1 epoch safepoints (>= 1)
+  int start_epoch = 0;    ///< restart resumes here (0 = fresh run)
+  std::string dir;        ///< on-disk mirror; empty = in-memory slots only
+  /// slots[rank]: newest-first generations, at most two kept.
+  std::vector<std::vector<RecoverySlot>> slots;
+
+  /// The generation of `rank` covering exactly `epoch`, or nullptr.
+  const RecoverySlot* find(int rank, int epoch) const;
+  /// Newest generation's epoch for `rank` (0 when no slot exists).
+  int newest_epoch(int rank) const;
+  /// Push a new newest generation, keeping at most two.
+  void store(int rank, RecoverySlot slot);
+  /// Drop every generation of `rank` and keep only `slot` (rollback).
+  void reset(int rank, RecoverySlot slot);
+};
+
+/// Slot <-> snapshot-file conversion (section ids are private to this
+/// pair of functions; io/checkpoint.hpp owns the framing).
+io::Checkpoint slot_to_checkpoint(int rank, const RecoverySlot& slot);
+RecoverySlot checkpoint_to_slot(const io::Checkpoint& ck);
+
+std::string checkpoint_path(const std::string& dir, int rank, int epoch);
+std::string manifest_path(const std::string& dir);
+
+/// Deterministic recovery ownership: the i-th (ascending) newly dead
+/// rank is adopted by the i-th (mod-size, ascending) live rank. Every
+/// survivor computes the identical assignment from identical inputs.
+std::vector<std::pair<int, int>> assign_recovery_owners(
+    std::vector<int> newly_dead, std::vector<int> live);
+
+/// Atomically (write + rename) declare `epoch` durable: every live PE's
+/// pe<r>.e<epoch>.ckpt file was flushed before the caller's barrier.
+void write_manifest(const std::string& dir, int pes, int total_epochs,
+                    int epoch);
+
+/// Load the MANIFEST and every per-rank checkpoint file at its epoch
+/// into plane->slots; sets plane->start_epoch. Validates that every
+/// rank's shard is covered by exactly one loaded slot. Throws
+/// io::IoError / std::logic_error on a missing or inconsistent set.
+void load_restart_state(RecoveryPlane* plane, int pes);
+
+}  // namespace dakc::core

@@ -3,12 +3,31 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 
+#include "io/checkpoint.hpp"
 #include "util/check.hpp"
 
 namespace dakc::io {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// Spill-file framing (all little-endian, 8-byte-aligned):
+//   file header:  [magic u64 | version u32 | bin u32]
+//   chunk*:       [word_count u64 | crc32 u32 | 0 u32 | words...]
+// Each spill_all() appends one chunk per bin; load() walks the chunks
+// validating every CRC so a bit flip or truncation surfaces as a precise
+// IoError instead of expanding garbage super-k-mers. The stats counters
+// (spill_bytes/reload_bytes) stay PAYLOAD-only: framing is host-side
+// bookkeeping, not modeled spill traffic.
+constexpr std::uint64_t kBinMagic = 0x44414B4342494E31ULL;  // "DAKCBIN1"
+constexpr std::uint32_t kBinVersion = 1;
+constexpr std::size_t kBinHeaderBytes = 8 + 4 + 4;
+constexpr std::size_t kChunkHeaderBytes = 8 + 4 + 4;
+
+}  // namespace
 
 BinStore::BinStore(BinStoreConfig config) : config_(std::move(config)) {
   DAKC_CHECK_MSG(!config_.dir.empty(), "BinStoreConfig.dir must be set");
@@ -49,15 +68,29 @@ double BinStore::spill_all() {
   for (int i = 0; i < config_.bins; ++i) {
     auto& b = bins_[static_cast<std::size_t>(i)];
     if (b.words.empty()) continue;
-    std::FILE* f = std::fopen(path_for(i).c_str(), "ab");
-    DAKC_CHECK_MSG(f != nullptr, "cannot open spill file: " + path_for(i));
-    const std::size_t n =
-        std::fwrite(b.words.data(), sizeof(std::uint64_t), b.words.size(), f);
+    const std::string path = path_for(i);
+    std::FILE* f = std::fopen(path.c_str(), b.on_disk ? "ab" : "wb");
+    DAKC_CHECK_MSG(f != nullptr, "cannot open spill file: " + path);
+    bool ok = true;
+    if (!b.on_disk) {
+      const std::uint32_t bin_id = static_cast<std::uint32_t>(i);
+      ok = ok && std::fwrite(&kBinMagic, 8, 1, f) == 1;
+      ok = ok && std::fwrite(&kBinVersion, 4, 1, f) == 1;
+      ok = ok && std::fwrite(&bin_id, 4, 1, f) == 1;
+    }
+    const auto word_count = static_cast<std::uint64_t>(b.words.size());
+    const std::uint32_t crc =
+        crc32(b.words.data(), b.words.size() * sizeof(std::uint64_t));
+    const std::uint32_t pad = 0;
+    ok = ok && std::fwrite(&word_count, 8, 1, f) == 1;
+    ok = ok && std::fwrite(&crc, 4, 1, f) == 1;
+    ok = ok && std::fwrite(&pad, 4, 1, f) == 1;
+    ok = ok && std::fwrite(b.words.data(), sizeof(std::uint64_t),
+                           b.words.size(), f) == b.words.size();
     std::fclose(f);
-    DAKC_CHECK_MSG(n == b.words.size(),
-                   "short write to spill file: " + path_for(i));
+    DAKC_CHECK_MSG(ok, "short write to spill file: " + path);
     b.on_disk = true;
-    written += static_cast<double>(n) * 8.0;
+    written += static_cast<double>(word_count) * 8.0;
     b.words.clear();
     b.words.shrink_to_fit();
   }
@@ -75,19 +108,52 @@ std::vector<std::uint64_t> BinStore::load(int bin) {
   std::vector<std::uint64_t> out;
   if (b.on_disk) {
     const std::string path = path_for(bin);
-    std::error_code ec;
-    const auto file_bytes = fs::file_size(path, ec);
-    DAKC_CHECK_MSG(!ec && file_bytes % 8 == 0,
-                   "unreadable spill file: " + path);
-    const std::size_t n = static_cast<std::size_t>(file_bytes / 8);
-    out.resize(n);
-    std::FILE* f = std::fopen(path.c_str(), "rb");
-    DAKC_CHECK_MSG(f != nullptr, "cannot open spill file: " + path);
-    const std::size_t got =
-        n == 0 ? 0 : std::fread(out.data(), sizeof(std::uint64_t), n, f);
-    std::fclose(f);
-    DAKC_CHECK_MSG(got == n, "short read from spill file: " + path);
-    reload_bytes_ += static_cast<double>(n) * 8.0;
+    struct Closer {
+      void operator()(std::FILE* fp) const {
+        if (fp) std::fclose(fp);
+      }
+    };
+    std::unique_ptr<std::FILE, Closer> f(std::fopen(path.c_str(), "rb"));
+    if (!f) throw IoError("cannot open spill file", path, 0);
+    std::uint64_t offset = 0;
+    auto get = [&](void* data, std::size_t n) {
+      if (std::fread(data, 1, n, f.get()) != n)
+        throw IoError("truncated spill file", path, offset);
+      offset += n;
+    };
+    std::uint64_t magic = 0;
+    std::uint32_t version = 0, bin_id = 0;
+    get(&magic, 8);
+    if (magic != kBinMagic) throw IoError("bad spill-file magic", path, 0);
+    get(&version, 4);
+    if (version != kBinVersion)
+      throw IoError("unsupported spill-file version", path, 8);
+    get(&bin_id, 4);
+    if (bin_id != static_cast<std::uint32_t>(bin))
+      throw IoError("spill file names a different bin", path, 12);
+    // Walk the appended chunks to EOF, validating each payload's CRC.
+    while (true) {
+      unsigned char probe = 0;
+      if (std::fread(&probe, 1, 1, f.get()) != 1) break;  // clean EOF
+      if (std::fseek(f.get(), -1, SEEK_CUR) != 0)
+        throw IoError("cannot seek in spill file", path, offset);
+      const std::uint64_t chunk_offset = offset;
+      std::uint64_t word_count = 0;
+      std::uint32_t crc = 0, pad = 0;
+      get(&word_count, 8);
+      get(&crc, 4);
+      get(&pad, 4);
+      if (word_count > (1ull << 40))
+        throw IoError("implausible spill-chunk length", path, chunk_offset);
+      const std::size_t old = out.size();
+      out.resize(old + static_cast<std::size_t>(word_count));
+      const std::uint64_t payload_offset = offset;
+      get(out.data() + old, static_cast<std::size_t>(word_count) * 8);
+      if (crc32(out.data() + old,
+                static_cast<std::size_t>(word_count) * 8) != crc)
+        throw IoError("spill-chunk checksum mismatch", path, payload_offset);
+    }
+    reload_bytes_ += static_cast<double>(out.size()) * 8.0;
   }
   out.insert(out.end(), b.words.begin(), b.words.end());
   return out;

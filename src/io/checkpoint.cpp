@@ -1,0 +1,164 @@
+#include "io/checkpoint.hpp"
+
+#include <array>
+#include <cstdio>
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace dakc::io {
+
+namespace {
+
+// "DAKCCKP1" — version bumps change the trailing byte.
+constexpr std::uint64_t kCheckpointMagic = 0x44414B43434B5031ULL;
+constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 4 + 4;
+constexpr std::size_t kSectionHeaderBytes = 4 + 4 + 8 + 4 + 4;
+// Backstop against absurd section counts from a corrupt header (the
+// per-section length checks below are the real guard).
+constexpr std::uint32_t kMaxSections = 1u << 16;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_bytes(std::FILE* f, const void* data, std::size_t n,
+                 const std::string& path, std::uint64_t offset) {
+  if (n == 0) return;
+  if (std::fwrite(data, 1, n, f) != n)
+    throw IoError("short write to checkpoint", path, offset);
+}
+
+void read_bytes(std::FILE* f, void* data, std::size_t n,
+                const std::string& path, std::uint64_t offset) {
+  if (n == 0) return;
+  if (std::fread(data, 1, n, f) != n)
+    throw IoError("truncated checkpoint", path, offset);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+const std::vector<std::uint64_t>* Checkpoint::find(std::uint32_t id) const {
+  for (const auto& s : sections)
+    if (s.id == id) return &s.words;
+  return nullptr;
+}
+
+double checkpoint_bytes(const Checkpoint& ck) {
+  double bytes = static_cast<double>(kHeaderBytes);
+  for (const auto& s : ck.sections)
+    bytes += static_cast<double>(kSectionHeaderBytes) +
+             static_cast<double>(s.words.size()) * 8.0;
+  return bytes;
+}
+
+void write_checkpoint_file(const std::string& path, const Checkpoint& ck) {
+  DAKC_CHECK_MSG(ck.sections.size() < kMaxSections,
+                 "checkpoint has too many sections");
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw IoError("cannot open checkpoint for writing", path, 0);
+  std::uint64_t offset = 0;
+  auto put = [&](const void* data, std::size_t n) {
+    write_bytes(f.get(), data, n, path, offset);
+    offset += n;
+  };
+  const std::uint32_t version = kCheckpointVersion;
+  const auto section_count = static_cast<std::uint32_t>(ck.sections.size());
+  put(&kCheckpointMagic, 8);
+  put(&version, 4);
+  put(&ck.rank, 4);
+  put(&ck.epoch, 4);
+  put(&section_count, 4);
+  const std::uint32_t pad = 0;
+  for (const auto& s : ck.sections) {
+    const auto word_count = static_cast<std::uint64_t>(s.words.size());
+    const std::uint32_t crc =
+        crc32(s.words.data(), s.words.size() * sizeof(std::uint64_t));
+    put(&s.id, 4);
+    put(&pad, 4);
+    put(&word_count, 8);
+    put(&crc, 4);
+    put(&pad, 4);
+    put(s.words.data(), s.words.size() * sizeof(std::uint64_t));
+  }
+  if (std::fflush(f.get()) != 0)
+    throw IoError("cannot flush checkpoint", path, offset);
+}
+
+Checkpoint read_checkpoint_file(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw IoError("cannot open checkpoint", path, 0);
+  std::uint64_t offset = 0;
+  auto get = [&](void* data, std::size_t n) {
+    read_bytes(f.get(), data, n, path, offset);
+    offset += n;
+  };
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0, section_count = 0;
+  Checkpoint ck;
+  get(&magic, 8);
+  if (magic != kCheckpointMagic)
+    throw IoError("bad checkpoint magic", path, 0);
+  get(&version, 4);
+  if (version != kCheckpointVersion)
+    throw IoError("unsupported checkpoint version", path, 8);
+  get(&ck.rank, 4);
+  get(&ck.epoch, 4);
+  get(&section_count, 4);
+  if (section_count >= kMaxSections)
+    throw IoError("implausible checkpoint section count", path, 20);
+  ck.sections.resize(section_count);
+  for (auto& s : ck.sections) {
+    const std::uint64_t header_offset = offset;
+    std::uint32_t pad = 0, crc = 0;
+    std::uint64_t word_count = 0;
+    get(&s.id, 4);
+    get(&pad, 4);
+    get(&word_count, 8);
+    get(&crc, 4);
+    get(&pad, 4);
+    // An absurd word_count from a corrupt header would otherwise turn
+    // into a giant allocation before the truncation check could fire.
+    if (word_count > (1ull << 40))
+      throw IoError("implausible checkpoint section length", path,
+                    header_offset);
+    s.words.resize(static_cast<std::size_t>(word_count));
+    const std::uint64_t payload_offset = offset;
+    get(s.words.data(), s.words.size() * sizeof(std::uint64_t));
+    const std::uint32_t got =
+        crc32(s.words.data(), s.words.size() * sizeof(std::uint64_t));
+    if (got != crc)
+      throw IoError("checkpoint section checksum mismatch", path,
+                    payload_offset);
+  }
+  // Exact length: trailing garbage means the file is not what was written.
+  unsigned char extra = 0;
+  if (std::fread(&extra, 1, 1, f.get()) != 0)
+    throw IoError("trailing bytes after last checkpoint section", path,
+                  offset);
+  return ck;
+}
+
+}  // namespace dakc::io

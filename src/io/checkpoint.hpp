@@ -1,0 +1,73 @@
+// Versioned, checksummed snapshot files for checkpoint/restart
+// (DESIGN.md §11).
+//
+// A Checkpoint is a small container of typed word sections:
+//
+//   [magic u64 | version u32 | rank u32 | epoch u32 | section_count u32]
+//   section*: [id u32 | 0 u32 | word_count u64 | crc32 u32 | 0 u32 | words...]
+//
+// Every field is fixed-width little-endian (the simulator only targets
+// little-endian hosts, like the dump/bin formats); every section's
+// payload carries a CRC32 so a bit flip or truncation anywhere in the
+// file surfaces as a precise IoError (file, byte offset) at read time
+// instead of silently corrupting a recovery. Section ids are owned by
+// the writer (core/dakc assigns its own); this layer only moves and
+// validates words.
+//
+// The same CRC32 and IoError are reused by the BinStore spill format
+// (bins.cpp), so every byte this repo parks on disk is checksummed the
+// same way.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dakc::io {
+
+/// Precise I/O failure: which file, and the byte offset of the first
+/// element that could not be read or validated.
+struct IoError : std::runtime_error {
+  IoError(const std::string& msg, std::string file_path,
+          std::uint64_t byte_offset)
+      : std::runtime_error(msg + " (" + file_path + " @ byte " +
+                           std::to_string(byte_offset) + ")"),
+        file(std::move(file_path)),
+        offset(byte_offset) {}
+  std::string file;
+  std::uint64_t offset;
+};
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over `n` bytes.
+/// Chainable: pass a previous result as `seed` to extend it.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+struct CheckpointSection {
+  std::uint32_t id = 0;
+  std::vector<std::uint64_t> words;
+};
+
+struct Checkpoint {
+  std::uint32_t rank = 0;
+  std::uint32_t epoch = 0;
+  std::vector<CheckpointSection> sections;
+
+  /// The words of the first section with this id, or nullptr.
+  const std::vector<std::uint64_t>* find(std::uint32_t id) const;
+};
+
+/// Serialized size of `ck` in bytes (header + section framing + words);
+/// what write_checkpoint_file will put on disk, and what the cost model
+/// should charge for writing it.
+double checkpoint_bytes(const Checkpoint& ck);
+
+/// Write `ck` to `path` (truncating). Throws IoError on any failure.
+void write_checkpoint_file(const std::string& path, const Checkpoint& ck);
+
+/// Read and fully validate a checkpoint file: magic, version, section
+/// framing, per-section CRC32, exact file length. Throws IoError naming
+/// the file and the byte offset of the first corrupt/truncated element.
+Checkpoint read_checkpoint_file(const std::string& path);
+
+}  // namespace dakc::io

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -33,6 +34,12 @@ constexpr std::uint64_t kSaltLink = 0x11A8D509ULL;      // per-message faults
 constexpr std::uint64_t kSaltBrownout = 0xB20B7001ULL;  // NIC windows
 constexpr std::uint64_t kSaltStall = 0x57A11000ULL;     // PE freeze windows
 constexpr std::uint64_t kSaltCrash = 0xC2A5BEEFULL;     // PE crash windows
+constexpr std::uint64_t kSaltKill = 0xDEADD1E5ULL;      // permanent PE kills
+
+/// Thrown from a safepoint to unwind a permanently killed PE's fiber.
+/// Internal to the fabric: Fabric::run catches it before the fiber body
+/// returns, so it never reaches the DES engine's error capture.
+struct PeKilledError {};
 
 double u01(std::uint64_t h) {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
@@ -88,9 +95,12 @@ des::Engine::Config engine_config_for(const FabricConfig& c) {
   // is no compute time to overlap; graceful_memory delivers pressure
   // callbacks synchronously *across* PEs (a warm peer would race them);
   // tracing needs the serial engine's record order (it also re-checks
-  // internally). The setting never changes simulated results.
-  ec.host_threads =
-      (c.zero_cost || c.graceful_memory || c.trace) ? 1 : c.host_threads;
+  // internally); permanent kills unwind fibers and mutate shared
+  // membership state mid-run. The setting never changes simulated results.
+  ec.host_threads = (c.zero_cost || c.graceful_memory || c.trace ||
+                     c.faults.kill_rate > 0.0)
+                        ? 1
+                        : c.host_threads;
   return ec;
 }
 
@@ -124,6 +134,9 @@ struct Fabric::PeState {
   std::vector<std::uint32_t> link_seq;
   std::vector<std::function<void()>> pressure_listeners;
   bool in_pressure_cb = false;
+  /// Death count snapshotted by this PE's last collective release
+  /// (RendezvousState::out_dead_epoch at the time); 0 when kills are off.
+  std::uint64_t last_release_dead_epoch = 0;
 };
 
 struct Fabric::NodeState {
@@ -159,11 +172,44 @@ struct Fabric::RendezvousState {
   std::uint64_t out_u2 = 0;
   double out_d = 0.0;
   std::vector<std::uint64_t> out_gather;
+  /// Death count at the moment of release: every PE freed by the same
+  /// release reads the same value, giving survivors an agreed dead set
+  /// (the first out_dead_epoch entries of Fabric::death_order_).
+  std::uint64_t out_dead_epoch = 0;
   std::vector<int> waiters;
   /// Incremented at every release; waiters block on it as their predicate
   /// (message Puts can wake a fiber spuriously while it waits here).
   std::uint64_t epoch = 0;
 };
+
+namespace {
+
+/// Release a fully-arrived rendezvous from a dying PE's unwind path: the
+/// dead PE never "arrives", so when its death makes arrived == live the
+/// release must fire from here instead of from a last arriver. There is
+/// no self to charge; waiters simply wake at the release time (floored at
+/// the death time — the death is what enabled the release).
+void release_from_death(Fabric::RendezvousState& rv, des::Context& ctx,
+                        const MachineParams& m, bool zero_cost, int live,
+                        int node_count, std::size_t dead_now,
+                        des::SimTime death_time) {
+  const double hop_tau = node_count > 1 ? m.tau : m.tau_intra;
+  const double cost =
+      zero_cost ? 0.0 : hop_tau * 2.0 * ceil_log2(std::max(live, 2));
+  const des::SimTime release = std::max(rv.max_time + cost, death_time);
+  rv.out_u = rv.acc_u;
+  rv.out_u2 = rv.acc_u2;
+  rv.out_d = rv.acc_d;
+  if (rv.op == Fabric::RendezvousState::Op::kGather) rv.out_gather = rv.gather;
+  rv.out_dead_epoch = dead_now;
+  rv.arrived = 0;
+  ++rv.epoch;
+  std::vector<int> waiters;
+  waiters.swap(rv.waiters);
+  for (int w : waiters) ctx.wake(w, release);
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Fabric
@@ -181,8 +227,11 @@ Fabric::Fabric(FabricConfig config)
   auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
   DAKC_CHECK_MSG(rate_ok(fl.drop_rate) && rate_ok(fl.dup_rate) &&
                      rate_ok(fl.delay_rate) && rate_ok(fl.brownout_rate) &&
-                     rate_ok(fl.stall_rate) && rate_ok(fl.crash_rate),
+                     rate_ok(fl.stall_rate) && rate_ok(fl.crash_rate) &&
+                     rate_ok(fl.kill_rate),
                  "fault rates must lie in [0, 1]");
+  DAKC_CHECK_MSG(fl.kill_rate == 0.0 || fl.kill_time_seconds >= 0.0,
+                 "kill_time_seconds must be non-negative");
   DAKC_CHECK_MSG(fl.delay_spike_seconds >= 0.0 && fl.hw_retry_seconds >= 0.0,
                  "fault delay/retry penalties must be non-negative");
   DAKC_CHECK_MSG(fl.brownout_rate == 0.0 ||
@@ -204,6 +253,25 @@ Fabric::Fabric(FabricConfig config)
                  "mem_soft_ratio must lie in (0, 1)");
   message_faults_ = fl.any_message_faults();
   time_faults_ = fl.any_time_faults();
+  // Permanent-kill plane: select the doomed PEs up front (pure hash of
+  // (seed, rank), like every other fault decision). A selected PE dies at
+  // its first safepoint at or after kill_time_seconds. If the draw
+  // selects every PE, rank 0 is spared so the run can complete.
+  kill_armed_ = fl.kill_rate > 0.0;
+  dead_.assign(config_.pes, 0);
+  kill_time_.assign(config_.pes, std::numeric_limits<double>::infinity());
+  if (kill_armed_) {
+    int selected = 0;
+    for (int p = 0; p < config_.pes; ++p) {
+      if (u01(fault_hash(fl.seed, kSaltKill,
+                         static_cast<std::uint64_t>(p), 0)) < fl.kill_rate) {
+        kill_time_[p] = fl.kill_time_seconds;
+        ++selected;
+      }
+    }
+    if (selected == config_.pes)
+      kill_time_[0] = std::numeric_limits<double>::infinity();
+  }
   pes_.reserve(config_.pes);
   for (int i = 0; i < config_.pes; ++i)
     pes_.push_back(std::make_unique<PeState>());
@@ -223,7 +291,35 @@ void Fabric::run(std::function<void(Pe&)> pe_main) {
   for (int rank = 0; rank < config_.pes; ++rank) {
     engine_.spawn([this, rank, &pe_main](des::Context& ctx) {
       Pe pe(this, ctx, rank);
-      pe_main(pe);
+      if (!kill_armed_) {
+        pe_main(pe);
+        return;
+      }
+      try {
+        pe_main(pe);
+      } catch (const PeKilledError&) {
+        // The PE unwound at its kill safepoint; its stack (actor,
+        // conveyor, counting buffers) released its accounting on the way
+        // out. Reclaim the dead host's receive queues, then release any
+        // rendezvous the survivors have now fully arrived at — the dead
+        // PE will never arrive itself.
+        des::InteractionScope fence(ctx);
+        PeState& st = *pes_[rank];
+        NodeState& ns = *nodes_[node_of(rank)];
+        while (!st.incoming.empty()) {
+          ns.mem_used -= st.incoming.top().msg.wire_bytes;
+          st.incoming.pop();
+        }
+        for (auto& [tag, dq] : st.stash)
+          for (auto& msg : dq) ns.mem_used -= msg.wire_bytes;
+        st.stash.clear();
+        RendezvousState& rv = *rendezvous_;
+        const int live = live_count_internal();
+        if (live > 0 && rv.arrived > 0 && rv.arrived == live)
+          release_from_death(rv, ctx, config_.machine, config_.zero_cost,
+                             live, node_count_, death_order_.size(),
+                             ctx.now());
+      }
     });
   }
   engine_.run();
@@ -351,8 +447,36 @@ void Pe::apply_time_faults() {
   if (crashed_at(f, rank_, now(), &end)) ctx_.idle_until(end);
 }
 
+void Pe::maybe_die() {
+  Fabric& f = *fabric_;
+  if (f.dead_[rank_] || now() < f.kill_time_[rank_]) return;
+  f.dead_[rank_] = 1;
+  f.death_order_.push_back(rank_);
+  throw PeKilledError{};
+}
+
 void Pe::safepoint() {
+  if (fabric_->kill_armed_) maybe_die();
   if (fabric_->time_faults_) apply_time_faults();
+}
+
+bool Pe::alive(int pe) const {
+  if (!fabric_->kill_armed_) return true;
+  des::InteractionScope fence(ctx_);  // membership is shared state
+  return !fabric_->dead_[pe];
+}
+
+int Pe::live_count() const {
+  des::InteractionScope fence(ctx_);  // membership is shared state
+  return fabric_->live_count_internal();
+}
+
+int Pe::collective_dead_epoch() const {
+  return static_cast<int>(fabric_->pes_[rank_]->last_release_dead_epoch);
+}
+
+const std::vector<int>& Pe::death_order() const {
+  return fabric_->death_order_;
 }
 
 // ---------------------------------------------------------------------------
@@ -501,6 +625,14 @@ des::SimTime Pe::put(int dst, std::vector<std::uint64_t> payload, int tag,
   // delivery frees it).
   if (!deliver) return arrival;
 
+  // A permanently dead destination discards everything addressed to it:
+  // the sender pays the full injection/wire cost (it cannot know), but
+  // nothing is enqueued or accounted on the corpse.
+  if (fabric_->kill_armed_ && fabric_->dead_[dst]) {
+    ++c.puts_to_dead;
+    return arrival;
+  }
+
   // Receive-queue memory lives on the destination node until popped.
   fabric_->account_node_alloc(node_of(dst), bytes, bytes);
 
@@ -618,7 +750,13 @@ static RendezvousResult rendezvous(Fabric::RendezvousState& rv, Pe& pe,
                                    int pe_count, int node_count, RvOp op,
                                    std::uint64_t in_u, double in_d,
                                    std::vector<std::uint64_t>* gather_out,
-                                   std::uint64_t in_u2 = 0) {
+                                   std::uint64_t in_u2 = 0,
+                                   std::size_t dead_now = 0,
+                                   std::uint64_t* release_dead_out = nullptr) {
+  // `pe_count` is the LIVE participant count at this PE's arrival; under
+  // permanent kills it shrinks as PEs die (a blocked participant is still
+  // live — kills only fire at safepoints while running, so arrived can
+  // never exceed it). The last live arriver's value decides the release.
   if (rv.arrived == 0) {
     rv.op = op;
     rv.max_time = 0.0;
@@ -657,6 +795,7 @@ static RendezvousResult rendezvous(Fabric::RendezvousState& rv, Pe& pe,
     rv.out_u2 = rv.acc_u2;
     rv.out_d = rv.acc_d;
     if (op == RvOp::kGather) rv.out_gather = rv.gather;
+    rv.out_dead_epoch = dead_now;
     rv.arrived = 0;
     ++rv.epoch;
     std::vector<int> waiters;
@@ -670,6 +809,7 @@ static RendezvousResult rendezvous(Fabric::RendezvousState& rv, Pe& pe,
   res.u2 = rv.out_u2;
   res.d = rv.out_d;
   if (gather_out) *gather_out = rv.out_gather;
+  if (release_dead_out) *release_dead_out = rv.out_dead_epoch;
   return res;
 }
 
@@ -681,16 +821,21 @@ void Pe::barrier() {
   des::InteractionScope fence(ctx_);  // rendezvous state is shared
   safepoint();
   rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
-             fabric_->config_.zero_cost, size(), node_count(), RvOp::kBarrier,
-             0, 0.0, nullptr);
+             fabric_->config_.zero_cost, fabric_->live_count_internal(),
+             node_count(), RvOp::kBarrier, 0, 0.0, nullptr, 0,
+             fabric_->death_order_.size(),
+             &fabric_->pes_[rank_]->last_release_dead_epoch);
 }
 
 std::uint64_t Pe::allreduce_sum(std::uint64_t value) {
   des::InteractionScope fence(ctx_);  // rendezvous state is shared
   safepoint();
   return rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
-                    fabric_->config_.zero_cost, size(), node_count(),
-                    RvOp::kSumU, value, 0.0, nullptr)
+                    fabric_->config_.zero_cost,
+                    fabric_->live_count_internal(), node_count(),
+                    RvOp::kSumU, value, 0.0, nullptr, 0,
+                    fabric_->death_order_.size(),
+                    &fabric_->pes_[rank_]->last_release_dead_epoch)
       .u;
 }
 
@@ -700,8 +845,11 @@ std::pair<std::uint64_t, std::uint64_t> Pe::allreduce_sum2(
   safepoint();
   const RendezvousResult r =
       rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
-                 fabric_->config_.zero_cost, size(), node_count(),
-                 RvOp::kSumU2, a, 0.0, nullptr, b);
+                 fabric_->config_.zero_cost,
+                 fabric_->live_count_internal(), node_count(),
+                 RvOp::kSumU2, a, 0.0, nullptr, b,
+                 fabric_->death_order_.size(),
+                 &fabric_->pes_[rank_]->last_release_dead_epoch);
   return {r.u, r.u2};
 }
 
@@ -709,8 +857,11 @@ std::uint64_t Pe::allreduce_max(std::uint64_t value) {
   des::InteractionScope fence(ctx_);  // rendezvous state is shared
   safepoint();
   return rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
-                    fabric_->config_.zero_cost, size(), node_count(),
-                    RvOp::kMaxU, value, 0.0, nullptr)
+                    fabric_->config_.zero_cost,
+                    fabric_->live_count_internal(), node_count(),
+                    RvOp::kMaxU, value, 0.0, nullptr, 0,
+                    fabric_->death_order_.size(),
+                    &fabric_->pes_[rank_]->last_release_dead_epoch)
       .u;
 }
 
@@ -718,8 +869,11 @@ double Pe::allreduce_sum_d(double value) {
   des::InteractionScope fence(ctx_);  // rendezvous state is shared
   safepoint();
   return rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
-                    fabric_->config_.zero_cost, size(), node_count(),
-                    RvOp::kSumD, 0, value, nullptr)
+                    fabric_->config_.zero_cost,
+                    fabric_->live_count_internal(), node_count(),
+                    RvOp::kSumD, 0, value, nullptr, 0,
+                    fabric_->death_order_.size(),
+                    &fabric_->pes_[rank_]->last_release_dead_epoch)
       .d;
 }
 
@@ -727,8 +881,11 @@ double Pe::allreduce_max_d(double value) {
   des::InteractionScope fence(ctx_);  // rendezvous state is shared
   safepoint();
   return rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
-                    fabric_->config_.zero_cost, size(), node_count(),
-                    RvOp::kMaxD, 0, value, nullptr)
+                    fabric_->config_.zero_cost,
+                    fabric_->live_count_internal(), node_count(),
+                    RvOp::kMaxD, 0, value, nullptr, 0,
+                    fabric_->death_order_.size(),
+                    &fabric_->pes_[rank_]->last_release_dead_epoch)
       .d;
 }
 
@@ -737,8 +894,10 @@ std::vector<std::uint64_t> Pe::allgather(std::uint64_t value) {
   safepoint();
   std::vector<std::uint64_t> out;
   rendezvous(*fabric_->rendezvous_, *this, ctx_, machine(),
-             fabric_->config_.zero_cost, size(), node_count(), RvOp::kGather,
-             value, 0.0, &out);
+             fabric_->config_.zero_cost, fabric_->live_count_internal(),
+             node_count(), RvOp::kGather, value, 0.0, &out, 0,
+             fabric_->death_order_.size(),
+             &fabric_->pes_[rank_]->last_release_dead_epoch);
   return out;
 }
 

@@ -97,6 +97,9 @@ struct PeCounters {
   std::uint64_t retransmits = 0;     ///< software frame retransmissions
   std::uint64_t dedup_discards = 0;  ///< duplicate/out-of-order frames cut
   std::uint64_t acks_sent = 0;       ///< cumulative-ack control messages
+  // -- permanent-failure plane -------------------------------------------
+  std::uint64_t puts_to_dead = 0;        ///< sends suppressed (dst dead)
+  std::uint64_t peers_declared_dead = 0; ///< links condemned by the conveyor
   // -- memory pressure (graceful degradation) ----------------------------
   std::uint64_t pressure_events = 0;  ///< pressure signals delivered here
   std::uint64_t buffer_shrinks = 0;   ///< degradation responses applied
@@ -234,6 +237,21 @@ class Pe {
   /// their recovery protocols).
   bool faults_enabled() const;
   const FaultConfig& fault_config() const;
+
+  // -- permanent-failure plane -------------------------------------------
+  /// False once `pe` has died permanently (kill_rate plane). Always true
+  /// when kills are not armed.
+  bool alive(int pe) const;
+  /// Number of PEs still alive.
+  int live_count() const;
+  /// Number of permanent deaths observed at this PE's last collective
+  /// release. All PEs released by the same rendezvous see the same value,
+  /// giving survivors an agreed dead set: the first N entries of
+  /// death_order(). 0 before any collective or when kills are off.
+  int collective_dead_epoch() const;
+  /// Ranks in the order they died (monotone append-only; a prefix length
+  /// from collective_dead_epoch() names a consistent dead set).
+  const std::vector<int>& death_order() const;
   /// Current in-use fraction of this PE's node memory budget (0.0 when no
   /// limit is configured). Degradation layers poll this to decide when
   /// backpressure can be released.
@@ -258,10 +276,12 @@ class Pe {
   void deliver_charge(const Message& m);
   int next_collective_tag();
   /// Fault-plane hook executed at message and collective boundaries:
-  /// applies stall/crash freezes. Compiles to one predictable branch when
-  /// time faults are off, keeping the zero-fault path bit-identical.
+  /// applies permanent kills (fiber unwind) and stall/crash freezes.
+  /// Compiles to one predictable branch when time faults are off, keeping
+  /// the zero-fault path bit-identical.
   void safepoint();
   void apply_time_faults();
+  void maybe_die();
 
   Fabric* fabric_;
   des::Context& ctx_;
@@ -295,6 +315,10 @@ class Fabric {
   const std::vector<des::TraceEvent>& trace() const {
     return engine_.trace();
   }
+  /// PEs permanently killed during the run (kill_rate plane).
+  int pes_killed() const { return static_cast<int>(death_order_.size()); }
+  /// Ranks in the order they died (host-side view, valid after run()).
+  const std::vector<int>& killed_ranks() const { return death_order_; }
 
   // Implementation detail, public only so fabric.cpp's helpers can name
   // them; not part of the supported API.
@@ -313,6 +337,10 @@ class Fabric {
   /// Mark every PE of `node` as having a pending pressure signal.
   void signal_pressure(int node);
 
+  int live_count_internal() const {
+    return config_.pes - static_cast<int>(death_order_.size());
+  }
+
   FabricConfig config_;
   int node_count_;
   des::Engine engine_;
@@ -323,6 +351,11 @@ class Fabric {
   bool message_faults_ = false;
   bool time_faults_ = false;
   bool ran_ = false;
+  // -- permanent-failure plane (kill_rate) -------------------------------
+  bool kill_armed_ = false;
+  std::vector<char> dead_;              // dead_[pe] != 0 once pe died
+  std::vector<des::SimTime> kill_time_; // per-PE death time (inf = spared)
+  std::vector<int> death_order_;        // ranks in death order
 };
 
 // ---------------------------------------------------------------------------

@@ -62,6 +62,17 @@ struct FaultConfig {
   double crash_seconds = 150e-6;
   double crash_window_seconds = 1000e-6;
 
+  // -- permanent PE kills ------------------------------------------------
+  /// Probability a PE dies permanently: a selected PE unwinds at its
+  /// first fabric safepoint at or after kill_time_seconds and never runs
+  /// again (its inbound traffic is discarded, collectives proceed over
+  /// the survivors). If every PE is selected, rank 0 is spared so the
+  /// run can still complete — which also makes kill_rate=1.0 a
+  /// deterministic "kill everyone but rank 0" test hook.
+  double kill_rate = 0.0;
+  /// Earliest virtual time at which a selected PE may die.
+  double kill_time_seconds = 200e-6;
+
   // -- hardware-reliable transport model ---------------------------------
   /// Arrival penalty per loss absorbed by the reliable transport.
   double hw_retry_seconds = 10e-6;
@@ -69,11 +80,12 @@ struct FaultConfig {
   /// Faults that corrupt the message stream (need a recovery protocol).
   bool any_message_faults() const {
     return drop_rate > 0.0 || dup_rate > 0.0 || delay_rate > 0.0 ||
-           crash_rate > 0.0;
+           crash_rate > 0.0 || kill_rate > 0.0;
   }
   /// Faults that only warp execution/transfer timing.
   bool any_time_faults() const {
-    return brownout_rate > 0.0 || stall_rate > 0.0 || crash_rate > 0.0;
+    return brownout_rate > 0.0 || stall_rate > 0.0 || crash_rate > 0.0 ||
+           kill_rate > 0.0;
   }
   bool enabled() const { return any_message_faults() || any_time_faults(); }
 };

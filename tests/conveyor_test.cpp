@@ -428,6 +428,24 @@ TEST(Conveyor, BadRtoThrows) {
   });
 }
 
+TEST(Conveyor, BadRetransmitBudgetThrows) {
+  net::Fabric fabric(test_config(1));
+  fabric.run([&](net::Pe& pe) {
+    ConveyorConfig cfg;
+    cfg.max_retransmits = 0;
+    EXPECT_THROW(Conveyor conv(pe, cfg), std::logic_error);
+  });
+}
+
+TEST(Conveyor, OversizedStreamIdThrows) {
+  net::Fabric fabric(test_config(1));
+  fabric.run([&](net::Pe& pe) {
+    ConveyorConfig cfg;
+    cfg.stream_id = 1u << 24;  // the frame header field is 24 bits
+    EXPECT_THROW(Conveyor conv(pe, cfg), std::logic_error);
+  });
+}
+
 // ---------------------------------------------------------------------------
 // Fault campaigns: the reliability protocol must deliver exactly once
 // through seeded drop/dup/delay fault schedules on every router geometry.
@@ -566,6 +584,86 @@ TEST(ConveyorFaults, ForcedReliabilityMatchesExactlyOnce) {
   TrafficResult r;
   r.received = std::move(received);
   expect_exactly_once(r, kPes, kPerPe);
+}
+
+// ---------------------------------------------------------------------------
+// Permanent-failure plane: the retransmit budget condemns links to dead
+// peers (and ONLY to dead peers — a live peer is never abandoned).
+// ---------------------------------------------------------------------------
+
+TEST(ConveyorFaults, RetransmitBudgetCondemnsDeadPeer) {
+  // kill_rate=1.0 selects everyone; rank 0 is spared so with 2 PEs this
+  // deterministically kills rank 1 at its first safepoint. Rank 0 keeps
+  // pushing at the corpse: after max_retransmits attempts the link is
+  // condemned and finish() reports the abandonment via its abort callback
+  // instead of spinning on quiescence forever.
+  // Kills are a time fault: they need the cost model's clock.
+  net::FabricConfig cfg = test_config(2, /*zero_cost=*/false);
+  cfg.faults.kill_rate = 1.0;
+  cfg.faults.kill_time_seconds = 0.0;
+  net::Fabric fabric(cfg);
+  std::vector<int> clean(2, -1);
+  std::vector<std::uint64_t> declared(2, 0);
+  fabric.run([&](net::Pe& pe) {
+    ConveyorConfig ccfg = conv_config(Protocol::k1D);
+    ccfg.max_retransmits = 4;
+    Conveyor conv(pe, ccfg);
+    EXPECT_TRUE(conv.reliable());  // kills auto-arm the protocol
+    Packet pkt;
+    for (int i = 0; i < 64; ++i) {
+      conv.push(1 - pe.rank(), static_cast<std::uint64_t>(i));
+      while (conv.pull(&pkt)) {
+      }
+    }
+    clean[pe.rank()] =
+        conv.finish({},
+                    [&] { return pe.counters().peers_declared_dead > 0; })
+            ? 1
+            : 0;
+    declared[pe.rank()] = pe.counters().peers_declared_dead;
+  });
+  EXPECT_EQ(fabric.pes_killed(), 1);
+  ASSERT_EQ(fabric.killed_ranks().size(), 1u);
+  EXPECT_EQ(fabric.killed_ranks()[0], 1);
+  EXPECT_EQ(clean[0], 0) << "finish() must report the abort";
+  EXPECT_EQ(declared[0], 1u);
+  EXPECT_GT(fabric.pe_counters(0).retransmits, 0u);
+}
+
+TEST(ConveyorFaults, LivePeerIsNeverCondemned) {
+  // A deliberately tiny retransmit budget under heavy loss: the budget
+  // may be exceeded many times over, but every peer is alive, so no link
+  // is ever condemned and delivery stays exactly-once.
+  net::FaultConfig faults = campaign_faults(0.30);
+  net::FabricConfig cfg = test_config(8);
+  cfg.faults = faults;
+  net::Fabric fabric(cfg);
+  TrafficResult r;
+  r.received.resize(8);
+  fabric.run([&](net::Pe& pe) {
+    ConveyorConfig ccfg = conv_config(Protocol::k1D);
+    ccfg.max_retransmits = 1;
+    Conveyor conv(pe, ccfg);
+    Xoshiro256 rng(1234 + pe.rank());
+    Packet pkt;
+    for (int i = 0; i < 100; ++i) {
+      const int dst = static_cast<int>(rng.below(8));
+      conv.push(dst, static_cast<std::uint64_t>(pe.rank()) << 32 | i);
+      while (conv.pull(&pkt))
+        for (auto w : pkt.words) r.received[pe.rank()][w]++;
+    }
+    EXPECT_TRUE(conv.finish());
+    while (conv.pull(&pkt))
+      for (auto w : pkt.words) r.received[pe.rank()][w]++;
+  });
+  expect_exactly_once(r, 8, 100);
+  std::uint64_t declared = 0, retransmits = 0;
+  for (int p = 0; p < 8; ++p) {
+    declared += fabric.pe_counters(p).peers_declared_dead;
+    retransmits += fabric.pe_counters(p).retransmits;
+  }
+  EXPECT_EQ(declared, 0u);
+  EXPECT_GT(retransmits, 0u);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "io/bins.hpp"
+#include "io/checkpoint.hpp"
 #include "io/fastx.hpp"
 
 namespace dakc::io {
@@ -226,6 +227,183 @@ TEST(BinStore, RejectsBadBinCount) {
   cfg.bins = 0;
   EXPECT_THROW(std::make_unique<BinStore>(std::move(cfg)),
                std::logic_error);
+}
+
+// --- spill-file integrity: CRC-framed chunks (DESIGN.md §11) ---------------
+
+/// Flip one bit of `path` at `offset` in place.
+void flip_bit(const fs::path& path, long offset) {
+  std::FILE* f = std::fopen(path.string().c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  std::fputc(c ^ 0x10, f);
+  std::fclose(f);
+}
+
+/// Truncate `path` to its first `keep` bytes.
+void truncate_file(const fs::path& path, std::size_t keep) {
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<char> bytes(keep);
+  ASSERT_EQ(std::fread(bytes.data(), 1, keep, f), keep);
+  std::fclose(f);
+  f = std::fopen(path.string().c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, keep, f), keep);
+  std::fclose(f);
+}
+
+TEST(BinStore, SpillFileBitFlipIsDetectedWithOffset) {
+  auto cfg = bin_config("dakc_bins_bitflip", 16);
+  const fs::path file = fs::path(cfg.dir) / "bin1.skm";
+  BinStore store(std::move(cfg));
+  const auto a = seq_words(10, 6);  // 48 B -> immediate spill
+  store.append(1, a.data(), a.size());
+  ASSERT_TRUE(fs::exists(file));
+  // File header is 16 B (magic/version/bin), chunk header 16 B more: the
+  // first payload byte lives at offset 32.
+  flip_bit(file, 40);
+  try {
+    store.load(1);
+    FAIL() << "corrupt spill chunk was not detected";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.file, file.string());
+    EXPECT_EQ(e.offset, 32u);  // reported at the chunk payload
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(BinStore, SpillFileTruncationIsDetected) {
+  auto cfg = bin_config("dakc_bins_trunc", 16);
+  const fs::path file = fs::path(cfg.dir) / "bin0.skm";
+  BinStore store(std::move(cfg));
+  const auto a = seq_words(0, 6);
+  store.append(0, a.data(), a.size());
+  ASSERT_TRUE(fs::exists(file));
+  truncate_file(file, fs::file_size(file) - 9);
+  EXPECT_THROW(store.load(0), IoError);
+}
+
+TEST(BinStore, SpillFileBadMagicIsRejected) {
+  auto cfg = bin_config("dakc_bins_magic", 16);
+  const fs::path file = fs::path(cfg.dir) / "bin2.skm";
+  BinStore store(std::move(cfg));
+  const auto a = seq_words(0, 4);
+  store.append(2, a.data(), a.size());
+  flip_bit(file, 0);
+  try {
+    store.load(2);
+    FAIL() << "bad spill magic was not detected";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.offset, 0u);
+  }
+}
+
+// --- checkpoint files (DESIGN.md §11) --------------------------------------
+
+Checkpoint sample_checkpoint() {
+  Checkpoint ck;
+  ck.rank = 3;
+  ck.epoch = 7;
+  ck.sections.resize(2);
+  ck.sections[0].id = 1;
+  ck.sections[0].words = seq_words(100, 5);
+  ck.sections[1].id = 2;
+  ck.sections[1].words = seq_words(999, 3);
+  return ck;
+}
+
+fs::path temp_ckpt(const std::string& name) {
+  return fs::temp_directory_path() / name;
+}
+
+TEST(Checkpoint, RoundTripsSectionsRankAndEpoch) {
+  const fs::path path = temp_ckpt("dakc_ckpt_roundtrip.ckpt");
+  const Checkpoint ck = sample_checkpoint();
+  write_checkpoint_file(path.string(), ck);
+  EXPECT_EQ(static_cast<double>(fs::file_size(path)),
+            checkpoint_bytes(ck));
+  const Checkpoint back = read_checkpoint_file(path.string());
+  EXPECT_EQ(back.rank, 3u);
+  EXPECT_EQ(back.epoch, 7u);
+  ASSERT_EQ(back.sections.size(), 2u);
+  EXPECT_EQ(back.sections[0].id, 1u);
+  EXPECT_EQ(back.sections[0].words, ck.sections[0].words);
+  EXPECT_EQ(back.sections[1].words, ck.sections[1].words);
+  ASSERT_NE(back.find(2), nullptr);
+  EXPECT_EQ(*back.find(2), ck.sections[1].words);
+  EXPECT_EQ(back.find(42), nullptr);
+  fs::remove(path);
+}
+
+TEST(Checkpoint, PayloadBitFlipReportsFileAndOffset) {
+  const fs::path path = temp_ckpt("dakc_ckpt_bitflip.ckpt");
+  write_checkpoint_file(path.string(), sample_checkpoint());
+  // Header 24 B + section header 24 B: section 0's payload starts at 48.
+  flip_bit(path, 50);
+  try {
+    read_checkpoint_file(path.string());
+    FAIL() << "corrupt checkpoint was not detected";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.file, path.string());
+    EXPECT_EQ(e.offset, 48u);  // reported at the section payload
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+  fs::remove(path);
+}
+
+TEST(Checkpoint, TruncationReportsReadOffset) {
+  const fs::path path = temp_ckpt("dakc_ckpt_trunc.ckpt");
+  write_checkpoint_file(path.string(), sample_checkpoint());
+  truncate_file(path, fs::file_size(path) - 4);
+  try {
+    read_checkpoint_file(path.string());
+    FAIL() << "truncated checkpoint was not detected";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+    // Section 1's payload (3 words) starts at 48 + 40 + 24 = 112.
+    EXPECT_EQ(e.offset, 112u);
+  }
+  fs::remove(path);
+}
+
+TEST(Checkpoint, TrailingGarbageIsRejected) {
+  const fs::path path = temp_ckpt("dakc_ckpt_trailing.ckpt");
+  write_checkpoint_file(path.string(), sample_checkpoint());
+  std::FILE* f = std::fopen(path.string().c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputc(0x5A, f);
+  std::fclose(f);
+  EXPECT_THROW(read_checkpoint_file(path.string()), IoError);
+  fs::remove(path);
+}
+
+TEST(Checkpoint, BadMagicAndVersionAreRejected) {
+  const fs::path path = temp_ckpt("dakc_ckpt_magic.ckpt");
+  write_checkpoint_file(path.string(), sample_checkpoint());
+  flip_bit(path, 2);
+  EXPECT_THROW(read_checkpoint_file(path.string()), IoError);
+  write_checkpoint_file(path.string(), sample_checkpoint());
+  flip_bit(path, 8);  // version word
+  EXPECT_THROW(read_checkpoint_file(path.string()), IoError);
+  fs::remove(path);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW(
+      read_checkpoint_file(temp_ckpt("dakc_ckpt_missing.ckpt").string()),
+      IoError);
+}
+
+TEST(Checkpoint, Crc32MatchesKnownVector) {
+  // "123456789" -> 0xCBF43926 is the standard CRC-32/IEEE check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  // Chaining via the seed equals one pass over the concatenation.
+  const std::uint32_t part = crc32("1234", 4);
+  EXPECT_EQ(crc32("56789", 5, part), 0xCBF43926u);
 }
 
 TEST(Fastx, StreamingReaderCountsRecords) {

@@ -1,0 +1,97 @@
+// Fault-seed sweep: every fault family must reproduce the fault-free
+// spectrum across a battery of seeded fault schedules. One parameterized
+// test per (family, seed) so a failing schedule is named in the test id
+// (e.g. FaultSweep/SpectrumSurvivesFaults.../kill_seed07) and the whole
+// sweep can be filtered with `ctest -L sweep`.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "baseline/serial.hpp"
+#include "core/api.hpp"
+#include "sim/genome.hpp"
+#include "sim/reads.hpp"
+
+namespace dakc {
+namespace {
+
+std::vector<std::string> sweep_reads() {
+  sim::GenomeSpec gs;
+  gs.length = 1 << 10;
+  gs.seed = 40;
+  sim::ReadSimSpec rs;
+  rs.coverage = 4.0;
+  rs.read_length = 80;
+  rs.seed = 41;
+  return sim::simulate_read_seqs(sim::generate_genome(gs), rs);
+}
+
+/// The fault-free expectation, computed once for the whole sweep.
+const std::vector<kmer::KmerCount64>& expected_counts() {
+  static const std::vector<kmer::KmerCount64> expect =
+      baseline::serial_count(sweep_reads(), 31);
+  return expect;
+}
+
+class FaultSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(FaultSweep, SpectrumSurvivesFaults) {
+  const auto& [family, seed] = GetParam();
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.k = 31;
+  cfg.pes = 8;
+  cfg.pes_per_node = 4;
+  cfg.zero_cost = false;
+  cfg.machine.noise_amplitude = 0.25;
+  cfg.faults.seed = 0x5EED0000ull + static_cast<std::uint64_t>(seed);
+  if (family == "drop") {
+    cfg.faults.drop_rate = 0.08;
+    cfg.faults.dup_rate = 0.04;
+    cfg.faults.delay_rate = 0.04;
+  } else if (family == "brownout") {
+    cfg.faults.brownout_rate = 0.25;
+    cfg.faults.stall_rate = 0.10;
+  } else if (family == "crash") {
+    cfg.faults.crash_rate = 0.15;
+  } else if (family == "kill") {
+    cfg.faults.kill_rate = 0.4;
+    cfg.faults.kill_time_seconds = 1e-5;
+    cfg.checkpoint_epochs = 3;
+  } else {
+    FAIL() << "unknown fault family " << family;
+  }
+  const auto reads = sweep_reads();
+  const auto& expect = expected_counts();
+  const auto r = core::count_kmers(reads, cfg);
+  ASSERT_FALSE(r.oom);
+  ASSERT_EQ(r.counts.size(), expect.size());
+  EXPECT_TRUE(std::equal(r.counts.begin(), r.counts.end(), expect.begin()));
+  // Every death re-admits at least one shard (chained adoptions re-admit
+  // the same shard more than once, so >=, not ==).
+  if (family == "kill" && r.pes_killed > 0)
+    EXPECT_GE(r.recovered_shards,
+              static_cast<std::uint64_t>(r.pes_killed));
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<FaultSweep::ParamType>& info) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s_seed%02d",
+                std::get<0>(info.param).c_str(), std::get<1>(info.param));
+  return buf;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FaultSweep,
+    ::testing::Combine(::testing::Values("drop", "brownout", "crash",
+                                         "kill"),
+                       ::testing::Range(0, 16)),
+    sweep_name);
+
+}  // namespace
+}  // namespace dakc

@@ -4,12 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 
 #include "actor/actor.hpp"
 #include "baseline/bsp.hpp"
 #include "baseline/serial.hpp"
 #include "core/api.hpp"
 #include "core/common.hpp"
+#include "core/recovery.hpp"
 #include "net/fabric.hpp"
 #include "sim/genome.hpp"
 #include "sim/reads.hpp"
@@ -539,6 +541,186 @@ TEST(FaultRuns, GracefulModeIsNoOpWithHeadroom) {
   EXPECT_EQ(graceful.pressure_events, 0u);
   EXPECT_EQ(graceful.buffer_shrinks, 0u);
   EXPECT_DOUBLE_EQ(graceful.makespan, plain.makespan);
+}
+
+// ---------------------------------------------------------------------------
+// Permanent kills, checkpoints, and restart (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+namespace fs = std::filesystem;
+
+core::CountConfig kill_probe_config(int epochs) {
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.k = 31;
+  cfg.pes = 8;
+  cfg.pes_per_node = 4;
+  cfg.zero_cost = false;
+  cfg.machine.noise_amplitude = 0.25;
+  cfg.checkpoint_epochs = epochs;
+  return cfg;
+}
+
+void expect_counts_equal(const core::RunReport& r,
+                         const std::vector<kmer::KmerCount64>& expect) {
+  ASSERT_EQ(r.counts.size(), expect.size());
+  EXPECT_TRUE(std::equal(r.counts.begin(), r.counts.end(), expect.begin()));
+}
+
+TEST(KillRuns, EveryoneSelectedSparesRankZero) {
+  // kill_rate=1.0 selects every PE; rank 0 is spared so the run can
+  // finish. With 2 PEs that deterministically kills rank 1 at its first
+  // safepoint (kill_time 0), and rank 0 adopts the orphaned shard.
+  auto reads = tiny_reads(30);
+  const auto expect = baseline::serial_count(reads, 31);
+  core::CountConfig cfg = kill_probe_config(1);
+  cfg.pes = 2;
+  cfg.pes_per_node = 2;
+  cfg.faults.kill_rate = 1.0;
+  cfg.faults.kill_time_seconds = 0.0;
+  const auto r = core::count_kmers(reads, cfg);
+  EXPECT_EQ(r.pes_killed, 1);
+  EXPECT_GE(r.rollbacks, 1u);
+  EXPECT_EQ(r.recovered_shards, 1u);
+  expect_counts_equal(r, expect);
+}
+
+TEST(KillRuns, MidRunKillsRecoverToTheFaultFreeSpectrum) {
+  // Kills landing mid-phase-1 force epoch rollbacks; the recovered
+  // spectrum must equal the fault-free (serial) one exactly.
+  auto reads = tiny_reads(31);
+  const auto expect = baseline::serial_count(reads, 31);
+  core::CountConfig cfg = kill_probe_config(4);
+  cfg.faults.kill_rate = 0.9;  // most PEs die (rank 0 always survives)
+  cfg.faults.kill_time_seconds = 1e-5;
+  const auto r = core::count_kmers(reads, cfg);
+  EXPECT_GE(r.pes_killed, 1);
+  EXPECT_GT(r.checkpoints_written, 0u);
+  EXPECT_GT(r.checkpoint_bytes, 0.0);
+  expect_counts_equal(r, expect);
+}
+
+TEST(KillRuns, CheckpointEpochsAloneDoNotChangeTheSpectrum) {
+  // Epoch slicing without any faults: same counts as the single-shot
+  // path, and every epoch writes one checkpoint per PE.
+  auto reads = tiny_reads(32);
+  const auto expect = baseline::serial_count(reads, 31);
+  core::CountConfig cfg = kill_probe_config(4);
+  const auto r = core::count_kmers(reads, cfg);
+  EXPECT_EQ(r.pes_killed, 0);
+  EXPECT_EQ(r.checkpoints_written, 4u * 8u);
+  EXPECT_EQ(r.rollbacks, 0u);
+  EXPECT_EQ(r.replayed_reads, 0u);
+  expect_counts_equal(r, expect);
+}
+
+TEST(KillRuns, KillsRequireTheDakcBackend) {
+  auto reads = tiny_reads(33);
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kPakMan;
+  cfg.pes = 4;
+  cfg.pes_per_node = 2;
+  cfg.faults.kill_rate = 0.5;
+  EXPECT_THROW(core::count_kmers(reads, cfg), std::logic_error);
+}
+
+TEST(KillRuns, RecoveryRejectsOutOfCoreBins) {
+  // Disk-resident minimizer bins are not snapshotable; the combination
+  // must be refused up front rather than producing a bogus checkpoint.
+  auto reads = tiny_reads(34);
+  core::CountConfig cfg = kill_probe_config(2);
+  cfg.superkmer = true;
+  cfg.tmp_dir =
+      (fs::temp_directory_path() / "dakc_kill_ooc").string();
+  cfg.faults.kill_rate = 0.5;
+  EXPECT_THROW(core::count_kmers(reads, cfg), std::logic_error);
+}
+
+TEST(Restart, RestartWithoutDirIsRejected) {
+  auto reads = tiny_reads(35);
+  core::CountConfig cfg = kill_probe_config(2);
+  cfg.restart = true;
+  EXPECT_THROW(core::count_kmers(reads, cfg), std::logic_error);
+}
+
+TEST(Restart, ResumeFromRewoundManifestMatchesUninterrupted) {
+  auto reads = tiny_reads(36);
+  const auto expect = baseline::serial_count(reads, 31);
+  const fs::path dir = fs::temp_directory_path() / "dakc_restart_test";
+  fs::remove_all(dir);
+
+  core::CountConfig cfg = kill_probe_config(4);
+  cfg.checkpoint_dir = dir.string();
+  const auto full = core::count_kmers(reads, cfg);
+  expect_counts_equal(full, expect);
+
+  // The run keeps the last two generations on disk: epochs 3 and 4 for
+  // all 8 PEs, plus the manifest.
+  EXPECT_TRUE(fs::exists(core::manifest_path(dir.string())));
+  for (int p = 0; p < 8; ++p) {
+    EXPECT_TRUE(
+        fs::exists(core::checkpoint_path(dir.string(), p, 4)));
+    EXPECT_TRUE(
+        fs::exists(core::checkpoint_path(dir.string(), p, 3)));
+    EXPECT_FALSE(
+        fs::exists(core::checkpoint_path(dir.string(), p, 2)));
+  }
+
+  // Rewind the manifest to epoch 3, as if the process had been killed
+  // before committing epoch 4, and resume: the tail is replayed and the
+  // spectrum matches the uninterrupted run.
+  core::write_manifest(dir.string(), 8, 4, 3);
+  core::CountConfig resume = cfg;
+  resume.restart = true;
+  const auto resumed = core::count_kmers(reads, resume);
+  expect_counts_equal(resumed, expect);
+  fs::remove_all(dir);
+}
+
+TEST(Restart, ResumeFromFinalCheckpointSkipsPhaseOne) {
+  // A manifest at epoch == total_epochs means phase 1 fully committed:
+  // the resumed run only redoes the local sort.
+  auto reads = tiny_reads(37);
+  const auto expect = baseline::serial_count(reads, 31);
+  const fs::path dir = fs::temp_directory_path() / "dakc_restart_final";
+  fs::remove_all(dir);
+
+  core::CountConfig cfg = kill_probe_config(2);
+  cfg.checkpoint_dir = dir.string();
+  const auto full = core::count_kmers(reads, cfg);
+  expect_counts_equal(full, expect);
+
+  core::CountConfig resume = cfg;
+  resume.restart = true;
+  const auto resumed = core::count_kmers(reads, resume);
+  expect_counts_equal(resumed, expect);
+  EXPECT_EQ(resumed.replayed_reads, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(Restart, KilledRunLeavesARestartableDirectory) {
+  // Kills during the run rewrite the manifest at each rollback; whatever
+  // state the directory is left in must restart to the same spectrum.
+  auto reads = tiny_reads(38);
+  const auto expect = baseline::serial_count(reads, 31);
+  const fs::path dir = fs::temp_directory_path() / "dakc_restart_kill";
+  fs::remove_all(dir);
+
+  core::CountConfig cfg = kill_probe_config(4);
+  cfg.checkpoint_dir = dir.string();
+  cfg.faults.kill_rate = 0.9;
+  cfg.faults.kill_time_seconds = 1e-5;
+  const auto killed = core::count_kmers(reads, cfg);
+  EXPECT_GE(killed.pes_killed, 1);
+  expect_counts_equal(killed, expect);
+
+  ASSERT_TRUE(fs::exists(core::manifest_path(dir.string())));
+  core::CountConfig resume = cfg;
+  resume.faults.kill_rate = 0.0;  // the survivors' disk state restarts clean
+  resume.restart = true;
+  const auto resumed = core::count_kmers(reads, resume);
+  expect_counts_equal(resumed, expect);
+  fs::remove_all(dir);
 }
 
 }  // namespace

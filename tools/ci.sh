@@ -64,6 +64,49 @@ fi
 [ -z "$(find "$build/sk_bins" -mindepth 1 2>/dev/null)" ]
 echo "out-of-core: mem-limited binned run matches the in-memory spectrum"
 
+# ---------------------------------------------------------------------------
+# Crash-recovery smoke: the golden workload with permanent PE kills
+# injected must recover to the exact fault-free spectrum (the hash below
+# is the same golden the tier-1 suite pins). Only the spectrum is
+# compared — rollbacks and shard re-admission charge real simulated work,
+# so the timing lines legitimately differ from the fault-free run.
+kill_flags=("${golden_flags[@]}" --fault-kill-rate 0.1
+  --fault-kill-time 5e-5 --checkpoint-epochs 4)
+"$build/tools/dakc_count" "${kill_flags[@]}" --report-out "$build/kill.txt"
+grep -q '^counts_hash 0x36570c604a3d3804$' "$build/kill.txt"
+if grep -q '^pes_killed 0$' "$build/kill.txt"; then
+  echo "crash-recovery smoke killed nobody"; exit 1
+fi
+echo "crash-recovery: killed run reproduces the fault-free spectrum"
+
+# Restart smoke: SIGKILL the CLI as soon as its first durable manifest
+# lands, then resume from the checkpoint directory and require the
+# resumed spectrum to match an uninterrupted run. Spectrum lines only —
+# a resumed run skips the epochs the checkpoint already covers, so its
+# timings legitimately differ.
+rs_flags=(count --dataset human --scale 4e-5 --dataset-seed 41
+  --nodes 8 --cores-per-node 4 --l3 --protocol 2d --noise 0.25 --k 31)
+"$build/tools/dakc_count" "${rs_flags[@]}" --report-out "$build/rs_ref.txt"
+rs_ckpt="$build/rs_ckpt"
+rm -rf "$rs_ckpt"
+"$build/tools/dakc_count" "${rs_flags[@]}" --checkpoint-epochs 8 \
+  --checkpoint-dir "$rs_ckpt" --report-out "$build/rs_killed.txt" &
+rs_pid=$!
+for _ in $(seq 1 400); do
+  [ -f "$rs_ckpt/MANIFEST.ckpt" ] && break
+  sleep 0.05
+done
+kill -9 "$rs_pid" 2>/dev/null || true
+wait "$rs_pid" 2>/dev/null || true
+[ -f "$rs_ckpt/MANIFEST.ckpt" ]
+"$build/tools/dakc_count" "${rs_flags[@]}" --checkpoint-epochs 8 \
+  --restart-from "$rs_ckpt" --report-out "$build/rs_resumed.txt"
+for key in counts_hash distinct_kmers total_kmers; do
+  [ "$(grep "^$key" "$build/rs_ref.txt")" = \
+    "$(grep "^$key" "$build/rs_resumed.txt")" ]
+done
+echo "restart: resumed run matches the uninterrupted spectrum"
+
 "$build/tools/perf_baseline" --out "$build/BENCH_kernels.json"
 python3 "$repo/tools/check_perf.py" \
   --bench "$build/BENCH_kernels.json" \
@@ -85,6 +128,13 @@ cmake -B "$build_asan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDAKC_SANITIZE=ON
 cmake --build "$build_asan" -j "$(nproc)"
 (cd "$build_asan" && ctest --output-on-failure -LE perf -j "$(nproc)")
+# Recovery under instrumentation: fiber unwinds, checkpoint buffers, and
+# conveyor stream teardown are exactly the lifetime-heavy paths ASan is
+# here to police.
+"$build_asan/tools/dakc_count" "${kill_flags[@]}" \
+  --report-out "$build_asan/kill.txt"
+grep -q '^counts_hash 0x36570c604a3d3804$' "$build_asan/kill.txt"
+echo "asan: crash-recovery smoke clean"
 
 # ---------------------------------------------------------------------------
 # ThreadSanitizer job: the work-stealing pool and the parallel DES
@@ -103,6 +153,12 @@ cmake --build "$build_tsan" -j "$(nproc)" --target \
 "$build_tsan/tools/dakc_count" "${golden_flags[@]}" --host-threads 2 \
   --report-out "$build_tsan/replay_t2.txt"
 cmp "$build/replay_a.txt" "$build_tsan/replay_t2.txt"
+# Kills force the serial engine even when --host-threads asks for more;
+# this run proves that gating holds under TSan (a warm worker touching
+# the membership state mid-unwind would race here).
+"$build_tsan/tools/dakc_count" "${kill_flags[@]}" --host-threads 2 \
+  --report-out "$build_tsan/kill.txt"
+grep -q '^counts_hash 0x36570c604a3d3804$' "$build_tsan/kill.txt"
 echo "tsan: pool + parallel-DES tests clean, 2-thread report identical"
 
 # ---------------------------------------------------------------------------

@@ -13,11 +13,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "analysis/spectrum.hpp"
 #include "core/api.hpp"
+#include "core/recovery.hpp"
 #include "io/dump.hpp"
 #include "io/fastx.hpp"
 #include "kmer/count.hpp"
@@ -114,6 +116,20 @@ void write_report(const std::string& path, const core::RunReport& r) {
   std::fprintf(f, "bin_spill_bytes %.17g\n", r.bin_spill_bytes);
   std::fprintf(f, "bin_reload_bytes %.17g\n", r.bin_reload_bytes);
   std::fprintf(f, "bin_peak_resident %.17g\n", r.bin_peak_resident);
+  std::fprintf(f, "pes_killed %d\n", r.pes_killed);
+  std::fprintf(f, "puts_to_dead %llu\n",
+               static_cast<unsigned long long>(r.puts_to_dead));
+  std::fprintf(f, "peers_declared_dead %llu\n",
+               static_cast<unsigned long long>(r.peers_declared_dead));
+  std::fprintf(f, "checkpoints_written %llu\n",
+               static_cast<unsigned long long>(r.checkpoints_written));
+  std::fprintf(f, "checkpoint_bytes %.17g\n", r.checkpoint_bytes);
+  std::fprintf(f, "rollbacks %llu\n",
+               static_cast<unsigned long long>(r.rollbacks));
+  std::fprintf(f, "recovered_shards %llu\n",
+               static_cast<unsigned long long>(r.recovered_shards));
+  std::fprintf(f, "replayed_reads %llu\n",
+               static_cast<unsigned long long>(r.replayed_reads));
   std::fprintf(f, "total_kmers %llu\n",
                static_cast<unsigned long long>(r.total_kmers));
   std::fprintf(f, "distinct_kmers %llu\n",
@@ -121,6 +137,29 @@ void write_report(const std::string& path, const core::RunReport& r) {
   std::fprintf(f, "counts_hash 0x%016llx\n",
                static_cast<unsigned long long>(counts_hash(r)));
   std::fclose(f);
+}
+
+/// Fail fast on an unusable scratch/checkpoint directory: create it and
+/// probe writability BEFORE the simulation starts, instead of dying
+/// mid-run at the first spill or checkpoint write.
+void require_writable_dir(const std::string& dir, const char* flag) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec || !fs::is_directory(dir)) {
+    std::fprintf(stderr, "%s: cannot create directory '%s'\n", flag,
+                 dir.c_str());
+    std::exit(2);
+  }
+  const fs::path probe = fs::path(dir) / ".dakc_write_probe";
+  std::FILE* f = std::fopen(probe.string().c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "%s: directory '%s' is not writable\n", flag,
+                 dir.c_str());
+    std::exit(2);
+  }
+  std::fclose(f);
+  fs::remove(probe, ec);
 }
 
 int cmd_count(int argc, char** argv) {
@@ -187,6 +226,25 @@ int cmd_count(int argc, char** argv) {
                                      "per-window PE stall probability");
   auto& fault_crash = cli.add_double("fault-crash", 0.0,
                                      "per-window PE crash probability");
+  auto& fault_kill = cli.add_double(
+      "fault-kill-rate", 0.0,
+      "probability a PE dies permanently mid-run (dakc backend only; "
+      "recovery re-admits its shard from the last checkpoint)");
+  auto& fault_kill_time = cli.add_double(
+      "fault-kill-time", 200e-6,
+      "earliest virtual time (seconds) a selected PE may die");
+  auto& checkpoint_epochs = cli.add_int(
+      "checkpoint-epochs", 0,
+      "dakc: split phase 1 into this many checkpointed epochs "
+      "(0 = single barrier-anchored checkpoint when kills are enabled)");
+  auto& checkpoint_dir = cli.add_string(
+      "checkpoint-dir", "",
+      "dakc: persist per-PE checkpoints under this directory "
+      "(empty = in-memory snapshots only)");
+  auto& restart_from = cli.add_string(
+      "restart-from", "",
+      "dakc: resume a previous run from this checkpoint directory "
+      "(implies --checkpoint-dir)");
   auto& mem_limit_mb = cli.add_double(
       "mem-limit-mb", 0.0, "per-node memory budget in MiB (0 = unlimited)");
   auto& graceful = cli.add_flag(
@@ -194,6 +252,39 @@ int cmd_count(int argc, char** argv) {
       "degrade buffers under memory pressure instead of failing at the "
       "soft threshold");
   cli.parse(argc, argv);
+
+  // -- fail-fast path validation (before any simulation work) ------------
+  std::string ckpt_dir = checkpoint_dir;
+  bool restart = false;
+  if (!std::string(restart_from).empty()) {
+    restart = true;
+    if (!ckpt_dir.empty() && ckpt_dir != std::string(restart_from)) {
+      std::fprintf(stderr,
+                   "--restart-from and --checkpoint-dir disagree "
+                   "('%s' vs '%s')\n",
+                   std::string(restart_from).c_str(), ckpt_dir.c_str());
+      return 2;
+    }
+    ckpt_dir = restart_from;
+    if (!std::filesystem::is_directory(ckpt_dir)) {
+      std::fprintf(stderr,
+                   "--restart-from: checkpoint directory '%s' does not "
+                   "exist\n",
+                   ckpt_dir.c_str());
+      return 2;
+    }
+    if (!std::filesystem::exists(core::manifest_path(ckpt_dir))) {
+      std::fprintf(stderr,
+                   "--restart-from: no MANIFEST.ckpt under '%s' (not a "
+                   "checkpoint directory, or the run never reached its "
+                   "first checkpoint)\n",
+                   ckpt_dir.c_str());
+      return 2;
+    }
+  }
+  if (!std::string(tmp_dir).empty())
+    require_writable_dir(tmp_dir, "--tmp-dir");
+  if (!ckpt_dir.empty()) require_writable_dir(ckpt_dir, "--checkpoint-dir");
 
   std::vector<std::string> reads;
   if (!input.empty()) {
@@ -249,6 +340,11 @@ int cmd_count(int argc, char** argv) {
   cfg.faults.brownout_rate = fault_brownout;
   cfg.faults.stall_rate = fault_stall;
   cfg.faults.crash_rate = fault_crash;
+  cfg.faults.kill_rate = fault_kill;
+  cfg.faults.kill_time_seconds = fault_kill_time;
+  cfg.checkpoint_epochs = static_cast<int>(checkpoint_epochs);
+  cfg.checkpoint_dir = ckpt_dir;
+  cfg.restart = restart;
   cfg.node_memory_limit = mem_limit_mb * 1024.0 * 1024.0;
   cfg.graceful_memory = graceful;
   const core::RunReport report = core::count_kmers(reads, cfg);
@@ -270,6 +366,17 @@ int cmd_count(int argc, char** argv) {
                 fmt_count(report.retransmits).c_str(),
                 fmt_count(report.dedup_discards).c_str(),
                 fmt_count(report.acks_sent).c_str());
+  }
+  if (cfg.faults.kill_rate > 0.0 || cfg.checkpoint_epochs > 0 ||
+      cfg.restart) {
+    std::printf("recovery: %d killed, %s checkpoints (%s), %s rollbacks, "
+                "%s shards re-admitted, %s reads replayed\n",
+                report.pes_killed,
+                fmt_count(report.checkpoints_written).c_str(),
+                fmt_bytes(report.checkpoint_bytes).c_str(),
+                fmt_count(report.rollbacks).c_str(),
+                fmt_count(report.recovered_shards).c_str(),
+                fmt_count(report.replayed_reads).c_str());
   }
   if (cfg.graceful_memory || report.pressure_events > 0) {
     std::printf("memory pressure: events %s, buffer-shrinks %s\n",
