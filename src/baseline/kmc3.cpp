@@ -1,7 +1,9 @@
 #include "baseline/kmc3.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "io/bins.hpp"
 #include "kmer/extract.hpp"
 #include "kmer/superkmer.hpp"
 #include "sort/accumulate.hpp"
@@ -19,8 +21,45 @@ void run_kmc3_pe(net::Pe& pe, const std::vector<std::string>& reads,
   const int pes = pe.size();
   cachesim::CostModel cost = core::make_cost_model(config, pe);
 
-  // Per-destination buffers: [run_len | kmers...]* plus the modeled wire
-  // size of the packed super-k-mers.
+  // Out-of-core mode (config.tmp_dir set): arriving runs are filed into
+  // disk-backed minimizer bins (io::BinStore) instead of being expanded
+  // into one in-memory array, and phase 2 counts bin by bin — KMC3's
+  // actual two-stage disk pipeline. The sender stamps each run's bin
+  // (minimizer high bits, independent of the low-bit owner selection)
+  // into the run header's upper 32 bits; with tmp_dir empty the bin is
+  // always 0, the header is exactly the run length, and runs break on
+  // the same boundaries as ever — the in-memory path is bit-identical.
+  const bool out_of_core = !config.tmp_dir.empty();
+  std::unique_ptr<io::BinStore> bins;
+  if (out_of_core) {
+    io::BinStoreConfig bc;
+    bc.dir = config.tmp_dir + "/kmc3_pe" + std::to_string(pe.rank());
+    bc.bins = config.max_bins;
+    bc.resident_limit_bytes = config.bin_resident_bytes;
+    bins = std::make_unique<io::BinStore>(std::move(bc));
+  }
+  double bins_accounted = 0.0;
+  double charged_spill = 0.0;
+  double charged_reload = 0.0;
+  auto sync_bins_account = [&] {
+    const double spilled = bins->spill_bytes();
+    if (spilled > charged_spill) {  // spill writes stream the bins out
+      cost.stream_touch(pe, spilled - charged_spill);
+      charged_spill = spilled;
+    }
+    const double resident = bins->resident_bytes();
+    if (resident > bins_accounted) {
+      pe.account_alloc(resident - bins_accounted);
+      bins_accounted = resident;
+    } else if (resident < bins_accounted) {
+      pe.account_free(bins_accounted - resident);
+      bins_accounted = resident;
+    }
+  };
+
+  // Per-destination buffers: [header | kmers...]* records (header =
+  // bin << 32 | run_len) plus the modeled wire size of the packed
+  // super-k-mers.
   std::vector<std::vector<std::uint64_t>> buf(pes);
   std::vector<double> wire(pes, 0.0);
   std::vector<kmer::KmerCount64> local;
@@ -32,18 +71,30 @@ void run_kmc3_pe(net::Pe& pe, const std::vector<std::string>& reads,
       const auto& w = msg.payload;
       std::size_t i = 0;
       while (i < w.size()) {
-        const auto run = static_cast<std::size_t>(w[i++]);
-        DAKC_CHECK(i + run <= w.size());
-        for (std::size_t j = 0; j < run; ++j)
-          local.push_back({w[i + j], 1});
-        // Expanding a super-k-mer rebuilds each k-mer from bases.
-        pe.charge_compute_ops(static_cast<double>(run));
-        i += run;
+        const std::uint64_t header = w[i];
+        const auto run = static_cast<std::size_t>(header & 0xFFFFFFFFULL);
+        DAKC_CHECK(i + 1 + run <= w.size());
+        if (out_of_core) {
+          // File the whole [header | kmers] record into its bin without
+          // expanding; expansion waits for phase 2's per-bin pass.
+          bins->append(static_cast<int>(header >> 32), &w[i], 1 + run);
+        } else {
+          for (std::size_t j = 0; j < run; ++j)
+            local.push_back({w[i + 1 + j], 1});
+          // Expanding a super-k-mer rebuilds each k-mer from bases.
+          pe.charge_compute_ops(static_cast<double>(run));
+        }
+        i += 1 + run;
       }
-      const double now_bytes = static_cast<double>(local.size()) * 16.0;
-      if (now_bytes > accounted) {
-        pe.account_alloc(now_bytes - accounted);
-        accounted = now_bytes;
+      if (out_of_core) {
+        cost.receive_append(pe, static_cast<double>(w.size()) * 8.0);
+        sync_bins_account();
+      } else {
+        const double now_bytes = static_cast<double>(local.size()) * 16.0;
+        if (now_bytes > accounted) {
+          pe.account_alloc(now_bytes - accounted);
+          accounted = now_bytes;
+        }
       }
     }
   };
@@ -58,12 +109,13 @@ void run_kmc3_pe(net::Pe& pe, const std::vector<std::string>& reads,
 
   // Current super-k-mer run state.
   int run_dst = -1;
+  std::uint64_t run_bin = 0;
   std::size_t run_begin = 0;  // index into buf[run_dst] of the run header
 
   auto end_run = [&] {
     if (run_dst < 0) return;
     const std::size_t run_len = buf[run_dst].size() - run_begin - 1;
-    buf[run_dst][run_begin] = run_len;
+    buf[run_dst][run_begin] = (run_bin << 32) | run_len;
     wire[run_dst] += kmer::superkmer_wire_bytes(run_len, k);
     if (buf[run_dst].size() >= opts.buffer_words) flush(run_dst);
     run_dst = -1;
@@ -75,14 +127,23 @@ void run_kmc3_pe(net::Pe& pe, const std::vector<std::string>& reads,
     const std::size_t emitted =
         kmer::for_each_kmer(read, k, [&](kmer::Kmer64 km) {
           if (config.canonical) km = kmer::canonical(km, k);
-          const auto bin = static_cast<int>(
-              kmer::minimizer(km, k, opts.minimizer_len) %
-              static_cast<std::uint64_t>(pes));
-          if (bin != run_dst) {
+          const std::uint64_t min =
+              kmer::minimizer(km, k, opts.minimizer_len);
+          const auto dest =
+              static_cast<int>(min % static_cast<std::uint64_t>(pes));
+          // The bin derives from the same minimizer as the destination
+          // (same k-mer => same (dest, bin)), so bins partition k-mer
+          // types and the per-bin phase 2 never splits a key.
+          const std::uint64_t bin =
+              out_of_core
+                  ? (min >> 32) % static_cast<std::uint64_t>(config.max_bins)
+                  : 0;
+          if (dest != run_dst || bin != run_bin) {
             end_run();
-            run_dst = bin;
-            run_begin = buf[bin].size();
-            buf[bin].push_back(0);  // run header placeholder
+            run_dst = dest;
+            run_bin = bin;
+            run_begin = buf[dest].size();
+            buf[dest].push_back(0);  // run header placeholder
           }
           buf[run_dst].push_back(km);
           // One extra op per k-mer for the rolling minimizer update.
@@ -99,8 +160,68 @@ void run_kmc3_pe(net::Pe& pe, const std::vector<std::string>& reads,
   out->phase1_end = pe.now();
   out->replay_phase1 = cost.stats();
 
-  core::sort_and_accumulate_local(pe, cost, local, out);
-  if (accounted > 0.0) pe.account_free(accounted);
+  if (out_of_core) {
+    // Phase 2, one bin at a time: load, expand, sort, accumulate, drop —
+    // the resident working set is one bin plus the output, not the whole
+    // spectrum (mirrors DakcPe::superkmer_phase2's out-of-core branch).
+    std::vector<kmer::KmerCount64> all;
+    double all_accounted = 0.0;
+    for (int b = 0; b < bins->bins(); ++b) {
+      std::vector<std::uint64_t> words = bins->load(b);
+      const double reload = bins->reload_bytes();
+      if (reload > charged_reload) {  // spilled prefix re-streams in
+        cost.stream_touch(pe, reload - charged_reload);
+        charged_reload = reload;
+      }
+      if (words.empty()) {
+        bins->drop(b);
+        sync_bins_account();
+        continue;
+      }
+      const double loaded_bytes = static_cast<double>(words.size()) * 8.0;
+      pe.account_alloc(loaded_bytes);
+      std::vector<kmer::KmerCount64> pairs;
+      std::size_t i = 0;
+      while (i < words.size()) {
+        const auto run =
+            static_cast<std::size_t>(words[i] & 0xFFFFFFFFULL);
+        DAKC_CHECK(i + 1 + run <= words.size());
+        for (std::size_t j = 0; j < run; ++j)
+          pairs.push_back({words[i + 1 + j], 1});
+        pe.charge_compute_ops(static_cast<double>(run));
+        i += 1 + run;
+      }
+      const double pair_bytes = static_cast<double>(pairs.size()) * 16.0;
+      pe.account_alloc(pair_bytes);
+      words = std::vector<std::uint64_t>();
+      pe.account_free(loaded_bytes);
+      const sort::SortStats st = sort::hybrid_radix_sort(
+          pairs.begin(), pairs.end(),
+          [](const kmer::KmerCount64& kc) { return kc.kmer; });
+      cost.sort(pe, st, sizeof(kmer::KmerCount64));
+      if (!pairs.empty()) {
+        sort::accumulate_pairs_inplace(pairs);
+        cost.accumulate(pe, pairs.size(), sizeof(kmer::KmerCount64));
+      }
+      const double kept = static_cast<double>(pairs.size()) * 16.0;
+      pe.account_alloc(kept);
+      all_accounted += kept;
+      pe.account_free(pair_bytes);
+      all.insert(all.end(), pairs.begin(), pairs.end());
+      bins->drop(b);
+      sync_bins_account();
+    }
+    out->counts = std::move(all);
+    out->phase2_end = pe.now();
+    out->bin_spills = bins->spills();
+    out->bin_spill_bytes = bins->spill_bytes();
+    out->bin_reload_bytes = bins->reload_bytes();
+    out->bin_peak_resident = bins->peak_resident_bytes();
+    if (all_accounted > 0.0) pe.account_free(all_accounted);
+  } else {
+    core::sort_and_accumulate_local(pe, cost, local, out);
+    if (accounted > 0.0) pe.account_free(accounted);
+  }
   pe.barrier();
   out->phase2_end = pe.now();
   out->replay_total = cost.stats();

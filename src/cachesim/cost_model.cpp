@@ -229,6 +229,48 @@ void CostModel::comparison_sort(net::Pe& pe, std::size_t n,
   charge_delta(pe);
 }
 
+void CostModel::partition(net::Pe& pe, std::size_t elements,
+                          std::size_t element_bytes) {
+  // Two index ops per record (bucket extract + cursor bump); the data
+  // traffic is one read sweep and one scattered write of the payload.
+  pe.charge_compute_ops(2.0 * static_cast<double>(elements));
+  if (!replaying()) {
+    pe.charge_mem_bytes(2.0 * static_cast<double>(elements) *
+                        static_cast<double>(element_bytes));
+    return;
+  }
+  if (elements == 0) {
+    charge_delta(pe);
+    return;
+  }
+  const std::uint64_t payload =
+      static_cast<std::uint64_t>(elements) * element_bytes;
+  Region& src = region(kSortSrc, payload);
+  Region& dst = region(kSortDst, payload);
+  sim_->stream(src.base, payload);
+  sim_->multi_stream_append(dst.base, elements,
+                            static_cast<std::uint32_t>(element_bytes),
+                            config_.scatter_streams, rng_);
+  charge_delta(pe);
+}
+
+void CostModel::replica_fold(net::Pe& pe, std::size_t folds,
+                             double table_bytes) {
+  // Binary search over a handful of hot keys plus the counter bump.
+  pe.charge_compute_ops(2.0 * static_cast<double>(folds));
+  if (!replaying()) {
+    pe.charge_mem_bytes(8.0 * static_cast<double>(folds));
+    return;
+  }
+  const auto b = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(table_bytes), 64);
+  if (folds > 0) {
+    Region& t = region(kReplica, b);
+    sim_->random_scatter(t.base, b, folds, 8, rng_);
+  }
+  charge_delta(pe);
+}
+
 void CostModel::stream_touch(net::Pe& pe, double bytes) {
   if (!replaying()) {
     pe.charge_mem_bytes(bytes);

@@ -143,6 +143,20 @@ class CostModel {
   /// unpacks). Replay: stream through a rolling window.
   void stream_touch(net::Pe& pe, double bytes);
 
+  /// One MSD split pass over `elements` records (sort/split.hpp): a
+  /// counting sweep plus a 256-stream scatter — the shape of a single
+  /// radix pass. Used by the phase-2 work-stealing plane to carve
+  /// donatable blocks. Replay: source sweep + multi-stream scatter over
+  /// the sort ping-pong regions.
+  void partition(net::Pe& pe, std::size_t elements,
+                 std::size_t element_bytes);
+
+  /// Fold `folds` promoted-key occurrences into the PE-local replica
+  /// count table of `table_bytes` (DESIGN.md §12): a binary search plus a
+  /// counter bump each. The table is tiny and touched constantly, so the
+  /// replay keeps it in a reused (hot) region rather than rolling memory.
+  void replica_fold(net::Pe& pe, std::size_t folds, double table_bytes);
+
   /// Replay counters so far (phase snapshots diff two calls).
   ReplayStats stats() const;
 
@@ -157,6 +171,7 @@ class CostModel {
     kSortSrc,     // ping-pong: sort source
     kSortDst,     // ping-pong: sort destination
     kTable,       // sized: hash table
+    kReplica,     // reused: hot-key replica count table
     kSlotCount,
   };
   struct Region {

@@ -239,6 +239,7 @@ void Conveyor::push(int dst, const std::uint64_t* words, std::size_t n,
   DAKC_CHECK_MSG(!finished_, "push() after finish() completed");
   DAKC_CHECK(n >= 1 && n < lane_capacity_words_);
   ++injected_;
+  ++injected_by_kind_[kind];
   pe_.charge_compute_ops(config_.push_ops);
   pe_.charge_mem_bytes(static_cast<double>(n) * 8.0);
   if (dst == pe_.rank()) {

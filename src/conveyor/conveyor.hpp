@@ -195,6 +195,13 @@ class Conveyor {
   std::size_t lane_count() const { return active_lanes_.size(); }
   /// Packets this PE injected (as origin).
   std::uint64_t injected() const { return injected_; }
+  /// Packets this PE injected with a given kind byte. Lets applications
+  /// that multiplex packet kinds over one conveyor (DAKC's NORMAL /
+  /// HEAVY / SUPER / MERGE frames) audit the traffic mix without
+  /// counting at every call site.
+  std::uint64_t injected_by_kind(std::uint8_t kind) const {
+    return injected_by_kind_[kind];
+  }
   /// Packets delivered to this PE (as final destination).
   std::uint64_t delivered() const { return delivered_; }
   /// Packets this PE relayed on behalf of others.
@@ -299,6 +306,7 @@ class Conveyor {
   std::uint32_t free_slab_ = kNoSlab;
   std::deque<ReadyPacket> ready_;
   std::uint64_t injected_ = 0;
+  std::uint64_t injected_by_kind_[256] = {};
   std::uint64_t delivered_ = 0;
   std::uint64_t relayed_ = 0;
   std::uint64_t hop_hist_[4] = {0, 0, 0, 0};

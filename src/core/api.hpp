@@ -120,6 +120,31 @@ struct CountConfig {
   /// uninterrupted run; timings legitimately differ.
   bool restart = false;
 
+  // -- skew-adaptive scale-out (DAKC, DESIGN.md §12) ----------------------
+  /// Master switch for heavy-hitter mitigation: phase-1 top-K detection,
+  /// promotion of hot k-mers to replicated owners with count merging at
+  /// the phase boundary, and phase-2 work stealing between PEs of a
+  /// node. Default off — the flat and replay goldens pin the unmitigated
+  /// pipeline bit for bit.
+  bool skew_adaptive = false;
+  /// Per-PE Space-Saving sketch capacity for the detection pre-pass.
+  int skew_sketch_k = 64;
+  /// Fraction of each PE's read slice the detection pre-pass parses
+  /// (sampled keys only feed the sketch; the counting parse re-reads
+  /// them, so sampling never affects the spectrum).
+  double skew_sample_frac = 0.25;
+  /// Promote a key only when its merged sampled count reaches both this
+  /// absolute floor and skew_promote_frac of the sampled stream.
+  std::uint64_t skew_promote_min = 64;
+  double skew_promote_frac = 1.0 / 256.0;
+  /// Cap on promoted keys (the replica table stays cache-resident).
+  int skew_hot_max = 16;
+  /// Sub-feature gates under skew_adaptive (ablation knobs).
+  bool skew_replicate = true;
+  bool skew_steal = true;
+  /// Minimum pairs worth donating in one phase-2 steal move.
+  std::uint64_t skew_steal_min = 4096;
+
   // -- future-work extension (paper §VII) ---------------------------------
   /// Fold arriving k-mers into a local hash table instead of buffering
   /// them for the phase-2 sort: the "asynchronous updates" structure the
@@ -196,6 +221,15 @@ struct RunReport {
   double bin_spill_bytes = 0.0;       ///< bytes written to spill files
   double bin_reload_bytes = 0.0;      ///< bytes read back in phase 2
   double bin_peak_resident = 0.0;     ///< max over PEs of resident bin bytes
+
+  // -- skew-adaptive mitigation (all zero when CountConfig::skew_adaptive
+  //    is off) -------------------------------------------------------------
+  std::uint64_t hot_kmers_promoted = 0;  ///< agreed hot-set size (identical
+                                         ///< at every PE; reported as max)
+  std::uint64_t replica_hits = 0;     ///< occurrences folded into replicas
+  std::uint64_t merge_frames = 0;     ///< MERGE packets sent at the boundary
+  std::uint64_t steal_moves = 0;      ///< phase-2 block donations executed
+  std::uint64_t steal_pairs = 0;      ///< pairs shipped to thieves
 
   // -- cache-replay cost model (sums over PEs; all zero under kFlat) -----
   std::uint64_t replay_accesses = 0;       ///< line touches replayed

@@ -99,6 +99,12 @@ void fill_report_from_fabric(const net::Fabric& fabric,
     report->bin_reload_bytes += o.bin_reload_bytes;
     report->bin_peak_resident =
         std::max(report->bin_peak_resident, o.bin_peak_resident);
+    report->hot_kmers_promoted =
+        std::max(report->hot_kmers_promoted, o.hot_kmers_promoted);
+    report->replica_hits += o.replica_hits;
+    report->merge_frames += o.merge_frames;
+    report->steal_moves += o.steal_moves;
+    report->steal_pairs += o.steal_pairs;
     report->checkpoints_written += o.checkpoints_written;
     report->checkpoint_bytes += o.checkpoint_bytes;
     report->rollbacks += o.rollbacks;

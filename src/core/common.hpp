@@ -43,6 +43,12 @@ struct PeOutput {
   double bin_spill_bytes = 0.0;
   double bin_reload_bytes = 0.0;
   double bin_peak_resident = 0.0;
+  /// Skew-mitigation counters (zero unless CountConfig::skew_adaptive).
+  std::uint64_t hot_kmers_promoted = 0;
+  std::uint64_t replica_hits = 0;
+  std::uint64_t merge_frames = 0;
+  std::uint64_t steal_moves = 0;
+  std::uint64_t steal_pairs = 0;
   /// Checkpoint/recovery counters (zero unless the recovery plane runs).
   std::uint64_t checkpoints_written = 0;
   double checkpoint_bytes = 0.0;

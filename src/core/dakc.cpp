@@ -7,6 +7,7 @@
 
 #include "actor/actor.hpp"
 #include "core/hash_counter.hpp"
+#include "core/skew.hpp"
 #include "io/bins.hpp"
 #include "kmer/extract.hpp"
 #include "kmer/superkmer.hpp"
@@ -29,6 +30,20 @@ double superkmer_wire_model(std::uint8_t kind, const std::uint64_t* words,
   return kmer::superkmer_buffer_wire_bytes(words, n);
 }
 
+/// Conveyor wire model for skew-adaptive mode: MERGE frames carry
+/// {kmer, count} pairs whose count is a pre-aggregated partial sum and
+/// fits a 32-bit field on the wire, so a pair costs 12 bytes instead of
+/// the 16 its host words occupy. Every other kind keeps the host-word
+/// charge, which is what the default model charges — installing this
+/// model changes nothing until a MERGE frame exists. Depends only on the
+/// packet's own words, so 2D/3D relays recompute the identical value.
+double skew_wire_model(std::uint8_t kind, const std::uint64_t* words,
+                       std::size_t n) {
+  (void)words;
+  if (kind != kPacketMerge) return static_cast<double>(n) * 8.0;
+  return static_cast<double>(n / 2) * 12.0;
+}
+
 /// Phase-1 state of one PE: the L2/L3 buffers in front of the actor
 /// runtime, plus the receive-side array T. In super-k-mer mode the L2/L3
 /// k-mer buffers are replaced by per-destination packed-run buffers and
@@ -38,13 +53,19 @@ class DakcPe {
   /// `stream` tags this instance's conveyor frames (recovery mode spins a
   /// fresh stream per epoch attempt so condemned traffic can't leak into
   /// the retry); `redirect` maps nominal k-mer owners to the PE actually
-  /// holding their shard after recovery adoption (null = identity).
+  /// holding their shard after recovery adoption (null = identity);
+  /// `hot` is the collectively-agreed promoted key set (null = no
+  /// replication) — occurrences of its keys fold into the local replica
+  /// table and travel as MERGE frames at the phase boundary.
   DakcPe(net::Pe& pe, cachesim::CostModel& cost, const CountConfig& config,
-         std::uint32_t stream = 0, const std::vector<int>* redirect = nullptr)
+         std::uint32_t stream = 0, const std::vector<int>* redirect = nullptr,
+         const HotSet* hot = nullptr)
       : pe_(pe),
         cost_(cost),
         config_(config),
         redirect_(redirect),
+        hot_(hot),
+        replicas_(hot == nullptr ? 0 : hot->size(), 0),
         actor_(pe, make_actor_config(config),
                make_conveyor_config(config, stream)),
         l2n_(static_cast<std::size_t>(pe.size())),
@@ -107,6 +128,21 @@ class DakcPe {
   void async_add(kmer::Kmer64 km) {
     if (pressure_flag_) degrade();
     pe_.charge_compute_ops(2.0);  // owner hash + buffer bookkeeping
+    if (hot_ != nullptr) {
+      // Promoted key: fold into the sender-local replica counter instead
+      // of the aggregation stack — the heavy hitter's occurrences never
+      // reach the wire until the phase-boundary MERGE flush. The check
+      // sits AFTER the unconditional 2-op charge so the per-k-mer floor
+      // behind model::makespan_lower_bound holds with mitigation on.
+      std::size_t idx;
+      if (hot_->contains(static_cast<std::uint64_t>(km), &idx)) {
+        ++replicas_[idx];
+        ++replica_hits_;
+        cost_.replica_fold(pe_, 1, hot_->table_bytes());
+        return;
+      }
+      pe_.charge_compute_ops(2.0);  // miss: the binary search still ran
+    }
     if (config_.l3_enabled) {
       l3_.push_back(km);
       if (l3_.size() >= c3_eff_) flush_l3();
@@ -165,6 +201,7 @@ class DakcPe {
           flush_l2h(p);
         }
       }
+      flush_replicas();
     }
     return actor_.done(abort);
   }
@@ -194,6 +231,8 @@ class DakcPe {
     out->superkmer_runs += sk_runs_;
     out->superkmer_kmers += sk_kmers_;
     out->packed_wire_bytes += sk_wire_;
+    out->replica_hits += replica_hits_;
+    out->merge_frames += merge_frames_;
     if (bins_) {
       out->bin_spills = bins_->spills();
       out->bin_spill_bytes = bins_->spill_bytes();
@@ -216,6 +255,7 @@ class DakcPe {
     v.lane_bytes = c.l0_lane_bytes;
     v.stream_id = stream;
     if (c.superkmer) v.wire_model = &superkmer_wire_model;
+    else if (c.skew_adaptive) v.wire_model = &skew_wire_model;
     return v;
   }
 
@@ -236,7 +276,7 @@ class DakcPe {
     }
     if (config_.phase2_hash) {
       std::size_t probes = 0;
-      if (kind == kPacketHeavy) {
+      if (kind == kPacketHeavy || kind == kPacketMerge) {
         DAKC_ASSERT(n % 2 == 0);
         for (std::size_t i = 0; i + 1 < n; i += 2)
           probes += hash_.add(w[i], w[i + 1]);
@@ -252,7 +292,7 @@ class DakcPe {
     // copy (HEAVY {kmer,count} pairs share KmerCount64's exact layout)
     // instead of per-element push_backs with capacity checks.
     const std::size_t old_size = t_.size();
-    if (kind == kPacketHeavy) {
+    if (kind == kPacketHeavy || kind == kPacketMerge) {
       DAKC_ASSERT(n % 2 == 0);
       t_.resize(old_size + n / 2);
       static_assert(sizeof(kmer::KmerCount64) == 2 * sizeof(std::uint64_t));
@@ -565,6 +605,36 @@ class DakcPe {
     b.clear();
   }
 
+  /// Phase-boundary replica merge (DESIGN.md §12): every non-zero local
+  /// replica count travels to its key's true owner as one {kmer, count}
+  /// pair in a per-destination MERGE frame. Runs once per phase 1 (or per
+  /// recovery epoch attempt — counts reset so a rolled-back attempt's
+  /// partial frames die with their condemned conveyor stream and the
+  /// retry re-accumulates from zero).
+  void flush_replicas() {
+    if (hot_ == nullptr) return;
+    std::vector<std::vector<std::uint64_t>> frames(
+        static_cast<std::size_t>(pe_.size()));
+    std::size_t flushed = 0;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (replicas_[i] == 0) continue;
+      const auto dst = static_cast<std::size_t>(dst_of(kmer::owner_pe(
+          static_cast<kmer::Kmer64>(hot_->keys[i]), pe_.size())));
+      frames[dst].push_back(hot_->keys[i]);
+      frames[dst].push_back(replicas_[i]);
+      replicas_[i] = 0;
+      ++flushed;
+    }
+    if (flushed == 0) return;
+    cost_.buffer_drain(pe_, static_cast<double>(flushed) * 16.0);
+    for (int p = 0; p < pe_.size(); ++p) {
+      const auto& f = frames[static_cast<std::size_t>(p)];
+      if (f.empty()) continue;
+      actor_.send(p, f.data(), f.size(), kPacketMerge);
+      ++merge_frames_;
+    }
+  }
+
   void flush_sk(int p) {
     auto& b = sk_buf_[static_cast<std::size_t>(p)];
     if (b.empty()) return;
@@ -592,6 +662,10 @@ class DakcPe {
   cachesim::CostModel& cost_;
   const CountConfig& config_;
   const std::vector<int>* redirect_;
+  const HotSet* hot_;
+  std::vector<std::uint64_t> replicas_;  // per-hot-key local partial counts
+  std::uint64_t replica_hits_ = 0;
+  std::uint64_t merge_frames_ = 0;
   actor::Actor actor_;
   std::vector<std::uint64_t> l3_;
   std::vector<std::vector<std::uint64_t>> l2n_;  // NORMAL: raw k-mers
@@ -680,6 +754,19 @@ void run_dakc_pe_recovery(net::Pe& pe, const std::vector<std::string>& reads,
   pe.barrier();  // global sync #1: start of the counting epoch
 
   cachesim::CostModel cost = make_cost_model(config, pe);
+
+  // Skew detection under the fault plane uses the shared-sample protocol:
+  // agreement by construction, no exchange a permanent kill could strand.
+  // It runs once, before the epoch loop, and a restart recomputes the
+  // identical set — so every epoch attempt (and every replay of one)
+  // promotes the same keys. Phase-2 stealing stays off in recovery mode:
+  // the redo loop below re-sorts a PE's own carried state, which donated
+  // blocks would no longer be part of.
+  HotSet hot;
+  if (config.skew_adaptive && config.skew_replicate)
+    hot = shared_sample_hot_set(pe, cost, reads, config);
+  const HotSet* hot_ptr = hot.empty() ? nullptr : &hot;
+  out->hot_kmers_promoted = hot.size();
 
   // redirect[owner] = the PE actually holding owner's shard + key range.
   std::vector<int> redirect(static_cast<std::size_t>(pes));
@@ -781,7 +868,7 @@ void run_dakc_pe_recovery(net::Pe& pe, const std::vector<std::string>& reads,
     bool ok = dead0 == static_cast<int>(deaths_handled);
     if (ok) {
       {
-        DakcPe state(pe, cost, config, stream, &redirect);
+        DakcPe state(pe, cost, config, stream, &redirect, hot_ptr);
         ++stream;
         state.adopt(std::move(carry_pairs), std::move(carry_keys));
         carry_pairs.clear();
@@ -955,6 +1042,18 @@ void run_dakc_pe(net::Pe& pe, const std::vector<std::string>& reads,
   DAKC_CHECK(config.c2 >= 2 && config.c3 >= 2);
   DAKC_CHECK_MSG(config.c2 * 8 + 16 <= config.l0_lane_bytes,
                  "C2 packets must fit inside an L0 lane");
+  if (config.skew_adaptive) {
+    DAKC_CHECK_MSG(!config.superkmer,
+                   "skew-adaptive mitigation routes raw k-mers; super-k-mer "
+                   "transport routes whole runs by minimizer");
+    DAKC_CHECK_MSG(config.skew_sketch_k >= 1, "skew_sketch_k must be >= 1");
+    DAKC_CHECK_MSG(config.skew_hot_max >= 1 && config.skew_hot_max <= 1024,
+                   "skew_hot_max must be in [1, 1024] (replica MERGE frames "
+                   "must fit one L0 lane)");
+    DAKC_CHECK_MSG(
+        config.skew_sample_frac > 0.0 && config.skew_sample_frac <= 1.0,
+        "skew_sample_frac must be in (0, 1]");
+  }
   if (config.superkmer) {
     DAKC_CHECK_MSG(!config.phase2_hash,
                    "super-k-mer transport feeds the phase-2 sort, not the "
@@ -982,7 +1081,11 @@ void run_dakc_pe(net::Pe& pe, const std::vector<std::string>& reads,
   pe.barrier();  // global sync #1: start of the counting epoch
 
   cachesim::CostModel cost = make_cost_model(config, pe);
-  DakcPe state(pe, cost, config);
+  HotSet hot;
+  if (config.skew_adaptive && config.skew_replicate)
+    hot = agree_hot_set(pe, cost, reads, config);
+  out->hot_kmers_promoted = hot.size();
+  DakcPe state(pe, cost, config, 0, nullptr, hot.empty() ? nullptr : &hot);
   const auto [begin, end] = core::read_slice(reads.size(), pe.size(),
                                              pe.rank());
   parse_range(pe, cost, reads, begin, end, config, state);
@@ -996,7 +1099,17 @@ void run_dakc_pe(net::Pe& pe, const std::vector<std::string>& reads,
     out->counts = state.extract_hash_counts();
     out->phase2_end = pe.now();
   } else {
+    // Phase-2 work stealing (DESIGN.md §12): every PE participates in the
+    // plan (the gate is pure config, so the allgather inside is uniform),
+    // then sorts whatever T it ended up with. The thief's stolen scratch
+    // is released once the sort has consumed it into out->counts.
+    double stolen_bytes = 0.0;
+    if (config.skew_adaptive && config.skew_steal && pe.size() > 1 &&
+        config.pes_per_node > 1)
+      stolen_bytes = steal_rebalance(pe, cost, config, state.local_pairs(),
+                                     out);
     sort_and_accumulate_local(pe, cost, state.local_pairs(), out);
+    if (stolen_bytes > 0.0) pe.account_free(stolen_bytes);
   }
   state.export_stats(out);
   pe.barrier();  // global sync #3: end of the counting epoch

@@ -41,5 +41,10 @@ inline constexpr std::uint8_t kPacketHeavy = 1;   ///< {kmer, count} pairs
 /// Packed super-k-mer runs ([header | bases]*, kmer/superkmer.hpp); the
 /// conveyor wire model charges these at 2 bits/base + run headers.
 inline constexpr std::uint8_t kPacketSuper = 2;
+/// Replica count-merge pairs flushed at the phase boundary by the
+/// skew-adaptive plane (DESIGN.md §12). Same {kmer, count} layout as
+/// HEAVY; a separate kind so the wire model can charge the narrower
+/// 12-byte merge-frame encoding and reports can count them.
+inline constexpr std::uint8_t kPacketMerge = 3;
 
 }  // namespace dakc::core

@@ -93,6 +93,9 @@ RunReport count_kmers(const std::vector<std::string>& reads,
   DAKC_CHECK_MSG(cfg.checkpoint_epochs == 0 ||
                      cfg.backend == Backend::kDakc,
                  "checkpoint_epochs requires the dakc backend");
+  DAKC_CHECK_MSG(!cfg.skew_adaptive || cfg.backend == Backend::kDakc,
+                 "skew_adaptive requires the dakc backend (detection, "
+                 "replication, and stealing live in the DAKC stack)");
   DAKC_CHECK_MSG(cfg.checkpoint_epochs >= 0,
                  "checkpoint_epochs must be non-negative");
   DAKC_CHECK_MSG(!cfg.restart || !cfg.checkpoint_dir.empty(),

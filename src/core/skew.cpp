@@ -1,0 +1,307 @@
+#include "core/skew.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kmer/extract.hpp"
+#include "sort/split.hpp"
+#include "util/check.hpp"
+
+namespace dakc::core {
+namespace {
+
+// -- serialization (kSkewTag payloads) --------------------------------------
+// Sketch:  [stream_total, n, key0, count0, ..., key_{n-1}, count_{n-1}]
+// Hot set: [n, key0..key_{n-1}, sampled0..sampled_{n-1}]
+
+std::vector<std::uint64_t> encode_sketch(const util::TopKSketch& sketch) {
+  const std::vector<util::TopKEntry> entries = sketch.sorted_entries();
+  std::vector<std::uint64_t> words;
+  words.reserve(2 + 2 * entries.size());
+  words.push_back(sketch.stream_total());
+  words.push_back(entries.size());
+  for (const auto& e : entries) {
+    words.push_back(e.key);
+    words.push_back(e.count);
+  }
+  return words;
+}
+
+void decode_sketch_into(const std::vector<std::uint64_t>& words,
+                        std::vector<util::TopKEntry>* entries,
+                        std::uint64_t* stream_total) {
+  DAKC_CHECK(words.size() >= 2);
+  *stream_total += words[0];
+  const std::size_t n = words[1];
+  DAKC_CHECK(words.size() == 2 + 2 * n);
+  for (std::size_t i = 0; i < n; ++i)
+    entries->push_back({words[2 + 2 * i], words[3 + 2 * i]});
+}
+
+std::vector<std::uint64_t> encode_hot(const HotSet& hot) {
+  std::vector<std::uint64_t> words;
+  words.reserve(1 + 2 * hot.keys.size());
+  words.push_back(hot.keys.size());
+  words.insert(words.end(), hot.keys.begin(), hot.keys.end());
+  words.insert(words.end(), hot.sampled.begin(), hot.sampled.end());
+  return words;
+}
+
+HotSet decode_hot(const std::vector<std::uint64_t>& words) {
+  DAKC_CHECK(!words.empty());
+  const std::size_t n = words[0];
+  DAKC_CHECK(words.size() == 1 + 2 * n);
+  HotSet hot;
+  hot.keys.assign(words.begin() + 1, words.begin() + 1 + n);
+  hot.sampled.assign(words.begin() + 1 + n, words.end());
+  return hot;
+}
+
+/// Feed one read's k-mers into the sketch and charge the pre-pass cost:
+/// the parse itself plus two ops per sampled key for the (conceptually
+/// hash-backed, O(1) amortized) sketch update. The host-side sketch is a
+/// linear array for simplicity; the MODELED cost is the real algorithm's.
+void sketch_read(net::Pe& pe, cachesim::CostModel& cost, const std::string& read,
+                 int k, util::TopKSketch* sketch) {
+  const std::size_t emitted = kmer::for_each_kmer(
+      read, k, [&](kmer::Kmer64 km) { sketch->add(km); });
+  cost.parse(pe, read.size(), emitted);
+  pe.charge_compute_ops(2.0 * static_cast<double>(emitted));
+}
+
+HotSet promote_local(const util::TopKSketch& sketch,
+                     const CountConfig& config) {
+  return promote_hot_set(
+      util::merge_topk_entries(sketch.sorted_entries(),
+                               static_cast<std::size_t>(config.skew_sketch_k)),
+      sketch.stream_total(), config);
+}
+
+}  // namespace
+
+bool HotSet::contains(std::uint64_t key, std::size_t* idx) const {
+  const auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  if (it == keys.end() || *it != key) return false;
+  *idx = static_cast<std::size_t>(it - keys.begin());
+  return true;
+}
+
+std::uint64_t HotSet::fingerprint() const {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  const auto mixin = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mixin(keys.size());
+  for (const std::uint64_t k : keys) mixin(k);
+  for (const std::uint64_t c : sampled) mixin(c);
+  return h;
+}
+
+HotSet promote_hot_set(const std::vector<util::TopKEntry>& merged,
+                       std::uint64_t sampled_total, const CountConfig& config) {
+  DAKC_CHECK(config.skew_hot_max >= 1);
+  const double frac_floor =
+      config.skew_promote_frac * static_cast<double>(sampled_total);
+  std::vector<util::TopKEntry> eligible;
+  for (const auto& e : merged) {
+    if (e.count >= config.skew_promote_min &&
+        static_cast<double>(e.count) >= frac_floor)
+      eligible.push_back(e);
+  }
+  // Keep the heaviest skew_hot_max under the canonical order (the caller
+  // usually passes merge_topk_entries output, but re-sorting keeps this a
+  // pure function of the entry multiset).
+  util::TopKSketch::sort_entries(&eligible);
+  if (eligible.size() > static_cast<std::size_t>(config.skew_hot_max))
+    eligible.resize(static_cast<std::size_t>(config.skew_hot_max));
+  std::sort(eligible.begin(), eligible.end(),
+            [](const util::TopKEntry& a, const util::TopKEntry& b) {
+              return a.key < b.key;
+            });
+  HotSet hot;
+  hot.keys.reserve(eligible.size());
+  hot.sampled.reserve(eligible.size());
+  for (const auto& e : eligible) {
+    hot.keys.push_back(e.key);
+    hot.sampled.push_back(e.count);
+  }
+  return hot;
+}
+
+HotSet agree_hot_set(net::Pe& pe, cachesim::CostModel& cost,
+                     const std::vector<std::string>& reads,
+                     const CountConfig& config) {
+  util::TopKSketch sketch(static_cast<std::size_t>(config.skew_sketch_k));
+  const auto [begin, end] = read_slice(reads.size(), pe.size(), pe.rank());
+  const std::size_t slice = end - begin;
+  const auto sample = std::min<std::size_t>(
+      slice, static_cast<std::size_t>(
+                 std::ceil(static_cast<double>(slice) * config.skew_sample_frac)));
+  for (std::size_t i = begin; i < begin + sample; ++i)
+    sketch_read(pe, cost, reads[i], config.k, &sketch);
+
+  HotSet hot;
+  if (pe.size() == 1) {
+    hot = promote_local(sketch, config);
+  } else if (pe.rank() == 0) {
+    // Hub: collect every sketch. The merge is order-independent, so the
+    // (deterministic but arbitrary) arrival order is irrelevant.
+    std::vector<util::TopKEntry> entries = sketch.sorted_entries();
+    std::uint64_t total = sketch.stream_total();
+    for (int p = 1; p < pe.size(); ++p) {
+      const net::Message m = pe.recv_wait(net::Pe::kSkewTag);
+      cost.stream_touch(pe, m.wire_bytes);
+      decode_sketch_into(m.payload, &entries, &total);
+    }
+    pe.charge_compute_ops(4.0 * static_cast<double>(entries.size()));
+    hot = promote_hot_set(
+        util::merge_topk_entries(entries,
+                                 static_cast<std::size_t>(config.skew_sketch_k)),
+        total, config);
+    const std::vector<std::uint64_t> payload = encode_hot(hot);
+    for (int p = 1; p < pe.size(); ++p)
+      pe.put(p, payload, net::Pe::kSkewTag);
+  } else {
+    pe.put(0, encode_sketch(sketch), net::Pe::kSkewTag);
+    const net::Message m = pe.recv_wait(net::Pe::kSkewTag);
+    cost.stream_touch(pe, m.wire_bytes);
+    hot = decode_hot(m.payload);
+  }
+
+  // Seal the merged set at a barrier and verify every PE holds the same
+  // one — a disagreement here would silently double-count hot keys, so it
+  // is a hard invariant, not a diagnostic.
+  pe.barrier();
+  const std::uint64_t fp = hot.fingerprint();
+  DAKC_CHECK_MSG(pe.allreduce_max(fp) == fp, "skew hot-set disagreement");
+  return hot;
+}
+
+HotSet shared_sample_hot_set(net::Pe& pe, cachesim::CostModel& cost,
+                             const std::vector<std::string>& reads,
+                             const CountConfig& config) {
+  const std::size_t n = reads.size();
+  if (n == 0) return HotSet{};
+  util::TopKSketch sketch(static_cast<std::size_t>(config.skew_sketch_k));
+  // Same per-PE sample budget as the slice-local pre-pass, spread as a
+  // stride over the GLOBAL read set so every PE parses the identical
+  // sample and needs no exchange to agree.
+  const double budget = config.skew_sample_frac * static_cast<double>(n) /
+                        static_cast<double>(pe.size());
+  const auto samples = std::max<std::size_t>(
+      1, std::min<std::size_t>(n, static_cast<std::size_t>(std::ceil(budget))));
+  for (std::size_t j = 0; j < samples; ++j)
+    sketch_read(pe, cost, reads[(j * n) / samples], config.k, &sketch);
+  return promote_local(sketch, config);
+}
+
+std::vector<StealMove> plan_steals(const std::vector<std::uint64_t>& sizes,
+                                   int pes_per_node,
+                                   std::uint64_t min_amount) {
+  DAKC_CHECK(pes_per_node >= 1);
+  if (min_amount == 0) min_amount = 1;
+  const int pes = static_cast<int>(sizes.size());
+  std::vector<std::uint64_t> s = sizes;
+  std::vector<StealMove> moves;
+  for (int nb = 0; nb < pes; nb += pes_per_node) {
+    const int ne = std::min(nb + pes_per_node, pes);
+    if (ne - nb < 2) continue;
+    std::uint64_t total = 0;
+    for (int p = nb; p < ne; ++p) total += s[p];
+    const std::uint64_t target = total / static_cast<std::uint64_t>(ne - nb);
+    for (;;) {
+      // Most-loaded donor, least-loaded thief; ascending scan with strict
+      // comparisons breaks ties toward the lower rank.
+      int donor = -1;
+      int thief = -1;
+      for (int p = nb; p < ne; ++p) {
+        if (s[p] > target && (donor < 0 || s[p] > s[donor])) donor = p;
+        if (s[p] < target && (thief < 0 || s[p] < s[thief])) thief = p;
+      }
+      if (donor < 0 || thief < 0) break;
+      // The greedy max/max pairing yields the largest available move, so
+      // once it falls below min_amount every other pairing has too.
+      const std::uint64_t amount =
+          std::min(s[donor] - target, target - s[thief]);
+      if (amount < min_amount) break;
+      moves.push_back({donor, thief, amount});
+      s[donor] -= amount;
+      s[thief] += amount;
+    }
+  }
+  return moves;
+}
+
+double steal_rebalance(net::Pe& pe, cachesim::CostModel& cost,
+                       const CountConfig& config,
+                       std::vector<kmer::KmerCount64>& pairs, PeOutput* out) {
+  const std::vector<std::uint64_t> sizes =
+      pe.allgather(static_cast<std::uint64_t>(pairs.size()));
+  const std::vector<StealMove> moves =
+      plan_steals(sizes, config.pes_per_node, config.skew_steal_min);
+  const int rank = pe.rank();
+  std::vector<const StealMove*> donations;
+  int incoming = 0;
+  for (const auto& m : moves) {
+    if (m.donor == rank) donations.push_back(&m);
+    if (m.thief == rank) ++incoming;
+  }
+
+  if (!donations.empty()) {
+    // One MSD split pass carves T into donatable blocks; donated bucket
+    // ranges peel off the top end, in plan order, rounding each move up
+    // to whole buckets.
+    sort::SortStats split_stats;
+    const sort::MsdOffsets offsets = sort::msd_split(
+        pairs, [](const kmer::KmerCount64& kc) { return kc.kmer; },
+        &split_stats);
+    cost.partition(pe, pairs.size(), sizeof(kmer::KmerCount64));
+    std::size_t cut = 256;
+    for (const StealMove* m : donations) {
+      std::size_t b = cut;
+      std::uint64_t acc = 0;
+      while (b > 0 && acc < m->amount) {
+        --b;
+        acc += offsets[b + 1] - offsets[b];
+      }
+      const std::size_t lo = offsets[b];
+      const std::size_t hi = offsets[cut];
+      std::vector<std::uint64_t> payload;
+      payload.reserve(2 * (hi - lo));
+      for (std::size_t i = lo; i < hi; ++i) {
+        payload.push_back(static_cast<std::uint64_t>(pairs[i].kmer));
+        payload.push_back(pairs[i].count);
+      }
+      cost.stream_touch(pe, static_cast<double>(hi - lo) *
+                                sizeof(kmer::KmerCount64));
+      pe.put(m->thief, std::move(payload), net::Pe::kStealTag);
+      out->steal_moves += 1;
+      out->steal_pairs += hi - lo;
+      cut = b;
+    }
+    pairs.resize(offsets[cut]);
+  }
+
+  // Roles are disjoint (a donor never drops below target, a thief never
+  // rises above it), so receiving after all sends cannot deadlock.
+  double stolen_bytes = 0.0;
+  for (int i = 0; i < incoming; ++i) {
+    const net::Message m = pe.recv_wait(net::Pe::kStealTag);
+    const std::size_t stolen = m.payload.size() / 2;
+    const double bytes =
+        static_cast<double>(stolen) * sizeof(kmer::KmerCount64);
+    pe.account_alloc(bytes);
+    stolen_bytes += bytes;
+    cost.receive_append(pe, bytes);
+    pairs.reserve(pairs.size() + stolen);
+    for (std::size_t j = 0; j < stolen; ++j)
+      pairs.push_back({static_cast<kmer::Kmer64>(m.payload[2 * j]),
+                       m.payload[2 * j + 1]});
+  }
+  return stolen_bytes;
+}
+
+}  // namespace dakc::core

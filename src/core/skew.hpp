@@ -1,0 +1,111 @@
+// Skew-adaptive scale-out (DESIGN.md §12): heavy-hitter detection,
+// promotion to replicated owners, and phase-2 work stealing.
+//
+// Everything here is gated behind CountConfig::skew_adaptive (default
+// off, goldens untouched). The protocol:
+//
+//   1. DETECT — each PE runs a Space-Saving top-K sketch (util/topk.hpp)
+//      over a sample of the keys it is about to send; sketches are
+//      exchanged and merged with an order-independent rule, so every PE
+//      derives the identical hot set, sealed by a collective agreement
+//      check ("merged at a barrier").
+//   2. PROMOTE — AsyncAdd routes promoted keys to the sender-local
+//      replica counter instead of the wire; the hot key's millions of
+//      occurrences never serialize through one owner's NIC.
+//   3. MERGE — at the phase boundary each PE flushes its replica counts
+//      as MERGE conveyor frames ({kmer, count}, 12 wire bytes per pair)
+//      to the true owner, which folds them into T like HEAVY pairs.
+//      Exactness: the hot set is agreed before parsing starts, so every
+//      occurrence is counted exactly once — locally or at the owner.
+//   4. STEAL — after the phase-1 barrier, PEs of a node allgather their
+//      T sizes, every PE computes the same donation plan, and donors
+//      ship whole MSD split blocks (sort/split.hpp) to their node-local
+//      thieves. Owner hashing makes any bucket range a self-contained
+//      work item, so thieves sort, accumulate, and keep the result.
+//
+// Determinism: the plan is a pure function of allgathered sizes, sketch
+// merging is order-independent, and all transport runs on the
+// deterministic fabric — goldens and full reports are bit-identical at
+// any --host-threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cachesim/cost_model.hpp"
+#include "core/common.hpp"
+#include "kmer/count.hpp"
+#include "net/fabric.hpp"
+#include "util/topk.hpp"
+
+namespace dakc::core {
+
+/// The collectively-agreed promoted hot set. Keys are sorted so the
+/// phase-1 hot check is a branch-poor binary search over a cache-resident
+/// array.
+struct HotSet {
+  std::vector<std::uint64_t> keys;     ///< ascending
+  std::vector<std::uint64_t> sampled;  ///< merged sampled counts, parallel
+
+  bool empty() const { return keys.empty(); }
+  std::size_t size() const { return keys.size(); }
+  double table_bytes() const { return static_cast<double>(keys.size()) * 16.0; }
+
+  /// Membership with the replica-table index of the key.
+  bool contains(std::uint64_t key, std::size_t* idx) const;
+
+  /// FNV-1a over the sorted keys — the agreement fingerprint.
+  std::uint64_t fingerprint() const;
+};
+
+/// Promotion rule: keys whose merged sampled count reaches both
+/// skew_promote_min and skew_promote_frac x sampled_total, the heaviest
+/// skew_hot_max of them. Pure, so every PE applying it to the same merged
+/// entries promotes the same set.
+HotSet promote_hot_set(const std::vector<util::TopKEntry>& merged,
+                       std::uint64_t sampled_total, const CountConfig& config);
+
+/// Legacy-path detection (collective): sample-parse this PE's read slice
+/// into a sketch, star-exchange the sketches (hub = rank 0; the merge is
+/// order-independent), broadcast the promoted set, and verify agreement
+/// with an allreduce of the fingerprint.
+HotSet agree_hot_set(net::Pe& pe, cachesim::CostModel& cost,
+                     const std::vector<std::string>& reads,
+                     const CountConfig& config);
+
+/// Recovery-mode detection (communication-free): every PE sketches the
+/// SAME deterministic strided sample of the global read set, so agreement
+/// is by construction and no exchange can be stranded by a permanent
+/// kill. Costs the same parse work as the per-slice sample, duplicated
+/// at every PE — the price of kill-safety (DESIGN.md §12).
+HotSet shared_sample_hot_set(net::Pe& pe, cachesim::CostModel& cost,
+                             const std::vector<std::string>& reads,
+                             const CountConfig& config);
+
+/// One planned phase-2 donation: `amount` pairs from donor to thief
+/// (advisory — donors round to whole MSD split blocks).
+struct StealMove {
+  int donor = -1;
+  int thief = -1;
+  std::uint64_t amount = 0;
+};
+
+/// Deterministic node-local donation plan: within each pes_per_node
+/// group, repeatedly match the most-loaded donor with the least-loaded
+/// thief (ties to the lower rank) until every remaining move would fall
+/// below min_amount. Pure function of the allgathered sizes.
+std::vector<StealMove> plan_steals(const std::vector<std::uint64_t>& sizes,
+                                   int pes_per_node,
+                                   std::uint64_t min_amount);
+
+/// Execute phase-2 work stealing on this PE's receive array (collective:
+/// one allgather; then point-to-point block transfers on kStealTag).
+/// Donated blocks leave `pairs`; stolen blocks are appended to it.
+/// Returns the stolen bytes accounted against this PE's node (caller
+/// frees after the sort consumes the scratch).
+double steal_rebalance(net::Pe& pe, cachesim::CostModel& cost,
+                       const CountConfig& config,
+                       std::vector<kmer::KmerCount64>& pairs, PeOutput* out);
+
+}  // namespace dakc::core

@@ -109,6 +109,16 @@ MissLowerBounds optimal_miss_lower_bounds(const Workload& w,
   return b;
 }
 
+double makespan_lower_bound(const Workload& w,
+                            const net::MachineParams& machine, int pes) {
+  DAKC_CHECK(pes >= 1);
+  const double N = w.kmers();
+  if (N <= 0.0) return 0.0;
+  // 2 ops per k-mer (DakcPe::async_add's unconditional charge) on the
+  // busiest parser, which holds at least the mean share of the k-mers.
+  return 2.0 * (N / static_cast<double>(pes)) / machine.core_ops();
+}
+
 // ---------------------------------------------------------------------------
 // Host microbenchmarks (Table IV)
 // ---------------------------------------------------------------------------

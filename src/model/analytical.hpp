@@ -117,6 +117,18 @@ MissLowerBounds optimal_miss_lower_bounds(const Workload& w,
                                           double distinct_kmers,
                                           const net::MachineParams& machine);
 
+/// Guaranteed floor on the simulated makespan of any DAKC run of this
+/// workload on `pes` PEs, mitigated or not: every generated k-mer charges
+/// at least 2 INT64 ops of AsyncAdd bookkeeping on its parsing PE (plus
+/// the parse charge itself, not counted here), reads are block-balanced
+/// so some PE generates at least N / pes k-mers, machine noise only slows
+/// PEs down, and the replay model changes only the memory component.
+/// The skew sweep validates every cell — any routing, any skew grade,
+/// mitigation on or off — against this bound; a run beating it would mean
+/// charged work was lost, not that the mitigation got clever.
+double makespan_lower_bound(const Workload& w,
+                            const net::MachineParams& machine, int pes);
+
 // ---------------------------------------------------------------------------
 // Table IV microbenchmarks (host-side, real measurements)
 // ---------------------------------------------------------------------------

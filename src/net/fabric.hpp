@@ -177,6 +177,12 @@ class Pe {
 
   // -- one-sided messaging ----------------------------------------------
   static constexpr int kAppTag = 0;
+  /// Reserved negative tags for control-plane sidebands that must never
+  /// mix with application data (tag 0) or collectives (positive tags).
+  /// -2 is the conveyor's ack channel; the skew plane (DESIGN.md §12)
+  /// uses -3 for sketch exchange and -4 for phase-2 steal donations.
+  static constexpr int kSkewTag = -3;
+  static constexpr int kStealTag = -4;
 
   /// Asynchronously deliver `payload` to PE `dst` (one-sided Put).
   /// `wire_bytes` overrides the modeled on-the-wire size (cost model and

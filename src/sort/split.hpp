@@ -1,0 +1,56 @@
+// One-pass MSD split: reorder records into 256 buckets by the top byte of
+// their key, returning the bucket boundaries.
+//
+// The phase-2 work-stealing plane (DESIGN.md §12) uses this to carve a
+// PE's receive array T into donatable blocks: owner hashing spreads a
+// PE's keys uniformly over the byte range, every record of a key lands in
+// the same bucket, and a contiguous run of buckets is therefore a
+// self-contained sort/accumulate work item that a thief can finish and
+// keep — its accumulated counts are globally correct without any
+// donor-side fix-up.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sort/radix.hpp"
+
+namespace dakc::sort {
+
+/// Bucket boundaries of an MSD split: bucket b spans
+/// [offsets[b], offsets[b + 1]) in the reordered array.
+using MsdOffsets = std::array<std::uint32_t, 257>;
+
+/// Stable-partition `items` into 256 top-byte buckets (key_fn(item) >> 56).
+/// Costs one counting sweep plus one scatter pass — the same shape as a
+/// single radix pass, which is how callers should charge it (`stats`
+/// reports one pass and items.size() moves).
+template <typename T, typename KeyFn>
+MsdOffsets msd_split(std::vector<T>& items, KeyFn&& key_fn,
+                     SortStats* stats = nullptr) {
+  MsdOffsets offsets{};
+  std::array<std::uint32_t, 256> histo{};
+  for (const T& it : items)
+    ++histo[static_cast<std::size_t>(key_fn(it) >> 56)];
+  std::uint32_t sum = 0;
+  for (std::size_t b = 0; b < 256; ++b) {
+    offsets[b] = sum;
+    sum += histo[b];
+  }
+  offsets[256] = sum;
+  std::vector<T> scratch(items.size());
+  std::array<std::uint32_t, 256> cursor{};
+  for (std::size_t b = 0; b < 256; ++b) cursor[b] = offsets[b];
+  for (const T& it : items)
+    scratch[cursor[static_cast<std::size_t>(key_fn(it) >> 56)]++] = it;
+  items.swap(scratch);
+  if (stats != nullptr) {
+    stats->elements += items.size();
+    stats->moves += items.size();
+    stats->passes += 1;
+  }
+  return offsets;
+}
+
+}  // namespace dakc::sort

@@ -44,6 +44,8 @@ void ThreadPool::set_parallelism(int threads) {
     while (static_cast<int>(threads_.size()) < target) {
       const int index = static_cast<int>(threads_.size());
       workers_.push_back(std::make_unique<WorkerState>());
+      worker_count_.store(static_cast<int>(workers_.size()),
+                          std::memory_order_release);
       threads_.emplace_back([this, index] { worker_loop(index); });
     }
     active_workers_.store(target, std::memory_order_release);
@@ -76,7 +78,8 @@ void ThreadPool::push_item(Item item) {
 void ThreadPool::submit(Task fn) { push_item({nullptr, std::move(fn)}); }
 
 bool ThreadPool::pop_own(int self, Item* out, bool group_only, Group* group) {
-  if (self < 0 || self >= static_cast<int>(workers_.size())) return false;
+  if (self < 0 || self >= worker_count_.load(std::memory_order_acquire))
+    return false;
   WorkerState& w = *workers_[self];
   std::lock_guard<std::mutex> lk(w.m);
   if (group_only) {
@@ -96,7 +99,7 @@ bool ThreadPool::pop_own(int self, Item* out, bool group_only, Group* group) {
 }
 
 bool ThreadPool::steal(int self, Item* out, bool group_only, Group* group) {
-  const int n = static_cast<int>(workers_.size());
+  const int n = worker_count_.load(std::memory_order_acquire);
   if (n == 0) return false;
   // Seeded victim order: the seed never changes results (tasks are
   // independent by contract), only the interleaving the stress test

@@ -122,6 +122,11 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkerState>> workers_;
   std::vector<std::thread> threads_;
   std::atomic<int> active_workers_{0};
+  /// Published size of workers_ (grow-only). Lock-free paths (steal,
+  /// pop_own) must read this, not workers_.size(): the vector grows
+  /// under sleep_m_ while they scan, and although the up-front reserve
+  /// makes reallocation impossible, the size field itself would race.
+  std::atomic<int> worker_count_{0};
   std::atomic<std::uint64_t> steal_seed_{0x9E3779B97F4A7C15ULL};
   std::atomic<std::uint64_t> rr_{0};  // round-robin submit cursor
 

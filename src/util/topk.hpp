@@ -1,0 +1,120 @@
+// Streaming top-K heavy-hitter sketch (Metwally et al.'s Space-Saving).
+//
+// Phase-1 skew detection (DESIGN.md §12) runs one sketch per PE over a
+// sample of its outgoing keys. Space-Saving guarantees that any key whose
+// true frequency exceeds stream_length / capacity is present in the
+// sketch, and its stored count overestimates the true count by at most
+// the smallest count in the sketch — exactly the guarantee heavy-hitter
+// promotion needs (false positives cost only a little replica memory;
+// false negatives are impossible above the threshold).
+//
+// Determinism: add() is deterministic in the stream order, and
+// merge_topk_entries() is deterministic in the *multiset* of entries —
+// counts are summed per key and the top K selected by (count desc, key
+// asc) — so merging per-PE sketches is order-independent and every PE
+// derives the identical hot set from the same sketch collection.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dakc::util {
+
+struct TopKEntry {
+  std::uint64_t key = 0;
+  std::uint64_t count = 0;
+};
+
+class TopKSketch {
+ public:
+  explicit TopKSketch(std::size_t capacity) : capacity_(capacity) {
+    DAKC_CHECK(capacity >= 1);
+    entries_.reserve(capacity);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  /// Keys observed (sum of increments), monitored or not.
+  std::uint64_t stream_total() const { return stream_total_; }
+
+  /// Observe `inc` occurrences of `key`.
+  void add(std::uint64_t key, std::uint64_t inc = 1) {
+    stream_total_ += inc;
+    for (auto& e : entries_) {
+      if (e.key == key) {
+        e.count += inc;
+        return;
+      }
+    }
+    if (entries_.size() < capacity_) {
+      entries_.push_back({key, inc});
+      return;
+    }
+    // Evict the minimum-count entry (ties broken by smaller key, so the
+    // victim is a pure function of the sketch state) and inherit its
+    // count: the Space-Saving overestimate.
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      const auto& e = entries_[i];
+      const auto& v = entries_[victim];
+      if (e.count < v.count || (e.count == v.count && e.key < v.key))
+        victim = i;
+    }
+    entries_[victim].key = key;
+    entries_[victim].count += inc;
+  }
+
+  /// Monitored count of `key` (0 when not monitored). An overestimate of
+  /// the true frequency by at most the sketch's minimum count.
+  std::uint64_t count(std::uint64_t key) const {
+    for (const auto& e : entries_)
+      if (e.key == key) return e.count;
+    return 0;
+  }
+
+  /// Entries ordered by (count desc, key asc) — the canonical
+  /// serialization order.
+  std::vector<TopKEntry> sorted_entries() const {
+    std::vector<TopKEntry> out = entries_;
+    sort_entries(&out);
+    return out;
+  }
+
+  /// Canonical (count desc, key asc) ordering shared by every consumer.
+  static void sort_entries(std::vector<TopKEntry>* entries) {
+    std::sort(entries->begin(), entries->end(),
+              [](const TopKEntry& a, const TopKEntry& b) {
+                if (a.count != b.count) return a.count > b.count;
+                return a.key < b.key;
+              });
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TopKEntry> entries_;
+  std::uint64_t stream_total_ = 0;
+};
+
+/// Merge any number of sketch serializations into the global top `k`:
+/// counts are summed per key, then the k largest survive under the
+/// canonical (count desc, key asc) order. Pure function of the entry
+/// *multiset* — reordering or re-chunking the input changes nothing,
+/// which is what makes the merged hot set identical at every PE no
+/// matter how the per-PE sketches arrived.
+inline std::vector<TopKEntry> merge_topk_entries(
+    const std::vector<TopKEntry>& entries, std::size_t k) {
+  std::map<std::uint64_t, std::uint64_t> sums;  // ordered: deterministic
+  for (const auto& e : entries) sums[e.key] += e.count;
+  std::vector<TopKEntry> merged;
+  merged.reserve(sums.size());
+  for (const auto& [key, count] : sums) merged.push_back({key, count});
+  TopKSketch::sort_entries(&merged);
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+}  // namespace dakc::util

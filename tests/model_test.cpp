@@ -128,6 +128,51 @@ TEST(Model, OptimalMissLowerBoundsScaleWithWorkload) {
                    2.0 * b.phase1);
 }
 
+TEST(Model, MissLowerBoundsEdgeCases) {
+  const auto m = net::intel_node();
+  // Empty workload: nothing streams, nothing can miss.
+  Workload empty;
+  const MissLowerBounds be = optimal_miss_lower_bounds(empty, 0.0, m);
+  EXPECT_DOUBLE_EQ(be.phase1, 0.0);
+  EXPECT_DOUBLE_EQ(be.phase2, 0.0);
+  // Reads shorter than k emit no k-mers: phase 1 still streams the input
+  // bases, phase 2 has nothing to touch.
+  Workload shorties;
+  shorties.n_reads = 100;
+  shorties.read_len = 20;
+  shorties.k = 31;
+  const MissLowerBounds bs = optimal_miss_lower_bounds(shorties, 0.0, m);
+  EXPECT_DOUBLE_EQ(bs.phase1, shorties.bases() / m.line_bytes);
+  EXPECT_DOUBLE_EQ(bs.phase2, 0.0);
+  // A single distinct (hot) key: phase 2's floor is one pair's lines.
+  Workload w;
+  w.n_reads = 1000;
+  w.read_len = 150;
+  w.k = 31;
+  EXPECT_DOUBLE_EQ(optimal_miss_lower_bounds(w, 1.0, m).phase2,
+                   16.0 / m.line_bytes);
+}
+
+TEST(Model, MakespanLowerBoundProperties) {
+  const auto m = net::intel_node();
+  Workload w;
+  w.n_reads = 1000;
+  w.read_len = 150;
+  w.k = 31;
+  const double b1 = makespan_lower_bound(w, m, 1);
+  EXPECT_GT(b1, 0.0);
+  // Perfect scaling: the floor halves when the PEs double.
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(w, m, 2), b1 / 2.0);
+  // 2 INT64 ops per k-mer on the mean-share parser.
+  EXPECT_DOUBLE_EQ(b1, 2.0 * w.kmers() / m.core_ops());
+  // Empty workload (reads shorter than k): no floor.
+  Workload shorties;
+  shorties.n_reads = 100;
+  shorties.read_len = 20;
+  shorties.k = 31;
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(shorties, m, 4), 0.0);
+}
+
 TEST(Microbench, Int64RatePlausible) {
   const double rate = measure_int64_add_rate(0.05);
   EXPECT_GT(rate, 1e8);   // even a slow VM manages 100 Mop/s

@@ -103,6 +103,11 @@ void expect_reports_identical(const core::RunReport& a,
   EXPECT_EQ(a.replay_misses, b.replay_misses);
   EXPECT_EQ(a.replay_phase1_misses, b.replay_phase1_misses);
   EXPECT_EQ(a.replay_phase2_misses, b.replay_phase2_misses);
+  EXPECT_EQ(a.hot_kmers_promoted, b.hot_kmers_promoted);
+  EXPECT_EQ(a.replica_hits, b.replica_hits);
+  EXPECT_EQ(a.merge_frames, b.merge_frames);
+  EXPECT_EQ(a.steal_moves, b.steal_moves);
+  EXPECT_EQ(a.steal_pairs, b.steal_pairs);
   EXPECT_EQ(a.total_kmers, b.total_kmers);
   EXPECT_EQ(a.distinct_kmers, b.distinct_kmers);
   ASSERT_EQ(a.counts.size(), b.counts.size());
@@ -192,6 +197,55 @@ TEST_P(ParallelHostThreads, GracefulMemoryMatchesSerial) {
   cfg.host_threads = GetParam();
   const auto parallel = core::count_kmers(reads, cfg);
   expect_reports_identical(serial, parallel);
+}
+
+TEST_P(ParallelHostThreads, SkewMitigationMatchesSerialAcrossFaultPlane) {
+  // Work-stealing determinism (DESIGN.md §12): the steal plan is a pure
+  // function of allgathered sizes and replica merges ride the
+  // deterministic conveyor, so mitigation on or off, under a clean run,
+  // message faults, or permanent kills, the full report must be
+  // bit-identical at any host thread count.
+  const auto& spec = sim::dataset_by_name("human");  // heavy-hitter input
+  const auto reads = sim::make_dataset_reads(
+      spec, 1e5 / (spec.coverage * static_cast<double>(spec.genome_length)),
+      11);
+  enum class FaultFamily { kNone, kDropBrownout, kKill };
+  for (bool mitigated : {false, true}) {
+    for (FaultFamily family :
+         {FaultFamily::kNone, FaultFamily::kDropBrownout,
+          FaultFamily::kKill}) {
+      core::CountConfig cfg;
+      cfg.backend = core::Backend::kDakc;
+      cfg.pes = 16;
+      cfg.pes_per_node = 4;
+      cfg.machine.cores_per_node = 4;
+      cfg.skew_adaptive = mitigated;
+      cfg.skew_steal_min = 64;   // small input: let stealing trigger
+      cfg.skew_promote_min = 8;  // ...and promotion clear its floor
+      switch (family) {
+        case FaultFamily::kNone:
+          break;
+        case FaultFamily::kDropBrownout:
+          cfg.faults.drop_rate = 0.02;
+          cfg.faults.brownout_rate = 0.1;
+          break;
+        case FaultFamily::kKill:
+          cfg.faults.kill_rate = 0.1;
+          cfg.checkpoint_epochs = 2;
+          break;
+      }
+      cfg.host_threads = 1;
+      const auto serial = core::count_kmers(reads, cfg);
+      if (mitigated) EXPECT_GT(serial.hot_kmers_promoted, 0u);
+      if (mitigated && family == FaultFamily::kNone)
+        EXPECT_GT(serial.steal_moves, 0u);
+      cfg.host_threads = GetParam();
+      const auto parallel = core::count_kmers(reads, cfg);
+      SCOPED_TRACE("mitigated=" + std::to_string(mitigated) +
+                   " family=" + std::to_string(static_cast<int>(family)));
+      expect_reports_identical(serial, parallel);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(HostThreads, ParallelHostThreads,

@@ -22,6 +22,10 @@ std::vector<std::string> sweep_reads() {
   sim::GenomeSpec gs;
   gs.length = 1 << 10;
   gs.seed = 40;
+  // A satellite array so the skew axis has real heavy hitters to promote
+  // (the unmitigated axis counts the same reads, so the reference is
+  // shared either way).
+  gs.satellites = {{"AATGG", 0.15, 300}};
   sim::ReadSimSpec rs;
   rs.coverage = 4.0;
   rs.read_length = 80;
@@ -37,10 +41,10 @@ const std::vector<kmer::KmerCount64>& expected_counts() {
 }
 
 class FaultSweep
-    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+    : public ::testing::TestWithParam<std::tuple<std::string, int, bool>> {};
 
 TEST_P(FaultSweep, SpectrumSurvivesFaults) {
-  const auto& [family, seed] = GetParam();
+  const auto& [family, seed, skew] = GetParam();
   core::CountConfig cfg;
   cfg.backend = core::Backend::kDakc;
   cfg.k = 31;
@@ -48,6 +52,8 @@ TEST_P(FaultSweep, SpectrumSurvivesFaults) {
   cfg.pes_per_node = 4;
   cfg.zero_cost = false;
   cfg.machine.noise_amplitude = 0.25;
+  cfg.skew_adaptive = skew;  // the mitigation axis: faults x skew plane
+  cfg.skew_steal_min = 64;
   cfg.faults.seed = 0x5EED0000ull + static_cast<std::uint64_t>(seed);
   if (family == "drop") {
     cfg.faults.drop_rate = 0.08;
@@ -80,9 +86,10 @@ TEST_P(FaultSweep, SpectrumSurvivesFaults) {
 
 std::string sweep_name(
     const ::testing::TestParamInfo<FaultSweep::ParamType>& info) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%s_seed%02d",
-                std::get<0>(info.param).c_str(), std::get<1>(info.param));
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s_seed%02d%s",
+                std::get<0>(info.param).c_str(), std::get<1>(info.param),
+                std::get<2>(info.param) ? "_skew" : "");
   return buf;
 }
 
@@ -90,7 +97,8 @@ INSTANTIATE_TEST_SUITE_P(
     Seeds, FaultSweep,
     ::testing::Combine(::testing::Values("drop", "brownout", "crash",
                                          "kill"),
-                       ::testing::Range(0, 16)),
+                       ::testing::Range(0, 16),
+                       ::testing::Bool()),
     sweep_name);
 
 }  // namespace

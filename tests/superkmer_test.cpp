@@ -319,6 +319,44 @@ TEST(Superkmer, OutOfCoreMatchesInMemory) {
   EXPECT_TRUE(!fs::exists(tmp) || fs::is_empty(tmp));
 }
 
+// --- kmc3 baseline: bins routed through io::BinStore -----------------------
+
+TEST(Kmc3OutOfCore, MatchesInMemoryAndSerial) {
+  // The kmc3 baseline's two-stage disk pipeline (--tmp-dir) files arriving
+  // super-k-mer runs into io::BinStore minimizer bins and counts bin by
+  // bin; with a tiny resident budget it must spill, and the spectrum must
+  // match both its own in-memory path and the serial reference exactly.
+  const auto tmp = (fs::temp_directory_path() / "dakc_kmc3_ooc").string();
+  const auto& spec = sim::dataset_by_name("synthetic20");
+  const auto reads = sim::make_dataset_reads(spec, 1.0 / 128, 9);
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kKmc3;
+  cfg.k = 31;
+  cfg.pes = 8;
+  cfg.pes_per_node = 4;  // driver re-homes every PE onto one node
+  cfg.machine.cores_per_node = 4;
+  cfg.gather_counts = true;
+  cfg.tmp_dir = tmp;
+  cfg.max_bins = 8;
+  cfg.bin_resident_bytes = 4 << 10;  // tiny: force spills
+  const auto ooc = core::count_kmers(reads, cfg);
+  ASSERT_FALSE(ooc.oom);
+  EXPECT_GT(ooc.bin_spills, 0u);
+  EXPECT_GT(ooc.bin_spill_bytes, 0.0);
+  EXPECT_GT(ooc.bin_peak_resident, 0.0);
+  cfg.tmp_dir.clear();
+  const auto mem = core::count_kmers(reads, cfg);
+  EXPECT_EQ(mem.bin_spills, 0u);
+  EXPECT_EQ(mem.total_kmers, ooc.total_kmers);
+  EXPECT_EQ(mem.distinct_kmers, ooc.distinct_kmers);
+  EXPECT_EQ(counts_hash(mem), counts_hash(ooc));
+  cfg.backend = core::Backend::kSerial;
+  const auto serial = core::count_kmers(reads, cfg);
+  EXPECT_EQ(counts_hash(serial), counts_hash(ooc));
+  // No spill files or per-PE directories survive the run.
+  EXPECT_TRUE(!fs::exists(tmp) || fs::is_empty(tmp));
+}
+
 TEST(Superkmer, OutOfCoreDeterministicAcrossHostThreads) {
   const auto& spec = sim::dataset_by_name("synthetic20");
   const auto reads = sim::make_dataset_reads(spec, 1.0 / 128, 7);

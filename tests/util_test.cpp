@@ -135,6 +135,30 @@ TEST(Histogram, ZeroEntriesIgnored) {
   EXPECT_EQ(h.distinct(), 0u);
 }
 
+TEST(Histogram, EmptyHistogramIsWellDefined) {
+  CountHistogram h;
+  EXPECT_EQ(h.distinct(), 0u);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max_count(), 0u);
+  EXPECT_EQ(h.at(1), 0u);
+  EXPECT_EQ(h.at_least(1), 0u);
+  EXPECT_EQ(h.mode_in(1, 1000), 0u);
+  EXPECT_EQ(h.to_histo(), "");
+}
+
+TEST(Histogram, SingleHotKeyDominates) {
+  // One k-mer seen a million times: distinct 1, total 1M, the mode at
+  // every range containing it, nothing anywhere else.
+  CountHistogram h;
+  h.add(1000000, 1);
+  EXPECT_EQ(h.distinct(), 1u);
+  EXPECT_EQ(h.total(), 1000000u);
+  EXPECT_EQ(h.max_count(), 1000000u);
+  EXPECT_EQ(h.mode_in(1, 2000000), 1000000u);
+  EXPECT_EQ(h.at_least(1000000), 1u);
+  EXPECT_EQ(h.at_least(1000001), 0u);
+}
+
 TEST(Histogram, HistoFormat) {
   CountHistogram h;
   h.add(1, 2);

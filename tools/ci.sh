@@ -65,6 +65,26 @@ fi
 echo "out-of-core: mem-limited binned run matches the in-memory spectrum"
 
 # ---------------------------------------------------------------------------
+# Skew-adaptive smoke: the full --quick sweep grid (protocol x skew grade
+# x mitigation, every cell checked against model:: lower bounds and the
+# unmitigated spectrum — exit status counts violations) also runs as the
+# ctest label "sweep"; here one mitigated heavy-hitter cell additionally
+# pins the CLI plumbing: identical spectrum, hot set actually promoted.
+"$build/tools/skew_sweep" --quick
+"$build/tools/skew_sweep" --quick --cost-model replay
+skew_flags=(count --dataset human --scale 2e-5 --dataset-seed 41
+  --nodes 4 --cores-per-node 4 --protocol 2d --k 31)
+"$build/tools/dakc_count" "${skew_flags[@]}" --report-out "$build/skew_off.txt"
+"$build/tools/dakc_count" "${skew_flags[@]}" --skew-adaptive \
+  --report-out "$build/skew_on.txt"
+[ "$(grep '^counts_hash' "$build/skew_off.txt")" = \
+  "$(grep '^counts_hash' "$build/skew_on.txt")" ]
+if grep -q '^hot_kmers_promoted 0$' "$build/skew_on.txt"; then
+  echo "skew smoke promoted no heavy hitters"; exit 1
+fi
+echo "skew: mitigated spectrum identical, sweep grid model-clean"
+
+# ---------------------------------------------------------------------------
 # Crash-recovery smoke: the golden workload with permanent PE kills
 # injected must recover to the exact fault-free spectrum (the hash below
 # is the same golden the tier-1 suite pins). Only the spectrum is
@@ -135,6 +155,13 @@ cmake --build "$build_asan" -j "$(nproc)"
   --report-out "$build_asan/kill.txt"
 grep -q '^counts_hash 0x36570c604a3d3804$' "$build_asan/kill.txt"
 echo "asan: crash-recovery smoke clean"
+# Skew sweep under instrumentation: replica tables, merge frames, and
+# donated steal blocks are freshly-allocated buffers crossing PE
+# lifetimes — exactly ASan's beat. (The ctest pass above already ran the
+# sweep-labelled smoke; this repeats the replay grid explicitly so a
+# label change can't silently drop it.)
+"$build_asan/tools/skew_sweep" --quick --cost-model replay
+echo "asan: skew sweep clean"
 
 # ---------------------------------------------------------------------------
 # ThreadSanitizer job: the work-stealing pool and the parallel DES
@@ -147,7 +174,8 @@ build_tsan="${build}-tsan"
 cmake -B "$build_tsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDAKC_SANITIZE=thread
 cmake --build "$build_tsan" -j "$(nproc)" --target \
-  thread_pool_test sort_test des_test parallel_runtime_test dakc_count
+  thread_pool_test sort_test des_test parallel_runtime_test dakc_count \
+  skew_sweep
 (cd "$build_tsan" && ./tests/thread_pool_test && ./tests/sort_test &&
   ./tests/des_test && ./tests/parallel_runtime_test)
 "$build_tsan/tools/dakc_count" "${golden_flags[@]}" --host-threads 2 \
@@ -159,6 +187,9 @@ cmp "$build/replay_a.txt" "$build_tsan/replay_t2.txt"
 "$build_tsan/tools/dakc_count" "${kill_flags[@]}" --host-threads 2 \
   --report-out "$build_tsan/kill.txt"
 grep -q '^counts_hash 0x36570c604a3d3804$' "$build_tsan/kill.txt"
+# The sweep grid on the 2-thread pool: steal transfers and replica merges
+# driven by the parallel host runtime, raced by TSan.
+"$build_tsan/tools/skew_sweep" --quick --host-threads 2
 echo "tsan: pool + parallel-DES tests clean, 2-thread report identical"
 
 # ---------------------------------------------------------------------------

@@ -116,6 +116,16 @@ void write_report(const std::string& path, const core::RunReport& r) {
   std::fprintf(f, "bin_spill_bytes %.17g\n", r.bin_spill_bytes);
   std::fprintf(f, "bin_reload_bytes %.17g\n", r.bin_reload_bytes);
   std::fprintf(f, "bin_peak_resident %.17g\n", r.bin_peak_resident);
+  std::fprintf(f, "hot_kmers_promoted %llu\n",
+               static_cast<unsigned long long>(r.hot_kmers_promoted));
+  std::fprintf(f, "replica_hits %llu\n",
+               static_cast<unsigned long long>(r.replica_hits));
+  std::fprintf(f, "merge_frames %llu\n",
+               static_cast<unsigned long long>(r.merge_frames));
+  std::fprintf(f, "steal_moves %llu\n",
+               static_cast<unsigned long long>(r.steal_moves));
+  std::fprintf(f, "steal_pairs %llu\n",
+               static_cast<unsigned long long>(r.steal_pairs));
   std::fprintf(f, "pes_killed %d\n", r.pes_killed);
   std::fprintf(f, "puts_to_dead %llu\n",
                static_cast<unsigned long long>(r.puts_to_dead));
@@ -207,6 +217,24 @@ int cmd_count(int argc, char** argv) {
       "superkmer: resident bytes per PE's bin store before spilling (KiB)");
   auto& hash = cli.add_flag("hash-phase2", false,
                             "DAKC: hash-table phase 2 (extension)");
+  auto& skew = cli.add_flag(
+      "skew-adaptive", false,
+      "DAKC: heavy-hitter replication + phase-2 work stealing "
+      "(DESIGN.md §12)");
+  auto& skew_hot_max = cli.add_int(
+      "skew-hot-max", 16, "skew: max k-mers promoted to replicated hot set");
+  auto& skew_sketch_k = cli.add_int(
+      "skew-sketch-k", 64, "skew: Space-Saving sketch capacity per PE");
+  auto& skew_sample_frac = cli.add_double(
+      "skew-sample-frac", 0.25, "skew: fraction of the read stream sketched");
+  auto& skew_promote_min = cli.add_int(
+      "skew-promote-min", 64, "skew: absolute count floor for promotion");
+  auto& skew_no_replicate = cli.add_flag(
+      "skew-no-replicate", false, "skew ablation: disable replication");
+  auto& skew_no_steal = cli.add_flag(
+      "skew-no-steal", false, "skew ablation: disable phase-2 stealing");
+  auto& skew_steal_min = cli.add_int(
+      "skew-steal-min", 4096, "skew: smallest pair block worth donating");
   auto& min_count = cli.add_int("min-count", 1, "drop k-mers below this");
   auto& out_path = cli.add_string("out", "", "dump output path (empty: none)");
   auto& binary = cli.add_flag("binary", false, "binary dump format");
@@ -307,6 +335,16 @@ int cmd_count(int argc, char** argv) {
   cfg.machine.cores_per_node = static_cast<int>(cores);
   cfg.l3_enabled = l3;
   cfg.phase2_hash = hash;
+  cfg.skew_adaptive = skew;
+  cfg.skew_hot_max = static_cast<int>(skew_hot_max);
+  cfg.skew_sketch_k = static_cast<int>(skew_sketch_k);
+  cfg.skew_sample_frac = skew_sample_frac;
+  cfg.skew_promote_min = static_cast<std::uint64_t>(
+      static_cast<int>(skew_promote_min));
+  cfg.skew_replicate = !skew_no_replicate;
+  cfg.skew_steal = !skew_no_steal;
+  cfg.skew_steal_min = static_cast<std::uint64_t>(
+      static_cast<int>(skew_steal_min));
   cfg.superkmer = superkmer;
   cfg.minimizer_len = static_cast<int>(minimizer_len);
   cfg.tmp_dir = tmp_dir;
@@ -401,6 +439,15 @@ int cmd_count(int argc, char** argv) {
                   fmt_bytes(report.bin_reload_bytes).c_str(),
                   fmt_bytes(report.bin_peak_resident).c_str());
     }
+  }
+  if (cfg.skew_adaptive) {
+    std::printf("skew: %s hot k-mers promoted, %s replica folds, %s merge "
+                "frames, %s steals (%s pairs)\n",
+                fmt_count(report.hot_kmers_promoted).c_str(),
+                fmt_count(report.replica_hits).c_str(),
+                fmt_count(report.merge_frames).c_str(),
+                fmt_count(report.steal_moves).c_str(),
+                fmt_count(report.steal_pairs).c_str());
   }
   if (cfg.cost_model.kind == cachesim::CostModelKind::kReplay) {
     std::printf("replay: %s line accesses, %s misses "
