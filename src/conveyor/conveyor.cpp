@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/stack_pool.hpp"
 
 namespace dakc::conveyor {
 
@@ -187,7 +188,11 @@ Conveyor::Conveyor(net::Pe& pe, ConveyorConfig config)
   // branch instead of an out-of-line Pe::alive() call when kills are off.
   peer_death_possible_ =
       pe_.faults_enabled() && pe_.fault_config().kill_rate > 0.0;
-  lanes_.resize(static_cast<std::size_t>(pe.size()));
+  // Dense next-hop index only; Lane slots materialize on first use.
+  lane_index_.assign(static_cast<std::size_t>(pe.size()), kNoLane);
+  lane_slots_.reserve(static_cast<std::size_t>(router_.max_lanes(pe.rank())));
+  util::host_mem_note_alloc(util::HostMemClass::kBuffer,
+                            lane_index_.size() * sizeof(std::uint32_t));
 }
 
 Conveyor::~Conveyor() {
@@ -195,6 +200,10 @@ Conveyor::~Conveyor() {
   for (auto& [dst, link] : send_links_)
     for (const Frame& fr : link.unacked)
       pe_.account_free(static_cast<double>(fr.words.size()) * 8.0);
+  util::host_mem_note_free(
+      util::HostMemClass::kBuffer,
+      lane_index_.size() * sizeof(std::uint32_t) +
+          lane_slots_.size() * config_.lane_bytes);
 }
 
 std::size_t Conveyor::unacked_frames() const {
@@ -226,7 +235,7 @@ void Conveyor::release_slab(std::uint32_t id) {
   // per potential next-hop plus in-flight slack); keep smaller ones on the
   // slab for the next self-delivery.
   if (s.words.capacity() * 8 >= config_.lane_bytes &&
-      lane_pool_.size() < lanes_.size() + 8) {
+      lane_pool_.size() < lane_slots_.size() + 8) {
     s.words.clear();
     lane_pool_.push_back(std::move(s.words));
   }
@@ -256,9 +265,11 @@ void Conveyor::route(int dst, const std::uint64_t* words, std::size_t n,
   // intermediate would swallow the packet even though the final
   // destination is alive. Go direct instead.
   if (peer_death_possible_ && next != dst && !pe_.alive(next)) next = dst;
-  Lane& lane = lanes_[static_cast<std::size_t>(next)];
-  if (!lane.active) {
-    lane.active = true;
+  std::uint32_t li = lane_index_[static_cast<std::size_t>(next)];
+  if (li == kNoLane) {
+    li = static_cast<std::uint32_t>(lane_slots_.size());
+    lane_index_[static_cast<std::size_t>(next)] = li;
+    lane_slots_.emplace_back();
     // Keep the activation list sorted so flush_all walks lanes in
     // ascending next-hop order (the deterministic order the old ordered
     // map gave); activations are rare (bounded by Router::max_lanes).
@@ -269,7 +280,11 @@ void Conveyor::route(int dst, const std::uint64_t* words, std::size_t n,
     // up front: Table III / Fig. 2) but let the host vector grow lazily
     // so high-PE simulations stay affordable.
     pe_.account_alloc(static_cast<double>(config_.lane_bytes));
+    util::host_mem_note_alloc(util::HostMemClass::kBuffer,
+                              config_.lane_bytes);
   }
+  Lane& lane = lane_slots_[li];
+  if (lane.words.empty()) ++nonempty_lanes_;
   // Armed reliability reserves slot 0 of every frame for the sequence
   // header, filled in at flush time.
   if (reliable_ && lane.words.empty()) lane.words.push_back(0);
@@ -285,6 +300,7 @@ void Conveyor::route(int dst, const std::uint64_t* words, std::size_t n,
 
 void Conveyor::flush_lane(Lane& lane, int next_hop) {
   if (lane.words.empty()) return;
+  --nonempty_lanes_;
   double wire = lane.wire_bytes;
   // Swap in a pooled buffer: the lane keeps its grown capacity on the
   // recycled vector instead of re-growing from zero after every flush.
@@ -308,7 +324,10 @@ void Conveyor::flush_lane(Lane& lane, int next_hop) {
   out[0] = make_frame_header(config_.stream_id, seq);
   wire += 8.0;  // sequence header rides the wire
   pe_.account_alloc(static_cast<double>(out.size()) * 8.0);
-  if (link.unacked.empty()) link.rto = config_.rto_seconds;
+  if (link.unacked.empty()) {
+    link.rto = config_.rto_seconds;
+    if (!link.dead) ++backlogged_links_;
+  }
   link.unacked.push_back({seq, out, wire});
   pe_.put(next_hop, std::move(out), net::Pe::kAppTag, wire,
           net::Delivery::kBestEffort);
@@ -316,8 +335,13 @@ void Conveyor::flush_lane(Lane& lane, int next_hop) {
 }
 
 void Conveyor::flush_all() {
+  // Counted non-quiescence: every finish() round calls this, and in the
+  // endgame almost every round finds nothing to flush — skip the
+  // O(active lanes) walk entirely then.
+  if (nonempty_lanes_ == 0) return;
   for (int next : active_lanes_)
-    flush_lane(lanes_[static_cast<std::size_t>(next)], next);
+    flush_lane(lane_slots_[lane_index_[static_cast<std::size_t>(next)]],
+               next);
 }
 
 void Conveyor::deliver_local(std::uint8_t kind, const std::uint64_t* words,
@@ -384,7 +408,10 @@ void Conveyor::handle_frame(net::Message& msg) {
   // Re-ack on every frame, accepted or not: a discarded retransmission
   // means our previous ack was lost, and only a fresh ack stops the
   // sender's backoff loop.
-  link.ack_dirty = true;
+  if (!link.ack_dirty) {
+    link.ack_dirty = true;
+    ++dirty_acks_;
+  }
   if (seq != link.expected) {
     // Go-Back-N receiver: anything but the next expected frame is a
     // duplicate (retransmit raced the ack, or the fault plane duplicated
@@ -404,6 +431,7 @@ void Conveyor::handle_ack(const net::Message& msg) {
     return;
   SendLink& link = send_links_[msg.src];
   const auto ack = static_cast<std::uint32_t>(msg.payload[0] & 0xFFFFFFFFu);
+  const bool had_backlog = !link.unacked.empty();
   // Cumulative: everything strictly before `ack` is delivered.
   while (!link.unacked.empty() && seq_before(link.unacked.front().seq, ack)) {
     pe_.account_free(
@@ -412,12 +440,15 @@ void Conveyor::handle_ack(const net::Message& msg) {
     link.rto = config_.rto_seconds;  // forward progress resets backoff
     link.attempts = 0;
   }
+  if (had_backlog && link.unacked.empty() && !link.dead) --backlogged_links_;
 }
 
 void Conveyor::send_pending_acks() {
+  if (dirty_acks_ == 0) return;
   for (auto& [src, link] : recv_links_) {
     if (!link.ack_dirty) continue;
     link.ack_dirty = false;
+    --dirty_acks_;
     const std::uint64_t word =
         (static_cast<std::uint64_t>(config_.stream_id & 0xFFFFFFu) << 32) |
         link.expected;
@@ -428,6 +459,7 @@ void Conveyor::send_pending_acks() {
 }
 
 void Conveyor::maybe_retransmit(bool force) {
+  if (backlogged_links_ == 0) return;
   for (auto& [dst, link] : send_links_) {
     if (link.unacked.empty() || link.dead) continue;
     if (!force && pe_.now() < link.last_send + link.rto) continue;
@@ -438,6 +470,7 @@ void Conveyor::maybe_retransmit(bool force) {
       // budget says (exactly-once must survive arbitrary transient loss);
       // its frames simply keep retrying at the capped rto_max interval.
       link.dead = true;
+      --backlogged_links_;
       ++pe_.counters().peers_declared_dead;
       continue;
     }

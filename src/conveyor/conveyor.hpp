@@ -220,7 +220,6 @@ class Conveyor {
   struct Lane {
     std::vector<std::uint64_t> words;
     double wire_bytes = 0.0;
-    bool active = false;  // memory accounted, listed in active_lanes_
   };
 
   /// Storage backing delivered-but-not-yet-pulled packets. An arrived
@@ -292,12 +291,27 @@ class Conveyor {
   Router router_;
   double header_wire_bytes_;  // 4.0 for routed protocols, 0.0 for 1D
   std::size_t lane_capacity_words_;
-  /// Dense per-next-hop lane table (O(1) lookup on the push path, vs the
-  /// O(log P) ordered-map lookup it replaces) plus the sorted list of
-  /// activated next-hops, which preserves the deterministic ascending
-  /// flush order the quiescence protocol relies on.
-  std::vector<Lane> lanes_;
+  /// Lazy per-next-hop lane table: a dense 4-byte index (O(1) lookup on
+  /// the push path) into compact Lane slots allocated on a next-hop's
+  /// *first* packet. Host memory for lanes therefore scales with the
+  /// next-hops this PE actually uses (<= Router::max_lanes, ~2 sqrt(P)
+  /// for 2D) instead of P — across P PEs that is the difference between
+  /// O(P^1.5) and O(P^2) total. active_lanes_ stays sorted so flush_all
+  /// walks lanes in the deterministic ascending next-hop order the
+  /// quiescence protocol relies on.
+  static constexpr std::uint32_t kNoLane = ~0u;
+  std::vector<std::uint32_t> lane_index_;
+  std::vector<Lane> lane_slots_;
   std::vector<int> active_lanes_;
+  /// Lanes currently holding unflushed words. flush_all() — called every
+  /// quiescence round — returns immediately when zero instead of
+  /// rescanning every activated lane.
+  std::size_t nonempty_lanes_ = 0;
+  /// Live (not declared-dead) send links with unacked backlog; gates
+  /// maybe_retransmit's per-round link scan the same way.
+  std::size_t backlogged_links_ = 0;
+  /// Receive links owing an ack; gates send_pending_acks's scan.
+  std::size_t dirty_acks_ = 0;
   /// Free list of lane-sized buffers: released slabs donate lane-capacity
   /// vectors here, and flush_lane takes them so a flushed lane regains a
   /// full-capacity buffer instead of re-growing from empty.

@@ -13,6 +13,7 @@
 
 #include "cachesim/cost_model.hpp"
 #include "conveyor/conveyor.hpp"
+#include "des/ready_queue.hpp"
 #include "kmer/count.hpp"
 #include "net/machine.hpp"
 
@@ -45,6 +46,10 @@ struct CountConfig {
   /// host_threads). 1 = serial engine; higher values overlap PE compute
   /// segments on the host without changing any simulated result.
   int host_threads = 1;
+  /// Engine ready-queue implementation (net::FabricConfig scheduler):
+  /// kLadder (default) or the reference kHeap. Never changes any
+  /// simulated result; exposed for A/B equality tests and scale benches.
+  des::Scheduler scheduler = des::Scheduler::kLadder;
   double node_memory_limit = 0.0;  ///< bytes; 0 = unlimited (Fig. 8 uses it)
   /// Deterministic fault injection (net/fault.hpp). All-zero rates (the
   /// default) keep the zero-fault path bit-identical to the seed goldens;
@@ -236,6 +241,25 @@ struct RunReport {
   std::uint64_t replay_misses = 0;         ///< simulated LLC misses
   std::uint64_t replay_phase1_misses = 0;  ///< misses before the barrier
   std::uint64_t replay_phase2_misses = 0;  ///< misses in sort+accumulate
+
+  // -- host-side (real-machine) footprint ---------------------------------
+  /// Estimated peak host bytes of the run's pooled allocators (fiber
+  /// stacks + per-destination aggregation buffers; util/stack_pool.hpp).
+  /// A *host* metric, not a simulated one: it is printed by the CLI for
+  /// scale triage but deliberately excluded from write_report()'s
+  /// byte-compared dumps (it may vary with host thread interleaving).
+  std::uint64_t host_peak_bytes = 0;
+  /// Like host_peak_bytes: peak bytes in the two pooled-allocator
+  /// classes. kBuffer tracks lazily materialized per-destination staging
+  /// (conveyor lanes + DAKC L2/super-k-mer slots) — the quantity whose
+  /// sub-linear growth in P tools/check_perf.py gates; kStack tracks
+  /// pooled fiber-stack reservations (inherently linear in live fibers,
+  /// but MAP_NORESERVE address space, mostly never resident).
+  std::uint64_t host_peak_stack_bytes = 0;
+  std::uint64_t host_peak_buffer_bytes = 0;
+  /// Scheduler events the DES engine processed (host-perf diagnostic for
+  /// tools/scale_bench; excluded from write_report like the above).
+  std::uint64_t host_engine_events = 0;
 
   std::uint64_t total_kmers = 0;    ///< sum of counts
   std::uint64_t distinct_kmers = 0;

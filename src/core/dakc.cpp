@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <memory>
 
@@ -15,6 +16,7 @@
 #include "sort/radix.hpp"
 #include "sort/wc_radix.hpp"
 #include "util/check.hpp"
+#include "util/stack_pool.hpp"
 
 namespace dakc::core {
 
@@ -68,8 +70,7 @@ class DakcPe {
         replicas_(hot == nullptr ? 0 : hot->size(), 0),
         actor_(pe, make_actor_config(config),
                make_conveyor_config(config, stream)),
-        l2n_(static_cast<std::size_t>(pe.size())),
-        l2h_(static_cast<std::size_t>(pe.size())),
+        dst_index_(static_cast<std::size_t>(pe.size()), kNoBuf),
         c2_eff_(config.c2),
         c3_eff_(config.c3),
         packer_(config.k),
@@ -77,8 +78,10 @@ class DakcPe {
         sk_cap_eff_(config.superkmer_buffer_words) {
     actor_.set_handler([this](std::uint8_t kind, const std::uint64_t* w,
                               std::size_t n) { handle(kind, w, n); });
+    host_buf_accounted_ = dst_index_.size() * sizeof(std::uint32_t);
+    util::host_mem_note_alloc(util::HostMemClass::kBuffer,
+                              host_buf_accounted_);
     if (config_.superkmer) {
-      sk_buf_.resize(static_cast<std::size_t>(pe.size()));
       // Staging memory mirrors L2's accounting: per-destination buffers
       // at full capacity.
       sk_accounted_ = static_cast<double>(pe_.size()) *
@@ -94,8 +97,6 @@ class DakcPe {
       }
     } else {
       if (config_.l2_enabled) {
-        for (auto& b : l2n_) b.reserve(config_.c2);
-        for (auto& b : l2h_) b.reserve(config_.c2);
         // Table III: L2 memory = 264 B per destination, two buffer sets.
         l2_accounted_ = static_cast<double>(pe_.size()) *
                         static_cast<double>(config_.c2) * 8.0 * 2.0;
@@ -122,6 +123,8 @@ class DakcPe {
     if (sk_accounted_ > 0.0) pe_.account_free(sk_accounted_);
     if (bins_accounted_ > 0.0) pe_.account_free(bins_accounted_);
     if (t_accounted_ > 0.0) pe_.account_free(t_accounted_);
+    util::host_mem_note_free(util::HostMemClass::kBuffer,
+                             host_buf_accounted_);
   }
 
   /// Algorithm 4's AsyncAdd: entry point for every parsed k-mer.
@@ -175,7 +178,7 @@ class DakcPe {
   /// non-extending window) and stage it toward its destination.
   void end_run() {
     if (!packer_.open()) return;
-    auto& buf = sk_buf_[static_cast<std::size_t>(run_dst_)];
+    auto& buf = dst_bufs(run_dst_).n;
     if (!buf.empty() && buf.size() + packer_.emit_words() > sk_cap_eff_)
       flush_sk(run_dst_);
     ++sk_runs_;
@@ -569,7 +572,7 @@ class DakcPe {
     }
     const int p = dst_of(kmer::owner_pe(km, pe_.size()));
     if (count > config_.heavy_threshold) {
-      auto& h = l2h_[static_cast<std::size_t>(p)];
+      auto& h = dst_bufs(p).h;
       h.push_back(km);
       h.push_back(count);
       if (h.size() >= c2_eff_) flush_l2h(p);
@@ -579,7 +582,7 @@ class DakcPe {
       // shrinking c2_eff_), so each round appends one contiguous run and
       // flushes on the same boundaries the element-wise loop did —
       // identical packets, fewer capacity checks.
-      auto& nbuf = l2n_[static_cast<std::size_t>(p)];
+      auto& nbuf = dst_bufs(p).n;
       std::uint64_t remaining = count;
       while (remaining > 0) {
         const auto space = static_cast<std::uint64_t>(c2_eff_ - nbuf.size());
@@ -592,17 +595,17 @@ class DakcPe {
   }
 
   void flush_l2n(int p) {
-    auto& b = l2n_[static_cast<std::size_t>(p)];
-    if (b.empty()) return;
-    actor_.send(p, b.data(), b.size(), kPacketNormal);
-    b.clear();
+    DstBufs* s = dst_find(p);
+    if (s == nullptr || s->n.empty()) return;
+    actor_.send(p, s->n.data(), s->n.size(), kPacketNormal);
+    s->n.clear();
   }
 
   void flush_l2h(int p) {
-    auto& b = l2h_[static_cast<std::size_t>(p)];
-    if (b.empty()) return;
-    actor_.send(p, b.data(), b.size(), kPacketHeavy);
-    b.clear();
+    DstBufs* s = dst_find(p);
+    if (s == nullptr || s->h.empty()) return;
+    actor_.send(p, s->h.data(), s->h.size(), kPacketHeavy);
+    s->h.clear();
   }
 
   /// Phase-boundary replica merge (DESIGN.md §12): every non-zero local
@@ -636,10 +639,10 @@ class DakcPe {
   }
 
   void flush_sk(int p) {
-    auto& b = sk_buf_[static_cast<std::size_t>(p)];
-    if (b.empty()) return;
-    actor_.send(p, b.data(), b.size(), kPacketSuper);
-    b.clear();
+    DstBufs* s = dst_find(p);
+    if (s == nullptr || s->n.empty()) return;
+    actor_.send(p, s->n.data(), s->n.size(), kPacketSuper);
+    s->n.clear();
   }
 
   /// Receiver-side minimizer bin, stamped into the run header by the
@@ -658,6 +661,47 @@ class DakcPe {
         max_bases - static_cast<std::size_t>(config_.k) + 1);
   }
 
+  /// Per-destination staging buffers (L2 NORMAL/HEAVY in aggregation
+  /// mode, packed super-k-mer runs in super-k-mer mode), materialized on
+  /// first use. The eager layout — P vectors each reserving C2 words up
+  /// front — costs O(P^2) host bytes across a P-PE run even though a PE
+  /// typically talks to far fewer than P destinations before the first
+  /// phase boundary. The dense uint32 index keeps the hot-path lookup at
+  /// one array load; slots live in a deque so materializing a new
+  /// destination never invalidates references held across a flush. The
+  /// *simulated* accounting (l2_accounted_ / sk_accounted_) deliberately
+  /// keeps the paper's Table III full-capacity charge — this diet is a
+  /// host-memory optimization, invisible to the cost model.
+  struct DstBufs {
+    std::vector<std::uint64_t> n;  // NORMAL raw k-mers / packed sk runs
+    std::vector<std::uint64_t> h;  // HEAVY: {kmer, count} pairs
+  };
+  static constexpr std::uint32_t kNoBuf = ~0u;
+
+  DstBufs& dst_bufs(int p) {
+    std::uint32_t& idx = dst_index_[static_cast<std::size_t>(p)];
+    if (idx != kNoBuf) return dst_slots_[idx];
+    idx = static_cast<std::uint32_t>(dst_slots_.size());
+    DstBufs& b = dst_slots_.emplace_back();
+    std::uint64_t bytes = 0;
+    if (config_.superkmer) {
+      b.n.reserve(sk_cap_eff_);
+      bytes = static_cast<std::uint64_t>(sk_cap_eff_) * 8;
+    } else {
+      b.n.reserve(c2_eff_);
+      b.h.reserve(c2_eff_);
+      bytes = static_cast<std::uint64_t>(c2_eff_) * 16;
+    }
+    host_buf_accounted_ += bytes;
+    util::host_mem_note_alloc(util::HostMemClass::kBuffer, bytes);
+    return b;
+  }
+
+  DstBufs* dst_find(int p) {
+    const std::uint32_t idx = dst_index_[static_cast<std::size_t>(p)];
+    return idx == kNoBuf ? nullptr : &dst_slots_[idx];
+  }
+
   net::Pe& pe_;
   cachesim::CostModel& cost_;
   const CountConfig& config_;
@@ -668,8 +712,9 @@ class DakcPe {
   std::uint64_t merge_frames_ = 0;
   actor::Actor actor_;
   std::vector<std::uint64_t> l3_;
-  std::vector<std::vector<std::uint64_t>> l2n_;  // NORMAL: raw k-mers
-  std::vector<std::vector<std::uint64_t>> l2h_;  // HEAVY: {kmer, count}
+  std::vector<std::uint32_t> dst_index_;  // dest PE -> slot (kNoBuf: none)
+  std::deque<DstBufs> dst_slots_;
+  std::uint64_t host_buf_accounted_ = 0;
   std::vector<kmer::KmerCount64> t_;
   HashCounter hash_;
   double t_accounted_ = 0.0;
@@ -686,7 +731,6 @@ class DakcPe {
   std::uint64_t run_min_ = 0;  ///< open run's minimizer value
   int run_dst_ = 0;            ///< open run's destination PE
   std::size_t max_run_ = 0;
-  std::vector<std::vector<std::uint64_t>> sk_buf_;  // per-dest packed runs
   std::size_t sk_cap_eff_;     ///< staging words per destination (halves
                                ///< under pressure, like C2)
   double sk_accounted_ = 0.0;

@@ -11,6 +11,7 @@
 #include "core/recovery.hpp"
 #include "net/trace.hpp"
 #include "util/check.hpp"
+#include "util/stack_pool.hpp"
 
 #include <filesystem>
 #include <fstream>
@@ -31,6 +32,7 @@ net::FabricConfig fabric_config_for(const CountConfig& c) {
   f.graceful_memory = c.graceful_memory;
   f.trace = !c.trace_path.empty();
   f.host_threads = c.host_threads;
+  f.scheduler = c.scheduler;
   return f;
 }
 
@@ -42,6 +44,9 @@ RunReport count_kmers(const std::vector<std::string>& reads,
   DAKC_CHECK(config.pes >= 1);
   RunReport report;
   report.backend = backend_name(config.backend);
+  // Host-footprint baseline: the pooled-allocator high-water mark from
+  // here to the end of the run becomes RunReport::host_peak_bytes.
+  util::host_mem_reset_peak();
 
   CountConfig cfg = config;
   net::FabricConfig fab_cfg = fabric_config_for(config);
@@ -166,6 +171,12 @@ RunReport count_kmers(const std::vector<std::string>& reads,
     report.oom_node = oom.node;
     report.oom_alloc_bytes = oom.alloc_bytes;
     report.node_mem_high = oom.attempted;
+    report.host_peak_bytes = util::host_mem_peak();
+    report.host_peak_stack_bytes =
+        util::host_mem_class_peak(util::HostMemClass::kStack);
+    report.host_peak_buffer_bytes =
+        util::host_mem_class_peak(util::HostMemClass::kBuffer);
+    report.host_engine_events = fabric.engine_events();
     return report;
   }
 
@@ -192,6 +203,12 @@ RunReport count_kmers(const std::vector<std::string>& reads,
       for (const auto& kc : o.counts) report.total_kmers += kc.count;
     }
   }
+  report.host_peak_bytes = util::host_mem_peak();
+  report.host_peak_stack_bytes =
+      util::host_mem_class_peak(util::HostMemClass::kStack);
+  report.host_peak_buffer_bytes =
+      util::host_mem_class_peak(util::HostMemClass::kBuffer);
+  report.host_engine_events = fabric.engine_events();
   return report;
 }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/stack_pool.hpp"
 #include "util/thread_pool.hpp"
 
 // ASan tracks one stack per thread; ucontext fibers run on heap-allocated
@@ -117,12 +118,31 @@ struct FiberUnwind {};
 struct Engine::Fiber {
   enum class State : std::uint8_t { kNew, kRunnable, kRunning, kBlocked, kDone };
 
+  // Sanitized builds keep plain heap stacks: ASan/TSan track fake-stack /
+  // shadow-stack state per fiber stack, and early release or MADV_DONTNEED
+  // recycling would pull memory out from under that bookkeeping.
+#if defined(DAKC_ASAN_FIBERS) || defined(DAKC_TSAN_FIBERS)
   explicit Fiber(std::size_t stack_bytes)
-      : stack(new char[stack_bytes]), stack_size(stack_bytes) {}
+      : heap_stack(new char[stack_bytes]) {
+    stack.base = heap_stack.get();
+    stack.size = stack_bytes;
+  }
+  std::unique_ptr<char[]> heap_stack;
+  util::StackPool::Stack stack;
+  void release_stack() {}
+#else
+  explicit Fiber(std::size_t stack_bytes)
+      : stack(util::StackPool::instance().acquire(stack_bytes)) {}
+  ~Fiber() { release_stack(); }
+  util::StackPool::Stack stack;
+  void release_stack() {
+    if (stack.base == nullptr) return;
+    util::StackPool::instance().release(stack);
+    stack = {};
+  }
+#endif
 
   ucontext_t ctx{};
-  std::unique_ptr<char[]> stack;
-  std::size_t stack_size;
   void* asan_fake_stack = nullptr;  ///< this fiber's suspended fake stack
   void* tsan_fiber = nullptr;       ///< TSan shadow-stack handle
   std::function<void(Context&)> body;
@@ -150,7 +170,8 @@ struct Engine::Fiber {
   std::exception_ptr body_error;
 };
 
-Engine::Engine(Config config) : config_(config) {
+Engine::Engine(Config config)
+    : config_(config), runnable_(config.scheduler) {
   DAKC_CHECK(config_.stack_bytes >= 16 * 1024);
 }
 
@@ -225,16 +246,15 @@ void Engine::run() {
   for (int id = 0; id < static_cast<int>(fibers_.size()); ++id) {
     Fiber& f = *fibers_[id];
     getcontext(&f.ctx);
-    f.ctx.uc_stack.ss_sp = f.stack.get();
-    f.ctx.uc_stack.ss_size = f.stack_size;
+    f.ctx.uc_stack.ss_sp = f.stack.base;
+    f.ctx.uc_stack.ss_size = f.stack.size;
     f.ctx.uc_link = nullptr;  // trampoline never falls off the end
     makecontext(&f.ctx, reinterpret_cast<void (*)()>(&Engine::trampoline), 0);
     f.tsan_fiber = tsan_create_fiber();
     f.state = Fiber::State::kRunnable;
-    runnable_.push({clocks_[id].vtime, id});
+    runnable_.push(clocks_[id].vtime, id);
   }
-  next_runnable_time_ =
-      runnable_.empty() ? kNoneRunnable : runnable_.top().time;
+  next_runnable_time_ = runnable_.min_time();
 
   if (parallel_) {
     auto& pool = util::ThreadPool::host();
@@ -251,10 +271,8 @@ void Engine::run() {
   // before — physically resuming it, which preserves the exact pop order,
   // event count, and per-fiber bookkeeping of the serial engine.
   while (!runnable_.empty()) {
-    const HeapEntry entry = runnable_.top();
-    runnable_.pop();
-    next_runnable_time_ =
-        runnable_.empty() ? kNoneRunnable : runnable_.top().time;
+    const ReadyQueue::Entry entry = runnable_.pop();
+    next_runnable_time_ = runnable_.min_time();
     Fiber& f = *fibers_[entry.id];
     DAKC_ASSERT(f.state == Fiber::State::kRunnable);
     f.state = Fiber::State::kRunning;
@@ -265,6 +283,10 @@ void Engine::run() {
     else
       resume_physical(entry.id);
     running_ = -1;
+    // A fiber whose body just returned never runs again; hand its stack
+    // back to the pool immediately so peak stack memory follows the
+    // number of *live* fibers, not the spawn count.
+    if (f.state == Fiber::State::kDone) release_stack(entry.id);
     if (first_error_) break;
   }
 
@@ -352,7 +374,7 @@ void Engine::resume_physical(int id) {
   Fiber& f = *fibers_[id];
   g_resume_id = id;
   void* sched_fake = nullptr;
-  asan_start_switch(&sched_fake, f.stack.get(), f.stack_size);
+  asan_start_switch(&sched_fake, f.stack.base, f.stack.size);
   tsan_switch(f.tsan_fiber);
   swapcontext(&g_sched_ctx, &f.ctx);
   asan_finish_switch(sched_fake, nullptr, nullptr);
@@ -495,9 +517,11 @@ void Engine::make_runnable(int id) {
   Fiber& f = *fibers_[id];
   f.state = Fiber::State::kRunnable;
   const SimTime t = clocks_[id].vtime;
-  runnable_.push({t, id});
+  runnable_.push(t, id);
   if (t < next_runnable_time_) next_runnable_time_ = t;
 }
+
+void Engine::release_stack(int id) { fibers_[id]->release_stack(); }
 
 void Engine::record(int fiber, Category cat, SimTime start, SimTime end) {
   if (tracing_ && end > start) trace_.push_back({fiber, cat, start, end});

@@ -33,10 +33,10 @@
 #include <limits>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "des/ready_queue.hpp"
 #include "util/check.hpp"
 
 namespace dakc::des {
@@ -187,6 +187,11 @@ class Engine {
     /// under ASan/TSan (the ucontext fiber hops confuse their runtimes
     /// when mixed with real threads). Never changes results.
     int host_threads = 1;
+    /// Ready-queue implementation. kLadder (default) is the O(1)-amortized
+    /// calendar queue; kHeap the reference binary heap. Pop order — and
+    /// therefore every simulation result — is bit-identical between the
+    /// two; the switch exists for A/B benchmarks and equality tests.
+    Scheduler scheduler = Scheduler::kLadder;
   };
 
   Engine() : Engine(Config{}) {}
@@ -233,15 +238,6 @@ class Engine {
     kRewarm,    ///< left the outermost InteractionScope; wants a worker
     kBodyDone,  ///< body returned while warm; completion needs the arbiter
   };
-  struct HeapEntry {
-    SimTime time;
-    int id;
-    bool operator>(const HeapEntry& o) const {
-      if (time != o.time) return time > o.time;
-      return id > o.id;
-    }
-  };
-
   /// Hot per-fiber scheduling state, split out of Fiber so the charge
   /// fast path below can be inlined into callers without exposing the
   /// (ucontext-heavy) Fiber definition. `pending` batches charged time by
@@ -297,6 +293,10 @@ class Engine {
   /// Fold the batched per-category pending time into FiberStats.
   void flush_pending(int id);
   void make_runnable(int id);
+  /// Return a completed fiber's stack to the process-wide pool (no-op in
+  /// sanitized builds, where stacks stay heap-backed for the sanitizer's
+  /// fake-stack bookkeeping).
+  void release_stack(int id);
   /// Switch from fiber `id` back to the scheduler loop.
   void return_to_scheduler(int id);
   static void trampoline();
@@ -324,11 +324,10 @@ class Engine {
   std::vector<TraceEvent> trace_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::vector<FiberClock> clocks_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
-      runnable_;
-  /// Cached runnable_.top().time (kNoneRunnable when the heap is empty),
+  ReadyQueue runnable_;
+  /// Cached runnable_.min_time() (kNoneRunnable when the queue is empty),
   /// maintained at every push/pop so the charge fast path never touches
-  /// the heap.
+  /// the queue.
   SimTime next_runnable_time_ = kNoneRunnable;
   int running_ = -1;
   bool started_ = false;

@@ -101,6 +101,7 @@ des::Engine::Config engine_config_for(const FabricConfig& c) {
                      c.faults.kill_rate > 0.0)
                         ? 1
                         : c.host_threads;
+  ec.scheduler = c.scheduler;
   return ec;
 }
 
@@ -176,10 +177,32 @@ struct Fabric::RendezvousState {
   /// release reads the same value, giving survivors an agreed dead set
   /// (the first out_dead_epoch entries of Fabric::death_order_).
   std::uint64_t out_dead_epoch = 0;
-  std::vector<int> waiters;
+  /// Waiters parked in per-node buckets and released node-major: the
+  /// fan-out walks the same tree the log-P release cost charges (node
+  /// subtrees, then ranks within a node), and the buckets keep their
+  /// capacity across epochs so a steady-state barrier allocates nothing.
+  /// Determinism is unaffected by the walk order — every waiter wakes at
+  /// the same release time and the engine's ready queue orders equal-time
+  /// entries by fiber id (DESIGN.md §13).
+  std::vector<std::vector<int>> waiters;
+  /// Double buffer for release: detach_waiters() swaps the parked set out
+  /// BEFORE the releasing fiber charges (a yield point — a spuriously
+  /// woken waiter may re-register for the next epoch during it), then
+  /// wake_detached() fires the swapped-out set. A release cannot overlap
+  /// a release: the next epoch can only complete once every detached
+  /// waiter has woken and re-arrived.
+  std::vector<std::vector<int>> detached;
   /// Incremented at every release; waiters block on it as their predicate
   /// (message Puts can wake a fiber spuriously while it waits here).
   std::uint64_t epoch = 0;
+
+  void detach_waiters() { waiters.swap(detached); }
+  void wake_detached(des::Context& ctx, des::SimTime release) {
+    for (auto& bucket : detached) {
+      for (int w : bucket) ctx.wake(w, release);
+      bucket.clear();
+    }
+  }
 };
 
 namespace {
@@ -204,9 +227,8 @@ void release_from_death(Fabric::RendezvousState& rv, des::Context& ctx,
   rv.out_dead_epoch = dead_now;
   rv.arrived = 0;
   ++rv.epoch;
-  std::vector<int> waiters;
-  waiters.swap(rv.waiters);
-  for (int w : waiters) ctx.wake(w, release);
+  rv.detach_waiters();
+  rv.wake_detached(ctx, release);
 }
 
 }  // namespace
@@ -280,6 +302,8 @@ Fabric::Fabric(FabricConfig config)
     nodes_.push_back(std::make_unique<NodeState>());
   rendezvous_ = std::make_unique<RendezvousState>();
   rendezvous_->gather.resize(config_.pes, 0);
+  rendezvous_->waiters.resize(static_cast<std::size_t>(node_count_));
+  rendezvous_->detached.resize(static_cast<std::size_t>(node_count_));
   if (config_.trace) engine_.enable_tracing();
 }
 
@@ -781,7 +805,7 @@ static RendezvousResult rendezvous(Fabric::RendezvousState& rv, Pe& pe,
   ++rv.arrived;
 
   if (rv.arrived < pe_count) {
-    rv.waiters.push_back(pe.rank());
+    rv.waiters[static_cast<std::size_t>(pe.node())].push_back(pe.rank());
     const std::uint64_t my_epoch = rv.epoch;
     // Predicate loop: an unrelated message Put may wake us early.
     while (rv.epoch == my_epoch) ctx.block();
@@ -798,11 +822,10 @@ static RendezvousResult rendezvous(Fabric::RendezvousState& rv, Pe& pe,
     rv.out_dead_epoch = dead_now;
     rv.arrived = 0;
     ++rv.epoch;
-    std::vector<int> waiters;
-    waiters.swap(rv.waiters);
+    rv.detach_waiters();
     // Advance ourselves first so wake() causality holds, then wake peers.
     ctx.charge(release - pe.now(), des::Category::kNetwork);
-    for (int w : waiters) ctx.wake(w, release);
+    rv.wake_detached(ctx, release);
   }
   RendezvousResult res;
   res.u = rv.out_u;

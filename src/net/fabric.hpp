@@ -136,6 +136,12 @@ struct FabricConfig {
   /// (pressure callbacks run synchronously across PEs), and trace (serial
   /// record order). Never changes simulated results (DESIGN.md §9).
   int host_threads = 1;
+  /// Ready-queue implementation for the engine (des::Engine::Config
+  /// scheduler). kLadder is the O(1)-amortized production default; kHeap
+  /// the reference binary heap. Never changes simulated results
+  /// (DESIGN.md §13) — exposed so A/B equality tests and scale benches
+  /// can run both end to end.
+  des::Scheduler scheduler = des::Scheduler::kLadder;
 };
 
 class Fabric;
@@ -311,6 +317,9 @@ class Fabric {
 
   // -- post-run inspection ----------------------------------------------
   des::SimTime makespan() const { return engine_.makespan(); }
+  /// Total scheduler events the engine processed (host-perf diagnostic:
+  /// events / wall-seconds is tools/scale_bench's throughput metric).
+  std::uint64_t engine_events() const { return engine_.total_events(); }
   const des::FiberStats& pe_stats(int pe) const { return engine_.stats(pe); }
   const PeCounters& pe_counters(int pe) const;
   /// High-water mark of accounted bytes on a node.

@@ -1,0 +1,116 @@
+#include "util/stack_pool.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "util/check.hpp"
+
+namespace dakc::util {
+
+namespace {
+struct Counter {
+  std::atomic<std::size_t> current{0};
+  std::atomic<std::size_t> peak{0};
+
+  void add(std::size_t bytes) {
+    const std::size_t cur =
+        current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::size_t p = peak.load(std::memory_order_relaxed);
+    while (cur > p &&
+           !peak.compare_exchange_weak(p, cur, std::memory_order_relaxed)) {
+    }
+  }
+  void sub(std::size_t bytes) {
+    current.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+};
+
+Counter g_total;
+Counter g_class[2];
+
+std::size_t page_size() {
+  static const std::size_t p = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return p;
+}
+}  // namespace
+
+void host_mem_note_alloc(HostMemClass c, std::size_t bytes) {
+  g_total.add(bytes);
+  g_class[static_cast<int>(c)].add(bytes);
+}
+
+void host_mem_note_free(HostMemClass c, std::size_t bytes) {
+  g_total.sub(bytes);
+  g_class[static_cast<int>(c)].sub(bytes);
+}
+
+std::size_t host_mem_current() {
+  return g_total.current.load(std::memory_order_relaxed);
+}
+
+std::size_t host_mem_peak() {
+  return g_total.peak.load(std::memory_order_relaxed);
+}
+
+std::size_t host_mem_class_peak(HostMemClass c) {
+  return g_class[static_cast<int>(c)].peak.load(std::memory_order_relaxed);
+}
+
+void host_mem_reset_peak() {
+  g_total.peak.store(g_total.current.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  for (Counter& c : g_class)
+    c.peak.store(c.current.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+StackPool& StackPool::instance() {
+  static StackPool* pool = new StackPool();  // leaked: fibers may outlive exit
+  return *pool;
+}
+
+StackPool::Stack StackPool::acquire(std::size_t bytes) {
+  const std::size_t ps = page_size();
+  const std::size_t usable = (bytes + ps - 1) / ps * ps;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = free_.find(usable);
+    if (it != free_.end() && !it->second.empty()) {
+      Stack s = it->second.back();
+      it->second.pop_back();
+      host_mem_note_alloc(HostMemClass::kStack, s.size);
+      return s;
+    }
+  }
+  // Guard page below the stack; MAP_NORESERVE keeps untouched pages out
+  // of both commit charge and RSS, so thousands of mostly-idle fiber
+  // stacks cost address space rather than memory.
+  void* map = mmap(nullptr, usable + ps, PROT_NONE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  DAKC_CHECK_MSG(map != MAP_FAILED, "fiber stack mmap failed");
+  void* base = static_cast<char*>(map) + ps;
+  DAKC_CHECK_MSG(mprotect(base, usable, PROT_READ | PROT_WRITE) == 0,
+                 "fiber stack mprotect failed");
+  host_mem_note_alloc(HostMemClass::kStack, usable);
+  return Stack{base, usable};
+}
+
+void StackPool::release(const Stack& s) {
+  if (s.base == nullptr) return;
+  host_mem_note_free(HostMemClass::kStack, s.size);
+  // Drop the touched pages now: an idle pooled stack should cost nothing
+  // resident. The mapping stays PROT_READ|WRITE, so reuse needs no
+  // further syscall; the kernel hands back zero pages on next touch.
+  madvise(s.base, s.size, MADV_DONTNEED);
+  std::lock_guard<std::mutex> lk(m_);
+  free_[s.size].push_back(s);
+}
+
+std::size_t StackPool::idle() {
+  std::lock_guard<std::mutex> lk(m_);
+  std::size_t n = 0;
+  for (const auto& [sz, v] : free_) n += v.size();
+  return n;
+}
+
+}  // namespace dakc::util

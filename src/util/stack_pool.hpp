@@ -1,0 +1,79 @@
+// Pooled fiber stacks + process-wide host-memory accounting.
+//
+// At thousands of simulated PEs the engine's fiber stacks are the largest
+// host allocation: 4096 fibers x 512 KiB = 2 GiB if naively heap-backed.
+// StackPool mmaps stacks with MAP_NORESERVE so only *touched* pages are
+// resident (a k-mer fiber touches a few KiB), adds a PROT_NONE guard page
+// below the stack so an overflow faults instead of corrupting a neighbor
+// fiber, and recycles completed fibers' stacks through a free list so a
+// simulation's peak stack count tracks the number of *concurrently live*
+// fibers.
+//
+// The host_mem_* counters are the "pooled allocator" feed behind
+// RunReport::host_peak_bytes: the pools that dominate host memory at
+// scale report their acquisitions here, giving a deterministic estimate
+// of peak host usage that scale benchmarks can regress on without
+// depending on the allocator or the kernel's RSS accounting. Two classes
+// are tracked separately because their scaling laws differ and the scale
+// gate checks them differently:
+//
+//   kStack   fiber stacks — inherently one per PE (linear in P), and
+//            mostly *untouched* address space thanks to MAP_NORESERVE.
+//   kBuffer  per-destination aggregation buffers (conveyor lanes, L2
+//            bins, super-k-mer staging) — the allocations that were
+//            O(P^2) total before lazy first-use allocation and must stay
+//            proportional to *used* destinations.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace dakc::util {
+
+enum class HostMemClass : int { kStack = 0, kBuffer = 1 };
+
+/// Record `bytes` of host memory acquired by a pooled allocator.
+void host_mem_note_alloc(HostMemClass c, std::size_t bytes);
+/// Record `bytes` of host memory released back.
+void host_mem_note_free(HostMemClass c, std::size_t bytes);
+/// Currently accounted host bytes (all classes).
+std::size_t host_mem_current();
+/// High-water mark of host_mem_current() since process start (or the last
+/// host_mem_reset_peak()).
+std::size_t host_mem_peak();
+/// Per-class high-water mark.
+std::size_t host_mem_class_peak(HostMemClass c);
+/// Reset every high-water mark to the current level (run boundaries).
+void host_mem_reset_peak();
+
+class StackPool {
+ public:
+  /// One usable stack span. `base` is the lowest usable address (just
+  /// above the guard page); `size` the usable bytes.
+  struct Stack {
+    void* base = nullptr;
+    std::size_t size = 0;
+  };
+
+  static StackPool& instance();
+
+  /// Get a stack of exactly `bytes` usable bytes (pooled or fresh).
+  Stack acquire(std::size_t bytes);
+  /// Return a stack; its pages are released to the OS (MADV_DONTNEED) so
+  /// pooled idle stacks cost address space, not RSS.
+  void release(const Stack& s);
+
+  /// Idle (pooled) stack count — test introspection.
+  std::size_t idle();
+
+ private:
+  StackPool() = default;
+  std::mutex m_;
+  std::unordered_map<std::size_t, std::vector<Stack>> free_;
+};
+
+}  // namespace dakc::util

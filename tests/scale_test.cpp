@@ -1,0 +1,119 @@
+// Scale-out equivalence tests (ISSUE 10): the ladder scheduler and the
+// per-PE memory diet must be invisible in simulated results at every PE
+// count and host-thread count.
+//
+// Each configuration runs the golden workload four ways — {ladder, heap}
+// x {1, 4 host threads} — and asserts the four RunReports are identical
+// field-for-field, including the gathered counts and their hash. The
+// counts hash is P-independent (merge_slices sorts globally), so every
+// PE count also pins the golden value 0x36570c604a3d3804.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "sim/datasets.hpp"
+
+namespace dakc {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t counts_hash(const core::RunReport& rep) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& kc : rep.counts) {
+    h = fnv1a(h, kc.kmer);
+    h = fnv1a(h, kc.count);
+  }
+  return h;
+}
+
+std::vector<std::string> golden_reads() {
+  const auto& spec = sim::dataset_by_name("human");
+  const double scale =
+      2e5 / (spec.coverage * static_cast<double>(spec.genome_length));
+  return sim::make_dataset_reads(spec, scale, 41);
+}
+
+core::CountConfig config_for(int pes, int host_threads,
+                             des::Scheduler sched) {
+  core::CountConfig cfg;
+  cfg.backend = core::Backend::kDakc;
+  cfg.k = 31;
+  cfg.pes = pes;
+  cfg.pes_per_node = 4;
+  cfg.machine.cores_per_node = 4;
+  cfg.machine.noise_amplitude = 0.25;
+  cfg.protocol = conveyor::Protocol::k2D;
+  cfg.l2_enabled = true;
+  cfg.l3_enabled = true;
+  cfg.gather_counts = true;
+  cfg.host_threads = host_threads;
+  cfg.scheduler = sched;
+  return cfg;
+}
+
+/// Field-for-field equality over everything a report dump contains.
+/// host_peak_bytes is deliberately NOT compared: it is a host-side
+/// metric that may vary with thread interleaving (api.hpp).
+void expect_reports_equal(const core::RunReport& a, const core::RunReport& b,
+                          const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.oom, b.oom);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.phase1_seconds, b.phase1_seconds);
+  EXPECT_EQ(a.phase2_seconds, b.phase2_seconds);
+  EXPECT_EQ(a.compute_seconds, b.compute_seconds);
+  EXPECT_EQ(a.memory_seconds, b.memory_seconds);
+  EXPECT_EQ(a.network_seconds, b.network_seconds);
+  EXPECT_EQ(a.idle_seconds, b.idle_seconds);
+  EXPECT_EQ(a.bytes_internode, b.bytes_internode);
+  EXPECT_EQ(a.bytes_intranode, b.bytes_intranode);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.node_mem_high, b.node_mem_high);
+  EXPECT_EQ(a.total_kmers, b.total_kmers);
+  EXPECT_EQ(a.distinct_kmers, b.distinct_kmers);
+  ASSERT_EQ(a.counts.size(), b.counts.size());
+  for (std::size_t i = 0; i < a.counts.size(); ++i) {
+    ASSERT_EQ(a.counts[i].kmer, b.counts[i].kmer) << "at index " << i;
+    ASSERT_EQ(a.counts[i].count, b.counts[i].count) << "at index " << i;
+  }
+}
+
+class ScaleEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScaleEquivalence, SchedulerAndThreadsAreInvisible) {
+  const int pes = GetParam();
+  const auto reads = golden_reads();
+
+  const auto ladder1 =
+      core::count_kmers(reads, config_for(pes, 1, des::Scheduler::kLadder));
+  const auto heap1 =
+      core::count_kmers(reads, config_for(pes, 1, des::Scheduler::kHeap));
+  const auto ladder4 =
+      core::count_kmers(reads, config_for(pes, 4, des::Scheduler::kLadder));
+  const auto heap4 =
+      core::count_kmers(reads, config_for(pes, 4, des::Scheduler::kHeap));
+
+  expect_reports_equal(ladder1, heap1, "ladder-t1 vs heap-t1");
+  expect_reports_equal(ladder1, ladder4, "ladder-t1 vs ladder-t4");
+  expect_reports_equal(ladder1, heap4, "ladder-t1 vs heap-t4");
+
+  // The gathered spectrum is P-independent: the golden hash holds at
+  // every PE count, so one constant pins 40 through 2048.
+  EXPECT_EQ(counts_hash(ladder1), 0x36570c604a3d3804ULL);
+}
+
+INSTANTIATE_TEST_SUITE_P(PeCounts, ScaleEquivalence,
+                         ::testing::Values(40, 400, 2048));
+
+}  // namespace
+}  // namespace dakc

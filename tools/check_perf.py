@@ -1,7 +1,10 @@
 #!/usr/bin/env python3
 """Perf-regression gate: the checking half of the perf harness.
 
-Reads the BENCH_kernels.json that tools/perf_baseline just produced and
+Two modes:
+
+Default (kernel) mode reads the BENCH_kernels.json that
+tools/perf_baseline just produced and
 
   1. enforces the overhaul's speedup floors (NEW vs the frozen reference
      implementations measured in the same binary — machine-independent),
@@ -12,6 +15,14 @@ Reads the BENCH_kernels.json that tools/perf_baseline just produced and
      cancelling uniform machine slowdowns (CPU contention, frequency
      scaling); refresh the baseline with --update when the hardware
      changes.
+
+--scale BENCH_scale.json switches to the simulator scale-out gate
+(ISSUE 10): ladder-vs-heap ready-queue speedup floors (both sides
+measured in the same binary, so machine-independent) and the lazy-buffer
+sub-linearity floor on the end-to-end sweep's accounted buffer bytes.
+
+Both modes end with a one-line-per-gate pass/fail summary table
+(entry, measured, floor).
 
 Exit status: 0 = all gates pass, 1 = regression or missing floor.
 """
@@ -35,7 +46,82 @@ REQUIRED_SPEEDUPS = {
     "fused_accumulate": 1.3,
     "accumulate": 1.0,
     "hybrid_msd_sort": 1.2,
+    "ready_queue_hold": 2.0,
 }
+
+# Scale-out floors (--scale mode, ISSUE 10 acceptance). Ladder and heap
+# are measured in the same binary, so the ratios are machine-independent.
+# The release-storm row is the collective-wake pattern the scale-out
+# work targets — every barrier/rendezvous releases P fibers at one time,
+# where the heap pays P * O(log P) sifts and the ladder a near-linear
+# batch — and carries the headline >= 5x floor. The steady-state hold
+# row replays the engine's *measured* delta distribution; there the heap
+# stays L1-resident and the honest measured ratio is ~3.5x at P = 2048
+# (rising with P), so its floor sits at 2.5x with headroom for machine
+# noise, not at 5x.
+SCALE_SPEEDUP_FLOORS = {
+    "queue_release_p2048": 5.0,
+    "queue_hold_p2048": 2.5,
+}
+
+# Lazy-buffer sub-linearity: quadrupling P must grow the accounted
+# staging-buffer bytes by strictly less than 4x on the 2D sweep column
+# (resident buffers scale with used destinations, not P^2 — dense
+# per-destination allocation would grow ~16x here).
+SCALE_BUFFER_SPAN = ("e2e_p1024_2d_ladder", "e2e_p4096_2d_ladder")
+SCALE_BUFFER_GROWTH_LIMIT = 4.0
+
+
+def print_summary(rows):
+    """One line per gate: entry, measured, floor, pass/fail."""
+    width = max([len(r[0]) for r in rows] + [5])
+    print()
+    print(f"{'entry':<{width}}  {'measured':>12}  {'floor':>12}  result")
+    for name, measured, floor, ok in rows:
+        print(f"{name:<{width}}  {measured:>12}  {floor:>12}  "
+              f"{'pass' if ok else 'FAIL'}")
+
+
+def check_scale(path):
+    """Gate BENCH_scale.json; returns (summary_rows, failures)."""
+    with open(path) as f:
+        doc = json.load(f)
+    queue = {r["name"]: r for r in doc.get("queue", [])}
+    sweep = {r["name"]: r for r in doc.get("sweep", [])}
+    rows, failures = [], []
+
+    for name, floor in sorted(SCALE_SPEEDUP_FLOORS.items()):
+        row = queue.get(name)
+        if row is None or "speedup" not in row:
+            rows.append((name, "missing", f"{floor:.1f}x", False))
+            failures.append(f"{name}: no measurement in {path}")
+            continue
+        speedup = row["speedup"]
+        ok = speedup >= floor
+        rows.append((name, f"{speedup:.2f}x", f"{floor:.1f}x", ok))
+        if not ok:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x < floor {floor:.1f}x")
+
+    lo_name, hi_name = SCALE_BUFFER_SPAN
+    lo, hi = sweep.get(lo_name), sweep.get(hi_name)
+    entry = "buffer_growth_p1024_to_p4096"
+    if lo is None or hi is None:
+        rows.append((entry, "missing", f"<{SCALE_BUFFER_GROWTH_LIMIT:.1f}x",
+                     False))
+        failures.append(f"{entry}: sweep rows missing in {path}")
+    else:
+        lo_b = lo["host_peak_buffer_bytes"]
+        hi_b = hi["host_peak_buffer_bytes"]
+        growth = hi_b / lo_b if lo_b > 0 else float("inf")
+        ok = growth < SCALE_BUFFER_GROWTH_LIMIT
+        rows.append((entry, f"{growth:.2f}x",
+                     f"<{SCALE_BUFFER_GROWTH_LIMIT:.1f}x", ok))
+        if not ok:
+            failures.append(
+                f"{entry}: buffer bytes grew {growth:.2f}x "
+                f"({lo_b} -> {hi_b}) over a 4x P increase")
+    return rows, failures
 
 
 def parse_tolerance(text):
@@ -65,19 +151,36 @@ def main():
                     help="allowed slowdown vs baseline (default 20%%)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from --bench and exit")
+    ap.add_argument("--scale", metavar="BENCH_scale.json",
+                    help="gate the scale-out benchmark instead of kernels")
     args = ap.parse_args()
+
+    if args.scale:
+        rows, failures = check_scale(args.scale)
+        print_summary(rows)
+        if failures:
+            print("\nscale check FAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print("\nscale check passed")
+        return 0
 
     bench_doc, bench = load_doc(args.bench)
     failures = []
+    summary = []
 
     for name, floor in REQUIRED_SPEEDUPS.items():
         kernel = bench.get(name)
         if kernel is None or "speedup" not in kernel:
             failures.append(f"{name}: no speedup measurement in {args.bench}")
+            summary.append((name, "missing", f"{floor}x", False))
             continue
         speedup = kernel["speedup"]
         status = "ok" if speedup >= floor else "FAIL"
         print(f"speedup  {name:<18} {speedup:6.2f}x (floor {floor}x) {status}")
+        summary.append((name, f"{speedup:.2f}x", f"{floor}x",
+                        speedup >= floor))
         if speedup < floor:
             failures.append(f"{name}: speedup {speedup:.2f}x < floor {floor}x")
 
@@ -112,6 +215,8 @@ def main():
             print(f"time     {name:<18} {new_s * 1e3:9.3f} ms vs baseline "
                   f"{base_s * 1e3:9.3f} ms ({ratio:5.2f}x, limit "
                   f"{limit:.2f}x) {status}")
+            summary.append((f"time:{name}", f"{ratio:.2f}x",
+                            f"<={limit:.2f}x", ratio <= limit))
             if ratio > limit:
                 failures.append(
                     f"{name}: {new_s * 1e3:.3f} ms (normalized) is "
@@ -120,6 +225,7 @@ def main():
         print(f"note: no committed baseline at {args.baseline}; "
               "run with --update to create one")
 
+    print_summary(summary)
     if failures:
         print("\nperf check FAILED:", file=sys.stderr)
         for f in failures:

@@ -127,6 +127,20 @@ for key in counts_hash distinct_kmers total_kmers; do
 done
 echo "restart: resumed run matches the uninterrupted spectrum"
 
+# ---------------------------------------------------------------------------
+# Scale smoke: the golden workload at 1024 simulated PEs (256 nodes x 4
+# cores) must reproduce the same P-independent spectrum hash inside a
+# hard wall budget. This is the scale-out tripwire: a scheduler or
+# memory-diet regression that blows up host time or RSS trips the
+# timeout here long before the perf harness would notice.
+scale_flags=(count --dataset human --scale 4.962779156327544e-06
+  --dataset-seed 41 --nodes 256 --cores-per-node 4 --l3 --protocol 2d
+  --noise 0.25)
+timeout 120 "$build/tools/dakc_count" "${scale_flags[@]}" \
+  --report-out "$build/scale1024.txt"
+grep -q '^counts_hash 0x36570c604a3d3804$' "$build/scale1024.txt"
+echo "scale: 1024-PE golden spectrum reproduced within budget"
+
 "$build/tools/perf_baseline" --out "$build/BENCH_kernels.json"
 python3 "$repo/tools/check_perf.py" \
   --bench "$build/BENCH_kernels.json" \
@@ -136,6 +150,14 @@ python3 "$repo/tools/check_perf.py" \
 # Green run: refresh the committed perf snapshot so the repo-root copy
 # can't silently go stale relative to the code that produced it.
 cp "$build/BENCH_kernels.json" "$repo/BENCH_kernels.json"
+
+# Scale-out gate (ISSUE 10): ladder-vs-heap ready-queue floors plus the
+# lazy-buffer sub-linearity check, same measure-then-gate shape as the
+# kernel harness above (also reachable as ctest label "perf":
+# scale_measure + scale_gate).
+"$build/tools/scale_bench" --out "$build/BENCH_scale.json"
+python3 "$repo/tools/check_perf.py" --scale "$build/BENCH_scale.json"
+cp "$build/BENCH_scale.json" "$repo/BENCH_scale.json"
 
 # ---------------------------------------------------------------------------
 # Sanitizer job: the full tier-1 suite again under ASan + UBSan. The perf
@@ -162,6 +184,14 @@ echo "asan: crash-recovery smoke clean"
 # label change can't silently drop it.)
 "$build_asan/tools/skew_sweep" --quick --cost-model replay
 echo "asan: skew sweep clean"
+# 1024-PE scale smoke under ASan: thousands of pooled fiber stacks,
+# lazily-created staging buffers, and recycled rung storage are exactly
+# the allocation churn the diet added; a lifetime bug there appears at
+# scale, not at the 40-PE golden. Wider budget: ASan costs ~5-10x.
+timeout 900 "$build_asan/tools/dakc_count" "${scale_flags[@]}" \
+  --report-out "$build_asan/scale1024.txt"
+grep -q '^counts_hash 0x36570c604a3d3804$' "$build_asan/scale1024.txt"
+echo "asan: 1024-PE scale smoke clean"
 
 # ---------------------------------------------------------------------------
 # ThreadSanitizer job: the work-stealing pool and the parallel DES
@@ -190,7 +220,14 @@ grep -q '^counts_hash 0x36570c604a3d3804$' "$build_tsan/kill.txt"
 # The sweep grid on the 2-thread pool: steal transfers and replica merges
 # driven by the parallel host runtime, raced by TSan.
 "$build_tsan/tools/skew_sweep" --quick --host-threads 2
-echo "tsan: pool + parallel-DES tests clean, 2-thread report identical"
+# 1024-PE scale smoke on the 2-thread pool under TSan: the tree
+# barrier/rendezvous wake path and per-worker buffer pools at real
+# occupancy. Wider budget: TSan costs ~5-15x.
+timeout 900 "$build_tsan/tools/dakc_count" "${scale_flags[@]}" \
+  --host-threads 2 --report-out "$build_tsan/scale1024.txt"
+grep -q '^counts_hash 0x36570c604a3d3804$' "$build_tsan/scale1024.txt"
+echo "tsan: pool + parallel-DES tests clean, 2-thread report identical, " \
+  "1024-PE scale smoke clean"
 
 # ---------------------------------------------------------------------------
 # Coverage job (opt-in: DAKC_COVERAGE=1 tools/ci.sh): rebuild with gcov

@@ -187,6 +187,10 @@ int cmd_count(int argc, char** argv) {
       "host-threads", 1,
       "host worker threads for the simulation (results are identical at "
       "any value; 1 = serial engine)");
+  auto& scheduler = cli.add_string(
+      "scheduler", "ladder",
+      "engine ready queue: ladder (production) or heap (reference; "
+      "results are identical)");
   auto& canonical = cli.add_flag("canonical", false, "canonical k-mers");
   auto& cost_model = cli.add_string(
       "cost-model", "flat",
@@ -332,6 +336,15 @@ int cmd_count(int argc, char** argv) {
   cfg.pes_per_node = static_cast<int>(cores);
   cfg.host_threads =
       std::clamp(static_cast<int>(host_threads), 1, 64);
+  if (std::string(scheduler) == "ladder") {
+    cfg.scheduler = des::Scheduler::kLadder;
+  } else if (std::string(scheduler) == "heap") {
+    cfg.scheduler = des::Scheduler::kHeap;
+  } else {
+    std::fprintf(stderr, "unknown scheduler '%s'\n",
+                 std::string(scheduler).c_str());
+    return 2;
+  }
   cfg.machine.cores_per_node = static_cast<int>(cores);
   cfg.l3_enabled = l3;
   cfg.phase2_hash = hash;
@@ -473,6 +486,8 @@ int cmd_count(int argc, char** argv) {
               fmt_seconds(report.makespan).c_str(),
               fmt_seconds(report.phase1_seconds).c_str(),
               fmt_seconds(report.phase2_seconds).c_str());
+  std::printf("host: peak %s across fiber stacks + staging buffers\n",
+              fmt_bytes(static_cast<double>(report.host_peak_bytes)).c_str());
   if (!out_path.empty()) {
     io::write_dump_file(out_path, counts, cfg.k, binary);
     std::printf("wrote %s (%s)\n", out_path.c_str(),

@@ -22,6 +22,7 @@
 
 #include "cachesim/cachesim.hpp"
 #include "conveyor/conveyor.hpp"
+#include "des/ready_queue.hpp"
 #include "kmer/extract.hpp"
 #include "kmer/superkmer.hpp"
 #include "net/fabric.hpp"
@@ -383,6 +384,54 @@ Result bench_superkmer_expand() {
   return r;
 }
 
+// The DES ready queue: ladder (NEW) vs the reference binary heap kept
+// behind the same interface, on the engine's measured delta mix at a
+// 2048-fiber occupancy (the hold model from tools/scale_bench, scaled
+// down to fit this harness's budget). The deep floors live in the
+// dedicated scale gate (check_perf.py --scale); this entry tracks the
+// kernel in the committed baseline so regressions show up in the
+// ordinary perf run too.
+Result bench_ready_queue() {
+  const int pes = 2048;
+  const std::uint64_t ops = 1 << 20;
+  std::vector<double> deltas(1 << 16);
+  {
+    Xoshiro256 rng(13);
+    for (double& d : deltas) {
+      const std::uint64_t r = rng.below(1000);
+      const double frac = static_cast<double>(rng.below(1000000)) / 1e6;
+      if (r < 5) d = 0.0;
+      else if (r < 311) d = 1e-9 * frac;
+      else if (r < 901) d = 1e-9 + 9e-9 * frac;
+      else if (r < 906) d = 1e-8 + 9e-8 * frac;
+      else if (r < 987) d = 1e-7 + 9e-7 * frac;
+      else if (r < 991) d = 1e-6 + 9e-6 * frac;
+      else if (r < 998) d = 1e-5 + 9e-5 * frac;
+      else d = 1e-4 + 1e-4 * frac;
+    }
+  }
+  const auto hold = [&](des::Scheduler mode) {
+    des::ReadyQueue q(mode);
+    Xoshiro256 rng(17);
+    for (int id = 0; id < pes; ++id)
+      q.push(1e-9 * static_cast<double>(rng.below(100000)), id);
+    std::uint64_t acc = 0;
+    const std::size_t mask = deltas.size() - 1;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      const des::ReadyQueue::Entry e = q.pop();
+      acc += static_cast<std::uint64_t>(e.id);
+      q.push(e.time + deltas[static_cast<std::size_t>(i) & mask], e.id);
+    }
+    g_sink = g_sink + acc;
+  };
+  Result r{"ready_queue_hold", 0, 0, ops};
+  best_of_pair(
+      [] {}, [&] { hold(des::Scheduler::kLadder); },
+      [] {}, [&] { hold(des::Scheduler::kHeap); },
+      kSortReps, &r.new_seconds, &r.ref_seconds);
+  return r;
+}
+
 Result bench_cachesim_replay() {
   // The Fig. 3 replay shapes: sequential stream + radix-style
   // multi-stream scatter, through a Phoenix-geometry LRU cache.
@@ -455,6 +504,7 @@ int main(int argc, char** argv) {
   results.push_back(bench_parallel_sort(8));
   results.push_back(bench_superkmer_pack());
   results.push_back(bench_superkmer_expand());
+  results.push_back(bench_ready_queue());
   results.push_back(bench_cachesim_replay());
 
   // Calibration = the frozen reference extractor's time. Its code never
